@@ -1,0 +1,67 @@
+//! Criterion wall-clock benchmarks of the host-side substrate: DSL
+//! compilation of each variant and the golden reference filters.
+//!
+//! Run with: `cargo bench -p isp-bench --bench kernels`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isp_core::Variant;
+use isp_dsl::Compiler;
+use isp_image::{convolve_par, convolve_partitioned, BorderPattern, BorderSpec, ImageGenerator, Mask};
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile");
+    g.sample_size(10);
+    for (name, spec) in [
+        ("gaussian3", isp_filters::gaussian::spec(3)),
+        ("laplace5", isp_filters::laplace::spec(5)),
+        ("bilateral13", isp_filters::bilateral::spec(13)),
+    ] {
+        g.bench_function(BenchmarkId::new("naive+isp", name), |b| {
+            b.iter(|| {
+                std::hint::black_box(Compiler::new().compile(
+                    &spec,
+                    BorderPattern::Clamp,
+                    Variant::IspBlock,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_reference_filters(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reference");
+    g.sample_size(10);
+    let img = ImageGenerator::new(1).natural::<f32>(512, 512);
+    for pattern in BorderPattern::ALL {
+        let spec = BorderSpec { pattern, constant: 0.2 };
+        let mask = Mask::gaussian(5, 1.0).unwrap();
+        g.bench_function(BenchmarkId::new("gauss5_512", pattern.name()), |b| {
+            b.iter(|| std::hint::black_box(convolve_par(&img, &mask, spec)))
+        });
+    }
+    g.finish();
+}
+
+/// Index-set splitting on the host CPU (paper §III-B, Listing 2): this is a
+/// REAL-hardware result — the partitioned convolution skips border checks in
+/// the interior and should beat the checked-everywhere baseline wall-clock.
+fn bench_cpu_index_set_splitting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu_iss");
+    g.sample_size(10);
+    let img = ImageGenerator::new(2).natural::<f32>(1024, 1024);
+    let mask = Mask::gaussian(5, 1.0).unwrap();
+    for pattern in [BorderPattern::Clamp, BorderPattern::Repeat] {
+        let spec = BorderSpec { pattern, constant: 0.0 };
+        g.bench_function(BenchmarkId::new("naive_1024", pattern.name()), |b| {
+            b.iter(|| std::hint::black_box(convolve_par(&img, &mask, spec)))
+        });
+        g.bench_function(BenchmarkId::new("partitioned_1024", pattern.name()), |b| {
+            b.iter(|| std::hint::black_box(convolve_partitioned(&img, &mask, spec)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_reference_filters, bench_cpu_index_set_splitting);
+criterion_main!(benches);

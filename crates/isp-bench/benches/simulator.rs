@@ -1,0 +1,70 @@
+//! Criterion wall-clock benchmarks of the GPU simulator itself: exhaustive
+//! warp interpretation throughput and region-sampled launch latency — the
+//! numbers that justify the two-mode design.
+//!
+//! Run with: `cargo bench -p isp-bench --bench simulator`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isp_core::Variant;
+use isp_dsl::runner::{run_filter, ExecMode};
+use isp_dsl::Compiler;
+use isp_image::{BorderPattern, ImageGenerator};
+use isp_sim::{DeviceSpec, Gpu};
+
+fn bench_exhaustive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exhaustive_interpretation");
+    g.sample_size(10);
+    let gpu = Gpu::new(DeviceSpec::gtx680());
+    let spec = isp_filters::gaussian::spec(3);
+    let ck = Compiler::new().compile(&spec, BorderPattern::Clamp, Variant::IspBlock);
+    for size in [64usize, 128, 256] {
+        let img = ImageGenerator::new(3).natural::<f32>(size, size);
+        g.bench_function(BenchmarkId::new("gauss3_naive", size), |b| {
+            b.iter(|| {
+                run_filter(
+                    &gpu,
+                    &ck,
+                    Variant::Naive,
+                    &[&img],
+                    &[],
+                    0.0,
+                    (32, 4),
+                    ExecMode::Exhaustive,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sampled(c: &mut Criterion) {
+    let mut g = c.benchmark_group("region_sampled_launch");
+    g.sample_size(10);
+    let gpu = Gpu::new(DeviceSpec::rtx2080());
+    let spec = isp_filters::bilateral::spec(13);
+    let ck = Compiler::new().compile(&spec, BorderPattern::Mirror, Variant::IspBlock);
+    let params = [isp_filters::bilateral::range_param(isp_filters::bilateral::DEFAULT_SIGMA_R)];
+    for size in [1024usize, 4096] {
+        let img = ImageGenerator::new(3).natural::<f32>(size, size);
+        g.bench_function(BenchmarkId::new("bilateral13_isp", size), |b| {
+            b.iter(|| {
+                run_filter(
+                    &gpu,
+                    &ck,
+                    Variant::IspBlock,
+                    &[&img],
+                    &params,
+                    0.0,
+                    (32, 4),
+                    ExecMode::Sampled,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_exhaustive, bench_sampled);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Ablation: one fat kernel with runtime region switching vs nine separate
+//! per-region kernel launches — the alternative the paper rejects in §III-C
+//! because of per-launch overhead (and host-side iteration-space splitting).
+//!
+//! The multi-kernel estimate reuses the fat kernel's measured per-region
+//! block costs (minus nothing — the thin kernels would be marginally
+//! cheaper, which only strengthens the conclusion at large sizes) and pays
+//! one launch overhead per non-empty region.
+//!
+//! Regenerate with: `cargo run -p isp-bench --bin ablation_multikernel --release`
+
+use isp_bench::report::Table;
+use isp_bench::runner::{bench_image, compile_app, Experiment};
+use isp_core::Variant;
+use isp_dsl::pipeline::Policy;
+use isp_dsl::runner::ExecMode;
+use isp_filters::by_name;
+use isp_image::{BorderPattern, BorderSpec};
+use isp_sim::scheduler::{schedule, BlockCost};
+use isp_sim::{occupancy, DeviceSpec, Gpu};
+
+fn main() {
+    println!(
+        "Ablation: fat kernel (one launch, Listing 3 switch) vs nine\n\
+         per-region kernel launches (gaussian 3x3, Clamp)\n"
+    );
+    for device in DeviceSpec::all() {
+        let mut t = Table::new(&[
+            "size",
+            "fat kernel Mcyc",
+            "9-launch Mcyc",
+            "fat speedup",
+            "regions launched",
+        ]);
+        for size in [256usize, 512, 1024, 2048, 4096] {
+            let exp = Experiment::paper(
+                device.clone(),
+                by_name("gaussian").unwrap(),
+                BorderPattern::Clamp,
+                size,
+            );
+            let gpu = Gpu::new(device.clone());
+            let compiled = compile_app(&exp);
+            let source = bench_image(size);
+            let run = exp
+                .app
+                .pipeline
+                .run(
+                    &gpu,
+                    &compiled,
+                    &source,
+                    BorderSpec::clamp(),
+                    exp.block,
+                    Policy::AlwaysIsp(Variant::IspBlock),
+                    ExecMode::Sampled,
+                )
+                .expect("isp run");
+            // Per-stage reports are folded in PipelineRun; re-run the single
+            // stage directly to get class costs.
+            let out = isp_dsl::runner::run_filter(
+                &gpu,
+                &compiled[0],
+                Variant::IspBlock,
+                &[&source],
+                &[],
+                0.0,
+                exp.block,
+                ExecMode::Sampled,
+            )
+            .expect("filter run");
+            let fat_cycles = out.report.timing.cycles;
+            let _ = run;
+
+            // Re-schedule each region's blocks as its own launch.
+            let isp = compiled[0].isp.as_ref().unwrap();
+            let occ = occupancy(&device, exp.block.0 * exp.block.1, isp.regs.data_regs);
+            let mut multi_cycles = 0u64;
+            let mut launches = 0u32;
+            for &(class, count, cycles) in &out.report.class_costs {
+                if count == 0 {
+                    continue;
+                }
+                launches += 1;
+                let fp = isp.region_footprints.unwrap()[class as usize];
+                let blocks = (0..count).map(|_| BlockCost {
+                    class,
+                    cycles,
+                    static_footprint: fp,
+                });
+                multi_cycles += schedule(&device, &occ, blocks).cycles;
+            }
+            t.row(&[
+                size.to_string(),
+                format!("{:.3}", fat_cycles as f64 / 1e6),
+                format!("{:.3}", multi_cycles as f64 / 1e6),
+                format!("{:.3}", multi_cycles as f64 / fat_cycles as f64),
+                launches.to_string(),
+            ]);
+        }
+        println!("--- {} ---", device.name);
+        println!("{}", t.render());
+    }
+    println!(
+        "Expected shape (paper section III-C): the separate-launch strategy pays\n\
+         ~9 launch overheads plus per-region tail waves, which dominates at\n\
+         small sizes; the fat kernel amortises everything into one dispatch."
+    );
+}

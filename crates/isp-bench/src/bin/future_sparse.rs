@@ -1,0 +1,89 @@
+//! The paper's stated future work, implemented: "explore the ISP
+//! optimization on irregular stencil kernels ... such as using a sparse
+//! stencil mask that is only applied to a few neighbors."
+//!
+//! Sparse masks make the *kernel computation* cheap while the window reach
+//! (and thus the border margin) stays large — the regime where border
+//! handling dominates and ISP's benefit is largest.
+//!
+//! Regenerate with: `cargo run -p isp-bench --bin future_sparse --release`
+
+use isp_bench::report::Table;
+use isp_bench::runner::bench_image;
+use isp_core::Variant;
+use isp_dsl::runner::{run_filter, ExecMode};
+use isp_dsl::{Compiler, KernelSpec};
+use isp_image::{BorderPattern, Mask};
+use isp_sim::{DeviceSpec, Gpu};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random sparse mask: `taps` active cells scattered over a
+/// `window x window` reach (always including the centre), unit-normalised.
+fn sparse_mask(window: usize, taps: usize, seed: u64) -> Mask {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coeffs = vec![0.0f32; window * window];
+    coeffs[window * window / 2] = 1.0;
+    let mut placed = 1;
+    while placed < taps {
+        let i = rng.gen_range(0..coeffs.len());
+        if coeffs[i] == 0.0 {
+            coeffs[i] = rng.gen_range(0.2..1.0);
+            placed += 1;
+        }
+    }
+    let sum: f32 = coeffs.iter().sum();
+    for c in &mut coeffs {
+        *c /= sum;
+    }
+    Mask::from_coeffs(window, window, coeffs).expect("odd window")
+}
+
+fn main() {
+    println!(
+        "Future work (paper section VII): ISP on irregular sparse stencils\n\
+         (window reach 17x17, varying active taps; Repeat pattern, 2048^2)\n"
+    );
+    let device = DeviceSpec::gtx680();
+    let gpu = Gpu::new(device.clone());
+    let img = bench_image(2048);
+    let mut t = Table::new(&[
+        "active taps",
+        "naive Mcyc",
+        "isp Mcyc",
+        "S(isp)",
+        "checks per output (naive)",
+    ]);
+    for taps in [5usize, 9, 17, 33, 65, 129, 289] {
+        let taps = taps.min(17 * 17);
+        let mask = sparse_mask(17, taps, 42);
+        let spec = KernelSpec::convolution(format!("sparse{taps}"), &mask);
+        let ck = Compiler::new().compile(&spec, BorderPattern::Repeat, Variant::IspBlock);
+        let cycles = |variant| {
+            run_filter(&gpu, &ck, variant, &[&img], &[], 0.0, (32, 4), ExecMode::Sampled)
+                .map(|o| o.report.timing.cycles)
+                .expect("launch")
+        };
+        let n = cycles(Variant::Naive);
+        let i = cycles(Variant::IspBlock);
+        t.row(&[
+            taps.to_string(),
+            format!("{:.2}", n as f64 / 1e6),
+            format!("{:.2}", i as f64 / 1e6),
+            format!("{:.3}", n as f64 / i as f64),
+            format!(
+                "{}",
+                ck.naive.static_histogram.get(isp_ir::InstrCategory::Setp)
+                    + ck.naive.static_histogram.get(isp_ir::InstrCategory::Selp)
+            ),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Reading: the sparser the stencil, the larger ISP's relative win —\n\
+         the border margin (and its checks) is set by the 17x17 reach while\n\
+         the useful arithmetic shrinks with the tap count. Irregular masks\n\
+         need no new compiler machinery: domain inference already skips\n\
+         inactive cells."
+    );
+}

@@ -1,0 +1,47 @@
+//! Calibration probe (not a paper artefact): prints the naive/isp/isp+m
+//! landscape for quick inspection while tuning the simulator.
+
+use isp_bench::runner::{measure_app, Experiment};
+use isp_bench::report::Table;
+use isp_filters::by_name;
+use isp_image::BorderPattern;
+use isp_sim::DeviceSpec;
+
+fn main() {
+    let apps = ["gaussian", "bilateral"];
+    for device in DeviceSpec::all() {
+        for app_name in apps {
+            let mut t = Table::new(&[
+                "app", "pattern", "size", "naive Mcyc", "isp Mcyc", "S(isp)", "S(isp+m)", "G(model)",
+                "regsN", "regsI",
+            ]);
+            for pattern in BorderPattern::ALL {
+                for size in [512usize, 1024, 2048, 4096] {
+                    let exp = Experiment::paper(
+                        device.clone(),
+                        by_name(app_name).unwrap(),
+                        pattern,
+                        size,
+                    );
+                    let compiled = isp_bench::runner::compile_app(&exp);
+                    let ck = &compiled[0];
+                    let m = measure_app(&exp);
+                    t.row(&[
+                        app_name.into(),
+                        pattern.name().into(),
+                        size.to_string(),
+                        format!("{:.2}", m.naive_cycles as f64 / 1e6),
+                        format!("{:.2}", m.isp_cycles as f64 / 1e6),
+                        format!("{:.3}", m.speedup_isp),
+                        format!("{:.3}", m.speedup_ispm),
+                        format!("{:.3}", m.stage_gains.first().copied().unwrap_or(1.0)),
+                        ck.naive.regs.data_regs.to_string(),
+                        ck.isp.as_ref().map(|v| v.regs.data_regs.to_string()).unwrap_or("-".into()),
+                    ]);
+                }
+            }
+            println!("== {} / {} ==", device.name, app_name);
+            println!("{}", t.render());
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Table I: bilateral filter instruction comparison, naive vs the nine ISP
+//! regions, counted at the IR ("PTX") level by keyword category. The counts
+//! include both the region body and the switching statements needed to reach
+//! the region, exactly as the paper describes.
+//!
+//! Regenerate with: `cargo run -p isp-bench --bin table1 --release`
+
+use isp_bench::report::Table;
+use isp_core::{Region, Variant};
+use isp_dsl::Compiler;
+use isp_filters::bilateral;
+use isp_image::BorderPattern;
+use isp_ir::{InstrCategory, InstrHistogram};
+
+fn main() {
+    // Paper setup: bilateral 13x13, Clamp pattern.
+    let spec = bilateral::spec(13);
+    let ck = Compiler::new().compile(&spec, BorderPattern::Clamp, Variant::IspBlock);
+    let isp = ck.isp.as_ref().expect("bilateral is a stencil");
+    let region_hists = isp.region_histograms.as_ref().expect("isp variant has regions");
+
+    println!("Table I: bilateral (13x13, Clamp) per-thread static instruction counts");
+    println!("(PTX-level keyword categories; region columns include the switch cost)\n");
+
+    let mut header: Vec<String> = vec!["category".into(), "naive".into()];
+    for r in Region::ALL {
+        header.push(r.name().to_string());
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&header_refs);
+
+    let hist_of = |r: Region| -> &InstrHistogram {
+        &region_hists.iter().find(|(pr, _)| *pr == r).expect("all regions present").1
+    };
+
+    for cat in InstrCategory::ALL {
+        let naive = ck.naive.static_histogram.get(cat);
+        let by_region: Vec<u64> = Region::ALL.iter().map(|&r| hist_of(r).get(cat)).collect();
+        if naive == 0 && by_region.iter().all(|&c| c == 0) {
+            continue;
+        }
+        let mut row = vec![cat.name().to_string(), naive.to_string()];
+        row.extend(by_region.iter().map(|c| c.to_string()));
+        t.row(&row);
+    }
+    // Totals row.
+    let mut row = vec!["TOTAL".to_string(), ck.naive.static_histogram.total().to_string()];
+    row.extend(Region::ALL.iter().map(|&r| hist_of(r).total().to_string()));
+    t.row(&row);
+    // Arithmetic-only totals (the paper's key observation).
+    let mut row = vec![
+        "arith".to_string(),
+        ck.naive.static_histogram.arithmetic_total().to_string(),
+    ];
+    row.extend(Region::ALL.iter().map(|&r| hist_of(r).arithmetic_total().to_string()));
+    t.row(&row);
+    println!("{}", t.render());
+
+    let body = hist_of(Region::Body);
+    println!(
+        "\nObservations (paper section IV-A):\n\
+         - Body executes {} arithmetic instructions vs {} naive (clear benefit).\n\
+         - Corner/edge regions sit near or above the naive count once the\n\
+           switching statements are included — \"not all the regions have a\n\
+           noticeable reduction\".\n\
+         - The reduction concentrates in address-calculation categories\n\
+           (max/min/add/setp/selp), not loads or SFU work.",
+        body.arithmetic_total(),
+        ck.naive.static_histogram.arithmetic_total(),
+    );
+}

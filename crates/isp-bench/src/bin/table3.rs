@@ -1,0 +1,67 @@
+//! Table III: measured best implementation vs model prediction for the
+//! bilateral filter across image sizes and patterns, plus the Pearson
+//! correlation between predicted gain G and measured speedup per pattern.
+//!
+//! Regenerate with: `cargo run -p isp-bench --bin table3 --release`
+
+use isp_bench::report::Table;
+use isp_bench::runner::{measure_app, Experiment};
+use isp_bench::stats::pearson;
+use isp_filters::by_name;
+use isp_image::BorderPattern;
+use isp_sim::DeviceSpec;
+
+fn main() {
+    let sizes: Vec<usize> = (2..=16).map(|i| i * 256).collect();
+    for device in DeviceSpec::all() {
+        println!(
+            "Table III ({}): bilateral 13x13 — measured best vs model prediction\n\
+             (cells: measured-best / model-predicted; MISS marks mispredictions)\n",
+            device.name
+        );
+        let mut t = Table::new(&["size", "clamp", "mirror", "repeat", "constant"]);
+        let mut gains: Vec<Vec<f64>> = vec![Vec::new(); 4];
+        let mut speeds: Vec<Vec<f64>> = vec![Vec::new(); 4];
+        let mut misses = 0usize;
+        let mut total = 0usize;
+        for &size in &sizes {
+            let mut row = vec![size.to_string()];
+            for (pi, pattern) in BorderPattern::ALL.into_iter().enumerate() {
+                let exp = Experiment::paper(
+                    device.clone(),
+                    by_name("bilateral").unwrap(),
+                    pattern,
+                    size,
+                );
+                let m = measure_app(&exp);
+                let measured_isp = m.isp_measured_better();
+                let predicted_isp = m.model_chose_isp();
+                let cell = format!(
+                    "{}/{}{}",
+                    if measured_isp { "isp" } else { "nai" },
+                    if predicted_isp { "isp" } else { "nai" },
+                    if measured_isp != predicted_isp { " MISS" } else { "" },
+                );
+                misses += usize::from(measured_isp != predicted_isp);
+                total += 1;
+                gains[pi].push(m.stage_gains[0]);
+                speeds[pi].push(m.speedup_isp);
+                row.push(cell);
+            }
+            t.row(&row);
+        }
+        println!("{}", t.render());
+        let mut pt = Table::new(&["pattern", "Pearson r (G vs measured speedup)"]);
+        for (pi, pattern) in BorderPattern::ALL.into_iter().enumerate() {
+            let r = pearson(&gains[pi], &speeds[pi])
+                .map(|r| format!("{r:.3}"))
+                .unwrap_or_else(|| "n/a".into());
+            pt.row(&[pattern.name().into(), r]);
+        }
+        println!("{}", pt.render());
+        println!(
+            "{misses}/{total} mispredictions on {} — expected near the crossover\n",
+            device.name
+        );
+    }
+}

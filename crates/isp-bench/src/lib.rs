@@ -1,0 +1,26 @@
+//! # isp-bench
+//!
+//! Shared machinery for the harness binaries that regenerate the paper's
+//! tables and figures:
+//!
+//! | Binary   | Reproduces                                                    |
+//! |----------|---------------------------------------------------------------|
+//! | `table1` | Table I — bilateral PTX instruction counts per region         |
+//! | `table2` | Table II — register usage and theoretical occupancy           |
+//! | `table3` | Table III — measured best variant vs model prediction         |
+//! | `table4` | Table IV — geometric-mean speedups of isp+m per application   |
+//! | `fig3`   | Figure 3 — fraction of blocks executing the Body region       |
+//! | `fig4`   | Figure 4 — bilateral ISP speedups across sizes and patterns   |
+//! | `fig6`   | Figure 6 — all apps x patterns x sizes x devices              |
+//! | `ablation_*` | design-choice ablations (warp granularity, multi-kernel, CSE) |
+//!
+//! All measurements run the simulator in region-sampled mode (exact counters
+//! for the uniform region classes, see `isp-sim`), on deterministic
+//! generated imagery.
+
+pub mod report;
+pub mod runner;
+pub mod stats;
+
+pub use runner::{measure_app, AppMeasurement, Experiment, PAPER_BLOCK, PAPER_SIZES};
+pub use stats::{geometric_mean, pearson};

@@ -1,0 +1,313 @@
+//! Threadblock index bounds (Eq. 2) and per-region block counts (Eqs. 7–8).
+
+use crate::region::Region;
+
+/// The geometry a partitioning is derived from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Image width `sx`.
+    pub sx: usize,
+    /// Image height `sy`.
+    pub sy: usize,
+    /// Window width `m` (odd).
+    pub m: usize,
+    /// Window height `n` (odd).
+    pub n: usize,
+    /// Block width `tx`.
+    pub tx: u32,
+    /// Block height `ty`.
+    pub ty: u32,
+}
+
+impl Geometry {
+    /// Horizontal stencil radius `m/2`.
+    pub fn rx(&self) -> usize {
+        self.m / 2
+    }
+
+    /// Vertical stencil radius `n/2`.
+    pub fn ry(&self) -> usize {
+        self.n / 2
+    }
+
+    /// Grid size in blocks (ceil division, as launched).
+    pub fn grid(&self) -> (u32, u32) {
+        (
+            (self.sx as u32).div_ceil(self.tx),
+            (self.sy as u32).div_ceil(self.ty),
+        )
+    }
+}
+
+/// The four block-index bounds of the paper's Eq. (2).
+///
+/// A block with `bh_l <= bx < bh_r` and `bh_t <= by < bh_b` requires no
+/// border handling. Blocks with `bx < bh_l` need the left check, blocks with
+/// `bx >= bh_r` need the right check, and analogously in y.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexBounds {
+    /// First block index (x) that needs no left check.
+    pub bh_l: u32,
+    /// First block index (x) that needs the right check.
+    pub bh_r: u32,
+    /// First block index (y) that needs no top check.
+    pub bh_t: u32,
+    /// First block index (y) that needs the bottom check.
+    pub bh_b: u32,
+    /// Grid this was computed for.
+    pub grid: (u32, u32),
+}
+
+impl IndexBounds {
+    /// Derive the bounds from geometry.
+    ///
+    /// ```
+    /// use isp_core::bounds::{Geometry, IndexBounds};
+    /// // 512x512 image, 5x5 window, 32x4 blocks (the paper's defaults).
+    /// let g = Geometry { sx: 512, sy: 512, m: 5, n: 5, tx: 32, ty: 4 };
+    /// let b = IndexBounds::new(&g);
+    /// assert_eq!((b.bh_l, b.bh_r, b.bh_t, b.bh_b), (1, 15, 1, 127));
+    /// assert!(b.is_valid());
+    /// assert!(b.block_counts().body_fraction() > 0.85);
+    /// ```
+    ///
+    /// Derivation (x-axis; y is analogous): block `bx` covers pixels
+    /// `[bx*tx, min((bx+1)*tx, sx))`. It may read past the left edge iff its
+    /// smallest pixel is `< rx`, i.e. `bx*tx < rx`, giving
+    /// `bh_l = ceil(rx/tx)`. It may read past the right edge iff its largest
+    /// pixel is `>= sx - rx`; the first such block is the one containing
+    /// pixel `sx - rx`, giving `bh_r = floor((sx - rx)/tx)`.
+    pub fn new(g: &Geometry) -> Self {
+        let (gx, gy) = g.grid();
+        let rx = g.rx() as u32;
+        let ry = g.ry() as u32;
+        let bh_l = rx.div_ceil(g.tx).min(gx);
+        let bh_t = ry.div_ceil(g.ty).min(gy);
+        // Radius 0 means no pixel ever reads past the right/bottom edge; the
+        // "block containing pixel sx - rx" formula would otherwise point at
+        // the non-existent pixel sx.
+        let bh_r = if rx == 0 { gx } else { ((g.sx as u32 - rx) / g.tx).min(gx) };
+        let bh_b = if ry == 0 { gy } else { ((g.sy as u32 - ry) / g.ty).min(gy) };
+        IndexBounds { bh_l, bh_r, bh_t, bh_b, grid: (gx, gy) }
+    }
+
+    /// Whether the 9-region decomposition is well-formed: every block needs
+    /// at most one check per axis. Degenerate when the image is so small
+    /// (relative to block and window) that a single block would need both
+    /// the left *and* right checks — the compiler then falls back to the
+    /// naive variant, which is also what the model would pick.
+    pub fn is_valid(&self) -> bool {
+        self.bh_l <= self.bh_r && self.bh_t <= self.bh_b
+    }
+
+    /// Block counts per region (Eq. 8a/8b).
+    pub fn block_counts(&self) -> BlockCounts {
+        let (gx, gy) = self.grid;
+        let nx_l = self.bh_l as u64;
+        let nx_r = (gx - self.bh_r) as u64;
+        let nx_mid = (self.bh_r - self.bh_l) as u64;
+        let ny_t = self.bh_t as u64;
+        let ny_b = (gy - self.bh_b) as u64;
+        let ny_mid = (self.bh_b - self.bh_t) as u64;
+        BlockCounts {
+            counts: [
+                nx_l * ny_t,   // TL
+                nx_mid * ny_t, // T
+                nx_r * ny_t,   // TR
+                nx_l * ny_mid, // L
+                nx_mid * ny_mid, // Body
+                nx_r * ny_mid, // R
+                nx_l * ny_b,   // BL
+                nx_mid * ny_b, // B
+                nx_r * ny_b,   // BR
+            ],
+        }
+    }
+}
+
+/// Number of threadblocks executing each region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockCounts {
+    counts: [u64; 9],
+}
+
+impl BlockCounts {
+    /// Blocks executing `region`.
+    pub fn get(&self, region: Region) -> u64 {
+        self.counts[region.index()]
+    }
+
+    /// Total blocks across all regions (must equal the grid size).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of blocks executing the Body region — the Figure 3 curve.
+    pub fn body_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.get(Region::Body) as f64 / self.total() as f64
+        }
+    }
+
+    /// Iterate `(region, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Region, u64)> + '_ {
+        Region::ALL.iter().map(move |&r| (r, self.get(r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn geom(sx: usize, sy: usize, m: usize, n: usize, tx: u32, ty: u32) -> Geometry {
+        Geometry { sx, sy, m, n, tx, ty }
+    }
+
+    /// Brute-force: does block bx (x-axis) contain a pixel needing a
+    /// left/right check?
+    fn brute_needs(g: &Geometry, b: u32, axis_len: usize, t: u32, r: usize) -> (bool, bool) {
+        let lo = (b * t) as usize;
+        let hi = (((b + 1) * t) as usize).min(axis_len);
+        let mut left = false;
+        let mut right = false;
+        for x in lo..hi {
+            if (x as i64) - (r as i64) < 0 {
+                left = true;
+            }
+            if x + r >= axis_len {
+                right = true;
+            }
+        }
+        let _ = g;
+        (left, right)
+    }
+
+    #[test]
+    fn bounds_match_brute_force_on_paper_configs() {
+        for (sx, m, tx) in [
+            (512usize, 3usize, 32u32),
+            (512, 5, 32),
+            (512, 13, 32),
+            (1024, 13, 128),
+            (2048, 5, 64),
+            (4096, 17, 128),
+            (96, 13, 32),
+        ] {
+            let g = geom(sx, sx, m, m, tx, 4);
+            let b = IndexBounds::new(&g);
+            let (gx, _) = g.grid();
+            for bx in 0..gx {
+                let (l, r) = brute_needs(&g, bx, sx, tx, g.rx());
+                assert_eq!(bx < b.bh_l, l, "left: sx={sx} m={m} tx={tx} bx={bx}");
+                assert_eq!(bx >= b.bh_r, r, "right: sx={sx} m={m} tx={tx} bx={bx}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_512_block32x4_window5() {
+        // 5x5 window, radius 2; 32x4 blocks on 512x512.
+        let g = geom(512, 512, 5, 5, 32, 4);
+        let b = IndexBounds::new(&g);
+        assert_eq!(b.grid, (16, 128));
+        assert_eq!(b.bh_l, 1, "only block column 0 needs the left check");
+        assert_eq!(b.bh_r, 15, "only block column 15 needs the right check");
+        assert_eq!(b.bh_t, 1);
+        assert_eq!(b.bh_b, 127);
+        assert!(b.is_valid());
+        let c = b.block_counts();
+        assert_eq!(c.get(Region::TL), 1);
+        assert_eq!(c.get(Region::T), 14);
+        assert_eq!(c.get(Region::L), 126);
+        assert_eq!(c.get(Region::Body), 14 * 126);
+        assert_eq!(c.total(), 16 * 128);
+    }
+
+    #[test]
+    fn window_1x1_has_no_border_blocks() {
+        let g = geom(256, 256, 1, 1, 32, 4);
+        let b = IndexBounds::new(&g);
+        let c = b.block_counts();
+        assert_eq!(c.body_fraction(), 1.0);
+        assert_eq!(c.get(Region::TL) + c.get(Region::T) + c.get(Region::R), 0);
+    }
+
+    #[test]
+    fn degenerate_when_blocks_span_image() {
+        // 32-wide image, 32-wide blocks, radius 6: the single block column
+        // needs both left and right checks -> invalid for 9-region ISP.
+        let g = geom(32, 512, 13, 13, 32, 4);
+        let b = IndexBounds::new(&g);
+        assert!(!b.is_valid());
+    }
+
+    #[test]
+    fn body_fraction_grows_with_image_size() {
+        // Figure 3's qualitative claim. (At 256^2 with 128-wide blocks the
+        // body fraction is still zero in x: only two block columns exist.)
+        let mut prev = -1.0;
+        for sx in [256usize, 512, 1024, 2048, 4096] {
+            let g = geom(sx, sx, 5, 5, 128, 1);
+            let f = IndexBounds::new(&g).block_counts().body_fraction();
+            assert!(f > prev, "body fraction must grow: {f} at {sx}");
+            prev = f;
+        }
+        assert!(prev > 0.9);
+    }
+
+    #[test]
+    fn larger_blocks_lower_body_fraction_at_small_sizes() {
+        // Figure 3's second claim: given a small image, a larger block size
+        // leaves fewer body blocks.
+        let small = IndexBounds::new(&geom(256, 256, 5, 5, 32, 4)).block_counts().body_fraction();
+        let large =
+            IndexBounds::new(&geom(256, 256, 5, 5, 128, 2)).block_counts().body_fraction();
+        assert!(large < small, "large {large} vs small {small}");
+    }
+
+    proptest! {
+        /// Eq. 8b: region block counts always partition the grid.
+        #[test]
+        fn block_counts_partition_grid(
+            sx in 64usize..2048,
+            sy in 64usize..2048,
+            half_m in 0usize..9,
+            tx_pow in 5u32..8,
+            ty in 1u32..9,
+        ) {
+            let m = 2 * half_m + 1;
+            let tx = 1u32 << tx_pow;
+            let g = geom(sx, sy, m, m, tx, ty);
+            let b = IndexBounds::new(&g);
+            prop_assume!(b.is_valid());
+            let c = b.block_counts();
+            let (gx, gy) = g.grid();
+            prop_assert_eq!(c.total(), gx as u64 * gy as u64);
+        }
+
+        /// Every block is classified consistently with the bounds by
+        /// brute force on both axes.
+        #[test]
+        fn bounds_agree_with_brute_force(
+            sx in 33usize..1500,
+            rx in 0usize..16,
+            tx_pow in 5u32..8,
+        ) {
+            let tx = 1u32 << tx_pow;
+            let m = 2 * rx + 1;
+            prop_assume!(rx < 32);
+            let g = geom(sx, 128, m, m, tx, 4);
+            let b = IndexBounds::new(&g);
+            prop_assume!(b.is_valid());
+            let (gx, _) = g.grid();
+            for bx in 0..gx {
+                let (l, r) = brute_needs(&g, bx, sx, tx, rx);
+                prop_assert_eq!(bx < b.bh_l, l);
+                prop_assert_eq!(bx >= b.bh_r, r);
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # isp-core
+//!
+//! The paper's primary contribution: **iteration space partitioning (ISP)**
+//! for image border handling on GPUs.
+//!
+//! - [`region`] — the nine-region decomposition (TL, T, TR, L, Body, R, BL,
+//!   B, BR) of Figure 1;
+//! - [`bounds`] — the threadblock index bounds of Eq. (2) and the per-region
+//!   block counts of Eqs. (7)–(8), including the Figure 3 body-fraction
+//!   curve;
+//! - [`switching`] — the runtime region-switch logic of Listing 3
+//!   (block-grained) and Listing 5 (warp-grained);
+//! - [`model`] — the analytic benefit model (Eqs. 3–9) and the occupancy
+//!   cost model culminating in the prediction `G = R_reduced * O_ISP /
+//!   O_naive` (Eq. 10);
+//! - [`planner`] — the `isp+m` policy: apply ISP only when the model
+//!   predicts a gain.
+
+pub mod bounds;
+pub mod model;
+pub mod planner;
+pub mod region;
+pub mod switching;
+
+pub use bounds::{BlockCounts, IndexBounds};
+pub use model::{ClosedFormModel, IrStatsModel, PredictionInputs};
+pub use planner::{Plan, Planner, Variant};
+pub use region::Region;
+pub use switching::{region_of_block, region_of_warp, warp_refinement_applicable, WarpBounds};

@@ -1,0 +1,264 @@
+//! The analytic performance model (paper §IV, Eqs. 3–10).
+//!
+//! Two flavours are provided:
+//!
+//! - [`ClosedFormModel`] — the paper's closed-form Eqs. (3)–(9), driven by
+//!   three abstract quantities (`n_check`, `n_kernel`, `n_switch`). Useful
+//!   for exposition, the Figure 3 analysis, and sanity tests.
+//! - [`IrStatsModel`] — the production path: per-region static instruction
+//!   counts taken from the *actual compiled IR* (the paper measures at PTX
+//!   level for the same reason: "to obtain a more accurate estimation than
+//!   at CUDA source code").
+//!
+//! Both produce `R_reduced = N_naive / N_ISP` (Eq. 9); combining with the
+//! occupancy ratio gives the prediction `G = R_reduced * O_ISP / O_naive`
+//! (Eq. 10): `G > 1` predicts ISP wins, otherwise the naive variant should
+//! be used.
+
+use crate::bounds::{Geometry, IndexBounds};
+use crate::region::Region;
+
+/// The paper's closed-form instruction model.
+///
+/// Note on Eq. (5): we read the switch term as once-per-thread (it executes
+/// once per thread, before the window loop), i.e.
+/// `n_inst(p) = (n_switch(p) + n_region_per_access(p) * m * n) * threads(p)`,
+/// which is the only dimensionally consistent reading of the equation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosedFormModel {
+    /// Instructions to check one border (e.g. the left border) per access.
+    pub n_check: f64,
+    /// Instructions of the kernel computation per accessed pixel.
+    pub n_kernel: f64,
+    /// Instructions executed to switch to each region (Listing 3's cascade:
+    /// later regions cost more comparisons).
+    pub n_switch: [f64; 9],
+}
+
+impl ClosedFormModel {
+    /// A generic default: 3 instructions per border check (compare + two
+    /// index ops), switch cascade costs from Listing 3's comparison order.
+    pub fn generic(n_kernel: f64) -> Self {
+        ClosedFormModel {
+            n_check: 3.0,
+            n_kernel,
+            // Order: TL, T, TR, L, Body, R, BL, B, BR — matching Listing 3,
+            // TL tests 1 compound condition, Body falls through all 8.
+            n_switch: [2.0, 5.0, 3.0, 6.0, 10.0, 9.0, 7.0, 8.0, 10.0],
+        }
+    }
+
+    /// Eq. (3): total instructions of the naive implementation (all four
+    /// border checks for every accessed pixel of every window position).
+    pub fn n_naive(&self, g: &Geometry) -> f64 {
+        (4.0 * self.n_check + self.n_kernel) * (g.m * g.n * g.sx * g.sy) as f64
+    }
+
+    /// Per-access instruction count of one region (Eq. 6).
+    pub fn n_region_per_access(&self, region: Region) -> f64 {
+        region.sides_checked() as f64 * self.n_check + self.n_kernel
+    }
+
+    /// Eq. (5): instructions executed by all threads of one region.
+    pub fn n_inst(&self, region: Region, g: &Geometry, bounds: &IndexBounds) -> f64 {
+        let blocks = bounds.block_counts().get(region) as f64;
+        let threads = blocks * (g.tx * g.ty) as f64;
+        let window = (g.m * g.n) as f64;
+        (self.n_switch[region.index()] + self.n_region_per_access(region) * window) * threads
+    }
+
+    /// Eq. (4): total ISP instructions, summed over the nine regions.
+    pub fn n_isp(&self, g: &Geometry, bounds: &IndexBounds) -> f64 {
+        Region::ALL.iter().map(|&r| self.n_inst(r, g, bounds)).sum()
+    }
+
+    /// Eq. (9): `R_reduced = N_naive / N_ISP`.
+    pub fn r_reduced(&self, g: &Geometry) -> f64 {
+        let bounds = IndexBounds::new(g);
+        if !bounds.is_valid() {
+            return 1.0; // degenerate partitioning: fall back, no reduction
+        }
+        self.n_naive(g) / self.n_isp(g, &bounds)
+    }
+}
+
+/// Per-region static instruction counts taken from compiled IR.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrStatsModel {
+    /// Static instructions on the naive kernel's per-thread path.
+    pub naive_per_thread: f64,
+    /// Static instructions on each region's per-thread path in the fat
+    /// kernel (region switch included), indexed by [`Region::index`].
+    pub region_per_thread: [f64; 9],
+}
+
+impl IrStatsModel {
+    /// `R_reduced` with exact per-region weights: per-thread instruction
+    /// counts weighted by the Eq. (8) block populations (thread counts per
+    /// block cancel).
+    pub fn r_reduced(&self, bounds: &IndexBounds) -> f64 {
+        if !bounds.is_valid() {
+            return 1.0;
+        }
+        let counts = bounds.block_counts();
+        let total = counts.total() as f64;
+        let n_isp: f64 = Region::ALL
+            .iter()
+            .map(|&r| self.region_per_thread[r.index()] * counts.get(r) as f64)
+            .sum();
+        if n_isp == 0.0 {
+            return 1.0;
+        }
+        (self.naive_per_thread * total) / n_isp
+    }
+}
+
+/// Inputs to the final prediction (Eq. 10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictionInputs {
+    /// Instruction reduction ratio `R_reduced` (Eq. 9).
+    pub r_reduced: f64,
+    /// Theoretical occupancy of the naive kernel.
+    pub occ_naive: f64,
+    /// Theoretical occupancy of the ISP fat kernel.
+    pub occ_isp: f64,
+}
+
+impl PredictionInputs {
+    /// Eq. (10): `G = R_reduced * O_ISP / O_naive`.
+    pub fn gain(&self) -> f64 {
+        assert!(self.occ_naive > 0.0 && self.occ_isp > 0.0, "occupancies must be positive");
+        self.r_reduced * self.occ_isp / self.occ_naive
+    }
+
+    /// The model's verdict: apply ISP iff the predicted gain exceeds 1.
+    pub fn isp_wins(&self) -> bool {
+        self.gain() > 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn geometry(sx: usize, m: usize, tx: u32, ty: u32) -> Geometry {
+        Geometry { sx, sy: sx, m, n: m, tx, ty }
+    }
+
+    #[test]
+    fn cheap_kernels_benefit_more() {
+        // §IV-A.3 observation 1: small n_kernel relative to n_check -> more
+        // reduction.
+        let g = geometry(2048, 5, 32, 4);
+        let cheap = ClosedFormModel::generic(2.0).r_reduced(&g);
+        let pricey = ClosedFormModel::generic(40.0).r_reduced(&g);
+        assert!(cheap > pricey, "cheap {cheap} vs expensive {pricey}");
+        assert!(cheap > 2.0);
+        // The expensive kernel caps out near its asymptote (12+40)/40 = 1.3.
+        assert!(pricey < 1.35);
+    }
+
+    #[test]
+    fn larger_images_benefit_more() {
+        // §IV-A.3 observation 2 / Figure 3.
+        let model = ClosedFormModel::generic(5.0);
+        let mut prev = 0.0;
+        for sx in [256usize, 512, 1024, 2048, 4096] {
+            let r = model.r_reduced(&geometry(sx, 5, 128, 1));
+            assert!(r > prev, "R must grow with image size: {r} at {sx}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn body_dominates_large_images() {
+        // At 4096^2 nearly all instructions are Body instructions, so
+        // R approaches the no-check/with-check ratio.
+        let model = ClosedFormModel::generic(5.0);
+        let g = geometry(4096, 5, 32, 4);
+        let r = model.r_reduced(&g);
+        let asymptote = (4.0 * model.n_check + model.n_kernel) / model.n_kernel;
+        assert!(r > 0.85 * asymptote, "r={r} asymptote={asymptote}");
+        assert!(r < asymptote);
+    }
+
+    #[test]
+    fn degenerate_bounds_yield_unity() {
+        let model = ClosedFormModel::generic(5.0);
+        // 32-wide image, 13x13 window, 32-wide blocks: degenerate.
+        let r = model.r_reduced(&geometry(32, 13, 32, 4));
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn ir_stats_model_weighted_by_populations() {
+        let g = geometry(512, 5, 32, 4);
+        let bounds = IndexBounds::new(&g);
+        // Naive path: 100 instrs; Body: 60; edges: 85; corners: 95.
+        let mut region = [95.0; 9];
+        region[Region::T.index()] = 85.0;
+        region[Region::B.index()] = 85.0;
+        region[Region::L.index()] = 85.0;
+        region[Region::R.index()] = 85.0;
+        region[Region::Body.index()] = 60.0;
+        let m = IrStatsModel { naive_per_thread: 100.0, region_per_thread: region };
+        let r = m.r_reduced(&bounds);
+        assert!(r > 1.4 && r < 100.0 / 60.0, "r={r}");
+        // All regions as expensive as naive -> no reduction.
+        let flat = IrStatsModel { naive_per_thread: 100.0, region_per_thread: [100.0; 9] };
+        assert!((flat.r_reduced(&bounds) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_combines_reduction_and_occupancy() {
+        let p = PredictionInputs { r_reduced: 1.5, occ_naive: 1.0, occ_isp: 0.75 };
+        assert!((p.gain() - 1.125).abs() < 1e-12);
+        assert!(p.isp_wins());
+        // Occupancy loss can flip the verdict (the Table III story).
+        let p = PredictionInputs { r_reduced: 1.1, occ_naive: 1.0, occ_isp: 0.625 };
+        assert!(!p.isp_wins());
+        // No occupancy change (Turing): R alone decides.
+        let p = PredictionInputs { r_reduced: 1.02, occ_naive: 1.0, occ_isp: 1.0 };
+        assert!(p.isp_wins());
+    }
+
+    #[test]
+    fn eq5_switch_charged_once_per_thread() {
+        let model = ClosedFormModel::generic(5.0);
+        let g = geometry(512, 3, 32, 4);
+        let bounds = IndexBounds::new(&g);
+        // Body blocks: switch 10 + 5 instr/access * 9 accesses = 55/thread.
+        let body_blocks = bounds.block_counts().get(Region::Body) as f64;
+        let expect = (10.0 + 5.0 * 9.0) * body_blocks * 128.0;
+        assert!((model.n_inst(Region::Body, &g, &bounds) - expect).abs() < 1e-6);
+    }
+
+    proptest! {
+        /// R_reduced is bounded by the per-access naive/body ratio and
+        /// never below ~the switch-overhead floor.
+        #[test]
+        fn r_reduced_bounded(
+            sx_pow in 8u32..12,
+            m_half in 1usize..7,
+            n_kernel in 1.0f64..50.0,
+        ) {
+            let g = geometry(1usize << sx_pow, 2 * m_half + 1, 32, 4);
+            let model = ClosedFormModel::generic(n_kernel);
+            let r = model.r_reduced(&g);
+            let ceiling = (4.0 * model.n_check + n_kernel) / n_kernel;
+            prop_assert!(r <= ceiling + 1e-9, "r={r} > ceiling={ceiling}");
+            prop_assert!(r > 0.5, "r={r} unreasonably small");
+        }
+
+        /// Monotonicity in image size for fixed everything else.
+        #[test]
+        fn r_monotone_in_size(m_half in 1usize..7, n_kernel in 1.0f64..30.0) {
+            let model = ClosedFormModel::generic(n_kernel);
+            let m = 2 * m_half + 1;
+            let r1 = model.r_reduced(&geometry(512, m, 32, 4));
+            let r2 = model.r_reduced(&geometry(2048, m, 32, 4));
+            prop_assert!(r2 >= r1 - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The `isp+m` policy: pick the implementation variant the model predicts
+//! to be fastest (paper §VI: "apply ISP based on model prediction").
+
+use crate::bounds::IndexBounds;
+use crate::model::PredictionInputs;
+
+/// An implementation variant of a stencil kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// All four border checks everywhere (the baseline).
+    Naive,
+    /// Fat kernel with block-grained region switching (Listing 3).
+    IspBlock,
+    /// Fat kernel with warp-grained region switching (Listing 5).
+    IspWarp,
+    /// No software border handling at all: inputs are bound as 2D textures
+    /// and the texture unit's address mode resolves the border (the
+    /// hardware alternative the paper's introduction discusses, limited to
+    /// whole-image reads).
+    Texture,
+    /// Shared-memory tiling: the block cooperatively stages its tile plus
+    /// halo into on-chip memory (border handling happens once per staged
+    /// element instead of once per window access), synchronises, then
+    /// computes from the scratchpad. Compiled for a fixed block size.
+    Tiled,
+}
+
+impl Variant {
+    /// Short name used in tables and bench output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Variant::Naive => "naive",
+            Variant::IspBlock => "isp",
+            Variant::IspWarp => "isp-warp",
+            Variant::Texture => "texture",
+            Variant::Tiled => "tiled",
+        }
+    }
+
+    /// Whether this variant partitions the iteration space.
+    pub fn is_isp(&self) -> bool {
+        matches!(self, Variant::IspBlock | Variant::IspWarp)
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The planner's decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Plan {
+    /// The variant to run.
+    pub variant: Variant,
+    /// The model's predicted gain `G` of ISP over naive (Eq. 10); 1.0 when
+    /// the partitioning is degenerate and ISP was never a candidate.
+    pub predicted_gain: f64,
+}
+
+/// Chooses between the naive variant and a given ISP variant using the
+/// Eq. (10) prediction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Planner;
+
+impl Planner {
+    /// Decide which variant to run.
+    ///
+    /// `isp_variant` is the ISP flavour the compiler produced (block- or
+    /// warp-grained); `bounds` gates on partition validity; `inputs` carries
+    /// `R_reduced` and the two occupancies.
+    pub fn choose(&self, isp_variant: Variant, bounds: &IndexBounds, inputs: &PredictionInputs) -> Plan {
+        assert!(isp_variant.is_isp(), "planner chooses between naive and an ISP variant");
+        if !bounds.is_valid() {
+            return Plan { variant: Variant::Naive, predicted_gain: 1.0 };
+        }
+        let g = inputs.gain();
+        if g > 1.0 {
+            Plan { variant: isp_variant, predicted_gain: g }
+        } else {
+            Plan { variant: Variant::Naive, predicted_gain: g }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::Geometry;
+
+    fn bounds(sx: usize, m: usize) -> IndexBounds {
+        IndexBounds::new(&Geometry { sx, sy: sx, m, n: m, tx: 32, ty: 4 })
+    }
+
+    #[test]
+    fn picks_isp_when_gain_exceeds_one() {
+        let plan = Planner.choose(
+            Variant::IspBlock,
+            &bounds(2048, 5),
+            &PredictionInputs { r_reduced: 1.6, occ_naive: 1.0, occ_isp: 0.9 },
+        );
+        assert_eq!(plan.variant, Variant::IspBlock);
+        assert!(plan.predicted_gain > 1.0);
+    }
+
+    #[test]
+    fn falls_back_to_naive_on_occupancy_loss() {
+        // The 512^2 bilateral-on-Kepler case.
+        let plan = Planner.choose(
+            Variant::IspWarp,
+            &bounds(512, 13),
+            &PredictionInputs { r_reduced: 1.05, occ_naive: 1.0, occ_isp: 0.75 },
+        );
+        assert_eq!(plan.variant, Variant::Naive);
+        assert!(plan.predicted_gain < 1.0);
+    }
+
+    #[test]
+    fn degenerate_bounds_force_naive() {
+        let plan = Planner.choose(
+            Variant::IspBlock,
+            &bounds(32, 13), // single block column needing both x checks
+            &PredictionInputs { r_reduced: 2.0, occ_naive: 1.0, occ_isp: 1.0 },
+        );
+        assert_eq!(plan.variant, Variant::Naive);
+        assert_eq!(plan.predicted_gain, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ISP variant")]
+    fn planner_rejects_naive_as_isp_candidate() {
+        let _ = Planner.choose(
+            Variant::Naive,
+            &bounds(512, 5),
+            &PredictionInputs { r_reduced: 1.0, occ_naive: 1.0, occ_isp: 1.0 },
+        );
+    }
+
+    #[test]
+    fn variant_names() {
+        assert_eq!(Variant::Naive.to_string(), "naive");
+        assert_eq!(Variant::IspBlock.to_string(), "isp");
+        assert_eq!(Variant::IspWarp.to_string(), "isp-warp");
+        assert!(!Variant::Naive.is_isp());
+        assert!(Variant::IspWarp.is_isp());
+    }
+}

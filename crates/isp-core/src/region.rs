@@ -1,0 +1,140 @@
+//! The nine-region decomposition of the iteration space (paper Figure 1).
+
+/// One of the nine regions the iteration space is partitioned into. Each
+/// region needs only the border checks its position implies; the Body needs
+/// none at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Region {
+    /// Top-left corner: left + top checks.
+    TL,
+    /// Top edge: top check only.
+    T,
+    /// Top-right corner: right + top checks.
+    TR,
+    /// Left edge: left check only.
+    L,
+    /// Interior: no checks.
+    Body,
+    /// Right edge: right check only.
+    R,
+    /// Bottom-left corner: left + bottom checks.
+    BL,
+    /// Bottom edge: bottom check only.
+    B,
+    /// Bottom-right corner: right + bottom checks.
+    BR,
+}
+
+impl Region {
+    /// All nine regions, row-major (the order of Figure 1).
+    pub const ALL: [Region; 9] = [
+        Region::TL,
+        Region::T,
+        Region::TR,
+        Region::L,
+        Region::Body,
+        Region::R,
+        Region::BL,
+        Region::B,
+        Region::BR,
+    ];
+
+    /// Stable short name used in tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Region::TL => "TL",
+            Region::T => "T",
+            Region::TR => "TR",
+            Region::L => "L",
+            Region::Body => "Body",
+            Region::R => "R",
+            Region::BL => "BL",
+            Region::B => "B",
+            Region::BR => "BR",
+        }
+    }
+
+    /// Whether pixels in this region may read past the *left* image edge.
+    pub fn checks_left(&self) -> bool {
+        matches!(self, Region::TL | Region::L | Region::BL)
+    }
+
+    /// Whether pixels in this region may read past the *right* image edge.
+    pub fn checks_right(&self) -> bool {
+        matches!(self, Region::TR | Region::R | Region::BR)
+    }
+
+    /// Whether pixels in this region may read past the *top* image edge.
+    pub fn checks_top(&self) -> bool {
+        matches!(self, Region::TL | Region::T | Region::TR)
+    }
+
+    /// Whether pixels in this region may read past the *bottom* image edge.
+    pub fn checks_bottom(&self) -> bool {
+        matches!(self, Region::BL | Region::B | Region::BR)
+    }
+
+    /// Number of sides this region checks (0 for Body, 1 for edges, 2 for
+    /// corners) — the paper's Eq. (6) case split.
+    pub fn sides_checked(&self) -> usize {
+        [self.checks_left(), self.checks_right(), self.checks_top(), self.checks_bottom()]
+            .iter()
+            .filter(|&&c| c)
+            .count()
+    }
+
+    /// Whether this is one of the four corner regions.
+    pub fn is_corner(&self) -> bool {
+        self.sides_checked() == 2
+    }
+
+    /// Region stable index (0..9) in [`Region::ALL`] order.
+    pub fn index(&self) -> usize {
+        Region::ALL.iter().position(|r| r == self).expect("region in ALL")
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sides_checked_partition() {
+        let corners: Vec<_> = Region::ALL.iter().filter(|r| r.sides_checked() == 2).collect();
+        let edges: Vec<_> = Region::ALL.iter().filter(|r| r.sides_checked() == 1).collect();
+        let body: Vec<_> = Region::ALL.iter().filter(|r| r.sides_checked() == 0).collect();
+        assert_eq!(corners.len(), 4);
+        assert_eq!(edges.len(), 4);
+        assert_eq!(body, vec![&Region::Body]);
+    }
+
+    #[test]
+    fn corner_flags_compose() {
+        assert!(Region::TL.checks_left() && Region::TL.checks_top());
+        assert!(!Region::TL.checks_right() && !Region::TL.checks_bottom());
+        assert!(Region::BR.checks_right() && Region::BR.checks_bottom());
+        assert!(Region::T.checks_top() && Region::T.sides_checked() == 1);
+        assert!(Region::Body.sides_checked() == 0);
+        assert!(Region::TL.is_corner());
+        assert!(!Region::L.is_corner());
+    }
+
+    #[test]
+    fn indices_are_stable() {
+        for (i, r) in Region::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Region::Body.to_string(), "Body");
+        assert_eq!(Region::TL.name(), "TL");
+    }
+}

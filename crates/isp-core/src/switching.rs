@@ -1,0 +1,269 @@
+//! Runtime region switching — the paper's Listing 3 (block-grained) and
+//! Listing 5 (warp-grained), as host-side logic.
+//!
+//! These functions are the *semantic reference* for the switch code the DSL
+//! compiler emits into fat kernels: tests assert the generated IR routes
+//! every block/warp to the same region as these functions, and the
+//! region-sampled simulator uses them as block classifiers.
+
+use crate::bounds::IndexBounds;
+use crate::region::Region;
+
+/// Block-grained region switch (paper Listing 3): classify a threadblock by
+/// its block indices against the Eq. (2) bounds. The comparison order
+/// matches the listing exactly (corners first, then bottom/right/left
+/// priority), so any tie-breaking behaviour is faithfully reproduced.
+pub fn region_of_block(bx: u32, by: u32, b: &IndexBounds) -> Region {
+    if bx < b.bh_l && by < b.bh_t {
+        return Region::TL;
+    }
+    if bx >= b.bh_r && by < b.bh_t {
+        return Region::TR;
+    }
+    if by < b.bh_t {
+        return Region::T;
+    }
+    if by >= b.bh_b && bx < b.bh_l {
+        return Region::BL;
+    }
+    if by >= b.bh_b && bx >= b.bh_r {
+        return Region::BR;
+    }
+    if by >= b.bh_b {
+        return Region::B;
+    }
+    if bx >= b.bh_r {
+        return Region::R;
+    }
+    if bx < b.bh_l {
+        return Region::L;
+    }
+    Region::Body
+}
+
+/// Warp index bounds for Listing 5: `W_L` is the last warp (in x) of a
+/// left-border block that still touches the left margin; `W_R` is the first
+/// warp of a right-border block that touches the right margin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarpBounds {
+    /// Warps with `warp_x > w_l` in a left-border block need no left check.
+    pub w_l: u32,
+    /// Warps with `warp_x < w_r` in a right-border block need no right check.
+    pub w_r: u32,
+}
+
+impl WarpBounds {
+    /// Compute warp bounds for an image of width `sx`, horizontal radius
+    /// `rx`, and block width `tx` (multiple of the 32-lane warp width).
+    ///
+    /// `w_l = floor((rx - 1)/32)`: the warp containing the last pixel
+    /// (`rx - 1`) that can read past the left edge.
+    /// `w_r = ((sx - rx) - block_start)/32` for the rightmost block: the
+    /// warp containing the first pixel that can read past the right edge.
+    pub fn new(sx: usize, rx: usize, tx: u32, grid_x: u32) -> WarpBounds {
+        debug_assert!(tx.is_multiple_of(32), "block width must be warp-aligned");
+        let w_l = if rx == 0 { 0 } else { ((rx - 1) / 32) as u32 };
+        let last_start = ((grid_x - 1) * tx) as usize;
+        let first_checked = sx - rx;
+        let w_r = if first_checked >= last_start {
+            ((first_checked - last_start) / 32) as u32
+        } else {
+            0
+        };
+        WarpBounds { w_l, w_r }
+    }
+}
+
+/// Whether warp-grained refinement (Listing 5) is applicable: blocks must be
+/// wider than one warp (otherwise there is nothing to refine), and the
+/// left/right border block columns must be exactly the outermost ones (the
+/// global `W_L`/`W_R` constants are only meaningful then; true whenever the
+/// stencil radius is smaller than the block width, which covers every
+/// configuration in the paper's evaluation).
+pub fn warp_refinement_applicable(b: &IndexBounds, tx: u32) -> bool {
+    tx > 32 && tx.is_multiple_of(32) && b.is_valid() && b.bh_l <= 1 && b.bh_r + 1 >= b.grid.0
+}
+
+/// Warp-grained region switch (paper Listing 5): refine the block-grained
+/// region by the warp's x-position, redirecting interior warps of border
+/// blocks to cheaper regions (TL -> T, BL -> B, L -> Body, etc.).
+pub fn region_of_warp(bx: u32, by: u32, warp_x: u32, b: &IndexBounds, wb: &WarpBounds) -> Region {
+    if bx < b.bh_l && by < b.bh_t {
+        if warp_x > wb.w_l {
+            return Region::T;
+        }
+        return Region::TL;
+    }
+    if bx >= b.bh_r && by < b.bh_t {
+        if warp_x < wb.w_r {
+            return Region::T;
+        }
+        return Region::TR;
+    }
+    if by < b.bh_t {
+        return Region::T;
+    }
+    if by >= b.bh_b && bx < b.bh_l {
+        if warp_x > wb.w_l {
+            return Region::B;
+        }
+        return Region::BL;
+    }
+    if by >= b.bh_b && bx >= b.bh_r {
+        if warp_x < wb.w_r {
+            return Region::B;
+        }
+        return Region::BR;
+    }
+    if by >= b.bh_b {
+        return Region::B;
+    }
+    if bx >= b.bh_r {
+        if warp_x < wb.w_r {
+            return Region::Body;
+        }
+        return Region::R;
+    }
+    if bx < b.bh_l {
+        if warp_x > wb.w_l {
+            return Region::Body;
+        }
+        return Region::L;
+    }
+    Region::Body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::Geometry;
+    use proptest::prelude::*;
+
+    fn bounds(sx: usize, sy: usize, m: usize, tx: u32, ty: u32) -> IndexBounds {
+        IndexBounds::new(&Geometry { sx, sy, m, n: m, tx, ty })
+    }
+
+    #[test]
+    fn block_switch_classifies_all_nine_regions() {
+        let b = bounds(512, 512, 5, 32, 4);
+        assert_eq!(region_of_block(0, 0, &b), Region::TL);
+        assert_eq!(region_of_block(7, 0, &b), Region::T);
+        assert_eq!(region_of_block(15, 0, &b), Region::TR);
+        assert_eq!(region_of_block(0, 64, &b), Region::L);
+        assert_eq!(region_of_block(7, 64, &b), Region::Body);
+        assert_eq!(region_of_block(15, 64, &b), Region::R);
+        assert_eq!(region_of_block(0, 127, &b), Region::BL);
+        assert_eq!(region_of_block(7, 127, &b), Region::B);
+        assert_eq!(region_of_block(15, 127, &b), Region::BR);
+    }
+
+    #[test]
+    fn block_switch_counts_match_block_counts() {
+        // Consistency between the classifier and Eq. 8.
+        let b = bounds(1024, 768, 13, 32, 4);
+        let mut counted = [0u64; 9];
+        for by in 0..b.grid.1 {
+            for bx in 0..b.grid.0 {
+                counted[region_of_block(bx, by, &b).index()] += 1;
+            }
+        }
+        for (region, expect) in b.block_counts().iter() {
+            assert_eq!(counted[region.index()], expect, "{region}");
+        }
+    }
+
+    #[test]
+    fn warp_bounds_basic() {
+        // 512 wide, radius 2, 128-wide blocks (4 warps), 4 block columns.
+        let wb = WarpBounds::new(512, 2, 128, 4);
+        assert_eq!(wb.w_l, 0, "only warp 0 touches the left margin");
+        // First right-checked pixel 510; last block starts at 384;
+        // (510-384)/32 = 3.
+        assert_eq!(wb.w_r, 3, "only warp 3 touches the right margin");
+    }
+
+    #[test]
+    fn warp_refinement_redirects_interior_warps() {
+        let b = bounds(512, 512, 5, 128, 1);
+        let wb = WarpBounds::new(512, 2, 128, b.grid.0);
+        assert!(warp_refinement_applicable(&b, 128));
+        // Left block, interior row: warp 0 stays L, warps 1-3 go to Body.
+        assert_eq!(region_of_warp(0, 200, 0, &b, &wb), Region::L);
+        assert_eq!(region_of_warp(0, 200, 1, &b, &wb), Region::Body);
+        assert_eq!(region_of_warp(0, 200, 3, &b, &wb), Region::Body);
+        // Right block: warps 0-2 go to Body, warp 3 stays R.
+        assert_eq!(region_of_warp(3, 200, 0, &b, &wb), Region::Body);
+        assert_eq!(region_of_warp(3, 200, 3, &b, &wb), Region::R);
+        // Top-left block: warp 0 stays TL, others become T.
+        assert_eq!(region_of_warp(0, 0, 0, &b, &wb), Region::TL);
+        assert_eq!(region_of_warp(0, 0, 2, &b, &wb), Region::T);
+        // Bottom-right: interior warps become B.
+        let last = b.grid.1 - 1;
+        assert_eq!(region_of_warp(3, last, 3, &b, &wb), Region::BR);
+        assert_eq!(region_of_warp(3, last, 0, &b, &wb), Region::B);
+    }
+
+    #[test]
+    fn warp_refinement_applicability() {
+        // 32-wide blocks: nothing to refine.
+        assert!(!warp_refinement_applicable(&bounds(512, 512, 5, 32, 4), 32));
+        // 128-wide blocks with small radius: applicable.
+        assert!(warp_refinement_applicable(&bounds(512, 512, 5, 128, 1), 128));
+        // Degenerate bounds: not applicable.
+        assert!(!warp_refinement_applicable(&bounds(96, 512, 13, 128, 1), 128));
+    }
+
+    /// The safety property that makes warp-grained ISP correct: a warp
+    /// redirected to a cheaper region must not contain ANY pixel that needs
+    /// the checks it skipped.
+    proptest! {
+        #[test]
+        fn warp_refinement_never_skips_needed_checks(
+            sx_pow in 7u32..12,
+            rx in 1usize..16,
+            ty in 1u32..5,
+        ) {
+            let sx = 1usize << sx_pow;
+            let tx = 128u32;
+            let m = 2 * rx + 1;
+            let b = bounds(sx, sx, m, tx, ty);
+            prop_assume!(warp_refinement_applicable(&b, tx));
+            let wb = WarpBounds::new(sx, rx, tx, b.grid.0);
+            for by in [0, b.grid.1 / 2, b.grid.1 - 1] {
+                for bx in 0..b.grid.0 {
+                    for warp_x in 0..tx / 32 {
+                        let region = region_of_warp(bx, by, warp_x, &b, &wb);
+                        // Every pixel covered by this warp:
+                        for lane in 0..32u32 {
+                            let gx = (bx * tx + warp_x * 32 + lane) as usize;
+                            if gx >= sx { continue; }
+                            let needs_left = gx < rx;
+                            let needs_right = gx + rx >= sx;
+                            prop_assert!(!needs_left || region.checks_left(),
+                                "pixel {gx} needs left check but region {region} skips it");
+                            prop_assert!(!needs_right || region.checks_right(),
+                                "pixel {gx} needs right check but region {region} skips it");
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Block switch agrees with a direct bound comparison on each axis.
+        #[test]
+        fn block_switch_consistent(
+            bx in 0u32..64,
+            by in 0u32..64,
+            sx in 256usize..2048,
+            m_half in 1usize..9,
+        ) {
+            let b = bounds(sx, sx, 2 * m_half + 1, 32, 4);
+            prop_assume!(bx < b.grid.0 && by < b.grid.1);
+            let r = region_of_block(bx, by, &b);
+            prop_assert_eq!(r.checks_left(), bx < b.bh_l);
+            prop_assert_eq!(r.checks_right(), bx >= b.bh_r);
+            prop_assert_eq!(r.checks_top(), by < b.bh_t);
+            prop_assert_eq!(r.checks_bottom(), by >= b.bh_b);
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Reference (host-side) evaluation of kernel expressions — the semantics
+//! the compiled variants must reproduce pixel-for-pixel.
+
+use crate::expr::{EBin, ECmp, EUn, Expr};
+use crate::spec::KernelSpec;
+use isp_image::{BorderSpec, BorderedImage, Image};
+
+/// Evaluate `expr` at output pixel `(x, y)` against bordered inputs.
+pub fn eval_expr(
+    expr: &Expr,
+    inputs: &[BorderedImage<'_, f32>],
+    params: &[f32],
+    x: usize,
+    y: usize,
+) -> f32 {
+    eval_with_accs(expr, inputs, params, x, y, &[])
+}
+
+fn eval_with_accs(
+    expr: &Expr,
+    inputs: &[BorderedImage<'_, f32>],
+    params: &[f32],
+    x: usize,
+    y: usize,
+    accs: &[f32],
+) -> f32 {
+    let ev = |e: &Expr| eval_with_accs(e, inputs, params, x, y, accs);
+    match expr {
+        Expr::Input { input, dx, dy } => inputs[*input].get_offset(x, y, *dx, *dy),
+        Expr::Const(v) => *v,
+        Expr::Param(i) => params[*i],
+        Expr::Acc(i) => accs[*i],
+        Expr::Bin(op, a, b) => {
+            let a = ev(a);
+            let b = ev(b);
+            match op {
+                EBin::Add => a + b,
+                EBin::Sub => a - b,
+                EBin::Mul => a * b,
+                EBin::Div => a / b,
+                EBin::Min => a.min(b),
+                EBin::Max => a.max(b),
+            }
+        }
+        Expr::Un(op, a) => {
+            let a = ev(a);
+            match op {
+                EUn::Neg => -a,
+                EUn::Abs => a.abs(),
+                EUn::Exp => a.exp(),
+                EUn::Log => a.ln(),
+                EUn::Sqrt => a.sqrt(),
+                EUn::Rsqrt => 1.0 / a.sqrt(),
+                EUn::Floor => a.floor(),
+            }
+        }
+        Expr::Select { cmp, a, b, then, els } => {
+            let a = ev(a);
+            let b = ev(b);
+            let take = match cmp {
+                ECmp::Lt => a < b,
+                ECmp::Le => a <= b,
+                ECmp::Gt => a > b,
+                ECmp::Ge => a >= b,
+                ECmp::Eq => a == b,
+                ECmp::Ne => a != b,
+            };
+            if take {
+                ev(then)
+            } else {
+                ev(els)
+            }
+        }
+        Expr::FusedReduce { taps, ops, combine } => {
+            // Identities: 0 for Add, +inf for Min, -inf for Max.
+            let mut sums: Vec<f32> = ops
+                .iter()
+                .map(|op| match op {
+                    EBin::Min => f32::INFINITY,
+                    EBin::Max => f32::NEG_INFINITY,
+                    _ => 0.0,
+                })
+                .collect();
+            for tap in taps {
+                for ((s, term), op) in sums.iter_mut().zip(tap).zip(ops) {
+                    let v = ev(term);
+                    *s = match op {
+                        EBin::Min => s.min(v),
+                        EBin::Max => s.max(v),
+                        _ => *s + v,
+                    };
+                }
+            }
+            eval_with_accs(combine, inputs, params, x, y, &sums)
+        }
+    }
+}
+
+/// Run a kernel spec over whole images on the host — the golden output the
+/// simulated GPU variants are compared against.
+pub fn reference_run(
+    spec: &KernelSpec,
+    inputs: &[&Image<f32>],
+    border: BorderSpec,
+    params: &[f32],
+) -> Image<f32> {
+    assert_eq!(inputs.len(), spec.num_inputs, "input count mismatch");
+    assert_eq!(params.len(), spec.user_params.len(), "param count mismatch");
+    let (w, h) = inputs[0].dims();
+    for img in inputs {
+        assert_eq!(img.dims(), (w, h), "all inputs must agree in size");
+    }
+    let bordered: Vec<BorderedImage<'_, f32>> =
+        inputs.iter().map(|img| BorderedImage::new(img, border)).collect();
+    Image::from_fn(w, h, |x, y| eval_expr(&spec.body, &bordered, params, x, y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isp_image::{convolve, ImageGenerator, Mask};
+
+    #[test]
+    fn convolution_spec_matches_image_crate_convolve() {
+        let mask = Mask::gaussian(5, 1.2).unwrap();
+        let spec = KernelSpec::convolution("g", &mask);
+        let img = ImageGenerator::new(4).uniform_noise::<f32>(24, 16);
+        for border in [
+            BorderSpec::clamp(),
+            BorderSpec::mirror(),
+            BorderSpec::repeat(),
+            BorderSpec::constant(0.3),
+        ] {
+            let via_dsl = reference_run(&spec, &[&img], border, &[]);
+            let via_convolve = convolve(&img, &mask, border);
+            let d = via_dsl.max_abs_diff(&via_convolve).unwrap();
+            assert!(d < 1e-5, "{:?}: diff {d}", border.pattern);
+        }
+    }
+
+    #[test]
+    fn params_are_substituted() {
+        let spec = KernelSpec::new(
+            "scale",
+            1,
+            vec!["gain".into(), "bias".into()],
+            Expr::at(0, 0) * Expr::param(0) + Expr::param(1),
+        );
+        let img = Image::<f32>::filled(4, 4, 2.0);
+        let out = reference_run(&spec, &[&img], BorderSpec::clamp(), &[3.0, 1.0]);
+        assert_eq!(out.get(2, 2), 7.0);
+    }
+
+    #[test]
+    fn select_semantics() {
+        use crate::expr::ECmp;
+        let spec = KernelSpec::new(
+            "threshold",
+            1,
+            vec![],
+            Expr::select(ECmp::Gt, Expr::at(0, 0), 0.5f32, 1.0f32, 0.0f32),
+        );
+        let img = ImageGenerator::new(2).gradient_x::<f32>(16, 2);
+        let out = reference_run(&spec, &[&img], BorderSpec::clamp(), &[]);
+        assert_eq!(out.get(0, 0), 0.0);
+        assert_eq!(out.get(15, 0), 1.0);
+    }
+
+    #[test]
+    fn multi_input_point_op() {
+        let spec = KernelSpec::new(
+            "mag",
+            2,
+            vec![],
+            (Expr::input_at(0, 0, 0) * Expr::input_at(0, 0, 0)
+                + Expr::input_at(1, 0, 0) * Expr::input_at(1, 0, 0))
+            .sqrt(),
+        );
+        let a = Image::<f32>::filled(4, 4, 3.0);
+        let b = Image::<f32>::filled(4, 4, 4.0);
+        let out = reference_run(&spec, &[&a, &b], BorderSpec::clamp(), &[]);
+        assert!((out.get(1, 1) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "input count")]
+    fn wrong_input_count_panics() {
+        let spec = KernelSpec::convolution("g", &Mask::box_filter(3).unwrap());
+        let img = Image::<f32>::filled(4, 4, 1.0);
+        let _ = reference_run(&spec, &[&img, &img], BorderSpec::clamp(), &[]);
+    }
+}

@@ -1,0 +1,430 @@
+//! The DSL expression language.
+//!
+//! Filter kernels are pure `f32` expressions over bordered pixel reads.
+//! Expressions are built with ordinary Rust operators (`+ - * /`) plus the
+//! math/selection helpers below, mirroring how a Hipacc `kernel()` body is
+//! ordinary C++ over `input(dom)` accesses.
+
+use std::ops;
+
+/// Binary operators available in kernel expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EBin {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Min,
+    Max,
+}
+
+/// Unary operators available in kernel expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EUn {
+    Neg,
+    Abs,
+    Exp,
+    Log,
+    Sqrt,
+    Rsqrt,
+    Floor,
+}
+
+/// Comparison operators (used only inside [`Expr::Select`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ECmp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+/// A kernel-body expression in the `f32` arithmetic domain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Bordered read of input image `input` at window offset `(dx, dy)`
+    /// relative to the output pixel.
+    Input {
+        /// Input image index (multi-input point operators use > 0).
+        input: usize,
+        /// Horizontal offset within the window.
+        dx: i64,
+        /// Vertical offset within the window.
+        dy: i64,
+    },
+    /// Compile-time constant (mask coefficients land here).
+    Const(f32),
+    /// Runtime scalar parameter (e.g. a sigma), by index into
+    /// [`crate::spec::KernelSpec::user_params`].
+    Param(usize),
+    /// Binary arithmetic.
+    Bin(EBin, Box<Expr>, Box<Expr>),
+    /// Unary arithmetic.
+    Un(EUn, Box<Expr>),
+    /// `if a cmp b then t else e`, lowered branch-free to `selp`.
+    Select {
+        /// Comparison operator.
+        cmp: ECmp,
+        /// Left comparison operand.
+        a: Box<Expr>,
+        /// Right comparison operand.
+        b: Box<Expr>,
+        /// Value when the comparison holds.
+        then: Box<Expr>,
+        /// Value otherwise.
+        els: Box<Expr>,
+    },
+    /// A fused multi-accumulator reduction — Hipacc's `iterate` over the
+    /// window domain: for every tap `t`, all accumulators update together
+    /// (`acc_k += taps[t][k]`), then the accumulators combine via an
+    /// expression over [`Expr::Acc`] placeholders.
+    ///
+    /// This is more than sugar: it tells the compiler the per-tap terms may
+    /// be evaluated tap-at-a-time, keeping register pressure at "a handful
+    /// of temporaries + one register per accumulator" instead of the whole
+    /// window. The bilateral filter's paired numerator/denominator sums need
+    /// exactly this (a CUDA author writes `num += w*p; den += w;` in one
+    /// loop for the same reason).
+    FusedReduce {
+        /// `taps[t][k]`: per-tap term of accumulator `k`. All taps must
+        /// supply the same number of accumulator terms.
+        taps: Vec<Vec<Expr>>,
+        /// Reduction operator per accumulator (`Add` for sums, `Min`/`Max`
+        /// for morphology-style reductions). Length equals `taps[0].len()`.
+        ops: Vec<EBin>,
+        /// Combination of the final accumulator values; may reference
+        /// `Expr::Acc(k)` for `k < taps[0].len()`.
+        combine: Box<Expr>,
+    },
+    /// Accumulator placeholder, valid only inside a
+    /// [`Expr::FusedReduce::combine`] expression.
+    Acc(usize),
+}
+
+impl Expr {
+    /// Bordered read of input 0 at `(dx, dy)` — the common single-input case.
+    pub fn at(dx: i64, dy: i64) -> Expr {
+        Expr::Input { input: 0, dx, dy }
+    }
+
+    /// Bordered read of input `input` at `(dx, dy)`.
+    pub fn input_at(input: usize, dx: i64, dy: i64) -> Expr {
+        Expr::Input { input, dx, dy }
+    }
+
+    /// Runtime parameter reference.
+    pub fn param(index: usize) -> Expr {
+        Expr::Param(index)
+    }
+
+    /// `e^self`.
+    pub fn exp(self) -> Expr {
+        Expr::Un(EUn::Exp, Box::new(self))
+    }
+
+    /// Natural logarithm.
+    pub fn ln(self) -> Expr {
+        Expr::Un(EUn::Log, Box::new(self))
+    }
+
+    /// Square root.
+    pub fn sqrt(self) -> Expr {
+        Expr::Un(EUn::Sqrt, Box::new(self))
+    }
+
+    /// Reciprocal square root.
+    pub fn rsqrt(self) -> Expr {
+        Expr::Un(EUn::Rsqrt, Box::new(self))
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Expr {
+        Expr::Un(EUn::Abs, Box::new(self))
+    }
+
+    /// Round towards negative infinity.
+    pub fn floor(self) -> Expr {
+        Expr::Un(EUn::Floor, Box::new(self))
+    }
+
+    /// Elementwise minimum.
+    pub fn min(self, other: impl Into<Expr>) -> Expr {
+        Expr::Bin(EBin::Min, Box::new(self), Box::new(other.into()))
+    }
+
+    /// Elementwise maximum.
+    pub fn max(self, other: impl Into<Expr>) -> Expr {
+        Expr::Bin(EBin::Max, Box::new(self), Box::new(other.into()))
+    }
+
+    /// Branch-free conditional.
+    pub fn select(
+        cmp: ECmp,
+        a: impl Into<Expr>,
+        b: impl Into<Expr>,
+        then: impl Into<Expr>,
+        els: impl Into<Expr>,
+    ) -> Expr {
+        Expr::Select {
+            cmp,
+            a: Box::new(a.into()),
+            b: Box::new(b.into()),
+            then: Box::new(then.into()),
+            els: Box::new(els.into()),
+        }
+    }
+
+    /// Build a fused summing reduction (see [`Expr::FusedReduce`]). Panics
+    /// when taps are empty or ragged, or when `combine` references an
+    /// accumulator that does not exist.
+    pub fn fused_reduce(taps: Vec<Vec<Expr>>, combine: Expr) -> Expr {
+        let k = taps.first().map_or(0, |t| t.len());
+        Expr::fused_reduce_with(vec![EBin::Add; k], taps, combine)
+    }
+
+    /// Build a fused reduction with an explicit reduction operator per
+    /// accumulator (`Add`, `Min`, or `Max` — the associative/commutative
+    /// subset).
+    pub fn fused_reduce_with(ops: Vec<EBin>, taps: Vec<Vec<Expr>>, combine: Expr) -> Expr {
+        assert!(!taps.is_empty(), "fused reduce needs at least one tap");
+        let k = taps[0].len();
+        assert!(k > 0, "fused reduce needs at least one accumulator");
+        assert_eq!(ops.len(), k, "one reduction operator per accumulator");
+        for op in &ops {
+            assert!(
+                matches!(op, EBin::Add | EBin::Min | EBin::Max),
+                "reduction operators must be associative and commutative, got {op:?}"
+            );
+        }
+        for (t, tap) in taps.iter().enumerate() {
+            assert_eq!(tap.len(), k, "tap {t} has {} terms, expected {k}", tap.len());
+        }
+        combine.walk(&mut |e| {
+            if let Expr::Acc(i) = e {
+                assert!(*i < k, "combine references accumulator {i}, only {k} exist");
+            }
+        });
+        Expr::FusedReduce { taps, ops, combine: Box::new(combine) }
+    }
+
+    /// Single-accumulator fused sum of `terms` (a plain windowed reduction).
+    pub fn fused_sum(terms: Vec<Expr>) -> Expr {
+        Expr::fused_reduce(terms.into_iter().map(|t| vec![t]).collect(), Expr::Acc(0))
+    }
+
+    /// Windowed minimum of `terms` (morphological erosion).
+    pub fn fused_min(terms: Vec<Expr>) -> Expr {
+        Expr::fused_reduce_with(
+            vec![EBin::Min],
+            terms.into_iter().map(|t| vec![t]).collect(),
+            Expr::Acc(0),
+        )
+    }
+
+    /// Windowed maximum of `terms` (morphological dilation).
+    pub fn fused_max(terms: Vec<Expr>) -> Expr {
+        Expr::fused_reduce_with(
+            vec![EBin::Max],
+            terms.into_iter().map(|t| vec![t]).collect(),
+            Expr::Acc(0),
+        )
+    }
+
+    /// Sum a list of terms as a balanced binary tree (depth `log2 n` instead
+    /// of `n`), keeping traversal of huge unrolled windows stack-safe.
+    pub fn balanced_sum(mut terms: Vec<Expr>) -> Option<Expr> {
+        if terms.is_empty() {
+            return None;
+        }
+        while terms.len() > 1 {
+            let mut next = Vec::with_capacity(terms.len().div_ceil(2));
+            let mut it = terms.into_iter();
+            while let Some(a) = it.next() {
+                match it.next() {
+                    Some(b) => next.push(a + b),
+                    None => next.push(a),
+                }
+            }
+            terms = next;
+        }
+        terms.pop()
+    }
+
+    /// All distinct `(input, dx, dy)` accesses in the expression,
+    /// deduplicated, in first-occurrence order. The compiler derives the
+    /// true window footprint from this (the DSL's domain inference).
+    pub fn accesses(&self) -> Vec<(usize, i64, i64)> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::Input { input, dx, dy } = e {
+                let key = (*input, *dx, *dy);
+                if !out.contains(&key) {
+                    out.push(key);
+                }
+            }
+        });
+        out
+    }
+
+    /// Number of expression nodes (complexity metric used by the closed-form
+    /// model's `n_kernel`).
+    pub fn node_count(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |_| n += 1);
+        n
+    }
+
+    /// Largest parameter index referenced, if any.
+    pub fn max_param(&self) -> Option<usize> {
+        let mut max = None;
+        self.walk(&mut |e| {
+            if let Expr::Param(i) = e {
+                max = Some(max.map_or(*i, |m: usize| m.max(*i)));
+            }
+        });
+        max
+    }
+
+    /// Visit every node of the expression tree (pre-order).
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Bin(_, a, b) => {
+                a.walk(f);
+                b.walk(f);
+            }
+            Expr::Un(_, a) => a.walk(f),
+            Expr::Select { a, b, then, els, .. } => {
+                a.walk(f);
+                b.walk(f);
+                then.walk(f);
+                els.walk(f);
+            }
+            Expr::FusedReduce { taps, combine, .. } => {
+                for tap in taps {
+                    for term in tap {
+                        term.walk(f);
+                    }
+                }
+                combine.walk(f);
+            }
+            Expr::Input { .. } | Expr::Const(_) | Expr::Param(_) | Expr::Acc(_) => {}
+        }
+    }
+
+    /// Whether the expression is well-formed with respect to accumulator
+    /// placeholders: `Acc` may only appear inside a `FusedReduce::combine`.
+    pub fn accs_well_placed(&self) -> bool {
+        fn check(e: &Expr, in_combine: bool) -> bool {
+            match e {
+                Expr::Acc(_) => in_combine,
+                Expr::Bin(_, a, b) => check(a, in_combine) && check(b, in_combine),
+                Expr::Un(_, a) => check(a, in_combine),
+                Expr::Select { a, b, then, els, .. } => {
+                    check(a, in_combine)
+                        && check(b, in_combine)
+                        && check(then, in_combine)
+                        && check(els, in_combine)
+                }
+                Expr::FusedReduce { taps, combine, .. } => {
+                    // Taps reset the context (no nesting of Acc from an
+                    // outer reduce into an inner tap).
+                    taps.iter().all(|tap| tap.iter().all(|t| check(t, false)))
+                        && check(combine, true)
+                }
+                _ => true,
+            }
+        }
+        check(self, false)
+    }
+}
+
+impl From<f32> for Expr {
+    fn from(v: f32) -> Expr {
+        Expr::Const(v)
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $op:expr) => {
+        impl ops::$trait for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                Expr::Bin($op, Box::new(self), Box::new(rhs))
+            }
+        }
+        impl ops::$trait<f32> for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: f32) -> Expr {
+                Expr::Bin($op, Box::new(self), Box::new(Expr::Const(rhs)))
+            }
+        }
+        impl ops::$trait<Expr> for f32 {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                Expr::Bin($op, Box::new(Expr::Const(self)), Box::new(rhs))
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, EBin::Add);
+impl_binop!(Sub, sub, EBin::Sub);
+impl_binop!(Mul, mul, EBin::Mul);
+impl_binop!(Div, div, EBin::Div);
+
+impl ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::Un(EUn::Neg, Box::new(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operator_overloads_build_trees() {
+        let e = Expr::at(0, 0) * 2.0 + Expr::at(1, 0);
+        match &e {
+            Expr::Bin(EBin::Add, l, r) => {
+                assert!(matches!(**l, Expr::Bin(EBin::Mul, _, _)));
+                assert!(matches!(**r, Expr::Input { dx: 1, dy: 0, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let e = 3.0f32 / Expr::at(0, 0) - 1.0;
+        assert!(matches!(e, Expr::Bin(EBin::Sub, _, _)));
+        let e = -Expr::at(0, 0);
+        assert!(matches!(e, Expr::Un(EUn::Neg, _)));
+    }
+
+    #[test]
+    fn accesses_deduplicate_in_order() {
+        let e = Expr::at(-1, 0) + Expr::at(1, 0) + Expr::at(-1, 0) * 2.0
+            + Expr::input_at(1, 0, 0);
+        assert_eq!(e.accesses(), vec![(0, -1, 0), (0, 1, 0), (1, 0, 0)]);
+    }
+
+    #[test]
+    fn node_count_and_params() {
+        let e = (Expr::at(0, 0) - Expr::param(0)) * Expr::param(1);
+        // mul, sub, input, param, param = 5 nodes
+        assert_eq!(e.node_count(), 5);
+        assert_eq!(e.max_param(), Some(1));
+        assert_eq!(Expr::at(0, 0).max_param(), None);
+    }
+
+    #[test]
+    fn select_and_math_helpers() {
+        let e = Expr::select(ECmp::Lt, Expr::at(0, 0), 0.5f32, 0.0f32, 1.0f32);
+        assert!(matches!(e, Expr::Select { cmp: ECmp::Lt, .. }));
+        let e = Expr::at(0, 0).exp().sqrt().abs();
+        assert_eq!(e.node_count(), 4);
+        let e = Expr::at(0, 0).min(0.5).max(Expr::Const(0.0));
+        assert!(matches!(e, Expr::Bin(EBin::Max, _, _)));
+    }
+}

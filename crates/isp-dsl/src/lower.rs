@@ -1,0 +1,1117 @@
+//! Lowering kernel specs to IR: border-check insertion, region
+//! specialisation, and the naive / ISP-block / ISP-warp variant generators.
+//!
+//! This is the compiler's *Rewrite* half. Key properties:
+//!
+//! - **Listing-1-faithful naive baseline**: every access applies the full
+//!   border function on both sides of both axes, exactly like Hipacc's
+//!   generated boundary handling; the optimiser's CSE then merges identical
+//!   checks across accesses (the NVCC effect the paper describes in §IV-A).
+//!   No offset-sign pruning is performed — `nvcc` cannot prove `gx >= 0`
+//!   value ranges either.
+//! - **Region specialisation**: a region body receives a [`CheckProfile`]
+//!   and emits only the checks its region requires (Body: none).
+//! - **Body-first region switch**: the fat kernel first tests the hoisted
+//!   "no border handling needed" predicate (Eq. 2 both axes) and jumps
+//!   straight to the Body region; only border blocks walk the Listing 3
+//!   cascade. This keeps the dominant region's switch overhead at its
+//!   minimum — the stated goal of the partitioning ("maximize the number of
+//!   blocks that execute the body region", §IV-A) — while border regions
+//!   pay progressively more, reproducing the paper's Table I observation
+//!   that corner/L/R regions show no clear benefit.
+//! - **Branch-free patterns**: Clamp/Mirror re-index with `max/min/selp`
+//!   sequences, Constant uses a guarded load + select, and `Repeat`'s while
+//!   loop is unrolled to two predicated wraps per side (valid while the
+//!   stencil radius is below twice the image size — checked at launch),
+//!   so kernels stay loop-free and warps diverge only at region switches.
+
+use crate::expr::{EBin, ECmp, EUn, Expr};
+use crate::spec::KernelSpec;
+use isp_core::{Region, Variant};
+use isp_image::BorderPattern;
+use isp_ir::kernel::{BlockId, Kernel};
+use isp_ir::{BinOp, CmpOp, IrBuilder, Operand, SReg, Ty, UnOp, VReg};
+
+/// Which image edges a body must guard against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckProfile {
+    /// Guard reads past the left edge.
+    pub left: bool,
+    /// Guard reads past the right edge.
+    pub right: bool,
+    /// Guard reads past the top edge.
+    pub top: bool,
+    /// Guard reads past the bottom edge.
+    pub bottom: bool,
+}
+
+impl CheckProfile {
+    /// All four checks — the naive variant.
+    pub fn all() -> Self {
+        CheckProfile { left: true, right: true, top: true, bottom: true }
+    }
+
+    /// No checks — point operators (no boundary condition attached, like a
+    /// Hipacc `Accessor` without a `BoundaryCondition`).
+    pub fn none() -> Self {
+        CheckProfile { left: false, right: false, top: false, bottom: false }
+    }
+
+    /// The checks a given ISP region requires.
+    pub fn for_region(region: Region) -> Self {
+        CheckProfile {
+            left: region.checks_left(),
+            right: region.checks_right(),
+            top: region.checks_top(),
+            bottom: region.checks_bottom(),
+        }
+    }
+}
+
+/// How input accesses are lowered: software border handling (pattern +
+/// per-region check profile) or hardware texture fetches (the address mode
+/// lives in the buffer binding, not the kernel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessMode {
+    /// Software checks per Listing 1, possibly specialised per region.
+    Software {
+        /// The border handling pattern.
+        pattern: BorderPattern,
+        /// Which sides to check.
+        profile: CheckProfile,
+    },
+    /// `tex.2d` fetches; the texture unit resolves the border.
+    Texture,
+    /// Reads come from the block's shared-memory tile (already staged with
+    /// the halo): `shared[(tid.y + ry + dy) * tile_w + (tid.x + rx + dx)]`.
+    SharedTile {
+        /// Tile width `tx + 2*rx`.
+        tile_w: u32,
+        /// Horizontal halo radius.
+        rx: u32,
+        /// Vertical halo radius.
+        ry: u32,
+    },
+}
+
+/// The meaning of each scalar kernel parameter, in declaration order. The
+/// host launch code fills values by matching on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamKind {
+    /// Image width `sx`.
+    Width,
+    /// Image height `sy`.
+    Height,
+    /// Row stride in elements.
+    Stride,
+    /// Eq. (2) block bound `BH_L`.
+    BhL,
+    /// Eq. (2) block bound `BH_R`.
+    BhR,
+    /// Eq. (2) block bound `BH_T`.
+    BhT,
+    /// Eq. (2) block bound `BH_B`.
+    BhB,
+    /// Listing 5 warp bound `W_L`.
+    WL,
+    /// Listing 5 warp bound `W_R`.
+    WR,
+    /// The `Constant` pattern's fill value.
+    BorderConst,
+    /// User parameter by index into `KernelSpec::user_params`.
+    User(usize),
+}
+
+/// Per-region instruction paths through a fat kernel: the block ids executed
+/// by threads routed to each region (entry + switch prefix + region body +
+/// exit). Drives the Table I per-region histograms and the scheduler's
+/// per-class footprints.
+pub type RegionPaths = Vec<(Region, Vec<BlockId>)>;
+
+/// Output of lowering one variant.
+#[derive(Debug, Clone)]
+pub struct Lowered {
+    /// The (unoptimised) kernel.
+    pub kernel: Kernel,
+    /// Scalar parameter layout.
+    pub params: Vec<ParamKind>,
+    /// Region paths (ISP variants only).
+    pub region_paths: Option<RegionPaths>,
+}
+
+/// Values shared by every body: computed once in the entry block. In the fat
+/// kernel these stay live across the region switch — the source of the ISP
+/// register-pressure increase the paper's cost model charges for.
+struct CommonRegs {
+    gx: VReg,
+    gy: VReg,
+    tid_x: VReg,
+    tid_y: VReg,
+    width: VReg,
+    height: VReg,
+    stride: VReg,
+    border_const: Option<VReg>,
+    user: Vec<VReg>,
+    bx: VReg,
+    by: VReg,
+}
+
+/// Whether the spec ever reads a neighbour (and thus needs border handling).
+fn needs_border(spec: &KernelSpec) -> bool {
+    !spec.is_point_op()
+}
+
+/// Declare parameters in canonical order and return the layout.
+fn declare_params(b: &mut IrBuilder, spec: &KernelSpec, pattern: BorderPattern, variant: Variant) -> Vec<ParamKind> {
+    let mut layout = vec![ParamKind::Width, ParamKind::Height, ParamKind::Stride];
+    b.param("width", Ty::S32);
+    b.param("height", Ty::S32);
+    b.param("stride", Ty::S32);
+    if variant.is_isp() {
+        for (name, kind) in [
+            ("bh_l", ParamKind::BhL),
+            ("bh_r", ParamKind::BhR),
+            ("bh_t", ParamKind::BhT),
+            ("bh_b", ParamKind::BhB),
+        ] {
+            b.param(name, Ty::S32);
+            layout.push(kind);
+        }
+    }
+    if variant == Variant::IspWarp {
+        b.param("w_l", Ty::S32);
+        b.param("w_r", Ty::S32);
+        layout.push(ParamKind::WL);
+        layout.push(ParamKind::WR);
+    }
+    if pattern == BorderPattern::Constant && needs_border(spec) {
+        b.param("border_const", Ty::F32);
+        layout.push(ParamKind::BorderConst);
+    }
+    for (i, name) in spec.user_params.iter().enumerate() {
+        b.param(name, Ty::F32);
+        layout.push(ParamKind::User(i));
+    }
+    layout
+}
+
+/// Emit the entry-block prologue: global coordinates, parameter loads, and
+/// the image-edge guard. Returns the common registers and leaves the builder
+/// positioned in a fresh unsealed block reached only by in-image threads.
+fn emit_prologue(
+    b: &mut IrBuilder,
+    layout: &[ParamKind],
+    exit: BlockId,
+) -> CommonRegs {
+    let bx = b.sreg(SReg::CtaIdX);
+    let by = b.sreg(SReg::CtaIdY);
+    let ntx = b.sreg(SReg::NTidX);
+    let nty = b.sreg(SReg::NTidY);
+    let tidx = b.sreg(SReg::TidX);
+    let tidy = b.sreg(SReg::TidY);
+    let gx = b.mad(Ty::S32, bx, ntx, tidx);
+    let gy = b.mad(Ty::S32, by, nty, tidy);
+    let (tid_x, tid_y) = (tidx, tidy);
+
+    let mut width = None;
+    let mut height = None;
+    let mut stride = None;
+    let mut border_const = None;
+    let mut user = Vec::new();
+    for (i, kind) in layout.iter().enumerate() {
+        match kind {
+            ParamKind::Width => width = Some(b.ld_param(i as u32)),
+            ParamKind::Height => height = Some(b.ld_param(i as u32)),
+            ParamKind::Stride => stride = Some(b.ld_param(i as u32)),
+            ParamKind::BorderConst => border_const = Some(b.ld_param(i as u32)),
+            ParamKind::User(_) => user.push(b.ld_param(i as u32)),
+            // Bounds and warp bounds are loaded lazily by the switch code.
+            _ => {}
+        }
+    }
+    let width = width.expect("width param");
+    let height = height.expect("height param");
+    let stride = stride.expect("stride param");
+
+    // Image-edge guard (right/bottom ragged blocks).
+    let px = b.setp(CmpOp::Lt, gx, width);
+    let py = b.setp(CmpOp::Lt, gy, height);
+    let p = b.bin(BinOp::And, Ty::Pred, px, py);
+    let inside = b.create_block("inside");
+    b.cond_br(p, inside, exit);
+    b.switch_to(inside);
+
+    CommonRegs { gx, gy, tid_x, tid_y, width, height, stride, border_const, user, bx, by }
+}
+
+/// Resolve one axis coordinate under `pattern`, emitting only the checks the
+/// profile + offset sign require. Returns the resolved coordinate register
+/// and, for `Constant`, the accumulated in-bounds predicate.
+fn resolve_axis(
+    b: &mut IrBuilder,
+    pattern: BorderPattern,
+    coord: VReg,
+    size: VReg,
+    check_lo: bool,
+    check_hi: bool,
+    inbounds: &mut Option<VReg>,
+) -> VReg {
+    let mut c = coord;
+    match pattern {
+        BorderPattern::Clamp => {
+            if check_lo {
+                c = b.bin(BinOp::Max, Ty::S32, c, 0i32);
+            }
+            if check_hi {
+                let hi = b.bin(BinOp::Sub, Ty::S32, size, 1i32);
+                c = b.bin(BinOp::Min, Ty::S32, c, hi);
+            }
+        }
+        BorderPattern::Mirror => {
+            if check_lo {
+                // x < 0 -> -x - 1, which is two's-complement `not x`.
+                let refl = b.un(UnOp::Not, Ty::S32, c);
+                let p = b.setp(CmpOp::Lt, c, 0i32);
+                c = b.selp(Ty::S32, refl, c, p);
+            }
+            if check_hi {
+                // x >= sx -> 2*sx - x - 1.
+                let twice = b.bin(BinOp::Shl, Ty::S32, size, 1i32);
+                let upper = b.bin(BinOp::Sub, Ty::S32, twice, 1i32);
+                let refl = b.bin(BinOp::Sub, Ty::S32, upper, c);
+                let p = b.setp(CmpOp::Ge, c, size);
+                c = b.selp(Ty::S32, refl, c, p);
+            }
+        }
+        BorderPattern::Repeat => {
+            // Listing 1's `while` loops, unrolled twice per side (the loop
+            // trip count is bounded by radius / size, checked at launch).
+            // This is what makes Repeat the costliest pattern — and the one
+            // that benefits most from ISP, as the paper reports.
+            if check_lo {
+                for _ in 0..2 {
+                    let wrapped = b.bin(BinOp::Add, Ty::S32, c, size);
+                    let p = b.setp(CmpOp::Lt, c, 0i32);
+                    c = b.selp(Ty::S32, wrapped, c, p);
+                }
+            }
+            if check_hi {
+                for _ in 0..2 {
+                    let wrapped = b.bin(BinOp::Sub, Ty::S32, c, size);
+                    let p = b.setp(CmpOp::Ge, c, size);
+                    c = b.selp(Ty::S32, wrapped, c, p);
+                }
+            }
+        }
+        BorderPattern::Constant => {
+            // No re-indexing; accumulate the in-bounds predicate.
+            let mut and_in = |b: &mut IrBuilder, p: VReg| {
+                *inbounds = Some(match *inbounds {
+                    Some(acc) => b.bin(BinOp::And, Ty::Pred, acc, p),
+                    None => p,
+                });
+            };
+            if check_lo {
+                let p = b.setp(CmpOp::Ge, c, 0i32);
+                and_in(b, p);
+            }
+            if check_hi {
+                let p = b.setp(CmpOp::Lt, c, size);
+                and_in(b, p);
+            }
+        }
+    }
+    c
+}
+
+/// Lower one bordered input access.
+fn lower_access(
+    b: &mut IrBuilder,
+    spec: &KernelSpec,
+    mode: &AccessMode,
+    common: &CommonRegs,
+    input: usize,
+    dx: i64,
+    dy: i64,
+) -> Operand {
+    let _ = spec;
+    let x = if dx == 0 {
+        common.gx
+    } else {
+        b.bin(BinOp::Add, Ty::S32, common.gx, dx as i32)
+    };
+    let y = if dy == 0 {
+        common.gy
+    } else {
+        b.bin(BinOp::Add, Ty::S32, common.gy, dy as i32)
+    };
+
+    let (pattern, profile) = match mode {
+        AccessMode::Texture => {
+            // Hardware path: no address arithmetic beyond the offsets.
+            return Operand::Reg(b.tex(input as u32, x, y));
+        }
+        AccessMode::SharedTile { tile_w, rx, ry } => {
+            // shared[(tid.y + ry + dy) * tile_w + (tid.x + rx + dx)]:
+            // the x/y computed above are global coordinates; recompute in
+            // tile space from the thread indices instead.
+            let lx = b.bin(BinOp::Add, Ty::S32, common.tid_x, (*rx as i64 + dx) as i32);
+            let ly = b.bin(BinOp::Add, Ty::S32, common.tid_y, (*ry as i64 + dy) as i32);
+            let addr = b.mad(Ty::S32, ly, *tile_w as i32, lx);
+            return Operand::Reg(b.lds(addr));
+        }
+        AccessMode::Software { pattern, profile } => (*pattern, profile),
+    };
+
+    // Listing 1 applies the full border function to every access: both
+    // sides of an axis are checked whenever the region's profile demands
+    // that axis's side, regardless of the offset sign (as Hipacc/NVCC do).
+    let check_l = profile.left;
+    let check_r = profile.right;
+    let check_t = profile.top;
+    let check_b = profile.bottom;
+
+    let mut inbounds: Option<VReg> = None;
+    let rx = resolve_axis(b, pattern, x, common.width, check_l, check_r, &mut inbounds);
+    let ry = resolve_axis(b, pattern, y, common.height, check_t, check_b, &mut inbounds);
+    let addr = b.mad(Ty::S32, ry, common.stride, rx);
+
+    match inbounds {
+        Some(p) => {
+            // Constant pattern: guard the load through a safe address and
+            // substitute the fill value when out of bounds.
+            let safe = b.selp(Ty::S32, addr, 0i32, p);
+            let v = b.ld(Ty::F32, input as u32, safe);
+            let cst = common
+                .border_const
+                .expect("Constant pattern declares a border_const parameter");
+            Operand::Reg(b.selp(Ty::F32, v, cst, p))
+        }
+        None => Operand::Reg(b.ld(Ty::F32, input as u32, addr)),
+    }
+}
+
+/// Recursively lower an expression to an operand. `accs` carries the
+/// current accumulator values when lowering a `FusedReduce::combine`.
+fn lower_expr(
+    b: &mut IrBuilder,
+    spec: &KernelSpec,
+    mode: &AccessMode,
+    common: &CommonRegs,
+    expr: &Expr,
+    accs: &[Operand],
+) -> Operand {
+    match expr {
+        Expr::Input { input, dx, dy } => {
+            lower_access(b, spec, mode, common, *input, *dx, *dy)
+        }
+        Expr::Const(v) => Operand::ImmF(*v),
+        Expr::Param(i) => Operand::Reg(common.user[*i]),
+        Expr::Acc(i) => accs[*i],
+        Expr::Bin(op, l, r) => {
+            let l = lower_expr(b, spec, mode, common, l, accs);
+            let r = lower_expr(b, spec, mode, common, r, accs);
+            let op = match op {
+                EBin::Add => BinOp::Add,
+                EBin::Sub => BinOp::Sub,
+                EBin::Mul => BinOp::Mul,
+                EBin::Div => BinOp::Div,
+                EBin::Min => BinOp::Min,
+                EBin::Max => BinOp::Max,
+            };
+            Operand::Reg(b.bin(op, Ty::F32, l, r))
+        }
+        Expr::Un(op, a) => {
+            let a = lower_expr(b, spec, mode, common, a, accs);
+            let op = match op {
+                EUn::Neg => UnOp::Neg,
+                EUn::Abs => UnOp::Abs,
+                EUn::Exp => UnOp::Exp,
+                EUn::Log => UnOp::Log,
+                EUn::Sqrt => UnOp::Sqrt,
+                EUn::Rsqrt => UnOp::Rsqrt,
+                EUn::Floor => UnOp::Floor,
+            };
+            Operand::Reg(b.un(op, Ty::F32, a))
+        }
+        Expr::Select { cmp, a, b: rhs, then, els } => {
+            let a = lower_expr(b, spec, mode, common, a, accs);
+            let r = lower_expr(b, spec, mode, common, rhs, accs);
+            let cmp = match cmp {
+                ECmp::Lt => CmpOp::Lt,
+                ECmp::Le => CmpOp::Le,
+                ECmp::Gt => CmpOp::Gt,
+                ECmp::Ge => CmpOp::Ge,
+                ECmp::Eq => CmpOp::Eq,
+                ECmp::Ne => CmpOp::Ne,
+            };
+            let p = b.setp(cmp, a, r);
+            let t = lower_expr(b, spec, mode, common, then, accs);
+            let e = lower_expr(b, spec, mode, common, els, accs);
+            Operand::Reg(b.selp(Ty::F32, t, e, p))
+        }
+        Expr::FusedReduce { taps, ops, combine } => {
+            // Hipacc's `iterate`: one pass over the taps, all accumulators
+            // advancing together, so per-tap temporaries die immediately.
+            let mut sums: Vec<Operand> = ops
+                .iter()
+                .map(|op| match op {
+                    EBin::Min => Operand::ImmF(f32::INFINITY),
+                    EBin::Max => Operand::ImmF(f32::NEG_INFINITY),
+                    _ => Operand::ImmF(0.0),
+                })
+                .collect();
+            for tap in taps {
+                for ((s, term), op) in sums.iter_mut().zip(tap).zip(ops) {
+                    let v = lower_expr(b, spec, mode, common, term, accs);
+                    let ir_op = match op {
+                        EBin::Min => BinOp::Min,
+                        EBin::Max => BinOp::Max,
+                        _ => BinOp::Add,
+                    };
+                    *s = Operand::Reg(b.bin(ir_op, Ty::F32, *s, v));
+                }
+            }
+            lower_expr(b, spec, mode, common, combine, &sums)
+        }
+    }
+}
+
+/// Emit a full body (expression + output store) into the current block.
+fn emit_body(b: &mut IrBuilder, spec: &KernelSpec, mode: &AccessMode, common: &CommonRegs) {
+    let value = lower_expr(b, spec, mode, common, &spec.body, &[]);
+    let out_addr = b.mad(Ty::S32, common.gy, common.stride, common.gx);
+    b.st(spec.num_inputs as u32, out_addr, value);
+}
+
+/// Lower the **naive** variant: one body with every (offset-possible) check.
+pub fn lower_naive(spec: &KernelSpec, pattern: BorderPattern) -> Lowered {
+    let mut b = IrBuilder::new(format!("{}_naive_{}", spec.name, pattern.name()), spec.num_inputs as u32 + 1);
+    let layout = declare_params(&mut b, spec, pattern, Variant::Naive);
+    let exit = b.create_block("exit");
+    let common = emit_prologue(&mut b, &layout, exit);
+    let profile = if spec.is_point_op() { CheckProfile::none() } else { CheckProfile::all() };
+    emit_body(&mut b, spec, &AccessMode::Software { pattern, profile }, &common);
+    b.br(exit);
+    b.switch_to(exit);
+    b.ret();
+    let kernel = b.finish();
+    isp_ir::validate::assert_valid(&kernel);
+    Lowered { kernel, params: layout, region_paths: None }
+}
+
+/// Lower a **deliberately unchecked** variant: a stencil kernel with no
+/// border handling whatsoever — the broken program the paper's introduction
+/// warns about ("accessing unknown memory locations may result in undefined
+/// behavior and lead to corrupted pixels"). Exists so tests and demos can
+/// show the simulator catching the out-of-bounds reads that border handling
+/// prevents. Never used by the compiler proper.
+pub fn lower_unchecked(spec: &KernelSpec) -> Lowered {
+    let mut b = IrBuilder::new(format!("{}_unchecked", spec.name), spec.num_inputs as u32 + 1);
+    let mut layout = vec![ParamKind::Width, ParamKind::Height, ParamKind::Stride];
+    b.param("width", Ty::S32);
+    b.param("height", Ty::S32);
+    b.param("stride", Ty::S32);
+    for (i, name) in spec.user_params.iter().enumerate() {
+        b.param(name, Ty::F32);
+        layout.push(ParamKind::User(i));
+    }
+    let exit = b.create_block("exit");
+    let common = emit_prologue(&mut b, &layout, exit);
+    emit_body(
+        &mut b,
+        spec,
+        &AccessMode::Software {
+            pattern: BorderPattern::Clamp, // irrelevant: no side is checked
+            profile: CheckProfile::none(),
+        },
+        &common,
+    );
+    b.br(exit);
+    b.switch_to(exit);
+    b.ret();
+    let kernel = b.finish();
+    isp_ir::validate::assert_valid(&kernel);
+    Lowered { kernel, params: layout, region_paths: None }
+}
+
+/// Lower the **texture** variant: like the naive kernel but all input reads
+/// are `tex.2d` fetches — no software border handling anywhere; the buffer's
+/// texture address mode does the work.
+pub fn lower_texture(spec: &KernelSpec, pattern: BorderPattern) -> Lowered {
+    let mut b = IrBuilder::new(
+        format!("{}_tex_{}", spec.name, pattern.name()),
+        spec.num_inputs as u32 + 1,
+    );
+    // Texture kernels never need the border constant (it lives in the
+    // texture descriptor) nor the ISP bounds.
+    let mut layout = vec![ParamKind::Width, ParamKind::Height, ParamKind::Stride];
+    b.param("width", Ty::S32);
+    b.param("height", Ty::S32);
+    b.param("stride", Ty::S32);
+    for (i, name) in spec.user_params.iter().enumerate() {
+        b.param(name, Ty::F32);
+        layout.push(ParamKind::User(i));
+    }
+    let exit = b.create_block("exit");
+    let common = emit_prologue(&mut b, &layout, exit);
+    emit_body(&mut b, spec, &AccessMode::Texture, &common);
+    b.br(exit);
+    b.switch_to(exit);
+    b.ret();
+    let kernel = b.finish();
+    isp_ir::validate::assert_valid(&kernel);
+    let _ = pattern;
+    Lowered { kernel, params: layout, region_paths: None }
+}
+
+/// Lower an **ISP** variant (block- or warp-grained): entry prologue, the
+/// Listing 3/5 switching cascade, and nine specialised region bodies.
+pub fn lower_isp(spec: &KernelSpec, pattern: BorderPattern, variant: Variant) -> Lowered {
+    assert!(variant.is_isp(), "use lower_naive for the naive variant");
+    assert!(needs_border(spec), "point operators have no border to handle");
+    let warp = variant == Variant::IspWarp;
+    let suffix = if warp { "ispw" } else { "isp" };
+    let mut b = IrBuilder::new(
+        format!("{}_{}_{}", spec.name, suffix, pattern.name()),
+        spec.num_inputs as u32 + 1,
+    );
+    let layout = declare_params(&mut b, spec, pattern, variant);
+    let exit = b.create_block("exit");
+    let common = emit_prologue(&mut b, &layout, exit);
+
+    // Load the bounds (and warp bounds) once, in the prologue block.
+    let idx_of = |k: ParamKind| layout.iter().position(|&p| p == k).expect("declared") as u32;
+    let bh_l = b.ld_param(idx_of(ParamKind::BhL));
+    let bh_r = b.ld_param(idx_of(ParamKind::BhR));
+    let bh_t = b.ld_param(idx_of(ParamKind::BhT));
+    let bh_b = b.ld_param(idx_of(ParamKind::BhB));
+    let (w_l, w_r, warp_x) = if warp {
+        let w_l = b.ld_param(idx_of(ParamKind::WL));
+        let w_r = b.ld_param(idx_of(ParamKind::WR));
+        let tidx = b.sreg(SReg::TidX);
+        let wx = b.bin(BinOp::Shr, Ty::S32, tidx, 5i32);
+        (Some(w_l), Some(w_r), Some(wx))
+    } else {
+        (None, None, None)
+    };
+
+    // Create the nine region blocks.
+    let region_block: Vec<BlockId> = Region::ALL
+        .iter()
+        .map(|r| b.create_block(format!("region_{}", r.name())))
+        .collect();
+    let rb = |r: Region| region_block[r.index()];
+
+    // Switch cascade blocks: a body-first fast path, then Listing 3 order
+    // (TL, TR, T, BL, BR, B, R, L) for border blocks.
+    let sw_tl = b.create_block("sw_tl");
+    let sw_tr = b.create_block("sw_tr");
+    let sw_t = b.create_block("sw_t");
+    let sw_bl = b.create_block("sw_bl");
+    let sw_br = b.create_block("sw_br");
+    let sw_b = b.create_block("sw_b");
+    let sw_r = b.create_block("sw_r");
+    let sw_l = b.create_block("sw_l");
+    let refine = |b: &mut IrBuilder, name: &str| b.create_block(name.to_string());
+
+    let (bx, by) = (common.bx, common.by);
+
+    // Hoisted Eq. 2 predicates (computed once; the cascade reuses them).
+    let in_x_lo = b.setp(CmpOp::Ge, bx, bh_l);
+    let in_x_hi = b.setp(CmpOp::Lt, bx, bh_r);
+    let in_y_lo = b.setp(CmpOp::Ge, by, bh_t);
+    let in_y_hi = b.setp(CmpOp::Lt, by, bh_b);
+    // Body fast path: no border handling on either axis.
+    let in_x = b.bin(BinOp::And, Ty::Pred, in_x_lo, in_x_hi);
+    let in_y = b.bin(BinOp::And, Ty::Pred, in_y_lo, in_y_hi);
+    let is_body = b.bin(BinOp::And, Ty::Pred, in_x, in_y);
+    b.cond_br(is_body, rb(Region::Body), sw_tl);
+
+    // Border cascade (Listing 3 order) over the hoisted predicates.
+    let neg = |b: &mut IrBuilder, p| b.un(UnOp::Not, Ty::Pred, p);
+
+    b.switch_to(sw_tl);
+    let at_l = neg(&mut b, in_x_lo);
+    let at_t = neg(&mut b, in_y_lo);
+    let p = b.bin(BinOp::And, Ty::Pred, at_l, at_t);
+    if warp {
+        let r = refine(&mut b, "refine_tl");
+        b.cond_br(p, r, sw_tr);
+        b.switch_to(r);
+        let q = b.setp(CmpOp::Gt, warp_x.unwrap(), w_l.unwrap());
+        b.cond_br(q, rb(Region::T), rb(Region::TL));
+    } else {
+        b.cond_br(p, rb(Region::TL), sw_tr);
+    }
+
+    b.switch_to(sw_tr);
+    let at_r = neg(&mut b, in_x_hi);
+    let at_t = neg(&mut b, in_y_lo);
+    let p = b.bin(BinOp::And, Ty::Pred, at_r, at_t);
+    if warp {
+        let r = refine(&mut b, "refine_tr");
+        b.cond_br(p, r, sw_t);
+        b.switch_to(r);
+        let q = b.setp(CmpOp::Lt, warp_x.unwrap(), w_r.unwrap());
+        b.cond_br(q, rb(Region::T), rb(Region::TR));
+    } else {
+        b.cond_br(p, rb(Region::TR), sw_t);
+    }
+
+    b.switch_to(sw_t);
+    let at_t = neg(&mut b, in_y_lo);
+    b.cond_br(at_t, rb(Region::T), sw_bl);
+
+    b.switch_to(sw_bl);
+    let at_b = neg(&mut b, in_y_hi);
+    let at_l = neg(&mut b, in_x_lo);
+    let p = b.bin(BinOp::And, Ty::Pred, at_b, at_l);
+    if warp {
+        let r = refine(&mut b, "refine_bl");
+        b.cond_br(p, r, sw_br);
+        b.switch_to(r);
+        let q = b.setp(CmpOp::Gt, warp_x.unwrap(), w_l.unwrap());
+        b.cond_br(q, rb(Region::B), rb(Region::BL));
+    } else {
+        b.cond_br(p, rb(Region::BL), sw_br);
+    }
+
+    b.switch_to(sw_br);
+    let at_b = neg(&mut b, in_y_hi);
+    let at_r = neg(&mut b, in_x_hi);
+    let p = b.bin(BinOp::And, Ty::Pred, at_b, at_r);
+    if warp {
+        let r = refine(&mut b, "refine_br");
+        b.cond_br(p, r, sw_b);
+        b.switch_to(r);
+        let q = b.setp(CmpOp::Lt, warp_x.unwrap(), w_r.unwrap());
+        b.cond_br(q, rb(Region::B), rb(Region::BR));
+    } else {
+        b.cond_br(p, rb(Region::BR), sw_b);
+    }
+
+    b.switch_to(sw_b);
+    let at_b = neg(&mut b, in_y_hi);
+    b.cond_br(at_b, rb(Region::B), sw_r);
+
+    b.switch_to(sw_r);
+    let at_r = neg(&mut b, in_x_hi);
+    if warp {
+        let r = refine(&mut b, "refine_r");
+        b.cond_br(at_r, r, sw_l);
+        b.switch_to(r);
+        let q = b.setp(CmpOp::Lt, warp_x.unwrap(), w_r.unwrap());
+        b.cond_br(q, rb(Region::Body), rb(Region::R));
+    } else {
+        b.cond_br(at_r, rb(Region::R), sw_l);
+    }
+
+    b.switch_to(sw_l);
+    let at_l = neg(&mut b, in_x_lo);
+    if warp {
+        let r = refine(&mut b, "refine_l");
+        b.cond_br(at_l, r, rb(Region::L));
+        b.switch_to(r);
+        let q = b.setp(CmpOp::Gt, warp_x.unwrap(), w_l.unwrap());
+        b.cond_br(q, rb(Region::Body), rb(Region::L));
+    } else {
+        // A block reaching sw_l that is not at the left edge cannot exist
+        // (the body test would have caught it); route the dead else edge to
+        // L as well.
+        b.cond_br(at_l, rb(Region::L), rb(Region::L));
+    }
+
+    // Emit the nine specialised bodies.
+    for region in Region::ALL {
+        b.switch_to(rb(region));
+        emit_body(
+            &mut b,
+            spec,
+            &AccessMode::Software { pattern, profile: CheckProfile::for_region(region) },
+            &common,
+        );
+        b.br(exit);
+    }
+    b.switch_to(exit);
+    b.ret();
+
+    let kernel = b.finish();
+    isp_ir::validate::assert_valid(&kernel);
+
+    // Region paths for instruction accounting: entry + prologue (with the
+    // body-first test) + cascade prefix (Listing 3 order) + refinement +
+    // region + exit.
+    let entry = kernel.entry();
+    let inside = kernel.block_by_label("inside").expect("prologue block");
+    let by_label = |l: &str| kernel.block_by_label(l).expect("switch block");
+    let mut paths: RegionPaths = Vec::new();
+    // Body takes the fast path out of the prologue.
+    paths.push((
+        Region::Body,
+        vec![entry, inside, by_label("region_Body"), by_label("exit")],
+    ));
+    // Border regions walk the cascade; region i traverses i+1 switch blocks.
+    let order: [(&str, Region); 8] = [
+        ("sw_tl", Region::TL),
+        ("sw_tr", Region::TR),
+        ("sw_t", Region::T),
+        ("sw_bl", Region::BL),
+        ("sw_br", Region::BR),
+        ("sw_b", Region::B),
+        ("sw_r", Region::R),
+        ("sw_l", Region::L),
+    ];
+    for (i, (_, region)) in order.iter().enumerate() {
+        let mut path = vec![entry, inside];
+        for (label, _) in order.iter().take(i + 1) {
+            path.push(by_label(label));
+        }
+        if warp {
+            let refine_label = format!("refine_{}", region.name().to_lowercase());
+            if let Some(id) = kernel.block_by_label(&refine_label) {
+                path.push(id);
+            }
+        }
+        path.push(by_label(&format!("region_{}", region.name())));
+        path.push(by_label("exit"));
+        paths.push((*region, path));
+    }
+
+    Lowered { kernel, params: layout, region_paths: Some(paths) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isp_image::Mask;
+    use isp_ir::InstrHistogram;
+
+    fn gauss3() -> KernelSpec {
+        KernelSpec::convolution("gauss3", &Mask::gaussian(3, 0.85).unwrap())
+    }
+
+    #[test]
+    fn naive_variant_is_valid_for_all_patterns() {
+        let spec = gauss3();
+        for pattern in BorderPattern::ALL {
+            let l = lower_naive(&spec, pattern);
+            assert!(isp_ir::validate::validate(&l.kernel).is_empty());
+            assert_eq!(l.params[0], ParamKind::Width);
+            assert_eq!(l.region_paths, None);
+            // Constant declares the fill parameter; the others do not.
+            let has_const = l.params.contains(&ParamKind::BorderConst);
+            assert_eq!(has_const, pattern == BorderPattern::Constant, "{pattern}");
+        }
+    }
+
+    #[test]
+    fn isp_variants_are_valid_and_fat() {
+        let spec = gauss3();
+        for pattern in BorderPattern::ALL {
+            for variant in [Variant::IspBlock, Variant::IspWarp] {
+                let naive = lower_naive(&spec, pattern);
+                let isp = lower_isp(&spec, pattern, variant);
+                assert!(isp_ir::validate::validate(&isp.kernel).is_empty());
+                assert!(
+                    isp.kernel.static_len() > 4 * naive.kernel.static_len(),
+                    "{pattern}/{variant}: fat kernel should be several times larger"
+                );
+                let paths = isp.region_paths.as_ref().unwrap();
+                assert_eq!(paths.len(), 9);
+            }
+        }
+    }
+
+    #[test]
+    fn body_region_has_no_checks() {
+        // The Body path of the ISP kernel must contain zero setp/max/min
+        // border arithmetic beyond the guard and switch.
+        let spec = gauss3();
+        let isp = lower_isp(&spec, BorderPattern::Clamp, Variant::IspBlock);
+        let body_block = isp.kernel.block_by_label("region_Body").unwrap();
+        let h = InstrHistogram::of_blocks(&isp.kernel, [body_block]);
+        assert_eq!(h.get(isp_ir::InstrCategory::Max), 0, "no clamps in Body");
+        assert_eq!(h.get(isp_ir::InstrCategory::Min), 0);
+        assert_eq!(h.get(isp_ir::InstrCategory::Setp), 0);
+        // But it still loads and computes.
+        assert_eq!(h.get(isp_ir::InstrCategory::Ld), 9);
+        assert_eq!(h.get(isp_ir::InstrCategory::St), 1);
+    }
+
+    #[test]
+    fn corner_regions_check_two_sides() {
+        let spec = gauss3();
+        let isp = lower_isp(&spec, BorderPattern::Clamp, Variant::IspBlock);
+        let tl = isp.kernel.block_by_label("region_TL").unwrap();
+        let l = isp.kernel.block_by_label("region_L").unwrap();
+        let h_tl = InstrHistogram::of_blocks(&isp.kernel, [tl]);
+        let h_l = InstrHistogram::of_blocks(&isp.kernel, [l]);
+        // TL clamps on both left (max) and top (max), L only left.
+        assert!(h_tl.get(isp_ir::InstrCategory::Max) > h_l.get(isp_ir::InstrCategory::Max));
+        assert_eq!(h_tl.get(isp_ir::InstrCategory::Min), 0, "TL never checks right/bottom");
+    }
+
+    #[test]
+    fn naive_checks_both_sides_like_listing1() {
+        // Listing 1 fidelity: even a purely-right-looking kernel gets left
+        // clamps in the naive variant (nvcc cannot prove gx+1 >= 0 either).
+        let spec = KernelSpec::new("right", 1, vec![], Expr::at(1, 0) + Expr::at(2, 0));
+        let l = lower_naive(&spec, BorderPattern::Clamp);
+        let opt = isp_ir::opt::optimize(&l.kernel, isp_ir::opt::OptConfig::full());
+        let h = InstrHistogram::of_kernel(&opt);
+        assert!(h.get(isp_ir::InstrCategory::Max) > 0, "left clamp present");
+        assert!(h.get(isp_ir::InstrCategory::Min) > 0, "right clamp present");
+        // CSE merges the per-coordinate duplicates: 2 distinct x coordinates
+        // + 1 y coordinate = 3 max / 3 min.
+        assert_eq!(h.get(isp_ir::InstrCategory::Max), 3);
+        assert_eq!(h.get(isp_ir::InstrCategory::Min), 3);
+    }
+
+    #[test]
+    fn repeat_costs_more_checks_than_clamp() {
+        let spec = gauss3();
+        let clamp = lower_naive(&spec, BorderPattern::Clamp);
+        let repeat = lower_naive(&spec, BorderPattern::Repeat);
+        let hc = InstrHistogram::of_kernel(&clamp.kernel);
+        let hr = InstrHistogram::of_kernel(&repeat.kernel);
+        assert!(
+            hr.arithmetic_total() > hc.arithmetic_total(),
+            "repeat {:?} must out-cost clamp {:?}",
+            hr.arithmetic_total(),
+            hc.arithmetic_total()
+        );
+    }
+
+    #[test]
+    fn warp_variant_reads_warp_bounds() {
+        let spec = gauss3();
+        let w = lower_isp(&spec, BorderPattern::Clamp, Variant::IspWarp);
+        assert!(w.params.contains(&ParamKind::WL));
+        assert!(w.params.contains(&ParamKind::WR));
+        let blk = lower_isp(&spec, BorderPattern::Clamp, Variant::IspBlock);
+        assert!(!blk.params.contains(&ParamKind::WL));
+        // Warp variant has the refinement blocks.
+        assert!(w.kernel.block_by_label("refine_tl").is_some());
+        assert!(blk.kernel.block_by_label("refine_tl").is_none());
+    }
+
+    #[test]
+    fn region_paths_cover_cascade_prefixes() {
+        let spec = gauss3();
+        let isp = lower_isp(&spec, BorderPattern::Mirror, Variant::IspBlock);
+        let paths = isp.region_paths.unwrap();
+        let len_of = |r: Region| {
+            paths.iter().find(|(pr, _)| *pr == r).map(|(_, p)| p.len()).unwrap()
+        };
+        // Later cascade entries traverse more switch blocks (the paper's
+        // n_switch(p) differences).
+        assert!(len_of(Region::TL) < len_of(Region::L));
+        assert!(len_of(Region::TR) <= len_of(Region::B));
+        // Body takes the fast path: the shortest route of all.
+        for r in Region::ALL {
+            if r != Region::Body {
+                assert!(len_of(Region::Body) < len_of(r), "Body must be shortest vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "point operators")]
+    fn isp_rejects_point_ops() {
+        let spec = KernelSpec::new("id", 1, vec![], Expr::at(0, 0));
+        let _ = lower_isp(&spec, BorderPattern::Clamp, Variant::IspBlock);
+    }
+
+    #[test]
+    fn user_params_flow_to_layout() {
+        let spec = KernelSpec::new(
+            "scaled",
+            1,
+            vec!["gain".into()],
+            Expr::at(-1, 0) * Expr::param(0),
+        );
+        let l = lower_naive(&spec, BorderPattern::Clamp);
+        assert!(l.params.contains(&ParamKind::User(0)));
+        let i = lower_isp(&spec, BorderPattern::Clamp, Variant::IspBlock);
+        assert!(i.params.contains(&ParamKind::User(0)));
+        assert!(i.params.contains(&ParamKind::BhL));
+    }
+}
+
+/// Lower the **tiled** variant for a fixed `block = (tx, ty)`: the block
+/// cooperatively stages its `(tx + 2rx) x (ty + 2ry)` tile (with border
+/// handling applied once per staged element), synchronises, then computes
+/// entirely from shared memory — no border logic in the compute phase.
+///
+/// The staging loop is fully unrolled 2D cooperative loading: sub-tile
+/// `(ox, oy)` is loaded by thread `(tid.x + ox*tx, tid.y + oy*ty)`, guarded
+/// by a compile-time-known diamond only for the partial edge sub-tiles.
+/// Threads never early-exit before the barrier (the CUDA `__syncthreads`
+/// contract); only the final output store is guarded against the image
+/// edge.
+pub fn lower_tiled(spec: &KernelSpec, pattern: BorderPattern, block: (u32, u32)) -> Lowered {
+    assert_eq!(spec.num_inputs, 1, "tiling stages a single input image");
+    assert!(!spec.is_point_op(), "point operators gain nothing from tiling");
+    let (rx, ry) = spec.radii();
+    let (tx, ty) = block;
+    let tile_w = tx + 2 * rx as u32;
+    let tile_h = ty + 2 * ry as u32;
+
+    let mut b = IrBuilder::new(
+        format!("{}_tiled{}x{}_{}", spec.name, tx, ty, pattern.name()),
+        spec.num_inputs as u32 + 1,
+    );
+    b.set_shared_elems(tile_w * tile_h);
+    let mut layout = vec![ParamKind::Width, ParamKind::Height, ParamKind::Stride];
+    b.param("width", Ty::S32);
+    b.param("height", Ty::S32);
+    b.param("stride", Ty::S32);
+    if pattern == BorderPattern::Constant {
+        b.param("border_const", Ty::F32);
+        layout.push(ParamKind::BorderConst);
+    }
+    for (i, name) in spec.user_params.iter().enumerate() {
+        b.param(name, Ty::F32);
+        layout.push(ParamKind::User(i));
+    }
+
+    // Prologue WITHOUT the early image-edge exit (everyone stages).
+    let bx = b.sreg(SReg::CtaIdX);
+    let by = b.sreg(SReg::CtaIdY);
+    let ntx = b.sreg(SReg::NTidX);
+    let nty = b.sreg(SReg::NTidY);
+    let tid_x = b.sreg(SReg::TidX);
+    let tid_y = b.sreg(SReg::TidY);
+    let gx = b.mad(Ty::S32, bx, ntx, tid_x);
+    let gy = b.mad(Ty::S32, by, nty, tid_y);
+    let mut width = None;
+    let mut height = None;
+    let mut stride = None;
+    let mut border_const = None;
+    let mut user = Vec::new();
+    // Parameter indices follow `layout` declaration order exactly.
+    for (i, kind) in layout.iter().enumerate() {
+        match kind {
+            ParamKind::Width => width = Some(b.ld_param(i as u32)),
+            ParamKind::Height => height = Some(b.ld_param(i as u32)),
+            ParamKind::Stride => stride = Some(b.ld_param(i as u32)),
+            ParamKind::BorderConst => border_const = Some(b.ld_param(i as u32)),
+            ParamKind::User(_) => user.push(b.ld_param(i as u32)),
+            _ => {}
+        }
+    }
+    let common = CommonRegs {
+        gx,
+        gy,
+        tid_x,
+        tid_y,
+        width: width.expect("width"),
+        height: height.expect("height"),
+        stride: stride.expect("stride"),
+        border_const,
+        user,
+        bx,
+        by,
+    };
+
+    // Staging: unrolled 2D cooperative halo loading.
+    let staging_mode = AccessMode::Software { pattern, profile: CheckProfile::all() };
+    let sub_x = tile_w.div_ceil(tx);
+    let sub_y = tile_h.div_ceil(ty);
+    // Tile origin in global coordinates: (bx*tx - rx, by*ty - ry).
+    let origin_x = b.bin(BinOp::Mul, Ty::S32, bx, tx as i32);
+    let origin_x = b.bin(BinOp::Sub, Ty::S32, origin_x, rx as i32);
+    let origin_y = b.bin(BinOp::Mul, Ty::S32, by, ty as i32);
+    let origin_y = b.bin(BinOp::Sub, Ty::S32, origin_y, ry as i32);
+    for oy in 0..sub_y {
+        for ox in 0..sub_x {
+            // Local tile coordinates this thread covers in this sub-tile.
+            let lx = b.bin(BinOp::Add, Ty::S32, tid_x, (ox * tx) as i32);
+            let ly = b.bin(BinOp::Add, Ty::S32, tid_y, (oy * ty) as i32);
+            // Partial sub-tiles need a bounds diamond (compile-time known).
+            let needs_guard_x = (ox + 1) * tx > tile_w;
+            let needs_guard_y = (oy + 1) * ty > tile_h;
+            let do_load = if needs_guard_x || needs_guard_y {
+                let do_load = b.create_block(format!("stage_{ox}_{oy}"));
+                let next = b.create_block(format!("staged_{ox}_{oy}"));
+                let mut p = None;
+                if needs_guard_x {
+                    p = Some(b.setp(CmpOp::Lt, lx, tile_w as i32));
+                }
+                if needs_guard_y {
+                    let py = b.setp(CmpOp::Lt, ly, tile_h as i32);
+                    p = Some(match p {
+                        Some(px) => b.bin(BinOp::And, Ty::Pred, px, py),
+                        None => py,
+                    });
+                }
+                b.cond_br(p.expect("guard predicate"), do_load, next);
+                b.switch_to(do_load);
+                Some(next)
+            } else {
+                None
+            };
+            // Global coordinates of the staged element + border handling.
+            let sgx = b.bin(BinOp::Add, Ty::S32, origin_x, lx);
+            let sgy = b.bin(BinOp::Add, Ty::S32, origin_y, ly);
+            let mut inbounds: Option<VReg> = None;
+            let (spattern, sprofile) = match &staging_mode {
+                AccessMode::Software { pattern, profile } => (*pattern, *profile),
+                _ => unreachable!(),
+            };
+            let rgx = resolve_axis(
+                &mut b, spattern, sgx, common.width, sprofile.left, sprofile.right, &mut inbounds,
+            );
+            let rgy = resolve_axis(
+                &mut b, spattern, sgy, common.height, sprofile.top, sprofile.bottom, &mut inbounds,
+            );
+            let gaddr = b.mad(Ty::S32, rgy, common.stride, rgx);
+            let value = match inbounds {
+                Some(p) => {
+                    let safe = b.selp(Ty::S32, gaddr, 0i32, p);
+                    let v = b.ld(Ty::F32, 0, safe);
+                    let cst = common.border_const.expect("constant pattern param");
+                    b.selp(Ty::F32, v, cst, p)
+                }
+                None => b.ld(Ty::F32, 0, gaddr),
+            };
+            let saddr = b.mad(Ty::S32, ly, tile_w as i32, lx);
+            b.sts(saddr, value);
+            if let Some(next) = do_load {
+                b.br(next);
+                b.switch_to(next);
+            }
+        }
+    }
+
+    // Barrier (its own block, per the validator's contract).
+    let bar = b.create_block("bar");
+    let compute = b.create_block("compute");
+    let exit = b.create_block("exit");
+    b.br(bar);
+    b.switch_to(bar);
+    b.bar();
+    b.br(compute);
+
+    // Compute from shared; guard only the output store.
+    b.switch_to(compute);
+    let tile_mode =
+        AccessMode::SharedTile { tile_w, rx: rx as u32, ry: ry as u32 };
+    let value = lower_expr(&mut b, spec, &tile_mode, &common, &spec.body, &[]);
+    let px = b.setp(CmpOp::Lt, gx, common.width);
+    let py = b.setp(CmpOp::Lt, gy, common.height);
+    let p = b.bin(BinOp::And, Ty::Pred, px, py);
+    let store = b.create_block("store");
+    b.cond_br(p, store, exit);
+    b.switch_to(store);
+    let out_addr = b.mad(Ty::S32, gy, common.stride, gx);
+    b.st(spec.num_inputs as u32, out_addr, value);
+    b.br(exit);
+    b.switch_to(exit);
+    b.ret();
+
+    let kernel = b.finish();
+    isp_ir::validate::assert_valid(&kernel);
+    Lowered { kernel, params: layout, region_paths: None }
+}

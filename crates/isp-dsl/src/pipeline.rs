@@ -1,0 +1,298 @@
+//! Multi-kernel pipelines (Sobel's 3 kernels, the Night filter's 5).
+//!
+//! A pipeline is a small DAG: each stage reads either the pipeline source or
+//! earlier stage outputs, all images sharing one size. Per-stage variants
+//! are chosen by a [`Policy`]; timings accumulate across stage launches
+//! (each stage is a separate kernel launch, as in Hipacc).
+
+use crate::compile::{CompiledKernel, Compiler};
+use crate::eval::reference_run;
+use crate::runner::{geometry_for, plan_for, run_filter, ExecMode};
+use crate::spec::KernelSpec;
+use isp_core::Variant;
+use isp_image::{BorderSpec, Image};
+use isp_sim::{Gpu, PerfCounters, SimError};
+
+/// Where a stage input comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageInput {
+    /// The pipeline's source image.
+    Source,
+    /// The output of an earlier stage (by index).
+    Stage(usize),
+}
+
+/// One pipeline stage.
+#[derive(Debug, Clone)]
+pub struct Stage {
+    /// The kernel run by this stage.
+    pub spec: KernelSpec,
+    /// Input bindings, one per `spec.num_inputs`.
+    pub inputs: Vec<StageInput>,
+    /// Runtime parameter values, one per `spec.user_params`.
+    pub user_params: Vec<f32>,
+}
+
+impl Stage {
+    /// Single-input stage reading the pipeline source.
+    pub fn from_source(spec: KernelSpec) -> Self {
+        assert_eq!(spec.num_inputs, 1);
+        Stage { spec, inputs: vec![StageInput::Source], user_params: vec![] }
+    }
+
+    /// Single-input stage reading a previous stage.
+    pub fn from_stage(spec: KernelSpec, stage: usize) -> Self {
+        assert_eq!(spec.num_inputs, 1);
+        Stage { spec, inputs: vec![StageInput::Stage(stage)], user_params: vec![] }
+    }
+}
+
+/// Variant selection policy for each stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Always the naive variant.
+    Naive,
+    /// Always the given ISP granularity (falling back to naive only where
+    /// ISP does not exist: point operators / degenerate partitions).
+    AlwaysIsp(Variant),
+    /// `isp+m`: the given granularity when the Eq. (10) model predicts a
+    /// gain, naive otherwise.
+    Model(Variant),
+}
+
+/// A named multi-kernel pipeline.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    /// Pipeline name for reports.
+    pub name: String,
+    /// The stages in execution order (inputs must refer backwards).
+    pub stages: Vec<Stage>,
+}
+
+/// Result of running a pipeline on the simulator.
+#[derive(Debug, Clone)]
+pub struct PipelineRun {
+    /// Final stage output (`None` in sampled mode).
+    pub image: Option<Image<f32>>,
+    /// Sum of per-stage launch cycles.
+    pub total_cycles: u64,
+    /// Merged counters across stages.
+    pub counters: PerfCounters,
+    /// The variant each stage ran.
+    pub stage_variants: Vec<Variant>,
+}
+
+impl Pipeline {
+    /// Create a pipeline, validating stage input references.
+    pub fn new(name: impl Into<String>, stages: Vec<Stage>) -> Self {
+        for (i, stage) in stages.iter().enumerate() {
+            assert_eq!(stage.spec.num_inputs, stage.inputs.len(), "stage {i} input arity");
+            assert_eq!(
+                stage.spec.user_params.len(),
+                stage.user_params.len(),
+                "stage {i} param arity"
+            );
+            for input in &stage.inputs {
+                if let StageInput::Stage(s) = input {
+                    assert!(*s < i, "stage {i} reads stage {s} which has not run yet");
+                }
+            }
+        }
+        Pipeline { name: name.into(), stages }
+    }
+
+    /// Host-side reference execution (golden pixels).
+    pub fn reference(&self, source: &Image<f32>, border: BorderSpec) -> Image<f32> {
+        let mut outputs: Vec<Image<f32>> = Vec::with_capacity(self.stages.len());
+        for stage in &self.stages {
+            let inputs: Vec<&Image<f32>> = stage
+                .inputs
+                .iter()
+                .map(|i| match i {
+                    StageInput::Source => source,
+                    StageInput::Stage(s) => &outputs[*s],
+                })
+                .collect();
+            outputs.push(reference_run(&stage.spec, &inputs, border, &stage.user_params));
+        }
+        outputs.pop().expect("pipeline has at least one stage")
+    }
+
+    /// Compile every stage under one pattern and granularity.
+    pub fn compile(
+        &self,
+        compiler: &Compiler,
+        border: BorderSpec,
+        granularity: Variant,
+    ) -> Vec<CompiledKernel> {
+        self.stages
+            .iter()
+            .map(|s| compiler.compile(&s.spec, border.pattern, granularity))
+            .collect()
+    }
+
+    /// Run the pipeline on the simulated GPU.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run(
+        &self,
+        gpu: &Gpu,
+        compiled: &[CompiledKernel],
+        source: &Image<f32>,
+        border: BorderSpec,
+        block: (u32, u32),
+        policy: Policy,
+        mode: ExecMode,
+    ) -> Result<PipelineRun, SimError> {
+        assert_eq!(compiled.len(), self.stages.len(), "one compiled kernel per stage");
+        // Exhaustive mode threads real pixels between stages. Sampled mode
+        // does not: generated kernels contain no data-dependent control flow
+        // (all border handling is `selp`-based), so counters and timing are
+        // content-independent and every stage can read the source image.
+        let mut host_outputs: Vec<Image<f32>> = Vec::with_capacity(self.stages.len());
+        let mut total_cycles = 0u64;
+        let mut counters = PerfCounters::new();
+        let mut stage_variants = Vec::with_capacity(self.stages.len());
+        let mut last_image = None;
+
+        for (stage, ck) in self.stages.iter().zip(compiled) {
+            let inputs: Vec<&Image<f32>> = stage
+                .inputs
+                .iter()
+                .map(|i| match (i, mode) {
+                    (StageInput::Source, _) => source,
+                    (StageInput::Stage(_), ExecMode::Sampled) => source,
+                    (StageInput::Stage(s), ExecMode::Exhaustive) => &host_outputs[*s],
+                })
+                .collect();
+            let (w, h) = inputs[0].dims();
+            let variant = match policy {
+                Policy::Naive => Variant::Naive,
+                Policy::AlwaysIsp(g) => {
+                    let geom = geometry_for(ck, w, h, block);
+                    let bounds = isp_core::IndexBounds::new(&geom);
+                    if ck.isp.is_some() && bounds.is_valid() {
+                        g
+                    } else {
+                        Variant::Naive
+                    }
+                }
+                Policy::Model(_) => {
+                    let geom = geometry_for(ck, w, h, block);
+                    plan_for(gpu, ck, &geom).variant
+                }
+            };
+            let out = run_filter(
+                gpu,
+                ck,
+                variant,
+                &inputs,
+                &stage.user_params,
+                border.constant,
+                block,
+                mode,
+            )?;
+            total_cycles += out.report.timing.cycles;
+            counters.merge(&out.report.counters);
+            stage_variants.push(variant);
+            last_image = out.image.clone();
+            // Host-side stage output for downstream stages (exhaustive only).
+            if mode == ExecMode::Exhaustive {
+                host_outputs
+                    .push(out.image.expect("exhaustive launches always produce pixels"));
+            }
+        }
+        Ok(PipelineRun { image: last_image, total_cycles, counters, stage_variants })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use isp_image::{ImageGenerator, Mask};
+    use isp_sim::DeviceSpec;
+
+    /// A miniature Sobel: dx, dy, magnitude.
+    fn sobel_pipeline() -> Pipeline {
+        let dx = KernelSpec::convolution("sobel_dx", &Mask::sobel_x());
+        let dy = KernelSpec::convolution("sobel_dy", &Mask::sobel_y());
+        let mag = KernelSpec::new(
+            "sobel_mag",
+            2,
+            vec![],
+            (Expr::input_at(0, 0, 0) * Expr::input_at(0, 0, 0)
+                + Expr::input_at(1, 0, 0) * Expr::input_at(1, 0, 0))
+            .sqrt(),
+        );
+        Pipeline::new(
+            "sobel",
+            vec![
+                Stage::from_source(dx),
+                Stage::from_source(dy),
+                Stage {
+                    spec: mag,
+                    inputs: vec![StageInput::Stage(0), StageInput::Stage(1)],
+                    user_params: vec![],
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn pipeline_matches_reference_for_all_policies() {
+        let p = sobel_pipeline();
+        let img = ImageGenerator::new(8).shapes::<f32>(64, 48);
+        let gpu = Gpu::new(DeviceSpec::gtx680());
+        let border = BorderSpec::clamp();
+        let golden = p.reference(&img, border);
+        let compiled = p.compile(&Compiler::new(), border, Variant::IspBlock);
+        for policy in [
+            Policy::Naive,
+            Policy::AlwaysIsp(Variant::IspBlock),
+            Policy::Model(Variant::IspBlock),
+        ] {
+            let run = p
+                .run(&gpu, &compiled, &img, border, (32, 4), policy, ExecMode::Exhaustive)
+                .unwrap();
+            let d = run.image.unwrap().max_abs_diff(&golden).unwrap();
+            assert!(d < 1e-4, "{policy:?}: diff {d}");
+            assert_eq!(run.stage_variants.len(), 3);
+            // The magnitude stage is a point op: always naive.
+            assert_eq!(run.stage_variants[2], Variant::Naive);
+            assert!(run.total_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn sampled_pipeline_accumulates_counters() {
+        let p = sobel_pipeline();
+        let img = ImageGenerator::new(8).uniform_noise::<f32>(128, 128);
+        let gpu = Gpu::new(DeviceSpec::rtx2080());
+        let border = BorderSpec::mirror();
+        let compiled = p.compile(&Compiler::new(), border, Variant::IspBlock);
+        let run = p
+            .run(
+                &gpu,
+                &compiled,
+                &img,
+                border,
+                (32, 4),
+                Policy::AlwaysIsp(Variant::IspBlock),
+                ExecMode::Sampled,
+            )
+            .unwrap();
+        assert!(run.image.is_none());
+        assert!(run.counters.warp_instructions > 0);
+        assert_eq!(run.counters.blocks, 3 * 128); // 3 stages x (4x32)-block grid
+    }
+
+    #[test]
+    #[should_panic(expected = "has not run yet")]
+    fn forward_references_rejected() {
+        let spec = KernelSpec::new("id", 1, vec![], Expr::at(0, 0));
+        let _ = Pipeline::new(
+            "bad",
+            vec![Stage { spec, inputs: vec![StageInput::Stage(0)], user_params: vec![] }],
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Kernel specifications: the user-facing description a filter author writes.
+
+use crate::expr::Expr;
+use isp_image::Mask;
+
+/// A local-operator kernel specification — the analogue of a Hipacc `Kernel`
+/// subclass: a name, the inputs it reads, runtime parameters, and the output
+/// expression (with the window implied by the expression's accesses).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSpec {
+    /// Kernel name (used for IR names and reports).
+    pub name: String,
+    /// Number of input images.
+    pub num_inputs: usize,
+    /// Names of runtime `f32` parameters, indexed by [`Expr::Param`].
+    pub user_params: Vec<String>,
+    /// The output-pixel expression.
+    pub body: Expr,
+}
+
+impl KernelSpec {
+    /// Create a spec. The window is inferred from the body's accesses
+    /// (Hipacc's domain inference); panics if the body references inputs or
+    /// parameters beyond the declared counts.
+    pub fn new(
+        name: impl Into<String>,
+        num_inputs: usize,
+        user_params: Vec<String>,
+        body: Expr,
+    ) -> Self {
+        let spec = KernelSpec { name: name.into(), num_inputs, user_params, body };
+        assert!(
+            spec.body.accs_well_placed(),
+            "kernel '{}': Acc placeholders outside a FusedReduce combine",
+            spec.name
+        );
+        for (input, _, _) in spec.body.accesses() {
+            assert!(
+                input < spec.num_inputs,
+                "kernel '{}' reads undeclared input {input}",
+                spec.name
+            );
+        }
+        if let Some(p) = spec.body.max_param() {
+            assert!(
+                p < spec.user_params.len(),
+                "kernel '{}' reads undeclared parameter {p}",
+                spec.name
+            );
+        }
+        spec
+    }
+
+    /// Dense convolution with a mask over input 0, skipping zero
+    /// coefficients (domain inference from the mask).
+    ///
+    /// The sum is a fused reduction (Hipacc's `iterate`), evaluated
+    /// tap-at-a-time with a single running accumulator — both stack-safe for
+    /// huge windows and register-pressure-realistic.
+    pub fn convolution(name: impl Into<String>, mask: &Mask) -> Self {
+        let terms: Vec<Expr> = mask
+            .domain()
+            .iter_offsets()
+            .map(|(dx, dy)| Expr::Const(mask.coeff_at(dx, dy)) * Expr::at(dx, dy))
+            .collect();
+        let body = Expr::fused_sum(terms);
+        Self::new(name, 1, vec![], body)
+    }
+
+    /// The stencil radii `(rx, ry)` inferred from the body's accesses.
+    pub fn radii(&self) -> (usize, usize) {
+        let mut rx = 0i64;
+        let mut ry = 0i64;
+        for (_, dx, dy) in self.body.accesses() {
+            rx = rx.max(dx.abs());
+            ry = ry.max(dy.abs());
+        }
+        (rx as usize, ry as usize)
+    }
+
+    /// The inferred window size `(m, n)` — `2r+1` per axis.
+    pub fn window(&self) -> (usize, usize) {
+        let (rx, ry) = self.radii();
+        (2 * rx + 1, 2 * ry + 1)
+    }
+
+    /// Whether this is a point operator (no neighbourhood): point operators
+    /// need no border handling at all.
+    pub fn is_point_op(&self) -> bool {
+        self.radii() == (0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use isp_image::Mask;
+
+    #[test]
+    fn convolution_from_mask() {
+        let mask = Mask::gaussian(5, 1.0).unwrap();
+        let spec = KernelSpec::convolution("gauss5", &mask);
+        assert_eq!(spec.window(), (5, 5));
+        assert_eq!(spec.radii(), (2, 2));
+        assert_eq!(spec.body.accesses().len(), 25);
+        assert!(!spec.is_point_op());
+    }
+
+    #[test]
+    fn sparse_mask_skips_zero_coefficients() {
+        let mask = Mask::laplace(3).unwrap();
+        let spec = KernelSpec::convolution("laplace3", &mask);
+        assert_eq!(spec.body.accesses().len(), 5);
+        assert_eq!(spec.window(), (3, 3));
+    }
+
+    #[test]
+    fn atrous_window_inferred_from_reach() {
+        let base = Mask::gaussian(3, 0.85).unwrap();
+        let dilated = Mask::atrous(&base, 4).unwrap();
+        let spec = KernelSpec::convolution("atrous9", &dilated);
+        assert_eq!(spec.window(), (9, 9));
+        assert_eq!(spec.body.accesses().len(), 9, "only the 9 active taps");
+    }
+
+    #[test]
+    fn point_op_detection() {
+        let spec = KernelSpec::new(
+            "tonemap",
+            1,
+            vec![],
+            Expr::at(0, 0) / (Expr::at(0, 0) + 1.0),
+        );
+        assert!(spec.is_point_op());
+        assert_eq!(spec.window(), (1, 1));
+    }
+
+    #[test]
+    fn asymmetric_windows() {
+        let body = Expr::at(-3, 0) + Expr::at(3, 0) + Expr::at(0, -1) + Expr::at(0, 1);
+        let spec = KernelSpec::new("aniso", 1, vec![], body);
+        assert_eq!(spec.window(), (7, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared input")]
+    fn undeclared_input_rejected() {
+        let _ = KernelSpec::new("bad", 1, vec![], Expr::input_at(1, 0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared parameter")]
+    fn undeclared_param_rejected() {
+        let _ = KernelSpec::new("bad", 1, vec![], Expr::at(0, 0) * Expr::param(0));
+    }
+}

@@ -1,0 +1,189 @@
+//! Block-size autotuning.
+//!
+//! The paper stresses that the benefit of ISP "depends on the image size as
+//! well as the user-defined block size" (§IV-A.3) and that wide blocks use
+//! memory more efficiently (§V-B), but leaves the block size to the user.
+//! This module closes that loop: rank candidate block sizes by a predicted
+//! absolute cost assembled from the same ingredients as the Eq. (10) model —
+//! per-region weighted instruction costs, Eq. (8) block populations,
+//! occupancy, block-shape coalescing, and ragged-grid padding waste — and
+//! pick the variant per candidate with the isp+m rule.
+
+use crate::compile::CompiledKernel;
+use crate::runner::geometry_for;
+use isp_core::{IndexBounds, Variant};
+use isp_sim::device::transactions_per_access_for_block;
+use isp_sim::{occupancy, Gpu};
+
+/// Candidate block sizes worth trying on these devices (warp-aligned widths,
+/// 64–512 threads).
+pub const DEFAULT_CANDIDATES: [(u32, u32); 8] = [
+    (32, 2),
+    (32, 4),
+    (32, 8),
+    (64, 2),
+    (64, 4),
+    (128, 1),
+    (128, 2),
+    (256, 1),
+];
+
+/// One evaluated candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TunePoint {
+    /// Block size `(tx, ty)`.
+    pub block: (u32, u32),
+    /// The better variant at this block size (per the model).
+    pub variant: Variant,
+    /// Predicted cost in weighted warp-cycles (relative units; lower wins).
+    pub predicted_cost: f64,
+    /// Theoretical occupancy of the chosen variant.
+    pub occupancy: f64,
+    /// Predicted ISP-over-naive gain at this block size (Eq. 10).
+    pub gain: f64,
+}
+
+/// Rank `candidates` (best first) for running `ck` on a `width x height`
+/// image on `gpu`. Uses model predictions only — no simulation.
+pub fn tune_block_size(
+    gpu: &Gpu,
+    ck: &CompiledKernel,
+    width: usize,
+    height: usize,
+    candidates: &[(u32, u32)],
+) -> Vec<TunePoint> {
+    let device = gpu.device();
+    let mut points = Vec::with_capacity(candidates.len());
+    for &block in candidates {
+        let threads = block.0 * block.1;
+        if threads == 0 || threads > isp_sim::launch::MAX_THREADS_PER_BLOCK {
+            continue;
+        }
+        let geom = geometry_for(ck, width, height, block);
+        let (gx, gy) = geom.grid();
+        // Ragged grids pay for threads that compute nothing.
+        let launched_threads = (gx as f64 * gy as f64) * threads as f64;
+        let tx_per_access = transactions_per_access_for_block(block.0);
+
+        // Naive cost: every launched thread runs the full checked path.
+        let occ_naive =
+            occupancy(device, threads, ck.naive.regs.data_regs).occupancy;
+        let naive_cost = device.weighted_cost_with(&ck.naive.static_histogram, tx_per_access)
+            * launched_threads
+            / occ_naive;
+
+        // ISP cost: per-region path costs weighted by block populations.
+        let bounds = IndexBounds::new(&geom);
+        let isp_cost = ck.isp.as_ref().filter(|_| bounds.is_valid()).map(|isp| {
+            let occ_isp = occupancy(device, threads, isp.regs.data_regs).occupancy;
+            let hists = isp.region_histograms.as_ref().expect("isp has regions");
+            let counts = bounds.block_counts();
+            let mut cost = 0.0;
+            for (region, hist) in hists {
+                let region_threads = counts.get(*region) as f64 * threads as f64;
+                cost += device.weighted_cost_with(hist, tx_per_access) * region_threads;
+            }
+            (cost / occ_isp, occ_isp)
+        });
+
+        let (variant, predicted_cost, occ) = match isp_cost {
+            Some((ic, occ_isp)) if ic < naive_cost => (
+                ck.isp.as_ref().expect("checked").variant,
+                ic,
+                occ_isp,
+            ),
+            _ => (Variant::Naive, naive_cost, occ_naive),
+        };
+        let gain = match isp_cost {
+            Some((ic, _)) => naive_cost / ic,
+            None => 1.0,
+        };
+        points.push(TunePoint { block, variant, predicted_cost, occupancy: occ, gain });
+    }
+    points.sort_by(|a, b| a.predicted_cost.total_cmp(&b.predicted_cost));
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Compiler;
+    use isp_image::BorderPattern;
+    use isp_sim::DeviceSpec;
+
+    fn tuned(pattern: BorderPattern, size: usize) -> Vec<TunePoint> {
+        let spec = isp_filters_spec();
+        let ck = Compiler::new().compile(&spec, pattern, Variant::IspBlock);
+        let gpu = Gpu::new(DeviceSpec::gtx680());
+        tune_block_size(&gpu, &ck, size, size, &DEFAULT_CANDIDATES)
+    }
+
+    // A local 5x5 convolution spec (isp-filters depends on this crate, so
+    // tests build their own).
+    fn isp_filters_spec() -> crate::KernelSpec {
+        crate::KernelSpec::convolution(
+            "tune_gauss5",
+            &isp_image::Mask::gaussian(5, 1.0).unwrap(),
+        )
+    }
+
+    #[test]
+    fn prefers_warp_wide_blocks() {
+        // Narrow blocks cost extra memory transactions; the winner must be
+        // at least a full warp wide.
+        let points = tuned(BorderPattern::Repeat, 2048);
+        assert!(!points.is_empty());
+        assert!(points[0].block.0 >= 32, "winner {:?}", points[0]);
+        // And the ranking must be strictly ordered by predicted cost.
+        for w in points.windows(2) {
+            assert!(w[0].predicted_cost <= w[1].predicted_cost);
+        }
+    }
+
+    #[test]
+    fn picks_isp_on_large_repeat_images() {
+        let points = tuned(BorderPattern::Repeat, 2048);
+        assert!(points[0].variant.is_isp(), "{:?}", points[0]);
+        assert!(points[0].gain > 1.0);
+    }
+
+    #[test]
+    fn covers_all_valid_candidates() {
+        let points = tuned(BorderPattern::Clamp, 1024);
+        assert_eq!(points.len(), DEFAULT_CANDIDATES.len());
+        // Every candidate appears exactly once.
+        let mut blocks: Vec<_> = points.iter().map(|p| p.block).collect();
+        blocks.sort_unstable();
+        let mut expect = DEFAULT_CANDIDATES.to_vec();
+        expect.sort_unstable();
+        assert_eq!(blocks, expect);
+    }
+
+    #[test]
+    fn ragged_grids_are_penalised() {
+        // 1000x1000 image: 128-wide blocks overshoot by 24 columns; with
+        // everything else comparable, the tuner must notice the waste in
+        // its absolute cost (compare the same shape at a divisible size).
+        let spec = isp_filters_spec();
+        let ck = Compiler::new().compile(&spec, BorderPattern::Clamp, Variant::IspBlock);
+        let gpu = Gpu::new(DeviceSpec::gtx680());
+        let ragged = tune_block_size(&gpu, &ck, 1000, 1000, &[(128, 2)]);
+        let exact = tune_block_size(&gpu, &ck, 1024, 1024, &[(128, 2)]);
+        let per_pixel_ragged = ragged[0].predicted_cost / (1000.0 * 1000.0);
+        let per_pixel_exact = exact[0].predicted_cost / (1024.0 * 1024.0);
+        assert!(
+            per_pixel_ragged > per_pixel_exact,
+            "{per_pixel_ragged} vs {per_pixel_exact}"
+        );
+    }
+
+    #[test]
+    fn point_ops_always_naive() {
+        let spec = crate::KernelSpec::new("id", 1, vec![], crate::Expr::at(0, 0));
+        let ck = Compiler::new().compile(&spec, BorderPattern::Clamp, Variant::IspBlock);
+        let gpu = Gpu::new(DeviceSpec::rtx2080());
+        let points = tune_block_size(&gpu, &ck, 512, 512, &DEFAULT_CANDIDATES);
+        assert!(points.iter().all(|p| p.variant == Variant::Naive));
+        assert!(points.iter().all(|p| (p.gain - 1.0).abs() < 1e-12));
+    }
+}

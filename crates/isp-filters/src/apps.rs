@@ -1,0 +1,73 @@
+//! The application registry the bench harness iterates over.
+
+use isp_dsl::Pipeline;
+
+/// One evaluated application.
+#[derive(Debug, Clone)]
+pub struct App {
+    /// Display name as used in the paper's tables and figures.
+    pub name: &'static str,
+    /// The pipeline to compile and run.
+    pub pipeline: Pipeline,
+    /// One-line description of the workload.
+    pub description: &'static str,
+}
+
+/// The paper's five applications, in its reporting order.
+pub fn all_apps() -> Vec<App> {
+    vec![
+        App {
+            name: "Gaussian",
+            pipeline: crate::gaussian::pipeline(),
+            description: "3x3 Gaussian smoothing (single cheap kernel)",
+        },
+        App {
+            name: "Laplace",
+            pipeline: crate::laplace::pipeline(),
+            description: "5x5 Laplacian edge detection (single kernel, sparse mask)",
+        },
+        App {
+            name: "Bilateral",
+            pipeline: crate::bilateral::pipeline(),
+            description: "13x13 bilateral filter (single expensive kernel, SFU-heavy)",
+        },
+        App {
+            name: "Sobel",
+            pipeline: crate::sobel::pipeline(),
+            description: "3-kernel Sobel: x/y derivatives + magnitude point op",
+        },
+        App {
+            name: "Night",
+            pipeline: crate::night::pipeline(),
+            description: "5-kernel night enhancement: atrous 3/5/9/17 + tone mapping",
+        },
+    ]
+}
+
+/// Look up an app by (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<App> {
+    all_apps().into_iter().find(|a| a.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_paper() {
+        let apps = all_apps();
+        assert_eq!(apps.len(), 5);
+        let names: Vec<_> = apps.iter().map(|a| a.name).collect();
+        assert_eq!(names, vec!["Gaussian", "Laplace", "Bilateral", "Sobel", "Night"]);
+        // Kernel counts per app: 1, 1, 1, 3, 5.
+        let kernels: Vec<usize> = apps.iter().map(|a| a.pipeline.stages.len()).collect();
+        assert_eq!(kernels, vec![1, 1, 1, 3, 5]);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("sobel").is_some());
+        assert!(by_name("BILATERAL").is_some());
+        assert!(by_name("unsharp").is_none());
+    }
+}

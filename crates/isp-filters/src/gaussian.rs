@@ -1,0 +1,103 @@
+//! Gaussian smoothing filter (3x3 in the paper's evaluation).
+
+use isp_dsl::{KernelSpec, Pipeline};
+use isp_dsl::pipeline::Stage;
+use isp_image::Mask;
+
+/// The paper's evaluation window size.
+pub const PAPER_WINDOW: usize = 3;
+
+/// Default standard deviation for a given window (one third of the radius
+/// rule of thumb, floored to keep tiny windows meaningful).
+pub fn default_sigma(window: usize) -> f32 {
+    ((window / 2) as f32 / 2.0).max(0.6)
+}
+
+/// The Gaussian mask used by the app.
+pub fn mask(window: usize) -> Mask {
+    Mask::gaussian(window, default_sigma(window)).expect("odd window")
+}
+
+/// Kernel spec for a `window x window` Gaussian.
+pub fn spec(window: usize) -> KernelSpec {
+    KernelSpec::convolution(format!("gaussian{window}"), &mask(window))
+}
+
+/// Single-stage pipeline with the paper's 3x3 window.
+pub fn pipeline() -> Pipeline {
+    Pipeline::new("gaussian", vec![Stage::from_source(spec(PAPER_WINDOW))])
+}
+
+/// Separable two-pass pipeline (horizontal 1D then vertical 1D) — the
+/// classic rank-1 factorisation. Exercises asymmetric windows end to end:
+/// the horizontal pass has no top/bottom border regions at all, the
+/// vertical pass no left/right ones, so the partitioner produces 3-region
+/// decompositions instead of 9.
+pub fn separable_pipeline(window: usize) -> Pipeline {
+    let (col, row) = mask(window).separate().expect("gaussians are separable");
+    Pipeline::new(
+        "gaussian_separable",
+        vec![
+            Stage::from_source(KernelSpec::convolution(format!("gaussh{window}"), &row)),
+            Stage::from_stage(KernelSpec::convolution(format!("gaussv{window}"), &col), 0),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isp_image::{convolve, BorderSpec, ImageGenerator};
+
+    #[test]
+    fn pipeline_reference_equals_direct_convolution() {
+        let img = ImageGenerator::new(3).natural::<f32>(48, 32);
+        let p = pipeline();
+        for border in [BorderSpec::clamp(), BorderSpec::repeat()] {
+            let via_pipeline = p.reference(&img, border);
+            let direct = convolve(&img, &mask(PAPER_WINDOW), border);
+            assert!(via_pipeline.max_abs_diff(&direct).unwrap() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gaussian_smooths_noise() {
+        let img = ImageGenerator::new(3).uniform_noise::<f32>(64, 64);
+        let out = pipeline().reference(&img, BorderSpec::mirror());
+        // Variance must drop substantially.
+        let var = |i: &isp_image::Image<f32>| {
+            let m = i.mean();
+            i.pixels().map(|(_, _, v)| (v as f64 - m).powi(2)).sum::<f64>() / i.len() as f64
+        };
+        assert!(var(&out) < 0.5 * var(&img));
+        // Mean is preserved (mask sums to 1).
+        assert!((out.mean() - img.mean()).abs() < 0.01);
+    }
+
+    #[test]
+    fn separable_pipeline_matches_2d_interior() {
+        let img = ImageGenerator::new(6).uniform_noise::<f32>(48, 40);
+        let border = BorderSpec::clamp();
+        let two_d = pipeline().reference(&img, border);
+        let sep = separable_pipeline(PAPER_WINDOW).reference(&img, border);
+        let r = PAPER_WINDOW / 2 + 1;
+        let roi = isp_image::Roi::new(r, r, 48 - 2 * r, 40 - 2 * r);
+        let a = two_d.crop(roi).unwrap();
+        let b = sep.crop(roi).unwrap();
+        assert!(a.max_abs_diff(&b).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn separable_stages_have_one_dimensional_windows() {
+        let p = separable_pipeline(5);
+        assert_eq!(p.stages[0].spec.window(), (5, 1));
+        assert_eq!(p.stages[1].spec.window(), (1, 5));
+    }
+
+    #[test]
+    fn window_sizes_produce_expected_radii() {
+        assert_eq!(spec(3).window(), (3, 3));
+        assert_eq!(spec(5).window(), (5, 5));
+        assert_eq!(spec(7).radii(), (3, 3));
+    }
+}

@@ -1,0 +1,55 @@
+//! Laplacian edge detector (5x5 in the paper's evaluation).
+
+use isp_dsl::pipeline::Stage;
+use isp_dsl::{KernelSpec, Pipeline};
+use isp_image::Mask;
+
+/// The paper's evaluation window size.
+pub const PAPER_WINDOW: usize = 5;
+
+/// The Laplacian mask (3 or 5 supported, as in `isp-image`).
+pub fn mask(window: usize) -> Mask {
+    Mask::laplace(window).expect("supported laplace window")
+}
+
+/// Kernel spec for the Laplacian.
+pub fn spec(window: usize) -> KernelSpec {
+    KernelSpec::convolution(format!("laplace{window}"), &mask(window))
+}
+
+/// Single-stage pipeline with the paper's 5x5 window.
+pub fn pipeline() -> Pipeline {
+    Pipeline::new("laplace", vec![Stage::from_source(spec(PAPER_WINDOW))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isp_image::{BorderSpec, Image, ImageGenerator};
+
+    #[test]
+    fn flat_regions_give_zero_response() {
+        let img = Image::<f32>::filled(32, 32, 0.7);
+        let out = pipeline().reference(&img, BorderSpec::clamp());
+        let (lo, hi) = out.min_max();
+        assert!(lo.abs() < 1e-5 && hi.abs() < 1e-5, "laplacian of constant is 0");
+    }
+
+    #[test]
+    fn edges_give_strong_response() {
+        let img = ImageGenerator::new(1).checkerboard::<f32>(32, 32, 8);
+        let out = pipeline().reference(&img, BorderSpec::mirror());
+        let (lo, hi) = out.min_max();
+        assert!(hi > 1.0, "positive response at edges, got {hi}");
+        assert!(lo < -1.0, "negative response at edges, got {lo}");
+        // Interior of a flat cell: zero.
+        assert!(out.get(4, 4).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sparse_domain_skips_zero_cells() {
+        // The 5x5 integer Laplacian has 13 non-zero cells of 25.
+        assert_eq!(spec(5).body.accesses().len(), 13);
+        assert_eq!(spec(3).body.accesses().len(), 5);
+    }
+}

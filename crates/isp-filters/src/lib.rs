@@ -1,0 +1,26 @@
+//! # isp-filters
+//!
+//! The five applications of the paper's evaluation (§VI), written in the
+//! DSL exactly as a Hipacc user would write them:
+//!
+//! | App       | Kernels | Windows                | Notes                          |
+//! |-----------|---------|------------------------|--------------------------------|
+//! | Gaussian  | 1       | 3x3                    | cheap separable smoother       |
+//! | Laplace   | 1       | 5x5                    | integer edge detector          |
+//! | Bilateral | 1       | 13x13                  | expensive, data-dependent SFU  |
+//! | Sobel     | 3       | 3x3, 3x3, point        | two derivatives + magnitude    |
+//! | Night     | 5       | 3,5,9,17 (atrous) + pt | denoise pyramid + tone mapping |
+//!
+//! Every app exposes its [`isp_dsl::Pipeline`] plus golden-reference
+//! helpers; [`apps::all_apps`] enumerates them for the bench harness.
+
+pub mod apps;
+pub mod bilateral;
+pub mod gaussian;
+pub mod laplace;
+pub mod median;
+pub mod morphology;
+pub mod night;
+pub mod sobel;
+
+pub use apps::{all_apps, by_name, App};

@@ -1,0 +1,118 @@
+//! 3x3 median filter via a branch-free min/max exchange network — the
+//! classic GPU formulation (no sorting, no divergence), expressible in the
+//! DSL with nothing but `min`/`max` nodes. Strong salt-and-pepper noise
+//! removal, and another cheap-kernel/many-checks data point for ISP.
+
+use isp_dsl::pipeline::Stage;
+use isp_dsl::{Expr, KernelSpec, Pipeline};
+
+/// Sort-free 3x3 median via Paeth's 19-exchange network: each exchange is
+/// one `min` + one `max`, so the whole kernel is 38 branch-free ALU ops.
+pub fn spec() -> KernelSpec {
+    // The nine window samples, row-major.
+    let mut p: Vec<Expr> = Vec::with_capacity(9);
+    for dy in -1i64..=1 {
+        for dx in -1i64..=1 {
+            p.push(Expr::at(dx, dy));
+        }
+    }
+    // Exchange: order (p[i], p[j]) so p[i] <= p[j].
+    fn swap(p: &mut [Expr], i: usize, j: usize) {
+        let lo = p[i].clone().min(p[j].clone());
+        let hi = p[i].clone().max(p[j].clone());
+        p[i] = lo;
+        p[j] = hi;
+    }
+    // Paeth's 19-exchange 9-element median network: after these exchanges,
+    // p[4] holds the median.
+    for &(i, j) in &[
+        (1usize, 2usize),
+        (4, 5),
+        (7, 8),
+        (0, 1),
+        (3, 4),
+        (6, 7),
+        (1, 2),
+        (4, 5),
+        (7, 8),
+        (0, 3),
+        (5, 8),
+        (4, 7),
+        (3, 6),
+        (1, 4),
+        (2, 5),
+        (4, 7),
+        (4, 2),
+        (6, 4),
+        (4, 2),
+    ] {
+        swap(&mut p, i, j);
+    }
+    KernelSpec::new("median3", 1, vec![], p[4].clone())
+}
+
+/// Single-stage median pipeline.
+pub fn pipeline() -> Pipeline {
+    Pipeline::new("median", vec![Stage::from_source(spec())])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isp_image::{BorderSpec, Image, ImageGenerator};
+
+    /// Host-side ground truth by actual sorting.
+    fn median_sorted(img: &Image<f32>, x: usize, y: usize) -> f32 {
+        let b = isp_image::BorderedImage::new(img, BorderSpec::clamp());
+        let mut vals: Vec<f32> = (-1i64..=1)
+            .flat_map(|dy| (-1i64..=1).map(move |dx| (dx, dy)))
+            .map(|(dx, dy)| b.get_offset(x, y, dx, dy))
+            .collect();
+        vals.sort_by(f32::total_cmp);
+        vals[4]
+    }
+
+    #[test]
+    fn network_matches_sorting_median() {
+        let img = ImageGenerator::new(77).uniform_noise::<f32>(32, 24);
+        let out = pipeline().reference(&img, BorderSpec::clamp());
+        for y in 0..24 {
+            for x in 0..32 {
+                let expect = median_sorted(&img, x, y);
+                assert!(
+                    (out.get(x, y) - expect).abs() < 1e-6,
+                    "({x},{y}): network {} vs sorted {expect}",
+                    out.get(x, y)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn removes_salt_and_pepper_noise() {
+        let mut img = Image::<f32>::filled(32, 32, 0.5);
+        img.set(10, 10, 1.0); // salt
+        img.set(20, 20, 0.0); // pepper
+        let out = pipeline().reference(&img, BorderSpec::clamp());
+        assert!((out.get(10, 10) - 0.5).abs() < 1e-6);
+        assert!((out.get(20, 20) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn median_is_idempotent_on_flat_regions() {
+        let img = ImageGenerator::new(2).checkerboard::<f32>(32, 32, 8);
+        let once = pipeline().reference(&img, BorderSpec::mirror());
+        let twice = pipeline().reference(&once, BorderSpec::mirror());
+        // Large flat cells stabilise after one pass except at cell corners.
+        let diff = once.count_diff(&twice, 1e-6).unwrap();
+        assert!(diff < 32 * 32 / 10, "mostly stable: {diff} pixels changed");
+    }
+
+    #[test]
+    fn spec_shape() {
+        let s = spec();
+        assert_eq!(s.window(), (3, 3));
+        assert_eq!(s.body.accesses().len(), 9);
+        assert!(!s.is_point_op());
+    }
+}

@@ -1,0 +1,156 @@
+//! Morphological operators (erosion, dilation, opening, closing) —
+//! min/max stencils built on the DSL's non-additive fused reductions.
+//!
+//! Not part of the paper's evaluation set, but squarely inside Hipacc's
+//! application domain, and a useful stressor: morphology windows are often
+//! large and the kernels are extremely cheap, the regime where ISP shines.
+
+use isp_dsl::pipeline::{Stage, StageInput};
+use isp_dsl::{Expr, KernelSpec, Pipeline};
+
+fn window_terms(window: usize) -> Vec<Expr> {
+    assert!(window % 2 == 1, "odd windows only");
+    let r = (window / 2) as i64;
+    let mut terms = Vec::with_capacity(window * window);
+    for dy in -r..=r {
+        for dx in -r..=r {
+            terms.push(Expr::at(dx, dy));
+        }
+    }
+    terms
+}
+
+/// Erosion: windowed minimum.
+pub fn spec_erode(window: usize) -> KernelSpec {
+    KernelSpec::new(
+        format!("erode{window}"),
+        1,
+        vec![],
+        Expr::fused_min(window_terms(window)),
+    )
+}
+
+/// Dilation: windowed maximum.
+pub fn spec_dilate(window: usize) -> KernelSpec {
+    KernelSpec::new(
+        format!("dilate{window}"),
+        1,
+        vec![],
+        Expr::fused_max(window_terms(window)),
+    )
+}
+
+/// Opening: erosion followed by dilation (removes bright specks).
+pub fn opening(window: usize) -> Pipeline {
+    Pipeline::new(
+        "opening",
+        vec![
+            Stage::from_source(spec_erode(window)),
+            Stage::from_stage(spec_dilate(window), 0),
+        ],
+    )
+}
+
+/// Closing: dilation followed by erosion (fills dark pinholes).
+pub fn closing(window: usize) -> Pipeline {
+    Pipeline::new(
+        "closing",
+        vec![
+            Stage::from_source(spec_dilate(window)),
+            Stage::from_stage(spec_erode(window), 0),
+        ],
+    )
+}
+
+/// Morphological gradient: dilation minus erosion (edge thickness map).
+pub fn gradient(window: usize) -> Pipeline {
+    let diff = KernelSpec::new(
+        "morph_gradient_diff",
+        2,
+        vec![],
+        Expr::input_at(0, 0, 0) - Expr::input_at(1, 0, 0),
+    );
+    Pipeline::new(
+        "morph_gradient",
+        vec![
+            Stage::from_source(spec_dilate(window)),
+            Stage::from_source(spec_erode(window)),
+            Stage {
+                spec: diff,
+                inputs: vec![StageInput::Stage(0), StageInput::Stage(1)],
+                user_params: vec![],
+            },
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isp_image::{BorderSpec, Image, ImageGenerator};
+
+    #[test]
+    fn erosion_and_dilation_bracket_the_input() {
+        let img = ImageGenerator::new(3).natural::<f32>(40, 30);
+        let border = BorderSpec::clamp();
+        let eroded =
+            Pipeline::new("e", vec![Stage::from_source(spec_erode(3))]).reference(&img, border);
+        let dilated =
+            Pipeline::new("d", vec![Stage::from_source(spec_dilate(3))]).reference(&img, border);
+        for (x, y, v) in img.pixels() {
+            assert!(eroded.get(x, y) <= v + 1e-6, "erosion only shrinks");
+            assert!(dilated.get(x, y) >= v - 1e-6, "dilation only grows");
+        }
+    }
+
+    #[test]
+    fn erosion_dilation_duality() {
+        // erode(f) == -dilate(-f): min/max duality.
+        let img = ImageGenerator::new(9).uniform_noise::<f32>(24, 24);
+        let neg = img.map(|v| -v);
+        let border = BorderSpec::mirror();
+        let a = Pipeline::new("e", vec![Stage::from_source(spec_erode(5))]).reference(&img, border);
+        let b = Pipeline::new("d", vec![Stage::from_source(spec_dilate(5))])
+            .reference(&neg, border)
+            .map(|v| -v);
+        assert!(a.max_abs_diff(&b).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn opening_removes_bright_specks() {
+        // A single bright pixel on a dark field disappears under opening.
+        let mut img = Image::<f32>::filled(32, 32, 0.1);
+        img.set(16, 16, 1.0);
+        let out = opening(3).reference(&img, BorderSpec::clamp());
+        assert!(out.get(16, 16) < 0.11, "speck must vanish, got {}", out.get(16, 16));
+    }
+
+    #[test]
+    fn closing_fills_dark_pinholes() {
+        let mut img = Image::<f32>::filled(32, 32, 0.9);
+        img.set(10, 10, 0.0);
+        let out = closing(3).reference(&img, BorderSpec::clamp());
+        assert!(out.get(10, 10) > 0.89, "pinhole must fill, got {}", out.get(10, 10));
+    }
+
+    #[test]
+    fn gradient_highlights_edges() {
+        let img = Image::<f32>::from_fn(32, 32, |x, _| if x < 16 { 0.0 } else { 1.0 });
+        let out = gradient(3).reference(&img, BorderSpec::clamp());
+        // At the step, dilate=1 and erode=0 -> gradient 1; far away 0.
+        assert!(out.get(15, 16) > 0.99);
+        assert!(out.get(16, 16) > 0.99);
+        assert!(out.get(4, 16) < 1e-6);
+        assert!(out.get(28, 16) < 1e-6);
+    }
+
+    #[test]
+    fn idempotence_of_opening() {
+        // opening(opening(f)) == opening(f).
+        let img = ImageGenerator::new(4).uniform_noise::<f32>(24, 24);
+        let border = BorderSpec::clamp();
+        let once = opening(3).reference(&img, border);
+        let twice = opening(3).reference(&once, border);
+        assert!(once.max_abs_diff(&twice).unwrap() < 1e-6);
+    }
+}

@@ -1,0 +1,136 @@
+//! Border-resolved read access to an image.
+
+use crate::border::{resolve_2d, BorderSpec};
+use crate::image::Image;
+use crate::pixel::Pixel;
+
+/// An image wrapped with a [`BorderSpec`]: reads at any signed coordinate are
+/// legal and produce the pattern-defined value.
+///
+/// This is the reference analogue of Hipacc's `BoundaryCondition` +
+/// `Accessor` pair: the golden filters read through it, and the simulated
+/// kernels must produce identical pixels.
+#[derive(Debug, Clone, Copy)]
+pub struct BorderedImage<'a, T: Pixel> {
+    image: &'a Image<T>,
+    spec: BorderSpec,
+}
+
+impl<'a, T: Pixel> BorderedImage<'a, T> {
+    /// Wrap `image` with border handling `spec`.
+    pub fn new(image: &'a Image<T>, spec: BorderSpec) -> Self {
+        BorderedImage { image, spec }
+    }
+
+    /// The wrapped image.
+    pub fn image(&self) -> &'a Image<T> {
+        self.image
+    }
+
+    /// The border specification in effect.
+    pub fn spec(&self) -> BorderSpec {
+        self.spec
+    }
+
+    /// Read the border-resolved pixel value at signed coordinates `(x, y)`,
+    /// in the `f32` arithmetic domain.
+    #[inline]
+    pub fn get(&self, x: i64, y: i64) -> f32 {
+        match resolve_2d(self.spec.pattern, x, y, self.image.width(), self.image.height()) {
+            Some((rx, ry)) => self.image.get_unchecked(rx, ry).to_f32(),
+            None => self.spec.constant,
+        }
+    }
+
+    /// Read relative to a centre pixel: `get(cx + dx, cy + dy)`.
+    #[inline]
+    pub fn get_offset(&self, cx: usize, cy: usize, dx: i64, dy: i64) -> f32 {
+        self.get(cx as i64 + dx, cy as i64 + dy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::border::BorderPattern;
+
+    fn ramp() -> Image<u8> {
+        // 4x3: value = y*4 + x
+        Image::from_fn(4, 3, |x, y| (y * 4 + x) as u8)
+    }
+
+    #[test]
+    fn in_bounds_reads_match_image() {
+        let img = ramp();
+        for spec in [
+            BorderSpec::clamp(),
+            BorderSpec::mirror(),
+            BorderSpec::repeat(),
+            BorderSpec::constant(99.0),
+        ] {
+            let b = BorderedImage::new(&img, spec);
+            for y in 0..3i64 {
+                for x in 0..4i64 {
+                    assert_eq!(b.get(x, y), (y * 4 + x) as f32, "{:?}", spec.pattern);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clamp_edges() {
+        let img = ramp();
+        let b = BorderedImage::new(&img, BorderSpec::clamp());
+        assert_eq!(b.get(-1, 0), 0.0);
+        assert_eq!(b.get(4, 0), 3.0);
+        assert_eq!(b.get(-5, -5), 0.0);
+        assert_eq!(b.get(10, 10), 11.0);
+    }
+
+    #[test]
+    fn mirror_edges() {
+        let img = ramp();
+        let b = BorderedImage::new(&img, BorderSpec::mirror());
+        assert_eq!(b.get(-1, 0), 0.0); // reflects to x=0
+        assert_eq!(b.get(-2, 0), 1.0); // reflects to x=1
+        assert_eq!(b.get(4, 0), 3.0); // reflects to x=3
+        assert_eq!(b.get(0, -1), 0.0); // reflects to y=0
+        assert_eq!(b.get(0, 3), 8.0); // reflects to y=2
+    }
+
+    #[test]
+    fn repeat_edges() {
+        let img = ramp();
+        let b = BorderedImage::new(&img, BorderSpec::repeat());
+        assert_eq!(b.get(-1, 0), 3.0); // wraps to x=3
+        assert_eq!(b.get(4, 0), 0.0); // wraps to x=0
+        assert_eq!(b.get(0, -1), 8.0); // wraps to y=2
+        assert_eq!(b.get(-4, -3), 0.0); // exact period
+    }
+
+    #[test]
+    fn constant_edges() {
+        let img = ramp();
+        let b = BorderedImage::new(&img, BorderSpec::constant(42.5));
+        assert_eq!(b.get(-1, 0), 42.5);
+        assert_eq!(b.get(0, 3), 42.5);
+        assert_eq!(b.get(3, 2), 11.0);
+    }
+
+    #[test]
+    fn offset_access() {
+        let img = ramp();
+        let b = BorderedImage::new(&img, BorderSpec::clamp());
+        assert_eq!(b.get_offset(0, 0, -1, -1), 0.0);
+        assert_eq!(b.get_offset(2, 1, 1, 1), 11.0);
+        assert_eq!(b.get_offset(2, 1, 0, 0), 6.0);
+    }
+
+    #[test]
+    fn spec_accessors() {
+        let img = ramp();
+        let b = BorderedImage::new(&img, BorderSpec::constant(7.0));
+        assert_eq!(b.spec().pattern, BorderPattern::Constant);
+        assert_eq!(b.image().dims(), (4, 3));
+    }
+}

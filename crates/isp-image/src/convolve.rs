@@ -1,0 +1,237 @@
+//! Golden (CPU) reference filters.
+//!
+//! These are deliberately simple, obviously-correct implementations: every
+//! simulated kernel variant (naive, ISP block-grained, ISP warp-grained) is
+//! validated pixel-for-pixel against them. `convolve_par` additionally
+//! parallelises rows with rayon for the wall-clock criterion benches.
+
+use crate::accessor::BorderedImage;
+use crate::border::BorderSpec;
+use crate::image::Image;
+use crate::mask::{Domain, Mask};
+use crate::pixel::Pixel;
+use rayon::prelude::*;
+
+/// Reference convolution of `input` with `mask` under border handling `spec`.
+///
+/// Output pixel `(x, y) = sum over (dx, dy) in mask of
+/// coeff(dx, dy) * bordered(x + dx, y + dy)`, skipping zero coefficients via
+/// the mask's domain (as Hipacc's `iterate` does).
+pub fn convolve<T: Pixel>(input: &Image<T>, mask: &Mask, spec: BorderSpec) -> Image<T> {
+    let bordered = BorderedImage::new(input, spec);
+    let domain = mask.domain();
+    Image::from_fn(input.width(), input.height(), |x, y| {
+        let mut acc = 0.0f32;
+        for (dx, dy) in domain.iter_offsets() {
+            acc += mask.coeff_at(dx, dy) * bordered.get_offset(x, y, dx, dy);
+        }
+        T::from_f32(acc)
+    })
+}
+
+/// Row-parallel variant of [`convolve`] (identical results).
+pub fn convolve_par<T: Pixel>(input: &Image<T>, mask: &Mask, spec: BorderSpec) -> Image<T> {
+    let bordered = BorderedImage::new(input, spec);
+    let domain = mask.domain();
+    let (w, h) = input.dims();
+    let offsets: Vec<(i64, i64, f32)> = domain
+        .iter_offsets()
+        .map(|(dx, dy)| (dx, dy, mask.coeff_at(dx, dy)))
+        .collect();
+    let rows: Vec<Vec<T>> = (0..h)
+        .into_par_iter()
+        .map(|y| {
+            (0..w)
+                .map(|x| {
+                    let mut acc = 0.0f32;
+                    for &(dx, dy, c) in &offsets {
+                        acc += c * bordered.get_offset(x, y, dx, dy);
+                    }
+                    T::from_f32(acc)
+                })
+                .collect()
+        })
+        .collect();
+    let mut data = Vec::with_capacity(w * h);
+    for row in rows {
+        data.extend(row);
+    }
+    Image::from_vec(w, h, data).expect("row-parallel convolution produced wrong pixel count")
+}
+
+/// Apply an arbitrary local operator: `f` receives the bordered input and the
+/// centre coordinates and returns the output value in the `f32` domain.
+///
+/// This is the general form used by non-linear filters (bilateral) and by
+/// multi-input point operators via closures capturing extra images.
+pub fn apply_local_op<T: Pixel, U: Pixel>(
+    input: &Image<T>,
+    spec: BorderSpec,
+    f: impl Fn(&BorderedImage<'_, T>, usize, usize) -> f32 + Sync,
+) -> Image<U> {
+    let bordered = BorderedImage::new(input, spec);
+    let (w, h) = input.dims();
+    let rows: Vec<Vec<U>> = (0..h)
+        .into_par_iter()
+        .map(|y| (0..w).map(|x| U::from_f32(f(&bordered, x, y))).collect())
+        .collect();
+    let mut data = Vec::with_capacity(w * h);
+    for row in rows {
+        data.extend(row);
+    }
+    Image::from_vec(w, h, data).expect("local op produced wrong pixel count")
+}
+
+/// Reference bilateral filter (the paper's motivating example, §IV-A).
+///
+/// `sigma_d` controls the spatial closeness component (precomputed, like the
+/// Hipacc `Mask`), `sigma_r` the intensity similarity component (computed
+/// per pixel pair with `expf`).
+pub fn bilateral_reference<T: Pixel>(
+    input: &Image<T>,
+    window: usize,
+    sigma_d: f32,
+    sigma_r: f32,
+    spec: BorderSpec,
+) -> Image<T> {
+    assert!(window % 2 == 1, "bilateral window must be odd");
+    let r = (window / 2) as i64;
+    let spatial = Mask::gaussian(window, sigma_d).expect("odd window");
+    apply_local_op(input, spec, move |bordered, x, y| {
+        let centre = bordered.get(x as i64, y as i64);
+        let mut num = 0.0f32;
+        let mut den = 0.0f32;
+        for dy in -r..=r {
+            for dx in -r..=r {
+                let p = bordered.get_offset(x, y, dx, dy);
+                let closeness = spatial.coeff_at(dx, dy);
+                let diff = p - centre;
+                let similarity = (-(diff * diff) / (2.0 * sigma_r * sigma_r)).exp();
+                let w = closeness * similarity;
+                num += w * p;
+                den += w;
+            }
+        }
+        num / den
+    })
+}
+
+/// Check that a mask's domain matches an explicitly supplied domain (used by
+/// DSL validation paths).
+pub fn domain_matches(mask: &Mask, domain: &Domain) -> bool {
+    mask.domain() == *domain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::border::BorderPattern;
+    use crate::generator::ImageGenerator;
+
+    #[test]
+    fn identity_mask_is_identity() {
+        let img = Image::<f32>::from_fn(8, 8, |x, y| (x * 8 + y) as f32);
+        let ident =
+            Mask::square(3, &[0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
+        let out = convolve(&img, &ident, BorderSpec::clamp());
+        assert_eq!(out.max_abs_diff(&img).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn box_filter_on_constant_image_is_constant_with_reindexing_borders() {
+        let img = Image::<f32>::filled(16, 16, 3.0);
+        let mask = Mask::box_filter(5).unwrap();
+        for spec in [BorderSpec::clamp(), BorderSpec::mirror(), BorderSpec::repeat()] {
+            let out = convolve(&img, &mask, spec);
+            let (lo, hi) = out.min_max();
+            assert!((lo - 3.0).abs() < 1e-5 && (hi - 3.0).abs() < 1e-5, "{:?}", spec.pattern);
+        }
+        // Constant borders with a different fill value darken the edges.
+        let out = convolve(&img, &mask, BorderSpec::constant(0.0));
+        assert!(out.get(0, 0).to_f32() < 3.0);
+        assert!((out.get(8, 8).to_f32() - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn border_pattern_changes_only_border_pixels() {
+        let img = ImageGenerator::new(42).uniform_noise::<u8>(32, 32);
+        let mask = Mask::gaussian(5, 1.0).unwrap();
+        let a = convolve(&img, &mask, BorderSpec::clamp());
+        let b = convolve(&img, &mask, BorderSpec::repeat());
+        // Interior (further than the radius from any edge) must agree.
+        let interior_a = a.crop(crate::roi::Roi::new(2, 2, 28, 28)).unwrap();
+        let interior_b = b.crop(crate::roi::Roi::new(2, 2, 28, 28)).unwrap();
+        assert_eq!(interior_a.max_abs_diff(&interior_b).unwrap(), 0.0);
+        // But the borders differ for noise input.
+        assert!(a.max_abs_diff(&b).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let img = ImageGenerator::new(7).uniform_noise::<f32>(33, 17);
+        let mask = Mask::gaussian(7, 1.5).unwrap();
+        for pat in BorderPattern::ALL {
+            let spec = BorderSpec { pattern: pat, constant: 0.25 };
+            let seq = convolve(&img, &mask, spec);
+            let par = convolve_par(&img, &mask, spec);
+            assert_eq!(seq.max_abs_diff(&par).unwrap(), 0.0, "{pat}");
+        }
+    }
+
+    #[test]
+    fn sparse_domain_skips_zero_coeffs() {
+        // Atrous mask touches only 9 cells; a dense equivalent must agree.
+        let base = Mask::gaussian(3, 0.85).unwrap();
+        let sparse = Mask::atrous(&base, 4).unwrap();
+        let img = ImageGenerator::new(3).uniform_noise::<f32>(24, 24);
+        let out = convolve(&img, &sparse, BorderSpec::mirror());
+        // Manual dense evaluation.
+        let bordered = BorderedImage::new(&img, BorderSpec::mirror());
+        let expect = Image::<f32>::from_fn(24, 24, |x, y| {
+            let mut acc = 0.0;
+            for dy in -4i64..=4 {
+                for dx in -4i64..=4 {
+                    acc += sparse.coeff_at(dx, dy) * bordered.get_offset(x, y, dx, dy);
+                }
+            }
+            acc
+        });
+        assert!(out.max_abs_diff(&expect).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn bilateral_preserves_constant_regions() {
+        let img = Image::<f32>::filled(16, 16, 0.5);
+        let out = bilateral_reference(&img, 5, 1.0, 0.1, BorderSpec::clamp());
+        assert!(out.max_abs_diff(&img).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn bilateral_preserves_edges_better_than_gaussian() {
+        // Step edge image.
+        let img = Image::<f32>::from_fn(32, 32, |x, _| if x < 16 { 0.0 } else { 1.0 });
+        let bil = bilateral_reference(&img, 9, 2.0, 0.05, BorderSpec::clamp());
+        let gau = convolve(&img, &Mask::gaussian(9, 2.0).unwrap(), BorderSpec::clamp());
+        // Sample right at the edge: bilateral keeps it sharp.
+        let bil_edge = (bil.get(15, 16) - bil.get(16, 16)).abs();
+        let gau_edge = (gau.get(15, 16) - gau.get(16, 16)).abs();
+        assert!(bil_edge > gau_edge, "bilateral {bil_edge} vs gaussian {gau_edge}");
+        assert!(bil_edge > 0.8);
+    }
+
+    #[test]
+    fn apply_local_op_type_conversion() {
+        let img = Image::<u8>::filled(4, 4, 100);
+        let out: Image<f32> = apply_local_op(&img, BorderSpec::clamp(), |b, x, y| {
+            b.get(x as i64, y as i64) / 200.0
+        });
+        assert_eq!(out.get(2, 2), 0.5);
+    }
+
+    #[test]
+    fn domain_matches_helper() {
+        let m = Mask::laplace(3).unwrap();
+        assert!(domain_matches(&m, &m.domain()));
+        assert!(!domain_matches(&m, &Domain::full(3, 3).unwrap()));
+    }
+}

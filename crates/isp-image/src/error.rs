@@ -1,0 +1,109 @@
+//! Error type shared across the image substrate.
+
+use std::fmt;
+
+/// Errors produced by image construction, indexing, and I/O.
+#[derive(Debug)]
+pub enum ImageError {
+    /// Image dimensions were zero or would overflow the address space.
+    InvalidDimensions { width: usize, height: usize },
+    /// A raw buffer did not match `width * height` (or stride) elements.
+    BufferSizeMismatch { expected: usize, actual: usize },
+    /// A region of interest fell outside its parent image.
+    RoiOutOfBounds {
+        x: usize,
+        y: usize,
+        width: usize,
+        height: usize,
+        parent_width: usize,
+        parent_height: usize,
+    },
+    /// Mask dimensions must be odd in both axes so the anchor is centred.
+    EvenMaskDimensions { width: usize, height: usize },
+    /// A mask/domain coefficient buffer did not match its dimensions.
+    MaskSizeMismatch { expected: usize, actual: usize },
+    /// Two images that had to agree in size did not.
+    SizeMismatch {
+        left: (usize, usize),
+        right: (usize, usize),
+    },
+    /// An I/O failure while reading or writing an image file.
+    Io(std::io::Error),
+    /// A PGM/PPM stream was malformed.
+    Format(String),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::InvalidDimensions { width, height } => {
+                write!(f, "invalid image dimensions {width}x{height}")
+            }
+            ImageError::BufferSizeMismatch { expected, actual } => {
+                write!(f, "buffer size mismatch: expected {expected}, got {actual}")
+            }
+            ImageError::RoiOutOfBounds {
+                x,
+                y,
+                width,
+                height,
+                parent_width,
+                parent_height,
+            } => write!(
+                f,
+                "ROI {width}x{height}+{x}+{y} exceeds parent {parent_width}x{parent_height}"
+            ),
+            ImageError::EvenMaskDimensions { width, height } => {
+                write!(f, "mask dimensions must be odd, got {width}x{height}")
+            }
+            ImageError::MaskSizeMismatch { expected, actual } => {
+                write!(f, "mask coefficient count mismatch: expected {expected}, got {actual}")
+            }
+            ImageError::SizeMismatch { left, right } => write!(
+                f,
+                "image size mismatch: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            ImageError::Io(e) => write!(f, "i/o error: {e}"),
+            ImageError::Format(msg) => write!(f, "format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ImageError {
+    fn from(e: std::io::Error) -> Self {
+        ImageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ImageError::InvalidDimensions { width: 0, height: 4 };
+        assert!(e.to_string().contains("0x4"));
+        let e = ImageError::BufferSizeMismatch { expected: 16, actual: 15 };
+        assert!(e.to_string().contains("16"));
+        assert!(e.to_string().contains("15"));
+        let e = ImageError::SizeMismatch { left: (4, 4), right: (8, 8) };
+        assert!(e.to_string().contains("4x4"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e = ImageError::from(inner);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,209 @@
+//! Deterministic synthetic image generators.
+//!
+//! The paper benchmarks on natural images; absolute pixel content does not
+//! affect instruction counts or occupancy, only (slightly) the data-dependent
+//! `Repeat` loop trip counts and bilateral weights. We therefore substitute
+//! seeded synthetic content: noise, gradients, smoothed "natural-like"
+//! scenes, and structured targets for the edge-detection examples.
+
+use crate::image::Image;
+use crate::pixel::Pixel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded generator for reproducible synthetic images. All methods produce
+/// identical output for identical seeds and parameters.
+#[derive(Debug, Clone)]
+pub struct ImageGenerator {
+    seed: u64,
+}
+
+impl ImageGenerator {
+    /// Create a generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        ImageGenerator { seed }
+    }
+
+    fn rng(&self, salt: u64) -> StdRng {
+        StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(salt))
+    }
+
+    /// Uniform noise over the pixel type's full range.
+    pub fn uniform_noise<T: Pixel>(&self, width: usize, height: usize) -> Image<T> {
+        let mut rng = self.rng(1);
+        Image::from_fn(width, height, |_, _| T::from_f32(rng.gen::<f32>() * T::MAX_VALUE))
+    }
+
+    /// Horizontal linear gradient from 0 to the type maximum.
+    pub fn gradient_x<T: Pixel>(&self, width: usize, height: usize) -> Image<T> {
+        Image::from_fn(width, height, |x, _| {
+            T::from_f32(x as f32 / (width.max(2) - 1) as f32 * T::MAX_VALUE)
+        })
+    }
+
+    /// Checkerboard with `cell`-pixel squares (structured high-frequency
+    /// content; stresses edge-preserving filters).
+    pub fn checkerboard<T: Pixel>(&self, width: usize, height: usize, cell: usize) -> Image<T> {
+        assert!(cell > 0);
+        Image::from_fn(width, height, |x, y| {
+            if ((x / cell) + (y / cell)).is_multiple_of(2) {
+                T::from_f32(T::MAX_VALUE)
+            } else {
+                T::ZERO
+            }
+        })
+    }
+
+    /// "Natural-like" content: sum of a few smooth sinusoidal octaves plus
+    /// low-amplitude noise — has the broad spectral falloff of photographs,
+    /// which matters for the bilateral filter's data-dependent weights.
+    pub fn natural<T: Pixel>(&self, width: usize, height: usize) -> Image<T> {
+        let mut rng = self.rng(2);
+        // Random phases/frequencies for 6 octaves.
+        let octaves: Vec<(f32, f32, f32, f32, f32)> = (0..6)
+            .map(|i| {
+                let f = 2.0f32.powi(i) * std::f32::consts::TAU / width.max(height) as f32;
+                (
+                    f,
+                    rng.gen::<f32>() * std::f32::consts::TAU,
+                    rng.gen::<f32>() * std::f32::consts::TAU,
+                    rng.gen_range(0.6..1.4),
+                    0.5f32.powi(i),
+                )
+            })
+            .collect();
+        let mut noise_rng = self.rng(3);
+        Image::from_fn(width, height, |x, y| {
+            let mut v = 0.0f32;
+            let mut norm = 0.0f32;
+            for &(f, px, py, skew, amp) in &octaves {
+                v += amp * ((x as f32 * f * skew + px).sin() * (y as f32 * f + py).cos());
+                norm += amp;
+            }
+            let n = noise_rng.gen::<f32>() * 0.05;
+            let unit = ((v / norm) * 0.5 + 0.5 + n).clamp(0.0, 1.0);
+            T::from_f32(unit * T::MAX_VALUE)
+        })
+    }
+
+    /// A dark scene with bright point lights, for the Night filter example.
+    pub fn night_scene<T: Pixel>(&self, width: usize, height: usize, lights: usize) -> Image<T> {
+        let mut rng = self.rng(4);
+        let centres: Vec<(f32, f32, f32)> = (0..lights)
+            .map(|_| {
+                (
+                    rng.gen::<f32>() * width as f32,
+                    rng.gen::<f32>() * height as f32,
+                    rng.gen_range(2.0..8.0),
+                )
+            })
+            .collect();
+        let mut noise_rng = self.rng(5);
+        Image::from_fn(width, height, |x, y| {
+            let mut v = 0.02f32 + noise_rng.gen::<f32>() * 0.03; // dark noise floor
+            for &(cx, cy, r) in &centres {
+                let d2 = (x as f32 - cx).powi(2) + (y as f32 - cy).powi(2);
+                v += (-d2 / (2.0 * r * r)).exp();
+            }
+            T::from_f32(v.clamp(0.0, 1.0) * T::MAX_VALUE)
+        })
+    }
+
+    /// Geometric test card: filled rectangle, circle, and diagonal edge —
+    /// gives the Sobel example clean gradients to find.
+    pub fn shapes<T: Pixel>(&self, width: usize, height: usize) -> Image<T> {
+        let w = width as f32;
+        let h = height as f32;
+        Image::from_fn(width, height, |x, y| {
+            let xf = x as f32;
+            let yf = y as f32;
+            let in_rect = xf > w * 0.1 && xf < w * 0.35 && yf > h * 0.15 && yf < h * 0.6;
+            let in_circle = (xf - w * 0.68).powi(2) + (yf - h * 0.35).powi(2) < (w * 0.15).powi(2);
+            let below_diag = yf > h * 0.7 + (xf / w) * h * 0.15;
+            let v: f32 = if in_rect {
+                0.85
+            } else if in_circle {
+                0.6
+            } else if below_diag {
+                0.35
+            } else {
+                0.1
+            };
+            T::from_f32(v * T::MAX_VALUE)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = ImageGenerator::new(11).uniform_noise::<u8>(16, 16);
+        let b = ImageGenerator::new(11).uniform_noise::<u8>(16, 16);
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 0.0);
+        let c = ImageGenerator::new(12).uniform_noise::<u8>(16, 16);
+        assert!(a.max_abs_diff(&c).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn noise_spans_range() {
+        let img = ImageGenerator::new(1).uniform_noise::<u8>(64, 64);
+        let (lo, hi) = img.min_max();
+        assert!(lo < 16.0, "min {lo}");
+        assert!(hi > 239.0, "max {hi}");
+    }
+
+    #[test]
+    fn gradient_monotone() {
+        let img = ImageGenerator::new(1).gradient_x::<u8>(32, 4);
+        assert_eq!(img.get(0, 0), 0);
+        assert_eq!(img.get(31, 3), 255);
+        for x in 1..32 {
+            assert!(img.get(x, 0) >= img.get(x - 1, 0));
+        }
+    }
+
+    #[test]
+    fn checkerboard_alternates() {
+        let img = ImageGenerator::new(1).checkerboard::<u8>(8, 8, 2);
+        assert_eq!(img.get(0, 0), 255);
+        assert_eq!(img.get(2, 0), 0);
+        assert_eq!(img.get(0, 2), 0);
+        assert_eq!(img.get(2, 2), 255);
+    }
+
+    #[test]
+    fn natural_is_midrange_and_smooth() {
+        let img = ImageGenerator::new(5).natural::<f32>(64, 64);
+        let m = img.mean();
+        assert!(m > 0.2 && m < 0.8, "mean {m}");
+        // Smooth: adjacent pixel difference well below full range on average.
+        let mut acc = 0.0f64;
+        for y in 0..64 {
+            for x in 1..64 {
+                acc += (img.get(x, y) - img.get(x - 1, y)).abs() as f64;
+            }
+        }
+        let avg_grad = acc / (63.0 * 64.0);
+        assert!(avg_grad < 0.2, "avg gradient {avg_grad}");
+    }
+
+    #[test]
+    fn night_scene_is_dark_with_highlights() {
+        let img = ImageGenerator::new(9).night_scene::<f32>(64, 64, 6);
+        assert!(img.mean() < 0.3);
+        let (_, hi) = img.min_max();
+        assert!(hi > 0.8);
+    }
+
+    #[test]
+    fn shapes_have_flat_regions() {
+        let img = ImageGenerator::new(1).shapes::<f32>(100, 100);
+        // Inside the rectangle.
+        assert_eq!(img.get(20, 30), 0.85);
+        // Background.
+        assert_eq!(img.get(95, 5), 0.1);
+    }
+}

@@ -1,0 +1,461 @@
+//! Row-major single-channel image container with stride support.
+
+use crate::error::ImageError;
+use crate::pixel::Pixel;
+use crate::roi::Roi;
+
+/// A two-dimensional, single-channel image stored row-major.
+///
+/// The container owns its pixels and supports an explicit row stride so that
+/// padded layouts (as produced by `cudaMallocPitch`-style allocators) can be
+/// represented. Coordinates are `(x, y)` with the origin in the top-left
+/// corner, matching the paper's iteration space `x in [0, sx), y in [0, sy)`.
+#[derive(Clone, PartialEq)]
+pub struct Image<T: Pixel> {
+    width: usize,
+    height: usize,
+    stride: usize,
+    data: Vec<T>,
+}
+
+impl<T: Pixel> Image<T> {
+    /// Create an image filled with `T::ZERO`.
+    pub fn zeros(width: usize, height: usize) -> Self {
+        Self::filled(width, height, T::ZERO)
+    }
+
+    /// Create an image where every pixel is `value`.
+    pub fn filled(width: usize, height: usize, value: T) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        Image {
+            width,
+            height,
+            stride: width,
+            data: vec![value; width * height],
+        }
+    }
+
+    /// Create an image by evaluating `f(x, y)` for every pixel.
+    ///
+    /// ```
+    /// use isp_image::Image;
+    /// let ramp = Image::<u8>::from_fn(4, 2, |x, y| (y * 4 + x) as u8);
+    /// assert_eq!(ramp.get(3, 1), 7);
+    /// ```
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        let mut data = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                data.push(f(x, y));
+            }
+        }
+        Image { width, height, stride: width, data }
+    }
+
+    /// Wrap an existing tightly-packed buffer (stride == width).
+    pub fn from_vec(width: usize, height: usize, data: Vec<T>) -> Result<Self, ImageError> {
+        if width == 0 || height == 0 {
+            return Err(ImageError::InvalidDimensions { width, height });
+        }
+        let expected = width
+            .checked_mul(height)
+            .ok_or(ImageError::InvalidDimensions { width, height })?;
+        if data.len() != expected {
+            return Err(ImageError::BufferSizeMismatch { expected, actual: data.len() });
+        }
+        Ok(Image { width, height, stride: width, data })
+    }
+
+    /// Wrap a strided buffer. `data.len()` must equal `stride * height` and
+    /// `stride >= width`.
+    pub fn from_vec_strided(
+        width: usize,
+        height: usize,
+        stride: usize,
+        data: Vec<T>,
+    ) -> Result<Self, ImageError> {
+        if width == 0 || height == 0 || stride < width {
+            return Err(ImageError::InvalidDimensions { width, height });
+        }
+        let expected = stride
+            .checked_mul(height)
+            .ok_or(ImageError::InvalidDimensions { width, height })?;
+        if data.len() != expected {
+            return Err(ImageError::BufferSizeMismatch { expected, actual: data.len() });
+        }
+        Ok(Image { width, height, stride, data })
+    }
+
+    /// Image width in pixels (`sx` in the paper).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels (`sy` in the paper).
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Row stride in elements (>= width).
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// `(width, height)` pair.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// Total number of addressable pixels (`width * height`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Always false: zero-sized images cannot be constructed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Read the pixel at `(x, y)`. Panics when out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> T {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.data[y * self.stride + x]
+    }
+
+    /// Read without bounds checking beyond the underlying slice index.
+    #[inline]
+    pub fn get_unchecked(&self, x: usize, y: usize) -> T {
+        self.data[y * self.stride + x]
+    }
+
+    /// Write the pixel at `(x, y)`. Panics when out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, value: T) {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.data[y * self.stride + x] = value;
+    }
+
+    /// Borrow one row (only the `width` visible pixels, not padding).
+    #[inline]
+    pub fn row(&self, y: usize) -> &[T] {
+        assert!(y < self.height, "row {y} out of bounds");
+        let start = y * self.stride;
+        &self.data[start..start + self.width]
+    }
+
+    /// Mutably borrow one row.
+    #[inline]
+    pub fn row_mut(&mut self, y: usize) -> &mut [T] {
+        assert!(y < self.height, "row {y} out of bounds");
+        let start = y * self.stride;
+        &mut self.data[start..start + self.width]
+    }
+
+    /// Raw backing storage, including stride padding.
+    #[inline]
+    pub fn raw(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable raw backing storage.
+    #[inline]
+    pub fn raw_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Copy out a tightly-packed `Vec` (drops stride padding).
+    pub fn to_packed_vec(&self) -> Vec<T> {
+        if self.stride == self.width {
+            return self.data.clone();
+        }
+        let mut out = Vec::with_capacity(self.width * self.height);
+        for y in 0..self.height {
+            out.extend_from_slice(self.row(y));
+        }
+        out
+    }
+
+    /// Iterate over `(x, y, value)` in row-major order.
+    pub fn pixels(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        (0..self.height)
+            .flat_map(move |y| (0..self.width).map(move |x| (x, y, self.get_unchecked(x, y))))
+    }
+
+    /// Apply `f` to every pixel, producing a new image of another pixel type.
+    pub fn map<U: Pixel>(&self, mut f: impl FnMut(T) -> U) -> Image<U> {
+        Image::from_fn(self.width, self.height, |x, y| f(self.get_unchecked(x, y)))
+    }
+
+    /// Convert storage type via the `f32` arithmetic domain.
+    pub fn convert<U: Pixel>(&self) -> Image<U> {
+        self.map(|p| U::from_f32(p.to_f32()))
+    }
+
+    /// Extract a copied sub-image described by `roi`.
+    pub fn crop(&self, roi: Roi) -> Result<Image<T>, ImageError> {
+        roi.validate(self.width, self.height)?;
+        Ok(Image::from_fn(roi.width, roi.height, |x, y| {
+            self.get_unchecked(roi.x + x, roi.y + y)
+        }))
+    }
+
+    /// Maximum absolute difference against another image of identical size,
+    /// measured in the `f32` domain. Used pervasively by correctness tests.
+    pub fn max_abs_diff(&self, other: &Image<T>) -> Result<f32, ImageError> {
+        if self.dims() != other.dims() {
+            return Err(ImageError::SizeMismatch { left: self.dims(), right: other.dims() });
+        }
+        let mut max = 0.0f32;
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let d = (self.get_unchecked(x, y).to_f32() - other.get_unchecked(x, y).to_f32()).abs();
+                if d > max {
+                    max = d;
+                }
+            }
+        }
+        Ok(max)
+    }
+
+    /// Count pixels differing by more than `tol` in the `f32` domain.
+    pub fn count_diff(&self, other: &Image<T>, tol: f32) -> Result<usize, ImageError> {
+        if self.dims() != other.dims() {
+            return Err(ImageError::SizeMismatch { left: self.dims(), right: other.dims() });
+        }
+        let mut n = 0;
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let d = (self.get_unchecked(x, y).to_f32() - other.get_unchecked(x, y).to_f32()).abs();
+                if d > tol {
+                    n += 1;
+                }
+            }
+        }
+        Ok(n)
+    }
+
+    /// Mean pixel value in the `f32` domain.
+    pub fn mean(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for y in 0..self.height {
+            for x in 0..self.width {
+                acc += self.get_unchecked(x, y).to_f32() as f64;
+            }
+        }
+        acc / (self.len() as f64)
+    }
+
+    /// Minimum and maximum pixel values in the `f32` domain.
+    pub fn min_max(&self) -> (f32, f32) {
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let v = self.get_unchecked(x, y).to_f32();
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        (lo, hi)
+    }
+}
+
+impl<T: Pixel> std::fmt::Debug for Image<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Image<{}> {{ {}x{}, stride {} }}",
+            T::type_name(),
+            self.width,
+            self.height,
+            self.stride
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_filled() {
+        let img = Image::<u8>::zeros(4, 3);
+        assert_eq!(img.dims(), (4, 3));
+        assert_eq!(img.len(), 12);
+        assert!(img.pixels().all(|(_, _, v)| v == 0));
+        let img = Image::<f32>::filled(2, 2, 0.5);
+        assert!(img.pixels().all(|(_, _, v)| v == 0.5));
+    }
+
+    #[test]
+    fn from_fn_coordinates() {
+        let img = Image::<i32>::from_fn(5, 4, |x, y| (y * 10 + x) as i32);
+        assert_eq!(img.get(0, 0), 0);
+        assert_eq!(img.get(4, 0), 4);
+        assert_eq!(img.get(0, 3), 30);
+        assert_eq!(img.get(4, 3), 34);
+    }
+
+    #[test]
+    fn from_vec_validation() {
+        assert!(Image::<u8>::from_vec(2, 2, vec![1, 2, 3, 4]).is_ok());
+        assert!(matches!(
+            Image::<u8>::from_vec(2, 2, vec![1, 2, 3]),
+            Err(ImageError::BufferSizeMismatch { expected: 4, actual: 3 })
+        ));
+        assert!(matches!(
+            Image::<u8>::from_vec(0, 2, vec![]),
+            Err(ImageError::InvalidDimensions { .. })
+        ));
+    }
+
+    #[test]
+    fn strided_layout() {
+        // 3x2 image with stride 4: row padding must be skipped.
+        let data = vec![1u8, 2, 3, 99, 4, 5, 6, 99];
+        let img = Image::from_vec_strided(3, 2, 4, data).unwrap();
+        assert_eq!(img.get(0, 0), 1);
+        assert_eq!(img.get(2, 1), 6);
+        assert_eq!(img.row(1), &[4, 5, 6]);
+        assert_eq!(img.to_packed_vec(), vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn strided_rejects_narrow_stride() {
+        assert!(Image::<u8>::from_vec_strided(4, 2, 3, vec![0; 6]).is_err());
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut img = Image::<u16>::zeros(8, 8);
+        img.set(3, 5, 777);
+        assert_eq!(img.get(3, 5), 777);
+        assert_eq!(img.get(5, 3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let img = Image::<u8>::zeros(2, 2);
+        let _ = img.get(2, 0);
+    }
+
+    #[test]
+    fn map_and_convert() {
+        let img = Image::<u8>::from_fn(3, 3, |x, _| (x * 100) as u8);
+        let doubled = img.map(|p| p.saturating_add(p));
+        assert_eq!(doubled.get(1, 0), 200);
+        let f: Image<f32> = img.convert();
+        assert_eq!(f.get(2, 1), 200.0);
+        let back: Image<u8> = f.convert();
+        assert_eq!(back.get(2, 2), 200);
+    }
+
+    #[test]
+    fn crop_respects_roi() {
+        let img = Image::<i32>::from_fn(6, 6, |x, y| (y * 6 + x) as i32);
+        let sub = img.crop(Roi::new(2, 3, 3, 2)).unwrap();
+        assert_eq!(sub.dims(), (3, 2));
+        assert_eq!(sub.get(0, 0), 3 * 6 + 2);
+        assert_eq!(sub.get(2, 1), 4 * 6 + 4);
+        assert!(img.crop(Roi::new(5, 5, 3, 3)).is_err());
+    }
+
+    #[test]
+    fn diff_metrics() {
+        let a = Image::<f32>::filled(4, 4, 1.0);
+        let mut b = a.clone();
+        b.set(1, 1, 1.5);
+        b.set(2, 2, 0.9);
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 0.5);
+        assert_eq!(a.count_diff(&b, 0.2).unwrap(), 1);
+        assert_eq!(a.count_diff(&b, 0.05).unwrap(), 2);
+        let c = Image::<f32>::filled(3, 4, 1.0);
+        assert!(a.max_abs_diff(&c).is_err());
+    }
+
+    #[test]
+    fn stats() {
+        let img = Image::<u8>::from_fn(2, 2, |x, y| (x + 2 * y) as u8 * 10);
+        assert!((img.mean() - 15.0).abs() < 1e-9);
+        assert_eq!(img.min_max(), (0.0, 30.0));
+    }
+
+    #[test]
+    fn pixels_iterator_order() {
+        let img = Image::<u8>::from_fn(2, 2, |x, y| (y * 2 + x) as u8);
+        let collected: Vec<_> = img.pixels().map(|(_, _, v)| v).collect();
+        assert_eq!(collected, vec![0, 1, 2, 3]);
+    }
+}
+
+/// Peak signal-to-noise ratio between two images (dB), with the peak taken
+/// from the pixel type's nominal maximum. `None` when the images are
+/// identical (infinite PSNR) — callers usually treat that as "perfect".
+pub fn psnr<T: Pixel>(a: &Image<T>, b: &Image<T>) -> Result<Option<f64>, ImageError> {
+    if a.dims() != b.dims() {
+        return Err(ImageError::SizeMismatch { left: a.dims(), right: b.dims() });
+    }
+    let mut mse = 0.0f64;
+    for y in 0..a.height() {
+        for x in 0..a.width() {
+            let d = (a.get_unchecked(x, y).to_f32() - b.get_unchecked(x, y).to_f32()) as f64;
+            mse += d * d;
+        }
+    }
+    mse /= a.len() as f64;
+    if mse == 0.0 {
+        return Ok(None);
+    }
+    let peak = T::MAX_VALUE as f64;
+    Ok(Some(10.0 * (peak * peak / mse).log10()))
+}
+
+#[cfg(test)]
+mod psnr_tests {
+    use super::*;
+
+    #[test]
+    fn identical_images_have_infinite_psnr() {
+        let a = Image::<u8>::filled(8, 8, 100);
+        assert_eq!(psnr(&a, &a).unwrap(), None);
+    }
+
+    #[test]
+    fn known_mse_gives_expected_db() {
+        let a = Image::<u8>::filled(4, 4, 100);
+        let b = Image::<u8>::filled(4, 4, 110); // MSE = 100
+        let db = psnr(&a, &b).unwrap().unwrap();
+        // 10*log10(255^2/100) = 28.13 dB
+        assert!((db - 28.13).abs() < 0.01, "{db}");
+    }
+
+    #[test]
+    fn size_mismatch_errors() {
+        let a = Image::<u8>::filled(4, 4, 0);
+        let b = Image::<u8>::filled(4, 5, 0);
+        assert!(psnr(&a, &b).is_err());
+    }
+
+    #[test]
+    fn noisier_is_lower() {
+        let a = Image::<f32>::filled(16, 16, 0.5);
+        let mut slightly = a.clone();
+        slightly.set(3, 3, 0.6);
+        let mut very = a.clone();
+        for x in 0..16 {
+            very.set(x, 8, 0.9);
+        }
+        let p1 = psnr(&a, &slightly).unwrap().unwrap();
+        let p2 = psnr(&a, &very).unwrap().unwrap();
+        assert!(p1 > p2);
+    }
+}

@@ -1,0 +1,192 @@
+//! Minimal binary PGM (P5) / PPM (P6) reader and writer.
+//!
+//! The examples write their outputs as PGM so results can be inspected with
+//! any image viewer; no external imaging crates are needed.
+
+use crate::error::ImageError;
+use crate::image::Image;
+use crate::pixel::Pixel;
+use bytes::{BufMut, BytesMut};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Serialise an image as binary PGM (P5, maxval 255). Non-`u8` images are
+/// normalised through the `f32` domain against `T::MAX_VALUE`.
+pub fn encode_pgm<T: Pixel>(image: &Image<T>) -> Vec<u8> {
+    let (w, h) = image.dims();
+    let mut buf = BytesMut::with_capacity(32 + w * h);
+    buf.put_slice(format!("P5\n{w} {h}\n255\n").as_bytes());
+    for y in 0..h {
+        for x in 0..w {
+            let unit = image.get_unchecked(x, y).to_f32() / T::MAX_VALUE;
+            buf.put_u8(u8::from_f32(unit * 255.0));
+        }
+    }
+    buf.to_vec()
+}
+
+/// Write an image to a PGM file.
+pub fn write_pgm<T: Pixel>(image: &Image<T>, path: impl AsRef<Path>) -> Result<(), ImageError> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&encode_pgm(image))?;
+    Ok(())
+}
+
+/// Read a binary PGM (P5) stream into a `u8` image.
+pub fn decode_pgm(reader: impl Read) -> Result<Image<u8>, ImageError> {
+    let mut r = BufReader::new(reader);
+    let magic = read_token(&mut r)?;
+    if magic != "P5" {
+        return Err(ImageError::Format(format!("expected P5, got '{magic}'")));
+    }
+    let w: usize = parse_token(&mut r)?;
+    let h: usize = parse_token(&mut r)?;
+    let maxval: usize = parse_token(&mut r)?;
+    if maxval == 0 || maxval > 255 {
+        return Err(ImageError::Format(format!("unsupported maxval {maxval}")));
+    }
+    let mut data = vec![0u8; w.checked_mul(h).ok_or(ImageError::InvalidDimensions {
+        width: w,
+        height: h,
+    })?];
+    r.read_exact(&mut data)?;
+    Image::from_vec(w, h, data)
+}
+
+/// Read a PGM file into a `u8` image.
+pub fn read_pgm(path: impl AsRef<Path>) -> Result<Image<u8>, ImageError> {
+    decode_pgm(std::fs::File::open(path)?)
+}
+
+/// Serialise three equally-sized channel images as binary PPM (P6).
+pub fn encode_ppm<T: Pixel>(
+    r: &Image<T>,
+    g: &Image<T>,
+    b: &Image<T>,
+) -> Result<Vec<u8>, ImageError> {
+    if r.dims() != g.dims() || r.dims() != b.dims() {
+        return Err(ImageError::SizeMismatch { left: r.dims(), right: g.dims() });
+    }
+    let (w, h) = r.dims();
+    let mut buf = BytesMut::with_capacity(32 + 3 * w * h);
+    buf.put_slice(format!("P6\n{w} {h}\n255\n").as_bytes());
+    for y in 0..h {
+        for x in 0..w {
+            for img in [r, g, b] {
+                let unit = img.get_unchecked(x, y).to_f32() / T::MAX_VALUE;
+                buf.put_u8(u8::from_f32(unit * 255.0));
+            }
+        }
+    }
+    Ok(buf.to_vec())
+}
+
+/// Skip PNM whitespace and `#` comments, then read one token.
+fn read_token(r: &mut impl BufRead) -> Result<String, ImageError> {
+    let mut tok = String::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read_exact(&mut byte) {
+            Ok(()) => {}
+            Err(e) => {
+                if tok.is_empty() {
+                    return Err(ImageError::Io(e));
+                }
+                return Ok(tok);
+            }
+        }
+        let c = byte[0] as char;
+        if c == '#' {
+            // Comment until end of line.
+            let mut line = String::new();
+            r.read_line(&mut line)?;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            if tok.is_empty() {
+                continue;
+            }
+            return Ok(tok);
+        }
+        tok.push(c);
+    }
+}
+
+fn parse_token<F: std::str::FromStr>(r: &mut impl BufRead) -> Result<F, ImageError> {
+    let tok = read_token(r)?;
+    tok.parse().map_err(|_| ImageError::Format(format!("bad numeric token '{tok}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::ImageGenerator;
+
+    #[test]
+    fn pgm_roundtrip_u8() {
+        let img = ImageGenerator::new(3).uniform_noise::<u8>(13, 7);
+        let bytes = encode_pgm(&img);
+        let back = decode_pgm(&bytes[..]).unwrap();
+        assert_eq!(back.dims(), (13, 7));
+        assert_eq!(img.max_abs_diff(&back).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn pgm_header_format() {
+        let img = Image::<u8>::filled(3, 2, 128);
+        let bytes = encode_pgm(&img);
+        assert!(bytes.starts_with(b"P5\n3 2\n255\n"));
+        assert_eq!(bytes.len(), 11 + 6);
+    }
+
+    #[test]
+    fn pgm_f32_normalisation() {
+        let img = Image::<f32>::from_fn(2, 1, |x, _| x as f32); // 0.0, 1.0
+        let bytes = encode_pgm(&img);
+        let back = decode_pgm(&bytes[..]).unwrap();
+        assert_eq!(back.get(0, 0), 0);
+        assert_eq!(back.get(1, 0), 255);
+    }
+
+    #[test]
+    fn pgm_decode_handles_comments() {
+        let data = b"P5 # magic\n# a comment line\n 2 2\n255\n\xff\x00\x7f\x01";
+        let img = decode_pgm(&data[..]).unwrap();
+        assert_eq!(img.get(0, 0), 255);
+        assert_eq!(img.get(1, 1), 1);
+    }
+
+    #[test]
+    fn pgm_decode_rejects_bad_magic() {
+        assert!(decode_pgm(&b"P2\n2 2\n255\n...."[..]).is_err());
+    }
+
+    #[test]
+    fn pgm_decode_rejects_truncated_payload() {
+        assert!(decode_pgm(&b"P5\n4 4\n255\nxx"[..]).is_err());
+    }
+
+    #[test]
+    fn ppm_encode() {
+        let r = Image::<u8>::filled(2, 1, 255);
+        let g = Image::<u8>::filled(2, 1, 0);
+        let b = Image::<u8>::filled(2, 1, 128);
+        let bytes = encode_ppm(&r, &g, &b).unwrap();
+        assert!(bytes.starts_with(b"P6\n2 1\n255\n"));
+        assert_eq!(&bytes[11..], &[255, 0, 128, 255, 0, 128]);
+        let bad = Image::<u8>::filled(3, 1, 0);
+        assert!(encode_ppm(&r, &g, &bad).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("isp_image_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.pgm");
+        let img = ImageGenerator::new(8).shapes::<u8>(20, 20);
+        write_pgm(&img, &path).unwrap();
+        let back = read_pgm(&path).unwrap();
+        assert_eq!(img.max_abs_diff(&back).unwrap(), 0.0);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,43 @@
+//! # isp-image
+//!
+//! Image substrate for the iteration-space-partitioning (ISP) border handling
+//! reproduction: image containers, pixel traits, the four border handling
+//! patterns from the paper (Clamp, Mirror, Repeat, Constant), bordered
+//! accessors, mask/domain types, a golden (CPU) reference convolution engine,
+//! synthetic image generators, and minimal PGM/PPM I/O.
+//!
+//! Everything in this crate is *reference semantics*: the GPU simulator and
+//! the DSL-generated kernels are checked against the functions defined here.
+//!
+//! ```
+//! use isp_image::{convolve, BorderSpec, ImageGenerator, Mask};
+//!
+//! let image = ImageGenerator::new(7).natural::<f32>(64, 64);
+//! let mask = Mask::gaussian(5, 1.0)?;
+//! let smoothed = convolve(&image, &mask, BorderSpec::mirror());
+//! assert_eq!(smoothed.dims(), image.dims());
+//! # Ok::<(), isp_image::ImageError>(())
+//! ```
+
+pub mod accessor;
+pub mod border;
+pub mod convolve;
+pub mod error;
+pub mod generator;
+pub mod image;
+pub mod io;
+pub mod mask;
+pub mod partitioned;
+pub mod pixel;
+pub mod roi;
+
+pub use accessor::BorderedImage;
+pub use border::{resolve_1d, resolve_2d, BorderPattern, BorderSpec};
+pub use convolve::{apply_local_op, bilateral_reference, convolve, convolve_par};
+pub use error::ImageError;
+pub use generator::ImageGenerator;
+pub use image::{psnr, Image};
+pub use mask::{Domain, Mask};
+pub use partitioned::convolve_partitioned;
+pub use pixel::Pixel;
+pub use roi::Roi;

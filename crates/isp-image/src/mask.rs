@@ -1,0 +1,438 @@
+//! Convolution masks and domains (Hipacc's `Mask` / `Domain` analogues).
+
+use crate::error::ImageError;
+
+/// A constant coefficient window of odd dimensions `width x height`, anchored
+/// at its centre. The anchor offsets are `(width/2, height/2)`; the paper's
+/// `m x n` window has radii `m/2`, `n/2`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mask {
+    width: usize,
+    height: usize,
+    coeffs: Vec<f32>,
+}
+
+impl Mask {
+    /// Build a mask from row-major coefficients. Dimensions must be odd.
+    pub fn from_coeffs(width: usize, height: usize, coeffs: Vec<f32>) -> Result<Self, ImageError> {
+        if width == 0 || height == 0 || width.is_multiple_of(2) || height.is_multiple_of(2) {
+            return Err(ImageError::EvenMaskDimensions { width, height });
+        }
+        if coeffs.len() != width * height {
+            return Err(ImageError::MaskSizeMismatch {
+                expected: width * height,
+                actual: coeffs.len(),
+            });
+        }
+        Ok(Mask { width, height, coeffs })
+    }
+
+    /// Square mask from a slice.
+    pub fn square(size: usize, coeffs: &[f32]) -> Result<Self, ImageError> {
+        Self::from_coeffs(size, size, coeffs.to_vec())
+    }
+
+    /// `size x size` box (mean) filter, coefficients summing to one.
+    pub fn box_filter(size: usize) -> Result<Self, ImageError> {
+        let n = size * size;
+        Self::from_coeffs(size, size, vec![1.0 / n as f32; n])
+    }
+
+    /// Sampled, normalised Gaussian of standard deviation `sigma`.
+    pub fn gaussian(size: usize, sigma: f32) -> Result<Self, ImageError> {
+        assert!(sigma > 0.0, "sigma must be positive");
+        let r = (size / 2) as i64;
+        let mut coeffs = Vec::with_capacity(size * size);
+        let mut sum = 0.0f32;
+        for dy in -r..=r {
+            for dx in -r..=r {
+                let v = (-((dx * dx + dy * dy) as f32) / (2.0 * sigma * sigma)).exp();
+                coeffs.push(v);
+                sum += v;
+            }
+        }
+        for c in &mut coeffs {
+            *c /= sum;
+        }
+        Self::from_coeffs(size, size, coeffs)
+    }
+
+    /// Discrete Laplacian. Supported sizes: 3 (4-neighbour) and 5
+    /// (Laplacian-of-Gaussian-style integer stencil), matching the window
+    /// sizes the paper evaluates.
+    pub fn laplace(size: usize) -> Result<Self, ImageError> {
+        match size {
+            3 => Self::square(3, &[0.0, 1.0, 0.0, 1.0, -4.0, 1.0, 0.0, 1.0, 0.0]),
+            5 => Self::square(
+                5,
+                &[
+                    0.0, 0.0, 1.0, 0.0, 0.0, //
+                    0.0, 1.0, 2.0, 1.0, 0.0, //
+                    1.0, 2.0, -16.0, 2.0, 1.0, //
+                    0.0, 1.0, 2.0, 1.0, 0.0, //
+                    0.0, 0.0, 1.0, 0.0, 0.0,
+                ],
+            ),
+            _ => Err(ImageError::EvenMaskDimensions { width: size, height: size }),
+        }
+    }
+
+    /// Sobel horizontal derivative (3x3).
+    pub fn sobel_x() -> Mask {
+        Mask::square(3, &[-1.0, 0.0, 1.0, -2.0, 0.0, 2.0, -1.0, 0.0, 1.0]).unwrap()
+    }
+
+    /// Sobel vertical derivative (3x3).
+    pub fn sobel_y() -> Mask {
+        Mask::square(3, &[-1.0, -2.0, -1.0, 0.0, 0.0, 0.0, 1.0, 2.0, 1.0]).unwrap()
+    }
+
+    /// "À trous" (with holes) dilation of a base 3x3 kernel: the base
+    /// coefficients are spread onto a `(2*d+1) x (2*d+1)`-spaced grid,
+    /// producing effective window sizes 3, 5, 9, 17 for dilations 1, 2, 4, 8
+    /// — the Night filter's pyramid in the paper.
+    pub fn atrous(base: &Mask, dilation: usize) -> Result<Self, ImageError> {
+        assert!(dilation >= 1, "dilation must be >= 1");
+        assert_eq!(base.width(), 3, "atrous base must be 3x3");
+        assert_eq!(base.height(), 3, "atrous base must be 3x3");
+        // Effective window: offsets {-d, 0, +d} scaled from base offsets
+        // {-1, 0, 1}. Window size = 2*d + 1.
+        let w = 2 * dilation + 1;
+        let mut coeffs = vec![0.0f32; w * w];
+        for by in 0..3 {
+            for bx in 0..3 {
+                let c = base.coeff(bx, by);
+                let x = (bx as i64 - 1) * dilation as i64 + dilation as i64;
+                let y = (by as i64 - 1) * dilation as i64 + dilation as i64;
+                coeffs[y as usize * w + x as usize] = c;
+            }
+        }
+        Self::from_coeffs(w, w, coeffs)
+    }
+
+    /// Width (`m` in the paper).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height (`n` in the paper).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Horizontal radius `m/2`.
+    pub fn radius_x(&self) -> usize {
+        self.width / 2
+    }
+
+    /// Vertical radius `n/2`.
+    pub fn radius_y(&self) -> usize {
+        self.height / 2
+    }
+
+    /// Coefficient at window position `(x, y)` with `x in [0, width)`.
+    #[inline]
+    pub fn coeff(&self, x: usize, y: usize) -> f32 {
+        self.coeffs[y * self.width + x]
+    }
+
+    /// Coefficient at centred offset `(dx, dy)`, `dx in [-rx, rx]`.
+    #[inline]
+    pub fn coeff_at(&self, dx: i64, dy: i64) -> f32 {
+        let x = (dx + self.radius_x() as i64) as usize;
+        let y = (dy + self.radius_y() as i64) as usize;
+        self.coeff(x, y)
+    }
+
+    /// All coefficients, row-major.
+    pub fn coeffs(&self) -> &[f32] {
+        &self.coeffs
+    }
+
+    /// Sum of all coefficients.
+    pub fn sum(&self) -> f32 {
+        self.coeffs.iter().sum()
+    }
+
+    /// Attempt to separate the mask into an outer product of a column
+    /// vector and a row vector (`M[y][x] = col[y] * row[x]`), the classic
+    /// rank-1 factorisation enabling two cheap 1D passes instead of one 2D
+    /// pass. Returns `(column_mask, row_mask)` as `1 x height` and
+    /// `width x 1` masks, or `None` when the mask is not separable.
+    ///
+    /// ```
+    /// use isp_image::Mask;
+    /// let g = Mask::gaussian(5, 1.0).unwrap();
+    /// let (col, row) = g.separate().expect("gaussians are separable");
+    /// assert_eq!(col.height(), 5);
+    /// assert_eq!(row.width(), 5);
+    /// assert!(Mask::laplace(3).unwrap().separate().is_none());
+    /// ```
+    pub fn separate(&self) -> Option<(Mask, Mask)> {
+        const EPS: f32 = 1e-5;
+        // Pivot: the largest-magnitude coefficient.
+        let (mut px, mut py, mut pv) = (0usize, 0usize, 0.0f32);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                if self.coeff(x, y).abs() > pv.abs() {
+                    (px, py, pv) = (x, y, self.coeff(x, y));
+                }
+            }
+        }
+        if pv == 0.0 {
+            return None;
+        }
+        // Candidate factors through the pivot row/column.
+        let row: Vec<f32> = (0..self.width).map(|x| self.coeff(x, py)).collect();
+        let col: Vec<f32> = (0..self.height).map(|y| self.coeff(px, y) / pv).collect();
+        // Verify the outer product reconstructs the mask.
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let recon = col[y] * row[x];
+                if (recon - self.coeff(x, y)).abs() > EPS * pv.abs().max(1.0) {
+                    return None;
+                }
+            }
+        }
+        let col_mask = Mask::from_coeffs(1, self.height, col).expect("odd height");
+        let row_mask = Mask::from_coeffs(self.width, 1, row).expect("odd width");
+        Some((col_mask, row_mask))
+    }
+
+    /// Derive the boolean footprint of non-zero coefficients.
+    pub fn domain(&self) -> Domain {
+        Domain {
+            width: self.width,
+            height: self.height,
+            active: self.coeffs.iter().map(|&c| c != 0.0).collect(),
+        }
+    }
+}
+
+/// The boolean iteration footprint of a window: which `(dx, dy)` offsets a
+/// local operator actually touches. Hipacc infers this from the mask; sparse
+/// domains (e.g. à-trous) skip inactive cells entirely.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Domain {
+    width: usize,
+    height: usize,
+    active: Vec<bool>,
+}
+
+impl Domain {
+    /// A fully active `width x height` domain. Dimensions must be odd.
+    pub fn full(width: usize, height: usize) -> Result<Self, ImageError> {
+        if width == 0 || height == 0 || width.is_multiple_of(2) || height.is_multiple_of(2) {
+            return Err(ImageError::EvenMaskDimensions { width, height });
+        }
+        Ok(Domain { width, height, active: vec![true; width * height] })
+    }
+
+    /// Width of the footprint.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height of the footprint.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Horizontal radius.
+    pub fn radius_x(&self) -> usize {
+        self.width / 2
+    }
+
+    /// Vertical radius.
+    pub fn radius_y(&self) -> usize {
+        self.height / 2
+    }
+
+    /// Whether offset `(dx, dy)` (centred) is part of the footprint.
+    #[inline]
+    pub fn active_at(&self, dx: i64, dy: i64) -> bool {
+        let x = (dx + self.radius_x() as i64) as usize;
+        let y = (dy + self.radius_y() as i64) as usize;
+        self.active[y * self.width + x]
+    }
+
+    /// Number of active cells.
+    pub fn popcount(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Iterate over active centred offsets `(dx, dy)` row-major.
+    pub fn iter_offsets(&self) -> impl Iterator<Item = (i64, i64)> + '_ {
+        let rx = self.radius_x() as i64;
+        let ry = self.radius_y() as i64;
+        (-ry..=ry).flat_map(move |dy| {
+            (-rx..=rx).filter_map(move |dx| if self.active_at(dx, dy) { Some((dx, dy)) } else { None })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_coeffs_validation() {
+        assert!(Mask::from_coeffs(2, 3, vec![0.0; 6]).is_err());
+        assert!(Mask::from_coeffs(3, 3, vec![0.0; 8]).is_err());
+        assert!(Mask::from_coeffs(3, 3, vec![0.0; 9]).is_ok());
+        assert!(Mask::from_coeffs(0, 1, vec![]).is_err());
+    }
+
+    #[test]
+    fn box_filter_normalised() {
+        let m = Mask::box_filter(5).unwrap();
+        assert_eq!(m.width(), 5);
+        assert!((m.sum() - 1.0).abs() < 1e-6);
+        assert!((m.coeff(0, 0) - 1.0 / 25.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn gaussian_properties() {
+        let m = Mask::gaussian(5, 1.0).unwrap();
+        assert!((m.sum() - 1.0).abs() < 1e-5);
+        // Peak at centre, symmetric.
+        let c = m.coeff_at(0, 0);
+        assert!(c > m.coeff_at(1, 0));
+        assert_eq!(m.coeff_at(1, 0), m.coeff_at(-1, 0));
+        assert_eq!(m.coeff_at(0, 2), m.coeff_at(0, -2));
+        assert_eq!(m.coeff_at(2, 2), m.coeff_at(-2, -2));
+    }
+
+    #[test]
+    fn laplace_sums_to_zero() {
+        for size in [3usize, 5] {
+            let m = Mask::laplace(size).unwrap();
+            assert_eq!(m.width(), size);
+            assert!(m.sum().abs() < 1e-6, "laplace {size} must sum to 0");
+        }
+        assert!(Mask::laplace(7).is_err());
+    }
+
+    #[test]
+    fn sobel_masks() {
+        let sx = Mask::sobel_x();
+        let sy = Mask::sobel_y();
+        assert_eq!(sx.coeff_at(-1, 0), -2.0);
+        assert_eq!(sx.coeff_at(1, 0), 2.0);
+        assert_eq!(sy.coeff_at(0, -1), -2.0);
+        assert!(sx.sum().abs() < 1e-6);
+        // x/y derivative masks are transposes of each other.
+        for dy in -1..=1i64 {
+            for dx in -1..=1i64 {
+                assert_eq!(sx.coeff_at(dx, dy), sy.coeff_at(dy, dx));
+            }
+        }
+    }
+
+    #[test]
+    fn atrous_window_sizes() {
+        let base = Mask::gaussian(3, 0.85).unwrap();
+        // Dilations 1, 2, 4, 8 give the paper's 3, 5, 9, 17 windows.
+        for (d, expect) in [(1usize, 3usize), (2, 5), (4, 9), (8, 17)] {
+            let m = Mask::atrous(&base, d).unwrap();
+            assert_eq!(m.width(), expect, "dilation {d}");
+            assert_eq!(m.height(), expect);
+            // Coefficient mass is preserved.
+            assert!((m.sum() - base.sum()).abs() < 1e-5);
+            // Only 9 non-zero cells regardless of window size.
+            assert_eq!(m.domain().popcount(), 9);
+            // Corner of the dilated grid carries the base corner coefficient.
+            assert_eq!(m.coeff_at(-(d as i64), -(d as i64)), base.coeff_at(-1, -1));
+            assert_eq!(m.coeff_at(0, 0), base.coeff_at(0, 0));
+        }
+    }
+
+    #[test]
+    fn domain_from_mask_sparsity() {
+        let m = Mask::laplace(3).unwrap();
+        let d = m.domain();
+        assert_eq!(d.popcount(), 5); // 4-neighbour + centre
+        assert!(d.active_at(0, 0));
+        assert!(d.active_at(0, -1));
+        assert!(!d.active_at(-1, -1));
+        let offs: Vec<_> = d.iter_offsets().collect();
+        assert_eq!(offs, vec![(0, -1), (-1, 0), (0, 0), (1, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn full_domain() {
+        let d = Domain::full(3, 5).unwrap();
+        assert_eq!(d.popcount(), 15);
+        assert_eq!(d.radius_x(), 1);
+        assert_eq!(d.radius_y(), 2);
+        assert!(Domain::full(4, 3).is_err());
+    }
+
+    #[test]
+    fn coeff_at_centred_indexing() {
+        let m = Mask::square(3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]).unwrap();
+        assert_eq!(m.coeff_at(-1, -1), 1.0);
+        assert_eq!(m.coeff_at(0, 0), 5.0);
+        assert_eq!(m.coeff_at(1, 1), 9.0);
+        assert_eq!(m.coeff_at(1, -1), 3.0);
+    }
+}
+
+#[cfg(test)]
+mod separability_tests {
+    use super::*;
+    use crate::border::BorderSpec;
+    use crate::convolve::convolve;
+    use crate::generator::ImageGenerator;
+
+    #[test]
+    fn gaussian_separates_and_recombines() {
+        let g = Mask::gaussian(7, 1.4).unwrap();
+        let (col, row) = g.separate().expect("separable");
+        assert_eq!((col.width(), col.height()), (1, 7));
+        assert_eq!((row.width(), row.height()), (7, 1));
+        // Two 1D passes equal the 2D pass.
+        let img = ImageGenerator::new(13).uniform_noise::<f32>(40, 30);
+        let spec = BorderSpec::mirror();
+        let two_d = convolve(&img, &g, spec);
+        let horizontal = convolve(&img, &row, spec);
+        let separable = convolve(&horizontal, &col, spec);
+        // Borders differ slightly (1D passes re-filter border-extended
+        // intermediate values), interiors must agree tightly.
+        let interior_a = two_d.crop(crate::roi::Roi::new(3, 3, 34, 24)).unwrap();
+        let interior_b = separable.crop(crate::roi::Roi::new(3, 3, 34, 24)).unwrap();
+        assert!(interior_a.max_abs_diff(&interior_b).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn box_filter_is_separable() {
+        assert!(Mask::box_filter(5).unwrap().separate().is_some());
+    }
+
+    #[test]
+    fn sobel_masks_are_separable() {
+        // sobel_x = [1,2,1]^T x [-1,0,1].
+        let (col, row) = Mask::sobel_x().separate().expect("rank 1");
+        let prod: Vec<f32> = (0..3)
+            .flat_map(|y| (0..3).map(move |x| (y, x)))
+            .map(|(y, x)| col.coeff(0, y) * row.coeff(x, 0))
+            .collect();
+        let expect = [-1.0, 0.0, 1.0, -2.0, 0.0, 2.0, -1.0, 0.0, 1.0];
+        for (a, b) in prod.iter().zip(expect.iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn laplace_is_not_separable() {
+        assert!(Mask::laplace(3).unwrap().separate().is_none());
+        assert!(Mask::laplace(5).unwrap().separate().is_none());
+    }
+
+    #[test]
+    fn atrous_dilated_gaussian_stays_separable() {
+        let base = Mask::gaussian(3, 0.85).unwrap();
+        let dil = Mask::atrous(&base, 2).unwrap();
+        assert!(dil.separate().is_some(), "dilation preserves rank");
+    }
+}

@@ -1,0 +1,187 @@
+//! Pixel traits: the numeric element types an [`crate::Image`] may hold.
+//!
+//! The paper's filters operate on single-channel images (greyscale) stored as
+//! `u8`, `u16`, `i16`, `i32`, or `f32`. The GPU simulator internally computes
+//! in `f32`/`i32` just like the generated CUDA kernels, so every pixel type
+//! must round-trip through `f32`.
+
+/// A numeric pixel element.
+///
+/// Implementors are plain-old-data scalars. Conversion to and from `f32`
+/// defines the arithmetic domain used by filters and by the simulated
+/// kernels (CUDA kernels likewise `cvt` integer pixels to float registers).
+pub trait Pixel: Copy + Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static {
+    /// The additive identity for this pixel type.
+    const ZERO: Self;
+    /// The largest representable value (used for normalisation and I/O).
+    const MAX_VALUE: f32;
+
+    /// Widen to `f32` for filter arithmetic.
+    fn to_f32(self) -> f32;
+    /// Narrow from `f32`, saturating at the type's representable range and
+    /// rounding to nearest for integer types.
+    fn from_f32(v: f32) -> Self;
+    /// Human-readable name of the storage type (for diagnostics).
+    fn type_name() -> &'static str;
+}
+
+impl Pixel for u8 {
+    const ZERO: Self = 0;
+    const MAX_VALUE: f32 = 255.0;
+
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self as f32
+    }
+
+    #[inline]
+    fn from_f32(v: f32) -> Self {
+        v.round().clamp(0.0, 255.0) as u8
+    }
+
+    fn type_name() -> &'static str {
+        "u8"
+    }
+}
+
+impl Pixel for u16 {
+    const ZERO: Self = 0;
+    const MAX_VALUE: f32 = 65535.0;
+
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self as f32
+    }
+
+    #[inline]
+    fn from_f32(v: f32) -> Self {
+        v.round().clamp(0.0, 65535.0) as u16
+    }
+
+    fn type_name() -> &'static str {
+        "u16"
+    }
+}
+
+impl Pixel for i16 {
+    const ZERO: Self = 0;
+    const MAX_VALUE: f32 = i16::MAX as f32;
+
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self as f32
+    }
+
+    #[inline]
+    fn from_f32(v: f32) -> Self {
+        v.round().clamp(i16::MIN as f32, i16::MAX as f32) as i16
+    }
+
+    fn type_name() -> &'static str {
+        "i16"
+    }
+}
+
+impl Pixel for i32 {
+    const ZERO: Self = 0;
+    const MAX_VALUE: f32 = i32::MAX as f32;
+
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self as f32
+    }
+
+    #[inline]
+    fn from_f32(v: f32) -> Self {
+        // f32 cannot represent all of i32; saturate conservatively.
+        if v >= i32::MAX as f32 {
+            i32::MAX
+        } else if v <= i32::MIN as f32 {
+            i32::MIN
+        } else {
+            v.round() as i32
+        }
+    }
+
+    fn type_name() -> &'static str {
+        "i32"
+    }
+}
+
+impl Pixel for f32 {
+    const ZERO: Self = 0.0;
+    const MAX_VALUE: f32 = 1.0;
+
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self
+    }
+
+    #[inline]
+    fn from_f32(v: f32) -> Self {
+        v
+    }
+
+    fn type_name() -> &'static str {
+        "f32"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u8_roundtrip_and_saturation() {
+        assert_eq!(u8::from_f32(0.0), 0);
+        assert_eq!(u8::from_f32(255.0), 255);
+        assert_eq!(u8::from_f32(300.0), 255);
+        assert_eq!(u8::from_f32(-4.0), 0);
+        assert_eq!(u8::from_f32(127.4), 127);
+        assert_eq!(u8::from_f32(127.6), 128);
+        assert_eq!(200u8.to_f32(), 200.0);
+    }
+
+    #[test]
+    fn u16_roundtrip_and_saturation() {
+        assert_eq!(u16::from_f32(65535.0), 65535);
+        assert_eq!(u16::from_f32(70000.0), 65535);
+        assert_eq!(u16::from_f32(-1.0), 0);
+        assert_eq!(1234u16.to_f32(), 1234.0);
+    }
+
+    #[test]
+    fn i16_saturation_both_ends() {
+        assert_eq!(i16::from_f32(40000.0), i16::MAX);
+        assert_eq!(i16::from_f32(-40000.0), i16::MIN);
+        assert_eq!(i16::from_f32(-12.0), -12);
+    }
+
+    #[test]
+    fn i32_saturation() {
+        assert_eq!(i32::from_f32(f32::MAX), i32::MAX);
+        assert_eq!(i32::from_f32(f32::MIN), i32::MIN);
+        assert_eq!(i32::from_f32(42.0), 42);
+        assert_eq!(i32::from_f32(-42.49), -42);
+    }
+
+    #[test]
+    fn f32_identity() {
+        assert_eq!(f32::from_f32(0.25), 0.25);
+        assert_eq!(0.75f32.to_f32(), 0.75);
+    }
+
+    #[test]
+    fn zero_constants() {
+        assert_eq!(u8::ZERO, 0);
+        assert_eq!(f32::ZERO, 0.0);
+        assert_eq!(i32::ZERO, 0);
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(u8::type_name(), "u8");
+        assert_eq!(f32::type_name(), "f32");
+        assert_eq!(i16::type_name(), "i16");
+    }
+}

@@ -1,0 +1,130 @@
+//! Rectangular region-of-interest descriptor.
+
+use crate::error::ImageError;
+
+/// A rectangular region of interest within an image, `width x height`
+/// starting at pixel `(x, y)`.
+///
+/// ROIs describe the sub-grids the iteration space partitioner produces: each
+/// of the nine ISP regions maps to one ROI of the output iteration space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Roi {
+    /// Left edge (inclusive).
+    pub x: usize,
+    /// Top edge (inclusive).
+    pub y: usize,
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+}
+
+impl Roi {
+    /// Construct a ROI. Zero-sized ROIs are legal (an ISP region may be
+    /// empty, e.g. when the whole image fits into border blocks).
+    pub fn new(x: usize, y: usize, width: usize, height: usize) -> Self {
+        Roi { x, y, width, height }
+    }
+
+    /// ROI covering a full `width x height` image.
+    pub fn full(width: usize, height: usize) -> Self {
+        Roi { x: 0, y: 0, width, height }
+    }
+
+    /// Number of pixels covered.
+    pub fn area(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// True when the ROI covers no pixels.
+    pub fn is_empty(&self) -> bool {
+        self.width == 0 || self.height == 0
+    }
+
+    /// Right edge (exclusive).
+    pub fn x_end(&self) -> usize {
+        self.x + self.width
+    }
+
+    /// Bottom edge (exclusive).
+    pub fn y_end(&self) -> usize {
+        self.y + self.height
+    }
+
+    /// Whether `(px, py)` lies inside the ROI.
+    pub fn contains(&self, px: usize, py: usize) -> bool {
+        px >= self.x && px < self.x_end() && py >= self.y && py < self.y_end()
+    }
+
+    /// Whether this ROI overlaps `other` in at least one pixel.
+    pub fn intersects(&self, other: &Roi) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.x < other.x_end()
+            && other.x < self.x_end()
+            && self.y < other.y_end()
+            && other.y < self.y_end()
+    }
+
+    /// Check the ROI fits within a `parent_width x parent_height` image.
+    pub fn validate(&self, parent_width: usize, parent_height: usize) -> Result<(), ImageError> {
+        let fits_x = self.x.checked_add(self.width).is_some_and(|e| e <= parent_width);
+        let fits_y = self.y.checked_add(self.height).is_some_and(|e| e <= parent_height);
+        if fits_x && fits_y {
+            Ok(())
+        } else {
+            Err(ImageError::RoiOutOfBounds {
+                x: self.x,
+                y: self.y,
+                width: self.width,
+                height: self.height,
+                parent_width,
+                parent_height,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_geometry() {
+        let r = Roi::new(2, 3, 4, 5);
+        assert_eq!(r.area(), 20);
+        assert_eq!(r.x_end(), 6);
+        assert_eq!(r.y_end(), 8);
+        assert!(!r.is_empty());
+        assert!(Roi::new(0, 0, 0, 4).is_empty());
+    }
+
+    #[test]
+    fn contains_edges() {
+        let r = Roi::new(1, 1, 2, 2);
+        assert!(r.contains(1, 1));
+        assert!(r.contains(2, 2));
+        assert!(!r.contains(3, 2));
+        assert!(!r.contains(0, 1));
+    }
+
+    #[test]
+    fn intersection() {
+        let a = Roi::new(0, 0, 4, 4);
+        let b = Roi::new(3, 3, 4, 4);
+        let c = Roi::new(4, 0, 2, 2);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        // Empty ROIs never intersect.
+        let e = Roi::new(1, 1, 0, 5);
+        assert!(!a.intersects(&e));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Roi::new(0, 0, 8, 8).validate(8, 8).is_ok());
+        assert!(Roi::new(1, 0, 8, 8).validate(8, 8).is_err());
+        assert!(Roi::new(usize::MAX, 0, 2, 2).validate(8, 8).is_err());
+        assert!(Roi::full(16, 16).validate(16, 16).is_ok());
+    }
+}

@@ -1,0 +1,356 @@
+//! Convenience builder for constructing kernels.
+
+use crate::instr::{BinOp, CmpOp, Instr, Operand, SReg, Terminator, UnOp};
+use crate::kernel::{BasicBlock, BlockId, Kernel, ParamDecl};
+use crate::types::{Ty, VReg};
+
+/// Incremental kernel construction: create blocks, emit instructions into
+/// the current block, seal blocks with terminators, then [`IrBuilder::finish`].
+///
+/// ```
+/// use isp_ir::{BinOp, IrBuilder, SReg, Ty};
+/// let mut b = IrBuilder::new("double", 2);
+/// let x = b.sreg(SReg::TidX);
+/// let v = b.ld(Ty::F32, 0, x);
+/// let d = b.bin(BinOp::Mul, Ty::F32, v, 2.0f32);
+/// b.st(1, x, d);
+/// b.ret();
+/// let kernel = b.finish();
+/// assert!(isp_ir::validate::validate(&kernel).is_empty());
+/// ```
+#[derive(Debug)]
+pub struct IrBuilder {
+    name: String,
+    num_buffers: u32,
+    shared_elems: u32,
+    params: Vec<ParamDecl>,
+    blocks: Vec<PendingBlock>,
+    current: Option<BlockId>,
+    next_vreg: u32,
+}
+
+#[derive(Debug)]
+struct PendingBlock {
+    label: String,
+    instrs: Vec<Instr>,
+    terminator: Option<Terminator>,
+}
+
+impl IrBuilder {
+    /// Start a new kernel with `num_buffers` buffer parameters. An `"entry"`
+    /// block is created and selected automatically.
+    pub fn new(name: impl Into<String>, num_buffers: u32) -> Self {
+        let mut b = IrBuilder {
+            name: name.into(),
+            num_buffers,
+            shared_elems: 0,
+            params: Vec::new(),
+            blocks: Vec::new(),
+            current: None,
+            next_vreg: 0,
+        };
+        let entry = b.create_block("entry");
+        b.switch_to(entry);
+        b
+    }
+
+    /// Declare a scalar parameter, returning its index for `ld_param`.
+    pub fn param(&mut self, name: impl Into<String>, ty: Ty) -> u32 {
+        let idx = self.params.len() as u32;
+        self.params.push(ParamDecl { name: name.into(), ty });
+        idx
+    }
+
+    /// Allocate a fresh virtual register.
+    pub fn fresh(&mut self, ty: Ty) -> VReg {
+        let r = VReg::new(self.next_vreg, ty);
+        self.next_vreg += 1;
+        r
+    }
+
+    /// Create a new (empty, unterminated) block.
+    pub fn create_block(&mut self, label: impl Into<String>) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(PendingBlock {
+            label: label.into(),
+            instrs: Vec::new(),
+            terminator: None,
+        });
+        id
+    }
+
+    /// Select the block subsequent instructions are emitted into.
+    pub fn switch_to(&mut self, id: BlockId) {
+        assert!((id.0 as usize) < self.blocks.len(), "unknown block {id}");
+        self.current = Some(id);
+    }
+
+    /// The currently selected block.
+    pub fn current_block(&self) -> BlockId {
+        self.current.expect("no block selected")
+    }
+
+    fn cur(&mut self) -> &mut PendingBlock {
+        let id = self.current.expect("no block selected");
+        &mut self.blocks[id.0 as usize]
+    }
+
+    /// Emit a raw instruction.
+    pub fn emit(&mut self, instr: Instr) {
+        let b = self.cur();
+        assert!(b.terminator.is_none(), "emitting into a sealed block");
+        b.instrs.push(instr);
+    }
+
+    /// `dst = a <op> b`, with `dst` freshly allocated of type `ty`.
+    pub fn bin(&mut self, op: BinOp, ty: Ty, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        let dst = self.fresh(ty);
+        self.emit(Instr::Bin { op, dst, a: a.into(), b: b.into() });
+        dst
+    }
+
+    /// Fused multiply-add `a * b + c`.
+    pub fn mad(
+        &mut self,
+        ty: Ty,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        c: impl Into<Operand>,
+    ) -> VReg {
+        let dst = self.fresh(ty);
+        self.emit(Instr::Mad { dst, a: a.into(), b: b.into(), c: c.into() });
+        dst
+    }
+
+    /// `dst = <op> a`.
+    pub fn un(&mut self, op: UnOp, ty: Ty, a: impl Into<Operand>) -> VReg {
+        let dst = self.fresh(ty);
+        self.emit(Instr::Un { op, dst, a: a.into() });
+        dst
+    }
+
+    /// Materialise an immediate into a register (a `mov`).
+    pub fn mov(&mut self, ty: Ty, a: impl Into<Operand>) -> VReg {
+        self.un(UnOp::Mov, ty, a)
+    }
+
+    /// Convert between `s32` and `f32`.
+    pub fn cvt(&mut self, to: Ty, a: impl Into<Operand>) -> VReg {
+        let dst = self.fresh(to);
+        self.emit(Instr::Cvt { dst, a: a.into() });
+        dst
+    }
+
+    /// Compare, producing a fresh predicate.
+    pub fn setp(&mut self, cmp: CmpOp, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        let dst = self.fresh(Ty::Pred);
+        self.emit(Instr::SetP { cmp, dst, a: a.into(), b: b.into() });
+        dst
+    }
+
+    /// Select `pred ? a : b`.
+    pub fn selp(
+        &mut self,
+        ty: Ty,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        pred: VReg,
+    ) -> VReg {
+        let dst = self.fresh(ty);
+        self.emit(Instr::SelP { dst, a: a.into(), b: b.into(), pred });
+        dst
+    }
+
+    /// Read a special register.
+    pub fn sreg(&mut self, sreg: SReg) -> VReg {
+        let dst = self.fresh(Ty::S32);
+        self.emit(Instr::Sreg { dst, sreg });
+        dst
+    }
+
+    /// Load scalar parameter `index`.
+    pub fn ld_param(&mut self, index: u32) -> VReg {
+        let ty = self.params[index as usize].ty;
+        let dst = self.fresh(ty);
+        self.emit(Instr::LdParam { dst, index });
+        dst
+    }
+
+    /// Global load of a `f32` element.
+    pub fn ld(&mut self, ty: Ty, buf: u32, addr: impl Into<Operand>) -> VReg {
+        let dst = self.fresh(ty);
+        self.emit(Instr::Ld { dst, buf, addr: addr.into() });
+        dst
+    }
+
+    /// 2D texture fetch of an `f32` element (hardware border handling).
+    pub fn tex(&mut self, buf: u32, x: impl Into<Operand>, y: impl Into<Operand>) -> VReg {
+        let dst = self.fresh(Ty::F32);
+        self.emit(Instr::Tex { dst, buf, x: x.into(), y: y.into() });
+        dst
+    }
+
+    /// Global store.
+    pub fn st(&mut self, buf: u32, addr: impl Into<Operand>, val: impl Into<Operand>) {
+        self.emit(Instr::St { buf, addr: addr.into(), val: val.into() });
+    }
+
+    /// Declare the per-block shared-memory scratchpad size (in elements).
+    pub fn set_shared_elems(&mut self, elems: u32) {
+        self.shared_elems = elems;
+    }
+
+    /// Shared-memory load of an `f32` element.
+    pub fn lds(&mut self, addr: impl Into<Operand>) -> VReg {
+        let dst = self.fresh(Ty::F32);
+        self.emit(Instr::Lds { dst, addr: addr.into() });
+        dst
+    }
+
+    /// Shared-memory store.
+    pub fn sts(&mut self, addr: impl Into<Operand>, val: impl Into<Operand>) {
+        self.emit(Instr::Sts { addr: addr.into(), val: val.into() });
+    }
+
+    /// Block-wide barrier.
+    pub fn bar(&mut self) {
+        self.emit(Instr::Bar);
+    }
+
+    /// Seal the current block with an unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        let b = self.cur();
+        assert!(b.terminator.is_none(), "block already sealed");
+        b.terminator = Some(Terminator::Br { target });
+    }
+
+    /// Seal the current block with a conditional branch.
+    pub fn cond_br(&mut self, pred: VReg, if_true: BlockId, if_false: BlockId) {
+        assert_eq!(pred.ty, Ty::Pred, "cond_br needs a predicate register");
+        let b = self.cur();
+        assert!(b.terminator.is_none(), "block already sealed");
+        b.terminator = Some(Terminator::CondBr { pred, if_true, if_false });
+    }
+
+    /// Seal the current block with a thread exit.
+    pub fn ret(&mut self) {
+        let b = self.cur();
+        assert!(b.terminator.is_none(), "block already sealed");
+        b.terminator = Some(Terminator::Ret);
+    }
+
+    /// Whether the current block is already sealed.
+    pub fn is_sealed(&self) -> bool {
+        let id = self.current.expect("no block selected");
+        self.blocks[id.0 as usize].terminator.is_some()
+    }
+
+    /// Finish construction. Panics if any block lacks a terminator.
+    pub fn finish(self) -> Kernel {
+        let blocks = self
+            .blocks
+            .into_iter()
+            .map(|b| BasicBlock {
+                terminator: b
+                    .terminator
+                    .unwrap_or_else(|| panic!("block '{}' has no terminator", b.label)),
+                label: b.label,
+                instrs: b.instrs,
+            })
+            .collect();
+        Kernel {
+            name: self.name,
+            num_buffers: self.num_buffers,
+            params: self.params,
+            blocks,
+            num_vregs: self.next_vreg,
+            shared_elems: self.shared_elems,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_straightline_kernel() {
+        let mut b = IrBuilder::new("k", 2);
+        let p_w = b.param("width", Ty::S32);
+        let w = b.ld_param(p_w);
+        let x = b.sreg(SReg::TidX);
+        let addr = b.bin(BinOp::Add, Ty::S32, x, w);
+        let v = b.ld(Ty::F32, 0, addr);
+        let two = b.bin(BinOp::Mul, Ty::F32, v, 2.0f32);
+        b.st(1, addr, two);
+        b.ret();
+        let k = b.finish();
+        assert_eq!(k.name, "k");
+        assert_eq!(k.num_buffers, 2);
+        assert_eq!(k.blocks.len(), 1);
+        assert_eq!(k.blocks[0].instrs.len(), 6);
+        assert_eq!(k.num_vregs, 5);
+        assert!(matches!(k.blocks[0].terminator, Terminator::Ret));
+    }
+
+    #[test]
+    fn builds_diamond_cfg() {
+        let mut b = IrBuilder::new("diamond", 0);
+        let t = b.create_block("then");
+        let e = b.create_block("else");
+        let m = b.create_block("merge");
+        let x = b.sreg(SReg::TidX);
+        let p = b.setp(CmpOp::Lt, x, 4i32);
+        b.cond_br(p, t, e);
+        b.switch_to(t);
+        b.br(m);
+        b.switch_to(e);
+        b.br(m);
+        b.switch_to(m);
+        b.ret();
+        let k = b.finish();
+        assert_eq!(k.blocks.len(), 4);
+        assert_eq!(k.block(BlockId(0)).terminator.successors(), vec![BlockId(1), BlockId(2)]);
+        assert_eq!(k.block_by_label("merge"), Some(BlockId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no terminator")]
+    fn finish_rejects_unterminated_blocks() {
+        let b = IrBuilder::new("bad", 0);
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "sealed")]
+    fn emitting_into_sealed_block_panics() {
+        let mut b = IrBuilder::new("bad", 0);
+        b.ret();
+        b.sreg(SReg::TidX);
+    }
+
+    #[test]
+    #[should_panic(expected = "predicate")]
+    fn cond_br_requires_predicate() {
+        let mut b = IrBuilder::new("bad", 0);
+        let t = b.create_block("t");
+        let f = b.create_block("f");
+        let x = b.sreg(SReg::TidX); // s32, not pred
+        b.cond_br(x, t, f);
+    }
+
+    #[test]
+    fn param_types_flow_through_ld_param() {
+        let mut b = IrBuilder::new("p", 0);
+        let pi = b.param("i", Ty::S32);
+        let pf = b.param("f", Ty::F32);
+        let ri = b.ld_param(pi);
+        let rf = b.ld_param(pf);
+        assert_eq!(ri.ty, Ty::S32);
+        assert_eq!(rf.ty, Ty::F32);
+        b.ret();
+        let k = b.finish();
+        assert_eq!(k.params.len(), 2);
+        assert_eq!(k.param_index("f"), Some(1));
+    }
+}

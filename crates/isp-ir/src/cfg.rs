@@ -1,0 +1,274 @@
+#![allow(clippy::needless_range_loop)] // bitset loops index parallel arrays
+
+//! Control-flow-graph analyses: successors/predecessors, reachability, and
+//! immediate post-dominators.
+//!
+//! The post-dominator analysis serves the simulator's SIMT divergence model:
+//! when a warp diverges at a conditional branch in block `B`, the two paths
+//! are serialised and the warp reconverges at `ipostdom(B)` — exactly the
+//! reconvergence-stack behaviour of real NVIDIA hardware that the paper's
+//! region-switching code relies on.
+
+use crate::kernel::{BlockId, Kernel};
+
+/// Successor/predecessor maps plus reachability for one kernel.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successor block ids per block.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessor block ids per block.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Whether each block is reachable from the entry.
+    pub reachable: Vec<bool>,
+}
+
+impl Cfg {
+    /// Build the CFG of `kernel`.
+    pub fn new(kernel: &Kernel) -> Self {
+        let n = kernel.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (i, b) in kernel.blocks.iter().enumerate() {
+            for s in b.terminator.successors() {
+                succs[i].push(s);
+                preds[s.0 as usize].push(BlockId(i as u32));
+            }
+        }
+        let mut reachable = vec![false; n];
+        let mut stack = vec![kernel.entry()];
+        while let Some(b) = stack.pop() {
+            if reachable[b.0 as usize] {
+                continue;
+            }
+            reachable[b.0 as usize] = true;
+            for &s in &succs[b.0 as usize] {
+                stack.push(s);
+            }
+        }
+        Cfg { succs, preds, reachable }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// True when the kernel has no blocks (never the case for built kernels).
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Blocks with no successors (thread exits).
+    pub fn exits(&self) -> Vec<BlockId> {
+        (0..self.len())
+            .filter(|&i| self.succs[i].is_empty() && self.reachable[i])
+            .map(|i| BlockId(i as u32))
+            .collect()
+    }
+
+    /// Immediate post-dominator of every reachable block, or `None` when the
+    /// only strict post-dominator is the (virtual) exit.
+    ///
+    /// Computed with a straightforward iterative set intersection over the
+    /// reverse CFG; kernels here have at most a few hundred blocks, so the
+    /// simple algorithm is plenty fast and easy to trust.
+    pub fn ipostdom(&self) -> Vec<Option<BlockId>> {
+        let n = self.len();
+        let words = n.div_ceil(64);
+        // pdom[b] as a bitset; initially "all blocks" except for exits.
+        let full = vec![u64::MAX; words];
+        let mut pdom: Vec<Vec<u64>> = vec![full; n];
+        let set = |bits: &mut [u64], i: usize| bits[i / 64] |= 1 << (i % 64);
+        let only_self = |i: usize| {
+            let mut bits = vec![0u64; words];
+            set(&mut bits, i);
+            bits
+        };
+        for i in 0..n {
+            if self.succs[i].is_empty() {
+                pdom[i] = only_self(i);
+            }
+        }
+        // Iterate to fixpoint.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in (0..n).rev() {
+                if !self.reachable[i] || self.succs[i].is_empty() {
+                    continue;
+                }
+                // Intersection of successors' pdom sets, plus self.
+                let mut new = vec![u64::MAX; words];
+                for s in &self.succs[i] {
+                    for (w, sw) in new.iter_mut().zip(&pdom[s.0 as usize]) {
+                        *w &= sw;
+                    }
+                }
+                set(&mut new, i);
+                if new != pdom[i] {
+                    pdom[i] = new;
+                    changed = true;
+                }
+            }
+        }
+        // ipdom = the strict post-dominator with the largest pdom set
+        // (the chain of strict post-dominators is totally ordered by
+        // inclusion; the closest one has the most elements).
+        let popcount = |bits: &[u64]| -> u32 { bits.iter().map(|w| w.count_ones()).sum() };
+        (0..n)
+            .map(|i| {
+                if !self.reachable[i] {
+                    return None;
+                }
+                let mut best: Option<(BlockId, u32)> = None;
+                for j in 0..n {
+                    if j == i {
+                        continue;
+                    }
+                    let is_pdom = pdom[i][j / 64] & (1 << (j % 64)) != 0;
+                    if is_pdom {
+                        let size = popcount(&pdom[j]);
+                        if best.is_none_or(|(_, s)| size > s) {
+                            best = Some((BlockId(j as u32), size));
+                        }
+                    }
+                }
+                best.map(|(b, _)| b)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IrBuilder;
+    use crate::instr::{CmpOp, SReg};
+
+    fn diamond() -> Kernel {
+        let mut b = IrBuilder::new("diamond", 0);
+        let t = b.create_block("then");
+        let e = b.create_block("else");
+        let m = b.create_block("merge");
+        let x = b.sreg(SReg::TidX);
+        let p = b.setp(CmpOp::Lt, x, 4i32);
+        b.cond_br(p, t, e);
+        b.switch_to(t);
+        b.br(m);
+        b.switch_to(e);
+        b.br(m);
+        b.switch_to(m);
+        b.ret();
+        b.finish()
+    }
+
+    #[test]
+    fn diamond_edges() {
+        let k = diamond();
+        let cfg = Cfg::new(&k);
+        assert_eq!(cfg.succs[0], vec![BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds[3], vec![BlockId(1), BlockId(2)]);
+        assert!(cfg.reachable.iter().all(|&r| r));
+        assert_eq!(cfg.exits(), vec![BlockId(3)]);
+    }
+
+    #[test]
+    fn diamond_reconverges_at_merge() {
+        let k = diamond();
+        let ipd = Cfg::new(&k).ipostdom();
+        assert_eq!(ipd[0], Some(BlockId(3)), "branch reconverges at merge");
+        assert_eq!(ipd[1], Some(BlockId(3)));
+        assert_eq!(ipd[2], Some(BlockId(3)));
+        assert_eq!(ipd[3], None, "exit has no post-dominator");
+    }
+
+    #[test]
+    fn nested_diamonds() {
+        // entry -> (inner diamond) -> merge_outer
+        let mut b = IrBuilder::new("nested", 0);
+        let inner = b.create_block("inner_branch");
+        let t2 = b.create_block("t2");
+        let e2 = b.create_block("e2");
+        let m2 = b.create_block("m2");
+        let outer_else = b.create_block("outer_else");
+        let m1 = b.create_block("m1");
+        let x = b.sreg(SReg::TidX);
+        let p = b.setp(CmpOp::Lt, x, 8i32);
+        b.cond_br(p, inner, outer_else);
+        b.switch_to(inner);
+        let y = b.sreg(SReg::TidY);
+        let q = b.setp(CmpOp::Lt, y, 2i32);
+        b.cond_br(q, t2, e2);
+        b.switch_to(t2);
+        b.br(m2);
+        b.switch_to(e2);
+        b.br(m2);
+        b.switch_to(m2);
+        b.br(m1);
+        b.switch_to(outer_else);
+        b.br(m1);
+        b.switch_to(m1);
+        b.ret();
+        let k = b.finish();
+        let cfg = Cfg::new(&k);
+        let ipd = cfg.ipostdom();
+        let inner_id = k.block_by_label("inner_branch").unwrap();
+        let m2_id = k.block_by_label("m2").unwrap();
+        let m1_id = k.block_by_label("m1").unwrap();
+        assert_eq!(ipd[inner_id.0 as usize], Some(m2_id), "inner reconverges at m2");
+        assert_eq!(ipd[0], Some(m1_id), "outer reconverges at m1");
+        assert_eq!(ipd[m2_id.0 as usize], Some(m1_id));
+    }
+
+    #[test]
+    fn loop_ipdom_is_exit_block() {
+        // entry -> loop; loop -> loop | done (a `Repeat` while-loop shape)
+        let mut b = IrBuilder::new("loop", 0);
+        let l = b.create_block("loop");
+        let d = b.create_block("done");
+        b.br(l);
+        b.switch_to(l);
+        let x = b.sreg(SReg::TidX);
+        let p = b.setp(CmpOp::Lt, x, 10i32);
+        b.cond_br(p, l, d);
+        b.switch_to(d);
+        b.ret();
+        let k = b.finish();
+        let ipd = Cfg::new(&k).ipostdom();
+        assert_eq!(ipd[0], Some(BlockId(1)));
+        assert_eq!(ipd[1], Some(BlockId(2)), "loop header reconverges at done");
+    }
+
+    #[test]
+    fn multiple_exits_have_no_common_ipdom() {
+        // entry -> ret_a | ret_b: branch's ipdom must be None (virtual exit).
+        let mut b = IrBuilder::new("two_exits", 0);
+        let a = b.create_block("a");
+        let c = b.create_block("c");
+        let x = b.sreg(SReg::TidX);
+        let p = b.setp(CmpOp::Lt, x, 1i32);
+        b.cond_br(p, a, c);
+        b.switch_to(a);
+        b.ret();
+        b.switch_to(c);
+        b.ret();
+        let k = b.finish();
+        let ipd = Cfg::new(&k).ipostdom();
+        assert_eq!(ipd[0], None);
+        assert_eq!(Cfg::new(&k).exits().len(), 2);
+    }
+
+    #[test]
+    fn unreachable_block_is_flagged() {
+        let mut b = IrBuilder::new("dead", 0);
+        let dead = b.create_block("dead");
+        b.ret();
+        b.switch_to(dead);
+        b.ret();
+        let k = b.finish();
+        let cfg = Cfg::new(&k);
+        assert!(cfg.reachable[0]);
+        assert!(!cfg.reachable[1]);
+        assert_eq!(cfg.ipostdom()[1], None);
+    }
+}

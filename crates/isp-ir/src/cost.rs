@@ -1,0 +1,389 @@
+//! Instruction categorisation and counting.
+//!
+//! The paper's Table I inventories the PTX instructions of the bilateral
+//! kernel per region, "categorised based on keywords" (`add.s32` and
+//! `add.f32` both count as `add`). [`InstrCategory`] reproduces exactly that
+//! keyword-level grouping, and [`InstrHistogram`] accumulates static or
+//! dynamic counts over kernels or regions.
+
+use crate::instr::{BinOp, Instr, Terminator, UnOp};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Keyword-level instruction category (the paper's Table I rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InstrCategory {
+    Add,
+    Sub,
+    Mul,
+    Mad,
+    Div,
+    Rem,
+    Min,
+    Max,
+    Abs,
+    Neg,
+    Mov,
+    Logic,
+    Shift,
+    Setp,
+    Selp,
+    Cvt,
+    /// Special-function-unit ops: exp/log/sqrt/rsqrt.
+    Sfu,
+    Bra,
+    Ld,
+    /// 2D texture fetches (hardware border handling).
+    Tex,
+    St,
+    /// Shared-memory accesses (loads and stores).
+    Shared,
+    /// Block-wide barriers.
+    Bar2,
+    Ret,
+}
+
+impl InstrCategory {
+    /// All categories in display order.
+    pub const ALL: [InstrCategory; 24] = [
+        InstrCategory::Add,
+        InstrCategory::Sub,
+        InstrCategory::Mul,
+        InstrCategory::Mad,
+        InstrCategory::Div,
+        InstrCategory::Rem,
+        InstrCategory::Min,
+        InstrCategory::Max,
+        InstrCategory::Abs,
+        InstrCategory::Neg,
+        InstrCategory::Mov,
+        InstrCategory::Logic,
+        InstrCategory::Shift,
+        InstrCategory::Setp,
+        InstrCategory::Selp,
+        InstrCategory::Cvt,
+        InstrCategory::Sfu,
+        InstrCategory::Bra,
+        InstrCategory::Ld,
+        InstrCategory::Tex,
+        InstrCategory::St,
+        InstrCategory::Shared,
+        InstrCategory::Bar2,
+        InstrCategory::Ret,
+    ];
+
+    /// Table-row keyword.
+    pub fn name(&self) -> &'static str {
+        match self {
+            InstrCategory::Add => "add",
+            InstrCategory::Sub => "sub",
+            InstrCategory::Mul => "mul",
+            InstrCategory::Mad => "mad",
+            InstrCategory::Div => "div",
+            InstrCategory::Rem => "rem",
+            InstrCategory::Min => "min",
+            InstrCategory::Max => "max",
+            InstrCategory::Abs => "abs",
+            InstrCategory::Neg => "neg",
+            InstrCategory::Mov => "mov",
+            InstrCategory::Logic => "logic",
+            InstrCategory::Shift => "shift",
+            InstrCategory::Setp => "setp",
+            InstrCategory::Selp => "selp",
+            InstrCategory::Cvt => "cvt",
+            InstrCategory::Sfu => "sfu",
+            InstrCategory::Bra => "bra",
+            InstrCategory::Ld => "ld",
+            InstrCategory::Tex => "tex",
+            InstrCategory::St => "st",
+            InstrCategory::Shared => "shared",
+            InstrCategory::Bar2 => "bar",
+            InstrCategory::Ret => "ret",
+        }
+    }
+
+    /// Whether the category executes on the arithmetic (integer/float ALU)
+    /// pipeline. The paper's key Table I observation: ISP's savings
+    /// concentrate in arithmetic instructions (max, add, cvt) used by
+    /// address clamping.
+    pub fn is_arithmetic(&self) -> bool {
+        matches!(
+            self,
+            InstrCategory::Add
+                | InstrCategory::Sub
+                | InstrCategory::Mul
+                | InstrCategory::Mad
+                | InstrCategory::Div
+                | InstrCategory::Rem
+                | InstrCategory::Min
+                | InstrCategory::Max
+                | InstrCategory::Abs
+                | InstrCategory::Neg
+                | InstrCategory::Logic
+                | InstrCategory::Shift
+                | InstrCategory::Setp
+                | InstrCategory::Selp
+                | InstrCategory::Cvt
+        )
+    }
+
+    /// Classify a non-terminator instruction.
+    pub fn of_instr(instr: &Instr) -> InstrCategory {
+        match instr {
+            Instr::Bin { op, .. } => match op {
+                BinOp::Add => InstrCategory::Add,
+                BinOp::Sub => InstrCategory::Sub,
+                BinOp::Mul => InstrCategory::Mul,
+                BinOp::Div => InstrCategory::Div,
+                BinOp::Rem => InstrCategory::Rem,
+                BinOp::Min => InstrCategory::Min,
+                BinOp::Max => InstrCategory::Max,
+                BinOp::And | BinOp::Or | BinOp::Xor => InstrCategory::Logic,
+                BinOp::Shl | BinOp::Shr => InstrCategory::Shift,
+            },
+            Instr::Mad { .. } => InstrCategory::Mad,
+            Instr::Un { op, .. } => match op {
+                UnOp::Mov => InstrCategory::Mov,
+                UnOp::Neg => InstrCategory::Neg,
+                UnOp::Abs => InstrCategory::Abs,
+                UnOp::Not => InstrCategory::Logic,
+                UnOp::Floor => InstrCategory::Cvt,
+                UnOp::Exp | UnOp::Log | UnOp::Sqrt | UnOp::Rsqrt => InstrCategory::Sfu,
+            },
+            Instr::Cvt { .. } => InstrCategory::Cvt,
+            Instr::SetP { .. } => InstrCategory::Setp,
+            Instr::SelP { .. } => InstrCategory::Selp,
+            // Special-register reads and parameter loads compile to `mov`.
+            Instr::Sreg { .. } | Instr::LdParam { .. } => InstrCategory::Mov,
+            Instr::Ld { .. } => InstrCategory::Ld,
+            Instr::Tex { .. } => InstrCategory::Tex,
+            Instr::St { .. } => InstrCategory::St,
+            Instr::Lds { .. } | Instr::Sts { .. } => InstrCategory::Shared,
+            Instr::Bar => InstrCategory::Bar2,
+        }
+    }
+
+    /// Classify a terminator.
+    pub fn of_terminator(t: &Terminator) -> InstrCategory {
+        match t {
+            Terminator::Br { .. } | Terminator::CondBr { .. } => InstrCategory::Bra,
+            Terminator::Ret => InstrCategory::Ret,
+        }
+    }
+}
+
+impl fmt::Display for InstrCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A per-category instruction count (static or dynamic).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InstrHistogram {
+    counts: BTreeMap<InstrCategory, u64>,
+}
+
+impl InstrHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` occurrences of `cat`.
+    pub fn add(&mut self, cat: InstrCategory, n: u64) {
+        *self.counts.entry(cat).or_insert(0) += n;
+    }
+
+    /// Count of one category.
+    pub fn get(&self, cat: InstrCategory) -> u64 {
+        self.counts.get(&cat).copied().unwrap_or(0)
+    }
+
+    /// Total over all categories.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Total over arithmetic-pipeline categories only.
+    pub fn arithmetic_total(&self) -> u64 {
+        self.counts
+            .iter()
+            .filter(|(c, _)| c.is_arithmetic())
+            .map(|(_, &n)| n)
+            .sum()
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &InstrHistogram) {
+        for (&cat, &n) in &other.counts {
+            self.add(cat, n);
+        }
+    }
+
+    /// Scale every count by `factor` (used by region-sampled simulation to
+    /// extrapolate one representative block to `n_block(p)` blocks).
+    pub fn scaled(&self, factor: u64) -> InstrHistogram {
+        InstrHistogram {
+            counts: self.counts.iter().map(|(&c, &n)| (c, n * factor)).collect(),
+        }
+    }
+
+    /// Iterate over non-zero `(category, count)` pairs in display order.
+    pub fn iter(&self) -> impl Iterator<Item = (InstrCategory, u64)> + '_ {
+        self.counts.iter().map(|(&c, &n)| (c, n))
+    }
+
+    /// Static histogram of a whole kernel (each instruction counted once).
+    pub fn of_kernel(kernel: &crate::kernel::Kernel) -> InstrHistogram {
+        let mut h = InstrHistogram::new();
+        for b in &kernel.blocks {
+            for i in &b.instrs {
+                h.add(InstrCategory::of_instr(i), 1);
+            }
+            h.add(InstrCategory::of_terminator(&b.terminator), 1);
+        }
+        h
+    }
+
+    /// Static histogram of a subset of blocks (e.g. one ISP region).
+    pub fn of_blocks(
+        kernel: &crate::kernel::Kernel,
+        ids: impl IntoIterator<Item = crate::kernel::BlockId>,
+    ) -> InstrHistogram {
+        let mut h = InstrHistogram::new();
+        for id in ids {
+            let b = kernel.block(id);
+            for i in &b.instrs {
+                h.add(InstrCategory::of_instr(i), 1);
+            }
+            h.add(InstrCategory::of_terminator(&b.terminator), 1);
+        }
+        h
+    }
+}
+
+impl fmt::Display for InstrHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (cat, n) in self.iter() {
+            if n == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{cat}:{n}")?;
+            first = false;
+        }
+        if first {
+            write!(f, "(empty)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IrBuilder;
+    use crate::instr::{CmpOp, SReg};
+    use crate::types::Ty;
+
+    #[test]
+    fn categorisation_merges_types() {
+        let mut b = IrBuilder::new("k", 1);
+        // add.s32 and add.f32 both count as `add`.
+        let x = b.sreg(SReg::TidX);
+        let _ = b.bin(BinOp::Add, Ty::S32, x, 1i32);
+        let f = b.mov(Ty::F32, 1.0f32);
+        let _ = b.bin(BinOp::Add, Ty::F32, f, 2.0f32);
+        b.ret();
+        let k = b.finish();
+        let h = InstrHistogram::of_kernel(&k);
+        assert_eq!(h.get(InstrCategory::Add), 2);
+        assert_eq!(h.get(InstrCategory::Mov), 2); // sreg + mov
+        assert_eq!(h.get(InstrCategory::Ret), 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn arithmetic_classification() {
+        assert!(InstrCategory::Max.is_arithmetic());
+        assert!(InstrCategory::Cvt.is_arithmetic());
+        assert!(InstrCategory::Setp.is_arithmetic());
+        assert!(!InstrCategory::Ld.is_arithmetic());
+        assert!(!InstrCategory::Bra.is_arithmetic());
+        assert!(!InstrCategory::Sfu.is_arithmetic());
+        assert!(!InstrCategory::Mov.is_arithmetic());
+    }
+
+    #[test]
+    fn histogram_merge_and_scale() {
+        let mut a = InstrHistogram::new();
+        a.add(InstrCategory::Add, 3);
+        a.add(InstrCategory::Ld, 1);
+        let mut b = InstrHistogram::new();
+        b.add(InstrCategory::Add, 2);
+        a.merge(&b);
+        assert_eq!(a.get(InstrCategory::Add), 5);
+        let s = a.scaled(10);
+        assert_eq!(s.get(InstrCategory::Add), 50);
+        assert_eq!(s.get(InstrCategory::Ld), 10);
+        assert_eq!(s.total(), 60);
+    }
+
+    #[test]
+    fn arithmetic_total() {
+        let mut h = InstrHistogram::new();
+        h.add(InstrCategory::Add, 4);
+        h.add(InstrCategory::Ld, 7);
+        h.add(InstrCategory::Max, 2);
+        h.add(InstrCategory::Bra, 5);
+        assert_eq!(h.arithmetic_total(), 6);
+        assert_eq!(h.total(), 18);
+    }
+
+    #[test]
+    fn per_block_histograms() {
+        let mut b = IrBuilder::new("k", 0);
+        let other = b.create_block("other");
+        let x = b.sreg(SReg::TidX);
+        let p = b.setp(CmpOp::Lt, x, 1i32);
+        let _ = b.selp(Ty::S32, 1i32, 2i32, p);
+        b.br(other);
+        b.switch_to(other);
+        b.ret();
+        let k = b.finish();
+        let h0 = InstrHistogram::of_blocks(&k, [k.entry()]);
+        assert_eq!(h0.get(InstrCategory::Setp), 1);
+        assert_eq!(h0.get(InstrCategory::Selp), 1);
+        assert_eq!(h0.get(InstrCategory::Bra), 1);
+        assert_eq!(h0.get(InstrCategory::Ret), 0);
+        let h1 = InstrHistogram::of_blocks(&k, [crate::kernel::BlockId(1)]);
+        assert_eq!(h1.total(), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut h = InstrHistogram::new();
+        assert_eq!(h.to_string(), "(empty)");
+        h.add(InstrCategory::Add, 2);
+        h.add(InstrCategory::St, 1);
+        assert_eq!(h.to_string(), "add:2, st:1");
+    }
+
+    #[test]
+    fn sfu_and_floor_categories() {
+        let mut b = IrBuilder::new("k", 0);
+        let f = b.mov(Ty::F32, 2.0f32);
+        let _ = b.un(UnOp::Exp, Ty::F32, f);
+        let _ = b.un(UnOp::Sqrt, Ty::F32, f);
+        let _ = b.un(UnOp::Floor, Ty::F32, f);
+        b.ret();
+        let k = b.finish();
+        let h = InstrHistogram::of_kernel(&k);
+        assert_eq!(h.get(InstrCategory::Sfu), 2);
+        assert_eq!(h.get(InstrCategory::Cvt), 1);
+    }
+}

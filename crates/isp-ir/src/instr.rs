@@ -1,0 +1,459 @@
+//! Instruction set of the PTX-like IR.
+
+use crate::types::{Ty, VReg};
+
+/// Special (read-only) hardware registers, mirroring PTX `%tid`, `%ctaid`,
+/// `%ntid`, `%nctaid`, plus derived lane/warp identifiers the warp-grained
+/// partitioning needs (paper Listing 5 computes `warpID.x` from `threadIdx`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SReg {
+    /// `threadIdx.x`
+    TidX,
+    /// `threadIdx.y`
+    TidY,
+    /// `blockIdx.x`
+    CtaIdX,
+    /// `blockIdx.y`
+    CtaIdY,
+    /// `blockDim.x`
+    NTidX,
+    /// `blockDim.y`
+    NTidY,
+    /// `gridDim.x`
+    NCtaIdX,
+    /// `gridDim.y`
+    NCtaIdY,
+    /// Lane index within the warp: `threadIdx linearised % 32`.
+    LaneId,
+    /// Warp index in the x-dimension: `threadIdx.x / 32`.
+    WarpIdX,
+}
+
+impl SReg {
+    /// PTX-ish spelling for the printer.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SReg::TidX => "%tid.x",
+            SReg::TidY => "%tid.y",
+            SReg::CtaIdX => "%ctaid.x",
+            SReg::CtaIdY => "%ctaid.y",
+            SReg::NTidX => "%ntid.x",
+            SReg::NTidY => "%ntid.y",
+            SReg::NCtaIdX => "%nctaid.x",
+            SReg::NCtaIdY => "%nctaid.y",
+            SReg::LaneId => "%laneid",
+            SReg::WarpIdX => "%warpid.x",
+        }
+    }
+}
+
+/// Instruction operand: a register or an immediate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Operand {
+    /// A virtual register.
+    Reg(VReg),
+    /// Signed 32-bit integer immediate.
+    ImmI(i32),
+    /// 32-bit float immediate.
+    ImmF(f32),
+}
+
+impl Operand {
+    /// The operand's type (immediates are self-describing).
+    pub fn ty(&self) -> Ty {
+        match self {
+            Operand::Reg(r) => r.ty,
+            Operand::ImmI(_) => Ty::S32,
+            Operand::ImmF(_) => Ty::F32,
+        }
+    }
+
+    /// The register, if this operand is one.
+    pub fn as_reg(&self) -> Option<VReg> {
+        match self {
+            Operand::Reg(r) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+impl From<VReg> for Operand {
+    fn from(r: VReg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(v: i32) -> Self {
+        Operand::ImmI(v)
+    }
+}
+
+impl From<f32> for Operand {
+    fn from(v: f32) -> Self {
+        Operand::ImmF(v)
+    }
+}
+
+impl std::fmt::Display for Operand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::ImmI(v) => write!(f, "{v}"),
+            Operand::ImmF(v) => write!(f, "0f{:08X} /*{v}*/", v.to_bits()),
+        }
+    }
+}
+
+/// Two-operand arithmetic/logic operations. The result type is the
+/// destination register's type; both sources must match it (except shifts,
+/// whose shift amount is always `s32`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Min,
+    Max,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+}
+
+impl BinOp {
+    /// PTX mnemonic.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+        }
+    }
+
+    /// Whether the operation is commutative (used by value numbering to
+    /// canonicalise operand order).
+    pub fn commutative(&self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::Min | BinOp::Max | BinOp::And | BinOp::Or | BinOp::Xor
+        )
+    }
+}
+
+/// One-operand operations. `Mov` doubles as the register-to-register copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Mov,
+    Neg,
+    Abs,
+    Not,
+    /// Natural exponential (maps to SFU `ex2` + scale on real hardware).
+    Exp,
+    /// Natural logarithm.
+    Log,
+    Sqrt,
+    Rsqrt,
+    Floor,
+}
+
+impl UnOp {
+    /// PTX-ish mnemonic.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            UnOp::Mov => "mov",
+            UnOp::Neg => "neg",
+            UnOp::Abs => "abs",
+            UnOp::Not => "not",
+            UnOp::Exp => "ex2.approx",
+            UnOp::Log => "lg2.approx",
+            UnOp::Sqrt => "sqrt.approx",
+            UnOp::Rsqrt => "rsqrt.approx",
+            UnOp::Floor => "cvt.rmi",
+        }
+    }
+
+    /// True for the transcendental ops issued to the special function unit.
+    pub fn is_sfu(&self) -> bool {
+        matches!(self, UnOp::Exp | UnOp::Log | UnOp::Sqrt | UnOp::Rsqrt)
+    }
+}
+
+/// Comparison operators for `setp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// PTX comparison suffix.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        }
+    }
+
+    /// The comparison with swapped operands (`a op b == b op.swapped a`).
+    pub fn swapped(&self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
+/// A non-terminator instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// `dst = a <op> b`
+    Bin { op: BinOp, dst: VReg, a: Operand, b: Operand },
+    /// Fused multiply-add: `dst = a * b + c` (PTX `mad`/`fma`).
+    Mad { dst: VReg, a: Operand, b: Operand, c: Operand },
+    /// `dst = <op> a`
+    Un { op: UnOp, dst: VReg, a: Operand },
+    /// Type conversion between `s32` and `f32` (round-to-nearest on
+    /// float-to-int, matching the reference `Pixel::from_f32`).
+    Cvt { dst: VReg, a: Operand },
+    /// `dst = a <cmp> b` producing a predicate.
+    SetP { cmp: CmpOp, dst: VReg, a: Operand, b: Operand },
+    /// `dst = pred ? a : b`.
+    SelP { dst: VReg, a: Operand, b: Operand, pred: VReg },
+    /// Read a special register into `dst` (`s32`).
+    Sreg { dst: VReg, sreg: SReg },
+    /// Load the scalar kernel parameter with the given index into `dst`.
+    LdParam { dst: VReg, index: u32 },
+    /// Global load: `dst = buffer[addr]` (element index addressing).
+    Ld { dst: VReg, buf: u32, addr: Operand },
+    /// 2D texture fetch: `dst = tex2d(buffer, x, y)` with out-of-range
+    /// coordinates resolved by the texture unit's address mode (hardware
+    /// border handling — the alternative the paper discusses in its
+    /// introduction). The buffer must carry a texture descriptor.
+    Tex { dst: VReg, buf: u32, x: Operand, y: Operand },
+    /// Global store: `buffer[addr] = val`.
+    St { buf: u32, addr: Operand, val: Operand },
+    /// Shared-memory load: `dst = shared[addr]` (per-block scratchpad,
+    /// element index addressing; the kernel declares its size).
+    Lds { dst: VReg, addr: Operand },
+    /// Shared-memory store: `shared[addr] = val`.
+    Sts { addr: Operand, val: Operand },
+    /// Block-wide barrier (`__syncthreads()` / PTX `bar.sync`). Every thread
+    /// of the block must reach it (the interpreter enforces this).
+    Bar,
+}
+
+impl Instr {
+    /// The destination register, if the instruction defines one.
+    pub fn dst(&self) -> Option<VReg> {
+        match self {
+            Instr::Bin { dst, .. }
+            | Instr::Mad { dst, .. }
+            | Instr::Un { dst, .. }
+            | Instr::Cvt { dst, .. }
+            | Instr::SetP { dst, .. }
+            | Instr::SelP { dst, .. }
+            | Instr::Sreg { dst, .. }
+            | Instr::LdParam { dst, .. }
+            | Instr::Ld { dst, .. }
+            | Instr::Tex { dst, .. }
+            | Instr::Lds { dst, .. } => Some(*dst),
+            Instr::St { .. } | Instr::Sts { .. } | Instr::Bar => None,
+        }
+    }
+
+    /// All register operands read by the instruction.
+    pub fn sources(&self) -> Vec<VReg> {
+        let mut out = Vec::with_capacity(3);
+        let mut push = |op: &Operand| {
+            if let Operand::Reg(r) = op {
+                out.push(*r);
+            }
+        };
+        match self {
+            Instr::Bin { a, b, .. } => {
+                push(a);
+                push(b);
+            }
+            Instr::Mad { a, b, c, .. } => {
+                push(a);
+                push(b);
+                push(c);
+            }
+            Instr::Un { a, .. } | Instr::Cvt { a, .. } => push(a),
+            Instr::SetP { a, b, .. } => {
+                push(a);
+                push(b);
+            }
+            Instr::SelP { a, b, pred, .. } => {
+                push(a);
+                push(b);
+                out.push(*pred);
+            }
+            Instr::Sreg { .. } | Instr::LdParam { .. } => {}
+            Instr::Ld { addr, .. } => push(addr),
+            Instr::Tex { x, y, .. } => {
+                push(x);
+                push(y);
+            }
+            Instr::St { addr, val, .. } => {
+                push(addr);
+                push(val);
+            }
+            Instr::Lds { addr, .. } => push(addr),
+            Instr::Sts { addr, val } => {
+                push(addr);
+                push(val);
+            }
+            Instr::Bar => {}
+        }
+        out
+    }
+
+    /// Whether the instruction has no side effects and can be removed when
+    /// its destination is dead, or deduplicated by value numbering.
+    pub fn is_pure(&self) -> bool {
+        !matches!(
+            self,
+            Instr::St { .. }
+                | Instr::Ld { .. }
+                | Instr::Tex { .. }
+                | Instr::Lds { .. }
+                | Instr::Sts { .. }
+                | Instr::Bar
+        )
+    }
+}
+
+/// Block terminators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional branch.
+    Br { target: crate::kernel::BlockId },
+    /// Conditional branch on a predicate register.
+    CondBr {
+        pred: VReg,
+        if_true: crate::kernel::BlockId,
+        if_false: crate::kernel::BlockId,
+    },
+    /// Thread exit.
+    Ret,
+}
+
+impl Terminator {
+    /// Successor block ids.
+    pub fn successors(&self) -> Vec<crate::kernel::BlockId> {
+        match self {
+            Terminator::Br { target } => vec![*target],
+            Terminator::CondBr { if_true, if_false, .. } => vec![*if_true, *if_false],
+            Terminator::Ret => vec![],
+        }
+    }
+
+    /// Predicate register read, if any.
+    pub fn pred(&self) -> Option<VReg> {
+        match self {
+            Terminator::CondBr { pred, .. } => Some(*pred),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::BlockId;
+
+    fn r(i: u32) -> VReg {
+        VReg::new(i, Ty::S32)
+    }
+
+    #[test]
+    fn operand_conversions() {
+        let op: Operand = r(1).into();
+        assert_eq!(op.as_reg(), Some(r(1)));
+        assert_eq!(op.ty(), Ty::S32);
+        let op: Operand = 5i32.into();
+        assert_eq!(op.ty(), Ty::S32);
+        assert_eq!(op.as_reg(), None);
+        let op: Operand = 2.5f32.into();
+        assert_eq!(op.ty(), Ty::F32);
+    }
+
+    #[test]
+    fn commutativity() {
+        assert!(BinOp::Add.commutative());
+        assert!(BinOp::Mul.commutative());
+        assert!(!BinOp::Sub.commutative());
+        assert!(!BinOp::Shl.commutative());
+        assert!(BinOp::Max.commutative());
+    }
+
+    #[test]
+    fn sfu_classification() {
+        assert!(UnOp::Exp.is_sfu());
+        assert!(UnOp::Sqrt.is_sfu());
+        assert!(!UnOp::Mov.is_sfu());
+        assert!(!UnOp::Abs.is_sfu());
+    }
+
+    #[test]
+    fn cmp_swapping() {
+        assert_eq!(CmpOp::Lt.swapped(), CmpOp::Gt);
+        assert_eq!(CmpOp::Le.swapped(), CmpOp::Ge);
+        assert_eq!(CmpOp::Eq.swapped(), CmpOp::Eq);
+    }
+
+    #[test]
+    fn dst_and_sources() {
+        let i = Instr::Bin { op: BinOp::Add, dst: r(2), a: r(0).into(), b: r(1).into() };
+        assert_eq!(i.dst(), Some(r(2)));
+        assert_eq!(i.sources(), vec![r(0), r(1)]);
+
+        let st = Instr::St { buf: 0, addr: r(3).into(), val: Operand::ImmF(1.0) };
+        assert_eq!(st.dst(), None);
+        assert_eq!(st.sources(), vec![r(3)]);
+        assert!(!st.is_pure());
+
+        let p = VReg::new(9, Ty::Pred);
+        let sel = Instr::SelP { dst: r(4), a: 1i32.into(), b: 2i32.into(), pred: p };
+        assert_eq!(sel.sources(), vec![p]);
+        assert!(sel.is_pure());
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let br = Terminator::Br { target: BlockId(3) };
+        assert_eq!(br.successors(), vec![BlockId(3)]);
+        assert_eq!(br.pred(), None);
+        let p = VReg::new(0, Ty::Pred);
+        let cb = Terminator::CondBr { pred: p, if_true: BlockId(1), if_false: BlockId(2) };
+        assert_eq!(cb.successors(), vec![BlockId(1), BlockId(2)]);
+        assert_eq!(cb.pred(), Some(p));
+        assert!(Terminator::Ret.successors().is_empty());
+    }
+}

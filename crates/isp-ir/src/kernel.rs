@@ -1,0 +1,154 @@
+//! Kernels and basic blocks.
+
+use crate::instr::{Instr, Terminator};
+use crate::types::Ty;
+
+/// Index of a basic block within its kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BB{}", self.0)
+    }
+}
+
+/// A scalar kernel parameter declaration (image geometry, index bounds,
+/// border constants, filter parameters).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDecl {
+    /// Parameter name, e.g. `"width"` or `"bh_l"`.
+    pub name: String,
+    /// Parameter type (`S32` or `F32`).
+    pub ty: Ty,
+}
+
+/// A basic block: a label, straight-line instructions, and a terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasicBlock {
+    /// Human-readable label, e.g. `"entry"`, `"region_TL"`.
+    pub label: String,
+    /// Straight-line instruction body.
+    pub instrs: Vec<Instr>,
+    /// Control transfer out of the block.
+    pub terminator: Terminator,
+}
+
+/// A compiled kernel: a small CFG over typed virtual registers, plus its
+/// buffer and scalar parameter signatures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// Kernel name, used in printouts and bench tables.
+    pub name: String,
+    /// Number of buffer parameters (buffer 0, 1, … in `Ld`/`St`).
+    pub num_buffers: u32,
+    /// Scalar parameters, addressed by index in `LdParam`.
+    pub params: Vec<ParamDecl>,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<BasicBlock>,
+    /// Total virtual registers allocated (indices `0..num_vregs`).
+    pub num_vregs: u32,
+    /// Shared-memory scratchpad size per block, in 32-bit elements (0 when
+    /// the kernel uses no shared memory).
+    pub shared_elems: u32,
+}
+
+impl Kernel {
+    /// The entry block id (always `BB0`).
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Borrow a block by id. Panics on out-of-range ids (kernels are
+    /// validated at construction).
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Find a block id by label.
+    pub fn block_by_label(&self, label: &str) -> Option<BlockId> {
+        self.blocks
+            .iter()
+            .position(|b| b.label == label)
+            .map(|i| BlockId(i as u32))
+    }
+
+    /// Find a scalar parameter index by name.
+    pub fn param_index(&self, name: &str) -> Option<u32> {
+        self.params.iter().position(|p| p.name == name).map(|i| i as u32)
+    }
+
+    /// Total static instruction count including terminators (PTX `bra`/`ret`
+    /// are instructions too and the paper's Table I counts them).
+    pub fn static_len(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len() + 1).sum()
+    }
+
+    /// Iterate over all instructions of all blocks.
+    pub fn iter_instrs(&self) -> impl Iterator<Item = &Instr> {
+        self.blocks.iter().flat_map(|b| b.instrs.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{BinOp, Operand};
+    use crate::types::VReg;
+
+    pub(crate) fn tiny_kernel() -> Kernel {
+        // BB0: r0 = 1 + 2; br BB1
+        // BB1: ret
+        Kernel {
+            name: "tiny".into(),
+            shared_elems: 0,
+            num_buffers: 1,
+            params: vec![
+                ParamDecl { name: "width".into(), ty: Ty::S32 },
+                ParamDecl { name: "scale".into(), ty: Ty::F32 },
+            ],
+            blocks: vec![
+                BasicBlock {
+                    label: "entry".into(),
+                    instrs: vec![Instr::Bin {
+                        op: BinOp::Add,
+                        dst: VReg::new(0, Ty::S32),
+                        a: Operand::ImmI(1),
+                        b: Operand::ImmI(2),
+                    }],
+                    terminator: Terminator::Br { target: BlockId(1) },
+                },
+                BasicBlock {
+                    label: "exit".into(),
+                    instrs: vec![],
+                    terminator: Terminator::Ret,
+                },
+            ],
+            num_vregs: 1,
+        }
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let k = tiny_kernel();
+        assert_eq!(k.entry(), BlockId(0));
+        assert_eq!(k.block_by_label("exit"), Some(BlockId(1)));
+        assert_eq!(k.block_by_label("nope"), None);
+        assert_eq!(k.param_index("scale"), Some(1));
+        assert_eq!(k.param_index("height"), None);
+        assert_eq!(k.block(BlockId(0)).label, "entry");
+    }
+
+    #[test]
+    fn static_len_counts_terminators() {
+        let k = tiny_kernel();
+        // 1 instruction + 2 terminators.
+        assert_eq!(k.static_len(), 3);
+        assert_eq!(k.iter_instrs().count(), 1);
+    }
+
+    #[test]
+    fn block_id_display() {
+        assert_eq!(BlockId(4).to_string(), "BB4");
+    }
+}

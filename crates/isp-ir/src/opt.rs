@@ -1,0 +1,785 @@
+//! IR optimisation passes: constant folding, local value numbering (CSE),
+//! algebraic simplification, and dead-code elimination.
+//!
+//! These model the NVCC behaviour the paper leans on in §IV-A: "the naive
+//! version may have many conditional statements in the source code, but many
+//! of them share common sub-expressions that can be optimized by the NVCC
+//! compiler". Running the same passes over naive and ISP variants keeps the
+//! instruction-count comparison honest — and the `ablation_cse` bench
+//! disables CSE to show how large the *un*-optimised gap would look.
+//!
+//! The builder produces SSA-form code (every virtual register has exactly
+//! one definition and uses are dominated by it), which is what makes the
+//! global substitution step of local value numbering sound.
+
+use crate::instr::{BinOp, CmpOp, Instr, Operand, SReg, Terminator, UnOp};
+use crate::kernel::Kernel;
+use crate::types::{Ty, VReg};
+use std::collections::HashMap;
+
+/// Which passes to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptConfig {
+    /// Constant folding + algebraic identities.
+    pub fold: bool,
+    /// Local (per-block) common-subexpression elimination.
+    pub cse: bool,
+    /// Dead-code elimination.
+    pub dce: bool,
+    /// CSE **rematerialization window**: a previously computed value is only
+    /// reused when it was defined at most this many (kept) instructions ago;
+    /// older values are recomputed. This mirrors production GPU compilers,
+    /// which deliberately rematerialize cheap address arithmetic rather than
+    /// hold dozens of resolved border coordinates in registers across a
+    /// 169-tap unrolled window — unbounded CSE would understate the naive
+    /// variant's instruction count AND overstate everyone's register usage.
+    pub cse_window: usize,
+    /// Reuse window for global loads, which compilers keep in registers far
+    /// more aggressively than recomputable arithmetic (rematerializing a
+    /// load is a memory access). Must be at least `cse_window` so that the
+    /// load-reuse behaviour of code variants with different amounts of
+    /// interleaved arithmetic stays comparable.
+    pub cse_window_loads: usize,
+}
+
+/// Default rematerialization window (instructions).
+pub const DEFAULT_CSE_WINDOW: usize = 120;
+
+/// Default load-reuse window (instructions).
+pub const DEFAULT_CSE_WINDOW_LOADS: usize = 250;
+
+impl OptConfig {
+    /// Everything on — the default compilation mode, mirroring `nvcc -O3`.
+    pub fn full() -> Self {
+        OptConfig {
+            fold: true,
+            cse: true,
+            dce: true,
+            cse_window: DEFAULT_CSE_WINDOW,
+            cse_window_loads: DEFAULT_CSE_WINDOW_LOADS,
+        }
+    }
+
+    /// No optimisation at all.
+    pub fn none() -> Self {
+        OptConfig { fold: false, cse: false, dce: false, cse_window: 0, cse_window_loads: 0 }
+    }
+
+    /// CSE disabled, folding/DCE on — the `ablation_cse` configuration.
+    pub fn no_cse() -> Self {
+        OptConfig { fold: true, cse: false, dce: true, cse_window: 0, cse_window_loads: 0 }
+    }
+
+    /// Unbounded CSE (no rematerialization) — for tests and ablations.
+    pub fn unbounded_cse() -> Self {
+        OptConfig {
+            fold: true,
+            cse: true,
+            dce: true,
+            cse_window: usize::MAX,
+            cse_window_loads: usize::MAX,
+        }
+    }
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+/// Hashable operand key for value numbering (f32 via bit pattern).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum OpKey {
+    Reg(u32),
+    ImmI(i32),
+    ImmF(u32),
+}
+
+impl OpKey {
+    fn of(op: &Operand) -> OpKey {
+        match op {
+            Operand::Reg(r) => OpKey::Reg(r.index),
+            Operand::ImmI(v) => OpKey::ImmI(*v),
+            Operand::ImmF(v) => OpKey::ImmF(v.to_bits()),
+        }
+    }
+}
+
+/// Value-numbering key of a pure instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum VnKey {
+    Bin(BinOp, Ty, OpKey, OpKey),
+    Mad(Ty, OpKey, OpKey, OpKey),
+    Un(UnOp, Ty, OpKey),
+    Cvt(Ty, OpKey),
+    SetP(CmpOp, OpKey, OpKey),
+    SelP(Ty, OpKey, OpKey, u32),
+    Sreg(SReg),
+    LdParam(u32),
+    /// Global loads are value-numbered too: generated kernels never store
+    /// to a buffer they read (single output store at the end), matching the
+    /// `__restrict__` qualifiers Hipacc emits — so identical loads within
+    /// the window collapse, as `nvcc` does for restrict-qualified inputs.
+    Ld(u32, OpKey),
+    /// Texture fetches are read-only by construction: same reuse rule.
+    Tex(u32, OpKey, OpKey),
+}
+
+/// Run the configured passes over `kernel`, returning the optimised kernel.
+pub fn optimize(kernel: &Kernel, config: OptConfig) -> Kernel {
+    let mut k = kernel.clone();
+    if config.fold || config.cse {
+        value_number(&mut k, config);
+    }
+    if config.dce {
+        dead_code_elim(&mut k);
+    }
+    k
+}
+
+/// Resolve an operand through the substitution map (with chaining).
+fn resolve(subst: &HashMap<u32, Operand>, op: Operand) -> Operand {
+    let mut cur = op;
+    let mut hops = 0;
+    while let Operand::Reg(r) = cur {
+        match subst.get(&r.index) {
+            Some(&next) => {
+                cur = next;
+                hops += 1;
+                assert!(hops < 10_000, "substitution cycle");
+            }
+            None => break,
+        }
+    }
+    cur
+}
+
+fn fold_bin(op: BinOp, ty: Ty, a: &Operand, b: &Operand) -> Option<Operand> {
+    match (ty, a, b) {
+        (Ty::S32, Operand::ImmI(x), Operand::ImmI(y)) => {
+            let (x, y) = (*x, *y);
+            let v = match op {
+                BinOp::Add => x.wrapping_add(y),
+                BinOp::Sub => x.wrapping_sub(y),
+                BinOp::Mul => x.wrapping_mul(y),
+                // Division semantics chosen deliberately: defined as 0 on
+                // divide-by-zero so folding matches the interpreter.
+                BinOp::Div => {
+                    if y == 0 {
+                        0
+                    } else {
+                        x.wrapping_div(y)
+                    }
+                }
+                BinOp::Rem => {
+                    if y == 0 {
+                        0
+                    } else {
+                        x.wrapping_rem(y)
+                    }
+                }
+                BinOp::Min => x.min(y),
+                BinOp::Max => x.max(y),
+                BinOp::And => x & y,
+                BinOp::Or => x | y,
+                BinOp::Xor => x ^ y,
+                BinOp::Shl => x.wrapping_shl(y as u32 & 31),
+                BinOp::Shr => x.wrapping_shr(y as u32 & 31),
+            };
+            Some(Operand::ImmI(v))
+        }
+        (Ty::F32, Operand::ImmF(x), Operand::ImmF(y)) => {
+            let (x, y) = (*x, *y);
+            let v = match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+                BinOp::Rem => x % y,
+                BinOp::Min => x.min(y),
+                BinOp::Max => x.max(y),
+                _ => return None,
+            };
+            Some(Operand::ImmF(v))
+        }
+        _ => None,
+    }
+}
+
+/// Algebraic identities that replace the instruction with one of its
+/// operands. Kept to transformations valid under the "fast math" rules real
+/// GPU compilation of these kernels uses (`x * 0.0 -> 0.0` etc.).
+fn simplify_bin(op: BinOp, ty: Ty, a: &Operand, b: &Operand) -> Option<Operand> {
+    let is_zero = |o: &Operand| matches!(o, Operand::ImmI(0)) || matches!(o, Operand::ImmF(f) if *f == 0.0);
+    let is_one = |o: &Operand| matches!(o, Operand::ImmI(1)) || matches!(o, Operand::ImmF(f) if *f == 1.0);
+    match op {
+        BinOp::Add => {
+            if is_zero(a) {
+                return Some(*b);
+            }
+            if is_zero(b) {
+                return Some(*a);
+            }
+        }
+        BinOp::Sub
+            if is_zero(b) => {
+                return Some(*a);
+            }
+        BinOp::Mul => {
+            if is_one(a) {
+                return Some(*b);
+            }
+            if is_one(b) {
+                return Some(*a);
+            }
+            if is_zero(a) || is_zero(b) {
+                return Some(if ty == Ty::F32 { Operand::ImmF(0.0) } else { Operand::ImmI(0) });
+            }
+        }
+        BinOp::Div
+            if is_one(b) => {
+                return Some(*a);
+            }
+        BinOp::Min | BinOp::Max
+            if OpKey::of(a) == OpKey::of(b) => {
+                return Some(*a);
+            }
+        BinOp::And | BinOp::Or
+            if OpKey::of(a) == OpKey::of(b) => {
+                return Some(*a);
+            }
+        BinOp::Shl | BinOp::Shr
+            if is_zero(b) => {
+                return Some(*a);
+            }
+        _ => {}
+    }
+    None
+}
+
+fn fold_cmp(cmp: CmpOp, a: &Operand, b: &Operand) -> Option<bool> {
+    let ord = match (a, b) {
+        (Operand::ImmI(x), Operand::ImmI(y)) => x.partial_cmp(y),
+        (Operand::ImmF(x), Operand::ImmF(y)) => x.partial_cmp(y),
+        _ => return None,
+    }?;
+    Some(match cmp {
+        CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+        CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+        CmpOp::Lt => ord == std::cmp::Ordering::Less,
+        CmpOp::Le => ord != std::cmp::Ordering::Greater,
+        CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+        CmpOp::Ge => ord != std::cmp::Ordering::Less,
+    })
+}
+
+/// One pass of folding + per-block value numbering with global (SSA-sound)
+/// substitution.
+fn value_number(k: &mut Kernel, config: OptConfig) {
+    let mut subst: HashMap<u32, Operand> = HashMap::new();
+    // Predicates that folded to a constant (used to simplify CondBr).
+    let mut const_preds: HashMap<u32, bool> = HashMap::new();
+
+    for b in &mut k.blocks {
+        // Value table: key -> (register, position of its definition among
+        // kept instructions). Reuse is limited to the rematerialization
+        // window; stale entries are refreshed by the new definition.
+        let mut vn: HashMap<VnKey, (VReg, usize)> = HashMap::new();
+        let mut kept: Vec<Instr> = Vec::with_capacity(b.instrs.len());
+        for instr in b.instrs.drain(..) {
+            // Rewrite operands through the substitution map first.
+            let instr = rewrite_operands(instr, &subst);
+            match &instr {
+                Instr::Bin { op, dst, a, b: rhs } => {
+                    if config.fold {
+                        if let Some(v) = fold_bin(*op, dst.ty, a, rhs) {
+                            subst.insert(dst.index, v);
+                            continue;
+                        }
+                        if let Some(v) = simplify_bin(*op, dst.ty, a, rhs) {
+                            subst.insert(dst.index, v);
+                            continue;
+                        }
+                    }
+                    if config.cse {
+                        let (ka, kb) = canonical_pair(*op, a, rhs);
+                        let key = VnKey::Bin(*op, dst.ty, ka, kb);
+                        if let Some(&(prev, def_pos)) = vn.get(&key) {
+                            if kept.len().saturating_sub(def_pos) <= config.cse_window {
+                                subst.insert(dst.index, Operand::Reg(prev));
+                                continue;
+                            }
+                        }
+                        vn.insert(key, (*dst, kept.len()));
+                    }
+                }
+                Instr::Mad { dst, a, b: rhs, c } => {
+                    if config.cse {
+                        let mut ab = [OpKey::of(a), OpKey::of(rhs)];
+                        ab.sort();
+                        let key = VnKey::Mad(dst.ty, ab[0], ab[1], OpKey::of(c));
+                        if let Some(&(prev, def_pos)) = vn.get(&key) {
+                            if kept.len().saturating_sub(def_pos) <= config.cse_window {
+                                subst.insert(dst.index, Operand::Reg(prev));
+                                continue;
+                            }
+                        }
+                        vn.insert(key, (*dst, kept.len()));
+                    }
+                }
+                Instr::Un { op, dst, a } => {
+                    if config.fold {
+                        if *op == UnOp::Mov {
+                            // Copy propagation: mov is pure renaming.
+                            if a.ty() == dst.ty {
+                                subst.insert(dst.index, *a);
+                                continue;
+                            }
+                        }
+                        if let Some(v) = fold_un(*op, dst.ty, a) {
+                            subst.insert(dst.index, v);
+                            continue;
+                        }
+                    }
+                    if config.cse {
+                        let key = VnKey::Un(*op, dst.ty, OpKey::of(a));
+                        if let Some(&(prev, def_pos)) = vn.get(&key) {
+                            if kept.len().saturating_sub(def_pos) <= config.cse_window {
+                                subst.insert(dst.index, Operand::Reg(prev));
+                                continue;
+                            }
+                        }
+                        vn.insert(key, (*dst, kept.len()));
+                    }
+                }
+                Instr::Cvt { dst, a } => {
+                    if config.fold {
+                        match (dst.ty, a) {
+                            (Ty::F32, Operand::ImmI(v)) => {
+                                subst.insert(dst.index, Operand::ImmF(*v as f32));
+                                continue;
+                            }
+                            (Ty::S32, Operand::ImmF(v)) => {
+                                subst.insert(dst.index, Operand::ImmI(v.round() as i32));
+                                continue;
+                            }
+                            _ => {}
+                        }
+                    }
+                    if config.cse {
+                        let key = VnKey::Cvt(dst.ty, OpKey::of(a));
+                        if let Some(&(prev, def_pos)) = vn.get(&key) {
+                            if kept.len().saturating_sub(def_pos) <= config.cse_window {
+                                subst.insert(dst.index, Operand::Reg(prev));
+                                continue;
+                            }
+                        }
+                        vn.insert(key, (*dst, kept.len()));
+                    }
+                }
+                Instr::SetP { cmp, dst, a, b: rhs } => {
+                    if config.fold {
+                        if let Some(v) = fold_cmp(*cmp, a, rhs) {
+                            const_preds.insert(dst.index, v);
+                            continue;
+                        }
+                    }
+                    if config.cse {
+                        // Canonicalise using the swapped comparison.
+                        let (ka, kb) = (OpKey::of(a), OpKey::of(rhs));
+                        let key = if kb < ka {
+                            VnKey::SetP(cmp.swapped(), kb, ka)
+                        } else {
+                            VnKey::SetP(*cmp, ka, kb)
+                        };
+                        if let Some(&(prev, def_pos)) = vn.get(&key) {
+                            if kept.len().saturating_sub(def_pos) <= config.cse_window {
+                                subst.insert(dst.index, Operand::Reg(prev));
+                                continue;
+                            }
+                        }
+                        vn.insert(key, (*dst, kept.len()));
+                    }
+                }
+                Instr::SelP { dst, a, b: rhs, pred } => {
+                    if config.fold {
+                        if let Some(&v) = const_preds.get(&pred.index) {
+                            subst.insert(dst.index, if v { *a } else { *rhs });
+                            continue;
+                        }
+                        if OpKey::of(a) == OpKey::of(rhs) {
+                            subst.insert(dst.index, *a);
+                            continue;
+                        }
+                    }
+                    if config.cse {
+                        let key = VnKey::SelP(dst.ty, OpKey::of(a), OpKey::of(rhs), pred.index);
+                        if let Some(&(prev, def_pos)) = vn.get(&key) {
+                            if kept.len().saturating_sub(def_pos) <= config.cse_window {
+                                subst.insert(dst.index, Operand::Reg(prev));
+                                continue;
+                            }
+                        }
+                        vn.insert(key, (*dst, kept.len()));
+                    }
+                }
+                Instr::Sreg { dst, sreg } => {
+                    if config.cse {
+                        let key = VnKey::Sreg(*sreg);
+                        if let Some(&(prev, def_pos)) = vn.get(&key) {
+                            if kept.len().saturating_sub(def_pos) <= config.cse_window {
+                                subst.insert(dst.index, Operand::Reg(prev));
+                                continue;
+                            }
+                        }
+                        vn.insert(key, (*dst, kept.len()));
+                    }
+                }
+                Instr::LdParam { dst, index } => {
+                    if config.cse {
+                        let key = VnKey::LdParam(*index);
+                        if let Some(&(prev, def_pos)) = vn.get(&key) {
+                            if kept.len().saturating_sub(def_pos) <= config.cse_window {
+                                subst.insert(dst.index, Operand::Reg(prev));
+                                continue;
+                            }
+                        }
+                        vn.insert(key, (*dst, kept.len()));
+                    }
+                }
+                Instr::Ld { dst, buf, addr } => {
+                    if config.cse {
+                        let key = VnKey::Ld(*buf, OpKey::of(addr));
+                        if let Some(&(prev, def_pos)) = vn.get(&key) {
+                            if kept.len().saturating_sub(def_pos) <= config.cse_window_loads {
+                                subst.insert(dst.index, Operand::Reg(prev));
+                                continue;
+                            }
+                        }
+                        vn.insert(key, (*dst, kept.len()));
+                    }
+                }
+                Instr::Tex { dst, buf, x, y } => {
+                    if config.cse {
+                        let key = VnKey::Tex(*buf, OpKey::of(x), OpKey::of(y));
+                        if let Some(&(prev, def_pos)) = vn.get(&key) {
+                            if kept.len().saturating_sub(def_pos) <= config.cse_window_loads {
+                                subst.insert(dst.index, Operand::Reg(prev));
+                                continue;
+                            }
+                        }
+                        vn.insert(key, (*dst, kept.len()));
+                    }
+                }
+                Instr::St { .. } | Instr::Lds { .. } | Instr::Sts { .. } | Instr::Bar => {}
+            }
+            kept.push(instr);
+        }
+        b.instrs = kept;
+        // Rewrite / simplify the terminator.
+        b.terminator = match b.terminator.clone() {
+            Terminator::CondBr { pred, if_true, if_false } => {
+                let pred = match resolve(&subst, Operand::Reg(pred)) {
+                    Operand::Reg(r) => r,
+                    _ => pred,
+                };
+                if let Some(&v) = const_preds.get(&pred.index) {
+                    Terminator::Br { target: if v { if_true } else { if_false } }
+                } else if if_true == if_false {
+                    Terminator::Br { target: if_true }
+                } else {
+                    Terminator::CondBr { pred, if_true, if_false }
+                }
+            }
+            t => t,
+        };
+    }
+}
+
+fn canonical_pair(op: BinOp, a: &Operand, b: &Operand) -> (OpKey, OpKey) {
+    let (ka, kb) = (OpKey::of(a), OpKey::of(b));
+    if op.commutative() && kb < ka {
+        (kb, ka)
+    } else {
+        (ka, kb)
+    }
+}
+
+fn fold_un(op: UnOp, ty: Ty, a: &Operand) -> Option<Operand> {
+    match (ty, a) {
+        (Ty::S32, Operand::ImmI(v)) => {
+            let v = *v;
+            let r = match op {
+                UnOp::Neg => v.wrapping_neg(),
+                UnOp::Abs => v.wrapping_abs(),
+                UnOp::Not => !v,
+                _ => return None,
+            };
+            Some(Operand::ImmI(r))
+        }
+        (Ty::F32, Operand::ImmF(v)) => {
+            let v = *v;
+            let r = match op {
+                UnOp::Neg => -v,
+                UnOp::Abs => v.abs(),
+                UnOp::Exp => v.exp(),
+                UnOp::Log => v.ln(),
+                UnOp::Sqrt => v.sqrt(),
+                UnOp::Rsqrt => 1.0 / v.sqrt(),
+                UnOp::Floor => v.floor(),
+                _ => return None,
+            };
+            Some(Operand::ImmF(r))
+        }
+        _ => None,
+    }
+}
+
+fn rewrite_operands(instr: Instr, subst: &HashMap<u32, Operand>) -> Instr {
+    let f = |op: Operand| resolve(subst, op);
+    let fr = |r: VReg| match resolve(subst, Operand::Reg(r)) {
+        Operand::Reg(nr) => nr,
+        _ => r, // predicate folded to constant; handled by caller
+    };
+    match instr {
+        Instr::Bin { op, dst, a, b } => Instr::Bin { op, dst, a: f(a), b: f(b) },
+        Instr::Mad { dst, a, b, c } => Instr::Mad { dst, a: f(a), b: f(b), c: f(c) },
+        Instr::Un { op, dst, a } => Instr::Un { op, dst, a: f(a) },
+        Instr::Cvt { dst, a } => Instr::Cvt { dst, a: f(a) },
+        Instr::SetP { cmp, dst, a, b } => Instr::SetP { cmp, dst, a: f(a), b: f(b) },
+        Instr::SelP { dst, a, b, pred } => Instr::SelP { dst, a: f(a), b: f(b), pred: fr(pred) },
+        Instr::Sreg { .. } | Instr::LdParam { .. } => instr,
+        Instr::Ld { dst, buf, addr } => Instr::Ld { dst, buf, addr: f(addr) },
+        Instr::Tex { dst, buf, x, y } => Instr::Tex { dst, buf, x: f(x), y: f(y) },
+        Instr::St { buf, addr, val } => Instr::St { buf, addr: f(addr), val: f(val) },
+        Instr::Lds { dst, addr } => Instr::Lds { dst, addr: f(addr) },
+        Instr::Sts { addr, val } => Instr::Sts { addr: f(addr), val: f(val) },
+        Instr::Bar => Instr::Bar,
+    }
+}
+
+/// Remove pure instructions whose destination is never read (worklist to a
+/// fixpoint so chains of dead computations all disappear).
+fn dead_code_elim(k: &mut Kernel) {
+    loop {
+        let mut used = vec![false; k.num_vregs as usize];
+        for b in &k.blocks {
+            for i in &b.instrs {
+                for s in i.sources() {
+                    used[s.index as usize] = true;
+                }
+            }
+            if let Some(p) = b.terminator.pred() {
+                used[p.index as usize] = true;
+            }
+        }
+        let mut removed = false;
+        for b in &mut k.blocks {
+            let before = b.instrs.len();
+            b.instrs.retain(|i| {
+                if !i.is_pure() {
+                    return true;
+                }
+                match i.dst() {
+                    Some(d) => used[d.index as usize],
+                    None => true,
+                }
+            });
+            removed |= b.instrs.len() != before;
+        }
+        if !removed {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IrBuilder;
+    use crate::cost::{InstrCategory, InstrHistogram};
+    use crate::instr::SReg;
+
+    #[test]
+    fn cse_removes_duplicate_address_checks() {
+        // Mimic two pixel accesses both clamping the same x coordinate.
+        let mut b = IrBuilder::new("k", 2);
+        let x = b.sreg(SReg::TidX);
+        let c1 = b.bin(BinOp::Max, Ty::S32, x, 0i32);
+        let c2 = b.bin(BinOp::Max, Ty::S32, x, 0i32); // duplicate
+        let a1 = b.bin(BinOp::Add, Ty::S32, c1, 1i32);
+        let a2 = b.bin(BinOp::Add, Ty::S32, c2, 1i32); // becomes duplicate after CSE
+        let v1 = b.ld(Ty::F32, 0, a1);
+        let v2 = b.ld(Ty::F32, 0, a2);
+        let s = b.bin(BinOp::Add, Ty::F32, v1, v2);
+        b.st(1, a1, s);
+        b.ret();
+        let k = b.finish();
+        let opt = optimize(&k, OptConfig::full());
+        let h = InstrHistogram::of_kernel(&opt);
+        assert_eq!(h.get(InstrCategory::Max), 1, "duplicate max must be CSE'd");
+        assert_eq!(h.get(InstrCategory::Add), 2, "one address add + float add");
+        assert_eq!(h.get(InstrCategory::Ld), 1, "identical restrict-loads collapse");
+    }
+
+    #[test]
+    fn no_cse_config_keeps_duplicates() {
+        let mut b = IrBuilder::new("k", 2);
+        let x = b.sreg(SReg::TidX);
+        let c1 = b.bin(BinOp::Max, Ty::S32, x, 0i32);
+        let c2 = b.bin(BinOp::Max, Ty::S32, x, 0i32);
+        let v1 = b.ld(Ty::F32, 0, c1);
+        let v2 = b.ld(Ty::F32, 0, c2);
+        let s = b.bin(BinOp::Add, Ty::F32, v1, v2);
+        b.st(1, c1, s);
+        b.ret();
+        let k = b.finish();
+        let opt = optimize(&k, OptConfig::no_cse());
+        assert_eq!(InstrHistogram::of_kernel(&opt).get(InstrCategory::Max), 2);
+    }
+
+    #[test]
+    fn constant_folding_collapses_immediates() {
+        let mut b = IrBuilder::new("k", 1);
+        let a = b.bin(BinOp::Add, Ty::S32, 3i32, 4i32); // 7
+        let m = b.bin(BinOp::Mul, Ty::S32, a, 2i32); // 14
+        b.st(0, m, Operand::ImmF(1.0));
+        b.ret();
+        let k = b.finish();
+        let opt = optimize(&k, OptConfig::full());
+        assert_eq!(opt.blocks[0].instrs.len(), 1);
+        match &opt.blocks[0].instrs[0] {
+            Instr::St { addr, .. } => assert_eq!(*addr, Operand::ImmI(14)),
+            other => panic!("expected st, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn algebraic_identities() {
+        let mut b = IrBuilder::new("k", 1);
+        let x = b.sreg(SReg::TidX);
+        let a = b.bin(BinOp::Add, Ty::S32, x, 0i32); // = x
+        let m = b.bin(BinOp::Mul, Ty::S32, a, 1i32); // = x
+        b.st(0, m, Operand::ImmF(0.0));
+        b.ret();
+        let k = b.finish();
+        let opt = optimize(&k, OptConfig::full());
+        // Only the sreg read and the store survive.
+        assert_eq!(opt.blocks[0].instrs.len(), 2);
+    }
+
+    #[test]
+    fn dce_removes_unused_chains() {
+        let mut b = IrBuilder::new("k", 1);
+        let x = b.sreg(SReg::TidX);
+        let dead1 = b.bin(BinOp::Mul, Ty::S32, x, 5i32);
+        let _dead2 = b.bin(BinOp::Add, Ty::S32, dead1, 7i32);
+        b.st(0, x, Operand::ImmF(2.0));
+        b.ret();
+        let k = b.finish();
+        let opt = optimize(&k, OptConfig::full());
+        assert_eq!(opt.blocks[0].instrs.len(), 2); // sreg + st
+    }
+
+    #[test]
+    fn loads_and_stores_survive_dce() {
+        let mut b = IrBuilder::new("k", 2);
+        // Load whose result is unused: must NOT be eliminated (may fault /
+        // has observable memory behaviour in the performance model).
+        let _v = b.ld(Ty::F32, 0, 3i32);
+        b.st(1, 0i32, Operand::ImmF(1.0));
+        b.ret();
+        let k = b.finish();
+        let opt = optimize(&k, OptConfig::full());
+        let h = InstrHistogram::of_kernel(&opt);
+        assert_eq!(h.get(InstrCategory::Ld), 1);
+        assert_eq!(h.get(InstrCategory::St), 1);
+    }
+
+    #[test]
+    fn constant_predicate_flattens_branch() {
+        let mut b = IrBuilder::new("k", 1);
+        let t = b.create_block("t");
+        let f = b.create_block("f");
+        let p = b.setp(CmpOp::Lt, 1i32, 2i32); // always true
+        b.cond_br(p, t, f);
+        b.switch_to(t);
+        b.st(0, 0i32, Operand::ImmF(1.0));
+        b.ret();
+        b.switch_to(f);
+        b.st(0, 0i32, Operand::ImmF(2.0));
+        b.ret();
+        let k = b.finish();
+        let opt = optimize(&k, OptConfig::full());
+        assert!(matches!(
+            opt.blocks[0].terminator,
+            Terminator::Br { target } if target == crate::kernel::BlockId(1)
+        ));
+    }
+
+    #[test]
+    fn commutative_canonicalisation() {
+        let mut b = IrBuilder::new("k", 1);
+        let x = b.sreg(SReg::TidX);
+        let y = b.sreg(SReg::TidY);
+        let a = b.bin(BinOp::Add, Ty::S32, x, y);
+        let c = b.bin(BinOp::Add, Ty::S32, y, x); // same value, swapped
+        let s = b.bin(BinOp::Mul, Ty::S32, a, c);
+        b.st(0, s, Operand::ImmF(0.0));
+        b.ret();
+        let k = b.finish();
+        let opt = optimize(&k, OptConfig::full());
+        let h = InstrHistogram::of_kernel(&opt);
+        assert_eq!(h.get(InstrCategory::Add), 1);
+        // mul x*x simplification is not applied (not an identity), so 1 mul.
+        assert_eq!(h.get(InstrCategory::Mul), 1);
+    }
+
+    #[test]
+    fn setp_swapped_operands_cse() {
+        let mut b = IrBuilder::new("k", 1);
+        let x = b.sreg(SReg::TidX);
+        let p1 = b.setp(CmpOp::Lt, x, 5i32);
+        let p2 = b.setp(CmpOp::Gt, 5i32, x); // same predicate
+        let s1 = b.selp(Ty::S32, 1i32, 0i32, p1);
+        let s2 = b.selp(Ty::S32, 1i32, 0i32, p2);
+        let s = b.bin(BinOp::Add, Ty::S32, s1, s2);
+        b.st(0, s, Operand::ImmF(0.0));
+        b.ret();
+        let k = b.finish();
+        let opt = optimize(&k, OptConfig::full());
+        let h = InstrHistogram::of_kernel(&opt);
+        assert_eq!(h.get(InstrCategory::Setp), 1);
+        assert_eq!(h.get(InstrCategory::Selp), 1, "identical selects collapse too");
+    }
+
+    #[test]
+    fn mov_copy_propagation() {
+        let mut b = IrBuilder::new("k", 1);
+        let x = b.sreg(SReg::TidX);
+        let m = b.mov(Ty::S32, x);
+        let m2 = b.mov(Ty::S32, m);
+        b.st(0, m2, Operand::ImmF(0.0));
+        b.ret();
+        let k = b.finish();
+        let opt = optimize(&k, OptConfig::full());
+        assert_eq!(opt.blocks[0].instrs.len(), 2); // sreg + st
+    }
+
+    #[test]
+    fn optimization_is_idempotent() {
+        let mut b = IrBuilder::new("k", 2);
+        let x = b.sreg(SReg::TidX);
+        let c1 = b.bin(BinOp::Max, Ty::S32, x, 0i32);
+        let c2 = b.bin(BinOp::Min, Ty::S32, c1, 63i32);
+        let v = b.ld(Ty::F32, 0, c2);
+        let w = b.bin(BinOp::Mul, Ty::F32, v, 0.5f32);
+        b.st(1, c2, w);
+        b.ret();
+        let k = b.finish();
+        let once = optimize(&k, OptConfig::full());
+        let twice = optimize(&once, OptConfig::full());
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,140 @@
+//! PTX-like textual form of kernels, for inspection, examples, and docs.
+
+use crate::instr::{Instr, Terminator};
+use crate::kernel::Kernel;
+use std::fmt::Write;
+
+/// Render one instruction in PTX-ish syntax.
+pub fn format_instr(i: &Instr) -> String {
+    match i {
+        Instr::Bin { op, dst, a, b } => {
+            format!("{}.{} \t{dst}, {a}, {b};", op.mnemonic(), dst.ty)
+        }
+        Instr::Mad { dst, a, b, c } => {
+            let m = if dst.ty == crate::types::Ty::F32 { "fma.rn" } else { "mad.lo" };
+            format!("{m}.{} \t{dst}, {a}, {b}, {c};", dst.ty)
+        }
+        Instr::Un { op, dst, a } => format!("{}.{} \t{dst}, {a};", op.mnemonic(), dst.ty),
+        Instr::Cvt { dst, a } => format!("cvt.rn.{}.{} \t{dst}, {a};", dst.ty, a.ty()),
+        Instr::SetP { cmp, dst, a, b } => {
+            format!("setp.{}.{} \t{dst}, {a}, {b};", cmp.mnemonic(), a.ty())
+        }
+        Instr::SelP { dst, a, b, pred } => {
+            format!("selp.{} \t{dst}, {a}, {b}, {pred};", dst.ty)
+        }
+        Instr::Sreg { dst, sreg } => format!("mov.s32 \t{dst}, {};", sreg.name()),
+        Instr::LdParam { dst, index } => {
+            format!("ld.param.{} \t{dst}, [param_{index}];", dst.ty)
+        }
+        Instr::Ld { dst, buf, addr } => format!("ld.global.{} \t{dst}, [buf{buf} + {addr}];", dst.ty),
+        Instr::Tex { dst, buf, x, y } => {
+            format!("tex.2d.v1.{}.s32 \t{dst}, [tex{buf}, {{{x}, {y}}}];", dst.ty)
+        }
+        Instr::St { buf, addr, val } => format!("st.global.{} \t[buf{buf} + {addr}], {val};", val.ty()),
+        Instr::Lds { dst, addr } => format!("ld.shared.{} \t{dst}, [smem + {addr}];", dst.ty),
+        Instr::Sts { addr, val } => format!("st.shared.{} \t[smem + {addr}], {val};", val.ty()),
+        Instr::Bar => "bar.sync \t0;".to_string(),
+    }
+}
+
+/// Render a terminator.
+pub fn format_terminator(t: &Terminator, kernel: &Kernel) -> String {
+    match t {
+        Terminator::Br { target } => format!("bra \t${};", kernel.block(*target).label),
+        Terminator::CondBr { pred, if_true, if_false } => format!(
+            "@{pred} bra \t${};  bra \t${};",
+            kernel.block(*if_true).label,
+            kernel.block(*if_false).label
+        ),
+        Terminator::Ret => "ret;".to_string(),
+    }
+}
+
+/// Render a whole kernel as PTX-like text.
+pub fn print_kernel(kernel: &Kernel) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "// {} vregs, {} blocks", kernel.num_vregs, kernel.blocks.len());
+    let _ = write!(s, ".visible .entry {}(", kernel.name);
+    for i in 0..kernel.num_buffers {
+        let _ = write!(s, ".param .u64 buf{i}, ");
+    }
+    for (i, p) in kernel.params.iter().enumerate() {
+        if i > 0 {
+            let _ = write!(s, ", ");
+        }
+        let _ = write!(s, ".param .{} {}", p.ty, p.name);
+    }
+    let _ = writeln!(s, ")");
+    let _ = writeln!(s, "{{");
+    for b in &kernel.blocks {
+        let _ = writeln!(s, "${}:", b.label);
+        for i in &b.instrs {
+            let _ = writeln!(s, "\t{}", format_instr(i));
+        }
+        let _ = writeln!(s, "\t{}", format_terminator(&b.terminator, kernel));
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IrBuilder;
+    use crate::instr::{BinOp, CmpOp, SReg};
+    use crate::types::Ty;
+
+    #[test]
+    fn prints_recognisable_ptx() {
+        let mut b = IrBuilder::new("gaussian_naive", 2);
+        let pw = b.param("width", Ty::S32);
+        let t = b.create_block("body");
+        let e = b.create_block("exit");
+        let x = b.sreg(SReg::TidX);
+        let w = b.ld_param(pw);
+        let p = b.setp(CmpOp::Lt, x, w);
+        b.cond_br(p, t, e);
+        b.switch_to(t);
+        let v = b.ld(Ty::F32, 0, x);
+        let d = b.bin(BinOp::Mul, Ty::F32, v, 0.5f32);
+        b.st(1, x, d);
+        b.br(e);
+        b.switch_to(e);
+        b.ret();
+        let k = b.finish();
+        let text = print_kernel(&k);
+        assert!(text.contains(".visible .entry gaussian_naive("));
+        assert!(text.contains("mov.s32 \t%r0, %tid.x;"));
+        assert!(text.contains("ld.param.s32"));
+        assert!(text.contains("setp.lt.s32"));
+        assert!(text.contains("ld.global.f32"));
+        assert!(text.contains("st.global.f32"));
+        assert!(text.contains("$body:"));
+        assert!(text.contains("bra \t$exit;"));
+        assert!(text.contains("ret;"));
+    }
+
+    #[test]
+    fn float_immediates_print_bit_patterns() {
+        let mut b = IrBuilder::new("k", 1);
+        let v = b.mov(Ty::F32, 1.0f32);
+        b.st(0, 0i32, v);
+        b.ret();
+        let text = print_kernel(&b.finish());
+        assert!(text.contains("0f3F800000"), "{text}");
+    }
+
+    #[test]
+    fn mad_prints_fma_for_floats() {
+        let mut b = IrBuilder::new("k", 1);
+        let f = b.mov(Ty::F32, 2.0f32);
+        let m = b.mad(Ty::F32, f, f, f);
+        let i = b.mov(Ty::S32, 3i32);
+        let n = b.mad(Ty::S32, i, i, i);
+        b.st(0, n, m);
+        b.ret();
+        let text = print_kernel(&b.finish());
+        assert!(text.contains("fma.rn.f32"));
+        assert!(text.contains("mad.lo.s32"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Register types and virtual registers.
+
+/// The IR's value types, mirroring the PTX register classes the generated
+/// stencil kernels actually use (address arithmetic in `.s32`, pixel
+/// arithmetic in `.f32`, branch conditions in `.pred`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Ty {
+    /// 1-bit predicate (PTX `.pred`, SASS `P` register).
+    Pred,
+    /// 32-bit signed integer (PTX `.s32`).
+    S32,
+    /// 32-bit IEEE float (PTX `.f32`).
+    F32,
+}
+
+impl Ty {
+    /// PTX-style type suffix used by the pretty-printer.
+    pub fn suffix(&self) -> &'static str {
+        match self {
+            Ty::Pred => "pred",
+            Ty::S32 => "s32",
+            Ty::F32 => "f32",
+        }
+    }
+
+    /// Whether values of this type live in the general-purpose (data)
+    /// register file. Predicates have their own file on real hardware.
+    pub fn is_data(&self) -> bool {
+        !matches!(self, Ty::Pred)
+    }
+}
+
+impl std::fmt::Display for Ty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+/// A typed virtual register. The index is unique per kernel across all
+/// classes (the class is carried in `ty`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg {
+    /// Unique index within the kernel.
+    pub index: u32,
+    /// Register class.
+    pub ty: Ty,
+}
+
+impl VReg {
+    /// Construct a virtual register.
+    pub fn new(index: u32, ty: Ty) -> Self {
+        VReg { index, ty }
+    }
+}
+
+impl std::fmt::Display for VReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let prefix = match self.ty {
+            Ty::Pred => "%p",
+            Ty::S32 => "%r",
+            Ty::F32 => "%f",
+        };
+        write!(f, "{prefix}{}", self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suffixes() {
+        assert_eq!(Ty::Pred.suffix(), "pred");
+        assert_eq!(Ty::S32.suffix(), "s32");
+        assert_eq!(Ty::F32.suffix(), "f32");
+    }
+
+    #[test]
+    fn data_classes() {
+        assert!(!Ty::Pred.is_data());
+        assert!(Ty::S32.is_data());
+        assert!(Ty::F32.is_data());
+    }
+
+    #[test]
+    fn display_prefixes() {
+        assert_eq!(VReg::new(3, Ty::Pred).to_string(), "%p3");
+        assert_eq!(VReg::new(11, Ty::S32).to_string(), "%r11");
+        assert_eq!(VReg::new(0, Ty::F32).to_string(), "%f0");
+    }
+}

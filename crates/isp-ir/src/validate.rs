@@ -1,0 +1,431 @@
+//! IR validation: structural and type rules every kernel must satisfy before
+//! being interpreted or counted. The DSL compiler validates each generated
+//! variant; a validation failure is always a compiler bug, never user error.
+
+use crate::cfg::Cfg;
+use crate::instr::{BinOp, Instr};
+use crate::kernel::Kernel;
+use crate::types::Ty;
+
+/// A validation diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// Block label where the problem was found.
+    pub block: String,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.block, self.message)
+    }
+}
+
+/// Validate `kernel`, returning all problems found (empty = valid).
+pub fn validate(kernel: &Kernel) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+    fn push(errors: &mut Vec<ValidationError>, block: &str, message: String) {
+        errors.push(ValidationError { block: block.to_string(), message });
+    }
+
+    if kernel.blocks.is_empty() {
+        push(&mut errors, "<kernel>", "kernel has no blocks".into());
+        return errors;
+    }
+
+    // Branch targets in range; collect defs.
+    let n = kernel.blocks.len() as u32;
+    let mut defined = vec![false; kernel.num_vregs as usize];
+    for b in &kernel.blocks {
+        for t in b.terminator.successors() {
+            if t.0 >= n {
+                push(&mut errors, &b.label, format!("branch target {t} out of range"));
+            }
+        }
+        for i in &b.instrs {
+            if let Some(d) = i.dst() {
+                if d.index >= kernel.num_vregs {
+                    push(&mut errors, &b.label, format!("register {d} beyond num_vregs {}", kernel.num_vregs));
+                } else if defined[d.index as usize] {
+                    push(&mut errors, &b.label, format!("register {d} defined more than once (SSA violation)"));
+                } else {
+                    defined[d.index as usize] = true;
+                }
+            }
+        }
+    }
+    // Out-of-range targets abort validation early: the CFG analyses below
+    // index blocks by target id and would panic.
+    if !errors.is_empty() {
+        return errors;
+    }
+
+    // Uses reference defined registers; operand types are consistent.
+    for b in &kernel.blocks {
+        for i in &b.instrs {
+            for s in i.sources() {
+                if s.index >= kernel.num_vregs || !defined[s.index as usize] {
+                    push(&mut errors, &b.label, format!("use of undefined register {s}"));
+                }
+            }
+            check_types(i, &b.label, &mut errors);
+        }
+        if let Some(p) = b.terminator.pred() {
+            if p.ty != Ty::Pred {
+                push(&mut errors, &b.label, format!("conditional branch on non-predicate {p}"));
+            }
+            if p.index >= kernel.num_vregs || !defined[p.index as usize] {
+                push(&mut errors, &b.label, format!("branch on undefined predicate {p}"));
+            }
+        }
+    }
+
+    // Buffer indices in range.
+    for b in &kernel.blocks {
+        for i in &b.instrs {
+            let buf = match i {
+                Instr::Ld { buf, .. } | Instr::St { buf, .. } | Instr::Tex { buf, .. } => {
+                    Some(*buf)
+                }
+                _ => None,
+            };
+            if let Some(buf) = buf {
+                if buf >= kernel.num_buffers {
+                    push(&mut errors, &b.label, format!("buffer index {buf} out of range"));
+                }
+            }
+            if let Instr::LdParam { index, .. } = i {
+                if *index as usize >= kernel.params.len() {
+                    push(&mut errors, &b.label, format!("parameter index {index} out of range"));
+                }
+            }
+        }
+    }
+
+    // Shared-memory structural rules: shared ops require a declared
+    // scratchpad, and a barrier must be the only instruction in its block
+    // (the interpreter phases execution at barrier blocks).
+    for b in &kernel.blocks {
+        for (idx, i) in b.instrs.iter().enumerate() {
+            match i {
+                Instr::Lds { .. } | Instr::Sts { .. } if kernel.shared_elems == 0 => {
+                    push(&mut errors, &b.label, "shared access but shared_elems is 0".into());
+                }
+                Instr::Bar => {
+                    if b.instrs.len() != 1 || idx != 0 {
+                        push(
+                            &mut errors,
+                            &b.label,
+                            "a barrier must be the sole instruction of its block".into(),
+                        );
+                    }
+                    if !matches!(b.terminator, crate::instr::Terminator::Br { .. }) {
+                        push(
+                            &mut errors,
+                            &b.label,
+                            "a barrier block must end in an unconditional branch".into(),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Warn about unreachable blocks (structural smell, not fatal for
+    // execution, but generated code should never contain them).
+    let cfg = Cfg::new(kernel);
+    for (i, b) in kernel.blocks.iter().enumerate() {
+        if !cfg.reachable[i] {
+            push(&mut errors, &b.label, "block is unreachable from entry".into());
+        }
+    }
+
+    errors
+}
+
+fn check_types(i: &Instr, block: &str, errors: &mut Vec<ValidationError>) {
+    let mut err = |message: String| {
+        errors.push(ValidationError { block: block.to_string(), message });
+    };
+    match i {
+        Instr::Bin { op, dst, a, b } => {
+            if dst.ty == Ty::Pred && !matches!(op, BinOp::And | BinOp::Or | BinOp::Xor) {
+                err(format!("binary {op:?} cannot target a predicate register"));
+            }
+            let shift = matches!(op, BinOp::Shl | BinOp::Shr);
+            if a.ty() != dst.ty {
+                err(format!("operand a type {} != dst type {}", a.ty(), dst.ty));
+            }
+            if !shift && b.ty() != dst.ty {
+                err(format!("operand b type {} != dst type {}", b.ty(), dst.ty));
+            }
+            if shift && b.ty() != Ty::S32 {
+                err("shift amount must be s32".into());
+            }
+        }
+        Instr::Mad { dst, a, b, c } => {
+            for (name, op) in [("a", a), ("b", b), ("c", c)] {
+                if op.ty() != dst.ty {
+                    err(format!("mad operand {name} type {} != dst {}", op.ty(), dst.ty));
+                }
+            }
+            if dst.ty == Ty::Pred {
+                err("mad cannot target predicates".into());
+            }
+        }
+        Instr::Un { op, dst, a } => {
+            if *op == crate::instr::UnOp::Not {
+                if a.ty() != dst.ty {
+                    err("not operand/dst mismatch".into());
+                }
+            } else if dst.ty == Ty::Pred || a.ty() == Ty::Pred {
+                err(format!("unary {op:?} cannot involve predicates"));
+            } else if a.ty() != dst.ty {
+                err(format!("unary operand type {} != dst {}", a.ty(), dst.ty));
+            }
+        }
+        Instr::Cvt { dst, a } => {
+            if dst.ty == a.ty() {
+                err("cvt between identical types".into());
+            }
+            if dst.ty == Ty::Pred || a.ty() == Ty::Pred {
+                err("cvt cannot involve predicates".into());
+            }
+        }
+        Instr::SetP { dst, a, b, .. } => {
+            if dst.ty != Ty::Pred {
+                err("setp must target a predicate".into());
+            }
+            if a.ty() != b.ty() {
+                err(format!("setp compares {} against {}", a.ty(), b.ty()));
+            }
+        }
+        Instr::SelP { dst, a, b, pred } => {
+            if pred.ty != Ty::Pred {
+                err("selp selector must be a predicate".into());
+            }
+            if a.ty() != dst.ty || b.ty() != dst.ty {
+                err("selp operand/dst type mismatch".into());
+            }
+        }
+        Instr::Sreg { dst, .. } => {
+            if dst.ty != Ty::S32 {
+                err("special registers are s32".into());
+            }
+        }
+        Instr::LdParam { .. } => {}
+        Instr::Ld { dst, addr, .. } => {
+            if addr.ty() != Ty::S32 {
+                err("load address must be s32".into());
+            }
+            if dst.ty == Ty::Pred {
+                err("cannot load into a predicate".into());
+            }
+        }
+        Instr::Tex { dst, x, y, .. } => {
+            if x.ty() != Ty::S32 || y.ty() != Ty::S32 {
+                err("texture coordinates must be s32".into());
+            }
+            if dst.ty != Ty::F32 {
+                err("texture fetches produce f32".into());
+            }
+        }
+        Instr::Lds { dst, addr } => {
+            if addr.ty() != Ty::S32 {
+                err("shared load address must be s32".into());
+            }
+            if dst.ty != Ty::F32 {
+                err("shared loads produce f32".into());
+            }
+        }
+        Instr::Sts { addr, val } => {
+            if addr.ty() != Ty::S32 {
+                err("shared store address must be s32".into());
+            }
+            if val.ty() == Ty::Pred {
+                err("cannot store a predicate to shared memory".into());
+            }
+        }
+        Instr::Bar => {}
+        Instr::St { addr, val, .. } => {
+            if addr.ty() != Ty::S32 {
+                err("store address must be s32".into());
+            }
+            if val.ty() == Ty::Pred {
+                err("cannot store a predicate".into());
+            }
+        }
+    }
+}
+
+/// Panic with a readable report if `kernel` is invalid. Used by the DSL
+/// compiler after every lowering step.
+pub fn assert_valid(kernel: &Kernel) {
+    let errs = validate(kernel);
+    if !errs.is_empty() {
+        let mut msg = format!("kernel '{}' failed validation:\n", kernel.name);
+        for e in &errs {
+            msg.push_str(&format!("  - {e}\n"));
+        }
+        panic!("{msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IrBuilder;
+    use crate::instr::{CmpOp, Operand, SReg, Terminator};
+    use crate::kernel::{BasicBlock, BlockId, ParamDecl};
+    use crate::types::VReg;
+
+    #[test]
+    fn valid_kernel_passes() {
+        let mut b = IrBuilder::new("ok", 2);
+        let pw = b.param("width", Ty::S32);
+        let exit = b.create_block("exit");
+        let body = b.create_block("body");
+        let x = b.sreg(SReg::TidX);
+        let w = b.ld_param(pw);
+        let p = b.setp(CmpOp::Lt, x, w);
+        b.cond_br(p, body, exit);
+        b.switch_to(body);
+        let v = b.ld(Ty::F32, 0, x);
+        b.st(1, x, v);
+        b.br(exit);
+        b.switch_to(exit);
+        b.ret();
+        let k = b.finish();
+        assert!(validate(&k).is_empty(), "{:?}", validate(&k));
+        assert_valid(&k);
+    }
+
+    fn raw_kernel(blocks: Vec<BasicBlock>, num_vregs: u32) -> Kernel {
+        Kernel {
+            name: "raw".into(),
+            shared_elems: 0,
+            num_buffers: 1,
+            params: vec![ParamDecl { name: "w".into(), ty: Ty::S32 }],
+            blocks,
+            num_vregs,
+        }
+    }
+
+    #[test]
+    fn detects_out_of_range_branch() {
+        let k = raw_kernel(
+            vec![BasicBlock {
+                label: "entry".into(),
+                instrs: vec![],
+                terminator: Terminator::Br { target: BlockId(5) },
+            }],
+            0,
+        );
+        let errs = validate(&k);
+        assert!(errs.iter().any(|e| e.message.contains("out of range")));
+    }
+
+    #[test]
+    fn detects_undefined_register_use() {
+        let k = raw_kernel(
+            vec![BasicBlock {
+                label: "entry".into(),
+                instrs: vec![Instr::St {
+                    buf: 0,
+                    addr: Operand::Reg(VReg::new(0, Ty::S32)),
+                    val: Operand::ImmF(0.0),
+                }],
+                terminator: Terminator::Ret,
+            }],
+            1,
+        );
+        let errs = validate(&k);
+        assert!(errs.iter().any(|e| e.message.contains("undefined register")));
+    }
+
+    #[test]
+    fn detects_ssa_violation() {
+        let r0 = VReg::new(0, Ty::S32);
+        let k = raw_kernel(
+            vec![BasicBlock {
+                label: "entry".into(),
+                instrs: vec![
+                    Instr::Un { op: crate::instr::UnOp::Mov, dst: r0, a: Operand::ImmI(1) },
+                    Instr::Un { op: crate::instr::UnOp::Mov, dst: r0, a: Operand::ImmI(2) },
+                ],
+                terminator: Terminator::Ret,
+            }],
+            1,
+        );
+        let errs = validate(&k);
+        assert!(errs.iter().any(|e| e.message.contains("SSA")));
+    }
+
+    #[test]
+    fn detects_type_mismatches() {
+        let rf = VReg::new(0, Ty::F32);
+        let k = raw_kernel(
+            vec![BasicBlock {
+                label: "entry".into(),
+                instrs: vec![Instr::Bin {
+                    op: BinOp::Add,
+                    dst: rf,
+                    a: Operand::ImmI(1), // s32 into f32 add
+                    b: Operand::ImmF(1.0),
+                }],
+                terminator: Terminator::Ret,
+            }],
+            1,
+        );
+        let errs = validate(&k);
+        assert!(errs.iter().any(|e| e.message.contains("type")));
+    }
+
+    #[test]
+    fn detects_bad_buffer_and_param_indices() {
+        let r0 = VReg::new(0, Ty::F32);
+        let k = raw_kernel(
+            vec![BasicBlock {
+                label: "entry".into(),
+                instrs: vec![
+                    Instr::Ld { dst: r0, buf: 7, addr: Operand::ImmI(0) },
+                    Instr::LdParam { dst: VReg::new(1, Ty::S32), index: 9 },
+                ],
+                terminator: Terminator::Ret,
+            }],
+            2,
+        );
+        let errs = validate(&k);
+        assert!(errs.iter().any(|e| e.message.contains("buffer index")));
+        assert!(errs.iter().any(|e| e.message.contains("parameter index")));
+    }
+
+    #[test]
+    fn detects_unreachable_block() {
+        let k = raw_kernel(
+            vec![
+                BasicBlock { label: "entry".into(), instrs: vec![], terminator: Terminator::Ret },
+                BasicBlock { label: "island".into(), instrs: vec![], terminator: Terminator::Ret },
+            ],
+            0,
+        );
+        let errs = validate(&k);
+        assert!(errs.iter().any(|e| e.message.contains("unreachable")));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed validation")]
+    fn assert_valid_panics_with_report() {
+        let k = raw_kernel(
+            vec![BasicBlock {
+                label: "entry".into(),
+                instrs: vec![],
+                terminator: Terminator::Br { target: BlockId(9) },
+            }],
+            0,
+        );
+        assert_valid(&k);
+    }
+}

@@ -1,0 +1,122 @@
+//! Performance counters (the simulator's NVProf).
+
+use isp_ir::{InstrCategory, InstrHistogram};
+
+/// Counters accumulated during kernel execution. "Warp-instructions" follow
+/// real-hardware accounting: one instruction issued for a 32-lane warp
+/// counts once, regardless of how many lanes are active — which is exactly
+/// why divergence and redundant border checks are expensive.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PerfCounters {
+    /// Dynamic instruction histogram (warp-instruction granularity).
+    pub histogram: InstrHistogram,
+    /// Total warp-instructions executed.
+    pub warp_instructions: u64,
+    /// Conditional branches where the warp actually diverged.
+    pub divergent_branches: u64,
+    /// Total conditional branches executed.
+    pub conditional_branches: u64,
+    /// 128-byte global memory transactions (loads + stores).
+    pub mem_transactions: u64,
+    /// Global load warp-instructions.
+    pub loads: u64,
+    /// Global store warp-instructions.
+    pub stores: u64,
+    /// Threads that ran to `ret`.
+    pub threads_retired: u64,
+    /// Blocks executed (or accounted, in sampled mode).
+    pub blocks: u64,
+}
+
+impl PerfCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulate another counter set.
+    pub fn merge(&mut self, other: &PerfCounters) {
+        self.histogram.merge(&other.histogram);
+        self.warp_instructions += other.warp_instructions;
+        self.divergent_branches += other.divergent_branches;
+        self.conditional_branches += other.conditional_branches;
+        self.mem_transactions += other.mem_transactions;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.threads_retired += other.threads_retired;
+        self.blocks += other.blocks;
+    }
+
+    /// Scale all counters by `factor` (region-sampled extrapolation).
+    pub fn scaled(&self, factor: u64) -> PerfCounters {
+        PerfCounters {
+            histogram: self.histogram.scaled(factor),
+            warp_instructions: self.warp_instructions * factor,
+            divergent_branches: self.divergent_branches * factor,
+            conditional_branches: self.conditional_branches * factor,
+            mem_transactions: self.mem_transactions * factor,
+            loads: self.loads * factor,
+            stores: self.stores * factor,
+            threads_retired: self.threads_retired * factor,
+            blocks: self.blocks * factor,
+        }
+    }
+
+    /// Dynamic count of one category.
+    pub fn count(&self, cat: InstrCategory) -> u64 {
+        self.histogram.get(cat)
+    }
+
+    /// Fraction of conditional branches that diverged.
+    pub fn divergence_rate(&self) -> f64 {
+        if self.conditional_branches == 0 {
+            0.0
+        } else {
+            self.divergent_branches as f64 / self.conditional_branches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PerfCounters::new();
+        a.warp_instructions = 10;
+        a.loads = 2;
+        a.histogram.add(InstrCategory::Add, 5);
+        let mut b = PerfCounters::new();
+        b.warp_instructions = 7;
+        b.divergent_branches = 1;
+        b.conditional_branches = 2;
+        b.histogram.add(InstrCategory::Add, 3);
+        a.merge(&b);
+        assert_eq!(a.warp_instructions, 17);
+        assert_eq!(a.loads, 2);
+        assert_eq!(a.divergent_branches, 1);
+        assert_eq!(a.count(InstrCategory::Add), 8);
+    }
+
+    #[test]
+    fn scaling() {
+        let mut a = PerfCounters::new();
+        a.warp_instructions = 3;
+        a.mem_transactions = 4;
+        a.blocks = 1;
+        let s = a.scaled(100);
+        assert_eq!(s.warp_instructions, 300);
+        assert_eq!(s.mem_transactions, 400);
+        assert_eq!(s.blocks, 100);
+    }
+
+    #[test]
+    fn divergence_rate() {
+        let mut a = PerfCounters::new();
+        assert_eq!(a.divergence_rate(), 0.0);
+        a.conditional_branches = 8;
+        a.divergent_branches = 2;
+        assert!((a.divergence_rate() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,254 @@
+//! Device descriptors for the two GPU classes the paper evaluates.
+//!
+//! The numbers are the published architectural parameters of the GTX680
+//! (Kepler GK104, compute capability 3.0) and RTX2080 (Turing TU104, compute
+//! capability 7.5). The single parameter that drives the paper's
+//! Kepler-vs-Turing divergence is visible here: at full thread occupancy a
+//! Kepler SM affords `65536 regs / 2048 threads = 32` registers per thread,
+//! while a Turing SM affords `65536 / 1024 = 64` — so the ISP fat kernel's
+//! extra registers cost occupancy on Kepler but not on Turing (§VI-A.2).
+
+use isp_ir::InstrCategory;
+
+/// Average 128-byte transactions per warp memory instruction for row-major
+/// stencil accesses from a warp-wide (32-lane-row) block: mostly coalesced,
+/// slightly above 1 due to misaligned window offsets.
+pub const AVG_TRANSACTIONS_PER_ACCESS: f64 = 1.25;
+
+/// Expected 128-byte transactions per warp memory access for a `tx`-wide
+/// block: a warp linearised over a block narrower than 32 lanes spans
+/// `32 / tx` image rows, each hitting its own memory segment — the
+/// quantitative form of the paper's remark that "the block layout in GPU
+/// applications is mostly wide in x-dimension, which uses memory more
+/// efficiently" (§V-B).
+pub fn transactions_per_access_for_block(tx: u32) -> f64 {
+    let rows_per_warp = (32.0 / tx.max(1) as f64).max(1.0);
+    rows_per_warp * AVG_TRANSACTIONS_PER_ACCESS
+}
+
+/// GPU micro-architecture family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GpuArch {
+    /// Kepler (GTX680 class, CC 3.0).
+    Kepler,
+    /// Turing (RTX2080 class, CC 7.5).
+    Turing,
+}
+
+impl std::fmt::Display for GpuArch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GpuArch::Kepler => f.write_str("Kepler"),
+            GpuArch::Turing => f.write_str("Turing"),
+        }
+    }
+}
+
+/// Architectural parameters of a simulated device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name used in bench output ("GTX680", "RTX2080").
+    pub name: &'static str,
+    /// Architecture family.
+    pub arch: GpuArch,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Threads per warp (32 on every NVIDIA architecture).
+    pub warp_size: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// 32-bit registers per SM.
+    pub regs_per_sm: u32,
+    /// Hard per-thread register cap (63 on Kepler, 255 on Turing).
+    pub max_regs_per_thread: u32,
+    /// Register allocation granularity (registers are allocated to blocks in
+    /// chunks of this many).
+    pub reg_alloc_granularity: u32,
+    /// Core clock in GHz (converts cycles to milliseconds).
+    pub clock_ghz: f64,
+    /// Fixed kernel-launch overhead in cycles (driver + PCIe + dispatch).
+    pub launch_overhead_cycles: u64,
+    /// Extra cycles per 128-byte memory transaction beyond the issue slot
+    /// (effective cached-stencil cost: local operators have high L1/L2/tex
+    /// locality, so the steady-state cost per transaction is far below raw
+    /// DRAM latency).
+    pub mem_transaction_cycles: u64,
+    /// Instruction-fetch penalty (cycles) an SM pays when the next block it
+    /// runs executes a different specialised region than the previous one —
+    /// the fat kernel's i-cache locality cost. Scaled by the region's static
+    /// instruction footprint / 100.
+    pub icache_switch_cycles_per_100_instrs: u64,
+    /// Occupancy at which the SM reaches full issue throughput; below this
+    /// latency hiding degrades linearly (the paper's Eq. 10 models the same
+    /// effect as "more rounds").
+    pub saturation_occupancy: f64,
+    /// Shared memory per SM in bytes (a third occupancy limiter, relevant
+    /// for tiled kernels).
+    pub shared_mem_per_sm: u32,
+}
+
+impl DeviceSpec {
+    /// Kepler-class device modelled after the Nvidia GTX680 (GK104).
+    pub fn gtx680() -> Self {
+        DeviceSpec {
+            name: "GTX680",
+            arch: GpuArch::Kepler,
+            num_sms: 8,
+            warp_size: 32,
+            max_threads_per_sm: 2048,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 16,
+            regs_per_sm: 65536,
+            max_regs_per_thread: 63,
+            reg_alloc_granularity: 256,
+            clock_ghz: 1.006,
+            launch_overhead_cycles: 8_000,
+            mem_transaction_cycles: 6,
+            icache_switch_cycles_per_100_instrs: 40,
+            saturation_occupancy: 1.0,
+            shared_mem_per_sm: 48 * 1024,
+        }
+    }
+
+    /// Turing-class device modelled after the Nvidia RTX2080 (TU104).
+    pub fn rtx2080() -> Self {
+        DeviceSpec {
+            name: "RTX2080",
+            arch: GpuArch::Turing,
+            num_sms: 46,
+            warp_size: 32,
+            max_threads_per_sm: 1024,
+            max_warps_per_sm: 32,
+            max_blocks_per_sm: 16,
+            regs_per_sm: 65536,
+            max_regs_per_thread: 255,
+            reg_alloc_granularity: 256,
+            clock_ghz: 1.710,
+            launch_overhead_cycles: 12_000,
+            mem_transaction_cycles: 4,
+            icache_switch_cycles_per_100_instrs: 60,
+            saturation_occupancy: 1.0,
+            shared_mem_per_sm: 64 * 1024,
+        }
+    }
+
+    /// Both evaluation devices, in the paper's order.
+    pub fn all() -> Vec<DeviceSpec> {
+        vec![DeviceSpec::gtx680(), DeviceSpec::rtx2080()]
+    }
+
+    /// Issue cost (cycles per warp-instruction) of one instruction category.
+    /// Relative weights follow published per-architecture throughput tables:
+    /// simple ALU ops are single-slot, integer multiplies and type
+    /// conversions cost more on Kepler, transcendentals go to the SFU, and
+    /// division is expensive everywhere.
+    pub fn issue_cost(&self, cat: InstrCategory) -> u64 {
+        use InstrCategory::*;
+        match (self.arch, cat) {
+            (_, Add) | (_, Sub) | (_, Min) | (_, Max) | (_, Logic) | (_, Shift) | (_, Abs)
+            | (_, Neg) | (_, Mov) | (_, Setp) | (_, Selp) => 1,
+            (GpuArch::Kepler, Mul) | (GpuArch::Kepler, Mad) => 2,
+            (GpuArch::Turing, Mul) | (GpuArch::Turing, Mad) => 1,
+            (GpuArch::Kepler, Cvt) => 2,
+            (GpuArch::Turing, Cvt) => 1,
+            (_, Div) | (_, Rem) => 20,
+            (_, Sfu) => 4,
+            (_, Bra) | (_, Ret) => 1,
+            // Shared memory is on-chip: issue slot only, no transactions
+            // (bank conflicts are not modelled).
+            (_, Shared) => 1,
+            // A barrier costs a couple of scheduler cycles once all warps
+            // arrive; the waiting itself is covered by the occupancy model.
+            (_, Bar2) => 2,
+            // Issue slot only; transaction cost is added separately.
+            (_, Ld) => 2,
+            // Texture fetches go through the texture pipeline: hardware
+            // border resolution is free, but per-fetch throughput is lower
+            // than an L1 global load.
+            (_, Tex) => 4,
+            (_, St) => 2,
+        }
+    }
+
+    /// Convert a cycle count to milliseconds at this device's clock.
+    pub fn cycles_to_ms(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1.0e6)
+    }
+
+    /// Issue-cost-weighted cost of a static instruction histogram, including
+    /// the expected memory-transaction cost of its loads/stores. This is the
+    /// per-thread cost estimate the analytic model feeds into `R_reduced`:
+    /// the paper measures "at PTX level to obtain a more accurate estimation
+    /// than at CUDA source code" — weighting by per-category issue cost is
+    /// the cycle-accurate version of the same idea.
+    pub fn weighted_cost(&self, hist: &isp_ir::InstrHistogram) -> f64 {
+        self.weighted_cost_with(hist, AVG_TRANSACTIONS_PER_ACCESS)
+    }
+
+    /// [`DeviceSpec::weighted_cost`] with an explicit expected number of
+    /// 128-byte transactions per warp memory access. Narrow blocks raise it
+    /// (a warp then spans several image rows, each its own segment) — see
+    /// [`transactions_per_access_for_block`].
+    pub fn weighted_cost_with(&self, hist: &isp_ir::InstrHistogram, tx_per_access: f64) -> f64 {
+        let mut cost = 0.0;
+        for (cat, n) in hist.iter() {
+            cost += n as f64 * self.issue_cost(cat) as f64;
+            if matches!(cat, InstrCategory::Ld | InstrCategory::Tex | InstrCategory::St) {
+                cost += n as f64 * self.mem_transaction_cycles as f64 * tx_per_access;
+            }
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kepler_vs_turing_register_headroom() {
+        let k = DeviceSpec::gtx680();
+        let t = DeviceSpec::rtx2080();
+        // The paper's architectural pivot: registers per thread at full
+        // thread occupancy.
+        assert_eq!(k.regs_per_sm / k.max_threads_per_sm, 32);
+        assert_eq!(t.regs_per_sm / t.max_threads_per_sm, 64);
+        assert!(t.max_regs_per_thread > k.max_regs_per_thread);
+    }
+
+    #[test]
+    fn warp_size_is_32() {
+        for d in DeviceSpec::all() {
+            assert_eq!(d.warp_size, 32);
+            assert_eq!(d.max_threads_per_sm, d.max_warps_per_sm * 32);
+        }
+    }
+
+    #[test]
+    fn issue_costs_ordering() {
+        let d = DeviceSpec::gtx680();
+        assert_eq!(d.issue_cost(InstrCategory::Add), 1);
+        assert!(d.issue_cost(InstrCategory::Div) > d.issue_cost(InstrCategory::Mul));
+        assert!(d.issue_cost(InstrCategory::Sfu) > d.issue_cost(InstrCategory::Add));
+        // Turing's unified ALU multiplies at full rate, Kepler does not.
+        let t = DeviceSpec::rtx2080();
+        assert!(d.issue_cost(InstrCategory::Mul) > t.issue_cost(InstrCategory::Mul));
+    }
+
+    #[test]
+    fn cycles_to_ms() {
+        let d = DeviceSpec::gtx680();
+        let ms = d.cycles_to_ms(1_006_000);
+        assert!((ms - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arch_display() {
+        assert_eq!(GpuArch::Kepler.to_string(), "Kepler");
+        assert_eq!(GpuArch::Turing.to_string(), "Turing");
+    }
+}

@@ -1,0 +1,86 @@
+//! Simulator errors.
+//!
+//! The headline error is [`SimError::OutOfBounds`]: the simulator detects
+//! exactly the class of bug that border handling exists to prevent. A kernel
+//! generated *without* border handling reads past the image allocation, and
+//! instead of silently corrupting pixels (as real hardware may), the
+//! simulator reports the offending buffer, address, thread, and block.
+
+use std::fmt;
+
+/// Errors raised while launching or interpreting a kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A lane accessed a buffer outside its allocation.
+    OutOfBounds {
+        /// Buffer parameter index.
+        buf: u32,
+        /// Element index accessed.
+        addr: i64,
+        /// Buffer length in elements.
+        len: usize,
+        /// Global thread coordinates of the offending lane.
+        thread: (u32, u32),
+        /// Block coordinates.
+        block: (u32, u32),
+        /// Whether the access was a store.
+        is_store: bool,
+    },
+    /// A block ran more warp-instructions than the runaway guard allows
+    /// (almost certainly an infinite `Repeat` loop in generated code).
+    RunawayBlock {
+        /// Block coordinates.
+        block: (u32, u32),
+        /// The guard limit that was exceeded.
+        limit: u64,
+    },
+    /// The launch referenced a missing buffer or parameter, or the grid was
+    /// degenerate.
+    BadLaunch(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfBounds { buf, addr, len, thread, block, is_store } => write!(
+                f,
+                "{} out of bounds: buffer {buf}[{addr}] (len {len}) by thread ({},{}) in block ({},{})",
+                if *is_store { "store" } else { "load" },
+                thread.0,
+                thread.1,
+                block.0,
+                block.1
+            ),
+            SimError::RunawayBlock { block, limit } => write!(
+                f,
+                "block ({},{}) exceeded the {limit}-instruction runaway guard",
+                block.0, block.1
+            ),
+            SimError::BadLaunch(msg) => write!(f, "bad launch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_actionable() {
+        let e = SimError::OutOfBounds {
+            buf: 0,
+            addr: -3,
+            len: 64,
+            thread: (0, 0),
+            block: (0, 0),
+            is_store: false,
+        };
+        let s = e.to_string();
+        assert!(s.contains("load out of bounds"));
+        assert!(s.contains("buffer 0[-3]"));
+        let e = SimError::RunawayBlock { block: (1, 2), limit: 1000 };
+        assert!(e.to_string().contains("runaway"));
+    }
+}

@@ -1,0 +1,1152 @@
+#![allow(clippy::needless_range_loop)] // lane loops index several arrays at once
+
+//! The warp-level IR interpreter: 32 lanes in lockstep, divergence
+//! serialised via immediate post-dominator reconvergence, per-warp
+//! instruction and memory-transaction accounting.
+
+use crate::counters::PerfCounters;
+use crate::device::DeviceSpec;
+use crate::error::SimError;
+use crate::launch::ParamValue;
+use crate::memory::{transactions_for_warp, DeviceBuffer};
+use isp_ir::kernel::{BlockId, Kernel};
+use isp_ir::{BinOp, CmpOp, Instr, InstrCategory, Operand, SReg, Terminator, Ty, UnOp};
+
+/// Warp width; fixed at 32 like every NVIDIA architecture.
+pub const WARP: usize = 32;
+
+/// Runaway guard: maximum warp-instructions one *warp* may execute before
+/// the interpreter declares an infinite loop. Generated kernels are
+/// loop-free and run a few thousand instructions per warp; two million is
+/// a ~500x margin even for hand-written IR with loops.
+pub const MAX_WARP_INSTRUCTIONS: u64 = 2_000_000;
+
+/// Everything needed to execute one threadblock.
+#[derive(Clone, Copy)]
+pub struct BlockContext<'a> {
+    /// The kernel to run.
+    pub kernel: &'a Kernel,
+    /// Immediate post-dominators of the kernel's CFG (reconvergence points).
+    pub ipdom: &'a [Option<BlockId>],
+    /// Device whose issue costs are charged.
+    pub device: &'a DeviceSpec,
+    /// Grid dimensions in blocks.
+    pub grid: (u32, u32),
+    /// Block dimensions in threads.
+    pub block_dim: (u32, u32),
+    /// This block's coordinates.
+    pub block_idx: (u32, u32),
+    /// Scalar parameter values (indexed by `LdParam`).
+    pub params: &'a [ParamValue],
+    /// Device buffers (read-only during execution; stores are journaled).
+    pub buffers: &'a [DeviceBuffer],
+}
+
+/// Result of running one block.
+#[derive(Debug, Clone)]
+pub struct BlockRun {
+    /// Counters for this block only.
+    pub counters: PerfCounters,
+    /// Issue cycles consumed by this block (all of its warps).
+    pub cycles: u64,
+    /// Journal of global stores `(buffer, element, bits)` in execution order.
+    pub writes: Vec<(u32, usize, u32)>,
+}
+
+/// Where a warp's phase of execution ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExecOutcome {
+    /// All lanes arrived at the `stop` block (inner divergent paths only).
+    Arrived(u32),
+    /// Every lane retired via `ret`.
+    Retired,
+    /// The warp reached a barrier block with the given active mask.
+    Barrier(BlockId, u32),
+}
+
+/// Execute every warp of one threadblock. Warps run sequentially between
+/// barriers; at each block-wide barrier all live warps must arrive (with
+/// every non-retired lane) before any proceeds — the CUDA `__syncthreads`
+/// contract, enforced rather than assumed.
+pub fn run_block(ctx: &BlockContext<'_>) -> Result<BlockRun, SimError> {
+    let threads = ctx.block_dim.0 as u64 * ctx.block_dim.1 as u64;
+    let num_warps = threads.div_ceil(WARP as u64) as usize;
+    let mut out = BlockRun { counters: PerfCounters::new(), cycles: 0, writes: Vec::new() };
+    let mut shared = vec![0u32; ctx.kernel.shared_elems as usize];
+    // Blocks whose (sole) instruction is a barrier.
+    let bar_blocks: Vec<bool> = ctx
+        .kernel
+        .blocks
+        .iter()
+        .map(|b| b.instrs.first().is_some_and(|i| matches!(i, Instr::Bar)))
+        .collect();
+
+    struct PerWarp {
+        regs: Vec<[u32; WARP]>,
+        mask: u32,
+        init_mask: u32,
+        pos: BlockId,
+        budget: u64,
+        done: bool,
+    }
+    let initial_mask = |w: usize| -> u32 {
+        let base = w as u64 * WARP as u64;
+        let mut mask = 0u32;
+        for l in 0..WARP as u64 {
+            if base + l < threads {
+                mask |= 1 << l;
+            }
+        }
+        mask
+    };
+    let mut warps: Vec<PerWarp> = (0..num_warps)
+        .map(|w| {
+            let m = initial_mask(w);
+            PerWarp {
+                regs: vec![[0u32; WARP]; ctx.kernel.num_vregs as usize],
+                mask: m,
+                init_mask: m,
+                pos: ctx.kernel.entry(),
+                budget: MAX_WARP_INSTRUCTIONS,
+                done: m == 0,
+            }
+        })
+        .collect();
+
+    loop {
+        let mut barrier: Option<BlockId> = None;
+        let mut retired_this_phase = false;
+        for (w, state) in warps.iter_mut().enumerate() {
+            if state.done {
+                continue;
+            }
+            let mut exec = WarpExec {
+                ctx,
+                warp_id: w as u32,
+                regs: &mut state.regs,
+                out: &mut out,
+                budget: &mut state.budget,
+                shared: &mut shared,
+                bar_blocks: &bar_blocks,
+            };
+            match exec.exec_from(state.pos, state.mask, None)? {
+                ExecOutcome::Retired => {
+                    state.done = true;
+                    retired_this_phase = true;
+                }
+                ExecOutcome::Barrier(bb, mask) => {
+                    if mask != state.init_mask {
+                        return Err(SimError::BadLaunch(format!(
+                            "barrier reached with a partial warp (mask {mask:#x} of {:#x}) in block ({},{}) — diverged threads may not sync",
+                            state.init_mask, ctx.block_idx.0, ctx.block_idx.1
+                        )));
+                    }
+                    match barrier {
+                        None => barrier = Some(bb),
+                        Some(prev) if prev == bb => {}
+                        Some(prev) => {
+                            return Err(SimError::BadLaunch(format!(
+                                "warps reached different barriers ({prev} vs {bb}) — deadlock"
+                            )))
+                        }
+                    }
+                    state.pos = bb;
+                    state.mask = mask;
+                }
+                ExecOutcome::Arrived(_) => unreachable!("no stop block at top level"),
+            }
+        }
+        let Some(bb) = barrier else { break };
+        if retired_this_phase && warps.iter().any(|w| !w.done) {
+            // Tolerated by some hardware, but a deadlock by the book when a
+            // whole warp exits while others sync. Keep strict.
+            return Err(SimError::BadLaunch(
+                "a warp retired while others wait at a barrier — deadlock".into(),
+            ));
+        }
+        // Release the barrier: charge it once per live warp and step over
+        // the barrier block (Bar + its unconditional branch).
+        let next = match &ctx.kernel.block(bb).terminator {
+            Terminator::Br { target } => *target,
+            _ => unreachable!("validated: barrier blocks end in br"),
+        };
+        for state in warps.iter_mut().filter(|s| !s.done) {
+            out.counters.histogram.add(InstrCategory::Bar2, 1);
+            out.counters.histogram.add(InstrCategory::Bra, 1);
+            out.counters.warp_instructions += 2;
+            out.cycles += ctx.device.issue_cost(InstrCategory::Bar2)
+                + ctx.device.issue_cost(InstrCategory::Bra);
+            state.pos = next;
+        }
+    }
+    out.counters.blocks = 1;
+    Ok(out)
+}
+
+/// Mutable execution view of one warp during one phase.
+struct WarpExec<'a, 'b> {
+    ctx: &'a BlockContext<'a>,
+    warp_id: u32,
+    /// Register file: `num_vregs` slots of 32 lanes of raw bits.
+    regs: &'b mut Vec<[u32; WARP]>,
+    out: &'b mut BlockRun,
+    budget: &'b mut u64,
+    /// The block's shared-memory scratchpad (lives across warps and phases).
+    shared: &'b mut Vec<u32>,
+    /// Which blocks are barrier blocks.
+    bar_blocks: &'b [bool],
+}
+
+impl<'a, 'b> WarpExec<'a, 'b> {
+
+    /// `threadIdx` of a lane (warps are linearised row-major within the
+    /// block, so a 32xN block has one image row per warp and a 128x1 block
+    /// has four warps side by side — the layout Listing 5 exploits).
+    fn tid(&self, lane: usize) -> (u32, u32) {
+        let linear = self.warp_id as u64 * WARP as u64 + lane as u64;
+        let tx = self.ctx.block_dim.0 as u64;
+        ((linear % tx) as u32, (linear / tx) as u32)
+    }
+
+    fn sreg_value(&self, sreg: SReg, lane: usize) -> i32 {
+        let (tx, ty) = self.tid(lane);
+        match sreg {
+            SReg::TidX => tx as i32,
+            SReg::TidY => ty as i32,
+            SReg::CtaIdX => self.ctx.block_idx.0 as i32,
+            SReg::CtaIdY => self.ctx.block_idx.1 as i32,
+            SReg::NTidX => self.ctx.block_dim.0 as i32,
+            SReg::NTidY => self.ctx.block_dim.1 as i32,
+            SReg::NCtaIdX => self.ctx.grid.0 as i32,
+            SReg::NCtaIdY => self.ctx.grid.1 as i32,
+            SReg::LaneId => lane as i32,
+            SReg::WarpIdX => (tx / self.ctx.device.warp_size) as i32,
+        }
+    }
+
+    #[inline]
+    fn read(&self, op: &Operand, lane: usize) -> u32 {
+        match op {
+            Operand::Reg(r) => self.regs[r.index as usize][lane],
+            Operand::ImmI(v) => *v as u32,
+            Operand::ImmF(v) => v.to_bits(),
+        }
+    }
+
+    #[inline]
+    fn read_i(&self, op: &Operand, lane: usize) -> i32 {
+        self.read(op, lane) as i32
+    }
+
+    #[inline]
+    fn read_f(&self, op: &Operand, lane: usize) -> f32 {
+        f32::from_bits(self.read(op, lane))
+    }
+
+    fn charge(&mut self, cat: InstrCategory) -> Result<(), SimError> {
+        self.out.counters.histogram.add(cat, 1);
+        self.out.counters.warp_instructions += 1;
+        self.out.cycles += self.ctx.device.issue_cost(cat);
+        if *self.budget == 0 {
+            return Err(SimError::RunawayBlock {
+                block: self.ctx.block_idx,
+                limit: MAX_WARP_INSTRUCTIONS,
+            });
+        }
+        *self.budget -= 1;
+        Ok(())
+    }
+
+    /// Execute starting at `block` with `mask` active lanes until reaching
+    /// `stop` (the current reconvergence point), retiring via `ret`, or —
+    /// at the top level only — entering a barrier block.
+    fn exec_from(
+        &mut self,
+        mut block: BlockId,
+        mut mask: u32,
+        stop: Option<BlockId>,
+    ) -> Result<ExecOutcome, SimError> {
+        loop {
+            if Some(block) == stop {
+                return Ok(ExecOutcome::Arrived(mask));
+            }
+            if self.bar_blocks[block.0 as usize] {
+                if stop.is_some() {
+                    return Err(SimError::BadLaunch(format!(
+                        "barrier {block} reached under divergence in block ({},{})",
+                        self.ctx.block_idx.0, self.ctx.block_idx.1
+                    )));
+                }
+                return Ok(ExecOutcome::Barrier(block, mask));
+            }
+            let bb = self.ctx.kernel.block(block);
+            for instr in &bb.instrs {
+                self.exec_instr(instr, mask)?;
+            }
+            match &bb.terminator {
+                Terminator::Ret => {
+                    self.charge(InstrCategory::Ret)?;
+                    self.out.counters.threads_retired += mask.count_ones() as u64;
+                    return Ok(if stop.is_some() {
+                        ExecOutcome::Arrived(0)
+                    } else {
+                        ExecOutcome::Retired
+                    });
+                }
+                Terminator::Br { target } => {
+                    self.charge(InstrCategory::Bra)?;
+                    block = *target;
+                }
+                Terminator::CondBr { pred, if_true, if_false } => {
+                    self.charge(InstrCategory::Bra)?;
+                    self.out.counters.conditional_branches += 1;
+                    let pbits = &self.regs[pred.index as usize];
+                    let mut m_true = 0u32;
+                    for l in 0..WARP {
+                        if mask & (1 << l) != 0 && pbits[l] != 0 {
+                            m_true |= 1 << l;
+                        }
+                    }
+                    let m_false = mask & !m_true;
+                    if m_false == 0 {
+                        block = *if_true;
+                    } else if m_true == 0 {
+                        block = *if_false;
+                    } else {
+                        // Divergence: serialise both sides, reconverge at
+                        // the immediate post-dominator.
+                        self.out.counters.divergent_branches += 1;
+                        let reconv = self.ctx.ipdom[block.0 as usize];
+                        let a = match self.exec_from(*if_true, m_true, reconv)? {
+                            ExecOutcome::Arrived(m) => m,
+                            ExecOutcome::Retired => 0,
+                            ExecOutcome::Barrier(b, _) => {
+                                return Err(SimError::BadLaunch(format!(
+                                    "barrier {b} reached under divergence"
+                                )))
+                            }
+                        };
+                        let c = match self.exec_from(*if_false, m_false, reconv)? {
+                            ExecOutcome::Arrived(m) => m,
+                            ExecOutcome::Retired => 0,
+                            ExecOutcome::Barrier(b, _) => {
+                                return Err(SimError::BadLaunch(format!(
+                                    "barrier {b} reached under divergence"
+                                )))
+                            }
+                        };
+                        match reconv {
+                            Some(r) => {
+                                mask = a | c;
+                                if mask == 0 {
+                                    return Ok(if stop.is_some() {
+                                        ExecOutcome::Arrived(0)
+                                    } else {
+                                        ExecOutcome::Retired
+                                    });
+                                }
+                                block = r;
+                            }
+                            None => {
+                                debug_assert_eq!(a | c, 0);
+                                return Ok(if stop.is_some() {
+                                    ExecOutcome::Arrived(0)
+                                } else {
+                                    ExecOutcome::Retired
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn exec_instr(&mut self, instr: &Instr, mask: u32) -> Result<(), SimError> {
+        self.charge(InstrCategory::of_instr(instr))?;
+        let active = |l: usize| mask & (1 << l) != 0;
+        match instr {
+            Instr::Bin { op, dst, a, b } => {
+                for l in 0..WARP {
+                    if !active(l) {
+                        continue;
+                    }
+                    let bits = match dst.ty {
+                        Ty::S32 => {
+                            let x = self.read_i(a, l);
+                            let y = self.read_i(b, l);
+                            eval_bin_i(*op, x, y) as u32
+                        }
+                        Ty::F32 => {
+                            let x = self.read_f(a, l);
+                            let y = self.read_f(b, l);
+                            eval_bin_f(*op, x, y).to_bits()
+                        }
+                        Ty::Pred => {
+                            let x = self.read(a, l) & 1;
+                            let y = self.read(b, l) & 1;
+                            match op {
+                                BinOp::And => x & y,
+                                BinOp::Or => x | y,
+                                BinOp::Xor => x ^ y,
+                                _ => unreachable!("validated IR"),
+                            }
+                        }
+                    };
+                    self.regs[dst.index as usize][l] = bits;
+                }
+            }
+            Instr::Mad { dst, a, b, c } => {
+                for l in 0..WARP {
+                    if !active(l) {
+                        continue;
+                    }
+                    let bits = match dst.ty {
+                        Ty::S32 => {
+                            let v = self
+                                .read_i(a, l)
+                                .wrapping_mul(self.read_i(b, l))
+                                .wrapping_add(self.read_i(c, l));
+                            v as u32
+                        }
+                        Ty::F32 => {
+                            let v = self.read_f(a, l) * self.read_f(b, l) + self.read_f(c, l);
+                            v.to_bits()
+                        }
+                        Ty::Pred => unreachable!("validated IR"),
+                    };
+                    self.regs[dst.index as usize][l] = bits;
+                }
+            }
+            Instr::Un { op, dst, a } => {
+                for l in 0..WARP {
+                    if !active(l) {
+                        continue;
+                    }
+                    let bits = match (op, dst.ty) {
+                        (UnOp::Mov, _) => self.read(a, l),
+                        (UnOp::Not, Ty::Pred) => (self.read(a, l) & 1) ^ 1,
+                        (UnOp::Not, _) => !self.read(a, l),
+                        (_, Ty::S32) => {
+                            let x = self.read_i(a, l);
+                            let v = match op {
+                                UnOp::Neg => x.wrapping_neg(),
+                                UnOp::Abs => x.wrapping_abs(),
+                                _ => unreachable!("validated IR"),
+                            };
+                            v as u32
+                        }
+                        (_, Ty::F32) => {
+                            let x = self.read_f(a, l);
+                            let v = match op {
+                                UnOp::Neg => -x,
+                                UnOp::Abs => x.abs(),
+                                UnOp::Exp => x.exp(),
+                                UnOp::Log => x.ln(),
+                                UnOp::Sqrt => x.sqrt(),
+                                UnOp::Rsqrt => 1.0 / x.sqrt(),
+                                UnOp::Floor => x.floor(),
+                                _ => unreachable!("validated IR"),
+                            };
+                            v.to_bits()
+                        }
+                        _ => unreachable!("validated IR"),
+                    };
+                    self.regs[dst.index as usize][l] = bits;
+                }
+            }
+            Instr::Cvt { dst, a } => {
+                for l in 0..WARP {
+                    if !active(l) {
+                        continue;
+                    }
+                    let bits = match dst.ty {
+                        Ty::F32 => (self.read_i(a, l) as f32).to_bits(),
+                        Ty::S32 => (self.read_f(a, l).round() as i32) as u32,
+                        Ty::Pred => unreachable!("validated IR"),
+                    };
+                    self.regs[dst.index as usize][l] = bits;
+                }
+            }
+            Instr::SetP { cmp, dst, a, b } => {
+                for l in 0..WARP {
+                    if !active(l) {
+                        continue;
+                    }
+                    let t = match a.ty() {
+                        Ty::F32 => eval_cmp_f(*cmp, self.read_f(a, l), self.read_f(b, l)),
+                        _ => eval_cmp_i(*cmp, self.read_i(a, l), self.read_i(b, l)),
+                    };
+                    self.regs[dst.index as usize][l] = t as u32;
+                }
+            }
+            Instr::SelP { dst, a, b, pred } => {
+                for l in 0..WARP {
+                    if !active(l) {
+                        continue;
+                    }
+                    let take_a = self.regs[pred.index as usize][l] != 0;
+                    self.regs[dst.index as usize][l] =
+                        if take_a { self.read(a, l) } else { self.read(b, l) };
+                }
+            }
+            Instr::Sreg { dst, sreg } => {
+                for l in 0..WARP {
+                    if !active(l) {
+                        continue;
+                    }
+                    self.regs[dst.index as usize][l] = self.sreg_value(*sreg, l) as u32;
+                }
+            }
+            Instr::LdParam { dst, index } => {
+                let bits = match self.ctx.params.get(*index as usize) {
+                    Some(ParamValue::I32(v)) => *v as u32,
+                    Some(ParamValue::F32(v)) => v.to_bits(),
+                    None => {
+                        return Err(SimError::BadLaunch(format!(
+                            "kernel '{}' reads parameter {index} but only {} were supplied",
+                            self.ctx.kernel.name,
+                            self.ctx.params.len()
+                        )))
+                    }
+                };
+                for l in 0..WARP {
+                    if active(l) {
+                        self.regs[dst.index as usize][l] = bits;
+                    }
+                }
+            }
+            Instr::Ld { dst, buf, addr } => {
+                let buffer = self.buffer(*buf)?;
+                let len = buffer.len();
+                let mut addrs: [Option<i64>; WARP] = [None; WARP];
+                for l in 0..WARP {
+                    if !active(l) {
+                        continue;
+                    }
+                    let a = self.read_i(addr, l) as i64;
+                    if a < 0 || a as usize >= len {
+                        return Err(self.oob(*buf, a, len, l, false));
+                    }
+                    addrs[l] = Some(a);
+                }
+                let tx = transactions_for_warp(&addrs);
+                self.out.counters.mem_transactions += tx;
+                self.out.counters.loads += 1;
+                self.out.cycles += tx * self.ctx.device.mem_transaction_cycles;
+                let buffer = self.buffer(*buf)?;
+                for l in 0..WARP {
+                    if let Some(a) = addrs[l] {
+                        self.regs[dst.index as usize][l] = buffer.load_bits(a as usize);
+                    }
+                }
+            }
+            Instr::Tex { dst, buf, x, y } => {
+                let buffer = self.buffer(*buf)?;
+                let desc = *buffer.texture().ok_or_else(|| {
+                    SimError::BadLaunch(format!(
+                        "kernel '{}' fetches buffer {buf} as a texture, but no texture is bound",
+                        self.ctx.kernel.name
+                    ))
+                })?;
+                let mut addrs: [Option<i64>; WARP] = [None; WARP];
+                let mut values: [u32; WARP] = [0; WARP];
+                for l in 0..WARP {
+                    if !active(l) {
+                        continue;
+                    }
+                    let cx = self.read_i(x, l) as i64;
+                    let cy = self.read_i(y, l) as i64;
+                    // Hardware address-mode resolution: never out of bounds.
+                    let rx = desc.mode.resolve(cx, desc.width);
+                    let ry = desc.mode.resolve(cy, desc.height);
+                    match (rx, ry) {
+                        (Some(rx), Some(ry)) => {
+                            let a = (ry * desc.width + rx) as i64;
+                            addrs[l] = Some(a);
+                            values[l] = buffer.load_bits(a as usize);
+                        }
+                        _ => {
+                            values[l] = desc.mode.border_value().to_bits();
+                        }
+                    }
+                }
+                // The texture cache services fetches in the same 128-byte
+                // granules as L1 (border-value fetches cost no transaction).
+                let tx = transactions_for_warp(&addrs);
+                self.out.counters.mem_transactions += tx;
+                self.out.counters.loads += 1;
+                self.out.cycles += tx * self.ctx.device.mem_transaction_cycles;
+                for l in 0..WARP {
+                    if active(l) {
+                        self.regs[dst.index as usize][l] = values[l];
+                    }
+                }
+            }
+            Instr::Lds { dst, addr } => {
+                let len = self.shared.len();
+                for l in 0..WARP {
+                    if !active(l) {
+                        continue;
+                    }
+                    let a = self.read_i(addr, l) as i64;
+                    if a < 0 || a as usize >= len {
+                        return Err(SimError::BadLaunch(format!(
+                            "shared load out of bounds: [{a}] of {len} in block ({},{})",
+                            self.ctx.block_idx.0, self.ctx.block_idx.1
+                        )));
+                    }
+                    self.regs[dst.index as usize][l] = self.shared[a as usize];
+                }
+            }
+            Instr::Sts { addr, val } => {
+                let len = self.shared.len();
+                for l in 0..WARP {
+                    if !active(l) {
+                        continue;
+                    }
+                    let a = self.read_i(addr, l) as i64;
+                    if a < 0 || a as usize >= len {
+                        return Err(SimError::BadLaunch(format!(
+                            "shared store out of bounds: [{a}] of {len} in block ({},{})",
+                            self.ctx.block_idx.0, self.ctx.block_idx.1
+                        )));
+                    }
+                    let bits = self.read(val, l);
+                    self.shared[a as usize] = bits;
+                }
+            }
+            Instr::Bar => {
+                unreachable!("barrier blocks are intercepted before execution")
+            }
+            Instr::St { buf, addr, val } => {
+                let len = self.buffer(*buf)?.len();
+                let mut addrs: [Option<i64>; WARP] = [None; WARP];
+                for l in 0..WARP {
+                    if !active(l) {
+                        continue;
+                    }
+                    let a = self.read_i(addr, l) as i64;
+                    if a < 0 || a as usize >= len {
+                        return Err(self.oob(*buf, a, len, l, true));
+                    }
+                    addrs[l] = Some(a);
+                }
+                let tx = transactions_for_warp(&addrs);
+                self.out.counters.mem_transactions += tx;
+                self.out.counters.stores += 1;
+                self.out.cycles += tx * self.ctx.device.mem_transaction_cycles;
+                for l in 0..WARP {
+                    if let Some(a) = addrs[l] {
+                        let bits = self.read(val, l);
+                        self.out.writes.push((*buf, a as usize, bits));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn buffer(&self, buf: u32) -> Result<&'a DeviceBuffer, SimError> {
+        self.ctx
+            .buffers
+            .get(buf as usize)
+            .ok_or_else(|| SimError::BadLaunch(format!("missing buffer {buf}")))
+    }
+
+    fn oob(&self, buf: u32, addr: i64, len: usize, lane: usize, is_store: bool) -> SimError {
+        SimError::OutOfBounds {
+            buf,
+            addr,
+            len,
+            thread: self.global_thread(lane),
+            block: self.ctx.block_idx,
+            is_store,
+        }
+    }
+
+    fn global_thread(&self, lane: usize) -> (u32, u32) {
+        let (tx, ty) = self.tid(lane);
+        (
+            self.ctx.block_idx.0 * self.ctx.block_dim.0 + tx,
+            self.ctx.block_idx.1 * self.ctx.block_dim.1 + ty,
+        )
+    }
+}
+
+fn eval_bin_i(op: BinOp, x: i32, y: i32) -> i32 {
+    match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        // Division by zero is defined as 0 (see the folding pass, which must
+        // agree with the interpreter on every operation).
+        BinOp::Div => {
+            if y == 0 {
+                0
+            } else {
+                x.wrapping_div(y)
+            }
+        }
+        BinOp::Rem => {
+            if y == 0 {
+                0
+            } else {
+                x.wrapping_rem(y)
+            }
+        }
+        BinOp::Min => x.min(y),
+        BinOp::Max => x.max(y),
+        BinOp::And => x & y,
+        BinOp::Or => x | y,
+        BinOp::Xor => x ^ y,
+        BinOp::Shl => x.wrapping_shl(y as u32 & 31),
+        BinOp::Shr => x.wrapping_shr(y as u32 & 31),
+    }
+}
+
+fn eval_bin_f(op: BinOp, x: f32, y: f32) -> f32 {
+    match op {
+        BinOp::Add => x + y,
+        BinOp::Sub => x - y,
+        BinOp::Mul => x * y,
+        BinOp::Div => x / y,
+        BinOp::Rem => x % y,
+        BinOp::Min => x.min(y),
+        BinOp::Max => x.max(y),
+        _ => unreachable!("validated IR: logic/shift are integer-only"),
+    }
+}
+
+fn eval_cmp_i(cmp: CmpOp, x: i32, y: i32) -> bool {
+    match cmp {
+        CmpOp::Eq => x == y,
+        CmpOp::Ne => x != y,
+        CmpOp::Lt => x < y,
+        CmpOp::Le => x <= y,
+        CmpOp::Gt => x > y,
+        CmpOp::Ge => x >= y,
+    }
+}
+
+fn eval_cmp_f(cmp: CmpOp, x: f32, y: f32) -> bool {
+    match cmp {
+        CmpOp::Eq => x == y,
+        CmpOp::Ne => x != y,
+        CmpOp::Lt => x < y,
+        CmpOp::Le => x <= y,
+        CmpOp::Gt => x > y,
+        CmpOp::Ge => x >= y,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isp_ir::cfg::Cfg;
+    use isp_ir::IrBuilder;
+
+    fn run(
+        kernel: &Kernel,
+        grid: (u32, u32),
+        block_dim: (u32, u32),
+        block_idx: (u32, u32),
+        params: &[ParamValue],
+        buffers: &[DeviceBuffer],
+    ) -> Result<BlockRun, SimError> {
+        let device = DeviceSpec::gtx680();
+        let ipdom = Cfg::new(kernel).ipostdom();
+        run_block(&BlockContext {
+            kernel,
+            ipdom: &ipdom,
+            device: &device,
+            grid,
+            block_dim,
+            block_idx,
+            params,
+            buffers,
+        })
+    }
+
+    fn apply_writes(buffers: &mut [DeviceBuffer], run: &BlockRun) {
+        for &(buf, addr, bits) in &run.writes {
+            buffers[buf as usize].store_bits(addr, bits);
+        }
+    }
+
+    /// out[i] = in[i] * 2 for a 32x1 block.
+    #[test]
+    fn scale_kernel_computes_and_coalesces() {
+        let mut b = IrBuilder::new("scale", 2);
+        let x = b.sreg(SReg::TidX);
+        let v = b.ld(Ty::F32, 0, x);
+        let d = b.bin(BinOp::Mul, Ty::F32, v, 2.0f32);
+        b.st(1, x, d);
+        b.ret();
+        let k = b.finish();
+        let input: Vec<f32> = (0..32).map(|i| i as f32).collect();
+        let mut buffers = vec![DeviceBuffer::from_f32(&input), DeviceBuffer::zeroed(32)];
+        let r = run(&k, (1, 1), (32, 1), (0, 0), &[], &buffers).unwrap();
+        apply_writes(&mut buffers, &r);
+        let out = buffers[1].to_f32();
+        for i in 0..32 {
+            assert_eq!(out[i], 2.0 * i as f32);
+        }
+        // One fully coalesced load + one store = 2 transactions.
+        assert_eq!(r.counters.mem_transactions, 2);
+        assert_eq!(r.counters.loads, 1);
+        assert_eq!(r.counters.stores, 1);
+        assert_eq!(r.counters.threads_retired, 32);
+        assert_eq!(r.counters.divergent_branches, 0);
+    }
+
+    #[test]
+    fn divergent_branch_serialises_and_reconverges() {
+        // v = (tid < 16) ? computed-in-then : computed-in-else, where each
+        // side does distinct arithmetic; after the merge every lane adds 10
+        // and stores — verifying both sides ran and the warp reconverged.
+        let mut b = IrBuilder::new("diverge", 1);
+        let t = b.create_block("then");
+        let e = b.create_block("else");
+        let m = b.create_block("merge");
+        let x = b.sreg(SReg::TidX);
+        let p = b.setp(CmpOp::Lt, x, 16i32);
+        // Both sides write disjoint halves of the buffer (registers cannot
+        // merge across SSA branches without phis, so use memory).
+        b.cond_br(p, t, e);
+        b.switch_to(t);
+        let one = b.bin(BinOp::Add, Ty::F32, 0.5f32, 0.5f32); // 1.0
+        b.st(0, x, one);
+        b.br(m);
+        b.switch_to(e);
+        let two = b.bin(BinOp::Add, Ty::F32, 1.0f32, 1.0f32); // 2.0
+        b.st(0, x, two);
+        b.br(m);
+        b.switch_to(m);
+        let xf = b.cvt(Ty::F32, x);
+        let off = b.bin(BinOp::Add, Ty::S32, x, 32i32);
+        let w = b.bin(BinOp::Add, Ty::F32, xf, 10.0f32);
+        b.st(0, off, w);
+        b.ret();
+        let k = b.finish();
+        let mut buffers = vec![DeviceBuffer::zeroed(64)];
+        let r = run(&k, (1, 1), (32, 1), (0, 0), &[], &buffers).unwrap();
+        apply_writes(&mut buffers, &r);
+        let out = buffers[0].to_f32();
+        for i in 0..32 {
+            let expect = if i < 16 { 1.0 } else { 2.0 };
+            assert_eq!(out[i], expect, "lane {i} (divergent halves)");
+            assert_eq!(out[i + 32], i as f32 + 10.0, "lane {i} (after reconvergence)");
+        }
+        assert_eq!(r.counters.divergent_branches, 1);
+        assert_eq!(r.counters.threads_retired, 32);
+    }
+
+    #[test]
+    fn uniform_branch_does_not_diverge() {
+        let mut b = IrBuilder::new("uniform", 1);
+        let t = b.create_block("then");
+        let e = b.create_block("else");
+        let x = b.sreg(SReg::CtaIdX); // uniform across the warp
+        let p = b.setp(CmpOp::Lt, x, 1i32);
+        b.cond_br(p, t, e);
+        b.switch_to(t);
+        let tx = b.sreg(SReg::TidX);
+        b.st(0, tx, 1.0f32);
+        b.ret();
+        b.switch_to(e);
+        let tx2 = b.sreg(SReg::TidX);
+        b.st(0, tx2, 2.0f32);
+        b.ret();
+        let k = b.finish();
+        let buffers = vec![DeviceBuffer::zeroed(32)];
+        let r = run(&k, (2, 1), (32, 1), (0, 0), &[], &buffers).unwrap();
+        assert_eq!(r.counters.divergent_branches, 0);
+        assert_eq!(r.counters.conditional_branches, 1);
+    }
+
+    #[test]
+    fn out_of_bounds_load_is_reported() {
+        let mut b = IrBuilder::new("oob", 1);
+        let x = b.sreg(SReg::TidX);
+        let bad = b.bin(BinOp::Sub, Ty::S32, x, 5i32); // negative for lanes < 5
+        let v = b.ld(Ty::F32, 0, bad);
+        b.st(0, x, v);
+        b.ret();
+        let k = b.finish();
+        let buffers = vec![DeviceBuffer::zeroed(32)];
+        let err = run(&k, (1, 1), (32, 1), (0, 0), &[], &buffers).unwrap_err();
+        match err {
+            SimError::OutOfBounds { buf: 0, addr: -5, len: 32, is_store: false, .. } => {}
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_warp_masks_trailing_lanes() {
+        // 24x1 block: one warp with 8 inactive lanes; they must not store.
+        let mut b = IrBuilder::new("partial", 1);
+        let x = b.sreg(SReg::TidX);
+        b.st(0, x, 7.0f32);
+        b.ret();
+        let k = b.finish();
+        let mut buffers = vec![DeviceBuffer::zeroed(32)];
+        let r = run(&k, (1, 1), (24, 1), (0, 0), &[], &buffers).unwrap();
+        apply_writes(&mut buffers, &r);
+        let out = buffers[0].to_f32();
+        assert!(out[..24].iter().all(|&v| v == 7.0));
+        assert!(out[24..].iter().all(|&v| v == 0.0));
+        assert_eq!(r.counters.threads_retired, 24);
+    }
+
+    #[test]
+    fn two_dimensional_tids_and_warp_layout() {
+        // 16x4 block = 2 warps; warp 0 covers rows 0-1, warp 1 rows 2-3.
+        let mut b = IrBuilder::new("tid2d", 1);
+        let px = b.param("width", Ty::S32);
+        let x = b.sreg(SReg::TidX);
+        let y = b.sreg(SReg::TidY);
+        let w = b.ld_param(px);
+        let addr = b.mad(Ty::S32, y, w, x);
+        let yf = b.cvt(Ty::F32, y);
+        b.st(0, addr, yf);
+        b.ret();
+        let k = b.finish();
+        let mut buffers = vec![DeviceBuffer::zeroed(64)];
+        let r = run(&k, (1, 1), (16, 4), (0, 0), &[ParamValue::I32(16)], &buffers).unwrap();
+        apply_writes(&mut buffers, &r);
+        let out = buffers[0].to_f32();
+        for y in 0..4 {
+            for x in 0..16 {
+                assert_eq!(out[y * 16 + x], y as f32, "({x},{y})");
+            }
+        }
+        assert_eq!(r.counters.threads_retired, 64);
+    }
+
+    #[test]
+    fn predicated_wrap_implements_repeat_semantics() {
+        // The loop-free Repeat lowering the DSL emits: one conditional wrap
+        // per side, valid under the host-checked precondition radius < size.
+        //   r = tid - 3; if (r < 0) r += 8; if (r >= 8) r -= 8  (size 8)
+        let mut b = IrBuilder::new("wrap", 1);
+        let x = b.sreg(SReg::TidX);
+        let r0 = b.bin(BinOp::Sub, Ty::S32, x, 3i32);
+        let p_neg = b.setp(CmpOp::Lt, r0, 0i32);
+        let wrapped = b.bin(BinOp::Add, Ty::S32, r0, 8i32);
+        let r1 = b.selp(Ty::S32, wrapped, r0, p_neg);
+        let p_hi = b.setp(CmpOp::Ge, r1, 8i32);
+        let unwrapped = b.bin(BinOp::Sub, Ty::S32, r1, 8i32);
+        let r2 = b.selp(Ty::S32, unwrapped, r1, p_hi);
+        let f = b.cvt(Ty::F32, r2);
+        b.st(0, x, f);
+        b.ret();
+        let k = b.finish();
+        let mut buffers = vec![DeviceBuffer::zeroed(16)];
+        let r = run(&k, (1, 1), (16, 1), (0, 0), &[], &buffers).unwrap();
+        apply_writes(&mut buffers, &r);
+        let out = buffers[0].to_f32();
+        for i in 0..16i64 {
+            assert_eq!(out[i as usize], (i - 3).rem_euclid(8) as f32, "lane {i}");
+        }
+    }
+
+    #[test]
+    fn missing_param_is_bad_launch() {
+        let mut b = IrBuilder::new("noparam", 1);
+        let p = b.param("width", Ty::S32);
+        let w = b.ld_param(p);
+        b.st(0, w, 0.0f32);
+        b.ret();
+        let k = b.finish();
+        let buffers = vec![DeviceBuffer::zeroed(32)];
+        let err = run(&k, (1, 1), (32, 1), (0, 0), &[], &buffers).unwrap_err();
+        assert!(matches!(err, SimError::BadLaunch(_)));
+    }
+
+    #[test]
+    fn cycles_track_issue_costs() {
+        let mut b = IrBuilder::new("cost", 1);
+        let x = b.sreg(SReg::TidX); // mov: 1 cycle
+        let f = b.cvt(Ty::F32, x); // cvt: 2 on Kepler
+        let e = b.un(UnOp::Exp, Ty::F32, f); // sfu: 4
+        b.st(0, x, e); // st: 2 issue + 1 transaction * mem_transaction_cycles
+        b.ret(); // 1
+        let k = b.finish();
+        let buffers = vec![DeviceBuffer::zeroed(32)];
+        let r = run(&k, (1, 1), (32, 1), (0, 0), &[], &buffers).unwrap();
+        let mem = DeviceSpec::gtx680().mem_transaction_cycles;
+        assert_eq!(r.cycles, 1 + 2 + 4 + 2 + mem + 1);
+    }
+}
+
+#[cfg(test)]
+mod guard_tests {
+    use super::*;
+    use isp_ir::cfg::Cfg;
+    use isp_ir::{CmpOp, IrBuilder, SReg};
+
+    #[test]
+    fn infinite_loop_hits_runaway_guard() {
+        // while (tid >= 0) {} — never terminates; the guard must fire
+        // rather than hang.
+        let mut b = IrBuilder::new("spin", 1);
+        let header = b.create_block("header");
+        b.br(header);
+        b.switch_to(header);
+        let x = b.sreg(SReg::TidX);
+        let p = b.setp(CmpOp::Ge, x, 0i32); // always true
+        let exit = b.create_block("exit");
+        b.cond_br(p, header, exit);
+        b.switch_to(exit);
+        b.ret();
+        let k = b.finish();
+        let device = crate::device::DeviceSpec::gtx680();
+        let ipdom = Cfg::new(&k).ipostdom();
+        let buffers = vec![crate::memory::DeviceBuffer::zeroed(32)];
+        let err = run_block(&BlockContext {
+            kernel: &k,
+            ipdom: &ipdom,
+            device: &device,
+            grid: (1, 1),
+            block_dim: (32, 1),
+            block_idx: (0, 0),
+            params: &[],
+            buffers: &buffers,
+        })
+        .unwrap_err();
+        assert!(matches!(err, SimError::RunawayBlock { .. }), "{err}");
+    }
+
+    #[test]
+    fn texture_fetch_without_binding_errors() {
+        let mut b = IrBuilder::new("texless", 2);
+        let x = b.sreg(SReg::TidX);
+        let v = b.tex(0, x, x);
+        b.st(1, x, v);
+        b.ret();
+        let k = b.finish();
+        let device = crate::device::DeviceSpec::gtx680();
+        let ipdom = Cfg::new(&k).ipostdom();
+        let buffers = vec![
+            crate::memory::DeviceBuffer::zeroed(64), // no texture binding
+            crate::memory::DeviceBuffer::zeroed(64),
+        ];
+        let err = run_block(&BlockContext {
+            kernel: &k,
+            ipdom: &ipdom,
+            device: &device,
+            grid: (1, 1),
+            block_dim: (32, 1),
+            block_idx: (0, 0),
+            params: &[],
+            buffers: &buffers,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("no texture is bound"), "{err}");
+    }
+}
+
+#[cfg(test)]
+mod barrier_tests {
+    use super::*;
+    use isp_ir::cfg::Cfg;
+    use isp_ir::{BinOp, IrBuilder, SReg};
+
+    fn run_one(
+        k: &Kernel,
+        block_dim: (u32, u32),
+        buffers: &[DeviceBuffer],
+    ) -> Result<BlockRun, SimError> {
+        let device = DeviceSpec::gtx680();
+        let ipdom = Cfg::new(k).ipostdom();
+        run_block(&BlockContext {
+            kernel: k,
+            ipdom: &ipdom,
+            device: &device,
+            grid: (1, 1),
+            block_dim,
+            block_idx: (0, 0),
+            params: &[],
+            buffers,
+        })
+    }
+
+    /// Cooperative reverse across warps: thread i stores `i` to shared[i],
+    /// synchronises, then reads shared[N-1-i] — a value written by a thread
+    /// in the OTHER warp. Only correct if the barrier really phases
+    /// execution and shared memory is block-visible.
+    #[test]
+    fn barrier_makes_cross_warp_shared_writes_visible() {
+        const N: i32 = 64; // two warps
+        let mut b = IrBuilder::new("reverse", 1);
+        b.set_shared_elems(N as u32);
+        let bar = b.create_block("bar");
+        let after = b.create_block("after");
+        let tx = b.sreg(SReg::TidX);
+        let txf = b.cvt(Ty::F32, tx);
+        b.sts(tx, txf);
+        b.br(bar);
+        b.switch_to(bar);
+        b.bar();
+        b.br(after);
+        b.switch_to(after);
+        let nm1 = b.mov(Ty::S32, N - 1);
+        let rev = b.bin(BinOp::Sub, Ty::S32, nm1, tx);
+        let v = b.lds(rev);
+        b.st(0, tx, v);
+        b.ret();
+        let k = b.finish();
+        assert!(isp_ir::validate::validate(&k).is_empty(), "{:?}", isp_ir::validate::validate(&k));
+
+        let mut buffers = vec![DeviceBuffer::zeroed(N as usize)];
+        let r = run_one(&k, (N as u32, 1), &buffers).unwrap();
+        for &(buf, addr, bits) in &r.writes {
+            buffers[buf as usize].store_bits(addr, bits);
+        }
+        let out = buffers[0].to_f32();
+        for i in 0..N as usize {
+            assert_eq!(out[i], (N as usize - 1 - i) as f32, "thread {i}");
+        }
+        // Barrier charged once per warp.
+        assert_eq!(r.counters.histogram.get(InstrCategory::Bar2), 2);
+        assert_eq!(r.counters.histogram.get(InstrCategory::Shared), 4, "2 sts + 2 lds warps");
+    }
+
+    #[test]
+    fn shared_out_of_bounds_is_reported() {
+        let mut b = IrBuilder::new("oob_shared", 1);
+        b.set_shared_elems(16);
+        let tx = b.sreg(SReg::TidX); // 0..31 overruns the 16-element array
+        let f = b.cvt(Ty::F32, tx);
+        b.sts(tx, f);
+        b.st(0, tx, f);
+        b.ret();
+        let k = b.finish();
+        let buffers = vec![DeviceBuffer::zeroed(32)];
+        let err = run_one(&k, (32, 1), &buffers).unwrap_err();
+        assert!(err.to_string().contains("shared store out of bounds"), "{err}");
+    }
+
+    #[test]
+    fn divergent_barrier_is_rejected() {
+        // if (tid < 16) { bar; } else { } — divergence into a barrier.
+        let mut b = IrBuilder::new("divbar", 1);
+        b.set_shared_elems(4);
+        let bar = b.create_block("bar");
+        let merge = b.create_block("merge");
+        let tx = b.sreg(SReg::TidX);
+        let p = b.setp(isp_ir::CmpOp::Lt, tx, 16i32);
+        b.cond_br(p, bar, merge);
+        b.switch_to(bar);
+        b.bar();
+        b.br(merge);
+        b.switch_to(merge);
+        b.st(0, tx, 1.0f32);
+        b.ret();
+        let k = b.finish();
+        let buffers = vec![DeviceBuffer::zeroed(32)];
+        let err = run_one(&k, (32, 1), &buffers).unwrap_err();
+        assert!(err.to_string().contains("divergence"), "{err}");
+    }
+}

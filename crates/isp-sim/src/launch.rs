@@ -1,0 +1,497 @@
+//! Kernel launches: grid validation, block enumeration, exhaustive vs
+//! region-sampled execution, and report assembly.
+
+use crate::counters::PerfCounters;
+use crate::device::DeviceSpec;
+use crate::error::SimError;
+use crate::interp::{run_block, BlockContext, BlockRun};
+use crate::memory::DeviceBuffer;
+use crate::occupancy::{occupancy_with_shared, OccupancyResult};
+use crate::scheduler::{schedule, BlockCost, Timing};
+use isp_ir::kernel::Kernel;
+use isp_ir::regalloc;
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Hardware limit on threads per block (both simulated devices).
+pub const MAX_THREADS_PER_BLOCK: u32 = 1024;
+
+/// A scalar kernel argument.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamValue {
+    /// 32-bit signed integer argument.
+    I32(i32),
+    /// 32-bit float argument.
+    F32(f32),
+}
+
+/// Grid and block dimensions for a launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Grid size in blocks `(x, y)`.
+    pub grid: (u32, u32),
+    /// Block size in threads `(x, y)`.
+    pub block: (u32, u32),
+}
+
+impl LaunchConfig {
+    /// Grid covering a `width x height` iteration space with `block`-sized
+    /// blocks (rounding up, as `dim3((sx+tx-1)/tx, ...)` does).
+    pub fn for_image(width: usize, height: usize, block: (u32, u32)) -> Self {
+        LaunchConfig {
+            grid: (
+                (width as u32).div_ceil(block.0),
+                (height as u32).div_ceil(block.1),
+            ),
+            block,
+        }
+    }
+
+    /// Threads per block.
+    pub fn threads_per_block(&self) -> u32 {
+        self.block.0 * self.block.1
+    }
+
+    /// Total blocks in the grid.
+    pub fn total_blocks(&self) -> u64 {
+        self.grid.0 as u64 * self.grid.1 as u64
+    }
+}
+
+/// Per-class code-path information for fat (multi-region) kernels, indexed
+/// by class id. Distinguishes the *sampling* class (which blocks behave
+/// identically) from the *code path* (which instruction footprint an SM must
+/// fetch): a naive kernel has nine sampling classes (divergence differs at
+/// borders) but a single code path, while an ISP fat kernel has nine of
+/// each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathTable {
+    /// Code-path id per class (same id = no i-cache switch between them).
+    pub path_of_class: Vec<u32>,
+    /// Static instruction footprint of each class's code path.
+    pub footprint_of_class: Vec<u32>,
+}
+
+/// How to execute the launch.
+pub enum SimMode<'a> {
+    /// Interpret every block: exact pixels + exact counters. Writes are
+    /// applied to the buffers.
+    Exhaustive,
+    /// Interpret one representative block per class (as labelled by the
+    /// classifier) and extrapolate counters/timing by class population.
+    /// Buffers are NOT written — this mode estimates performance only.
+    /// Counters are exact when every block of a class executes identical
+    /// control flow, which holds for the ISP region decomposition.
+    RegionSampled {
+        /// Maps block coordinates to a class id.
+        classifier: &'a (dyn Fn(u32, u32) -> u32 + Sync),
+        /// Code-path identity/footprint per class; `None` = one shared code
+        /// path covering the whole kernel.
+        paths: Option<&'a PathTable>,
+    },
+}
+
+/// Everything a launch reports (the simulator's NVProf output).
+#[derive(Debug, Clone)]
+pub struct LaunchReport {
+    /// Aggregated performance counters.
+    pub counters: PerfCounters,
+    /// Wall-clock model output.
+    pub timing: Timing,
+    /// Theoretical occupancy achieved.
+    pub occupancy: OccupancyResult,
+    /// Registers per thread charged against the register file.
+    pub regs_per_thread: u32,
+    /// The launch geometry.
+    pub config: LaunchConfig,
+    /// Per-class `(class, blocks, cycles_per_block)` rows from sampled runs
+    /// (empty for exhaustive runs). Lets downstream analyses re-schedule the
+    /// same work under alternative execution strategies (e.g. the
+    /// multi-kernel ablation).
+    pub class_costs: Vec<(u32, u64, u64)>,
+}
+
+/// A simulated GPU: a device spec plus launch machinery.
+#[derive(Debug, Clone)]
+pub struct Gpu {
+    device: DeviceSpec,
+}
+
+impl Gpu {
+    /// Create a GPU from a device spec.
+    pub fn new(device: DeviceSpec) -> Self {
+        Gpu { device }
+    }
+
+    /// The device being simulated.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Launch `kernel` over `cfg`. See [`SimMode`] for the two modes.
+    pub fn launch(
+        &self,
+        kernel: &Kernel,
+        cfg: LaunchConfig,
+        params: &[ParamValue],
+        buffers: &mut [DeviceBuffer],
+        mode: SimMode<'_>,
+    ) -> Result<LaunchReport, SimError> {
+        self.validate(kernel, cfg, params, buffers)?;
+        let regs = regalloc::estimate(kernel).data_regs;
+        let occ = occupancy_with_shared(
+            &self.device,
+            cfg.threads_per_block(),
+            regs,
+            kernel.shared_elems * 4,
+        );
+        let ipdom = isp_ir::cfg::Cfg::new(kernel).ipostdom();
+
+        match mode {
+            SimMode::Exhaustive => {
+                self.launch_exhaustive(kernel, cfg, params, buffers, &ipdom, regs, occ)
+            }
+            SimMode::RegionSampled { classifier, paths } => self.launch_sampled(
+                kernel, cfg, params, buffers, &ipdom, regs, occ, classifier, paths,
+            ),
+        }
+    }
+
+    fn validate(
+        &self,
+        kernel: &Kernel,
+        cfg: LaunchConfig,
+        params: &[ParamValue],
+        buffers: &[DeviceBuffer],
+    ) -> Result<(), SimError> {
+        if cfg.grid.0 == 0 || cfg.grid.1 == 0 || cfg.block.0 == 0 || cfg.block.1 == 0 {
+            return Err(SimError::BadLaunch(format!(
+                "degenerate geometry grid={:?} block={:?}",
+                cfg.grid, cfg.block
+            )));
+        }
+        if cfg.threads_per_block() > MAX_THREADS_PER_BLOCK {
+            return Err(SimError::BadLaunch(format!(
+                "block of {} threads exceeds the {MAX_THREADS_PER_BLOCK}-thread limit",
+                cfg.threads_per_block()
+            )));
+        }
+        if buffers.len() != kernel.num_buffers as usize {
+            return Err(SimError::BadLaunch(format!(
+                "kernel '{}' expects {} buffers, got {}",
+                kernel.name,
+                kernel.num_buffers,
+                buffers.len()
+            )));
+        }
+        if params.len() != kernel.params.len() {
+            return Err(SimError::BadLaunch(format!(
+                "kernel '{}' expects {} scalar params, got {}",
+                kernel.name,
+                kernel.params.len(),
+                params.len()
+            )));
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn launch_exhaustive(
+        &self,
+        kernel: &Kernel,
+        cfg: LaunchConfig,
+        params: &[ParamValue],
+        buffers: &mut [DeviceBuffer],
+        ipdom: &[Option<isp_ir::kernel::BlockId>],
+        regs: u32,
+        occ: OccupancyResult,
+    ) -> Result<LaunchReport, SimError> {
+        let coords: Vec<(u32, u32)> = (0..cfg.grid.1)
+            .flat_map(|by| (0..cfg.grid.0).map(move |bx| (bx, by)))
+            .collect();
+        let shared: &[DeviceBuffer] = buffers;
+        let runs: Vec<Result<BlockRun, SimError>> = coords
+            .par_iter()
+            .map(|&(bx, by)| {
+                run_block(&BlockContext {
+                    kernel,
+                    ipdom,
+                    device: &self.device,
+                    grid: cfg.grid,
+                    block_dim: cfg.block,
+                    block_idx: (bx, by),
+                    params,
+                    buffers: shared,
+                })
+            })
+            .collect();
+
+        let mut counters = PerfCounters::new();
+        let mut costs = Vec::with_capacity(runs.len());
+        let footprint = kernel.static_len() as u32;
+        let mut all_writes: Vec<(u32, usize, u32)> = Vec::new();
+        for run in runs {
+            let run = run?;
+            counters.merge(&run.counters);
+            costs.push(BlockCost { class: 0, cycles: run.cycles, static_footprint: footprint });
+            all_writes.extend(run.writes);
+        }
+        for (buf, addr, bits) in all_writes {
+            buffers[buf as usize].store_bits(addr, bits);
+        }
+        let timing = schedule(&self.device, &occ, costs);
+        Ok(LaunchReport {
+            counters,
+            timing,
+            occupancy: occ,
+            regs_per_thread: regs,
+            config: cfg,
+            class_costs: Vec::new(),
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn launch_sampled(
+        &self,
+        kernel: &Kernel,
+        cfg: LaunchConfig,
+        params: &[ParamValue],
+        buffers: &[DeviceBuffer],
+        ipdom: &[Option<isp_ir::kernel::BlockId>],
+        regs: u32,
+        occ: OccupancyResult,
+        classifier: &(dyn Fn(u32, u32) -> u32 + Sync),
+        paths: Option<&PathTable>,
+    ) -> Result<LaunchReport, SimError> {
+        // Walk the grid once: count classes and remember a representative.
+        let mut class_count: HashMap<u32, u64> = HashMap::new();
+        let mut class_rep: HashMap<u32, (u32, u32)> = HashMap::new();
+        for by in 0..cfg.grid.1 {
+            for bx in 0..cfg.grid.0 {
+                let c = classifier(bx, by);
+                *class_count.entry(c).or_insert(0) += 1;
+                class_rep.entry(c).or_insert((bx, by));
+            }
+        }
+
+        // Interpret each representative once (in parallel).
+        let mut reps: Vec<(u32, (u32, u32))> = class_rep.into_iter().collect();
+        reps.sort_unstable();
+        let runs: Vec<(u32, Result<BlockRun, SimError>)> = reps
+            .par_iter()
+            .map(|&(c, (bx, by))| {
+                (
+                    c,
+                    run_block(&BlockContext {
+                        kernel,
+                        ipdom,
+                        device: &self.device,
+                        grid: cfg.grid,
+                        block_dim: cfg.block,
+                        block_idx: (bx, by),
+                        params,
+                        buffers,
+                    }),
+                )
+            })
+            .collect();
+
+        let mut class_cycles: HashMap<u32, u64> = HashMap::new();
+        let mut counters = PerfCounters::new();
+        let footprint = kernel.static_len() as u32;
+        for (c, run) in runs {
+            let run = run?;
+            let n = class_count[&c];
+            counters.merge(&run.counters.scaled(n));
+            class_cycles.insert(c, run.cycles);
+        }
+
+        // Schedule the full grid in dispatch order with per-class costs.
+        let costs = (0..cfg.grid.1).flat_map(|by| (0..cfg.grid.0).map(move |bx| (bx, by))).map(
+            |(bx, by)| {
+                let c = classifier(bx, by);
+                let (path, fp) = match paths {
+                    Some(t) => (
+                        t.path_of_class.get(c as usize).copied().unwrap_or(0),
+                        t.footprint_of_class.get(c as usize).copied().unwrap_or(footprint),
+                    ),
+                    None => (0, footprint),
+                };
+                BlockCost { class: path, cycles: class_cycles[&c], static_footprint: fp }
+            },
+        );
+        let timing = schedule(&self.device, &occ, costs);
+        let mut class_costs: Vec<(u32, u64, u64)> = class_cycles
+            .iter()
+            .map(|(&c, &cyc)| (c, class_count[&c], cyc))
+            .collect();
+        class_costs.sort_unstable();
+        Ok(LaunchReport {
+            counters,
+            timing,
+            occupancy: occ,
+            regs_per_thread: regs,
+            config: cfg,
+            class_costs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isp_ir::{BinOp, CmpOp, IrBuilder, SReg, Ty};
+
+    /// out[gid] = in[gid] + blockIdx.x, over a (gx, gy) grid of 32x4 blocks,
+    /// guarded against the right/bottom image edge.
+    fn grid_kernel() -> Kernel {
+        let mut b = IrBuilder::new("grid", 2);
+        let pw = b.param("width", Ty::S32);
+        let ph = b.param("height", Ty::S32);
+        let body = b.create_block("body");
+        let exit = b.create_block("exit");
+        let tx = b.sreg(SReg::TidX);
+        let ty = b.sreg(SReg::TidY);
+        let bx = b.sreg(SReg::CtaIdX);
+        let by = b.sreg(SReg::CtaIdY);
+        let ntx = b.sreg(SReg::NTidX);
+        let nty = b.sreg(SReg::NTidY);
+        let gx = b.mad(Ty::S32, bx, ntx, tx);
+        let gy = b.mad(Ty::S32, by, nty, ty);
+        let w = b.ld_param(pw);
+        let h = b.ld_param(ph);
+        let px = b.setp(CmpOp::Lt, gx, w);
+        let py = b.setp(CmpOp::Lt, gy, h);
+        let p = b.bin(BinOp::And, Ty::Pred, px, py);
+        b.cond_br(p, body, exit);
+        b.switch_to(body);
+        let addr = b.mad(Ty::S32, gy, w, gx);
+        let v = b.ld(Ty::F32, 0, addr);
+        let bxf = b.cvt(Ty::F32, bx);
+        let r = b.bin(BinOp::Add, Ty::F32, v, bxf);
+        b.st(1, addr, r);
+        b.br(exit);
+        b.switch_to(exit);
+        b.ret();
+        b.finish()
+    }
+
+    #[test]
+    fn exhaustive_launch_full_grid() {
+        let k = grid_kernel();
+        let gpu = Gpu::new(DeviceSpec::gtx680());
+        let (w, h) = (64usize, 8usize);
+        let cfg = LaunchConfig::for_image(w, h, (32, 4));
+        assert_eq!(cfg.grid, (2, 2));
+        let input: Vec<f32> = (0..w * h).map(|i| i as f32).collect();
+        let mut buffers = vec![DeviceBuffer::from_f32(&input), DeviceBuffer::zeroed(w * h)];
+        let report = gpu
+            .launch(
+                &k,
+                cfg,
+                &[ParamValue::I32(w as i32), ParamValue::I32(h as i32)],
+                &mut buffers,
+                SimMode::Exhaustive,
+            )
+            .unwrap();
+        let out = buffers[1].to_f32();
+        for y in 0..h {
+            for x in 0..w {
+                let expect = (y * w + x) as f32 + (x / 32) as f32;
+                assert_eq!(out[y * w + x], expect, "({x},{y})");
+            }
+        }
+        assert_eq!(report.counters.blocks, 4);
+        assert_eq!(report.counters.threads_retired, (w * h) as u64);
+        assert!(report.timing.cycles > 0);
+        assert!(report.occupancy.occupancy > 0.0);
+    }
+
+    #[test]
+    fn ragged_edge_is_masked() {
+        let k = grid_kernel();
+        let gpu = Gpu::new(DeviceSpec::gtx680());
+        // 48x6 image with 32x4 blocks: right column and bottom row ragged.
+        let (w, h) = (48usize, 6usize);
+        let cfg = LaunchConfig::for_image(w, h, (32, 4));
+        assert_eq!(cfg.grid, (2, 2));
+        let mut buffers =
+            vec![DeviceBuffer::from_f32(&vec![1.0; w * h]), DeviceBuffer::zeroed(w * h)];
+        let report = gpu
+            .launch(
+                &k,
+                cfg,
+                &[ParamValue::I32(w as i32), ParamValue::I32(h as i32)],
+                &mut buffers,
+                SimMode::Exhaustive,
+            )
+            .unwrap();
+        // Only w*h threads may store.
+        assert!(report.counters.stores > 0);
+        let out = buffers[1].to_f32();
+        assert!(out.iter().all(|&v| v >= 1.0));
+    }
+
+    #[test]
+    fn sampled_counters_match_exhaustive_for_uniform_classes() {
+        let k = grid_kernel();
+        let gpu = Gpu::new(DeviceSpec::gtx680());
+        let (w, h) = (128usize, 16usize);
+        let cfg = LaunchConfig::for_image(w, h, (32, 4)); // 4x4 grid
+        let params = [ParamValue::I32(w as i32), ParamValue::I32(h as i32)];
+        let input: Vec<f32> = vec![2.0; w * h];
+        let mut b1 = vec![DeviceBuffer::from_f32(&input), DeviceBuffer::zeroed(w * h)];
+        let ex = gpu.launch(&k, cfg, &params, &mut b1, SimMode::Exhaustive).unwrap();
+        let mut b2 = vec![DeviceBuffer::from_f32(&input), DeviceBuffer::zeroed(w * h)];
+        // All blocks behave identically here: a single class is exact.
+        let sa = gpu
+            .launch(&k, cfg, &params, &mut b2, SimMode::RegionSampled { classifier: &|_, _| 0, paths: None })
+            .unwrap();
+        assert_eq!(ex.counters.warp_instructions, sa.counters.warp_instructions);
+        assert_eq!(ex.counters.mem_transactions, sa.counters.mem_transactions);
+        assert_eq!(ex.counters.histogram, sa.counters.histogram);
+        assert_eq!(ex.timing.cycles, sa.timing.cycles);
+        // Sampled mode must not write pixels.
+        assert!(b2[1].to_f32().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn launch_validation_errors() {
+        let k = grid_kernel();
+        let gpu = Gpu::new(DeviceSpec::gtx680());
+        let params = [ParamValue::I32(32), ParamValue::I32(4)];
+        let mut buffers = vec![DeviceBuffer::zeroed(128), DeviceBuffer::zeroed(128)];
+        // Too many threads.
+        let bad = LaunchConfig { grid: (1, 1), block: (64, 32) };
+        assert!(matches!(
+            gpu.launch(&k, bad, &params, &mut buffers, SimMode::Exhaustive),
+            Err(SimError::BadLaunch(_))
+        ));
+        // Missing buffer.
+        let cfg = LaunchConfig { grid: (1, 1), block: (32, 4) };
+        let mut one = vec![DeviceBuffer::zeroed(128)];
+        assert!(matches!(
+            gpu.launch(&k, cfg, &params, &mut one, SimMode::Exhaustive),
+            Err(SimError::BadLaunch(_))
+        ));
+        // Missing param.
+        assert!(matches!(
+            gpu.launch(&k, cfg, &[ParamValue::I32(32)], &mut buffers, SimMode::Exhaustive),
+            Err(SimError::BadLaunch(_))
+        ));
+        // Degenerate grid.
+        let zero = LaunchConfig { grid: (0, 1), block: (32, 4) };
+        assert!(matches!(
+            gpu.launch(&k, zero, &params, &mut buffers, SimMode::Exhaustive),
+            Err(SimError::BadLaunch(_))
+        ));
+    }
+
+    #[test]
+    fn for_image_rounds_up() {
+        let cfg = LaunchConfig::for_image(100, 50, (32, 4));
+        assert_eq!(cfg.grid, (4, 13));
+        assert_eq!(cfg.threads_per_block(), 128);
+        assert_eq!(cfg.total_blocks(), 52);
+    }
+}

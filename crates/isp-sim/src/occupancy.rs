@@ -1,0 +1,202 @@
+//! Theoretical occupancy calculation (the CUDA Occupancy Calculator,
+//! reimplemented).
+//!
+//! Occupancy = resident warps / maximum warps per SM, where residency is
+//! limited by three resources: thread slots, block slots, and the register
+//! file. This is the `O_naive` / `O_ISP` input of the paper's prediction
+//! model `G = R_reduced * O_ISP / O_naive` (Eq. 10).
+
+use crate::device::DeviceSpec;
+
+/// Result of an occupancy query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OccupancyResult {
+    /// Blocks resident per SM.
+    pub blocks_per_sm: u32,
+    /// Warps resident per SM.
+    pub warps_per_sm: u32,
+    /// `warps_per_sm / device.max_warps_per_sm` in `[0, 1]`.
+    pub occupancy: f64,
+    /// Which resource limited residency.
+    pub limiter: Limiter,
+}
+
+/// The resource that capped occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limiter {
+    /// Thread/warp slots per SM.
+    Threads,
+    /// Block slots per SM.
+    Blocks,
+    /// Register file capacity.
+    Registers,
+    /// Shared memory capacity.
+    SharedMemory,
+}
+
+/// Compute theoretical occupancy for a kernel using `regs_per_thread`
+/// registers, launched with `threads_per_block` threads per block (no
+/// shared memory).
+pub fn occupancy(device: &DeviceSpec, threads_per_block: u32, regs_per_thread: u32) -> OccupancyResult {
+    occupancy_with_shared(device, threads_per_block, regs_per_thread, 0)
+}
+
+/// [`occupancy`] with a per-block shared-memory footprint in bytes.
+pub fn occupancy_with_shared(
+    device: &DeviceSpec,
+    threads_per_block: u32,
+    regs_per_thread: u32,
+    shared_bytes_per_block: u32,
+) -> OccupancyResult {
+    assert!(threads_per_block > 0, "empty blocks are not launchable");
+    assert!(
+        threads_per_block <= device.max_threads_per_sm,
+        "block of {threads_per_block} threads exceeds the SM thread limit"
+    );
+    // The toolchain clamps at the hard per-thread cap (spilling beyond it).
+    let regs = regs_per_thread.min(device.max_regs_per_thread).max(1);
+    let warps_per_block = threads_per_block.div_ceil(device.warp_size);
+
+    let by_threads = device.max_threads_per_sm / threads_per_block;
+    let by_blocks = device.max_blocks_per_sm;
+    // Registers are allocated per block with rounding to the granularity.
+    let regs_per_block = {
+        let raw = regs * threads_per_block;
+        raw.div_ceil(device.reg_alloc_granularity) * device.reg_alloc_granularity
+    };
+    // When even a single block's registers exceed the file, the toolchain
+    // forces spilling until the block fits — residency never drops below 1.
+    let by_regs = (device.regs_per_sm / regs_per_block).max(1);
+
+    // Shared memory: like registers, forced to fit at least one block.
+    let by_shared = if shared_bytes_per_block == 0 {
+        u32::MAX
+    } else {
+        (device.shared_mem_per_sm / shared_bytes_per_block).max(1)
+    };
+
+    let (blocks, limiter) = [
+        (by_threads, Limiter::Threads),
+        (by_blocks, Limiter::Blocks),
+        (by_regs, Limiter::Registers),
+        (by_shared, Limiter::SharedMemory),
+    ]
+    .into_iter()
+    .min_by_key(|&(b, _)| b)
+    .expect("non-empty candidate list");
+
+    let warps = (blocks * warps_per_block).min(device.max_warps_per_sm);
+    OccupancyResult {
+        blocks_per_sm: blocks,
+        warps_per_sm: warps,
+        occupancy: warps as f64 / device.max_warps_per_sm as f64,
+        limiter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+    use proptest::prelude::*;
+
+    #[test]
+    fn full_occupancy_with_few_registers_kepler() {
+        let d = DeviceSpec::gtx680();
+        // 128-thread blocks, 32 regs/thread: 16 blocks fit exactly.
+        let r = occupancy(&d, 128, 32);
+        assert_eq!(r.blocks_per_sm, 16);
+        assert_eq!(r.warps_per_sm, 64);
+        assert_eq!(r.occupancy, 1.0);
+    }
+
+    #[test]
+    fn register_pressure_reduces_occupancy_on_kepler_not_turing() {
+        // The paper's §VI-A.2 mechanism, in one test: a kernel using 40
+        // registers per thread loses occupancy on Kepler but stays at full
+        // occupancy on Turing (whose SM has twice the registers per thread).
+        let k = DeviceSpec::gtx680();
+        let t = DeviceSpec::rtx2080();
+        let ok = occupancy(&k, 128, 40);
+        let ot = occupancy(&t, 128, 40);
+        assert!(ok.occupancy < 1.0, "Kepler must lose occupancy: {ok:?}");
+        assert_eq!(ok.limiter, Limiter::Registers);
+        assert_eq!(ot.occupancy, 1.0, "Turing must not: {ot:?}");
+    }
+
+    #[test]
+    fn more_registers_never_increase_occupancy() {
+        let d = DeviceSpec::gtx680();
+        let mut prev = f64::INFINITY;
+        for regs in (8..=63).step_by(5) {
+            let o = occupancy(&d, 128, regs).occupancy;
+            assert!(o <= prev, "occupancy must be monotone non-increasing in regs");
+            prev = o;
+        }
+    }
+
+    #[test]
+    fn block_slot_limit() {
+        let d = DeviceSpec::gtx680();
+        // 32-thread blocks: thread slots allow 64 blocks but only 16 slots.
+        let r = occupancy(&d, 32, 16);
+        assert_eq!(r.blocks_per_sm, 16);
+        assert_eq!(r.limiter, Limiter::Blocks);
+        assert_eq!(r.warps_per_sm, 16);
+        assert!((r.occupancy - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thread_slot_limit() {
+        let d = DeviceSpec::rtx2080();
+        let r = occupancy(&d, 1024, 16);
+        assert_eq!(r.blocks_per_sm, 1);
+        assert_eq!(r.limiter, Limiter::Threads);
+        assert_eq!(r.occupancy, 1.0);
+    }
+
+    #[test]
+    fn regs_clamped_at_device_cap() {
+        let d = DeviceSpec::gtx680();
+        // 200 regs/thread is beyond Kepler's 63-reg cap: spilled, not fatal.
+        let r = occupancy(&d, 256, 200);
+        let r63 = occupancy(&d, 256, 63);
+        assert_eq!(r, r63);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_block_rejected() {
+        let d = DeviceSpec::rtx2080();
+        let _ = occupancy(&d, 2048, 16);
+    }
+
+    proptest! {
+        #[test]
+        fn occupancy_always_in_unit_interval(
+            threads in 32u32..=1024,
+            regs in 1u32..255,
+        ) {
+            for d in DeviceSpec::all() {
+                if threads > d.max_threads_per_sm { continue; }
+                let r = occupancy(&d, threads, regs);
+                prop_assert!(r.occupancy > 0.0 && r.occupancy <= 1.0);
+                prop_assert!(r.blocks_per_sm >= 1);
+                prop_assert!(r.warps_per_sm <= d.max_warps_per_sm);
+            }
+        }
+
+        #[test]
+        fn resident_registers_fit_the_file(
+            threads in 32u32..=1024,
+            regs in 1u32..63,
+        ) {
+            let d = DeviceSpec::gtx680();
+            if threads > d.max_threads_per_sm { return Ok(()); }
+            let r = occupancy(&d, threads, regs);
+            let per_block =
+                (regs * threads).div_ceil(d.reg_alloc_granularity) * d.reg_alloc_granularity;
+            prop_assert!(r.blocks_per_sm * per_block <= d.regs_per_sm);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! NVProf-style launch reports: derived metrics and a formatted printout
+//! from a [`LaunchReport`] — the simulator's answer to "The execution time
+//! is obtained from the output of NVProf" (paper §VI).
+
+use crate::device::DeviceSpec;
+use crate::launch::LaunchReport;
+use isp_ir::InstrCategory;
+use std::fmt::Write;
+
+/// Derived metrics computed from a launch report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DerivedMetrics {
+    /// Warp instructions issued per cycle across the whole device
+    /// (an IPC-like utilisation figure).
+    pub warp_ipc: f64,
+    /// Fraction of conditional branches that diverged.
+    pub divergence_rate: f64,
+    /// Average 128-byte transactions per global memory warp-instruction.
+    pub transactions_per_access: f64,
+    /// Fraction of issue cycles spent on arithmetic categories.
+    pub arithmetic_fraction: f64,
+    /// Fraction of issue cycles spent on memory categories (issue slots +
+    /// transactions).
+    pub memory_fraction: f64,
+    /// Simulated wall-clock in milliseconds.
+    pub millis: f64,
+}
+
+/// Compute derived metrics from a report.
+pub fn derive(device: &DeviceSpec, report: &LaunchReport) -> DerivedMetrics {
+    let c = &report.counters;
+    let mem_instrs = c.loads + c.stores;
+    let mut arith_cycles = 0u64;
+    let mut mem_cycles = c.mem_transactions * device.mem_transaction_cycles;
+    let mut total_issue = 0u64;
+    for (cat, n) in c.histogram.iter() {
+        let cost = n * device.issue_cost(cat);
+        total_issue += cost;
+        if cat.is_arithmetic() {
+            arith_cycles += cost;
+        }
+        if matches!(cat, InstrCategory::Ld | InstrCategory::Tex | InstrCategory::St) {
+            mem_cycles += cost;
+        }
+    }
+    let busy = (total_issue + c.mem_transactions * device.mem_transaction_cycles).max(1);
+    DerivedMetrics {
+        warp_ipc: c.warp_instructions as f64 / report.timing.cycles.max(1) as f64,
+        divergence_rate: c.divergence_rate(),
+        transactions_per_access: if mem_instrs == 0 {
+            0.0
+        } else {
+            c.mem_transactions as f64 / mem_instrs as f64
+        },
+        arithmetic_fraction: arith_cycles as f64 / busy as f64,
+        memory_fraction: mem_cycles as f64 / busy as f64,
+        millis: report.timing.millis,
+    }
+}
+
+/// Render a human-readable profile, NVProf style.
+pub fn format_report(device: &DeviceSpec, name: &str, report: &LaunchReport) -> String {
+    let m = derive(device, report);
+    let c = &report.counters;
+    let mut s = String::new();
+    let _ = writeln!(s, "==PROF== {name} on {}", device.name);
+    let _ = writeln!(
+        s,
+        "  grid {}x{}, block {}x{} ({} threads), {} blocks total",
+        report.config.grid.0,
+        report.config.grid.1,
+        report.config.block.0,
+        report.config.block.1,
+        report.config.threads_per_block(),
+        report.config.total_blocks()
+    );
+    let _ = writeln!(
+        s,
+        "  time {:.3} ms ({} cycles), {:.2} waves",
+        m.millis, report.timing.cycles, report.timing.waves
+    );
+    let _ = writeln!(
+        s,
+        "  occupancy {:.3} ({} blocks/SM, limited by {:?}), {} regs/thread",
+        report.occupancy.occupancy,
+        report.occupancy.blocks_per_sm,
+        report.occupancy.limiter,
+        report.regs_per_thread
+    );
+    let _ = writeln!(
+        s,
+        "  {} warp-instructions (IPC {:.3}), divergence {:.1}%",
+        c.warp_instructions,
+        m.warp_ipc,
+        m.divergence_rate * 100.0
+    );
+    let _ = writeln!(
+        s,
+        "  {} mem transactions ({:.2} per access), pipes: {:.0}% arith / {:.0}% mem",
+        c.mem_transactions,
+        m.transactions_per_access,
+        m.arithmetic_fraction * 100.0,
+        m.memory_fraction * 100.0
+    );
+    let _ = writeln!(s, "  instruction mix: {}", c.histogram);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::launch::{Gpu, LaunchConfig, ParamValue, SimMode};
+    use crate::memory::DeviceBuffer;
+    use isp_ir::{BinOp, CmpOp, IrBuilder, SReg, Ty};
+
+    fn sample_report() -> (DeviceSpec, LaunchReport) {
+        // Simple kernel with a divergent branch and memory traffic.
+        let mut b = IrBuilder::new("prof", 2);
+        let t = b.create_block("t");
+        let e = b.create_block("e");
+        let m = b.create_block("m");
+        let x = b.sreg(SReg::TidX);
+        let p = b.setp(CmpOp::Lt, x, 16i32);
+        b.cond_br(p, t, e);
+        b.switch_to(t);
+        b.br(m);
+        b.switch_to(e);
+        b.br(m);
+        b.switch_to(m);
+        let v = b.ld(Ty::F32, 0, x);
+        let w = b.bin(BinOp::Mul, Ty::F32, v, 2.0f32);
+        b.st(1, x, w);
+        b.ret();
+        let k = b.finish();
+        let device = DeviceSpec::gtx680();
+        let gpu = Gpu::new(device.clone());
+        let mut buffers = vec![DeviceBuffer::zeroed(64), DeviceBuffer::zeroed(64)];
+        let report = gpu
+            .launch(
+                &k,
+                LaunchConfig { grid: (2, 1), block: (32, 1) },
+                &[] as &[ParamValue],
+                &mut buffers,
+                SimMode::Exhaustive,
+            )
+            .unwrap();
+        (device, report)
+    }
+
+    #[test]
+    fn derived_metrics_are_sane() {
+        let (device, report) = sample_report();
+        let m = derive(&device, &report);
+        assert!(m.warp_ipc > 0.0);
+        assert_eq!(m.divergence_rate, 1.0, "tid<16 always diverges in a 32-warp");
+        assert!(m.transactions_per_access >= 1.0);
+        assert!(m.arithmetic_fraction > 0.0 && m.arithmetic_fraction < 1.0);
+        assert!(m.memory_fraction > 0.0 && m.memory_fraction < 1.0);
+        assert!(m.millis > 0.0);
+    }
+
+    #[test]
+    fn report_contains_key_lines() {
+        let (device, report) = sample_report();
+        let text = format_report(&device, "prof", &report);
+        assert!(text.contains("==PROF== prof on GTX680"));
+        assert!(text.contains("grid 2x1, block 32x1 (32 threads), 2 blocks total"));
+        assert!(text.contains("occupancy"));
+        assert!(text.contains("divergence 100.0%"));
+        assert!(text.contains("instruction mix"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Block dispatch and the cycle/time model.
+//!
+//! Blocks are assigned greedily to the earliest-finishing SM (the behaviour
+//! of the hardware GigaThread engine), each SM's issue throughput is scaled
+//! by achieved occupancy (the paper's "more rounds" cost, Eq. 10), and two
+//! second-order effects are charged that the paper's *analytic model* leaves
+//! out — which is exactly what produces its mispredictions near crossover
+//! points:
+//!
+//! - a fixed kernel **launch overhead** (dominates tiny grids);
+//! - an **instruction-fetch penalty** when an SM switches between blocks
+//!   executing different specialised regions of a fat ISP kernel (i-cache
+//!   locality; irrelevant for the naive kernel where every block runs the
+//!   same code).
+
+use crate::device::DeviceSpec;
+use crate::occupancy::OccupancyResult;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Cost descriptor of one block for scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockCost {
+    /// Opaque class id: blocks of the same class execute the same code path
+    /// (for ISP kernels, the region; for naive kernels, a single class).
+    pub class: u32,
+    /// Issue cycles of the block as measured by the interpreter.
+    pub cycles: u64,
+    /// Static instruction footprint of the code path this class executes
+    /// (drives the i-cache switch penalty).
+    pub static_footprint: u32,
+}
+
+/// Wall-clock result of a simulated launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Timing {
+    /// Total cycles from launch to last block retiring.
+    pub cycles: u64,
+    /// `cycles` at the device clock.
+    pub millis: f64,
+    /// Average dispatch waves per SM (`blocks / (blocks_per_sm * sms)`).
+    pub waves: f64,
+}
+
+/// Schedule `blocks` (in dispatch order) onto `device` and return timing.
+pub fn schedule(
+    device: &DeviceSpec,
+    occ: &OccupancyResult,
+    blocks: impl IntoIterator<Item = BlockCost>,
+) -> Timing {
+    // Issue-throughput derating: below the saturation occupancy the SM
+    // cannot hide latency and slows proportionally.
+    let f = (occ.occupancy / device.saturation_occupancy).clamp(1e-6, 1.0);
+
+    // Min-heap of (finish_cycles, sm) plus the last class each SM ran.
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> =
+        (0..device.num_sms).map(|s| Reverse((0u64, s))).collect();
+    let mut last_class: Vec<Option<u32>> = vec![None; device.num_sms as usize];
+
+    let mut total_blocks = 0u64;
+    let mut max_finish = 0u64;
+    for b in blocks {
+        total_blocks += 1;
+        let Reverse((busy, sm)) = heap.pop().expect("at least one SM");
+        let icache = if last_class[sm as usize] == Some(b.class) {
+            0
+        } else {
+            device.icache_switch_cycles_per_100_instrs * (b.static_footprint as u64) / 100
+        };
+        last_class[sm as usize] = Some(b.class);
+        let effective = ((b.cycles + icache) as f64 / f).round() as u64;
+        let finish = busy + effective;
+        max_finish = max_finish.max(finish);
+        heap.push(Reverse((finish, sm)));
+    }
+
+    let cycles = device.launch_overhead_cycles + max_finish;
+    let concurrent = (occ.blocks_per_sm as u64 * device.num_sms as u64).max(1);
+    Timing {
+        cycles,
+        millis: device.cycles_to_ms(cycles),
+        waves: total_blocks as f64 / concurrent as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occupancy::occupancy;
+
+    fn occ_full(device: &DeviceSpec) -> OccupancyResult {
+        occupancy(device, 128, 24)
+    }
+
+    fn uniform(n: u64, cycles: u64) -> Vec<BlockCost> {
+        (0..n).map(|_| BlockCost { class: 0, cycles, static_footprint: 100 }).collect()
+    }
+
+    #[test]
+    fn empty_launch_is_pure_overhead() {
+        let d = DeviceSpec::gtx680();
+        let t = schedule(&d, &occ_full(&d), []);
+        assert_eq!(t.cycles, d.launch_overhead_cycles);
+        assert_eq!(t.waves, 0.0);
+    }
+
+    #[test]
+    fn single_block_pays_full_cost_plus_one_icache_fill() {
+        let d = DeviceSpec::gtx680();
+        let t = schedule(&d, &occ_full(&d), uniform(1, 1000));
+        let icache = d.icache_switch_cycles_per_100_instrs; // footprint 100
+        assert_eq!(t.cycles, d.launch_overhead_cycles + 1000 + icache);
+    }
+
+    #[test]
+    fn blocks_distribute_across_sms() {
+        let d = DeviceSpec::gtx680(); // 8 SMs
+        let one = schedule(&d, &occ_full(&d), uniform(1, 1000)).cycles;
+        let eight = schedule(&d, &occ_full(&d), uniform(8, 1000)).cycles;
+        // 8 equal blocks on 8 SMs take the same time as 1.
+        assert_eq!(one, eight);
+        let nine = schedule(&d, &occ_full(&d), uniform(9, 1000)).cycles;
+        assert!(nine > eight, "ninth block forms a second wave on one SM");
+    }
+
+    #[test]
+    fn low_occupancy_slows_execution() {
+        let d = DeviceSpec::gtx680();
+        let full = occupancy(&d, 128, 24); // 1.0
+        let half = occupancy(&d, 128, 63); // register-limited
+        assert!(half.occupancy < full.occupancy);
+        let blocks = uniform(64, 10_000);
+        let t_full = schedule(&d, &full, blocks.clone());
+        let t_half = schedule(&d, &half, blocks);
+        assert!(t_half.cycles > t_full.cycles);
+        // Slowdown of the execution phase (excluding the fixed launch
+        // overhead) tracks the occupancy ratio — the paper's Eq. 10.
+        let measured = (t_half.cycles - d.launch_overhead_cycles) as f64
+            / (t_full.cycles - d.launch_overhead_cycles) as f64;
+        let predicted = full.occupancy / half.occupancy;
+        assert!((measured / predicted - 1.0).abs() < 0.05, "{measured} vs {predicted}");
+    }
+
+    #[test]
+    fn region_alternation_pays_icache_penalty() {
+        let d = DeviceSpec::gtx680();
+        let occ = occ_full(&d);
+        let same: Vec<BlockCost> =
+            (0..64).map(|_| BlockCost { class: 0, cycles: 1000, static_footprint: 2000 }).collect();
+        // Alternate classes wave by wave (8 SMs -> every SM sees a class
+        // change between consecutive blocks it runs).
+        let alternating: Vec<BlockCost> = (0..64)
+            .map(|i| BlockCost { class: (i / 8) % 2, cycles: 1000, static_footprint: 2000 })
+            .collect();
+        let t_same = schedule(&d, &occ, same);
+        let t_alt = schedule(&d, &occ, alternating);
+        assert!(t_alt.cycles > t_same.cycles, "{t_alt:?} vs {t_same:?}");
+    }
+
+    #[test]
+    fn waves_reflect_concurrency() {
+        let d = DeviceSpec::gtx680();
+        let occ = occupancy(&d, 128, 24); // 16 blocks/SM * 8 SMs = 128
+        let t = schedule(&d, &occ, uniform(256, 100));
+        assert!((t.waves - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalanced_blocks_bound_by_slowest_chain() {
+        let d = DeviceSpec::gtx680();
+        let occ = occ_full(&d);
+        let mut blocks = uniform(7, 100);
+        blocks.push(BlockCost { class: 0, cycles: 50_000, static_footprint: 100 });
+        let t = schedule(&d, &occ, blocks);
+        let icache = d.icache_switch_cycles_per_100_instrs;
+        assert_eq!(t.cycles, d.launch_overhead_cycles + 50_000 + icache);
+    }
+}

@@ -1,0 +1,82 @@
+//! A small command-line filter tool — the "downstream user" face of the
+//! library: read a PGM image (or generate a test image), run any of the
+//! built-in applications on the simulated GPU with a chosen border pattern
+//! and variant policy, and write the result as PGM.
+//!
+//! Usage:
+//!   cargo run --release --example filter_cli -- \
+//!       [--input img.pgm] [--app gaussian] [--pattern mirror] \
+//!       [--policy model] [--device rtx2080] [--output out.pgm]
+
+use isp_core::Variant;
+use isp_dsl::pipeline::Policy;
+use isp_dsl::runner::ExecMode;
+use isp_dsl::Compiler;
+use isp_image::{io, BorderPattern, BorderSpec, Image, ImageGenerator};
+use isp_sim::{DeviceSpec, Gpu};
+
+fn arg(name: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn main() {
+    let app_name = arg("--app", "gaussian");
+    let pattern: BorderPattern = arg("--pattern", "clamp").parse().expect("valid pattern");
+    let policy_name = arg("--policy", "model");
+    let device_name = arg("--device", "rtx2080");
+    let output = arg("--output", "target/examples/filter_cli_out.pgm");
+    let input_path = arg("--input", "");
+
+    let app = isp_filters::by_name(&app_name)
+        .unwrap_or_else(|| panic!("unknown app '{app_name}' (gaussian/laplace/bilateral/sobel/night)"));
+    let device = match device_name.as_str() {
+        "gtx680" => DeviceSpec::gtx680(),
+        "rtx2080" => DeviceSpec::rtx2080(),
+        other => panic!("unknown device '{other}' (gtx680/rtx2080)"),
+    };
+    let policy = match policy_name.as_str() {
+        "naive" => Policy::Naive,
+        "isp" => Policy::AlwaysIsp(Variant::IspBlock),
+        "model" => Policy::Model(Variant::IspBlock),
+        other => panic!("unknown policy '{other}' (naive/isp/model)"),
+    };
+
+    // Load or generate the input image, normalised to [0, 1].
+    let source: Image<f32> = if input_path.is_empty() {
+        println!("no --input given: generating a 512x512 test image");
+        ImageGenerator::new(7).natural::<f32>(512, 512)
+    } else {
+        let img = io::read_pgm(&input_path).expect("readable PGM");
+        println!("loaded {} ({}x{})", input_path, img.width(), img.height());
+        img.map(|p| p as f32 / 255.0)
+    };
+
+    let border = BorderSpec::from_pattern(pattern);
+    let gpu = Gpu::new(device.clone());
+    let compiled = app.pipeline.compile(&Compiler::new(), border, Variant::IspBlock);
+    let run = app
+        .pipeline
+        .run(&gpu, &compiled, &source, border, (32, 4), policy, ExecMode::Exhaustive)
+        .expect("pipeline run");
+    println!(
+        "{} on {} ({pattern}, policy {policy_name}): {:.3} simulated ms, stage variants {:?}",
+        app.name,
+        device.name,
+        device.cycles_to_ms(run.total_cycles),
+        run.stage_variants,
+    );
+
+    // Normalise for viewing and save.
+    let img = run.image.expect("exhaustive run");
+    let (lo, hi) = img.min_max();
+    let vis = if hi > lo { img.map(|v| (v - lo) / (hi - lo)) } else { img };
+    if let Some(dir) = std::path::Path::new(&output).parent() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    io::write_pgm(&vis, &output).expect("write output");
+    println!("wrote {output}");
+}

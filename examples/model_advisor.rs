@@ -1,0 +1,44 @@
+//! Model advisor: sweep image sizes and patterns for a chosen filter and
+//! print, side by side, what the analytic model predicts (Eq. 10) and what
+//! the simulator measures — the workflow a performance engineer would use to
+//! decide border-handling strategy per deployment.
+//!
+//! Run with: `cargo run --release --example model_advisor [app]`
+
+use isp_bench::report::Table;
+use isp_bench::runner::{measure_app, Experiment};
+use isp_image::BorderPattern;
+use isp_sim::DeviceSpec;
+
+fn main() {
+    let app_name = std::env::args().nth(1).unwrap_or_else(|| "laplace".to_string());
+    let app = isp_filters::by_name(&app_name)
+        .unwrap_or_else(|| panic!("unknown app '{app_name}'; try gaussian/laplace/bilateral/sobel/night"));
+    println!("Advisor for '{}': {}\n", app.name, app.description);
+
+    for device in DeviceSpec::all() {
+        println!("--- {} ---", device.name);
+        let mut t = Table::new(&[
+            "pattern", "size", "G (model)", "S (measured)", "model says", "measured best", "agree",
+        ]);
+        for pattern in BorderPattern::ALL {
+            for size in [512usize, 1024, 2048, 4096] {
+                let exp = Experiment::paper(device.clone(), app.clone(), pattern, size);
+                let m = measure_app(&exp);
+                let g = m.stage_gains.first().copied().unwrap_or(1.0);
+                let model_isp = m.model_chose_isp();
+                let measured_isp = m.isp_measured_better();
+                t.row(&[
+                    pattern.name().into(),
+                    size.to_string(),
+                    format!("{g:.3}"),
+                    format!("{:.3}", m.speedup_isp),
+                    if model_isp { "isp" } else { "naive" }.into(),
+                    if measured_isp { "isp" } else { "naive" }.into(),
+                    if model_isp == measured_isp { "yes" } else { "NO" }.into(),
+                ]);
+            }
+        }
+        println!("{}", t.render());
+    }
+}

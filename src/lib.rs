@@ -1,0 +1,26 @@
+//! Umbrella crate for the ISP border-handling reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can `use isp_border::prelude::*`. The actual
+//! functionality lives in the `crates/` members:
+//!
+//! - [`isp_image`] — images, border patterns, masks, golden filters
+//! - [`isp_ir`] — PTX-like IR, instruction counting, register estimation
+//! - [`isp_sim`] — SIMT GPU simulator (devices, occupancy, interpreter)
+//! - [`isp_core`] — iteration space partitioning + the analytic model
+//! - [`isp_dsl`] — the embedded DSL and mini source-to-source compiler
+//! - [`isp_filters`] — the five evaluated applications
+
+pub use isp_core;
+pub use isp_dsl;
+pub use isp_filters;
+pub use isp_image;
+pub use isp_ir;
+pub use isp_sim;
+
+/// Convenient glob import for examples and tests.
+pub mod prelude {
+    pub use isp_image::{
+        convolve, BorderPattern, BorderSpec, BorderedImage, Image, ImageGenerator, Mask, Roi,
+    };
+}

@@ -1,0 +1,208 @@
+//! End-to-end tests of the analytic model and the isp+m planner against the
+//! simulator's measured behaviour.
+
+use isp_core::Variant;
+use isp_dsl::pipeline::Policy;
+use isp_dsl::runner::{geometry_for, plan_for, ExecMode};
+use isp_dsl::Compiler;
+use isp_image::{BorderPattern, BorderSpec, ImageGenerator};
+use isp_sim::{DeviceSpec, Gpu};
+
+#[test]
+fn planner_fallback_matches_naive_timing_exactly() {
+    // When the model picks naive, the isp+m run must cost exactly what the
+    // naive run costs (same kernel, same launch).
+    let app = isp_filters::by_name("bilateral").unwrap();
+    let gpu = Gpu::new(DeviceSpec::gtx680());
+    let border = BorderSpec::clamp();
+    let source = ImageGenerator::new(3).natural::<f32>(512, 512);
+    let compiled = app.pipeline.compile(&Compiler::new(), border, Variant::IspBlock);
+    let plan = plan_for(&gpu, &compiled[0], &geometry_for(&compiled[0], 512, 512, (32, 4)));
+    let naive = app
+        .pipeline
+        .run(&gpu, &compiled, &source, border, (32, 4), Policy::Naive, ExecMode::Sampled)
+        .unwrap();
+    let ispm = app
+        .pipeline
+        .run(
+            &gpu,
+            &compiled,
+            &source,
+            border,
+            (32, 4),
+            Policy::Model(Variant::IspBlock),
+            ExecMode::Sampled,
+        )
+        .unwrap();
+    if plan.variant == Variant::Naive {
+        assert_eq!(ispm.total_cycles, naive.total_cycles);
+        assert_eq!(ispm.stage_variants, vec![Variant::Naive]);
+    } else {
+        assert_eq!(ispm.stage_variants, vec![Variant::IspBlock]);
+    }
+}
+
+#[test]
+fn kepler_loses_occupancy_on_bilateral_but_turing_does_not() {
+    // The paper's §VI-A.2 architectural pivot, end to end.
+    let spec = isp_filters::bilateral::spec(13);
+    let ck = Compiler::new().compile(&spec, BorderPattern::Clamp, Variant::IspBlock);
+    let threads = 128;
+    let kepler = DeviceSpec::gtx680();
+    let turing = DeviceSpec::rtx2080();
+    let isp_regs = ck.isp.as_ref().unwrap().regs.data_regs;
+    let naive_regs = ck.naive.regs.data_regs;
+    assert!(isp_regs > naive_regs, "ISP must cost registers");
+    let ok_n = isp_sim::occupancy(&kepler, threads, naive_regs).occupancy;
+    let ok_i = isp_sim::occupancy(&kepler, threads, isp_regs).occupancy;
+    let ot_n = isp_sim::occupancy(&turing, threads, naive_regs).occupancy;
+    let ot_i = isp_sim::occupancy(&turing, threads, isp_regs).occupancy;
+    assert!(ok_i < ok_n, "Kepler must lose occupancy: {ok_i} vs {ok_n}");
+    assert_eq!(ot_i, ot_n, "Turing must not lose occupancy");
+}
+
+#[test]
+fn model_gain_tracks_measured_speedup_direction() {
+    // Over the bilateral sweep, predicted G and measured S must correlate
+    // strongly (the paper's Table III Pearson check).
+    let app = isp_filters::by_name("bilateral").unwrap();
+    let mut gains = Vec::new();
+    let mut speeds = Vec::new();
+    for device in DeviceSpec::all() {
+        for pattern in BorderPattern::ALL {
+            for size in [512usize, 2048] {
+                let exp = isp_bench::runner::Experiment::paper(
+                    device.clone(),
+                    app.clone(),
+                    pattern,
+                    size,
+                );
+                let m = isp_bench::runner::measure_app(&exp);
+                gains.push(m.stage_gains[0]);
+                speeds.push(m.speedup_isp);
+            }
+        }
+    }
+    let r = isp_bench::stats::pearson(&gains, &speeds).expect("non-degenerate");
+    assert!(r > 0.9, "model must track measurement, Pearson r = {r}");
+}
+
+#[test]
+fn repeat_pattern_benefits_most() {
+    // Paper: "the Repeat border handling pattern benefits more from the ISP
+    // approach than the other three patterns".
+    let app = isp_filters::by_name("gaussian").unwrap();
+    let device = DeviceSpec::gtx680();
+    let speedup = |pattern| {
+        let exp =
+            isp_bench::runner::Experiment::paper(device.clone(), app.clone(), pattern, 2048);
+        isp_bench::runner::measure_app(&exp).speedup_isp
+    };
+    let repeat = speedup(BorderPattern::Repeat);
+    for other in [BorderPattern::Clamp, BorderPattern::Mirror, BorderPattern::Constant] {
+        assert!(
+            repeat > speedup(other),
+            "repeat ({repeat}) must beat {other}"
+        );
+    }
+}
+
+#[test]
+fn speedup_grows_with_image_size() {
+    let app = isp_filters::by_name("gaussian").unwrap();
+    let device = DeviceSpec::rtx2080();
+    let mut prev = 0.0;
+    for size in [512usize, 1024, 2048, 4096] {
+        let exp = isp_bench::runner::Experiment::paper(
+            device.clone(),
+            app.clone(),
+            BorderPattern::Repeat,
+            size,
+        );
+        let s = isp_bench::runner::measure_app(&exp).speedup_isp;
+        assert!(s > prev, "speedup must grow with size: {s} at {size}");
+        prev = s;
+    }
+}
+
+#[test]
+fn point_ops_never_partition() {
+    let app = isp_filters::by_name("sobel").unwrap();
+    let gpu = Gpu::new(DeviceSpec::gtx680());
+    let border = BorderSpec::clamp();
+    let source = ImageGenerator::new(3).natural::<f32>(256, 256);
+    let compiled = app.pipeline.compile(&Compiler::new(), border, Variant::IspBlock);
+    let run = app
+        .pipeline
+        .run(
+            &gpu,
+            &compiled,
+            &source,
+            border,
+            (32, 4),
+            Policy::AlwaysIsp(Variant::IspBlock),
+            ExecMode::Sampled,
+        )
+        .unwrap();
+    assert_eq!(run.stage_variants[2], Variant::Naive, "magnitude is a point op");
+    assert!(run.stage_variants[..2].iter().all(|v| v.is_isp()));
+}
+
+#[test]
+fn closed_form_and_ir_stats_models_agree_directionally() {
+    // The paper's closed-form Eqs. (3)-(9) and the PTX-statistics model must
+    // rank (pattern, size) pairs the same way even though their absolute
+    // ratios differ.
+    use isp_core::bounds::Geometry;
+    use isp_core::{ClosedFormModel, IndexBounds};
+    let spec = isp_filters::gaussian::spec(3);
+    let mut closed = Vec::new();
+    let mut stats = Vec::new();
+    for pattern in BorderPattern::ALL {
+        let ck = Compiler::new().compile(&spec, pattern, Variant::IspBlock);
+        for size in [512usize, 2048] {
+            let g = Geometry { sx: size, sy: size, m: 3, n: 3, tx: 32, ty: 4 };
+            let bounds = IndexBounds::new(&g);
+            // Closed form: n_check grows with the pattern's per-side cost.
+            let n_check = match pattern {
+                BorderPattern::Clamp => 2.0,
+                BorderPattern::Mirror => 4.0,
+                BorderPattern::Repeat => 6.0,
+                BorderPattern::Constant => 3.0,
+            };
+            let cf = ClosedFormModel { n_check, ..ClosedFormModel::generic(6.0) };
+            closed.push(cf.r_reduced(&g));
+            stats.push(ck.ir_stats_model().unwrap().r_reduced(&bounds));
+        }
+    }
+    let r = isp_bench::stats::pearson(&closed, &stats).unwrap();
+    assert!(r > 0.7, "models must correlate, r = {r}");
+}
+
+#[test]
+fn u16_images_roundtrip_through_the_simulator() {
+    // 16-bit medical-style imagery with the Mirror pattern the paper cites
+    // for multiresolution medical filters.
+    let img16 = ImageGenerator::new(77).natural::<u16>(96, 64);
+    let img: isp_image::Image<f32> = img16.map(|p| p as f32 / 65535.0);
+    let spec = isp_filters::gaussian::spec(5);
+    let ck = Compiler::new().compile(&spec, BorderPattern::Mirror, Variant::IspBlock);
+    let gpu = Gpu::new(DeviceSpec::gtx680());
+    let out = isp_dsl::runner::run_filter(
+        &gpu,
+        &ck,
+        Variant::IspBlock,
+        &[&img],
+        &[],
+        0.0,
+        (32, 4),
+        isp_dsl::runner::ExecMode::Exhaustive,
+    )
+    .unwrap();
+    let back: isp_image::Image<u16> = out.image.unwrap().map(|v| (v * 65535.0).round() as u16);
+    let golden =
+        isp_dsl::eval::reference_run(&spec, &[&img], BorderSpec::mirror(), &[]);
+    let golden16: isp_image::Image<u16> = golden.map(|v| (v * 65535.0).round() as u16);
+    // Quantised outputs may differ by one code value at rounding boundaries.
+    assert!(back.max_abs_diff(&golden16).unwrap() <= 1.0);
+}

@@ -1,0 +1,136 @@
+//! Property-based cross-crate tests: randomised kernels, images, and
+//! geometries, checking the repo's central invariants end-to-end.
+
+use isp_core::bounds::Geometry;
+use isp_core::{region_of_block, IndexBounds, Region, Variant};
+use isp_dsl::runner::{run_filter, ExecMode};
+use isp_dsl::{Compiler, KernelSpec};
+use isp_image::{BorderPattern, BorderSpec, ImageGenerator, Mask};
+use isp_sim::{DeviceSpec, Gpu};
+use proptest::prelude::*;
+
+/// A random odd-sized mask with random coefficients.
+fn arb_mask() -> impl Strategy<Value = Mask> {
+    (0usize..3, proptest::collection::vec(-2.0f32..2.0, 49)).prop_map(|(half, coeffs)| {
+        let size = 2 * half + 1;
+        // Guarantee at least one non-zero coefficient (the centre).
+        let mut c: Vec<f32> = coeffs[..size * size].to_vec();
+        if c.iter().all(|&v| v == 0.0) {
+            c[size * size / 2] = 1.0;
+        }
+        Mask::from_coeffs(size, size, c).expect("odd dims")
+    })
+}
+
+fn arb_pattern() -> impl Strategy<Value = BorderPattern> {
+    (0usize..4).prop_map(|i| BorderPattern::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// THE invariant: for any convolution mask, pattern, and image, the
+    /// naive and ISP variants produce the reference pixels.
+    #[test]
+    fn random_convolutions_match_reference(
+        mask in arb_mask(),
+        pattern in arb_pattern(),
+        seed in 0u64..1000,
+        w in 48usize..120,
+        h in 40usize..100,
+    ) {
+        let spec = KernelSpec::convolution("prop", &mask);
+        let img = ImageGenerator::new(seed).uniform_noise::<f32>(w, h);
+        let border = BorderSpec { pattern, constant: 0.33 };
+        let golden = isp_dsl::eval::reference_run(&spec, &[&img], border, &[]);
+        let ck = Compiler::new().compile(&spec, pattern, Variant::IspBlock);
+        let gpu = Gpu::new(DeviceSpec::gtx680());
+        for variant in [Variant::Naive, Variant::IspBlock] {
+            let run = run_filter(&gpu, &ck, variant, &[&img], &[], 0.33, (32, 4), ExecMode::Exhaustive);
+            let Ok(out) = run else {
+                // ISP may legitimately refuse degenerate partitions.
+                prop_assert!(variant.is_isp());
+                continue;
+            };
+            let diff = out.image.unwrap().max_abs_diff(&golden).unwrap();
+            // Accumulation order differs (fused taps vs reference): allow a
+            // small float tolerance scaled by coefficient magnitudes.
+            prop_assert!(diff < 3e-3, "{pattern}/{variant}: diff {diff}");
+        }
+    }
+
+    /// Region classification invariants for random geometries: the block
+    /// classifier covers the grid with counts matching Eq. 8, and a region's
+    /// checks match the block's actual boundary exposure.
+    #[test]
+    fn region_partition_is_exact(
+        sx in 64usize..3000,
+        sy in 64usize..3000,
+        half_m in 0usize..10,
+        tx_pow in 5u32..8,
+        ty in 1u32..8,
+    ) {
+        let m = 2 * half_m + 1;
+        let g = Geometry { sx, sy, m, n: m, tx: 1 << tx_pow, ty };
+        let b = IndexBounds::new(&g);
+        prop_assume!(b.is_valid());
+        let counts = b.block_counts();
+        let mut seen = [0u64; 9];
+        for by in 0..b.grid.1 {
+            for bx in 0..b.grid.0 {
+                seen[region_of_block(bx, by, &b).index()] += 1;
+            }
+        }
+        for r in Region::ALL {
+            prop_assert_eq!(seen[r.index()], counts.get(r), "{}", r);
+        }
+    }
+
+    /// Sampled and exhaustive launches agree on instruction counters for
+    /// random small geometries (sampling losslessness).
+    #[test]
+    fn sampling_is_lossless(
+        seed in 0u64..100,
+        w_blocks in 3usize..7,
+        h_blocks in 3usize..9,
+        pattern in arb_pattern(),
+    ) {
+        let (w, h) = (w_blocks * 32, h_blocks * 4);
+        let spec = KernelSpec::convolution("s", &Mask::gaussian(3, 0.8).unwrap());
+        let img = ImageGenerator::new(seed).uniform_noise::<f32>(w, h);
+        let ck = Compiler::new().compile(&spec, pattern, Variant::IspBlock);
+        let gpu = Gpu::new(DeviceSpec::gtx680());
+        for variant in [Variant::Naive, Variant::IspBlock] {
+            let ex = run_filter(&gpu, &ck, variant, &[&img], &[], 0.0, (32, 4), ExecMode::Exhaustive).unwrap();
+            let sa = run_filter(&gpu, &ck, variant, &[&img], &[], 0.0, (32, 4), ExecMode::Sampled).unwrap();
+            prop_assert_eq!(
+                ex.report.counters.warp_instructions,
+                sa.report.counters.warp_instructions,
+                "{}", variant
+            );
+            prop_assert_eq!(&ex.report.counters.histogram, &sa.report.counters.histogram);
+        }
+    }
+
+    /// The ISP fat kernel never uses fewer registers than the naive kernel,
+    /// and the Body region path never exceeds the naive path cost.
+    #[test]
+    fn fat_kernel_structural_invariants(
+        mask in arb_mask(),
+        pattern in arb_pattern(),
+    ) {
+        prop_assume!(mask.width() > 1);
+        let spec = KernelSpec::convolution("inv", &mask);
+        let ck = Compiler::new().compile(&spec, pattern, Variant::IspBlock);
+        let isp = ck.isp.as_ref().unwrap();
+        prop_assert!(isp.regs.data_regs >= ck.naive.regs.data_regs);
+        let hists = isp.region_histograms.as_ref().unwrap();
+        let body = &hists.iter().find(|(r, _)| *r == Region::Body).unwrap().1;
+        prop_assert!(
+            body.arithmetic_total() <= ck.naive.static_histogram.arithmetic_total(),
+            "body {} vs naive {}",
+            body.arithmetic_total(),
+            ck.naive.static_histogram.arithmetic_total()
+        );
+    }
+}
