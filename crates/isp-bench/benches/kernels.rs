@@ -1,67 +1,81 @@
-//! Criterion wall-clock benchmarks of the host-side substrate: DSL
-//! compilation of each variant and the golden reference filters.
+//! Wall-clock benchmarks of the host-side substrate: DSL compilation of
+//! each variant and the golden reference filters. Self-timed (median of N
+//! runs) so the harness needs no external bench framework.
 //!
 //! Run with: `cargo bench -p isp-bench --bench kernels`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use isp_core::Variant;
 use isp_dsl::Compiler;
-use isp_image::{convolve_par, convolve_partitioned, BorderPattern, BorderSpec, ImageGenerator, Mask};
+use isp_image::{
+    convolve_par, convolve_partitioned, BorderPattern, BorderSpec, ImageGenerator, Mask,
+};
+use std::time::Instant;
 
-fn bench_compile(c: &mut Criterion) {
-    let mut g = c.benchmark_group("compile");
-    g.sample_size(10);
+/// Median wall-clock time of `runs` invocations of `f`, in milliseconds.
+fn time_ms<R>(runs: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn bench_compile() {
+    println!("== compile (median of 10, ms)");
     for (name, spec) in [
         ("gaussian3", isp_filters::gaussian::spec(3)),
         ("laplace5", isp_filters::laplace::spec(5)),
         ("bilateral13", isp_filters::bilateral::spec(13)),
     ] {
-        g.bench_function(BenchmarkId::new("naive+isp", name), |b| {
-            b.iter(|| {
-                std::hint::black_box(Compiler::new().compile(
-                    &spec,
-                    BorderPattern::Clamp,
-                    Variant::IspBlock,
-                ))
-            })
+        let ms = time_ms(10, || {
+            Compiler::new().compile(&spec, BorderPattern::Clamp, Variant::IspBlock)
         });
+        println!("  naive+isp/{name:<12} {ms:9.3}");
     }
-    g.finish();
 }
 
-fn bench_reference_filters(c: &mut Criterion) {
-    let mut g = c.benchmark_group("reference");
-    g.sample_size(10);
+fn bench_reference_filters() {
+    println!("== reference gauss5 512^2 (median of 10, ms)");
     let img = ImageGenerator::new(1).natural::<f32>(512, 512);
+    let mask = Mask::gaussian(5, 1.0).unwrap();
     for pattern in BorderPattern::ALL {
-        let spec = BorderSpec { pattern, constant: 0.2 };
-        let mask = Mask::gaussian(5, 1.0).unwrap();
-        g.bench_function(BenchmarkId::new("gauss5_512", pattern.name()), |b| {
-            b.iter(|| std::hint::black_box(convolve_par(&img, &mask, spec)))
-        });
+        let spec = BorderSpec {
+            pattern,
+            constant: 0.2,
+        };
+        let ms = time_ms(10, || convolve_par(&img, &mask, spec));
+        println!("  gauss5_512/{:<9} {ms:9.3}", pattern.name());
     }
-    g.finish();
 }
 
 /// Index-set splitting on the host CPU (paper §III-B, Listing 2): this is a
 /// REAL-hardware result — the partitioned convolution skips border checks in
 /// the interior and should beat the checked-everywhere baseline wall-clock.
-fn bench_cpu_index_set_splitting(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cpu_iss");
-    g.sample_size(10);
+fn bench_cpu_index_set_splitting() {
+    println!("== cpu index-set splitting 1024^2 (median of 10, ms)");
     let img = ImageGenerator::new(2).natural::<f32>(1024, 1024);
     let mask = Mask::gaussian(5, 1.0).unwrap();
     for pattern in [BorderPattern::Clamp, BorderPattern::Repeat] {
-        let spec = BorderSpec { pattern, constant: 0.0 };
-        g.bench_function(BenchmarkId::new("naive_1024", pattern.name()), |b| {
-            b.iter(|| std::hint::black_box(convolve_par(&img, &mask, spec)))
-        });
-        g.bench_function(BenchmarkId::new("partitioned_1024", pattern.name()), |b| {
-            b.iter(|| std::hint::black_box(convolve_partitioned(&img, &mask, spec)))
-        });
+        let spec = BorderSpec {
+            pattern,
+            constant: 0.0,
+        };
+        let naive = time_ms(10, || convolve_par(&img, &mask, spec));
+        let part = time_ms(10, || convolve_partitioned(&img, &mask, spec));
+        println!(
+            "  {:<9} naive {naive:9.3}  partitioned {part:9.3}  speedup {:5.2}x",
+            pattern.name(),
+            naive / part
+        );
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_compile, bench_reference_filters, bench_cpu_index_set_splitting);
-criterion_main!(benches);
+fn main() {
+    bench_compile();
+    bench_reference_filters();
+    bench_cpu_index_set_splitting();
+}

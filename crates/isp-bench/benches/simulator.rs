@@ -1,70 +1,145 @@
-//! Criterion wall-clock benchmarks of the GPU simulator itself: exhaustive
-//! warp interpretation throughput and region-sampled launch latency — the
-//! numbers that justify the two-mode design.
+//! Wall-clock benchmarks of the GPU simulator and the execution engine:
+//! exhaustive warp interpretation throughput, region-sampled launch latency,
+//! and the cached engine sweep vs the uncached compile-per-point baseline —
+//! the numbers that justify the two-mode design and the `isp-exec` layer.
 //!
 //! Run with: `cargo bench -p isp-bench --bench simulator`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use isp_core::Variant;
 use isp_dsl::runner::{run_filter, ExecMode};
 use isp_dsl::Compiler;
+use isp_exec::{Engine, Sweep, PAPER_BLOCK};
 use isp_image::{BorderPattern, ImageGenerator};
 use isp_sim::{DeviceSpec, Gpu};
+use std::time::Instant;
 
-fn bench_exhaustive(c: &mut Criterion) {
-    let mut g = c.benchmark_group("exhaustive_interpretation");
-    g.sample_size(10);
+/// Median wall-clock time of `runs` invocations of `f`, in milliseconds.
+fn time_ms<R>(runs: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn bench_exhaustive() {
+    println!("== exhaustive interpretation, gauss3 naive (median of 10, ms)");
     let gpu = Gpu::new(DeviceSpec::gtx680());
     let spec = isp_filters::gaussian::spec(3);
     let ck = Compiler::new().compile(&spec, BorderPattern::Clamp, Variant::IspBlock);
     for size in [64usize, 128, 256] {
         let img = ImageGenerator::new(3).natural::<f32>(size, size);
-        g.bench_function(BenchmarkId::new("gauss3_naive", size), |b| {
-            b.iter(|| {
-                run_filter(
-                    &gpu,
-                    &ck,
-                    Variant::Naive,
-                    &[&img],
-                    &[],
-                    0.0,
-                    (32, 4),
-                    ExecMode::Exhaustive,
-                )
-                .unwrap()
-            })
+        let ms = time_ms(10, || {
+            run_filter(
+                &gpu,
+                &ck,
+                Variant::Naive,
+                &[&img],
+                &[],
+                0.0,
+                (32, 4),
+                ExecMode::Exhaustive,
+            )
+            .unwrap()
         });
+        println!("  gauss3_naive/{size:<5} {ms:9.3}");
     }
-    g.finish();
 }
 
-fn bench_sampled(c: &mut Criterion) {
-    let mut g = c.benchmark_group("region_sampled_launch");
-    g.sample_size(10);
+fn bench_sampled() {
+    println!("== region-sampled launch, bilateral13 isp (median of 10, ms)");
     let gpu = Gpu::new(DeviceSpec::rtx2080());
     let spec = isp_filters::bilateral::spec(13);
     let ck = Compiler::new().compile(&spec, BorderPattern::Mirror, Variant::IspBlock);
-    let params = [isp_filters::bilateral::range_param(isp_filters::bilateral::DEFAULT_SIGMA_R)];
+    let params = [isp_filters::bilateral::range_param(
+        isp_filters::bilateral::DEFAULT_SIGMA_R,
+    )];
     for size in [1024usize, 4096] {
         let img = ImageGenerator::new(3).natural::<f32>(size, size);
-        g.bench_function(BenchmarkId::new("bilateral13_isp", size), |b| {
-            b.iter(|| {
-                run_filter(
-                    &gpu,
-                    &ck,
-                    Variant::IspBlock,
-                    &[&img],
-                    &params,
-                    0.0,
-                    (32, 4),
-                    ExecMode::Sampled,
-                )
-                .unwrap()
-            })
+        let ms = time_ms(10, || {
+            run_filter(
+                &gpu,
+                &ck,
+                Variant::IspBlock,
+                &[&img],
+                &params,
+                0.0,
+                (32, 4),
+                ExecMode::Sampled,
+            )
+            .unwrap()
         });
+        println!("  bilateral13_isp/{size:<5} {ms:9.3}");
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_exhaustive, bench_sampled);
-criterion_main!(benches);
+/// The engine's reason to exist: a 4-size x 4-pattern sweep of one app
+/// compiles each kernel variant once through the engine's caches, vs once
+/// per point for the uncached per-point baseline.
+fn bench_engine_sweep() {
+    println!("== gaussian 4-size x 4-pattern sweep (total wall-clock, ms)");
+    let device = DeviceSpec::gtx680();
+    let app = isp_filters::by_name("gaussian").unwrap();
+    let sizes = [512usize, 1024, 2048, 4096];
+
+    let t = Instant::now();
+    for pattern in BorderPattern::ALL {
+        for size in sizes {
+            // Baseline: what every bench binary did before isp-exec —
+            // recompile the pipeline at every experiment point.
+            let gpu = Gpu::new(device.clone());
+            let border = isp_image::BorderSpec::from_pattern(pattern);
+            let compiled = app
+                .pipeline
+                .compile(&Compiler::new(), border, Variant::IspBlock);
+            let img = isp_exec::bench_image(size);
+            for policy in [
+                isp_dsl::pipeline::Policy::Naive,
+                isp_dsl::pipeline::Policy::AlwaysIsp(Variant::IspBlock),
+                isp_dsl::pipeline::Policy::Model(Variant::IspBlock),
+            ] {
+                app.pipeline
+                    .run(
+                        &gpu,
+                        &compiled,
+                        &img,
+                        border,
+                        PAPER_BLOCK,
+                        policy,
+                        ExecMode::Sampled,
+                    )
+                    .unwrap();
+            }
+        }
+    }
+    let uncached = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let engine = Engine::new(device);
+    for pattern in BorderPattern::ALL {
+        for size in sizes {
+            engine.measure(&Sweep::paper(app.clone(), pattern, size));
+        }
+    }
+    let cached = t.elapsed().as_secs_f64() * 1e3;
+    let stats = engine.cache_stats();
+    println!("  uncached per-point path {uncached:9.1}");
+    println!(
+        "  engine (kernel+plan cache) {cached:9.1}  speedup {:5.2}x",
+        uncached / cached
+    );
+    println!(
+        "  engine cache: {} kernel compiles, {} kernel hits, {} plan hits",
+        stats.kernel_misses, stats.kernel_hits, stats.plan_hits
+    );
+}
+
+fn main() {
+    bench_exhaustive();
+    bench_sampled();
+    bench_engine_sweep();
+}

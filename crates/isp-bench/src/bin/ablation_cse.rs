@@ -33,9 +33,17 @@ fn main() {
             "naive regs",
         ]);
         for (name, opt) in configs.iter() {
-            let ck = Compiler::with_opt(*opt).compile(&spec, BorderPattern::Clamp, Variant::IspBlock);
+            let ck =
+                Compiler::with_opt(*opt).compile(&spec, BorderPattern::Clamp, Variant::IspBlock);
             let (m, n) = ck.spec.window();
-            let geom = Geometry { sx: 2048, sy: 2048, m, n, tx: 32, ty: 4 };
+            let geom = Geometry {
+                sx: 2048,
+                sy: 2048,
+                m,
+                n,
+                tx: 32,
+                ty: 4,
+            };
             let bounds = IndexBounds::new(&geom);
             let model = ck.ir_stats_model().expect("stencil");
             let body = &ck

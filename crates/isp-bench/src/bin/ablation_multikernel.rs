@@ -12,12 +12,11 @@
 use isp_bench::report::Table;
 use isp_bench::runner::{bench_image, compile_app, Experiment};
 use isp_core::Variant;
-use isp_dsl::pipeline::Policy;
 use isp_dsl::runner::ExecMode;
 use isp_filters::by_name;
-use isp_image::{BorderPattern, BorderSpec};
+use isp_image::BorderPattern;
 use isp_sim::scheduler::{schedule, BlockCost};
-use isp_sim::{occupancy, DeviceSpec, Gpu};
+use isp_sim::{occupancy, DeviceSpec};
 
 fn main() {
     println!(
@@ -39,37 +38,23 @@ fn main() {
                 BorderPattern::Clamp,
                 size,
             );
-            let gpu = Gpu::new(device.clone());
+            let engine = exp.engine();
             let compiled = compile_app(&exp);
             let source = bench_image(size);
-            let run = exp
-                .app
-                .pipeline
-                .run(
-                    &gpu,
-                    &compiled,
-                    &source,
-                    BorderSpec::clamp(),
+            // Pipeline reports fold per-stage data; run the single stage
+            // directly to get class costs.
+            let out = engine
+                .run_kernel(
+                    &compiled[0],
+                    Variant::IspBlock,
+                    &[&source],
+                    &[],
+                    0.0,
                     exp.block,
-                    Policy::AlwaysIsp(Variant::IspBlock),
                     ExecMode::Sampled,
                 )
-                .expect("isp run");
-            // Per-stage reports are folded in PipelineRun; re-run the single
-            // stage directly to get class costs.
-            let out = isp_dsl::runner::run_filter(
-                &gpu,
-                &compiled[0],
-                Variant::IspBlock,
-                &[&source],
-                &[],
-                0.0,
-                exp.block,
-                ExecMode::Sampled,
-            )
-            .expect("filter run");
+                .expect("filter run");
             let fat_cycles = out.report.timing.cycles;
-            let _ = run;
 
             // Re-schedule each region's blocks as its own launch.
             let isp = compiled[0].isp.as_ref().unwrap();

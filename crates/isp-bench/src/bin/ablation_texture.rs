@@ -8,10 +8,10 @@
 use isp_bench::report::Table;
 use isp_bench::runner::bench_image;
 use isp_core::Variant;
-use isp_dsl::runner::{run_filter, ExecMode};
-use isp_dsl::Compiler;
+use isp_dsl::runner::ExecMode;
+use isp_exec::Engine;
 use isp_image::BorderPattern;
-use isp_sim::{DeviceSpec, Gpu};
+use isp_sim::DeviceSpec;
 
 fn main() {
     println!(
@@ -19,9 +19,14 @@ fn main() {
          (gaussian 3x3 and bilateral 13x13, 2048^2, 32x4 blocks)\n"
     );
     for device in DeviceSpec::all() {
-        let gpu = Gpu::new(device.clone());
+        let engine = Engine::global(&device);
         let mut t = Table::new(&[
-            "app", "pattern", "naive Mcyc", "isp Mcyc", "texture Mcyc", "best",
+            "app",
+            "pattern",
+            "naive Mcyc",
+            "isp Mcyc",
+            "texture Mcyc",
+            "best",
         ]);
         for (name, spec) in [
             ("gaussian3", isp_filters::gaussian::spec(3)),
@@ -36,14 +41,26 @@ fn main() {
                 )]
             };
             for pattern in BorderPattern::ALL {
-                let ck = Compiler::new().compile(&spec, pattern, Variant::IspBlock);
+                let ck = engine.compile(&spec, pattern, Variant::IspBlock);
                 let cycles = |variant| {
-                    run_filter(&gpu, &ck, variant, &[&img], &user, 0.2, (32, 4), ExecMode::Sampled)
+                    engine
+                        .run_kernel(
+                            &ck,
+                            variant,
+                            &[&img],
+                            &user,
+                            0.2,
+                            (32, 4),
+                            ExecMode::Sampled,
+                        )
                         .map(|o| o.report.timing.cycles)
                         .unwrap_or(u64::MAX)
                 };
-                let (n, i, x) =
-                    (cycles(Variant::Naive), cycles(Variant::IspBlock), cycles(Variant::Texture));
+                let (n, i, x) = (
+                    cycles(Variant::Naive),
+                    cycles(Variant::IspBlock),
+                    cycles(Variant::Texture),
+                );
                 let best = [(n, "naive"), (i, "isp"), (x, "texture")]
                     .into_iter()
                     .min_by_key(|&(c, _)| c)

@@ -12,11 +12,12 @@
 use isp_bench::report::Table;
 use isp_bench::runner::bench_image;
 use isp_core::Variant;
-use isp_dsl::runner::{run_compiled, run_filter, ExecMode};
+use isp_dsl::runner::{run_compiled, ExecMode};
 use isp_dsl::Compiler;
+use isp_exec::Engine;
 use isp_image::BorderPattern;
 use isp_ir::InstrCategory;
-use isp_sim::{DeviceSpec, Gpu};
+use isp_sim::DeviceSpec;
 
 fn main() {
     println!(
@@ -26,7 +27,7 @@ fn main() {
     let size = 512usize;
     let img = bench_image(size);
     for device in DeviceSpec::all() {
-        let gpu = Gpu::new(device.clone());
+        let engine = Engine::global(&device);
         let mut t = Table::new(&[
             "app",
             "pattern",
@@ -49,25 +50,27 @@ fn main() {
             ),
         ] {
             for pattern in [BorderPattern::Clamp, BorderPattern::Repeat] {
-                let ck = Compiler::new().compile(&spec, pattern, Variant::IspBlock);
+                let ck = engine.compile(&spec, pattern, Variant::IspBlock);
                 let run_flat = |variant| {
-                    run_filter(
-                        &gpu,
-                        &ck,
-                        variant,
-                        &[&img],
-                        &user,
-                        0.2,
-                        (32, 4),
-                        ExecMode::Exhaustive,
-                    )
-                    .expect("flat launch")
+                    engine
+                        .run_kernel(
+                            &ck,
+                            variant,
+                            &[&img],
+                            &user,
+                            0.2,
+                            (32, 4),
+                            ExecMode::Exhaustive,
+                        )
+                        .expect("flat launch")
                 };
                 let naive = run_flat(Variant::Naive);
                 let isp = run_flat(Variant::IspBlock);
+                // Tiled variants live outside the engine cache: they are a
+                // different compilation product (standalone CompiledVariant).
                 let tiled_cv = Compiler::new().compile_tiled(&spec, pattern, (32, 4));
                 let tiled = run_compiled(
-                    &gpu,
+                    engine.gpu(),
                     &tiled_cv,
                     &[&img],
                     &user,

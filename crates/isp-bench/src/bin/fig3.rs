@@ -6,18 +6,31 @@
 
 use isp_bench::report::Table;
 use isp_core::bounds::Geometry;
-use isp_core::IndexBounds;
+use isp_exec::Engine;
+use isp_sim::DeviceSpec;
 
 fn main() {
     println!("Figure 3: fraction of blocks executing the Body region (5x5 operator)\n");
+    let engine = Engine::global(&DeviceSpec::gtx680());
     let configs: [(u32, u32); 2] = [(32, 4), (128, 2)];
-    let mut t = Table::new(&["image size", "body % (32x4 blocks)", "body % (128x2 blocks)"]);
+    let mut t = Table::new(&[
+        "image size",
+        "body % (32x4 blocks)",
+        "body % (128x2 blocks)",
+    ]);
     let sizes: Vec<usize> = (1..=16).map(|i| i * 256).collect();
     for size in sizes {
         let mut row = vec![format!("{size}x{size}")];
         for block in configs {
-            let g = Geometry { sx: size, sy: size, m: 5, n: 5, tx: block.0, ty: block.1 };
-            let frac = IndexBounds::new(&g).block_counts().body_fraction();
+            let g = Geometry {
+                sx: size,
+                sy: size,
+                m: 5,
+                n: 5,
+                tx: block.0,
+                ty: block.1,
+            };
+            let frac = engine.partition(&g).block_counts().body_fraction();
             row.push(format!("{:.1}", frac * 100.0));
         }
         t.row(&row);

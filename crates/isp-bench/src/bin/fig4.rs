@@ -21,12 +21,8 @@ fn main() {
         for &size in &sizes {
             let mut row = vec![size.to_string()];
             for pattern in BorderPattern::ALL {
-                let exp = Experiment::paper(
-                    device.clone(),
-                    by_name("bilateral").unwrap(),
-                    pattern,
-                    size,
-                );
+                let exp =
+                    Experiment::paper(device.clone(), by_name("bilateral").unwrap(), pattern, size);
                 let m = measure_app(&exp);
                 row.push(format!("{:.3}", m.speedup_isp));
             }

@@ -15,7 +15,10 @@ fn main() {
     let mut records = Vec::new();
     for device in DeviceSpec::all() {
         for app in all_apps() {
-            println!("Figure 6 ({} / {}): speedup over naive\n", device.name, app.name);
+            println!(
+                "Figure 6 ({} / {}): speedup over naive\n",
+                device.name, app.name
+            );
             let mut t = Table::new(&[
                 "pattern", "size", "S(isp)", "S(isp+m)", "naive ms", "isp ms", "isp+m ms",
             ]);

@@ -11,10 +11,11 @@
 use isp_bench::report::Table;
 use isp_bench::runner::bench_image;
 use isp_core::Variant;
-use isp_dsl::runner::{run_filter, ExecMode};
-use isp_dsl::{Compiler, KernelSpec};
+use isp_dsl::runner::ExecMode;
+use isp_dsl::KernelSpec;
+use isp_exec::Engine;
 use isp_image::{BorderPattern, Mask};
-use isp_sim::{DeviceSpec, Gpu};
+use isp_sim::DeviceSpec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -44,8 +45,7 @@ fn main() {
         "Future work (paper section VII): ISP on irregular sparse stencils\n\
          (window reach 17x17, varying active taps; Repeat pattern, 2048^2)\n"
     );
-    let device = DeviceSpec::gtx680();
-    let gpu = Gpu::new(device.clone());
+    let engine = Engine::global(&DeviceSpec::gtx680());
     let img = bench_image(2048);
     let mut t = Table::new(&[
         "active taps",
@@ -58,9 +58,10 @@ fn main() {
         let taps = taps.min(17 * 17);
         let mask = sparse_mask(17, taps, 42);
         let spec = KernelSpec::convolution(format!("sparse{taps}"), &mask);
-        let ck = Compiler::new().compile(&spec, BorderPattern::Repeat, Variant::IspBlock);
+        let ck = engine.compile(&spec, BorderPattern::Repeat, Variant::IspBlock);
         let cycles = |variant| {
-            run_filter(&gpu, &ck, variant, &[&img], &[], 0.0, (32, 4), ExecMode::Sampled)
+            engine
+                .run_kernel(&ck, variant, &[&img], &[], 0.0, (32, 4), ExecMode::Sampled)
                 .map(|o| o.report.timing.cycles)
                 .expect("launch")
         };

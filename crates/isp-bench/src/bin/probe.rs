@@ -1,8 +1,8 @@
 //! Calibration probe (not a paper artefact): prints the naive/isp/isp+m
 //! landscape for quick inspection while tuning the simulator.
 
-use isp_bench::runner::{measure_app, Experiment};
 use isp_bench::report::Table;
+use isp_bench::runner::{measure_app, Experiment};
 use isp_filters::by_name;
 use isp_image::BorderPattern;
 use isp_sim::DeviceSpec;
@@ -12,8 +12,16 @@ fn main() {
     for device in DeviceSpec::all() {
         for app_name in apps {
             let mut t = Table::new(&[
-                "app", "pattern", "size", "naive Mcyc", "isp Mcyc", "S(isp)", "S(isp+m)", "G(model)",
-                "regsN", "regsI",
+                "app",
+                "pattern",
+                "size",
+                "naive Mcyc",
+                "isp Mcyc",
+                "S(isp)",
+                "S(isp+m)",
+                "G(model)",
+                "regsN",
+                "regsI",
             ]);
             for pattern in BorderPattern::ALL {
                 for size in [512usize, 1024, 2048, 4096] {
@@ -36,7 +44,10 @@ fn main() {
                         format!("{:.3}", m.speedup_ispm),
                         format!("{:.3}", m.stage_gains.first().copied().unwrap_or(1.0)),
                         ck.naive.regs.data_regs.to_string(),
-                        ck.isp.as_ref().map(|v| v.regs.data_regs.to_string()).unwrap_or("-".into()),
+                        ck.isp
+                            .as_ref()
+                            .map(|v| v.regs.data_regs.to_string())
+                            .unwrap_or("-".into()),
                     ]);
                 }
             }

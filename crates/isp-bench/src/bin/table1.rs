@@ -7,17 +7,22 @@
 
 use isp_bench::report::Table;
 use isp_core::{Region, Variant};
-use isp_dsl::Compiler;
+use isp_exec::Engine;
 use isp_filters::bilateral;
 use isp_image::BorderPattern;
 use isp_ir::{InstrCategory, InstrHistogram};
+use isp_sim::DeviceSpec;
 
 fn main() {
     // Paper setup: bilateral 13x13, Clamp pattern.
     let spec = bilateral::spec(13);
-    let ck = Compiler::new().compile(&spec, BorderPattern::Clamp, Variant::IspBlock);
+    let engine = Engine::global(&DeviceSpec::gtx680());
+    let ck = engine.compile(&spec, BorderPattern::Clamp, Variant::IspBlock);
     let isp = ck.isp.as_ref().expect("bilateral is a stencil");
-    let region_hists = isp.region_histograms.as_ref().expect("isp variant has regions");
+    let region_hists = isp
+        .region_histograms
+        .as_ref()
+        .expect("isp variant has regions");
 
     println!("Table I: bilateral (13x13, Clamp) per-thread static instruction counts");
     println!("(PTX-level keyword categories; region columns include the switch cost)\n");
@@ -30,7 +35,11 @@ fn main() {
     let mut t = Table::new(&header_refs);
 
     let hist_of = |r: Region| -> &InstrHistogram {
-        &region_hists.iter().find(|(pr, _)| *pr == r).expect("all regions present").1
+        &region_hists
+            .iter()
+            .find(|(pr, _)| *pr == r)
+            .expect("all regions present")
+            .1
     };
 
     for cat in InstrCategory::ALL {
@@ -44,7 +53,10 @@ fn main() {
         t.row(&row);
     }
     // Totals row.
-    let mut row = vec!["TOTAL".to_string(), ck.naive.static_histogram.total().to_string()];
+    let mut row = vec![
+        "TOTAL".to_string(),
+        ck.naive.static_histogram.total().to_string(),
+    ];
     row.extend(Region::ALL.iter().map(|&r| hist_of(r).total().to_string()));
     t.row(&row);
     // Arithmetic-only totals (the paper's key observation).
@@ -52,7 +64,11 @@ fn main() {
         "arith".to_string(),
         ck.naive.static_histogram.arithmetic_total().to_string(),
     ];
-    row.extend(Region::ALL.iter().map(|&r| hist_of(r).arithmetic_total().to_string()));
+    row.extend(
+        Region::ALL
+            .iter()
+            .map(|&r| hist_of(r).arithmetic_total().to_string()),
+    );
     t.row(&row);
     println!("{}", t.render());
 

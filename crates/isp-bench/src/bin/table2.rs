@@ -8,7 +8,7 @@
 use isp_bench::report::Table;
 use isp_bench::runner::PAPER_BLOCK;
 use isp_core::Variant;
-use isp_dsl::Compiler;
+use isp_exec::Engine;
 use isp_filters::bilateral;
 use isp_image::BorderPattern;
 use isp_sim::{occupancy, DeviceSpec};
@@ -17,6 +17,7 @@ fn main() {
     let spec = bilateral::spec(13);
     let threads = PAPER_BLOCK.0 * PAPER_BLOCK.1;
     for device in DeviceSpec::all() {
+        let engine = Engine::global(&device);
         println!(
             "Table II ({}): bilateral 13x13, {}x{} blocks — registers & occupancy\n",
             device.name, PAPER_BLOCK.0, PAPER_BLOCK.1
@@ -30,7 +31,7 @@ fn main() {
             "occupancy drop?",
         ]);
         for pattern in BorderPattern::ALL {
-            let ck = Compiler::new().compile(&spec, pattern, Variant::IspBlock);
+            let ck = engine.compile(&spec, pattern, Variant::IspBlock);
             let isp = ck.isp.as_ref().expect("stencil kernel");
             let on = occupancy(&device, threads, ck.naive.regs.data_regs).occupancy;
             let oi = occupancy(&device, threads, isp.regs.data_regs).occupancy;

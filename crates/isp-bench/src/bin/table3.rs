@@ -27,12 +27,8 @@ fn main() {
         for &size in &sizes {
             let mut row = vec![size.to_string()];
             for (pi, pattern) in BorderPattern::ALL.into_iter().enumerate() {
-                let exp = Experiment::paper(
-                    device.clone(),
-                    by_name("bilateral").unwrap(),
-                    pattern,
-                    size,
-                );
+                let exp =
+                    Experiment::paper(device.clone(), by_name("bilateral").unwrap(), pattern, size);
                 let m = measure_app(&exp);
                 let measured_isp = m.isp_measured_better();
                 let predicted_isp = m.model_chose_isp();
@@ -40,7 +36,11 @@ fn main() {
                     "{}/{}{}",
                     if measured_isp { "isp" } else { "nai" },
                     if predicted_isp { "isp" } else { "nai" },
-                    if measured_isp != predicted_isp { " MISS" } else { "" },
+                    if measured_isp != predicted_isp {
+                        " MISS"
+                    } else {
+                        ""
+                    },
                 );
                 misses += usize::from(measured_isp != predicted_isp);
                 total += 1;

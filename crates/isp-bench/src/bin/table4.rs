@@ -53,6 +53,9 @@ fn main() {
          Sobel's point-op magnitude stage dilutes its pipeline total)."
     );
     for (name, g) in &summary {
-        assert!(*g >= 1.0, "{name}: isp+m must never lose on geomean, got {g}");
+        assert!(
+            *g >= 1.0,
+            "{name}: isp+m must never lose on geomean, got {g}"
+        );
     }
 }

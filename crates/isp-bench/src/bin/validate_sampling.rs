@@ -7,14 +7,14 @@
 
 use isp_bench::report::Table;
 use isp_core::Variant;
-use isp_dsl::runner::{run_filter, ExecMode};
-use isp_dsl::Compiler;
+use isp_dsl::runner::ExecMode;
+use isp_exec::Engine;
 use isp_image::{BorderPattern, ImageGenerator};
-use isp_sim::{DeviceSpec, Gpu};
+use isp_sim::DeviceSpec;
 
 fn main() {
     println!("Sampled-vs-exhaustive counter agreement (gaussian 3x3, 192x96)\n");
-    let gpu = Gpu::new(DeviceSpec::gtx680());
+    let engine = Engine::global(&DeviceSpec::gtx680());
     let img = ImageGenerator::new(5).natural::<f32>(192, 96);
     let spec = isp_filters::gaussian::spec(3);
     let mut t = Table::new(&[
@@ -26,11 +26,21 @@ fn main() {
     ]);
     let mut all_match = true;
     for pattern in BorderPattern::ALL {
-        let ck = Compiler::new().compile(&spec, pattern, Variant::IspBlock);
+        let ck = engine.compile(&spec, pattern, Variant::IspBlock);
         for variant in [Variant::Naive, Variant::IspBlock] {
-            let ex = run_filter(&gpu, &ck, variant, &[&img], &[], 0.1, (32, 4), ExecMode::Exhaustive)
+            let ex = engine
+                .run_kernel(
+                    &ck,
+                    variant,
+                    &[&img],
+                    &[],
+                    0.1,
+                    (32, 4),
+                    ExecMode::Exhaustive,
+                )
                 .expect("exhaustive");
-            let sa = run_filter(&gpu, &ck, variant, &[&img], &[], 0.1, (32, 4), ExecMode::Sampled)
+            let sa = engine
+                .run_kernel(&ck, variant, &[&img], &[], 0.1, (32, 4), ExecMode::Sampled)
                 .expect("sampled");
             let ok = ex.report.counters.histogram == sa.report.counters.histogram
                 && ex.report.counters.mem_transactions == sa.report.counters.mem_transactions;
@@ -45,6 +55,9 @@ fn main() {
         }
     }
     println!("{}", t.render());
-    assert!(all_match, "sampling must be lossless for uniform region classes");
+    assert!(
+        all_match,
+        "sampling must be lossless for uniform region classes"
+    );
     println!("All counters agree exactly: sampled mode is lossless here.");
 }

@@ -1,24 +1,18 @@
-//! The shared experiment driver: compile an app's pipeline for a device,
-//! pattern, and size; run naive / isp / isp+m in region-sampled mode; and
-//! report timings, counters, and model decisions.
+//! The shared experiment driver, now a thin compatibility layer over
+//! [`isp_exec::Engine`]: an [`Experiment`] maps onto an engine [`Sweep`],
+//! and [`measure_app`] / [`compile_app`] route through the process-wide
+//! engine for the experiment's device, so every harness binary shares one
+//! kernel cache and one plan cache.
 
 use isp_core::Variant;
-use serde::Serialize;
-use isp_dsl::pipeline::Policy;
-use isp_dsl::runner::ExecMode;
-use isp_dsl::{CompiledKernel, Compiler};
+use isp_dsl::CompiledKernel;
+use isp_exec::{Engine, Sweep};
 use isp_filters::App;
-use isp_image::{BorderPattern, BorderSpec, Image, ImageGenerator};
-use isp_sim::{DeviceSpec, Gpu};
+use isp_image::BorderPattern;
+use isp_sim::DeviceSpec;
 
-/// The paper's block size (32x4 = 128 threads, wide in x).
-pub const PAPER_BLOCK: (u32, u32) = (32, 4);
-
-/// The paper's four evaluated image sizes.
-pub const PAPER_SIZES: [usize; 4] = [512, 1024, 2048, 4096];
-
-/// Seed for all generated bench imagery.
-pub const BENCH_SEED: u64 = 42;
+pub use isp_exec::Measurement as AppMeasurement;
+pub use isp_exec::{bench_image, BENCH_SEED, PAPER_BLOCK, PAPER_SIZES};
 
 /// One experiment point.
 #[derive(Debug, Clone)]
@@ -49,11 +43,28 @@ impl Experiment {
             granularity: Variant::IspBlock,
         }
     }
+
+    /// The engine sweep point this experiment describes (the device moves
+    /// to the engine, everything else carries over).
+    pub fn sweep(&self) -> Sweep {
+        Sweep {
+            app: self.app.clone(),
+            pattern: self.pattern,
+            size: self.size,
+            block: self.block,
+            granularity: self.granularity,
+        }
+    }
+
+    /// The process-wide engine for this experiment's device.
+    pub fn engine(&self) -> std::sync::Arc<Engine> {
+        Engine::global(&self.device)
+    }
 }
 
-/// A flat, serialisable record of one experiment for machine-readable
-/// output (`target/results/*.json`).
-#[derive(Debug, Clone, Serialize)]
+/// A flat record of one experiment for machine-readable output
+/// (`target/results/*.json`).
+#[derive(Debug, Clone)]
 pub struct ExperimentRecord {
     /// Device name.
     pub device: &'static str,
@@ -93,6 +104,36 @@ impl ExperimentRecord {
             stage_gains: m.stage_gains.clone(),
         }
     }
+
+    /// Render as a JSON object. All fields are names, integers, or finite
+    /// floats, so no string escaping is needed beyond quoting.
+    fn to_json(&self, indent: &str) -> String {
+        let gains: Vec<String> = self.stage_gains.iter().map(|g| format!("{g}")).collect();
+        format!(
+            "{indent}{{\n\
+             {indent}  \"device\": \"{}\",\n\
+             {indent}  \"app\": \"{}\",\n\
+             {indent}  \"pattern\": \"{}\",\n\
+             {indent}  \"size\": {},\n\
+             {indent}  \"naive_cycles\": {},\n\
+             {indent}  \"isp_cycles\": {},\n\
+             {indent}  \"ispm_cycles\": {},\n\
+             {indent}  \"speedup_isp\": {},\n\
+             {indent}  \"speedup_ispm\": {},\n\
+             {indent}  \"stage_gains\": [{}]\n\
+             {indent}}}",
+            self.device,
+            self.app,
+            self.pattern,
+            self.size,
+            self.naive_cycles,
+            self.isp_cycles,
+            self.ispm_cycles,
+            self.speedup_isp,
+            self.speedup_ispm,
+            gains.join(", "),
+        )
+    }
 }
 
 /// Write records as pretty JSON under `target/results/`.
@@ -100,105 +141,27 @@ pub fn write_json(name: &str, records: &[ExperimentRecord]) -> std::io::Result<s
     let dir = std::path::Path::new("target/results");
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
-    std::fs::write(&path, serde_json::to_string_pretty(records)?)?;
+    let body: Vec<String> = records.iter().map(|r| r.to_json("  ")).collect();
+    std::fs::write(&path, format!("[\n{}\n]\n", body.join(",\n")))?;
     Ok(path)
 }
 
-/// Measured results of one experiment (cycles are simulated totals over all
-/// pipeline stages).
-#[derive(Debug, Clone)]
-pub struct AppMeasurement {
-    /// Naive-variant cycles.
-    pub naive_cycles: u64,
-    /// Always-ISP cycles.
-    pub isp_cycles: u64,
-    /// Model-guided (isp+m) cycles.
-    pub ispm_cycles: u64,
-    /// `naive / isp` — Figure 4/6's "isp" series.
-    pub speedup_isp: f64,
-    /// `naive / ispm` — Figure 6's "isp+m" series.
-    pub speedup_ispm: f64,
-    /// Variant each stage ran under the model policy.
-    pub ispm_variants: Vec<Variant>,
-    /// Warp-instruction totals (naive, isp).
-    pub warp_instructions: (u64, u64),
-    /// Per-stage model gains G (Eq. 10) for stencil stages.
-    pub stage_gains: Vec<f64>,
-}
-
-impl AppMeasurement {
-    /// Whether ISP actually beat naive in measured (simulated) time.
-    pub fn isp_measured_better(&self) -> bool {
-        self.speedup_isp > 1.0
-    }
-
-    /// Whether the model predicted ISP for at least the stencil stages
-    /// (point-op stages are always naive and not counted).
-    pub fn model_chose_isp(&self) -> bool {
-        self.stage_gains.iter().any(|&g| g > 1.0)
-    }
-}
-
-/// The deterministic source image for a given size.
-pub fn bench_image(size: usize) -> Image<f32> {
-    ImageGenerator::new(BENCH_SEED).natural::<f32>(size, size)
-}
-
-/// Compile an app's pipeline for one experiment. Compilation depends only on
-/// `(app, pattern, granularity)` — not the image size — so results are
-/// memoised across the size sweeps the harness binaries run.
+/// Compile an app's pipeline for one experiment through the engine's
+/// kernel cache. Compatibility shim: new code should call
+/// [`Engine::compile_pipeline`] and keep the `Arc`s.
 pub fn compile_app(exp: &Experiment) -> Vec<CompiledKernel> {
-    use std::collections::HashMap;
-    use std::sync::{Mutex, OnceLock};
-    type Key = (&'static str, BorderPattern, Variant);
-    static CACHE: OnceLock<Mutex<HashMap<Key, Vec<CompiledKernel>>>> = OnceLock::new();
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    let key = (exp.app.name, exp.pattern, exp.granularity);
-    if let Some(hit) = cache.lock().expect("cache lock").get(&key) {
-        return hit.clone();
-    }
-    let border = BorderSpec::from_pattern(exp.pattern);
-    let compiled = exp.app.pipeline.compile(&Compiler::new(), border, exp.granularity);
-    cache.lock().expect("cache lock").insert(key, compiled.clone());
-    compiled
+    let border = isp_image::BorderSpec::from_pattern(exp.pattern);
+    exp.engine()
+        .compile_pipeline(&exp.app.pipeline, border.pattern, exp.granularity)
+        .into_iter()
+        .map(|ck| (*ck).clone())
+        .collect()
 }
 
 /// Run the three policies for one experiment in region-sampled mode.
+/// Compatibility shim over [`Engine::measure`].
 pub fn measure_app(exp: &Experiment) -> AppMeasurement {
-    let gpu = Gpu::new(exp.device.clone());
-    let border = BorderSpec::from_pattern(exp.pattern);
-    let source = bench_image(exp.size);
-    let compiled = compile_app(exp);
-
-    let run = |policy: Policy| {
-        exp.app
-            .pipeline
-            .run(&gpu, &compiled, &source, border, exp.block, policy, ExecMode::Sampled)
-            .unwrap_or_else(|e| panic!("{} {} {}: {e}", exp.app.name, exp.pattern, exp.size))
-    };
-    let naive = run(Policy::Naive);
-    let isp = run(Policy::AlwaysIsp(exp.granularity));
-    let ispm = run(Policy::Model(exp.granularity));
-
-    let stage_gains = compiled
-        .iter()
-        .filter(|ck| ck.isp.is_some())
-        .map(|ck| {
-            let geom = isp_dsl::runner::geometry_for(ck, exp.size, exp.size, exp.block);
-            isp_dsl::runner::plan_for(&gpu, ck, &geom).predicted_gain
-        })
-        .collect();
-
-    AppMeasurement {
-        naive_cycles: naive.total_cycles,
-        isp_cycles: isp.total_cycles,
-        ispm_cycles: ispm.total_cycles,
-        speedup_isp: naive.total_cycles as f64 / isp.total_cycles as f64,
-        speedup_ispm: naive.total_cycles as f64 / ispm.total_cycles as f64,
-        ispm_variants: ispm.stage_variants,
-        warp_instructions: (naive.counters.warp_instructions, isp.counters.warp_instructions),
-        stage_gains,
-    }
+    exp.engine().measure(&exp.sweep())
 }
 
 #[cfg(test)]
@@ -217,7 +180,11 @@ mod tests {
             1024,
         );
         let m = measure_app(&exp);
-        assert!(m.speedup_isp > 1.1, "expected solid ISP win, got {}", m.speedup_isp);
+        assert!(
+            m.speedup_isp > 1.1,
+            "expected solid ISP win, got {}",
+            m.speedup_isp
+        );
         assert!(m.warp_instructions.1 < m.warp_instructions.0);
         // isp+m should agree and match the isp timing.
         assert!(m.model_chose_isp());
@@ -240,5 +207,48 @@ mod tests {
             m.ispm_cycles == m.naive_cycles || m.ispm_cycles == m.isp_cycles,
             "single-kernel isp+m must match one policy exactly"
         );
+    }
+
+    #[test]
+    fn repeated_experiments_share_the_global_engine() {
+        let exp = Experiment::paper(
+            DeviceSpec::gtx680(),
+            by_name("laplace").unwrap(),
+            BorderPattern::Mirror,
+            512,
+        );
+        let before = exp.engine().cache_stats();
+        let _ = measure_app(&exp);
+        let mid = exp.engine().cache_stats();
+        let _ = measure_app(&exp);
+        let after = exp.engine().cache_stats();
+        assert!(
+            mid.kernel_misses > before.kernel_misses,
+            "first run compiles"
+        );
+        assert_eq!(
+            after.kernel_misses, mid.kernel_misses,
+            "second run is all hits"
+        );
+        assert!(after.kernel_hits > mid.kernel_hits);
+        assert!(after.plan_hits > mid.plan_hits, "plans are reused too");
+    }
+
+    #[test]
+    fn json_output_is_well_formed() {
+        let exp = Experiment::paper(
+            DeviceSpec::gtx680(),
+            by_name("gaussian").unwrap(),
+            BorderPattern::Clamp,
+            512,
+        );
+        let rec = ExperimentRecord::new(&exp, &measure_app(&exp));
+        let json = rec.to_json("");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"app\": \"Gaussian\""));
+        assert!(json.contains("\"size\": 512"));
+        // Balanced quotes and braces (cheap structural sanity check).
+        assert_eq!(json.matches('"').count() % 2, 0);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -86,9 +86,23 @@ impl IndexBounds {
         // Radius 0 means no pixel ever reads past the right/bottom edge; the
         // "block containing pixel sx - rx" formula would otherwise point at
         // the non-existent pixel sx.
-        let bh_r = if rx == 0 { gx } else { ((g.sx as u32 - rx) / g.tx).min(gx) };
-        let bh_b = if ry == 0 { gy } else { ((g.sy as u32 - ry) / g.ty).min(gy) };
-        IndexBounds { bh_l, bh_r, bh_t, bh_b, grid: (gx, gy) }
+        let bh_r = if rx == 0 {
+            gx
+        } else {
+            ((g.sx as u32 - rx) / g.tx).min(gx)
+        };
+        let bh_b = if ry == 0 {
+            gy
+        } else {
+            ((g.sy as u32 - ry) / g.ty).min(gy)
+        };
+        IndexBounds {
+            bh_l,
+            bh_r,
+            bh_t,
+            bh_b,
+            grid: (gx, gy),
+        }
     }
 
     /// Whether the 9-region decomposition is well-formed: every block needs
@@ -111,15 +125,15 @@ impl IndexBounds {
         let ny_mid = (self.bh_b - self.bh_t) as u64;
         BlockCounts {
             counts: [
-                nx_l * ny_t,   // TL
-                nx_mid * ny_t, // T
-                nx_r * ny_t,   // TR
-                nx_l * ny_mid, // L
+                nx_l * ny_t,     // TL
+                nx_mid * ny_t,   // T
+                nx_r * ny_t,     // TR
+                nx_l * ny_mid,   // L
                 nx_mid * ny_mid, // Body
-                nx_r * ny_mid, // R
-                nx_l * ny_b,   // BL
-                nx_mid * ny_b, // B
-                nx_r * ny_b,   // BR
+                nx_r * ny_mid,   // R
+                nx_l * ny_b,     // BL
+                nx_mid * ny_b,   // B
+                nx_r * ny_b,     // BR
             ],
         }
     }
@@ -163,7 +177,14 @@ mod tests {
     use proptest::prelude::*;
 
     fn geom(sx: usize, sy: usize, m: usize, n: usize, tx: u32, ty: u32) -> Geometry {
-        Geometry { sx, sy, m, n, tx, ty }
+        Geometry {
+            sx,
+            sy,
+            m,
+            n,
+            tx,
+            ty,
+        }
     }
 
     /// Brute-force: does block bx (x-axis) contain a pixel needing a
@@ -262,9 +283,12 @@ mod tests {
     fn larger_blocks_lower_body_fraction_at_small_sizes() {
         // Figure 3's second claim: given a small image, a larger block size
         // leaves fewer body blocks.
-        let small = IndexBounds::new(&geom(256, 256, 5, 5, 32, 4)).block_counts().body_fraction();
-        let large =
-            IndexBounds::new(&geom(256, 256, 5, 5, 128, 2)).block_counts().body_fraction();
+        let small = IndexBounds::new(&geom(256, 256, 5, 5, 32, 4))
+            .block_counts()
+            .body_fraction();
+        let large = IndexBounds::new(&geom(256, 256, 5, 5, 128, 2))
+            .block_counts()
+            .body_fraction();
         assert!(large < small, "large {large} vs small {small}");
     }
 

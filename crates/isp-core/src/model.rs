@@ -127,7 +127,10 @@ pub struct PredictionInputs {
 impl PredictionInputs {
     /// Eq. (10): `G = R_reduced * O_ISP / O_naive`.
     pub fn gain(&self) -> f64 {
-        assert!(self.occ_naive > 0.0 && self.occ_isp > 0.0, "occupancies must be positive");
+        assert!(
+            self.occ_naive > 0.0 && self.occ_isp > 0.0,
+            "occupancies must be positive"
+        );
         self.r_reduced * self.occ_isp / self.occ_naive
     }
 
@@ -143,7 +146,14 @@ mod tests {
     use proptest::prelude::*;
 
     fn geometry(sx: usize, m: usize, tx: u32, ty: u32) -> Geometry {
-        Geometry { sx, sy: sx, m, n: m, tx, ty }
+        Geometry {
+            sx,
+            sy: sx,
+            m,
+            n: m,
+            tx,
+            ty,
+        }
     }
 
     #[test]
@@ -202,24 +212,42 @@ mod tests {
         region[Region::L.index()] = 85.0;
         region[Region::R.index()] = 85.0;
         region[Region::Body.index()] = 60.0;
-        let m = IrStatsModel { naive_per_thread: 100.0, region_per_thread: region };
+        let m = IrStatsModel {
+            naive_per_thread: 100.0,
+            region_per_thread: region,
+        };
         let r = m.r_reduced(&bounds);
         assert!(r > 1.4 && r < 100.0 / 60.0, "r={r}");
         // All regions as expensive as naive -> no reduction.
-        let flat = IrStatsModel { naive_per_thread: 100.0, region_per_thread: [100.0; 9] };
+        let flat = IrStatsModel {
+            naive_per_thread: 100.0,
+            region_per_thread: [100.0; 9],
+        };
         assert!((flat.r_reduced(&bounds) - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn gain_combines_reduction_and_occupancy() {
-        let p = PredictionInputs { r_reduced: 1.5, occ_naive: 1.0, occ_isp: 0.75 };
+        let p = PredictionInputs {
+            r_reduced: 1.5,
+            occ_naive: 1.0,
+            occ_isp: 0.75,
+        };
         assert!((p.gain() - 1.125).abs() < 1e-12);
         assert!(p.isp_wins());
         // Occupancy loss can flip the verdict (the Table III story).
-        let p = PredictionInputs { r_reduced: 1.1, occ_naive: 1.0, occ_isp: 0.625 };
+        let p = PredictionInputs {
+            r_reduced: 1.1,
+            occ_naive: 1.0,
+            occ_isp: 0.625,
+        };
         assert!(!p.isp_wins());
         // No occupancy change (Turing): R alone decides.
-        let p = PredictionInputs { r_reduced: 1.02, occ_naive: 1.0, occ_isp: 1.0 };
+        let p = PredictionInputs {
+            r_reduced: 1.02,
+            occ_naive: 1.0,
+            occ_isp: 1.0,
+        };
         assert!(p.isp_wins());
     }
 

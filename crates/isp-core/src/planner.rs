@@ -70,16 +70,33 @@ impl Planner {
     /// `isp_variant` is the ISP flavour the compiler produced (block- or
     /// warp-grained); `bounds` gates on partition validity; `inputs` carries
     /// `R_reduced` and the two occupancies.
-    pub fn choose(&self, isp_variant: Variant, bounds: &IndexBounds, inputs: &PredictionInputs) -> Plan {
-        assert!(isp_variant.is_isp(), "planner chooses between naive and an ISP variant");
+    pub fn choose(
+        &self,
+        isp_variant: Variant,
+        bounds: &IndexBounds,
+        inputs: &PredictionInputs,
+    ) -> Plan {
+        assert!(
+            isp_variant.is_isp(),
+            "planner chooses between naive and an ISP variant"
+        );
         if !bounds.is_valid() {
-            return Plan { variant: Variant::Naive, predicted_gain: 1.0 };
+            return Plan {
+                variant: Variant::Naive,
+                predicted_gain: 1.0,
+            };
         }
         let g = inputs.gain();
         if g > 1.0 {
-            Plan { variant: isp_variant, predicted_gain: g }
+            Plan {
+                variant: isp_variant,
+                predicted_gain: g,
+            }
         } else {
-            Plan { variant: Variant::Naive, predicted_gain: g }
+            Plan {
+                variant: Variant::Naive,
+                predicted_gain: g,
+            }
         }
     }
 }
@@ -90,7 +107,14 @@ mod tests {
     use crate::bounds::Geometry;
 
     fn bounds(sx: usize, m: usize) -> IndexBounds {
-        IndexBounds::new(&Geometry { sx, sy: sx, m, n: m, tx: 32, ty: 4 })
+        IndexBounds::new(&Geometry {
+            sx,
+            sy: sx,
+            m,
+            n: m,
+            tx: 32,
+            ty: 4,
+        })
     }
 
     #[test]
@@ -98,7 +122,11 @@ mod tests {
         let plan = Planner.choose(
             Variant::IspBlock,
             &bounds(2048, 5),
-            &PredictionInputs { r_reduced: 1.6, occ_naive: 1.0, occ_isp: 0.9 },
+            &PredictionInputs {
+                r_reduced: 1.6,
+                occ_naive: 1.0,
+                occ_isp: 0.9,
+            },
         );
         assert_eq!(plan.variant, Variant::IspBlock);
         assert!(plan.predicted_gain > 1.0);
@@ -110,7 +138,11 @@ mod tests {
         let plan = Planner.choose(
             Variant::IspWarp,
             &bounds(512, 13),
-            &PredictionInputs { r_reduced: 1.05, occ_naive: 1.0, occ_isp: 0.75 },
+            &PredictionInputs {
+                r_reduced: 1.05,
+                occ_naive: 1.0,
+                occ_isp: 0.75,
+            },
         );
         assert_eq!(plan.variant, Variant::Naive);
         assert!(plan.predicted_gain < 1.0);
@@ -121,7 +153,11 @@ mod tests {
         let plan = Planner.choose(
             Variant::IspBlock,
             &bounds(32, 13), // single block column needing both x checks
-            &PredictionInputs { r_reduced: 2.0, occ_naive: 1.0, occ_isp: 1.0 },
+            &PredictionInputs {
+                r_reduced: 2.0,
+                occ_naive: 1.0,
+                occ_isp: 1.0,
+            },
         );
         assert_eq!(plan.variant, Variant::Naive);
         assert_eq!(plan.predicted_gain, 1.0);
@@ -133,7 +169,11 @@ mod tests {
         let _ = Planner.choose(
             Variant::Naive,
             &bounds(512, 5),
-            &PredictionInputs { r_reduced: 1.0, occ_naive: 1.0, occ_isp: 1.0 },
+            &PredictionInputs {
+                r_reduced: 1.0,
+                occ_naive: 1.0,
+                occ_isp: 1.0,
+            },
         );
     }
 

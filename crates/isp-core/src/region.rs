@@ -77,10 +77,15 @@ impl Region {
     /// Number of sides this region checks (0 for Body, 1 for edges, 2 for
     /// corners) — the paper's Eq. (6) case split.
     pub fn sides_checked(&self) -> usize {
-        [self.checks_left(), self.checks_right(), self.checks_top(), self.checks_bottom()]
-            .iter()
-            .filter(|&&c| c)
-            .count()
+        [
+            self.checks_left(),
+            self.checks_right(),
+            self.checks_top(),
+            self.checks_bottom(),
+        ]
+        .iter()
+        .filter(|&&c| c)
+        .count()
     }
 
     /// Whether this is one of the four corner regions.
@@ -90,7 +95,10 @@ impl Region {
 
     /// Region stable index (0..9) in [`Region::ALL`] order.
     pub fn index(&self) -> usize {
-        Region::ALL.iter().position(|r| r == self).expect("region in ALL")
+        Region::ALL
+            .iter()
+            .position(|r| r == self)
+            .expect("region in ALL")
     }
 }
 
@@ -106,9 +114,18 @@ mod tests {
 
     #[test]
     fn sides_checked_partition() {
-        let corners: Vec<_> = Region::ALL.iter().filter(|r| r.sides_checked() == 2).collect();
-        let edges: Vec<_> = Region::ALL.iter().filter(|r| r.sides_checked() == 1).collect();
-        let body: Vec<_> = Region::ALL.iter().filter(|r| r.sides_checked() == 0).collect();
+        let corners: Vec<_> = Region::ALL
+            .iter()
+            .filter(|r| r.sides_checked() == 2)
+            .collect();
+        let edges: Vec<_> = Region::ALL
+            .iter()
+            .filter(|r| r.sides_checked() == 1)
+            .collect();
+        let body: Vec<_> = Region::ALL
+            .iter()
+            .filter(|r| r.sides_checked() == 0)
+            .collect();
         assert_eq!(corners.len(), 4);
         assert_eq!(edges.len(), 4);
         assert_eq!(body, vec![&Region::Body]);

@@ -140,7 +140,14 @@ mod tests {
     use proptest::prelude::*;
 
     fn bounds(sx: usize, sy: usize, m: usize, tx: u32, ty: u32) -> IndexBounds {
-        IndexBounds::new(&Geometry { sx, sy, m, n: m, tx, ty })
+        IndexBounds::new(&Geometry {
+            sx,
+            sy,
+            m,
+            n: m,
+            tx,
+            ty,
+        })
     }
 
     #[test]
@@ -208,14 +215,20 @@ mod tests {
         // 32-wide blocks: nothing to refine.
         assert!(!warp_refinement_applicable(&bounds(512, 512, 5, 32, 4), 32));
         // 128-wide blocks with small radius: applicable.
-        assert!(warp_refinement_applicable(&bounds(512, 512, 5, 128, 1), 128));
+        assert!(warp_refinement_applicable(
+            &bounds(512, 512, 5, 128, 1),
+            128
+        ));
         // Degenerate bounds: not applicable.
-        assert!(!warp_refinement_applicable(&bounds(96, 512, 13, 128, 1), 128));
+        assert!(!warp_refinement_applicable(
+            &bounds(96, 512, 13, 128, 1),
+            128
+        ));
     }
 
-    /// The safety property that makes warp-grained ISP correct: a warp
-    /// redirected to a cheaper region must not contain ANY pixel that needs
-    /// the checks it skipped.
+    // The safety property that makes warp-grained ISP correct: a warp
+    // redirected to a cheaper region must not contain ANY pixel that needs
+    // the checks it skipped.
     proptest! {
         #[test]
         fn warp_refinement_never_skips_needed_checks(

@@ -147,7 +147,9 @@ pub struct Compiler {
 
 impl Default for Compiler {
     fn default() -> Self {
-        Compiler { opt: OptConfig::full() }
+        Compiler {
+            opt: OptConfig::full(),
+        }
     }
 }
 
@@ -172,11 +174,8 @@ impl Compiler {
         granularity: Variant,
     ) -> CompiledKernel {
         assert!(granularity.is_isp(), "granularity selects the ISP flavour");
-        let naive = CompiledVariant::from_lowered(
-            Variant::Naive,
-            lower_naive(spec, pattern),
-            self.opt,
-        );
+        let naive =
+            CompiledVariant::from_lowered(Variant::Naive, lower_naive(spec, pattern), self.opt);
         let isp = if spec.is_point_op() {
             None
         } else {
@@ -195,7 +194,13 @@ impl Compiler {
                 self.opt,
             ))
         };
-        CompiledKernel { spec: spec.clone(), pattern, naive, isp, texture }
+        CompiledKernel {
+            spec: spec.clone(),
+            pattern,
+            naive,
+            isp,
+            texture,
+        }
     }
 }
 
@@ -210,11 +215,7 @@ impl Compiler {
         pattern: BorderPattern,
         block: (u32, u32),
     ) -> CompiledVariant {
-        CompiledVariant::from_lowered(
-            Variant::Tiled,
-            lower_tiled(spec, pattern, block),
-            self.opt,
-        )
+        CompiledVariant::from_lowered(Variant::Tiled, lower_tiled(spec, pattern, block), self.opt)
     }
 }
 
@@ -278,8 +279,11 @@ mod tests {
         // The paper's §IV-A observation: NVCC CSE shrinks the naive cost.
         let spec = gauss3();
         let full = Compiler::new().compile(&spec, BorderPattern::Clamp, Variant::IspBlock);
-        let nocse =
-            Compiler::with_opt(isp_ir::opt::OptConfig::no_cse()).compile(&spec, BorderPattern::Clamp, Variant::IspBlock);
+        let nocse = Compiler::with_opt(isp_ir::opt::OptConfig::no_cse()).compile(
+            &spec,
+            BorderPattern::Clamp,
+            Variant::IspBlock,
+        );
         assert!(
             full.naive.static_histogram.total() < nocse.naive.static_histogram.total(),
             "CSE must shrink the naive kernel"
@@ -299,7 +303,10 @@ mod tests {
             ty: 4,
         });
         let r = model.r_reduced(&bounds);
-        assert!(r > 1.2, "repeat gauss3 at 2048^2 should predict solid reduction, got {r}");
+        assert!(
+            r > 1.2,
+            "repeat gauss3 at 2048^2 should predict solid reduction, got {r}"
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ fn emit_axis_checks(
                 let _ = writeln!(out, "{indent}if ({var} < 0) {var} = -{var} - 1;");
             }
             if check_hi {
-                let _ = writeln!(out, "{indent}if ({var} >= {size}) {var} = 2*{size} - {var} - 1;");
+                let _ = writeln!(
+                    out,
+                    "{indent}if ({var} >= {size}) {var} = 2*{size} - {var} - 1;"
+                );
             }
         }
         BorderPattern::Repeat => {
@@ -83,7 +86,13 @@ fn expr_to_c(e: &Expr, spec: &KernelSpec) -> String {
                 EUn::Floor => format!("floorf({a})"),
             }
         }
-        Expr::Select { cmp, a, b, then, els } => {
+        Expr::Select {
+            cmp,
+            a,
+            b,
+            then,
+            els,
+        } => {
             let c = match cmp {
                 ECmp::Lt => "<",
                 ECmp::Le => "<=",
@@ -150,16 +159,39 @@ fn emit_region_body(
         let _ = writeln!(out, "        bool in_bounds = true;");
     }
     let mut checks = String::new();
-    emit_axis_checks(&mut checks, pattern, "x", "width", profile.left, profile.right, "        ");
-    emit_axis_checks(&mut checks, pattern, "y", "height", profile.top, profile.bottom, "        ");
+    emit_axis_checks(
+        &mut checks,
+        pattern,
+        "x",
+        "width",
+        profile.left,
+        profile.right,
+        "        ",
+    );
+    emit_axis_checks(
+        &mut checks,
+        pattern,
+        "y",
+        "height",
+        profile.top,
+        profile.bottom,
+        "        ",
+    );
     out.push_str(&checks);
     if pattern == BorderPattern::Constant {
-        let _ = writeln!(out, "        return in_bounds ? input[y*stride + x] : border_const;");
+        let _ = writeln!(
+            out,
+            "        return in_bounds ? input[y*stride + x] : border_const;"
+        );
     } else {
         let _ = writeln!(out, "        return input[y*stride + x];");
     }
     let _ = writeln!(out, "    }};");
-    let _ = writeln!(out, "    output[gy*stride + gx] = {};", expr_to_c(&spec.body, spec));
+    let _ = writeln!(
+        out,
+        "    output[gy*stride + gx] = {};",
+        expr_to_c(&spec.body, spec)
+    );
     let _ = writeln!(out, "    return;");
     let _ = writeln!(out, "}}");
 }
@@ -174,7 +206,8 @@ pub fn emit_cuda(spec: &KernelSpec, pattern: BorderPattern, variant: Variant) ->
         Variant::Texture => "tex",
         Variant::Tiled => "tiled",
     };
-    let mut params = String::from("const float* input, float* output, int width, int height, int stride");
+    let mut params =
+        String::from("const float* input, float* output, int width, int height, int stride");
     if variant.is_isp() {
         params.push_str(", int BH_L, int BH_R, int BH_T, int BH_B");
     }
@@ -187,7 +220,13 @@ pub fn emit_cuda(spec: &KernelSpec, pattern: BorderPattern, variant: Variant) ->
     for p in &spec.user_params {
         let _ = write!(params, ", float {p}");
     }
-    let _ = writeln!(out, "__global__ void {}_{}_{}({params}) {{", spec.name, suffix, pattern.name());
+    let _ = writeln!(
+        out,
+        "__global__ void {}_{}_{}({params}) {{",
+        spec.name,
+        suffix,
+        pattern.name()
+    );
     let _ = writeln!(out, "    int gx = blockIdx.x * blockDim.x + threadIdx.x;");
     let _ = writeln!(out, "    int gy = blockIdx.y * blockDim.y + threadIdx.y;");
     let _ = writeln!(out, "    if (gx >= width || gy >= height) return;");
@@ -215,7 +254,11 @@ pub fn emit_cuda(spec: &KernelSpec, pattern: BorderPattern, variant: Variant) ->
                 out,
                 "    auto read0 = [&](int dx, int dy) {{ return tex2D<float>(input_tex, gx + dx, gy + dy); }};"
             );
-            let _ = writeln!(out, "    output[gy*stride + gx] = {};", expr_to_c(&spec.body, spec));
+            let _ = writeln!(
+                out,
+                "    output[gy*stride + gx] = {};",
+                expr_to_c(&spec.body, spec)
+            );
             let _ = writeln!(out, "    return;");
             let _ = writeln!(out, "}}");
         }
@@ -310,7 +353,10 @@ mod tests {
         // Body region emits no checks at all.
         let body_start = src.find("Body: {").unwrap();
         let body = &src[body_start..src.len().min(body_start + 400)];
-        assert!(!body.contains("if (x <"), "Body region must be check-free:\n{body}");
+        assert!(
+            !body.contains("if (x <"),
+            "Body region must be check-free:\n{body}"
+        );
         assert!(src.contains("-x - 1"), "mirror reflection emitted");
     }
 
@@ -363,7 +409,10 @@ pub fn emit_opencl(spec: &KernelSpec, pattern: BorderPattern, variant: Variant) 
         .replace("blockIdx.x", "get_group_id(0)")
         .replace("blockIdx.y", "get_group_id(1)")
         .replace("threadIdx.x", "get_local_id(0)")
-        .replace("tex2D<float>(input_tex, ", "read_imagef(input_tex, sampler, (int2)(")
+        .replace(
+            "tex2D<float>(input_tex, ",
+            "read_imagef(input_tex, sampler, (int2)(",
+        )
 }
 
 #[cfg(test)]

@@ -54,7 +54,13 @@ fn eval_with_accs(
                 EUn::Floor => a.floor(),
             }
         }
-        Expr::Select { cmp, a, b, then, els } => {
+        Expr::Select {
+            cmp,
+            a,
+            b,
+            then,
+            els,
+        } => {
             let a = ev(a);
             let b = ev(b);
             let take = match cmp {
@@ -110,8 +116,10 @@ pub fn reference_run(
     for img in inputs {
         assert_eq!(img.dims(), (w, h), "all inputs must agree in size");
     }
-    let bordered: Vec<BorderedImage<'_, f32>> =
-        inputs.iter().map(|img| BorderedImage::new(img, border)).collect();
+    let bordered: Vec<BorderedImage<'_, f32>> = inputs
+        .iter()
+        .map(|img| BorderedImage::new(img, border))
+        .collect();
     Image::from_fn(w, h, |x, y| eval_expr(&spec.body, &bordered, params, x, y))
 }
 

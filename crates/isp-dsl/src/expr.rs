@@ -199,14 +199,23 @@ impl Expr {
             );
         }
         for (t, tap) in taps.iter().enumerate() {
-            assert_eq!(tap.len(), k, "tap {t} has {} terms, expected {k}", tap.len());
+            assert_eq!(
+                tap.len(),
+                k,
+                "tap {t} has {} terms, expected {k}",
+                tap.len()
+            );
         }
         combine.walk(&mut |e| {
             if let Expr::Acc(i) = e {
                 assert!(*i < k, "combine references accumulator {i}, only {k} exist");
             }
         });
-        Expr::FusedReduce { taps, ops, combine: Box::new(combine) }
+        Expr::FusedReduce {
+            taps,
+            ops,
+            combine: Box::new(combine),
+        }
     }
 
     /// Single-accumulator fused sum of `terms` (a plain windowed reduction).
@@ -296,7 +305,9 @@ impl Expr {
                 b.walk(f);
             }
             Expr::Un(_, a) => a.walk(f),
-            Expr::Select { a, b, then, els, .. } => {
+            Expr::Select {
+                a, b, then, els, ..
+            } => {
                 a.walk(f);
                 b.walk(f);
                 then.walk(f);
@@ -322,7 +333,9 @@ impl Expr {
                 Expr::Acc(_) => in_combine,
                 Expr::Bin(_, a, b) => check(a, in_combine) && check(b, in_combine),
                 Expr::Un(_, a) => check(a, in_combine),
-                Expr::Select { a, b, then, els, .. } => {
+                Expr::Select {
+                    a, b, then, els, ..
+                } => {
                     check(a, in_combine)
                         && check(b, in_combine)
                         && check(then, in_combine)
@@ -404,8 +417,7 @@ mod tests {
 
     #[test]
     fn accesses_deduplicate_in_order() {
-        let e = Expr::at(-1, 0) + Expr::at(1, 0) + Expr::at(-1, 0) * 2.0
-            + Expr::input_at(1, 0, 0);
+        let e = Expr::at(-1, 0) + Expr::at(1, 0) + Expr::at(-1, 0) * 2.0 + Expr::input_at(1, 0, 0);
         assert_eq!(e.accesses(), vec![(0, -1, 0), (0, 1, 0), (1, 0, 0)]);
     }
 

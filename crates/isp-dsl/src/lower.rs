@@ -48,13 +48,23 @@ pub struct CheckProfile {
 impl CheckProfile {
     /// All four checks — the naive variant.
     pub fn all() -> Self {
-        CheckProfile { left: true, right: true, top: true, bottom: true }
+        CheckProfile {
+            left: true,
+            right: true,
+            top: true,
+            bottom: true,
+        }
     }
 
     /// No checks — point operators (no boundary condition attached, like a
     /// Hipacc `Accessor` without a `BoundaryCondition`).
     pub fn none() -> Self {
-        CheckProfile { left: false, right: false, top: false, bottom: false }
+        CheckProfile {
+            left: false,
+            right: false,
+            top: false,
+            bottom: false,
+        }
     }
 
     /// The checks a given ISP region requires.
@@ -162,7 +172,12 @@ fn needs_border(spec: &KernelSpec) -> bool {
 }
 
 /// Declare parameters in canonical order and return the layout.
-fn declare_params(b: &mut IrBuilder, spec: &KernelSpec, pattern: BorderPattern, variant: Variant) -> Vec<ParamKind> {
+fn declare_params(
+    b: &mut IrBuilder,
+    spec: &KernelSpec,
+    pattern: BorderPattern,
+    variant: Variant,
+) -> Vec<ParamKind> {
     let mut layout = vec![ParamKind::Width, ParamKind::Height, ParamKind::Stride];
     b.param("width", Ty::S32);
     b.param("height", Ty::S32);
@@ -198,11 +213,7 @@ fn declare_params(b: &mut IrBuilder, spec: &KernelSpec, pattern: BorderPattern, 
 /// Emit the entry-block prologue: global coordinates, parameter loads, and
 /// the image-edge guard. Returns the common registers and leaves the builder
 /// positioned in a fresh unsealed block reached only by in-image threads.
-fn emit_prologue(
-    b: &mut IrBuilder,
-    layout: &[ParamKind],
-    exit: BlockId,
-) -> CommonRegs {
+fn emit_prologue(b: &mut IrBuilder, layout: &[ParamKind], exit: BlockId) -> CommonRegs {
     let bx = b.sreg(SReg::CtaIdX);
     let by = b.sreg(SReg::CtaIdY);
     let ntx = b.sreg(SReg::NTidX);
@@ -241,7 +252,19 @@ fn emit_prologue(
     b.cond_br(p, inside, exit);
     b.switch_to(inside);
 
-    CommonRegs { gx, gy, tid_x, tid_y, width, height, stride, border_const, user, bx, by }
+    CommonRegs {
+        gx,
+        gy,
+        tid_x,
+        tid_y,
+        width,
+        height,
+        stride,
+        border_const,
+        user,
+        bx,
+        by,
+    }
 }
 
 /// Resolve one axis coordinate under `pattern`, emitting only the checks the
@@ -373,7 +396,15 @@ fn lower_access(
 
     let mut inbounds: Option<VReg> = None;
     let rx = resolve_axis(b, pattern, x, common.width, check_l, check_r, &mut inbounds);
-    let ry = resolve_axis(b, pattern, y, common.height, check_t, check_b, &mut inbounds);
+    let ry = resolve_axis(
+        b,
+        pattern,
+        y,
+        common.height,
+        check_t,
+        check_b,
+        &mut inbounds,
+    );
     let addr = b.mad(Ty::S32, ry, common.stride, rx);
 
     match inbounds {
@@ -402,9 +433,7 @@ fn lower_expr(
     accs: &[Operand],
 ) -> Operand {
     match expr {
-        Expr::Input { input, dx, dy } => {
-            lower_access(b, spec, mode, common, *input, *dx, *dy)
-        }
+        Expr::Input { input, dx, dy } => lower_access(b, spec, mode, common, *input, *dx, *dy),
         Expr::Const(v) => Operand::ImmF(*v),
         Expr::Param(i) => Operand::Reg(common.user[*i]),
         Expr::Acc(i) => accs[*i],
@@ -434,7 +463,13 @@ fn lower_expr(
             };
             Operand::Reg(b.un(op, Ty::F32, a))
         }
-        Expr::Select { cmp, a, b: rhs, then, els } => {
+        Expr::Select {
+            cmp,
+            a,
+            b: rhs,
+            then,
+            els,
+        } => {
             let a = lower_expr(b, spec, mode, common, a, accs);
             let r = lower_expr(b, spec, mode, common, rhs, accs);
             let cmp = match cmp {
@@ -486,18 +521,34 @@ fn emit_body(b: &mut IrBuilder, spec: &KernelSpec, mode: &AccessMode, common: &C
 
 /// Lower the **naive** variant: one body with every (offset-possible) check.
 pub fn lower_naive(spec: &KernelSpec, pattern: BorderPattern) -> Lowered {
-    let mut b = IrBuilder::new(format!("{}_naive_{}", spec.name, pattern.name()), spec.num_inputs as u32 + 1);
+    let mut b = IrBuilder::new(
+        format!("{}_naive_{}", spec.name, pattern.name()),
+        spec.num_inputs as u32 + 1,
+    );
     let layout = declare_params(&mut b, spec, pattern, Variant::Naive);
     let exit = b.create_block("exit");
     let common = emit_prologue(&mut b, &layout, exit);
-    let profile = if spec.is_point_op() { CheckProfile::none() } else { CheckProfile::all() };
-    emit_body(&mut b, spec, &AccessMode::Software { pattern, profile }, &common);
+    let profile = if spec.is_point_op() {
+        CheckProfile::none()
+    } else {
+        CheckProfile::all()
+    };
+    emit_body(
+        &mut b,
+        spec,
+        &AccessMode::Software { pattern, profile },
+        &common,
+    );
     b.br(exit);
     b.switch_to(exit);
     b.ret();
     let kernel = b.finish();
     isp_ir::validate::assert_valid(&kernel);
-    Lowered { kernel, params: layout, region_paths: None }
+    Lowered {
+        kernel,
+        params: layout,
+        region_paths: None,
+    }
 }
 
 /// Lower a **deliberately unchecked** variant: a stencil kernel with no
@@ -507,7 +558,10 @@ pub fn lower_naive(spec: &KernelSpec, pattern: BorderPattern) -> Lowered {
 /// show the simulator catching the out-of-bounds reads that border handling
 /// prevents. Never used by the compiler proper.
 pub fn lower_unchecked(spec: &KernelSpec) -> Lowered {
-    let mut b = IrBuilder::new(format!("{}_unchecked", spec.name), spec.num_inputs as u32 + 1);
+    let mut b = IrBuilder::new(
+        format!("{}_unchecked", spec.name),
+        spec.num_inputs as u32 + 1,
+    );
     let mut layout = vec![ParamKind::Width, ParamKind::Height, ParamKind::Stride];
     b.param("width", Ty::S32);
     b.param("height", Ty::S32);
@@ -532,7 +586,11 @@ pub fn lower_unchecked(spec: &KernelSpec) -> Lowered {
     b.ret();
     let kernel = b.finish();
     isp_ir::validate::assert_valid(&kernel);
-    Lowered { kernel, params: layout, region_paths: None }
+    Lowered {
+        kernel,
+        params: layout,
+        region_paths: None,
+    }
 }
 
 /// Lower the **texture** variant: like the naive kernel but all input reads
@@ -562,14 +620,21 @@ pub fn lower_texture(spec: &KernelSpec, pattern: BorderPattern) -> Lowered {
     let kernel = b.finish();
     isp_ir::validate::assert_valid(&kernel);
     let _ = pattern;
-    Lowered { kernel, params: layout, region_paths: None }
+    Lowered {
+        kernel,
+        params: layout,
+        region_paths: None,
+    }
 }
 
 /// Lower an **ISP** variant (block- or warp-grained): entry prologue, the
 /// Listing 3/5 switching cascade, and nine specialised region bodies.
 pub fn lower_isp(spec: &KernelSpec, pattern: BorderPattern, variant: Variant) -> Lowered {
     assert!(variant.is_isp(), "use lower_naive for the naive variant");
-    assert!(needs_border(spec), "point operators have no border to handle");
+    assert!(
+        needs_border(spec),
+        "point operators have no border to handle"
+    );
     let warp = variant == Variant::IspWarp;
     let suffix = if warp { "ispw" } else { "isp" };
     let mut b = IrBuilder::new(
@@ -728,7 +793,10 @@ pub fn lower_isp(spec: &KernelSpec, pattern: BorderPattern, variant: Variant) ->
         emit_body(
             &mut b,
             spec,
-            &AccessMode::Software { pattern, profile: CheckProfile::for_region(region) },
+            &AccessMode::Software {
+                pattern,
+                profile: CheckProfile::for_region(region),
+            },
             &common,
         );
         b.br(exit);
@@ -778,7 +846,213 @@ pub fn lower_isp(spec: &KernelSpec, pattern: BorderPattern, variant: Variant) ->
         paths.push((*region, path));
     }
 
-    Lowered { kernel, params: layout, region_paths: Some(paths) }
+    Lowered {
+        kernel,
+        params: layout,
+        region_paths: Some(paths),
+    }
+}
+
+/// Lower the **tiled** variant for a fixed `block = (tx, ty)`: the block
+/// cooperatively stages its `(tx + 2rx) x (ty + 2ry)` tile (with border
+/// handling applied once per staged element), synchronises, then computes
+/// entirely from shared memory — no border logic in the compute phase.
+///
+/// The staging loop is fully unrolled 2D cooperative loading: sub-tile
+/// `(ox, oy)` is loaded by thread `(tid.x + ox*tx, tid.y + oy*ty)`, guarded
+/// by a compile-time-known diamond only for the partial edge sub-tiles.
+/// Threads never early-exit before the barrier (the CUDA `__syncthreads`
+/// contract); only the final output store is guarded against the image
+/// edge.
+pub fn lower_tiled(spec: &KernelSpec, pattern: BorderPattern, block: (u32, u32)) -> Lowered {
+    assert_eq!(spec.num_inputs, 1, "tiling stages a single input image");
+    assert!(
+        !spec.is_point_op(),
+        "point operators gain nothing from tiling"
+    );
+    let (rx, ry) = spec.radii();
+    let (tx, ty) = block;
+    let tile_w = tx + 2 * rx as u32;
+    let tile_h = ty + 2 * ry as u32;
+
+    let mut b = IrBuilder::new(
+        format!("{}_tiled{}x{}_{}", spec.name, tx, ty, pattern.name()),
+        spec.num_inputs as u32 + 1,
+    );
+    b.set_shared_elems(tile_w * tile_h);
+    let mut layout = vec![ParamKind::Width, ParamKind::Height, ParamKind::Stride];
+    b.param("width", Ty::S32);
+    b.param("height", Ty::S32);
+    b.param("stride", Ty::S32);
+    if pattern == BorderPattern::Constant {
+        b.param("border_const", Ty::F32);
+        layout.push(ParamKind::BorderConst);
+    }
+    for (i, name) in spec.user_params.iter().enumerate() {
+        b.param(name, Ty::F32);
+        layout.push(ParamKind::User(i));
+    }
+
+    // Prologue WITHOUT the early image-edge exit (everyone stages).
+    let bx = b.sreg(SReg::CtaIdX);
+    let by = b.sreg(SReg::CtaIdY);
+    let ntx = b.sreg(SReg::NTidX);
+    let nty = b.sreg(SReg::NTidY);
+    let tid_x = b.sreg(SReg::TidX);
+    let tid_y = b.sreg(SReg::TidY);
+    let gx = b.mad(Ty::S32, bx, ntx, tid_x);
+    let gy = b.mad(Ty::S32, by, nty, tid_y);
+    let mut width = None;
+    let mut height = None;
+    let mut stride = None;
+    let mut border_const = None;
+    let mut user = Vec::new();
+    // Parameter indices follow `layout` declaration order exactly.
+    for (i, kind) in layout.iter().enumerate() {
+        match kind {
+            ParamKind::Width => width = Some(b.ld_param(i as u32)),
+            ParamKind::Height => height = Some(b.ld_param(i as u32)),
+            ParamKind::Stride => stride = Some(b.ld_param(i as u32)),
+            ParamKind::BorderConst => border_const = Some(b.ld_param(i as u32)),
+            ParamKind::User(_) => user.push(b.ld_param(i as u32)),
+            _ => {}
+        }
+    }
+    let common = CommonRegs {
+        gx,
+        gy,
+        tid_x,
+        tid_y,
+        width: width.expect("width"),
+        height: height.expect("height"),
+        stride: stride.expect("stride"),
+        border_const,
+        user,
+        bx,
+        by,
+    };
+
+    // Staging: unrolled 2D cooperative halo loading.
+    let staging_mode = AccessMode::Software {
+        pattern,
+        profile: CheckProfile::all(),
+    };
+    let sub_x = tile_w.div_ceil(tx);
+    let sub_y = tile_h.div_ceil(ty);
+    // Tile origin in global coordinates: (bx*tx - rx, by*ty - ry).
+    let origin_x = b.bin(BinOp::Mul, Ty::S32, bx, tx as i32);
+    let origin_x = b.bin(BinOp::Sub, Ty::S32, origin_x, rx as i32);
+    let origin_y = b.bin(BinOp::Mul, Ty::S32, by, ty as i32);
+    let origin_y = b.bin(BinOp::Sub, Ty::S32, origin_y, ry as i32);
+    for oy in 0..sub_y {
+        for ox in 0..sub_x {
+            // Local tile coordinates this thread covers in this sub-tile.
+            let lx = b.bin(BinOp::Add, Ty::S32, tid_x, (ox * tx) as i32);
+            let ly = b.bin(BinOp::Add, Ty::S32, tid_y, (oy * ty) as i32);
+            // Partial sub-tiles need a bounds diamond (compile-time known).
+            let needs_guard_x = (ox + 1) * tx > tile_w;
+            let needs_guard_y = (oy + 1) * ty > tile_h;
+            let do_load = if needs_guard_x || needs_guard_y {
+                let do_load = b.create_block(format!("stage_{ox}_{oy}"));
+                let next = b.create_block(format!("staged_{ox}_{oy}"));
+                let mut p = None;
+                if needs_guard_x {
+                    p = Some(b.setp(CmpOp::Lt, lx, tile_w as i32));
+                }
+                if needs_guard_y {
+                    let py = b.setp(CmpOp::Lt, ly, tile_h as i32);
+                    p = Some(match p {
+                        Some(px) => b.bin(BinOp::And, Ty::Pred, px, py),
+                        None => py,
+                    });
+                }
+                b.cond_br(p.expect("guard predicate"), do_load, next);
+                b.switch_to(do_load);
+                Some(next)
+            } else {
+                None
+            };
+            // Global coordinates of the staged element + border handling.
+            let sgx = b.bin(BinOp::Add, Ty::S32, origin_x, lx);
+            let sgy = b.bin(BinOp::Add, Ty::S32, origin_y, ly);
+            let mut inbounds: Option<VReg> = None;
+            let (spattern, sprofile) = match &staging_mode {
+                AccessMode::Software { pattern, profile } => (*pattern, *profile),
+                _ => unreachable!(),
+            };
+            let rgx = resolve_axis(
+                &mut b,
+                spattern,
+                sgx,
+                common.width,
+                sprofile.left,
+                sprofile.right,
+                &mut inbounds,
+            );
+            let rgy = resolve_axis(
+                &mut b,
+                spattern,
+                sgy,
+                common.height,
+                sprofile.top,
+                sprofile.bottom,
+                &mut inbounds,
+            );
+            let gaddr = b.mad(Ty::S32, rgy, common.stride, rgx);
+            let value = match inbounds {
+                Some(p) => {
+                    let safe = b.selp(Ty::S32, gaddr, 0i32, p);
+                    let v = b.ld(Ty::F32, 0, safe);
+                    let cst = common.border_const.expect("constant pattern param");
+                    b.selp(Ty::F32, v, cst, p)
+                }
+                None => b.ld(Ty::F32, 0, gaddr),
+            };
+            let saddr = b.mad(Ty::S32, ly, tile_w as i32, lx);
+            b.sts(saddr, value);
+            if let Some(next) = do_load {
+                b.br(next);
+                b.switch_to(next);
+            }
+        }
+    }
+
+    // Barrier (its own block, per the validator's contract).
+    let bar = b.create_block("bar");
+    let compute = b.create_block("compute");
+    let exit = b.create_block("exit");
+    b.br(bar);
+    b.switch_to(bar);
+    b.bar();
+    b.br(compute);
+
+    // Compute from shared; guard only the output store.
+    b.switch_to(compute);
+    let tile_mode = AccessMode::SharedTile {
+        tile_w,
+        rx: rx as u32,
+        ry: ry as u32,
+    };
+    let value = lower_expr(&mut b, spec, &tile_mode, &common, &spec.body, &[]);
+    let px = b.setp(CmpOp::Lt, gx, common.width);
+    let py = b.setp(CmpOp::Lt, gy, common.height);
+    let p = b.bin(BinOp::And, Ty::Pred, px, py);
+    let store = b.create_block("store");
+    b.cond_br(p, store, exit);
+    b.switch_to(store);
+    let out_addr = b.mad(Ty::S32, gy, common.stride, gx);
+    b.st(spec.num_inputs as u32, out_addr, value);
+    b.br(exit);
+    b.switch_to(exit);
+    b.ret();
+
+    let kernel = b.finish();
+    isp_ir::validate::assert_valid(&kernel);
+    Lowered {
+        kernel,
+        params: layout,
+        region_paths: None,
+    }
 }
 
 #[cfg(test)]
@@ -849,7 +1123,11 @@ mod tests {
         let h_l = InstrHistogram::of_blocks(&isp.kernel, [l]);
         // TL clamps on both left (max) and top (max), L only left.
         assert!(h_tl.get(isp_ir::InstrCategory::Max) > h_l.get(isp_ir::InstrCategory::Max));
-        assert_eq!(h_tl.get(isp_ir::InstrCategory::Min), 0, "TL never checks right/bottom");
+        assert_eq!(
+            h_tl.get(isp_ir::InstrCategory::Min),
+            0,
+            "TL never checks right/bottom"
+        );
     }
 
     #[test]
@@ -902,7 +1180,11 @@ mod tests {
         let isp = lower_isp(&spec, BorderPattern::Mirror, Variant::IspBlock);
         let paths = isp.region_paths.unwrap();
         let len_of = |r: Region| {
-            paths.iter().find(|(pr, _)| *pr == r).map(|(_, p)| p.len()).unwrap()
+            paths
+                .iter()
+                .find(|(pr, _)| *pr == r)
+                .map(|(_, p)| p.len())
+                .unwrap()
         };
         // Later cascade entries traverse more switch blocks (the paper's
         // n_switch(p) differences).
@@ -911,7 +1193,10 @@ mod tests {
         // Body takes the fast path: the shortest route of all.
         for r in Region::ALL {
             if r != Region::Body {
-                assert!(len_of(Region::Body) < len_of(r), "Body must be shortest vs {r}");
+                assert!(
+                    len_of(Region::Body) < len_of(r),
+                    "Body must be shortest vs {r}"
+                );
             }
         }
     }
@@ -937,181 +1222,4 @@ mod tests {
         assert!(i.params.contains(&ParamKind::User(0)));
         assert!(i.params.contains(&ParamKind::BhL));
     }
-}
-
-/// Lower the **tiled** variant for a fixed `block = (tx, ty)`: the block
-/// cooperatively stages its `(tx + 2rx) x (ty + 2ry)` tile (with border
-/// handling applied once per staged element), synchronises, then computes
-/// entirely from shared memory — no border logic in the compute phase.
-///
-/// The staging loop is fully unrolled 2D cooperative loading: sub-tile
-/// `(ox, oy)` is loaded by thread `(tid.x + ox*tx, tid.y + oy*ty)`, guarded
-/// by a compile-time-known diamond only for the partial edge sub-tiles.
-/// Threads never early-exit before the barrier (the CUDA `__syncthreads`
-/// contract); only the final output store is guarded against the image
-/// edge.
-pub fn lower_tiled(spec: &KernelSpec, pattern: BorderPattern, block: (u32, u32)) -> Lowered {
-    assert_eq!(spec.num_inputs, 1, "tiling stages a single input image");
-    assert!(!spec.is_point_op(), "point operators gain nothing from tiling");
-    let (rx, ry) = spec.radii();
-    let (tx, ty) = block;
-    let tile_w = tx + 2 * rx as u32;
-    let tile_h = ty + 2 * ry as u32;
-
-    let mut b = IrBuilder::new(
-        format!("{}_tiled{}x{}_{}", spec.name, tx, ty, pattern.name()),
-        spec.num_inputs as u32 + 1,
-    );
-    b.set_shared_elems(tile_w * tile_h);
-    let mut layout = vec![ParamKind::Width, ParamKind::Height, ParamKind::Stride];
-    b.param("width", Ty::S32);
-    b.param("height", Ty::S32);
-    b.param("stride", Ty::S32);
-    if pattern == BorderPattern::Constant {
-        b.param("border_const", Ty::F32);
-        layout.push(ParamKind::BorderConst);
-    }
-    for (i, name) in spec.user_params.iter().enumerate() {
-        b.param(name, Ty::F32);
-        layout.push(ParamKind::User(i));
-    }
-
-    // Prologue WITHOUT the early image-edge exit (everyone stages).
-    let bx = b.sreg(SReg::CtaIdX);
-    let by = b.sreg(SReg::CtaIdY);
-    let ntx = b.sreg(SReg::NTidX);
-    let nty = b.sreg(SReg::NTidY);
-    let tid_x = b.sreg(SReg::TidX);
-    let tid_y = b.sreg(SReg::TidY);
-    let gx = b.mad(Ty::S32, bx, ntx, tid_x);
-    let gy = b.mad(Ty::S32, by, nty, tid_y);
-    let mut width = None;
-    let mut height = None;
-    let mut stride = None;
-    let mut border_const = None;
-    let mut user = Vec::new();
-    // Parameter indices follow `layout` declaration order exactly.
-    for (i, kind) in layout.iter().enumerate() {
-        match kind {
-            ParamKind::Width => width = Some(b.ld_param(i as u32)),
-            ParamKind::Height => height = Some(b.ld_param(i as u32)),
-            ParamKind::Stride => stride = Some(b.ld_param(i as u32)),
-            ParamKind::BorderConst => border_const = Some(b.ld_param(i as u32)),
-            ParamKind::User(_) => user.push(b.ld_param(i as u32)),
-            _ => {}
-        }
-    }
-    let common = CommonRegs {
-        gx,
-        gy,
-        tid_x,
-        tid_y,
-        width: width.expect("width"),
-        height: height.expect("height"),
-        stride: stride.expect("stride"),
-        border_const,
-        user,
-        bx,
-        by,
-    };
-
-    // Staging: unrolled 2D cooperative halo loading.
-    let staging_mode = AccessMode::Software { pattern, profile: CheckProfile::all() };
-    let sub_x = tile_w.div_ceil(tx);
-    let sub_y = tile_h.div_ceil(ty);
-    // Tile origin in global coordinates: (bx*tx - rx, by*ty - ry).
-    let origin_x = b.bin(BinOp::Mul, Ty::S32, bx, tx as i32);
-    let origin_x = b.bin(BinOp::Sub, Ty::S32, origin_x, rx as i32);
-    let origin_y = b.bin(BinOp::Mul, Ty::S32, by, ty as i32);
-    let origin_y = b.bin(BinOp::Sub, Ty::S32, origin_y, ry as i32);
-    for oy in 0..sub_y {
-        for ox in 0..sub_x {
-            // Local tile coordinates this thread covers in this sub-tile.
-            let lx = b.bin(BinOp::Add, Ty::S32, tid_x, (ox * tx) as i32);
-            let ly = b.bin(BinOp::Add, Ty::S32, tid_y, (oy * ty) as i32);
-            // Partial sub-tiles need a bounds diamond (compile-time known).
-            let needs_guard_x = (ox + 1) * tx > tile_w;
-            let needs_guard_y = (oy + 1) * ty > tile_h;
-            let do_load = if needs_guard_x || needs_guard_y {
-                let do_load = b.create_block(format!("stage_{ox}_{oy}"));
-                let next = b.create_block(format!("staged_{ox}_{oy}"));
-                let mut p = None;
-                if needs_guard_x {
-                    p = Some(b.setp(CmpOp::Lt, lx, tile_w as i32));
-                }
-                if needs_guard_y {
-                    let py = b.setp(CmpOp::Lt, ly, tile_h as i32);
-                    p = Some(match p {
-                        Some(px) => b.bin(BinOp::And, Ty::Pred, px, py),
-                        None => py,
-                    });
-                }
-                b.cond_br(p.expect("guard predicate"), do_load, next);
-                b.switch_to(do_load);
-                Some(next)
-            } else {
-                None
-            };
-            // Global coordinates of the staged element + border handling.
-            let sgx = b.bin(BinOp::Add, Ty::S32, origin_x, lx);
-            let sgy = b.bin(BinOp::Add, Ty::S32, origin_y, ly);
-            let mut inbounds: Option<VReg> = None;
-            let (spattern, sprofile) = match &staging_mode {
-                AccessMode::Software { pattern, profile } => (*pattern, *profile),
-                _ => unreachable!(),
-            };
-            let rgx = resolve_axis(
-                &mut b, spattern, sgx, common.width, sprofile.left, sprofile.right, &mut inbounds,
-            );
-            let rgy = resolve_axis(
-                &mut b, spattern, sgy, common.height, sprofile.top, sprofile.bottom, &mut inbounds,
-            );
-            let gaddr = b.mad(Ty::S32, rgy, common.stride, rgx);
-            let value = match inbounds {
-                Some(p) => {
-                    let safe = b.selp(Ty::S32, gaddr, 0i32, p);
-                    let v = b.ld(Ty::F32, 0, safe);
-                    let cst = common.border_const.expect("constant pattern param");
-                    b.selp(Ty::F32, v, cst, p)
-                }
-                None => b.ld(Ty::F32, 0, gaddr),
-            };
-            let saddr = b.mad(Ty::S32, ly, tile_w as i32, lx);
-            b.sts(saddr, value);
-            if let Some(next) = do_load {
-                b.br(next);
-                b.switch_to(next);
-            }
-        }
-    }
-
-    // Barrier (its own block, per the validator's contract).
-    let bar = b.create_block("bar");
-    let compute = b.create_block("compute");
-    let exit = b.create_block("exit");
-    b.br(bar);
-    b.switch_to(bar);
-    b.bar();
-    b.br(compute);
-
-    // Compute from shared; guard only the output store.
-    b.switch_to(compute);
-    let tile_mode =
-        AccessMode::SharedTile { tile_w, rx: rx as u32, ry: ry as u32 };
-    let value = lower_expr(&mut b, spec, &tile_mode, &common, &spec.body, &[]);
-    let px = b.setp(CmpOp::Lt, gx, common.width);
-    let py = b.setp(CmpOp::Lt, gy, common.height);
-    let p = b.bin(BinOp::And, Ty::Pred, px, py);
-    let store = b.create_block("store");
-    b.cond_br(p, store, exit);
-    b.switch_to(store);
-    let out_addr = b.mad(Ty::S32, gy, common.stride, gx);
-    b.st(spec.num_inputs as u32, out_addr, value);
-    b.br(exit);
-    b.switch_to(exit);
-    b.ret();
-
-    let kernel = b.finish();
-    isp_ir::validate::assert_valid(&kernel);
-    Lowered { kernel, params: layout, region_paths: None }
 }

@@ -7,9 +7,10 @@
 
 use crate::compile::{CompiledKernel, Compiler};
 use crate::eval::reference_run;
-use crate::runner::{geometry_for, plan_for, run_filter, ExecMode};
+use crate::runner::{geometry_for, plan_for, run_filter_with, ExecMode, ExecStrategy};
 use crate::spec::KernelSpec;
-use isp_core::Variant;
+use isp_core::bounds::Geometry;
+use isp_core::{Plan, Variant};
 use isp_image::{BorderSpec, Image};
 use isp_sim::{Gpu, PerfCounters, SimError};
 
@@ -37,13 +38,21 @@ impl Stage {
     /// Single-input stage reading the pipeline source.
     pub fn from_source(spec: KernelSpec) -> Self {
         assert_eq!(spec.num_inputs, 1);
-        Stage { spec, inputs: vec![StageInput::Source], user_params: vec![] }
+        Stage {
+            spec,
+            inputs: vec![StageInput::Source],
+            user_params: vec![],
+        }
     }
 
     /// Single-input stage reading a previous stage.
     pub fn from_stage(spec: KernelSpec, stage: usize) -> Self {
         assert_eq!(spec.num_inputs, 1);
-        Stage { spec, inputs: vec![StageInput::Stage(stage)], user_params: vec![] }
+        Stage {
+            spec,
+            inputs: vec![StageInput::Stage(stage)],
+            user_params: vec![],
+        }
     }
 }
 
@@ -86,7 +95,11 @@ impl Pipeline {
     /// Create a pipeline, validating stage input references.
     pub fn new(name: impl Into<String>, stages: Vec<Stage>) -> Self {
         for (i, stage) in stages.iter().enumerate() {
-            assert_eq!(stage.spec.num_inputs, stage.inputs.len(), "stage {i} input arity");
+            assert_eq!(
+                stage.spec.num_inputs,
+                stage.inputs.len(),
+                "stage {i} input arity"
+            );
             assert_eq!(
                 stage.spec.user_params.len(),
                 stage.user_params.len(),
@@ -98,7 +111,10 @@ impl Pipeline {
                 }
             }
         }
-        Pipeline { name: name.into(), stages }
+        Pipeline {
+            name: name.into(),
+            stages,
+        }
     }
 
     /// Host-side reference execution (golden pixels).
@@ -113,7 +129,12 @@ impl Pipeline {
                     StageInput::Stage(s) => &outputs[*s],
                 })
                 .collect();
-            outputs.push(reference_run(&stage.spec, &inputs, border, &stage.user_params));
+            outputs.push(reference_run(
+                &stage.spec,
+                &inputs,
+                border,
+                &stage.user_params,
+            ));
         }
         outputs.pop().expect("pipeline has at least one stage")
     }
@@ -131,7 +152,10 @@ impl Pipeline {
             .collect()
     }
 
-    /// Run the pipeline on the simulated GPU.
+    /// Run the pipeline on the simulated GPU. Thin compatibility shim over
+    /// [`Pipeline::run_with`] using the uncached Eq. (10) planner and the
+    /// default parallel strategy; new code should go through
+    /// `isp_exec::Engine`.
     #[allow(clippy::too_many_arguments)]
     pub fn run(
         &self,
@@ -143,7 +167,42 @@ impl Pipeline {
         policy: Policy,
         mode: ExecMode,
     ) -> Result<PipelineRun, SimError> {
-        assert_eq!(compiled.len(), self.stages.len(), "one compiled kernel per stage");
+        let refs: Vec<&CompiledKernel> = compiled.iter().collect();
+        self.run_with(
+            gpu,
+            &refs,
+            source,
+            border,
+            block,
+            policy,
+            mode,
+            ExecStrategy::Parallel,
+            &mut |gpu, ck, geom| plan_for(gpu, ck, geom),
+        )
+    }
+
+    /// Run the pipeline with an explicit exhaustive [`ExecStrategy`] and a
+    /// caller-supplied planner for [`Policy::Model`] decisions. The planner
+    /// hook is what lets `isp_exec::Engine` memoise Eq. (10) plans across
+    /// experiment points without this crate depending on the engine.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with(
+        &self,
+        gpu: &Gpu,
+        compiled: &[&CompiledKernel],
+        source: &Image<f32>,
+        border: BorderSpec,
+        block: (u32, u32),
+        policy: Policy,
+        mode: ExecMode,
+        strategy: ExecStrategy,
+        planner: &mut dyn FnMut(&Gpu, &CompiledKernel, &Geometry) -> Plan,
+    ) -> Result<PipelineRun, SimError> {
+        assert_eq!(
+            compiled.len(),
+            self.stages.len(),
+            "one compiled kernel per stage"
+        );
         // Exhaustive mode threads real pixels between stages. Sampled mode
         // does not: generated kernels contain no data-dependent control flow
         // (all border handling is `selp`-based), so counters and timing are
@@ -154,7 +213,7 @@ impl Pipeline {
         let mut stage_variants = Vec::with_capacity(self.stages.len());
         let mut last_image = None;
 
-        for (stage, ck) in self.stages.iter().zip(compiled) {
+        for (stage, ck) in self.stages.iter().zip(compiled.iter().copied()) {
             let inputs: Vec<&Image<f32>> = stage
                 .inputs
                 .iter()
@@ -178,10 +237,10 @@ impl Pipeline {
                 }
                 Policy::Model(_) => {
                     let geom = geometry_for(ck, w, h, block);
-                    plan_for(gpu, ck, &geom).variant
+                    planner(gpu, ck, &geom).variant
                 }
             };
-            let out = run_filter(
+            let out = run_filter_with(
                 gpu,
                 ck,
                 variant,
@@ -190,6 +249,7 @@ impl Pipeline {
                 border.constant,
                 block,
                 mode,
+                strategy,
             )?;
             total_cycles += out.report.timing.cycles;
             counters.merge(&out.report.counters);
@@ -197,11 +257,18 @@ impl Pipeline {
             last_image = out.image.clone();
             // Host-side stage output for downstream stages (exhaustive only).
             if mode == ExecMode::Exhaustive {
-                host_outputs
-                    .push(out.image.expect("exhaustive launches always produce pixels"));
+                host_outputs.push(
+                    out.image
+                        .expect("exhaustive launches always produce pixels"),
+                );
             }
         }
-        Ok(PipelineRun { image: last_image, total_cycles, counters, stage_variants })
+        Ok(PipelineRun {
+            image: last_image,
+            total_cycles,
+            counters,
+            stage_variants,
+        })
     }
 }
 
@@ -252,7 +319,15 @@ mod tests {
             Policy::Model(Variant::IspBlock),
         ] {
             let run = p
-                .run(&gpu, &compiled, &img, border, (32, 4), policy, ExecMode::Exhaustive)
+                .run(
+                    &gpu,
+                    &compiled,
+                    &img,
+                    border,
+                    (32, 4),
+                    policy,
+                    ExecMode::Exhaustive,
+                )
                 .unwrap();
             let d = run.image.unwrap().max_abs_diff(&golden).unwrap();
             assert!(d < 1e-4, "{policy:?}: diff {d}");
@@ -292,7 +367,11 @@ mod tests {
         let spec = KernelSpec::new("id", 1, vec![], Expr::at(0, 0));
         let _ = Pipeline::new(
             "bad",
-            vec![Stage { spec, inputs: vec![StageInput::Stage(0)], user_params: vec![] }],
+            vec![Stage {
+                spec,
+                inputs: vec![StageInput::Stage(0)],
+                user_params: vec![],
+            }],
         );
     }
 }

@@ -11,9 +11,11 @@ use isp_core::{
 use isp_image::Image;
 use isp_sim::launch::{PathTable, SimMode};
 use isp_sim::{
-    occupancy, DeviceBuffer, Gpu, LaunchConfig, LaunchReport, ParamValue, SimError,
-    TexAddressMode, TexDesc,
+    occupancy, DeviceBuffer, Gpu, LaunchConfig, LaunchReport, ParamValue, SimError, TexAddressMode,
+    TexDesc,
 };
+
+pub use isp_sim::ExecStrategy;
 
 /// How a filter run should execute on the simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,9 +39,21 @@ pub struct FilterOutput {
 
 /// Derive the partition geometry for a compiled kernel on a given image and
 /// block size.
-pub fn geometry_for(ck: &CompiledKernel, width: usize, height: usize, block: (u32, u32)) -> Geometry {
+pub fn geometry_for(
+    ck: &CompiledKernel,
+    width: usize,
+    height: usize,
+    block: (u32, u32),
+) -> Geometry {
     let (m, n) = ck.spec.window();
-    Geometry { sx: width, sy: height, m, n, tx: block.0, ty: block.1 }
+    Geometry {
+        sx: width,
+        sy: height,
+        m,
+        n,
+        tx: block.0,
+        ty: block.1,
+    }
 }
 
 /// Build the scalar parameter vector for a variant from its layout.
@@ -82,11 +96,9 @@ fn check_preconditions(ck: &CompiledKernel, geom: &Geometry) -> Result<(), SimEr
     Ok(())
 }
 
-/// Run one compiled variant of a filter over `inputs`.
-///
-/// All inputs must share dimensions; the output matches them. `mode`
-/// selects exhaustive interpretation (pixels + counters) or region-sampled
-/// estimation (counters + timing only).
+/// Run one compiled variant of a filter over `inputs` with the default
+/// (parallel) exhaustive strategy. Thin compatibility shim over
+/// [`run_filter_with`]; new code should go through `isp_exec::Engine`.
 #[allow(clippy::too_many_arguments)]
 pub fn run_filter(
     gpu: &Gpu,
@@ -98,10 +110,45 @@ pub fn run_filter(
     block: (u32, u32),
     mode: ExecMode,
 ) -> Result<FilterOutput, SimError> {
+    run_filter_with(
+        gpu,
+        ck,
+        variant,
+        inputs,
+        user_params,
+        border_const,
+        block,
+        mode,
+        ExecStrategy::Parallel,
+    )
+}
+
+/// Run one compiled variant of a filter over `inputs`.
+///
+/// All inputs must share dimensions; the output matches them. `mode`
+/// selects exhaustive interpretation (pixels + counters) or region-sampled
+/// estimation (counters + timing only); `strategy` picks the exhaustive
+/// block-worker scheduling (parallel and serial are bit-identical).
+#[allow(clippy::too_many_arguments)]
+pub fn run_filter_with(
+    gpu: &Gpu,
+    ck: &CompiledKernel,
+    variant: Variant,
+    inputs: &[&Image<f32>],
+    user_params: &[f32],
+    border_const: f32,
+    block: (u32, u32),
+    mode: ExecMode,
+    strategy: ExecStrategy,
+) -> Result<FilterOutput, SimError> {
     let cv = ck
         .variant(variant)
         .ok_or_else(|| SimError::BadLaunch(format!("variant {variant} was not compiled")))?;
-    assert_eq!(inputs.len(), ck.spec.num_inputs, "input image count mismatch");
+    assert_eq!(
+        inputs.len(),
+        ck.spec.num_inputs,
+        "input image count mismatch"
+    );
     if user_params.len() != ck.spec.user_params.len() {
         return Err(SimError::BadLaunch(format!(
             "kernel '{}' takes {} user parameter(s) ({}), got {}",
@@ -140,8 +187,14 @@ pub fn run_filter(
     let warp_bounds = (variant == Variant::IspWarp)
         .then(|| WarpBounds::new(geom.sx, geom.rx(), geom.tx, geom.grid().0));
 
-    let params =
-        build_params(cv, &geom, &bounds, warp_bounds.as_ref(), border_const, user_params);
+    let params = build_params(
+        cv,
+        &geom,
+        &bounds,
+        warp_bounds.as_ref(),
+        border_const,
+        user_params,
+    );
     // Texture variants bind every input as a 2D texture with the address
     // mode matching the requested border pattern (exactly the CUDA
     // cudaTextureAddressMode mapping).
@@ -156,7 +209,11 @@ pub fn run_filter(
         .map(|img| {
             let buf = DeviceBuffer::from_f32(&img.to_packed_vec());
             match tex_mode {
-                Some(mode) => buf.with_texture(TexDesc { width: w, height: h, mode }),
+                Some(mode) => buf.with_texture(TexDesc {
+                    width: w,
+                    height: h,
+                    mode,
+                }),
                 None => buf,
             }
         })
@@ -171,15 +228,23 @@ pub fn run_filter(
     });
 
     let report = match mode {
-        ExecMode::Exhaustive => {
-            gpu.launch(&cv.kernel, cfg, &params, &mut buffers, SimMode::Exhaustive)?
-        }
+        ExecMode::Exhaustive => gpu.launch_with(
+            &cv.kernel,
+            cfg,
+            &params,
+            &mut buffers,
+            SimMode::Exhaustive,
+            strategy,
+        )?,
         ExecMode::Sampled => gpu.launch(
             &cv.kernel,
             cfg,
             &params,
             &mut buffers,
-            SimMode::RegionSampled { classifier: &classifier, paths: path_table.as_ref() },
+            SimMode::RegionSampled {
+                classifier: &classifier,
+                paths: path_table.as_ref(),
+            },
         )?,
     };
 
@@ -193,7 +258,11 @@ pub fn run_filter(
         }
         ExecMode::Sampled => None,
     };
-    Ok(FilterOutput { image, report, variant })
+    Ok(FilterOutput {
+        image,
+        report,
+        variant,
+    })
 }
 
 /// Run a standalone [`CompiledVariant`] (currently the tiled variant) whose
@@ -240,7 +309,10 @@ pub fn run_compiled(
             cfg,
             &params,
             &mut buffers,
-            SimMode::RegionSampled { classifier: &|_, _| 0, paths: None },
+            SimMode::RegionSampled {
+                classifier: &|_, _| 0,
+                paths: None,
+            },
         )?,
     };
     let image = match mode {
@@ -250,7 +322,11 @@ pub fn run_compiled(
         }
         ExecMode::Sampled => None,
     };
-    Ok(FilterOutput { image, report, variant: cv.variant })
+    Ok(FilterOutput {
+        image,
+        report,
+        variant: cv.variant,
+    })
 }
 
 /// The `isp+m` decision for a compiled kernel on a given geometry: combine
@@ -258,11 +334,16 @@ pub fn run_compiled(
 /// the Eq. (10) gain and pick a variant.
 pub fn plan_for(gpu: &Gpu, ck: &CompiledKernel, geom: &Geometry) -> Plan {
     let Some(isp) = ck.isp.as_ref() else {
-        return Plan { variant: Variant::Naive, predicted_gain: 1.0 };
+        return Plan {
+            variant: Variant::Naive,
+            predicted_gain: 1.0,
+        };
     };
     let bounds = IndexBounds::new(geom);
     let threads = geom.tx * geom.ty;
-    let model = ck.ir_stats_model_for(gpu.device()).expect("isp variant implies stats");
+    let model = ck
+        .ir_stats_model_for(gpu.device())
+        .expect("isp variant implies stats");
     let occ_naive = occupancy(gpu.device(), threads, ck.naive.regs.data_regs).occupancy;
     let occ_isp = occupancy(gpu.device(), threads, isp.regs.data_regs).occupancy;
     let inputs = PredictionInputs {
@@ -298,11 +379,15 @@ mod tests {
         let img = ImageGenerator::new(21).uniform_noise::<f32>(384, 64);
         let gpu = gpu();
         for pattern in BorderPattern::ALL {
-            let border = BorderSpec { pattern, constant: 0.25 };
+            let border = BorderSpec {
+                pattern,
+                constant: 0.25,
+            };
             let golden = reference_run(&spec, &[&img], border, &[]);
-            for (granularity, block) in
-                [(Variant::IspBlock, (32u32, 4u32)), (Variant::IspWarp, (128, 1))]
-            {
+            for (granularity, block) in [
+                (Variant::IspBlock, (32u32, 4u32)),
+                (Variant::IspWarp, (128, 1)),
+            ] {
                 let ck = Compiler::new().compile(&spec, pattern, granularity);
                 for variant in [Variant::Naive, granularity] {
                     let out = run_filter(
@@ -331,17 +416,35 @@ mod tests {
         let ck = Compiler::new().compile(&spec, BorderPattern::Clamp, Variant::IspBlock);
         for variant in [Variant::Naive, Variant::IspBlock] {
             let ex = run_filter(
-                &gpu, &ck, variant, &[&img], &[], 0.0, (32, 4), ExecMode::Exhaustive,
+                &gpu,
+                &ck,
+                variant,
+                &[&img],
+                &[],
+                0.0,
+                (32, 4),
+                ExecMode::Exhaustive,
             )
             .unwrap();
-            let sa =
-                run_filter(&gpu, &ck, variant, &[&img], &[], 0.0, (32, 4), ExecMode::Sampled)
-                    .unwrap();
+            let sa = run_filter(
+                &gpu,
+                &ck,
+                variant,
+                &[&img],
+                &[],
+                0.0,
+                (32, 4),
+                ExecMode::Sampled,
+            )
+            .unwrap();
             assert_eq!(
                 ex.report.counters.warp_instructions, sa.report.counters.warp_instructions,
                 "{variant}: sampled warp-instructions must be exact"
             );
-            assert_eq!(ex.report.counters.histogram, sa.report.counters.histogram, "{variant}");
+            assert_eq!(
+                ex.report.counters.histogram, sa.report.counters.histogram,
+                "{variant}"
+            );
             assert!(sa.image.is_none());
         }
     }
@@ -352,11 +455,26 @@ mod tests {
         let gpu = gpu();
         let img = ImageGenerator::new(5).uniform_noise::<f32>(512, 512);
         let ck = Compiler::new().compile(&spec, BorderPattern::Repeat, Variant::IspBlock);
-        let naive =
-            run_filter(&gpu, &ck, Variant::Naive, &[&img], &[], 0.0, (32, 4), ExecMode::Sampled)
-                .unwrap();
+        let naive = run_filter(
+            &gpu,
+            &ck,
+            Variant::Naive,
+            &[&img],
+            &[],
+            0.0,
+            (32, 4),
+            ExecMode::Sampled,
+        )
+        .unwrap();
         let isp = run_filter(
-            &gpu, &ck, Variant::IspBlock, &[&img], &[], 0.0, (32, 4), ExecMode::Sampled,
+            &gpu,
+            &ck,
+            Variant::IspBlock,
+            &[&img],
+            &[],
+            0.0,
+            (32, 4),
+            ExecMode::Sampled,
         )
         .unwrap();
         assert!(
@@ -373,13 +491,27 @@ mod tests {
         let ck = Compiler::new().compile(&big, BorderPattern::Clamp, Variant::IspBlock);
         let img = ImageGenerator::new(1).uniform_noise::<f32>(32, 64);
         let err = run_filter(
-            &gpu(), &ck, Variant::IspBlock, &[&img], &[], 0.0, (32, 4), ExecMode::Exhaustive,
+            &gpu(),
+            &ck,
+            Variant::IspBlock,
+            &[&img],
+            &[],
+            0.0,
+            (32, 4),
+            ExecMode::Exhaustive,
         )
         .unwrap_err();
         assert!(matches!(err, SimError::BadLaunch(_)));
         // Naive still works on the same geometry.
         let ok = run_filter(
-            &gpu(), &ck, Variant::Naive, &[&img], &[], 0.0, (32, 4), ExecMode::Exhaustive,
+            &gpu(),
+            &ck,
+            Variant::Naive,
+            &[&img],
+            &[],
+            0.0,
+            (32, 4),
+            ExecMode::Exhaustive,
         );
         assert!(ok.is_ok());
     }
@@ -391,7 +523,12 @@ mod tests {
         let ck = Compiler::new().compile(&spec, BorderPattern::Repeat, Variant::IspBlock);
         let geom = geometry_for(&ck, 2048, 2048, (32, 4));
         let plan = plan_for(&gpu, &ck, &geom);
-        assert_eq!(plan.variant, Variant::IspBlock, "gain {}", plan.predicted_gain);
+        assert_eq!(
+            plan.variant,
+            Variant::IspBlock,
+            "gain {}",
+            plan.predicted_gain
+        );
     }
 
     #[test]
@@ -408,7 +545,14 @@ mod tests {
         let ck = Compiler::new().compile(&spec, BorderPattern::Repeat, Variant::IspBlock);
         let img = ImageGenerator::new(1).uniform_noise::<f32>(24, 24);
         let err = run_filter(
-            &gpu(), &ck, Variant::Naive, &[&img], &[], 0.0, (8, 8), ExecMode::Exhaustive,
+            &gpu(),
+            &ck,
+            Variant::Naive,
+            &[&img],
+            &[],
+            0.0,
+            (8, 8),
+            ExecMode::Exhaustive,
         )
         .unwrap_err();
         assert!(err.to_string().contains("radius"));

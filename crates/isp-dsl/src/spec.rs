@@ -28,7 +28,12 @@ impl KernelSpec {
         user_params: Vec<String>,
         body: Expr,
     ) -> Self {
-        let spec = KernelSpec { name: name.into(), num_inputs, user_params, body };
+        let spec = KernelSpec {
+            name: name.into(),
+            num_inputs,
+            user_params,
+            body,
+        };
         assert!(
             spec.body.accs_well_placed(),
             "kernel '{}': Acc placeholders outside a FusedReduce combine",

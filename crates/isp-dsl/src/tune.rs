@@ -66,8 +66,7 @@ pub fn tune_block_size(
         let tx_per_access = transactions_per_access_for_block(block.0);
 
         // Naive cost: every launched thread runs the full checked path.
-        let occ_naive =
-            occupancy(device, threads, ck.naive.regs.data_regs).occupancy;
+        let occ_naive = occupancy(device, threads, ck.naive.regs.data_regs).occupancy;
         let naive_cost = device.weighted_cost_with(&ck.naive.static_histogram, tx_per_access)
             * launched_threads
             / occ_naive;
@@ -87,18 +86,22 @@ pub fn tune_block_size(
         });
 
         let (variant, predicted_cost, occ) = match isp_cost {
-            Some((ic, occ_isp)) if ic < naive_cost => (
-                ck.isp.as_ref().expect("checked").variant,
-                ic,
-                occ_isp,
-            ),
+            Some((ic, occ_isp)) if ic < naive_cost => {
+                (ck.isp.as_ref().expect("checked").variant, ic, occ_isp)
+            }
             _ => (Variant::Naive, naive_cost, occ_naive),
         };
         let gain = match isp_cost {
             Some((ic, _)) => naive_cost / ic,
             None => 1.0,
         };
-        points.push(TunePoint { block, variant, predicted_cost, occupancy: occ, gain });
+        points.push(TunePoint {
+            block,
+            variant,
+            predicted_cost,
+            occupancy: occ,
+            gain,
+        });
     }
     points.sort_by(|a, b| a.predicted_cost.total_cmp(&b.predicted_cost));
     points
@@ -121,10 +124,7 @@ mod tests {
     // A local 5x5 convolution spec (isp-filters depends on this crate, so
     // tests build their own).
     fn isp_filters_spec() -> crate::KernelSpec {
-        crate::KernelSpec::convolution(
-            "tune_gauss5",
-            &isp_image::Mask::gaussian(5, 1.0).unwrap(),
-        )
+        crate::KernelSpec::convolution("tune_gauss5", &isp_image::Mask::gaussian(5, 1.0).unwrap())
     }
 
     #[test]

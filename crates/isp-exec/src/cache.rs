@@ -1,0 +1,114 @@
+//! Cache keys and hit/miss accounting for the engine's two memoisation
+//! layers.
+
+use isp_core::Variant;
+use isp_dsl::KernelSpec;
+use isp_image::BorderPattern;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identity of one compiled kernel: the spec fingerprint, the border
+/// pattern baked into the generated code, and the ISP granularity the
+/// compiler specialised for.
+pub(crate) type KernelKey = (u64, BorderPattern, Variant);
+
+/// Identity of one Eq. (10) decision: the kernel plus the full partition
+/// geometry `(sx, sy, m, n, tx, ty)`.
+pub(crate) type PlanKey = (KernelKey, (usize, usize, usize, usize, u32, u32));
+
+/// Structural fingerprint of a kernel spec. Specs carry no interior
+/// mutability and derive `Debug` over their full structure (name, arity,
+/// parameters, expression tree), so hashing the debug rendering identifies
+/// the kernel for the lifetime of the process.
+pub(crate) fn spec_fingerprint(spec: &KernelSpec) -> u64 {
+    fingerprint(&format!("{spec:?}"))
+}
+
+/// Identity of a device spec for the [`crate::Engine::global`] registry:
+/// the full parameter set, not just the marketing name, so ablation
+/// binaries probing tweaked devices get distinct engines.
+pub(crate) fn fingerprint_device(spec: &isp_sim::DeviceSpec) -> u64 {
+    fingerprint(&format!("{spec:?}"))
+}
+
+/// Stable-within-process fingerprint of an arbitrary string.
+pub(crate) fn fingerprint(s: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    s.hash(&mut h);
+    h.finish()
+}
+
+/// A point-in-time snapshot of the engine's cache behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Kernel-cache lookups answered without compiling.
+    pub kernel_hits: u64,
+    /// Kernel compilations performed (cold lookups).
+    pub kernel_misses: u64,
+    /// Plan-cache lookups answered without evaluating the model.
+    pub plan_hits: u64,
+    /// Eq. (10) evaluations performed (cold lookups).
+    pub plan_misses: u64,
+}
+
+/// Live hit/miss counters (atomics so [`crate::Engine`] stays `Sync`).
+#[derive(Debug, Default)]
+pub(crate) struct CacheCounters {
+    kernel_hits: AtomicU64,
+    kernel_misses: AtomicU64,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+}
+
+impl CacheCounters {
+    pub(crate) fn kernel_hit(&self) {
+        self.kernel_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn kernel_miss(&self) {
+        self.kernel_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn plan_hit(&self) {
+        self.plan_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn plan_miss(&self) {
+        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            kernel_hits: self.kernel_hits.load(Ordering::Relaxed),
+            kernel_misses: self.kernel_misses.load(Ordering::Relaxed),
+            plan_hits: self.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.plan_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_distinguishes_strings() {
+        assert_ne!(fingerprint("a"), fingerprint("b"));
+        assert_eq!(fingerprint("same"), fingerprint("same"));
+    }
+
+    #[test]
+    fn counters_snapshot_counts() {
+        let c = CacheCounters::default();
+        c.kernel_miss();
+        c.kernel_hit();
+        c.kernel_hit();
+        c.plan_miss();
+        c.plan_hit();
+        let s = c.snapshot();
+        assert_eq!(s.kernel_hits, 2);
+        assert_eq!(s.kernel_misses, 1);
+        assert_eq!(s.plan_hits, 1);
+        assert_eq!(s.plan_misses, 1);
+    }
+}

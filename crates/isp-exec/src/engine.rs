@@ -1,0 +1,321 @@
+//! The [`Engine`]: a device plus the kernel and plan caches, and the
+//! compile→plan→launch methods everything else is built from.
+
+use crate::bench_image;
+use crate::cache::{
+    fingerprint_device, spec_fingerprint, CacheCounters, CacheStats, KernelKey, PlanKey,
+};
+use crate::request::{Measurement, Outcome, Request, Sweep};
+use isp_core::bounds::Geometry;
+use isp_core::{IndexBounds, Plan, Variant};
+use isp_dsl::pipeline::Policy;
+use isp_dsl::runner::{geometry_for, plan_for, run_filter_with, ExecMode, ExecStrategy};
+use isp_dsl::FilterOutput;
+use isp_dsl::{CompiledKernel, Compiler, KernelSpec, Pipeline};
+use isp_image::{BorderPattern, BorderSpec, Image};
+use isp_sim::{DeviceSpec, Gpu, SimError};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The execution engine for one simulated device.
+///
+/// An engine owns a [`Gpu`], a [`Compiler`], and two memoisation layers:
+/// compiled kernels keyed by `(spec, pattern, granularity)` and Eq. (10)
+/// plans keyed by the kernel plus the partition geometry. All methods take
+/// `&self`; the caches use interior locking, so one engine can serve many
+/// threads (and [`Engine::global`] hands out process-wide shared engines).
+#[derive(Debug)]
+pub struct Engine {
+    device: DeviceSpec,
+    gpu: Gpu,
+    compiler: Compiler,
+    kernels: Mutex<HashMap<KernelKey, Arc<CompiledKernel>>>,
+    plans: Mutex<HashMap<PlanKey, Plan>>,
+    counters: CacheCounters,
+}
+
+impl Engine {
+    /// Create a standalone engine for a device (empty caches).
+    pub fn new(device: DeviceSpec) -> Self {
+        Engine {
+            gpu: Gpu::new(device.clone()),
+            device,
+            compiler: Compiler::new(),
+            kernels: Mutex::new(HashMap::new()),
+            plans: Mutex::new(HashMap::new()),
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// The process-wide shared engine for a device, so independent callers
+    /// (harness binaries, tests) reuse one set of caches. Engines are keyed
+    /// by the full device spec: two specs that differ only in one
+    /// architectural parameter get separate engines.
+    pub fn global(device: &DeviceSpec) -> Arc<Engine> {
+        static REGISTRY: OnceLock<Mutex<HashMap<u64, Arc<Engine>>>> = OnceLock::new();
+        let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+        let key = fingerprint_device(device);
+        let mut map = registry.lock().expect("engine registry lock");
+        Arc::clone(
+            map.entry(key)
+                .or_insert_with(|| Arc::new(Engine::new(device.clone()))),
+        )
+    }
+
+    /// The device this engine simulates.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// The engine's simulated GPU (for callers that need raw launches).
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
+    }
+
+    /// Compile one kernel spec, memoised on `(spec, pattern, granularity)`.
+    /// Compilation does not depend on the image size, so every size in a
+    /// sweep hits the cache after the first point.
+    pub fn compile(
+        &self,
+        spec: &KernelSpec,
+        pattern: BorderPattern,
+        granularity: Variant,
+    ) -> Arc<CompiledKernel> {
+        let key = (spec_fingerprint(spec), pattern, granularity);
+        if let Some(hit) = self.kernels.lock().expect("kernel cache lock").get(&key) {
+            self.counters.kernel_hit();
+            return Arc::clone(hit);
+        }
+        // Compile outside the lock: kernels are large and compilation is
+        // the expensive step the cache exists to amortise.
+        let compiled = Arc::new(self.compiler.compile(spec, pattern, granularity));
+        let mut map = self.kernels.lock().expect("kernel cache lock");
+        let entry = map.entry(key).or_insert_with(|| Arc::clone(&compiled));
+        self.counters.kernel_miss();
+        Arc::clone(entry)
+    }
+
+    /// Compile every stage of a pipeline through the kernel cache.
+    pub fn compile_pipeline(
+        &self,
+        pipeline: &Pipeline,
+        pattern: BorderPattern,
+        granularity: Variant,
+    ) -> Vec<Arc<CompiledKernel>> {
+        pipeline
+            .stages
+            .iter()
+            .map(|s| self.compile(&s.spec, pattern, granularity))
+            .collect()
+    }
+
+    /// The Eq. (10) decision for a compiled kernel on a geometry, memoised
+    /// on `(kernel, geometry)`.
+    pub fn plan(&self, ck: &CompiledKernel, geom: &Geometry) -> Plan {
+        let granularity = ck.isp.as_ref().map_or(Variant::Naive, |isp| isp.variant);
+        let kernel_key = (spec_fingerprint(&ck.spec), ck.pattern, granularity);
+        let key = (
+            kernel_key,
+            (geom.sx, geom.sy, geom.m, geom.n, geom.tx, geom.ty),
+        );
+        if let Some(hit) = self.plans.lock().expect("plan cache lock").get(&key) {
+            self.counters.plan_hit();
+            return *hit;
+        }
+        let plan = plan_for(&self.gpu, ck, geom);
+        self.plans
+            .lock()
+            .expect("plan cache lock")
+            .insert(key, plan);
+        self.counters.plan_miss();
+        plan
+    }
+
+    /// The index-set partition (Eqs. 4–9) for a geometry — the pure
+    /// analysis underneath both code generation and the planner.
+    pub fn partition(&self, geom: &Geometry) -> IndexBounds {
+        IndexBounds::new(geom)
+    }
+
+    /// Execute one request on the deterministic bench image of its size.
+    pub fn run(&self, req: &Request) -> Result<Outcome, SimError> {
+        self.run_on(req, &bench_image(req.size))
+    }
+
+    /// Execute one request on caller-supplied pixels. The source must match
+    /// `req.size` in both dimensions.
+    pub fn run_on(&self, req: &Request, source: &Image<f32>) -> Result<Outcome, SimError> {
+        assert_eq!(
+            source.dims(),
+            (req.size, req.size),
+            "source must match the request size"
+        );
+        let border = BorderSpec::from_pattern(req.pattern);
+        let compiled = self.compile_pipeline(&req.app.pipeline, req.pattern, req.granularity);
+        let refs: Vec<&CompiledKernel> = compiled.iter().map(Arc::as_ref).collect();
+        let run = req.app.pipeline.run_with(
+            &self.gpu,
+            &refs,
+            source,
+            border,
+            req.block,
+            req.policy,
+            req.mode,
+            req.strategy,
+            &mut |_, ck, geom| self.plan(ck, geom),
+        )?;
+        Ok(Outcome {
+            image: run.image,
+            total_cycles: run.total_cycles,
+            counters: run.counters,
+            stage_variants: run.stage_variants,
+        })
+    }
+
+    /// Run one compiled kernel variant directly — the single-kernel
+    /// counterpart of [`Engine::run`], subsuming `isp_dsl::runner::run_filter`
+    /// for callers that manage their own inputs (ablation binaries,
+    /// validation harnesses). Exhaustive launches use the parallel strategy.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_kernel(
+        &self,
+        ck: &CompiledKernel,
+        variant: Variant,
+        inputs: &[&Image<f32>],
+        user_params: &[f32],
+        border_const: f32,
+        block: (u32, u32),
+        mode: ExecMode,
+    ) -> Result<FilterOutput, SimError> {
+        run_filter_with(
+            &self.gpu,
+            ck,
+            variant,
+            inputs,
+            user_params,
+            border_const,
+            block,
+            mode,
+            ExecStrategy::Parallel,
+        )
+    }
+
+    /// Run the three policies for one sweep point in region-sampled mode —
+    /// the paper's per-point measurement.
+    pub fn measure(&self, sweep: &Sweep) -> Measurement {
+        let source = bench_image(sweep.size);
+        let run = |policy: Policy| {
+            self.run_on(&sweep.request(policy), &source)
+                .unwrap_or_else(|e| {
+                    panic!("{} {} {}: {e}", sweep.app.name, sweep.pattern, sweep.size)
+                })
+        };
+        let naive = run(Policy::Naive);
+        let isp = run(Policy::AlwaysIsp(sweep.granularity));
+        let ispm = run(Policy::Model(sweep.granularity));
+
+        let compiled = self.compile_pipeline(&sweep.app.pipeline, sweep.pattern, sweep.granularity);
+        let stage_gains = compiled
+            .iter()
+            .filter(|ck| ck.isp.is_some())
+            .map(|ck| {
+                let geom = geometry_for(ck, sweep.size, sweep.size, sweep.block);
+                self.plan(ck, &geom).predicted_gain
+            })
+            .collect();
+
+        Measurement {
+            naive_cycles: naive.total_cycles,
+            isp_cycles: isp.total_cycles,
+            ispm_cycles: ispm.total_cycles,
+            speedup_isp: naive.total_cycles as f64 / isp.total_cycles as f64,
+            speedup_ispm: naive.total_cycles as f64 / ispm.total_cycles as f64,
+            ispm_variants: ispm.stage_variants,
+            warp_instructions: (
+                naive.counters.warp_instructions,
+                isp.counters.warp_instructions,
+            ),
+            stage_gains,
+        }
+    }
+
+    /// Snapshot of the cache hit/miss counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isp_filters::by_name;
+
+    #[test]
+    fn kernel_cache_compiles_once_per_key() {
+        let engine = Engine::new(DeviceSpec::gtx680());
+        let app = by_name("gaussian").unwrap();
+        let stages = app.pipeline.stages.len();
+        for _ in 0..3 {
+            engine.compile_pipeline(&app.pipeline, BorderPattern::Clamp, Variant::IspBlock);
+        }
+        let stats = engine.cache_stats();
+        assert_eq!(stats.kernel_misses, stages as u64, "one compile per stage");
+        assert_eq!(stats.kernel_hits, 2 * stages as u64);
+        // A different pattern is a different key.
+        engine.compile_pipeline(&app.pipeline, BorderPattern::Mirror, Variant::IspBlock);
+        assert_eq!(engine.cache_stats().kernel_misses, 2 * stages as u64);
+    }
+
+    #[test]
+    fn cached_plan_matches_uncached() {
+        let engine = Engine::new(DeviceSpec::gtx680());
+        let spec = isp_filters::gaussian::spec(3);
+        let ck = engine.compile(&spec, BorderPattern::Repeat, Variant::IspBlock);
+        let geom = geometry_for(&ck, 2048, 2048, crate::PAPER_BLOCK);
+        let direct = plan_for(engine.gpu(), &ck, &geom);
+        let first = engine.plan(&ck, &geom);
+        let second = engine.plan(&ck, &geom);
+        assert_eq!(first, direct);
+        assert_eq!(second, direct);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.plan_misses, 1);
+        assert_eq!(stats.plan_hits, 1);
+    }
+
+    #[test]
+    fn measure_matches_legacy_shape() {
+        let engine = Engine::new(DeviceSpec::gtx680());
+        let sweep = Sweep::paper(by_name("gaussian").unwrap(), BorderPattern::Repeat, 512);
+        let m = engine.measure(&sweep);
+        assert!(m.naive_cycles > 0 && m.isp_cycles > 0 && m.ispm_cycles > 0);
+        assert!(m.speedup_isp > 0.0);
+        assert_eq!(m.ispm_variants.len(), sweep.app.pipeline.stages.len());
+        assert!(!m.stage_gains.is_empty());
+    }
+
+    #[test]
+    fn global_registry_dedupes_by_spec() {
+        let a = Engine::global(&DeviceSpec::rtx2080());
+        let b = Engine::global(&DeviceSpec::rtx2080());
+        assert!(Arc::ptr_eq(&a, &b));
+        let mut tweaked = DeviceSpec::rtx2080();
+        tweaked.num_sms += 1;
+        let c = Engine::global(&tweaked);
+        assert!(!Arc::ptr_eq(&a, &c), "different spec, different engine");
+    }
+
+    #[test]
+    fn run_exhaustive_returns_pixels() {
+        let engine = Engine::new(DeviceSpec::gtx680());
+        let req = Request::paper(
+            by_name("gaussian").unwrap(),
+            BorderPattern::Mirror,
+            64,
+            Policy::AlwaysIsp(Variant::IspBlock),
+        )
+        .exhaustive();
+        let out = engine.run(&req).unwrap();
+        assert_eq!(out.image.unwrap().dims(), (64, 64));
+        assert!(out.total_cycles > 0);
+    }
+}

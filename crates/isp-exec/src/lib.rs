@@ -1,0 +1,48 @@
+//! # isp-exec
+//!
+//! The execution engine: one entry point for running filter pipelines on
+//! the simulated device. Everything the harness binaries used to wire up by
+//! hand — compile the pipeline, derive the partition, consult the Eq. (10)
+//! model, launch the three policies — goes through an [`Engine`], which
+//! owns a device and two memoisation layers:
+//!
+//! - a **kernel cache**: compiled kernels keyed by
+//!   `(kernel spec, border pattern, ISP granularity)` — compilation does
+//!   not depend on the image size, so a 4-size sweep compiles each stage
+//!   exactly once;
+//! - a **plan cache**: Eq. (10) decisions keyed by the kernel key plus the
+//!   full partition geometry `(sx, sy, m, n, tx, ty)`.
+//!
+//! [`Engine::run`] executes one [`Request`] (an experiment point plus a
+//! policy); [`Engine::measure`] runs the paper's naive / isp / isp+m
+//! triple for a [`Sweep`] point and returns a [`Measurement`]. Exhaustive
+//! launches fan block interpretation out across threads while staying
+//! bit-identical to serial execution (see `isp_sim::ExecStrategy`).
+//!
+//! Cache effectiveness is observable through [`Engine::cache_stats`]; the
+//! `isp-bench` crate's `simulator` bench compares a cached sweep against
+//! the old compile-per-point path.
+
+pub mod cache;
+pub mod engine;
+pub mod request;
+
+pub use cache::CacheStats;
+pub use engine::Engine;
+pub use request::{Measurement, Outcome, Request, Sweep};
+
+use isp_image::{Image, ImageGenerator};
+
+/// The paper's block size (32x4 = 128 threads, wide in x).
+pub const PAPER_BLOCK: (u32, u32) = (32, 4);
+
+/// The paper's four evaluated image sizes.
+pub const PAPER_SIZES: [usize; 4] = [512, 1024, 2048, 4096];
+
+/// Seed for all generated bench imagery.
+pub const BENCH_SEED: u64 = 42;
+
+/// The deterministic source image for a given size.
+pub fn bench_image(size: usize) -> Image<f32> {
+    ImageGenerator::new(BENCH_SEED).natural::<f32>(size, size)
+}

@@ -1,0 +1,164 @@
+//! The engine's job descriptions and results: a [`Request`] is one
+//! pipeline execution, a [`Sweep`] is one paper experiment point (the
+//! naive / isp / isp+m triple), an [`Outcome`] and a [`Measurement`] are
+//! what comes back.
+
+use crate::PAPER_BLOCK;
+use isp_core::Variant;
+use isp_dsl::pipeline::Policy;
+use isp_dsl::runner::{ExecMode, ExecStrategy};
+use isp_filters::App;
+use isp_image::{BorderPattern, Image};
+use isp_sim::PerfCounters;
+
+/// One pipeline execution on the engine's device: which app, under which
+/// border pattern, at which size, with which launch configuration and
+/// variant-selection policy.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Application under test.
+    pub app: App,
+    /// Border handling pattern.
+    pub pattern: BorderPattern,
+    /// Square image size (the engine generates the deterministic bench
+    /// image; use [`crate::Engine::run_on`] to supply your own pixels).
+    pub size: usize,
+    /// Block size.
+    pub block: (u32, u32),
+    /// ISP granularity compiled for the isp/isp+m variants.
+    pub granularity: Variant,
+    /// Per-stage variant selection.
+    pub policy: Policy,
+    /// Exhaustive interpretation (pixels) or region-sampled estimation.
+    pub mode: ExecMode,
+    /// Block-worker scheduling for exhaustive launches.
+    pub strategy: ExecStrategy,
+}
+
+impl Request {
+    /// A paper-configuration request: 32x4 blocks, block-grained ISP,
+    /// region-sampled execution, parallel strategy.
+    pub fn paper(app: App, pattern: BorderPattern, size: usize, policy: Policy) -> Self {
+        Request {
+            app,
+            pattern,
+            size,
+            block: PAPER_BLOCK,
+            granularity: Variant::IspBlock,
+            policy,
+            mode: ExecMode::Sampled,
+            strategy: ExecStrategy::Parallel,
+        }
+    }
+
+    /// Switch to exhaustive interpretation (the run returns pixels).
+    pub fn exhaustive(mut self) -> Self {
+        self.mode = ExecMode::Exhaustive;
+        self
+    }
+
+    /// Override the block size.
+    pub fn with_block(mut self, block: (u32, u32)) -> Self {
+        self.block = block;
+        self
+    }
+
+    /// Override the exhaustive block-worker strategy.
+    pub fn with_strategy(mut self, strategy: ExecStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+}
+
+/// Result of one [`Request`].
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Final stage output (`None` in sampled mode).
+    pub image: Option<Image<f32>>,
+    /// Sum of per-stage launch cycles.
+    pub total_cycles: u64,
+    /// Merged counters across stages.
+    pub counters: PerfCounters,
+    /// The variant each stage ran.
+    pub stage_variants: Vec<Variant>,
+}
+
+/// One experiment point of the paper's evaluation: an app under a pattern
+/// at a size, measured under all three policies by
+/// [`crate::Engine::measure`].
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Application under test.
+    pub app: App,
+    /// Border handling pattern.
+    pub pattern: BorderPattern,
+    /// Square image size.
+    pub size: usize,
+    /// Block size.
+    pub block: (u32, u32),
+    /// ISP granularity for the isp/isp+m variants.
+    pub granularity: Variant,
+}
+
+impl Sweep {
+    /// Standard experiment at the paper's block size with block-grained ISP.
+    pub fn paper(app: App, pattern: BorderPattern, size: usize) -> Self {
+        Sweep {
+            app,
+            pattern,
+            size,
+            block: PAPER_BLOCK,
+            granularity: Variant::IspBlock,
+        }
+    }
+
+    /// The [`Request`] for one policy of this sweep point (region-sampled,
+    /// as in the paper's timing runs).
+    pub fn request(&self, policy: Policy) -> Request {
+        Request {
+            app: self.app.clone(),
+            pattern: self.pattern,
+            size: self.size,
+            block: self.block,
+            granularity: self.granularity,
+            policy,
+            mode: ExecMode::Sampled,
+            strategy: ExecStrategy::Parallel,
+        }
+    }
+}
+
+/// Measured results of one [`Sweep`] point (cycles are simulated totals
+/// over all pipeline stages).
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Naive-variant cycles.
+    pub naive_cycles: u64,
+    /// Always-ISP cycles.
+    pub isp_cycles: u64,
+    /// Model-guided (isp+m) cycles.
+    pub ispm_cycles: u64,
+    /// `naive / isp` — Figure 4/6's "isp" series.
+    pub speedup_isp: f64,
+    /// `naive / ispm` — Figure 6's "isp+m" series.
+    pub speedup_ispm: f64,
+    /// Variant each stage ran under the model policy.
+    pub ispm_variants: Vec<Variant>,
+    /// Warp-instruction totals (naive, isp).
+    pub warp_instructions: (u64, u64),
+    /// Per-stage model gains G (Eq. 10) for stencil stages.
+    pub stage_gains: Vec<f64>,
+}
+
+impl Measurement {
+    /// Whether ISP actually beat naive in measured (simulated) time.
+    pub fn isp_measured_better(&self) -> bool {
+        self.speedup_isp > 1.0
+    }
+
+    /// Whether the model predicted ISP for at least the stencil stages
+    /// (point-op stages are always naive and not counted).
+    pub fn model_chose_isp(&self) -> bool {
+        self.stage_gains.iter().any(|&g| g > 1.0)
+    }
+}

@@ -46,7 +46,9 @@ pub fn all_apps() -> Vec<App> {
 
 /// Look up an app by (case-insensitive) name.
 pub fn by_name(name: &str) -> Option<App> {
-    all_apps().into_iter().find(|a| a.name.eq_ignore_ascii_case(name))
+    all_apps()
+        .into_iter()
+        .find(|a| a.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]
@@ -58,7 +60,10 @@ mod tests {
         let apps = all_apps();
         assert_eq!(apps.len(), 5);
         let names: Vec<_> = apps.iter().map(|a| a.name).collect();
-        assert_eq!(names, vec!["Gaussian", "Laplace", "Bilateral", "Sobel", "Night"]);
+        assert_eq!(
+            names,
+            vec!["Gaussian", "Laplace", "Bilateral", "Sobel", "Night"]
+        );
         // Kernel counts per app: 1, 1, 1, 3, 5.
         let kernels: Vec<usize> = apps.iter().map(|a| a.pipeline.stages.len()).collect();
         assert_eq!(kernels, vec![1, 1, 1, 3, 5]);

@@ -82,8 +82,13 @@ mod tests {
         let sigma_r = 0.2;
         let p = pipeline_with(window, sigma_r);
         let ours = p.reference(&img, BorderSpec::clamp());
-        let theirs =
-            bilateral_reference(&img, window, default_sigma_d(window), sigma_r, BorderSpec::clamp());
+        let theirs = bilateral_reference(
+            &img,
+            window,
+            default_sigma_d(window),
+            sigma_r,
+            BorderSpec::clamp(),
+        );
         let d = ours.max_abs_diff(&theirs).unwrap();
         assert!(d < 1e-4, "max diff {d}");
     }

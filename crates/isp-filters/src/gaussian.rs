@@ -1,7 +1,7 @@
 //! Gaussian smoothing filter (3x3 in the paper's evaluation).
 
-use isp_dsl::{KernelSpec, Pipeline};
 use isp_dsl::pipeline::Stage;
+use isp_dsl::{KernelSpec, Pipeline};
 use isp_image::Mask;
 
 /// The paper's evaluation window size.
@@ -67,7 +67,10 @@ mod tests {
         // Variance must drop substantially.
         let var = |i: &isp_image::Image<f32>| {
             let m = i.mean();
-            i.pixels().map(|(_, _, v)| (v as f64 - m).powi(2)).sum::<f64>() / i.len() as f64
+            i.pixels()
+                .map(|(_, _, v)| (v as f64 - m).powi(2))
+                .sum::<f64>()
+                / i.len() as f64
         };
         assert!(var(&out) < 0.5 * var(&img));
         // Mean is preserved (mask sums to 1).

@@ -32,7 +32,10 @@ mod tests {
         let img = Image::<f32>::filled(32, 32, 0.7);
         let out = pipeline().reference(&img, BorderSpec::clamp());
         let (lo, hi) = out.min_max();
-        assert!(lo.abs() < 1e-5 && hi.abs() < 1e-5, "laplacian of constant is 0");
+        assert!(
+            lo.abs() < 1e-5 && hi.abs() < 1e-5,
+            "laplacian of constant is 0"
+        );
     }
 
     #[test]

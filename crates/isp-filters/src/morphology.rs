@@ -122,7 +122,11 @@ mod tests {
         let mut img = Image::<f32>::filled(32, 32, 0.1);
         img.set(16, 16, 1.0);
         let out = opening(3).reference(&img, BorderSpec::clamp());
-        assert!(out.get(16, 16) < 0.11, "speck must vanish, got {}", out.get(16, 16));
+        assert!(
+            out.get(16, 16) < 0.11,
+            "speck must vanish, got {}",
+            out.get(16, 16)
+        );
     }
 
     #[test]
@@ -130,7 +134,11 @@ mod tests {
         let mut img = Image::<f32>::filled(32, 32, 0.9);
         img.set(10, 10, 0.0);
         let out = closing(3).reference(&img, BorderSpec::clamp());
-        assert!(out.get(10, 10) > 0.89, "pinhole must fill, got {}", out.get(10, 10));
+        assert!(
+            out.get(10, 10) > 0.89,
+            "pinhole must fill, got {}",
+            out.get(10, 10)
+        );
     }
 
     #[test]

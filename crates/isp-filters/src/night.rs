@@ -100,7 +100,10 @@ mod tests {
         let border = BorderSpec::mirror();
         let var = |i: &Image<f32>| {
             let m = i.mean();
-            i.pixels().map(|(_, _, v)| (v as f64 - m).powi(2)).sum::<f64>() / i.len() as f64
+            i.pixels()
+                .map(|(_, _, v)| (v as f64 - m).powi(2))
+                .sum::<f64>()
+                / i.len() as f64
         };
         let mut prev = var(&img);
         let mut current = img;

@@ -21,7 +21,12 @@ pub fn spec_dy() -> KernelSpec {
 pub fn spec_magnitude() -> KernelSpec {
     let dx = Expr::input_at(0, 0, 0);
     let dy = Expr::input_at(1, 0, 0);
-    KernelSpec::new("sobel_mag", 2, vec![], (dx.clone() * dx + dy.clone() * dy).sqrt())
+    KernelSpec::new(
+        "sobel_mag",
+        2,
+        vec![],
+        (dx.clone() * dx + dy.clone() * dy).sqrt(),
+    )
 }
 
 /// The full 3-kernel pipeline.
@@ -72,7 +77,11 @@ mod tests {
         let out = pipeline().reference(&img, BorderSpec::mirror());
         // Interior gradient magnitude: |dx| = |dy| = 8/64 -> sqrt(2)*0.125.
         let expect = (2.0f32).sqrt() * 8.0 / 64.0;
-        assert!((out.get(16, 16) - expect).abs() < 1e-4, "{}", out.get(16, 16));
+        assert!(
+            (out.get(16, 16) - expect).abs() < 1e-4,
+            "{}",
+            out.get(16, 16)
+        );
     }
 
     #[test]

@@ -36,7 +36,13 @@ impl<'a, T: Pixel> BorderedImage<'a, T> {
     /// in the `f32` arithmetic domain.
     #[inline]
     pub fn get(&self, x: i64, y: i64) -> f32 {
-        match resolve_2d(self.spec.pattern, x, y, self.image.width(), self.image.height()) {
+        match resolve_2d(
+            self.spec.pattern,
+            x,
+            y,
+            self.image.width(),
+            self.image.height(),
+        ) {
             Some((rx, ry)) => self.image.get_unchecked(rx, ry).to_f32(),
             None => self.spec.constant,
         }

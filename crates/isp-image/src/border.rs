@@ -87,27 +87,42 @@ pub struct BorderSpec {
 impl BorderSpec {
     /// Clamp borders.
     pub fn clamp() -> Self {
-        BorderSpec { pattern: BorderPattern::Clamp, constant: 0.0 }
+        BorderSpec {
+            pattern: BorderPattern::Clamp,
+            constant: 0.0,
+        }
     }
 
     /// Mirrored borders.
     pub fn mirror() -> Self {
-        BorderSpec { pattern: BorderPattern::Mirror, constant: 0.0 }
+        BorderSpec {
+            pattern: BorderPattern::Mirror,
+            constant: 0.0,
+        }
     }
 
     /// Periodically repeated borders.
     pub fn repeat() -> Self {
-        BorderSpec { pattern: BorderPattern::Repeat, constant: 0.0 }
+        BorderSpec {
+            pattern: BorderPattern::Repeat,
+            constant: 0.0,
+        }
     }
 
     /// Constant borders with the given fill value.
     pub fn constant(value: f32) -> Self {
-        BorderSpec { pattern: BorderPattern::Constant, constant: value }
+        BorderSpec {
+            pattern: BorderPattern::Constant,
+            constant: value,
+        }
     }
 
     /// Build from a pattern with the default constant 0.
     pub fn from_pattern(pattern: BorderPattern) -> Self {
-        BorderSpec { pattern, constant: 0.0 }
+        BorderSpec {
+            pattern,
+            constant: 0.0,
+        }
     }
 }
 
@@ -185,7 +200,10 @@ pub fn resolve_2d(
     width: usize,
     height: usize,
 ) -> Option<(usize, usize)> {
-    match (resolve_1d(pattern, x, width), resolve_1d(pattern, y, height)) {
+    match (
+        resolve_1d(pattern, x, width),
+        resolve_1d(pattern, y, height),
+    ) {
         (Resolved::Index(rx), Resolved::Index(ry)) => Some((rx, ry)),
         _ => None,
     }
@@ -214,7 +232,11 @@ mod tests {
     fn in_bounds_identity_for_all_patterns() {
         for pat in BorderPattern::ALL {
             for idx in 0..10i64 {
-                assert_eq!(resolve_1d(pat, idx, 10), Resolved::Index(idx as usize), "{pat}");
+                assert_eq!(
+                    resolve_1d(pat, idx, 10),
+                    Resolved::Index(idx as usize),
+                    "{pat}"
+                );
             }
         }
     }
@@ -222,9 +244,15 @@ mod tests {
     #[test]
     fn clamp_semantics() {
         assert_eq!(resolve_1d(BorderPattern::Clamp, -1, 8), Resolved::Index(0));
-        assert_eq!(resolve_1d(BorderPattern::Clamp, -100, 8), Resolved::Index(0));
+        assert_eq!(
+            resolve_1d(BorderPattern::Clamp, -100, 8),
+            Resolved::Index(0)
+        );
         assert_eq!(resolve_1d(BorderPattern::Clamp, 8, 8), Resolved::Index(7));
-        assert_eq!(resolve_1d(BorderPattern::Clamp, 1000, 8), Resolved::Index(7));
+        assert_eq!(
+            resolve_1d(BorderPattern::Clamp, 1000, 8),
+            Resolved::Index(7)
+        );
     }
 
     #[test]
@@ -245,7 +273,10 @@ mod tests {
         assert_eq!(resolve_1d(BorderPattern::Repeat, 8, 8), Resolved::Index(0));
         assert_eq!(resolve_1d(BorderPattern::Repeat, 17, 8), Resolved::Index(1));
         // Far out of bounds: the while loop wraps multiple times.
-        assert_eq!(resolve_1d(BorderPattern::Repeat, -25, 8), Resolved::Index(7));
+        assert_eq!(
+            resolve_1d(BorderPattern::Repeat, -25, 8),
+            Resolved::Index(7)
+        );
         assert_eq!(resolve_1d(BorderPattern::Repeat, 80, 8), Resolved::Index(0));
         // Small image, large offset: the case the paper calls out.
         assert_eq!(resolve_1d(BorderPattern::Repeat, 10, 3), Resolved::Index(1));
@@ -253,9 +284,18 @@ mod tests {
 
     #[test]
     fn constant_semantics() {
-        assert_eq!(resolve_1d(BorderPattern::Constant, -1, 8), Resolved::OutOfBounds);
-        assert_eq!(resolve_1d(BorderPattern::Constant, 8, 8), Resolved::OutOfBounds);
-        assert_eq!(resolve_1d(BorderPattern::Constant, 3, 8), Resolved::Index(3));
+        assert_eq!(
+            resolve_1d(BorderPattern::Constant, -1, 8),
+            Resolved::OutOfBounds
+        );
+        assert_eq!(
+            resolve_1d(BorderPattern::Constant, 8, 8),
+            Resolved::OutOfBounds
+        );
+        assert_eq!(
+            resolve_1d(BorderPattern::Constant, 3, 8),
+            Resolved::Index(3)
+        );
     }
 
     #[test]
@@ -266,7 +306,10 @@ mod tests {
         // Constant: one axis out is enough.
         assert_eq!(resolve_2d(BorderPattern::Constant, -1, 3, 8, 6), None);
         assert_eq!(resolve_2d(BorderPattern::Constant, 3, 6, 8, 6), None);
-        assert_eq!(resolve_2d(BorderPattern::Constant, 3, 3, 8, 6), Some((3, 3)));
+        assert_eq!(
+            resolve_2d(BorderPattern::Constant, 3, 3, 8, 6),
+            Some((3, 3))
+        );
     }
 
     #[test]
@@ -275,8 +318,14 @@ mod tests {
             let parsed: BorderPattern = pat.name().parse().unwrap();
             assert_eq!(parsed, pat);
         }
-        assert_eq!("DUPLICATE".parse::<BorderPattern>().unwrap(), BorderPattern::Clamp);
-        assert_eq!("periodic".parse::<BorderPattern>().unwrap(), BorderPattern::Repeat);
+        assert_eq!(
+            "DUPLICATE".parse::<BorderPattern>().unwrap(),
+            BorderPattern::Clamp
+        );
+        assert_eq!(
+            "periodic".parse::<BorderPattern>().unwrap(),
+            BorderPattern::Repeat
+        );
         assert!("nearest".parse::<BorderPattern>().is_err());
     }
 

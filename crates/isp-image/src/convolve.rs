@@ -131,8 +131,7 @@ mod tests {
     #[test]
     fn identity_mask_is_identity() {
         let img = Image::<f32>::from_fn(8, 8, |x, y| (x * 8 + y) as f32);
-        let ident =
-            Mask::square(3, &[0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
+        let ident = Mask::square(3, &[0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
         let out = convolve(&img, &ident, BorderSpec::clamp());
         assert_eq!(out.max_abs_diff(&img).unwrap(), 0.0);
     }
@@ -141,10 +140,18 @@ mod tests {
     fn box_filter_on_constant_image_is_constant_with_reindexing_borders() {
         let img = Image::<f32>::filled(16, 16, 3.0);
         let mask = Mask::box_filter(5).unwrap();
-        for spec in [BorderSpec::clamp(), BorderSpec::mirror(), BorderSpec::repeat()] {
+        for spec in [
+            BorderSpec::clamp(),
+            BorderSpec::mirror(),
+            BorderSpec::repeat(),
+        ] {
             let out = convolve(&img, &mask, spec);
             let (lo, hi) = out.min_max();
-            assert!((lo - 3.0).abs() < 1e-5 && (hi - 3.0).abs() < 1e-5, "{:?}", spec.pattern);
+            assert!(
+                (lo - 3.0).abs() < 1e-5 && (hi - 3.0).abs() < 1e-5,
+                "{:?}",
+                spec.pattern
+            );
         }
         // Constant borders with a different fill value darken the edges.
         let out = convolve(&img, &mask, BorderSpec::constant(0.0));
@@ -171,7 +178,10 @@ mod tests {
         let img = ImageGenerator::new(7).uniform_noise::<f32>(33, 17);
         let mask = Mask::gaussian(7, 1.5).unwrap();
         for pat in BorderPattern::ALL {
-            let spec = BorderSpec { pattern: pat, constant: 0.25 };
+            let spec = BorderSpec {
+                pattern: pat,
+                constant: 0.25,
+            };
             let seq = convolve(&img, &mask, spec);
             let par = convolve_par(&img, &mask, spec);
             assert_eq!(seq.max_abs_diff(&par).unwrap(), 0.0, "{pat}");
@@ -215,7 +225,10 @@ mod tests {
         // Sample right at the edge: bilateral keeps it sharp.
         let bil_edge = (bil.get(15, 16) - bil.get(16, 16)).abs();
         let gau_edge = (gau.get(15, 16) - gau.get(16, 16)).abs();
-        assert!(bil_edge > gau_edge, "bilateral {bil_edge} vs gaussian {gau_edge}");
+        assert!(
+            bil_edge > gau_edge,
+            "bilateral {bil_edge} vs gaussian {gau_edge}"
+        );
         assert!(bil_edge > 0.8);
     }
 

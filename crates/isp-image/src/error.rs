@@ -57,7 +57,10 @@ impl fmt::Display for ImageError {
                 write!(f, "mask dimensions must be odd, got {width}x{height}")
             }
             ImageError::MaskSizeMismatch { expected, actual } => {
-                write!(f, "mask coefficient count mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "mask coefficient count mismatch: expected {expected}, got {actual}"
+                )
             }
             ImageError::SizeMismatch { left, right } => write!(
                 f,
@@ -91,12 +94,21 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = ImageError::InvalidDimensions { width: 0, height: 4 };
+        let e = ImageError::InvalidDimensions {
+            width: 0,
+            height: 4,
+        };
         assert!(e.to_string().contains("0x4"));
-        let e = ImageError::BufferSizeMismatch { expected: 16, actual: 15 };
+        let e = ImageError::BufferSizeMismatch {
+            expected: 16,
+            actual: 15,
+        };
         assert!(e.to_string().contains("16"));
         assert!(e.to_string().contains("15"));
-        let e = ImageError::SizeMismatch { left: (4, 4), right: (8, 8) };
+        let e = ImageError::SizeMismatch {
+            left: (4, 4),
+            right: (8, 8),
+        };
         assert!(e.to_string().contains("4x4"));
     }
 

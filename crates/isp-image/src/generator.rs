@@ -25,13 +25,19 @@ impl ImageGenerator {
     }
 
     fn rng(&self, salt: u64) -> StdRng {
-        StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(salt))
+        StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(salt),
+        )
     }
 
     /// Uniform noise over the pixel type's full range.
     pub fn uniform_noise<T: Pixel>(&self, width: usize, height: usize) -> Image<T> {
         let mut rng = self.rng(1);
-        Image::from_fn(width, height, |_, _| T::from_f32(rng.gen::<f32>() * T::MAX_VALUE))
+        Image::from_fn(width, height, |_, _| {
+            T::from_f32(rng.gen::<f32>() * T::MAX_VALUE)
+        })
     }
 
     /// Horizontal linear gradient from 0 to the type maximum.

@@ -50,7 +50,12 @@ impl<T: Pixel> Image<T> {
                 data.push(f(x, y));
             }
         }
-        Image { width, height, stride: width, data }
+        Image {
+            width,
+            height,
+            stride: width,
+            data,
+        }
     }
 
     /// Wrap an existing tightly-packed buffer (stride == width).
@@ -62,9 +67,17 @@ impl<T: Pixel> Image<T> {
             .checked_mul(height)
             .ok_or(ImageError::InvalidDimensions { width, height })?;
         if data.len() != expected {
-            return Err(ImageError::BufferSizeMismatch { expected, actual: data.len() });
+            return Err(ImageError::BufferSizeMismatch {
+                expected,
+                actual: data.len(),
+            });
         }
-        Ok(Image { width, height, stride: width, data })
+        Ok(Image {
+            width,
+            height,
+            stride: width,
+            data,
+        })
     }
 
     /// Wrap a strided buffer. `data.len()` must equal `stride * height` and
@@ -82,9 +95,17 @@ impl<T: Pixel> Image<T> {
             .checked_mul(height)
             .ok_or(ImageError::InvalidDimensions { width, height })?;
         if data.len() != expected {
-            return Err(ImageError::BufferSizeMismatch { expected, actual: data.len() });
+            return Err(ImageError::BufferSizeMismatch {
+                expected,
+                actual: data.len(),
+            });
         }
-        Ok(Image { width, height, stride, data })
+        Ok(Image {
+            width,
+            height,
+            stride,
+            data,
+        })
     }
 
     /// Image width in pixels (`sx` in the paper).
@@ -126,7 +147,10 @@ impl<T: Pixel> Image<T> {
     /// Read the pixel at `(x, y)`. Panics when out of bounds.
     #[inline]
     pub fn get(&self, x: usize, y: usize) -> T {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.data[y * self.stride + x]
     }
 
@@ -139,7 +163,10 @@ impl<T: Pixel> Image<T> {
     /// Write the pixel at `(x, y)`. Panics when out of bounds.
     #[inline]
     pub fn set(&mut self, x: usize, y: usize, value: T) {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.data[y * self.stride + x] = value;
     }
 
@@ -211,12 +238,16 @@ impl<T: Pixel> Image<T> {
     /// measured in the `f32` domain. Used pervasively by correctness tests.
     pub fn max_abs_diff(&self, other: &Image<T>) -> Result<f32, ImageError> {
         if self.dims() != other.dims() {
-            return Err(ImageError::SizeMismatch { left: self.dims(), right: other.dims() });
+            return Err(ImageError::SizeMismatch {
+                left: self.dims(),
+                right: other.dims(),
+            });
         }
         let mut max = 0.0f32;
         for y in 0..self.height {
             for x in 0..self.width {
-                let d = (self.get_unchecked(x, y).to_f32() - other.get_unchecked(x, y).to_f32()).abs();
+                let d =
+                    (self.get_unchecked(x, y).to_f32() - other.get_unchecked(x, y).to_f32()).abs();
                 if d > max {
                     max = d;
                 }
@@ -228,12 +259,16 @@ impl<T: Pixel> Image<T> {
     /// Count pixels differing by more than `tol` in the `f32` domain.
     pub fn count_diff(&self, other: &Image<T>, tol: f32) -> Result<usize, ImageError> {
         if self.dims() != other.dims() {
-            return Err(ImageError::SizeMismatch { left: self.dims(), right: other.dims() });
+            return Err(ImageError::SizeMismatch {
+                left: self.dims(),
+                right: other.dims(),
+            });
         }
         let mut n = 0;
         for y in 0..self.height {
             for x in 0..self.width {
-                let d = (self.get_unchecked(x, y).to_f32() - other.get_unchecked(x, y).to_f32()).abs();
+                let d =
+                    (self.get_unchecked(x, y).to_f32() - other.get_unchecked(x, y).to_f32()).abs();
                 if d > tol {
                     n += 1;
                 }
@@ -309,7 +344,10 @@ mod tests {
         assert!(Image::<u8>::from_vec(2, 2, vec![1, 2, 3, 4]).is_ok());
         assert!(matches!(
             Image::<u8>::from_vec(2, 2, vec![1, 2, 3]),
-            Err(ImageError::BufferSizeMismatch { expected: 4, actual: 3 })
+            Err(ImageError::BufferSizeMismatch {
+                expected: 4,
+                actual: 3
+            })
         ));
         assert!(matches!(
             Image::<u8>::from_vec(0, 2, vec![]),
@@ -402,7 +440,10 @@ mod tests {
 /// identical (infinite PSNR) — callers usually treat that as "perfect".
 pub fn psnr<T: Pixel>(a: &Image<T>, b: &Image<T>) -> Result<Option<f64>, ImageError> {
     if a.dims() != b.dims() {
-        return Err(ImageError::SizeMismatch { left: a.dims(), right: b.dims() });
+        return Err(ImageError::SizeMismatch {
+            left: a.dims(),
+            right: b.dims(),
+        });
     }
     let mut mse = 0.0f64;
     for y in 0..a.height() {

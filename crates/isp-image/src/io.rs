@@ -6,7 +6,6 @@
 use crate::error::ImageError;
 use crate::image::Image;
 use crate::pixel::Pixel;
-use bytes::{BufMut, BytesMut};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
@@ -14,15 +13,15 @@ use std::path::Path;
 /// normalised through the `f32` domain against `T::MAX_VALUE`.
 pub fn encode_pgm<T: Pixel>(image: &Image<T>) -> Vec<u8> {
     let (w, h) = image.dims();
-    let mut buf = BytesMut::with_capacity(32 + w * h);
-    buf.put_slice(format!("P5\n{w} {h}\n255\n").as_bytes());
+    let mut buf = Vec::with_capacity(32 + w * h);
+    buf.extend_from_slice(format!("P5\n{w} {h}\n255\n").as_bytes());
     for y in 0..h {
         for x in 0..w {
             let unit = image.get_unchecked(x, y).to_f32() / T::MAX_VALUE;
-            buf.put_u8(u8::from_f32(unit * 255.0));
+            buf.push(u8::from_f32(unit * 255.0));
         }
     }
-    buf.to_vec()
+    buf
 }
 
 /// Write an image to a PGM file.
@@ -45,10 +44,13 @@ pub fn decode_pgm(reader: impl Read) -> Result<Image<u8>, ImageError> {
     if maxval == 0 || maxval > 255 {
         return Err(ImageError::Format(format!("unsupported maxval {maxval}")));
     }
-    let mut data = vec![0u8; w.checked_mul(h).ok_or(ImageError::InvalidDimensions {
-        width: w,
-        height: h,
-    })?];
+    let mut data = vec![
+        0u8;
+        w.checked_mul(h).ok_or(ImageError::InvalidDimensions {
+            width: w,
+            height: h,
+        })?
+    ];
     r.read_exact(&mut data)?;
     Image::from_vec(w, h, data)
 }
@@ -65,20 +67,23 @@ pub fn encode_ppm<T: Pixel>(
     b: &Image<T>,
 ) -> Result<Vec<u8>, ImageError> {
     if r.dims() != g.dims() || r.dims() != b.dims() {
-        return Err(ImageError::SizeMismatch { left: r.dims(), right: g.dims() });
+        return Err(ImageError::SizeMismatch {
+            left: r.dims(),
+            right: g.dims(),
+        });
     }
     let (w, h) = r.dims();
-    let mut buf = BytesMut::with_capacity(32 + 3 * w * h);
-    buf.put_slice(format!("P6\n{w} {h}\n255\n").as_bytes());
+    let mut buf = Vec::with_capacity(32 + 3 * w * h);
+    buf.extend_from_slice(format!("P6\n{w} {h}\n255\n").as_bytes());
     for y in 0..h {
         for x in 0..w {
             for img in [r, g, b] {
                 let unit = img.get_unchecked(x, y).to_f32() / T::MAX_VALUE;
-                buf.put_u8(u8::from_f32(unit * 255.0));
+                buf.push(u8::from_f32(unit * 255.0));
             }
         }
     }
-    Ok(buf.to_vec())
+    Ok(buf)
 }
 
 /// Skip PNM whitespace and `#` comments, then read one token.
@@ -114,7 +119,8 @@ fn read_token(r: &mut impl BufRead) -> Result<String, ImageError> {
 
 fn parse_token<F: std::str::FromStr>(r: &mut impl BufRead) -> Result<F, ImageError> {
     let tok = read_token(r)?;
-    tok.parse().map_err(|_| ImageError::Format(format!("bad numeric token '{tok}'")))
+    tok.parse()
+        .map_err(|_| ImageError::Format(format!("bad numeric token '{tok}'")))
 }
 
 #[cfg(test)]

@@ -24,7 +24,11 @@ impl Mask {
                 actual: coeffs.len(),
             });
         }
-        Ok(Mask { width, height, coeffs })
+        Ok(Mask {
+            width,
+            height,
+            coeffs,
+        })
     }
 
     /// Square mask from a slice.
@@ -73,7 +77,10 @@ impl Mask {
                     0.0, 0.0, 1.0, 0.0, 0.0,
                 ],
             ),
-            _ => Err(ImageError::EvenMaskDimensions { width: size, height: size }),
+            _ => Err(ImageError::EvenMaskDimensions {
+                width: size,
+                height: size,
+            }),
         }
     }
 
@@ -186,9 +193,9 @@ impl Mask {
         let row: Vec<f32> = (0..self.width).map(|x| self.coeff(x, py)).collect();
         let col: Vec<f32> = (0..self.height).map(|y| self.coeff(px, y) / pv).collect();
         // Verify the outer product reconstructs the mask.
-        for y in 0..self.height {
-            for x in 0..self.width {
-                let recon = col[y] * row[x];
+        for (y, &cv) in col.iter().enumerate() {
+            for (x, &rv) in row.iter().enumerate() {
+                let recon = cv * rv;
                 if (recon - self.coeff(x, y)).abs() > EPS * pv.abs().max(1.0) {
                     return None;
                 }
@@ -225,7 +232,11 @@ impl Domain {
         if width == 0 || height == 0 || width.is_multiple_of(2) || height.is_multiple_of(2) {
             return Err(ImageError::EvenMaskDimensions { width, height });
         }
-        Ok(Domain { width, height, active: vec![true; width * height] })
+        Ok(Domain {
+            width,
+            height,
+            active: vec![true; width * height],
+        })
     }
 
     /// Width of the footprint.
@@ -266,7 +277,13 @@ impl Domain {
         let rx = self.radius_x() as i64;
         let ry = self.radius_y() as i64;
         (-ry..=ry).flat_map(move |dy| {
-            (-rx..=rx).filter_map(move |dx| if self.active_at(dx, dy) { Some((dx, dy)) } else { None })
+            (-rx..=rx).filter_map(move |dx| {
+                if self.active_at(dx, dy) {
+                    Some((dx, dy))
+                } else {
+                    None
+                }
+            })
         })
     }
 }

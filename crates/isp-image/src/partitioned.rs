@@ -107,7 +107,10 @@ mod tests {
         for pat in BorderPattern::ALL {
             for size in [3usize, 5, 9] {
                 let mask = Mask::gaussian(size, 1.0).unwrap();
-                let spec = BorderSpec { pattern: pat, constant: 0.4 };
+                let spec = BorderSpec {
+                    pattern: pat,
+                    constant: 0.4,
+                };
                 let naive = crate::convolve::convolve(&img, &mask, spec);
                 let split = convolve_partitioned(&img, &mask, spec);
                 assert_eq!(

@@ -23,12 +23,22 @@ impl Roi {
     /// Construct a ROI. Zero-sized ROIs are legal (an ISP region may be
     /// empty, e.g. when the whole image fits into border blocks).
     pub fn new(x: usize, y: usize, width: usize, height: usize) -> Self {
-        Roi { x, y, width, height }
+        Roi {
+            x,
+            y,
+            width,
+            height,
+        }
     }
 
     /// ROI covering a full `width x height` image.
     pub fn full(width: usize, height: usize) -> Self {
-        Roi { x: 0, y: 0, width, height }
+        Roi {
+            x: 0,
+            y: 0,
+            width,
+            height,
+        }
     }
 
     /// Number of pixels covered.
@@ -68,8 +78,14 @@ impl Roi {
 
     /// Check the ROI fits within a `parent_width x parent_height` image.
     pub fn validate(&self, parent_width: usize, parent_height: usize) -> Result<(), ImageError> {
-        let fits_x = self.x.checked_add(self.width).is_some_and(|e| e <= parent_width);
-        let fits_y = self.y.checked_add(self.height).is_some_and(|e| e <= parent_height);
+        let fits_x = self
+            .x
+            .checked_add(self.width)
+            .is_some_and(|e| e <= parent_width);
+        let fits_y = self
+            .y
+            .checked_add(self.height)
+            .is_some_and(|e| e <= parent_height);
         if fits_x && fits_y {
             Ok(())
         } else {

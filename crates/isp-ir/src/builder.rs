@@ -57,7 +57,10 @@ impl IrBuilder {
     /// Declare a scalar parameter, returning its index for `ld_param`.
     pub fn param(&mut self, name: impl Into<String>, ty: Ty) -> u32 {
         let idx = self.params.len() as u32;
-        self.params.push(ParamDecl { name: name.into(), ty });
+        self.params.push(ParamDecl {
+            name: name.into(),
+            ty,
+        });
         idx
     }
 
@@ -105,7 +108,12 @@ impl IrBuilder {
     /// `dst = a <op> b`, with `dst` freshly allocated of type `ty`.
     pub fn bin(&mut self, op: BinOp, ty: Ty, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
         let dst = self.fresh(ty);
-        self.emit(Instr::Bin { op, dst, a: a.into(), b: b.into() });
+        self.emit(Instr::Bin {
+            op,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
         dst
     }
 
@@ -118,14 +126,23 @@ impl IrBuilder {
         c: impl Into<Operand>,
     ) -> VReg {
         let dst = self.fresh(ty);
-        self.emit(Instr::Mad { dst, a: a.into(), b: b.into(), c: c.into() });
+        self.emit(Instr::Mad {
+            dst,
+            a: a.into(),
+            b: b.into(),
+            c: c.into(),
+        });
         dst
     }
 
     /// `dst = <op> a`.
     pub fn un(&mut self, op: UnOp, ty: Ty, a: impl Into<Operand>) -> VReg {
         let dst = self.fresh(ty);
-        self.emit(Instr::Un { op, dst, a: a.into() });
+        self.emit(Instr::Un {
+            op,
+            dst,
+            a: a.into(),
+        });
         dst
     }
 
@@ -144,7 +161,12 @@ impl IrBuilder {
     /// Compare, producing a fresh predicate.
     pub fn setp(&mut self, cmp: CmpOp, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
         let dst = self.fresh(Ty::Pred);
-        self.emit(Instr::SetP { cmp, dst, a: a.into(), b: b.into() });
+        self.emit(Instr::SetP {
+            cmp,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
         dst
     }
 
@@ -157,7 +179,12 @@ impl IrBuilder {
         pred: VReg,
     ) -> VReg {
         let dst = self.fresh(ty);
-        self.emit(Instr::SelP { dst, a: a.into(), b: b.into(), pred });
+        self.emit(Instr::SelP {
+            dst,
+            a: a.into(),
+            b: b.into(),
+            pred,
+        });
         dst
     }
 
@@ -179,20 +206,33 @@ impl IrBuilder {
     /// Global load of a `f32` element.
     pub fn ld(&mut self, ty: Ty, buf: u32, addr: impl Into<Operand>) -> VReg {
         let dst = self.fresh(ty);
-        self.emit(Instr::Ld { dst, buf, addr: addr.into() });
+        self.emit(Instr::Ld {
+            dst,
+            buf,
+            addr: addr.into(),
+        });
         dst
     }
 
     /// 2D texture fetch of an `f32` element (hardware border handling).
     pub fn tex(&mut self, buf: u32, x: impl Into<Operand>, y: impl Into<Operand>) -> VReg {
         let dst = self.fresh(Ty::F32);
-        self.emit(Instr::Tex { dst, buf, x: x.into(), y: y.into() });
+        self.emit(Instr::Tex {
+            dst,
+            buf,
+            x: x.into(),
+            y: y.into(),
+        });
         dst
     }
 
     /// Global store.
     pub fn st(&mut self, buf: u32, addr: impl Into<Operand>, val: impl Into<Operand>) {
-        self.emit(Instr::St { buf, addr: addr.into(), val: val.into() });
+        self.emit(Instr::St {
+            buf,
+            addr: addr.into(),
+            val: val.into(),
+        });
     }
 
     /// Declare the per-block shared-memory scratchpad size (in elements).
@@ -203,13 +243,19 @@ impl IrBuilder {
     /// Shared-memory load of an `f32` element.
     pub fn lds(&mut self, addr: impl Into<Operand>) -> VReg {
         let dst = self.fresh(Ty::F32);
-        self.emit(Instr::Lds { dst, addr: addr.into() });
+        self.emit(Instr::Lds {
+            dst,
+            addr: addr.into(),
+        });
         dst
     }
 
     /// Shared-memory store.
     pub fn sts(&mut self, addr: impl Into<Operand>, val: impl Into<Operand>) {
-        self.emit(Instr::Sts { addr: addr.into(), val: val.into() });
+        self.emit(Instr::Sts {
+            addr: addr.into(),
+            val: val.into(),
+        });
     }
 
     /// Block-wide barrier.
@@ -229,7 +275,11 @@ impl IrBuilder {
         assert_eq!(pred.ty, Ty::Pred, "cond_br needs a predicate register");
         let b = self.cur();
         assert!(b.terminator.is_none(), "block already sealed");
-        b.terminator = Some(Terminator::CondBr { pred, if_true, if_false });
+        b.terminator = Some(Terminator::CondBr {
+            pred,
+            if_true,
+            if_false,
+        });
     }
 
     /// Seal the current block with a thread exit.
@@ -310,7 +360,10 @@ mod tests {
         b.ret();
         let k = b.finish();
         assert_eq!(k.blocks.len(), 4);
-        assert_eq!(k.block(BlockId(0)).terminator.successors(), vec![BlockId(1), BlockId(2)]);
+        assert_eq!(
+            k.block(BlockId(0)).terminator.successors(),
+            vec![BlockId(1), BlockId(2)]
+        );
         assert_eq!(k.block_by_label("merge"), Some(BlockId(3)));
     }
 

@@ -45,7 +45,11 @@ impl Cfg {
                 stack.push(s);
             }
         }
-        Cfg { succs, preds, reachable }
+        Cfg {
+            succs,
+            preds,
+            reachable,
+        }
     }
 
     /// Number of blocks.
@@ -215,7 +219,11 @@ mod tests {
         let inner_id = k.block_by_label("inner_branch").unwrap();
         let m2_id = k.block_by_label("m2").unwrap();
         let m1_id = k.block_by_label("m1").unwrap();
-        assert_eq!(ipd[inner_id.0 as usize], Some(m2_id), "inner reconverges at m2");
+        assert_eq!(
+            ipd[inner_id.0 as usize],
+            Some(m2_id),
+            "inner reconverges at m2"
+        );
         assert_eq!(ipd[0], Some(m1_id), "outer reconverges at m1");
         assert_eq!(ipd[m2_id.0 as usize], Some(m1_id));
     }

@@ -232,18 +232,38 @@ impl CmpOp {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Instr {
     /// `dst = a <op> b`
-    Bin { op: BinOp, dst: VReg, a: Operand, b: Operand },
+    Bin {
+        op: BinOp,
+        dst: VReg,
+        a: Operand,
+        b: Operand,
+    },
     /// Fused multiply-add: `dst = a * b + c` (PTX `mad`/`fma`).
-    Mad { dst: VReg, a: Operand, b: Operand, c: Operand },
+    Mad {
+        dst: VReg,
+        a: Operand,
+        b: Operand,
+        c: Operand,
+    },
     /// `dst = <op> a`
     Un { op: UnOp, dst: VReg, a: Operand },
     /// Type conversion between `s32` and `f32` (round-to-nearest on
     /// float-to-int, matching the reference `Pixel::from_f32`).
     Cvt { dst: VReg, a: Operand },
     /// `dst = a <cmp> b` producing a predicate.
-    SetP { cmp: CmpOp, dst: VReg, a: Operand, b: Operand },
+    SetP {
+        cmp: CmpOp,
+        dst: VReg,
+        a: Operand,
+        b: Operand,
+    },
     /// `dst = pred ? a : b`.
-    SelP { dst: VReg, a: Operand, b: Operand, pred: VReg },
+    SelP {
+        dst: VReg,
+        a: Operand,
+        b: Operand,
+        pred: VReg,
+    },
     /// Read a special register into `dst` (`s32`).
     Sreg { dst: VReg, sreg: SReg },
     /// Load the scalar kernel parameter with the given index into `dst`.
@@ -254,9 +274,18 @@ pub enum Instr {
     /// coordinates resolved by the texture unit's address mode (hardware
     /// border handling — the alternative the paper discusses in its
     /// introduction). The buffer must carry a texture descriptor.
-    Tex { dst: VReg, buf: u32, x: Operand, y: Operand },
+    Tex {
+        dst: VReg,
+        buf: u32,
+        x: Operand,
+        y: Operand,
+    },
     /// Global store: `buffer[addr] = val`.
-    St { buf: u32, addr: Operand, val: Operand },
+    St {
+        buf: u32,
+        addr: Operand,
+        val: Operand,
+    },
     /// Shared-memory load: `dst = shared[addr]` (per-block scratchpad,
     /// element index addressing; the kernel declares its size).
     Lds { dst: VReg, addr: Operand },
@@ -369,7 +398,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<crate::kernel::BlockId> {
         match self {
             Terminator::Br { target } => vec![*target],
-            Terminator::CondBr { if_true, if_false, .. } => vec![*if_true, *if_false],
+            Terminator::CondBr {
+                if_true, if_false, ..
+            } => vec![*if_true, *if_false],
             Terminator::Ret => vec![],
         }
     }
@@ -430,17 +461,31 @@ mod tests {
 
     #[test]
     fn dst_and_sources() {
-        let i = Instr::Bin { op: BinOp::Add, dst: r(2), a: r(0).into(), b: r(1).into() };
+        let i = Instr::Bin {
+            op: BinOp::Add,
+            dst: r(2),
+            a: r(0).into(),
+            b: r(1).into(),
+        };
         assert_eq!(i.dst(), Some(r(2)));
         assert_eq!(i.sources(), vec![r(0), r(1)]);
 
-        let st = Instr::St { buf: 0, addr: r(3).into(), val: Operand::ImmF(1.0) };
+        let st = Instr::St {
+            buf: 0,
+            addr: r(3).into(),
+            val: Operand::ImmF(1.0),
+        };
         assert_eq!(st.dst(), None);
         assert_eq!(st.sources(), vec![r(3)]);
         assert!(!st.is_pure());
 
         let p = VReg::new(9, Ty::Pred);
-        let sel = Instr::SelP { dst: r(4), a: 1i32.into(), b: 2i32.into(), pred: p };
+        let sel = Instr::SelP {
+            dst: r(4),
+            a: 1i32.into(),
+            b: 2i32.into(),
+            pred: p,
+        };
         assert_eq!(sel.sources(), vec![p]);
         assert!(sel.is_pure());
     }
@@ -451,7 +496,11 @@ mod tests {
         assert_eq!(br.successors(), vec![BlockId(3)]);
         assert_eq!(br.pred(), None);
         let p = VReg::new(0, Ty::Pred);
-        let cb = Terminator::CondBr { pred: p, if_true: BlockId(1), if_false: BlockId(2) };
+        let cb = Terminator::CondBr {
+            pred: p,
+            if_true: BlockId(1),
+            if_false: BlockId(2),
+        };
         assert_eq!(cb.successors(), vec![BlockId(1), BlockId(2)]);
         assert_eq!(cb.pred(), Some(p));
         assert!(Terminator::Ret.successors().is_empty());

@@ -75,7 +75,10 @@ impl Kernel {
 
     /// Find a scalar parameter index by name.
     pub fn param_index(&self, name: &str) -> Option<u32> {
-        self.params.iter().position(|p| p.name == name).map(|i| i as u32)
+        self.params
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| i as u32)
     }
 
     /// Total static instruction count including terminators (PTX `bra`/`ret`
@@ -104,8 +107,14 @@ mod tests {
             shared_elems: 0,
             num_buffers: 1,
             params: vec![
-                ParamDecl { name: "width".into(), ty: Ty::S32 },
-                ParamDecl { name: "scale".into(), ty: Ty::F32 },
+                ParamDecl {
+                    name: "width".into(),
+                    ty: Ty::S32,
+                },
+                ParamDecl {
+                    name: "scale".into(),
+                    ty: Ty::F32,
+                },
             ],
             blocks: vec![
                 BasicBlock {

@@ -62,12 +62,24 @@ impl OptConfig {
 
     /// No optimisation at all.
     pub fn none() -> Self {
-        OptConfig { fold: false, cse: false, dce: false, cse_window: 0, cse_window_loads: 0 }
+        OptConfig {
+            fold: false,
+            cse: false,
+            dce: false,
+            cse_window: 0,
+            cse_window_loads: 0,
+        }
     }
 
     /// CSE disabled, folding/DCE on — the `ablation_cse` configuration.
     pub fn no_cse() -> Self {
-        OptConfig { fold: true, cse: false, dce: true, cse_window: 0, cse_window_loads: 0 }
+        OptConfig {
+            fold: true,
+            cse: false,
+            dce: true,
+            cse_window: 0,
+            cse_window_loads: 0,
+        }
     }
 
     /// Unbounded CSE (no rematerialization) — for tests and ablations.
@@ -211,8 +223,10 @@ fn fold_bin(op: BinOp, ty: Ty, a: &Operand, b: &Operand) -> Option<Operand> {
 /// operands. Kept to transformations valid under the "fast math" rules real
 /// GPU compilation of these kernels uses (`x * 0.0 -> 0.0` etc.).
 fn simplify_bin(op: BinOp, ty: Ty, a: &Operand, b: &Operand) -> Option<Operand> {
-    let is_zero = |o: &Operand| matches!(o, Operand::ImmI(0)) || matches!(o, Operand::ImmF(f) if *f == 0.0);
-    let is_one = |o: &Operand| matches!(o, Operand::ImmI(1)) || matches!(o, Operand::ImmF(f) if *f == 1.0);
+    let is_zero =
+        |o: &Operand| matches!(o, Operand::ImmI(0)) || matches!(o, Operand::ImmF(f) if *f == 0.0);
+    let is_one =
+        |o: &Operand| matches!(o, Operand::ImmI(1)) || matches!(o, Operand::ImmF(f) if *f == 1.0);
     match op {
         BinOp::Add => {
             if is_zero(a) {
@@ -222,10 +236,9 @@ fn simplify_bin(op: BinOp, ty: Ty, a: &Operand, b: &Operand) -> Option<Operand> 
                 return Some(*a);
             }
         }
-        BinOp::Sub
-            if is_zero(b) => {
-                return Some(*a);
-            }
+        BinOp::Sub if is_zero(b) => {
+            return Some(*a);
+        }
         BinOp::Mul => {
             if is_one(a) {
                 return Some(*b);
@@ -234,25 +247,25 @@ fn simplify_bin(op: BinOp, ty: Ty, a: &Operand, b: &Operand) -> Option<Operand> 
                 return Some(*a);
             }
             if is_zero(a) || is_zero(b) {
-                return Some(if ty == Ty::F32 { Operand::ImmF(0.0) } else { Operand::ImmI(0) });
+                return Some(if ty == Ty::F32 {
+                    Operand::ImmF(0.0)
+                } else {
+                    Operand::ImmI(0)
+                });
             }
         }
-        BinOp::Div
-            if is_one(b) => {
-                return Some(*a);
-            }
-        BinOp::Min | BinOp::Max
-            if OpKey::of(a) == OpKey::of(b) => {
-                return Some(*a);
-            }
-        BinOp::And | BinOp::Or
-            if OpKey::of(a) == OpKey::of(b) => {
-                return Some(*a);
-            }
-        BinOp::Shl | BinOp::Shr
-            if is_zero(b) => {
-                return Some(*a);
-            }
+        BinOp::Div if is_one(b) => {
+            return Some(*a);
+        }
+        BinOp::Min | BinOp::Max if OpKey::of(a) == OpKey::of(b) => {
+            return Some(*a);
+        }
+        BinOp::And | BinOp::Or if OpKey::of(a) == OpKey::of(b) => {
+            return Some(*a);
+        }
+        BinOp::Shl | BinOp::Shr if is_zero(b) => {
+            return Some(*a);
+        }
         _ => {}
     }
     None
@@ -378,7 +391,12 @@ fn value_number(k: &mut Kernel, config: OptConfig) {
                         vn.insert(key, (*dst, kept.len()));
                     }
                 }
-                Instr::SetP { cmp, dst, a, b: rhs } => {
+                Instr::SetP {
+                    cmp,
+                    dst,
+                    a,
+                    b: rhs,
+                } => {
                     if config.fold {
                         if let Some(v) = fold_cmp(*cmp, a, rhs) {
                             const_preds.insert(dst.index, v);
@@ -402,7 +420,12 @@ fn value_number(k: &mut Kernel, config: OptConfig) {
                         vn.insert(key, (*dst, kept.len()));
                     }
                 }
-                Instr::SelP { dst, a, b: rhs, pred } => {
+                Instr::SelP {
+                    dst,
+                    a,
+                    b: rhs,
+                    pred,
+                } => {
                     if config.fold {
                         if let Some(&v) = const_preds.get(&pred.index) {
                             subst.insert(dst.index, if v { *a } else { *rhs });
@@ -479,17 +502,27 @@ fn value_number(k: &mut Kernel, config: OptConfig) {
         b.instrs = kept;
         // Rewrite / simplify the terminator.
         b.terminator = match b.terminator.clone() {
-            Terminator::CondBr { pred, if_true, if_false } => {
+            Terminator::CondBr {
+                pred,
+                if_true,
+                if_false,
+            } => {
                 let pred = match resolve(&subst, Operand::Reg(pred)) {
                     Operand::Reg(r) => r,
                     _ => pred,
                 };
                 if let Some(&v) = const_preds.get(&pred.index) {
-                    Terminator::Br { target: if v { if_true } else { if_false } }
+                    Terminator::Br {
+                        target: if v { if_true } else { if_false },
+                    }
                 } else if if_true == if_false {
                     Terminator::Br { target: if_true }
                 } else {
-                    Terminator::CondBr { pred, if_true, if_false }
+                    Terminator::CondBr {
+                        pred,
+                        if_true,
+                        if_false,
+                    }
                 }
             }
             t => t,
@@ -543,18 +576,54 @@ fn rewrite_operands(instr: Instr, subst: &HashMap<u32, Operand>) -> Instr {
         _ => r, // predicate folded to constant; handled by caller
     };
     match instr {
-        Instr::Bin { op, dst, a, b } => Instr::Bin { op, dst, a: f(a), b: f(b) },
-        Instr::Mad { dst, a, b, c } => Instr::Mad { dst, a: f(a), b: f(b), c: f(c) },
+        Instr::Bin { op, dst, a, b } => Instr::Bin {
+            op,
+            dst,
+            a: f(a),
+            b: f(b),
+        },
+        Instr::Mad { dst, a, b, c } => Instr::Mad {
+            dst,
+            a: f(a),
+            b: f(b),
+            c: f(c),
+        },
         Instr::Un { op, dst, a } => Instr::Un { op, dst, a: f(a) },
         Instr::Cvt { dst, a } => Instr::Cvt { dst, a: f(a) },
-        Instr::SetP { cmp, dst, a, b } => Instr::SetP { cmp, dst, a: f(a), b: f(b) },
-        Instr::SelP { dst, a, b, pred } => Instr::SelP { dst, a: f(a), b: f(b), pred: fr(pred) },
+        Instr::SetP { cmp, dst, a, b } => Instr::SetP {
+            cmp,
+            dst,
+            a: f(a),
+            b: f(b),
+        },
+        Instr::SelP { dst, a, b, pred } => Instr::SelP {
+            dst,
+            a: f(a),
+            b: f(b),
+            pred: fr(pred),
+        },
         Instr::Sreg { .. } | Instr::LdParam { .. } => instr,
-        Instr::Ld { dst, buf, addr } => Instr::Ld { dst, buf, addr: f(addr) },
-        Instr::Tex { dst, buf, x, y } => Instr::Tex { dst, buf, x: f(x), y: f(y) },
-        Instr::St { buf, addr, val } => Instr::St { buf, addr: f(addr), val: f(val) },
+        Instr::Ld { dst, buf, addr } => Instr::Ld {
+            dst,
+            buf,
+            addr: f(addr),
+        },
+        Instr::Tex { dst, buf, x, y } => Instr::Tex {
+            dst,
+            buf,
+            x: f(x),
+            y: f(y),
+        },
+        Instr::St { buf, addr, val } => Instr::St {
+            buf,
+            addr: f(addr),
+            val: f(val),
+        },
         Instr::Lds { dst, addr } => Instr::Lds { dst, addr: f(addr) },
-        Instr::Sts { addr, val } => Instr::Sts { addr: f(addr), val: f(val) },
+        Instr::Sts { addr, val } => Instr::Sts {
+            addr: f(addr),
+            val: f(val),
+        },
         Instr::Bar => Instr::Bar,
     }
 }
@@ -620,7 +689,11 @@ mod tests {
         let h = InstrHistogram::of_kernel(&opt);
         assert_eq!(h.get(InstrCategory::Max), 1, "duplicate max must be CSE'd");
         assert_eq!(h.get(InstrCategory::Add), 2, "one address add + float add");
-        assert_eq!(h.get(InstrCategory::Ld), 1, "identical restrict-loads collapse");
+        assert_eq!(
+            h.get(InstrCategory::Ld),
+            1,
+            "identical restrict-loads collapse"
+        );
     }
 
     #[test]
@@ -751,7 +824,11 @@ mod tests {
         let opt = optimize(&k, OptConfig::full());
         let h = InstrHistogram::of_kernel(&opt);
         assert_eq!(h.get(InstrCategory::Setp), 1);
-        assert_eq!(h.get(InstrCategory::Selp), 1, "identical selects collapse too");
+        assert_eq!(
+            h.get(InstrCategory::Selp),
+            1,
+            "identical selects collapse too"
+        );
     }
 
     #[test]

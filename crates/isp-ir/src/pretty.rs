@@ -11,7 +11,11 @@ pub fn format_instr(i: &Instr) -> String {
             format!("{}.{} \t{dst}, {a}, {b};", op.mnemonic(), dst.ty)
         }
         Instr::Mad { dst, a, b, c } => {
-            let m = if dst.ty == crate::types::Ty::F32 { "fma.rn" } else { "mad.lo" };
+            let m = if dst.ty == crate::types::Ty::F32 {
+                "fma.rn"
+            } else {
+                "mad.lo"
+            };
             format!("{m}.{} \t{dst}, {a}, {b}, {c};", dst.ty)
         }
         Instr::Un { op, dst, a } => format!("{}.{} \t{dst}, {a};", op.mnemonic(), dst.ty),
@@ -26,11 +30,18 @@ pub fn format_instr(i: &Instr) -> String {
         Instr::LdParam { dst, index } => {
             format!("ld.param.{} \t{dst}, [param_{index}];", dst.ty)
         }
-        Instr::Ld { dst, buf, addr } => format!("ld.global.{} \t{dst}, [buf{buf} + {addr}];", dst.ty),
-        Instr::Tex { dst, buf, x, y } => {
-            format!("tex.2d.v1.{}.s32 \t{dst}, [tex{buf}, {{{x}, {y}}}];", dst.ty)
+        Instr::Ld { dst, buf, addr } => {
+            format!("ld.global.{} \t{dst}, [buf{buf} + {addr}];", dst.ty)
         }
-        Instr::St { buf, addr, val } => format!("st.global.{} \t[buf{buf} + {addr}], {val};", val.ty()),
+        Instr::Tex { dst, buf, x, y } => {
+            format!(
+                "tex.2d.v1.{}.s32 \t{dst}, [tex{buf}, {{{x}, {y}}}];",
+                dst.ty
+            )
+        }
+        Instr::St { buf, addr, val } => {
+            format!("st.global.{} \t[buf{buf} + {addr}], {val};", val.ty())
+        }
         Instr::Lds { dst, addr } => format!("ld.shared.{} \t{dst}, [smem + {addr}];", dst.ty),
         Instr::Sts { addr, val } => format!("st.shared.{} \t[smem + {addr}], {val};", val.ty()),
         Instr::Bar => "bar.sync \t0;".to_string(),
@@ -41,7 +52,11 @@ pub fn format_instr(i: &Instr) -> String {
 pub fn format_terminator(t: &Terminator, kernel: &Kernel) -> String {
     match t {
         Terminator::Br { target } => format!("bra \t${};", kernel.block(*target).label),
-        Terminator::CondBr { pred, if_true, if_false } => format!(
+        Terminator::CondBr {
+            pred,
+            if_true,
+            if_false,
+        } => format!(
             "@{pred} bra \t${};  bra \t${};",
             kernel.block(*if_true).label,
             kernel.block(*if_false).label
@@ -53,7 +68,12 @@ pub fn format_terminator(t: &Terminator, kernel: &Kernel) -> String {
 /// Render a whole kernel as PTX-like text.
 pub fn print_kernel(kernel: &Kernel) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "// {} vregs, {} blocks", kernel.num_vregs, kernel.blocks.len());
+    let _ = writeln!(
+        s,
+        "// {} vregs, {} blocks",
+        kernel.num_vregs,
+        kernel.blocks.len()
+    );
     let _ = write!(s, ".visible .entry {}(", kernel.name);
     for i in 0..kernel.num_buffers {
         let _ = write!(s, ".param .u64 buf{i}, ");

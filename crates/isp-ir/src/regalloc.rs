@@ -204,7 +204,9 @@ mod tests {
     fn wide_pressure() {
         // Produce 6 values then consume them all: pressure 6.
         let mut b = IrBuilder::new("wide", 1);
-        let vals: Vec<_> = (0..6).map(|i| b.bin(BinOp::Add, Ty::S32, i, 1i32)).collect();
+        let vals: Vec<_> = (0..6)
+            .map(|i| b.bin(BinOp::Add, Ty::S32, i, 1i32))
+            .collect();
         let mut acc = vals[0];
         for &v in &vals[1..] {
             acc = b.bin(BinOp::Add, Ty::S32, acc, v);

@@ -134,8 +134,7 @@ pub fn schedule_greedy(kernel: &Kernel) -> Kernel {
                             .sources()
                             .iter()
                             .filter(|r| {
-                                Some(**r) == dst
-                                    || remaining.get(&r.index).copied() == Some(1)
+                                Some(**r) == dst || remaining.get(&r.index).copied() == Some(1)
                             })
                             .count() as i64;
                         let sd = i64::from(b.instrs[s].dst().is_some());
@@ -183,8 +182,10 @@ mod tests {
         const N: usize = 16;
         let mut b = IrBuilder::new("chains", 2);
         let loads: Vec<_> = (0..N).map(|i| b.ld(Ty::F32, 0, i as i32)).collect();
-        let scaled: Vec<_> =
-            loads.iter().map(|&x| b.bin(BinOp::Mul, Ty::F32, x, 0.5f32)).collect();
+        let scaled: Vec<_> = loads
+            .iter()
+            .map(|&x| b.bin(BinOp::Mul, Ty::F32, x, 0.5f32))
+            .collect();
         let mut acc = b.mov(Ty::F32, 0.0f32);
         for &s in &scaled {
             acc = b.bin(BinOp::Add, Ty::F32, acc, s);
@@ -200,7 +201,10 @@ mod tests {
             before.max_live_data,
             after.max_live_data
         );
-        assert!(after.max_live_data <= 5, "interleaved pressure stays small: {after:?}");
+        assert!(
+            after.max_live_data <= 5,
+            "interleaved pressure stays small: {after:?}"
+        );
     }
 
     #[test]
@@ -238,10 +242,34 @@ mod tests {
             .filter(|i| matches!(i, Instr::Ld { .. } | Instr::St { .. }))
             .collect();
         // ld0, st0, ld1, st1 in original order.
-        assert!(matches!(mem_ops[0], Instr::Ld { addr: Operand::ImmI(0), .. }));
-        assert!(matches!(mem_ops[1], Instr::St { addr: Operand::ImmI(0), .. }));
-        assert!(matches!(mem_ops[2], Instr::Ld { addr: Operand::ImmI(1), .. }));
-        assert!(matches!(mem_ops[3], Instr::St { addr: Operand::ImmI(1), .. }));
+        assert!(matches!(
+            mem_ops[0],
+            Instr::Ld {
+                addr: Operand::ImmI(0),
+                ..
+            }
+        ));
+        assert!(matches!(
+            mem_ops[1],
+            Instr::St {
+                addr: Operand::ImmI(0),
+                ..
+            }
+        ));
+        assert!(matches!(
+            mem_ops[2],
+            Instr::Ld {
+                addr: Operand::ImmI(1),
+                ..
+            }
+        ));
+        assert!(matches!(
+            mem_ops[3],
+            Instr::St {
+                addr: Operand::ImmI(1),
+                ..
+            }
+        ));
     }
 
     #[test]

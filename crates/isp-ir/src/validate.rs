@@ -26,7 +26,10 @@ impl std::fmt::Display for ValidationError {
 pub fn validate(kernel: &Kernel) -> Vec<ValidationError> {
     let mut errors = Vec::new();
     fn push(errors: &mut Vec<ValidationError>, block: &str, message: String) {
-        errors.push(ValidationError { block: block.to_string(), message });
+        errors.push(ValidationError {
+            block: block.to_string(),
+            message,
+        });
     }
 
     if kernel.blocks.is_empty() {
@@ -40,15 +43,27 @@ pub fn validate(kernel: &Kernel) -> Vec<ValidationError> {
     for b in &kernel.blocks {
         for t in b.terminator.successors() {
             if t.0 >= n {
-                push(&mut errors, &b.label, format!("branch target {t} out of range"));
+                push(
+                    &mut errors,
+                    &b.label,
+                    format!("branch target {t} out of range"),
+                );
             }
         }
         for i in &b.instrs {
             if let Some(d) = i.dst() {
                 if d.index >= kernel.num_vregs {
-                    push(&mut errors, &b.label, format!("register {d} beyond num_vregs {}", kernel.num_vregs));
+                    push(
+                        &mut errors,
+                        &b.label,
+                        format!("register {d} beyond num_vregs {}", kernel.num_vregs),
+                    );
                 } else if defined[d.index as usize] {
-                    push(&mut errors, &b.label, format!("register {d} defined more than once (SSA violation)"));
+                    push(
+                        &mut errors,
+                        &b.label,
+                        format!("register {d} defined more than once (SSA violation)"),
+                    );
                 } else {
                     defined[d.index as usize] = true;
                 }
@@ -66,17 +81,29 @@ pub fn validate(kernel: &Kernel) -> Vec<ValidationError> {
         for i in &b.instrs {
             for s in i.sources() {
                 if s.index >= kernel.num_vregs || !defined[s.index as usize] {
-                    push(&mut errors, &b.label, format!("use of undefined register {s}"));
+                    push(
+                        &mut errors,
+                        &b.label,
+                        format!("use of undefined register {s}"),
+                    );
                 }
             }
             check_types(i, &b.label, &mut errors);
         }
         if let Some(p) = b.terminator.pred() {
             if p.ty != Ty::Pred {
-                push(&mut errors, &b.label, format!("conditional branch on non-predicate {p}"));
+                push(
+                    &mut errors,
+                    &b.label,
+                    format!("conditional branch on non-predicate {p}"),
+                );
             }
             if p.index >= kernel.num_vregs || !defined[p.index as usize] {
-                push(&mut errors, &b.label, format!("branch on undefined predicate {p}"));
+                push(
+                    &mut errors,
+                    &b.label,
+                    format!("branch on undefined predicate {p}"),
+                );
             }
         }
     }
@@ -92,12 +119,20 @@ pub fn validate(kernel: &Kernel) -> Vec<ValidationError> {
             };
             if let Some(buf) = buf {
                 if buf >= kernel.num_buffers {
-                    push(&mut errors, &b.label, format!("buffer index {buf} out of range"));
+                    push(
+                        &mut errors,
+                        &b.label,
+                        format!("buffer index {buf} out of range"),
+                    );
                 }
             }
             if let Instr::LdParam { index, .. } = i {
                 if *index as usize >= kernel.params.len() {
-                    push(&mut errors, &b.label, format!("parameter index {index} out of range"));
+                    push(
+                        &mut errors,
+                        &b.label,
+                        format!("parameter index {index} out of range"),
+                    );
                 }
             }
         }
@@ -110,7 +145,11 @@ pub fn validate(kernel: &Kernel) -> Vec<ValidationError> {
         for (idx, i) in b.instrs.iter().enumerate() {
             match i {
                 Instr::Lds { .. } | Instr::Sts { .. } if kernel.shared_elems == 0 => {
-                    push(&mut errors, &b.label, "shared access but shared_elems is 0".into());
+                    push(
+                        &mut errors,
+                        &b.label,
+                        "shared access but shared_elems is 0".into(),
+                    );
                 }
                 Instr::Bar => {
                     if b.instrs.len() != 1 || idx != 0 {
@@ -138,7 +177,11 @@ pub fn validate(kernel: &Kernel) -> Vec<ValidationError> {
     let cfg = Cfg::new(kernel);
     for (i, b) in kernel.blocks.iter().enumerate() {
         if !cfg.reachable[i] {
-            push(&mut errors, &b.label, "block is unreachable from entry".into());
+            push(
+                &mut errors,
+                &b.label,
+                "block is unreachable from entry".into(),
+            );
         }
     }
 
@@ -147,7 +190,10 @@ pub fn validate(kernel: &Kernel) -> Vec<ValidationError> {
 
 fn check_types(i: &Instr, block: &str, errors: &mut Vec<ValidationError>) {
     let mut err = |message: String| {
-        errors.push(ValidationError { block: block.to_string(), message });
+        errors.push(ValidationError {
+            block: block.to_string(),
+            message,
+        });
     };
     match i {
         Instr::Bin { op, dst, a, b } => {
@@ -168,7 +214,11 @@ fn check_types(i: &Instr, block: &str, errors: &mut Vec<ValidationError>) {
         Instr::Mad { dst, a, b, c } => {
             for (name, op) in [("a", a), ("b", b), ("c", c)] {
                 if op.ty() != dst.ty {
-                    err(format!("mad operand {name} type {} != dst {}", op.ty(), dst.ty));
+                    err(format!(
+                        "mad operand {name} type {} != dst {}",
+                        op.ty(),
+                        dst.ty
+                    ));
                 }
             }
             if dst.ty == Ty::Pred {
@@ -307,7 +357,10 @@ mod tests {
             name: "raw".into(),
             shared_elems: 0,
             num_buffers: 1,
-            params: vec![ParamDecl { name: "w".into(), ty: Ty::S32 }],
+            params: vec![ParamDecl {
+                name: "w".into(),
+                ty: Ty::S32,
+            }],
             blocks,
             num_vregs,
         }
@@ -342,7 +395,9 @@ mod tests {
             1,
         );
         let errs = validate(&k);
-        assert!(errs.iter().any(|e| e.message.contains("undefined register")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("undefined register")));
     }
 
     #[test]
@@ -352,8 +407,16 @@ mod tests {
             vec![BasicBlock {
                 label: "entry".into(),
                 instrs: vec![
-                    Instr::Un { op: crate::instr::UnOp::Mov, dst: r0, a: Operand::ImmI(1) },
-                    Instr::Un { op: crate::instr::UnOp::Mov, dst: r0, a: Operand::ImmI(2) },
+                    Instr::Un {
+                        op: crate::instr::UnOp::Mov,
+                        dst: r0,
+                        a: Operand::ImmI(1),
+                    },
+                    Instr::Un {
+                        op: crate::instr::UnOp::Mov,
+                        dst: r0,
+                        a: Operand::ImmI(2),
+                    },
                 ],
                 terminator: Terminator::Ret,
             }],
@@ -390,8 +453,15 @@ mod tests {
             vec![BasicBlock {
                 label: "entry".into(),
                 instrs: vec![
-                    Instr::Ld { dst: r0, buf: 7, addr: Operand::ImmI(0) },
-                    Instr::LdParam { dst: VReg::new(1, Ty::S32), index: 9 },
+                    Instr::Ld {
+                        dst: r0,
+                        buf: 7,
+                        addr: Operand::ImmI(0),
+                    },
+                    Instr::LdParam {
+                        dst: VReg::new(1, Ty::S32),
+                        index: 9,
+                    },
                 ],
                 terminator: Terminator::Ret,
             }],
@@ -406,8 +476,16 @@ mod tests {
     fn detects_unreachable_block() {
         let k = raw_kernel(
             vec![
-                BasicBlock { label: "entry".into(), instrs: vec![], terminator: Terminator::Ret },
-                BasicBlock { label: "island".into(), instrs: vec![], terminator: Terminator::Ret },
+                BasicBlock {
+                    label: "entry".into(),
+                    instrs: vec![],
+                    terminator: Terminator::Ret,
+                },
+                BasicBlock {
+                    label: "island".into(),
+                    instrs: vec![],
+                    terminator: Terminator::Ret,
+                },
             ],
             0,
         );

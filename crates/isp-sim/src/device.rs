@@ -149,8 +149,17 @@ impl DeviceSpec {
     pub fn issue_cost(&self, cat: InstrCategory) -> u64 {
         use InstrCategory::*;
         match (self.arch, cat) {
-            (_, Add) | (_, Sub) | (_, Min) | (_, Max) | (_, Logic) | (_, Shift) | (_, Abs)
-            | (_, Neg) | (_, Mov) | (_, Setp) | (_, Selp) => 1,
+            (_, Add)
+            | (_, Sub)
+            | (_, Min)
+            | (_, Max)
+            | (_, Logic)
+            | (_, Shift)
+            | (_, Abs)
+            | (_, Neg)
+            | (_, Mov)
+            | (_, Setp)
+            | (_, Selp) => 1,
             (GpuArch::Kepler, Mul) | (GpuArch::Kepler, Mad) => 2,
             (GpuArch::Turing, Mul) | (GpuArch::Turing, Mad) => 1,
             (GpuArch::Kepler, Cvt) => 2,
@@ -197,7 +206,10 @@ impl DeviceSpec {
         let mut cost = 0.0;
         for (cat, n) in hist.iter() {
             cost += n as f64 * self.issue_cost(cat) as f64;
-            if matches!(cat, InstrCategory::Ld | InstrCategory::Tex | InstrCategory::St) {
+            if matches!(
+                cat,
+                InstrCategory::Ld | InstrCategory::Tex | InstrCategory::St
+            ) {
                 cost += n as f64 * self.mem_transaction_cycles as f64 * tx_per_access;
             }
         }

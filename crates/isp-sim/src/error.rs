@@ -80,7 +80,10 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("load out of bounds"));
         assert!(s.contains("buffer 0[-3]"));
-        let e = SimError::RunawayBlock { block: (1, 2), limit: 1000 };
+        let e = SimError::RunawayBlock {
+            block: (1, 2),
+            limit: 1000,
+        };
         assert!(e.to_string().contains("runaway"));
     }
 }

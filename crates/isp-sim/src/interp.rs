@@ -71,7 +71,11 @@ enum ExecOutcome {
 pub fn run_block(ctx: &BlockContext<'_>) -> Result<BlockRun, SimError> {
     let threads = ctx.block_dim.0 as u64 * ctx.block_dim.1 as u64;
     let num_warps = threads.div_ceil(WARP as u64) as usize;
-    let mut out = BlockRun { counters: PerfCounters::new(), cycles: 0, writes: Vec::new() };
+    let mut out = BlockRun {
+        counters: PerfCounters::new(),
+        cycles: 0,
+        writes: Vec::new(),
+    };
     let mut shared = vec![0u32; ctx.kernel.shared_elems as usize];
     // Blocks whose (sole) instruction is a barrier.
     let bar_blocks: Vec<bool> = ctx
@@ -198,7 +202,6 @@ struct WarpExec<'a, 'b> {
 }
 
 impl<'a, 'b> WarpExec<'a, 'b> {
-
     /// `threadIdx` of a lane (warps are linearised row-major within the
     /// block, so a 32xN block has one image row per warp and a 128x1 block
     /// has four warps side by side — the layout Listing 5 exploits).
@@ -297,7 +300,11 @@ impl<'a, 'b> WarpExec<'a, 'b> {
                     self.charge(InstrCategory::Bra)?;
                     block = *target;
                 }
-                Terminator::CondBr { pred, if_true, if_false } => {
+                Terminator::CondBr {
+                    pred,
+                    if_true,
+                    if_false,
+                } => {
                     self.charge(InstrCategory::Bra)?;
                     self.out.counters.conditional_branches += 1;
                     let pbits = &self.regs[pred.index as usize];
@@ -486,8 +493,11 @@ impl<'a, 'b> WarpExec<'a, 'b> {
                         continue;
                     }
                     let take_a = self.regs[pred.index as usize][l] != 0;
-                    self.regs[dst.index as usize][l] =
-                        if take_a { self.read(a, l) } else { self.read(b, l) };
+                    self.regs[dst.index as usize][l] = if take_a {
+                        self.read(a, l)
+                    } else {
+                        self.read(b, l)
+                    };
                 }
             }
             Instr::Sreg { dst, sreg } => {
@@ -836,7 +846,11 @@ mod tests {
         for i in 0..32 {
             let expect = if i < 16 { 1.0 } else { 2.0 };
             assert_eq!(out[i], expect, "lane {i} (divergent halves)");
-            assert_eq!(out[i + 32], i as f32 + 10.0, "lane {i} (after reconvergence)");
+            assert_eq!(
+                out[i + 32],
+                i as f32 + 10.0,
+                "lane {i} (after reconvergence)"
+            );
         }
         assert_eq!(r.counters.divergent_branches, 1);
         assert_eq!(r.counters.threads_retired, 32);
@@ -877,7 +891,13 @@ mod tests {
         let buffers = vec![DeviceBuffer::zeroed(32)];
         let err = run(&k, (1, 1), (32, 1), (0, 0), &[], &buffers).unwrap_err();
         match err {
-            SimError::OutOfBounds { buf: 0, addr: -5, len: 32, is_store: false, .. } => {}
+            SimError::OutOfBounds {
+                buf: 0,
+                addr: -5,
+                len: 32,
+                is_store: false,
+                ..
+            } => {}
             other => panic!("unexpected error {other:?}"),
         }
     }
@@ -913,7 +933,15 @@ mod tests {
         b.ret();
         let k = b.finish();
         let mut buffers = vec![DeviceBuffer::zeroed(64)];
-        let r = run(&k, (1, 1), (16, 4), (0, 0), &[ParamValue::I32(16)], &buffers).unwrap();
+        let r = run(
+            &k,
+            (1, 1),
+            (16, 4),
+            (0, 0),
+            &[ParamValue::I32(16)],
+            &buffers,
+        )
+        .unwrap();
         apply_writes(&mut buffers, &r);
         let out = buffers[0].to_f32();
         for y in 0..4 {
@@ -1097,7 +1125,11 @@ mod barrier_tests {
         b.st(0, tx, v);
         b.ret();
         let k = b.finish();
-        assert!(isp_ir::validate::validate(&k).is_empty(), "{:?}", isp_ir::validate::validate(&k));
+        assert!(
+            isp_ir::validate::validate(&k).is_empty(),
+            "{:?}",
+            isp_ir::validate::validate(&k)
+        );
 
         let mut buffers = vec![DeviceBuffer::zeroed(N as usize)];
         let r = run_one(&k, (N as u32, 1), &buffers).unwrap();
@@ -1110,7 +1142,11 @@ mod barrier_tests {
         }
         // Barrier charged once per warp.
         assert_eq!(r.counters.histogram.get(InstrCategory::Bar2), 2);
-        assert_eq!(r.counters.histogram.get(InstrCategory::Shared), 4, "2 sts + 2 lds warps");
+        assert_eq!(
+            r.counters.histogram.get(InstrCategory::Shared),
+            4,
+            "2 sts + 2 lds warps"
+        );
     }
 
     #[test]
@@ -1125,7 +1161,10 @@ mod barrier_tests {
         let k = b.finish();
         let buffers = vec![DeviceBuffer::zeroed(32)];
         let err = run_one(&k, (32, 1), &buffers).unwrap_err();
-        assert!(err.to_string().contains("shared store out of bounds"), "{err}");
+        assert!(
+            err.to_string().contains("shared store out of bounds"),
+            "{err}"
+        );
     }
 
     #[test]

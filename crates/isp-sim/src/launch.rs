@@ -72,6 +72,22 @@ pub struct PathTable {
     pub footprint_of_class: Vec<u32>,
 }
 
+/// How exhaustive interpretation schedules its per-block workers.
+///
+/// Both strategies produce **bit-identical** results — pixels, counters,
+/// and cycle counts — because block interpretation is pure (each worker
+/// sees the pre-launch buffer contents) and reduction happens in fixed
+/// block-dispatch order. `Serial` exists as the reference for the
+/// determinism tests and for debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecStrategy {
+    /// Fan block workers out across CPU threads (default).
+    #[default]
+    Parallel,
+    /// Interpret blocks one at a time in dispatch order.
+    Serial,
+}
+
 /// How to execute the launch.
 pub enum SimMode<'a> {
     /// Interpret every block: exact pixels + exact counters. Writes are
@@ -129,6 +145,8 @@ impl Gpu {
     }
 
     /// Launch `kernel` over `cfg`. See [`SimMode`] for the two modes.
+    /// Exhaustive interpretation fans out in parallel; use
+    /// [`Gpu::launch_with`] to force the serial reference strategy.
     pub fn launch(
         &self,
         kernel: &Kernel,
@@ -136,6 +154,19 @@ impl Gpu {
         params: &[ParamValue],
         buffers: &mut [DeviceBuffer],
         mode: SimMode<'_>,
+    ) -> Result<LaunchReport, SimError> {
+        self.launch_with(kernel, cfg, params, buffers, mode, ExecStrategy::Parallel)
+    }
+
+    /// [`Gpu::launch`] with an explicit block-worker [`ExecStrategy`].
+    pub fn launch_with(
+        &self,
+        kernel: &Kernel,
+        cfg: LaunchConfig,
+        params: &[ParamValue],
+        buffers: &mut [DeviceBuffer],
+        mode: SimMode<'_>,
+        strategy: ExecStrategy,
     ) -> Result<LaunchReport, SimError> {
         self.validate(kernel, cfg, params, buffers)?;
         let regs = regalloc::estimate(kernel).data_regs;
@@ -149,7 +180,7 @@ impl Gpu {
 
         match mode {
             SimMode::Exhaustive => {
-                self.launch_exhaustive(kernel, cfg, params, buffers, &ipdom, regs, occ)
+                self.launch_exhaustive(kernel, cfg, params, buffers, &ipdom, regs, occ, strategy)
             }
             SimMode::RegionSampled { classifier, paths } => self.launch_sampled(
                 kernel, cfg, params, buffers, &ipdom, regs, occ, classifier, paths,
@@ -205,38 +236,24 @@ impl Gpu {
         ipdom: &[Option<isp_ir::kernel::BlockId>],
         regs: u32,
         occ: OccupancyResult,
+        strategy: ExecStrategy,
     ) -> Result<LaunchReport, SimError> {
-        let coords: Vec<(u32, u32)> = (0..cfg.grid.1)
-            .flat_map(|by| (0..cfg.grid.0).map(move |bx| (bx, by)))
-            .collect();
+        let coords = dispatch_order(cfg);
         let shared: &[DeviceBuffer] = buffers;
-        let runs: Vec<Result<BlockRun, SimError>> = coords
-            .par_iter()
-            .map(|&(bx, by)| {
-                run_block(&BlockContext {
-                    kernel,
-                    ipdom,
-                    device: &self.device,
-                    grid: cfg.grid,
-                    block_dim: cfg.block,
-                    block_idx: (bx, by),
-                    params,
-                    buffers: shared,
-                })
-            })
-            .collect();
+        let worker = |&(bx, by): &(u32, u32)| {
+            exhaustive_block_worker(&self.device, kernel, ipdom, cfg, (bx, by), params, shared)
+        };
+        // The worker is pure (reads the pre-launch buffer snapshot, returns a
+        // write journal), so the only ordering requirement is that `runs`
+        // comes back in dispatch order — which both strategies guarantee.
+        let runs: Vec<Result<BlockRun, SimError>> = match strategy {
+            ExecStrategy::Parallel => coords.par_iter().map(worker).collect(),
+            ExecStrategy::Serial => coords.iter().map(worker).collect(),
+        };
 
-        let mut counters = PerfCounters::new();
-        let mut costs = Vec::with_capacity(runs.len());
         let footprint = kernel.static_len() as u32;
-        let mut all_writes: Vec<(u32, usize, u32)> = Vec::new();
-        for run in runs {
-            let run = run?;
-            counters.merge(&run.counters);
-            costs.push(BlockCost { class: 0, cycles: run.cycles, static_footprint: footprint });
-            all_writes.extend(run.writes);
-        }
-        for (buf, addr, bits) in all_writes {
+        let (counters, costs, writes) = reduce_block_runs(footprint, runs)?;
+        for (buf, addr, bits) in writes {
             buffers[buf as usize].store_bits(addr, bits);
         }
         let timing = schedule(&self.device, &occ, costs);
@@ -307,19 +324,26 @@ impl Gpu {
         }
 
         // Schedule the full grid in dispatch order with per-class costs.
-        let costs = (0..cfg.grid.1).flat_map(|by| (0..cfg.grid.0).map(move |bx| (bx, by))).map(
-            |(bx, by)| {
+        let costs = (0..cfg.grid.1)
+            .flat_map(|by| (0..cfg.grid.0).map(move |bx| (bx, by)))
+            .map(|(bx, by)| {
                 let c = classifier(bx, by);
                 let (path, fp) = match paths {
                     Some(t) => (
                         t.path_of_class.get(c as usize).copied().unwrap_or(0),
-                        t.footprint_of_class.get(c as usize).copied().unwrap_or(footprint),
+                        t.footprint_of_class
+                            .get(c as usize)
+                            .copied()
+                            .unwrap_or(footprint),
                     ),
                     None => (0, footprint),
                 };
-                BlockCost { class: path, cycles: class_cycles[&c], static_footprint: fp }
-            },
-        );
+                BlockCost {
+                    class: path,
+                    cycles: class_cycles[&c],
+                    static_footprint: fp,
+                }
+            });
         let timing = schedule(&self.device, &occ, costs);
         let mut class_costs: Vec<(u32, u64, u64)> = class_cycles
             .iter()
@@ -335,6 +359,64 @@ impl Gpu {
             class_costs,
         })
     }
+}
+
+/// Block coordinates in dispatch order (row-major over the grid), the fixed
+/// order every exhaustive reduction runs in.
+fn dispatch_order(cfg: LaunchConfig) -> Vec<(u32, u32)> {
+    (0..cfg.grid.1)
+        .flat_map(|by| (0..cfg.grid.0).map(move |bx| (bx, by)))
+        .collect()
+}
+
+/// The pure per-block worker of an exhaustive launch: interpret one block
+/// against the immutable pre-launch buffer snapshot and return its counters,
+/// cycles, and write journal. Safe to run from any thread in any order.
+#[allow(clippy::too_many_arguments)]
+fn exhaustive_block_worker(
+    device: &DeviceSpec,
+    kernel: &Kernel,
+    ipdom: &[Option<isp_ir::kernel::BlockId>],
+    cfg: LaunchConfig,
+    block_idx: (u32, u32),
+    params: &[ParamValue],
+    buffers: &[DeviceBuffer],
+) -> Result<BlockRun, SimError> {
+    run_block(&BlockContext {
+        kernel,
+        ipdom,
+        device,
+        grid: cfg.grid,
+        block_dim: cfg.block,
+        block_idx,
+        params,
+        buffers,
+    })
+}
+
+/// The deterministic reducer of an exhaustive launch: fold per-block results
+/// **in dispatch order** into merged counters, the scheduler's cost list,
+/// and a concatenated write journal. Because the fold order is fixed, the
+/// reduction is bitwise independent of how the workers were scheduled.
+#[allow(clippy::type_complexity)]
+fn reduce_block_runs(
+    static_footprint: u32,
+    runs: Vec<Result<BlockRun, SimError>>,
+) -> Result<(PerfCounters, Vec<BlockCost>, Vec<(u32, usize, u32)>), SimError> {
+    let mut counters = PerfCounters::new();
+    let mut costs = Vec::with_capacity(runs.len());
+    let mut writes: Vec<(u32, usize, u32)> = Vec::new();
+    for run in runs {
+        let run = run?;
+        counters.merge(&run.counters);
+        costs.push(BlockCost {
+            class: 0,
+            cycles: run.cycles,
+            static_footprint,
+        });
+        writes.extend(run.writes);
+    }
+    Ok((counters, costs, writes))
 }
 
 #[cfg(test)]
@@ -415,8 +497,10 @@ mod tests {
         let (w, h) = (48usize, 6usize);
         let cfg = LaunchConfig::for_image(w, h, (32, 4));
         assert_eq!(cfg.grid, (2, 2));
-        let mut buffers =
-            vec![DeviceBuffer::from_f32(&vec![1.0; w * h]), DeviceBuffer::zeroed(w * h)];
+        let mut buffers = vec![
+            DeviceBuffer::from_f32(&vec![1.0; w * h]),
+            DeviceBuffer::zeroed(w * h),
+        ];
         let report = gpu
             .launch(
                 &k,
@@ -441,11 +525,22 @@ mod tests {
         let params = [ParamValue::I32(w as i32), ParamValue::I32(h as i32)];
         let input: Vec<f32> = vec![2.0; w * h];
         let mut b1 = vec![DeviceBuffer::from_f32(&input), DeviceBuffer::zeroed(w * h)];
-        let ex = gpu.launch(&k, cfg, &params, &mut b1, SimMode::Exhaustive).unwrap();
+        let ex = gpu
+            .launch(&k, cfg, &params, &mut b1, SimMode::Exhaustive)
+            .unwrap();
         let mut b2 = vec![DeviceBuffer::from_f32(&input), DeviceBuffer::zeroed(w * h)];
         // All blocks behave identically here: a single class is exact.
         let sa = gpu
-            .launch(&k, cfg, &params, &mut b2, SimMode::RegionSampled { classifier: &|_, _| 0, paths: None })
+            .launch(
+                &k,
+                cfg,
+                &params,
+                &mut b2,
+                SimMode::RegionSampled {
+                    classifier: &|_, _| 0,
+                    paths: None,
+                },
+            )
             .unwrap();
         assert_eq!(ex.counters.warp_instructions, sa.counters.warp_instructions);
         assert_eq!(ex.counters.mem_transactions, sa.counters.mem_transactions);
@@ -462,13 +557,19 @@ mod tests {
         let params = [ParamValue::I32(32), ParamValue::I32(4)];
         let mut buffers = vec![DeviceBuffer::zeroed(128), DeviceBuffer::zeroed(128)];
         // Too many threads.
-        let bad = LaunchConfig { grid: (1, 1), block: (64, 32) };
+        let bad = LaunchConfig {
+            grid: (1, 1),
+            block: (64, 32),
+        };
         assert!(matches!(
             gpu.launch(&k, bad, &params, &mut buffers, SimMode::Exhaustive),
             Err(SimError::BadLaunch(_))
         ));
         // Missing buffer.
-        let cfg = LaunchConfig { grid: (1, 1), block: (32, 4) };
+        let cfg = LaunchConfig {
+            grid: (1, 1),
+            block: (32, 4),
+        };
         let mut one = vec![DeviceBuffer::zeroed(128)];
         assert!(matches!(
             gpu.launch(&k, cfg, &params, &mut one, SimMode::Exhaustive),
@@ -476,11 +577,20 @@ mod tests {
         ));
         // Missing param.
         assert!(matches!(
-            gpu.launch(&k, cfg, &[ParamValue::I32(32)], &mut buffers, SimMode::Exhaustive),
+            gpu.launch(
+                &k,
+                cfg,
+                &[ParamValue::I32(32)],
+                &mut buffers,
+                SimMode::Exhaustive
+            ),
             Err(SimError::BadLaunch(_))
         ));
         // Degenerate grid.
-        let zero = LaunchConfig { grid: (0, 1), block: (32, 4) };
+        let zero = LaunchConfig {
+            grid: (0, 1),
+            block: (32, 4),
+        };
         assert!(matches!(
             gpu.launch(&k, zero, &params, &mut buffers, SimMode::Exhaustive),
             Err(SimError::BadLaunch(_))

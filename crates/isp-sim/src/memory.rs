@@ -30,7 +30,11 @@ impl TexAddressMode {
                 // Reflect with edge included, folded into [0, s).
                 let period = 2 * s;
                 let m = idx.rem_euclid(period);
-                Some(if m < s { m as usize } else { (period - 1 - m) as usize })
+                Some(if m < s {
+                    m as usize
+                } else {
+                    (period - 1 - m) as usize
+                })
             }
             TexAddressMode::Border(_) => None,
         }
@@ -70,17 +74,26 @@ pub struct DeviceBuffer {
 impl DeviceBuffer {
     /// Allocate `len` elements, zero-initialised.
     pub fn zeroed(len: usize) -> Self {
-        DeviceBuffer { bits: vec![0; len], tex: None }
+        DeviceBuffer {
+            bits: vec![0; len],
+            tex: None,
+        }
     }
 
     /// Upload a slice of `f32` values.
     pub fn from_f32(data: &[f32]) -> Self {
-        DeviceBuffer { bits: data.iter().map(|v| v.to_bits()).collect(), tex: None }
+        DeviceBuffer {
+            bits: data.iter().map(|v| v.to_bits()).collect(),
+            tex: None,
+        }
     }
 
     /// Upload a slice of `i32` values.
     pub fn from_i32(data: &[i32]) -> Self {
-        DeviceBuffer { bits: data.iter().map(|&v| v as u32).collect(), tex: None }
+        DeviceBuffer {
+            bits: data.iter().map(|&v| v as u32).collect(),
+            tex: None,
+        }
     }
 
     /// Bind this buffer as a 2D texture (row-major, `width * height` must
@@ -250,7 +263,11 @@ mod tex_tests {
         assert_eq!(m.resolve(9, 8), Some(6));
         // Full period: 16 maps back to 0.
         assert_eq!(m.resolve(16, 8), Some(0));
-        assert_eq!(m.resolve(-9, 8), Some(7), "second reflection: -9 folds to 7");
+        assert_eq!(
+            m.resolve(-9, 8),
+            Some(7),
+            "second reflection: -9 folds to 7"
+        );
     }
 
     #[test]
@@ -279,15 +296,21 @@ mod tex_tests {
 
     #[test]
     fn texture_binding_validates_dims() {
-        let b = DeviceBuffer::zeroed(12)
-            .with_texture(TexDesc { width: 4, height: 3, mode: TexAddressMode::Clamp });
+        let b = DeviceBuffer::zeroed(12).with_texture(TexDesc {
+            width: 4,
+            height: 3,
+            mode: TexAddressMode::Clamp,
+        });
         assert_eq!(b.texture().unwrap().width, 4);
     }
 
     #[test]
     #[should_panic(expected = "match the allocation")]
     fn texture_binding_rejects_bad_dims() {
-        let _ = DeviceBuffer::zeroed(10)
-            .with_texture(TexDesc { width: 4, height: 3, mode: TexAddressMode::Clamp });
+        let _ = DeviceBuffer::zeroed(10).with_texture(TexDesc {
+            width: 4,
+            height: 3,
+            mode: TexAddressMode::Clamp,
+        });
     }
 }

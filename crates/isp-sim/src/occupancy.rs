@@ -37,7 +37,11 @@ pub enum Limiter {
 /// Compute theoretical occupancy for a kernel using `regs_per_thread`
 /// registers, launched with `threads_per_block` threads per block (no
 /// shared memory).
-pub fn occupancy(device: &DeviceSpec, threads_per_block: u32, regs_per_thread: u32) -> OccupancyResult {
+pub fn occupancy(
+    device: &DeviceSpec,
+    threads_per_block: u32,
+    regs_per_thread: u32,
+) -> OccupancyResult {
     occupancy_with_shared(device, threads_per_block, regs_per_thread, 0)
 }
 
@@ -69,11 +73,10 @@ pub fn occupancy_with_shared(
     let by_regs = (device.regs_per_sm / regs_per_block).max(1);
 
     // Shared memory: like registers, forced to fit at least one block.
-    let by_shared = if shared_bytes_per_block == 0 {
-        u32::MAX
-    } else {
-        (device.shared_mem_per_sm / shared_bytes_per_block).max(1)
-    };
+    let by_shared = device
+        .shared_mem_per_sm
+        .checked_div(shared_bytes_per_block)
+        .map_or(u32::MAX, |blocks| blocks.max(1));
 
     let (blocks, limiter) = [
         (by_threads, Limiter::Threads),
@@ -130,7 +133,10 @@ mod tests {
         let mut prev = f64::INFINITY;
         for regs in (8..=63).step_by(5) {
             let o = occupancy(&d, 128, regs).occupancy;
-            assert!(o <= prev, "occupancy must be monotone non-increasing in regs");
+            assert!(
+                o <= prev,
+                "occupancy must be monotone non-increasing in regs"
+            );
             prev = o;
         }
     }

@@ -39,7 +39,10 @@ pub fn derive(device: &DeviceSpec, report: &LaunchReport) -> DerivedMetrics {
         if cat.is_arithmetic() {
             arith_cycles += cost;
         }
-        if matches!(cat, InstrCategory::Ld | InstrCategory::Tex | InstrCategory::St) {
+        if matches!(
+            cat,
+            InstrCategory::Ld | InstrCategory::Tex | InstrCategory::St
+        ) {
             mem_cycles += cost;
         }
     }
@@ -138,7 +141,10 @@ mod tests {
         let report = gpu
             .launch(
                 &k,
-                LaunchConfig { grid: (2, 1), block: (32, 1) },
+                LaunchConfig {
+                    grid: (2, 1),
+                    block: (32, 1),
+                },
                 &[] as &[ParamValue],
                 &mut buffers,
                 SimMode::Exhaustive,
@@ -152,7 +158,10 @@ mod tests {
         let (device, report) = sample_report();
         let m = derive(&device, &report);
         assert!(m.warp_ipc > 0.0);
-        assert_eq!(m.divergence_rate, 1.0, "tid<16 always diverges in a 32-warp");
+        assert_eq!(
+            m.divergence_rate, 1.0,
+            "tid<16 always diverges in a 32-warp"
+        );
         assert!(m.transactions_per_access >= 1.0);
         assert!(m.arithmetic_fraction > 0.0 && m.arithmetic_fraction < 1.0);
         assert!(m.memory_fraction > 0.0 && m.memory_fraction < 1.0);

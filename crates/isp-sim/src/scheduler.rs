@@ -93,7 +93,13 @@ mod tests {
     }
 
     fn uniform(n: u64, cycles: u64) -> Vec<BlockCost> {
-        (0..n).map(|_| BlockCost { class: 0, cycles, static_footprint: 100 }).collect()
+        (0..n)
+            .map(|_| BlockCost {
+                class: 0,
+                cycles,
+                static_footprint: 100,
+            })
+            .collect()
     }
 
     #[test]
@@ -138,19 +144,31 @@ mod tests {
         let measured = (t_half.cycles - d.launch_overhead_cycles) as f64
             / (t_full.cycles - d.launch_overhead_cycles) as f64;
         let predicted = full.occupancy / half.occupancy;
-        assert!((measured / predicted - 1.0).abs() < 0.05, "{measured} vs {predicted}");
+        assert!(
+            (measured / predicted - 1.0).abs() < 0.05,
+            "{measured} vs {predicted}"
+        );
     }
 
     #[test]
     fn region_alternation_pays_icache_penalty() {
         let d = DeviceSpec::gtx680();
         let occ = occ_full(&d);
-        let same: Vec<BlockCost> =
-            (0..64).map(|_| BlockCost { class: 0, cycles: 1000, static_footprint: 2000 }).collect();
+        let same: Vec<BlockCost> = (0..64)
+            .map(|_| BlockCost {
+                class: 0,
+                cycles: 1000,
+                static_footprint: 2000,
+            })
+            .collect();
         // Alternate classes wave by wave (8 SMs -> every SM sees a class
         // change between consecutive blocks it runs).
         let alternating: Vec<BlockCost> = (0..64)
-            .map(|i| BlockCost { class: (i / 8) % 2, cycles: 1000, static_footprint: 2000 })
+            .map(|i| BlockCost {
+                class: (i / 8) % 2,
+                cycles: 1000,
+                static_footprint: 2000,
+            })
             .collect();
         let t_same = schedule(&d, &occ, same);
         let t_alt = schedule(&d, &occ, alternating);
@@ -170,7 +188,11 @@ mod tests {
         let d = DeviceSpec::gtx680();
         let occ = occ_full(&d);
         let mut blocks = uniform(7, 100);
-        blocks.push(BlockCost { class: 0, cycles: 50_000, static_footprint: 100 });
+        blocks.push(BlockCost {
+            class: 0,
+            cycles: 50_000,
+            static_footprint: 100,
+        });
         let t = schedule(&d, &occ, blocks);
         let icache = d.icache_switch_cycles_per_100_instrs;
         assert_eq!(t.cycles, d.launch_overhead_cycles + 50_000 + icache);

@@ -1,0 +1,346 @@
+//! A minimal, dependency-free stand-in for the subset of `proptest` this
+//! workspace uses: numeric range strategies, tuple strategies, `prop_map`,
+//! `collection::vec`, the `proptest!`/`prop_assert*`/`prop_assume!` macros,
+//! and `ProptestConfig::with_cases`.
+//!
+//! Semantics differ from upstream in two deliberate ways: inputs are drawn
+//! from a fixed deterministic stream (seeded from the test name) rather than
+//! an OS entropy source, and failing cases are **not** shrunk. Both keep
+//! test runs hermetic and reproducible — a failure always reproduces by
+//! re-running the same test binary.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic case-generation RNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for case number `case` of the test whose name hashes to `seed`.
+    pub fn for_case(seed: u64, case: u64) -> TestRng {
+        TestRng {
+            state: seed ^ case.wrapping_mul(0xA076_1D64_78BD_642F),
+        }
+    }
+
+    /// Next uniform 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// FNV-1a over a test's name: a stable per-test seed.
+pub fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Why a generated case did not run to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseError {
+    /// The case was rejected by `prop_assume!`; try another input.
+    Reject,
+}
+
+/// Run configuration (the `ProptestConfig` analogue).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Smaller than upstream's 256: the workspace's properties drive a
+        // whole GPU simulator per case.
+        ProptestConfig { cases: 24 }
+    }
+}
+
+/// A value generator (the `proptest::strategy::Strategy` analogue, minus
+/// shrinking).
+pub trait Strategy {
+    /// Type of generated values.
+    type Value: std::fmt::Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: std::fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: std::fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty strategy range");
+                let span = (*self.end() as i128 - *self.start() as i128 + 1) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (*self.start() as i128 + off) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + rng.unit_f64() as $t * (self.end - self.start)
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Always produces a clone of one value (the `proptest::strategy::Just`
+/// analogue).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Fixed-length `Vec` of values drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            (0..self.len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test module needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Assert inside a property (panics with the formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($l:expr, $r:expr) => { assert_eq!($l, $r) };
+    ($l:expr, $r:expr, $($fmt:tt)+) => { assert_eq!($l, $r, $($fmt)+) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($l:expr, $r:expr) => { assert_ne!($l, $r) };
+    ($l:expr, $r:expr, $($fmt:tt)+) => { assert_ne!($l, $r, $($fmt)+) };
+}
+
+/// Reject the current case (skip it without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::CaseError::Reject);
+        }
+    };
+}
+
+/// Define property tests: each `fn` runs `cases` times over deterministic
+/// generated inputs. Supports the `#![proptest_config(..)]` header and
+/// `arg in strategy` bindings, like upstream.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let seed = $crate::name_seed(concat!(module_path!(), "::", stringify!($name)));
+                let mut ran: u32 = 0;
+                let mut case: u64 = 0;
+                // Cap rejections so a too-strict prop_assume! cannot loop
+                // forever (upstream errors out similarly).
+                while ran < config.cases && case < 20 * config.cases as u64 {
+                    let mut rng = $crate::TestRng::for_case(seed, case);
+                    case += 1;
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    let case_fn = || -> ::std::result::Result<(), $crate::CaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    };
+                    let outcome = case_fn();
+                    match outcome {
+                        Ok(()) => ran += 1,
+                        Err($crate::CaseError::Reject) => continue,
+                    }
+                }
+                assert!(
+                    ran >= config.cases / 2,
+                    "prop_assume! rejected too many cases ({ran}/{} ran)",
+                    config.cases
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::{name_seed, TestRng};
+
+    fn small_even() -> impl Strategy<Value = u32> {
+        (0u32..50).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in -5i64..5, b in 1usize..=3, f in 0.5f32..2.0) {
+            prop_assert!((-5..5).contains(&a));
+            prop_assert!((1..=3).contains(&b));
+            prop_assert!((0.5..2.0).contains(&f));
+        }
+
+        #[test]
+        fn mapping_and_tuples(pair in (0u8..10, 0u8..10), even in small_even()) {
+            prop_assert!(pair.0 < 10 && pair.1 < 10);
+            prop_assert_eq!(even % 2, 0);
+        }
+
+        #[test]
+        fn vectors_have_requested_length(v in crate::collection::vec(-1.0f32..1.0, 9)) {
+            prop_assert_eq!(v.len(), 9);
+            prop_assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = TestRng::for_case(name_seed("x"), 3);
+        let mut b = TestRng::for_case(name_seed("x"), 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,194 @@
+//! A minimal, dependency-free stand-in for the subset of the `rand` crate
+//! this workspace uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::gen`, and `Rng::gen_range` over half-open ranges.
+//!
+//! The generator is SplitMix64 — statistically solid for synthetic test
+//! imagery, fully deterministic for a given seed, and obviously not
+//! cryptographic. The exact stream differs from upstream `rand`'s `StdRng`;
+//! nothing in the workspace depends on the upstream stream, only on
+//! determinism per seed.
+
+use std::ops::Range;
+
+/// Core entropy source: anything that can produce uniform 64-bit words.
+pub trait RngCore {
+    /// The next uniformly distributed 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding support (the subset of `rand::SeedableRng` used here).
+pub trait SeedableRng: Sized {
+    /// Construct a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of `T` from its natural uniform distribution
+    /// (`[0, 1)` for floats, the full domain for integers).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+
+    /// Sample uniformly from a half-open range. Panics if `range` is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self, range)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types with a canonical uniform distribution (the `rand::distributions::
+/// Standard` analogue).
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn from_rng<R: RngCore>(rng: &mut R) -> Self;
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: Sized {
+    /// Draw one value from `range`.
+    fn sample<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+impl Standard for f32 {
+    fn from_rng<R: RngCore>(rng: &mut R) -> Self {
+        // 24 high-quality mantissa bits -> [0, 1).
+        (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+impl Standard for f64 {
+    fn from_rng<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_rng<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn from_rng<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (range.start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let unit: $t = Standard::from_rng(rng);
+                range.start + unit * (range.end - range.start)
+            }
+        }
+    )*};
+}
+uniform_float!(f32, f64);
+
+/// Named RNG types, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lo = 1.0f32;
+        let mut hi = 0.0f32;
+        for _ in 0..10_000 {
+            let v = rng.gen::<f32>();
+            assert!((0.0..1.0).contains(&v));
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "poor coverage: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let i = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&i));
+            let f = rng.gen_range(0.25f32..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn integer_range_hits_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,207 @@
+//! A minimal, dependency-free stand-in for the subset of `rayon` this
+//! workspace uses: `into_par_iter()` on integer ranges, `par_iter()` on
+//! slices and `Vec`s, then `.map(..).collect::<Vec<_>>()`.
+//!
+//! Work is fanned out over scoped OS threads (one contiguous chunk per
+//! available core). Each chunk's results are produced independently and
+//! concatenated **in input order**, so `collect` returns exactly what the
+//! serial `Iterator` equivalent would — parallelism never changes results,
+//! which is what the simulator's determinism guarantee rests on. On a
+//! single-core host (or for tiny inputs) everything runs inline with zero
+//! thread overhead.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// Import surface mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+/// Number of worker threads to fan out over.
+fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Conversion into a parallel iterator (the `rayon::iter::IntoParallelIterator`
+/// analogue). Eagerly materialises the item sequence; the workspace only
+/// parallelises over block coordinates and row indices, so the sequences are
+/// short relative to the per-item work.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Convert into the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+/// `.par_iter()` on borrowed collections (the `IntoParallelRefIterator`
+/// analogue).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type produced (a reference).
+    type Item: Send;
+    /// Parallel iterator over references to the collection's elements.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Range<T>
+where
+    Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// A materialised parallel iterator: a sequence of items awaiting a mapped
+/// reduction.
+pub struct ParIter<I: Send> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Map every item through `f`, in parallel at collection time.
+    pub fn map<R, F>(self, f: F) -> ParMap<I, F>
+    where
+        R: Send,
+        F: Fn(I) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` on every item (parallel side-effect form).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        self.map(f).run();
+    }
+}
+
+/// The result of [`ParIter::map`]: items plus the mapping function, executed
+/// on `collect`.
+pub struct ParMap<I: Send, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I, R, F> ParMap<I, F>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    fn run(self) -> Vec<R> {
+        let ParMap { items, f } = self;
+        let n = items.len();
+        let workers = threads().min(n);
+        if workers <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        // Contiguous chunks, one per worker; chunk results are concatenated
+        // in input order so the output is order-identical to a serial map.
+        let chunk_len = n.div_ceil(workers);
+        let mut chunks: Vec<Vec<I>> = Vec::with_capacity(workers);
+        let mut items = items;
+        // Split back-to-front so each split_off is O(chunk).
+        let mut tail = Vec::new();
+        while items.len() > chunk_len {
+            tail.push(items.split_off(items.len() - chunk_len));
+        }
+        chunks.push(items);
+        chunks.extend(tail.into_iter().rev());
+
+        let f = &f;
+        let mut results: Vec<Vec<R>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            results = handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel map worker panicked"))
+                .collect();
+        });
+        let mut out = Vec::with_capacity(n);
+        for part in results {
+            out.extend(part);
+        }
+        out
+    }
+
+    /// Execute the map and gather results in input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(self.run())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_preserves_order() {
+        let out: Vec<usize> = (0usize..1000).into_par_iter().map(|i| i * 2).collect();
+        let expect: Vec<usize> = (0..1000).map(|i| i * 2).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn slice_par_iter_matches_serial() {
+        let data: Vec<i64> = (0..513).collect();
+        let out: Vec<i64> = data.par_iter().map(|&v| v * v - 1).collect();
+        let expect: Vec<i64> = data.iter().map(|&v| v * v - 1).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let out: Vec<u8> = (0u8..0).into_par_iter().map(|v| v).collect();
+        assert!(out.is_empty());
+        let out: Vec<u8> = (5u8..6).into_par_iter().map(|v| v + 1).collect();
+        assert_eq!(out, vec![6]);
+    }
+
+    #[test]
+    fn for_each_visits_every_item() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let sum = AtomicU64::new(0);
+        (1u64..101).into_par_iter().for_each(|v| {
+            sum.fetch_add(v, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+}

@@ -13,7 +13,10 @@ use isp_sim::{DeviceSpec, Gpu};
 
 fn main() {
     let app = std::env::args().nth(1).unwrap_or_else(|| "laplace".into());
-    let size: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1024);
+    let size: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
     let spec = match app.as_str() {
         "gaussian" => isp_filters::gaussian::spec(3),
         "laplace" => isp_filters::laplace::spec(5),
@@ -33,14 +36,30 @@ fn main() {
         let ck = Compiler::new().compile(&spec, pattern, Variant::IspBlock);
         let ranked = tune_block_size(&gpu, &ck, size, size, &DEFAULT_CANDIDATES);
 
-        println!("== {} / {} {}x{} ({pattern}) ==", device.name, spec.name, size, size);
+        println!(
+            "== {} / {} {}x{} ({pattern}) ==",
+            device.name, spec.name, size, size
+        );
         let mut t = Table::new(&[
-            "rank", "block", "variant", "predicted cost", "occ", "gain G", "measured Mcyc",
+            "rank",
+            "block",
+            "variant",
+            "predicted cost",
+            "occ",
+            "gain G",
+            "measured Mcyc",
         ]);
         for (rank, p) in ranked.iter().enumerate() {
             // Measure the candidate for comparison (sampled mode).
             let measured = run_filter(
-                &gpu, &ck, p.variant, &[&img], &user, 0.0, p.block, ExecMode::Sampled,
+                &gpu,
+                &ck,
+                p.variant,
+                &[&img],
+                &user,
+                0.0,
+                p.block,
+                ExecMode::Sampled,
             )
             .map(|o| format!("{:.3}", o.report.timing.cycles as f64 / 1e6))
             .unwrap_or_else(|e| format!("n/a ({e})"));

@@ -20,10 +20,25 @@ fn main() {
     let golden = pipeline.reference(&scene, border);
     let compiled = pipeline.compile(&Compiler::new(), border, Variant::IspBlock);
 
-    println!("Sobel pipeline ({} kernels) on a 384x256 test card:\n", pipeline.stages.len());
-    for policy in [Policy::Naive, Policy::AlwaysIsp(Variant::IspBlock), Policy::Model(Variant::IspBlock)] {
+    println!(
+        "Sobel pipeline ({} kernels) on a 384x256 test card:\n",
+        pipeline.stages.len()
+    );
+    for policy in [
+        Policy::Naive,
+        Policy::AlwaysIsp(Variant::IspBlock),
+        Policy::Model(Variant::IspBlock),
+    ] {
         let run = pipeline
-            .run(&gpu, &compiled, &scene, border, (32, 4), policy, ExecMode::Exhaustive)
+            .run(
+                &gpu,
+                &compiled,
+                &scene,
+                border,
+                (32, 4),
+                policy,
+                ExecMode::Exhaustive,
+            )
             .expect("pipeline run");
         let img = run.image.as_ref().unwrap();
         let diff = img.max_abs_diff(&golden).unwrap();

@@ -31,8 +31,9 @@ fn main() {
     let output = arg("--output", "target/examples/filter_cli_out.pgm");
     let input_path = arg("--input", "");
 
-    let app = isp_filters::by_name(&app_name)
-        .unwrap_or_else(|| panic!("unknown app '{app_name}' (gaussian/laplace/bilateral/sobel/night)"));
+    let app = isp_filters::by_name(&app_name).unwrap_or_else(|| {
+        panic!("unknown app '{app_name}' (gaussian/laplace/bilateral/sobel/night)")
+    });
     let device = match device_name.as_str() {
         "gtx680" => DeviceSpec::gtx680(),
         "rtx2080" => DeviceSpec::rtx2080(),
@@ -57,10 +58,20 @@ fn main() {
 
     let border = BorderSpec::from_pattern(pattern);
     let gpu = Gpu::new(device.clone());
-    let compiled = app.pipeline.compile(&Compiler::new(), border, Variant::IspBlock);
+    let compiled = app
+        .pipeline
+        .compile(&Compiler::new(), border, Variant::IspBlock);
     let run = app
         .pipeline
-        .run(&gpu, &compiled, &source, border, (32, 4), policy, ExecMode::Exhaustive)
+        .run(
+            &gpu,
+            &compiled,
+            &source,
+            border,
+            (32, 4),
+            policy,
+            ExecMode::Exhaustive,
+        )
         .expect("pipeline run");
     println!(
         "{} on {} ({pattern}, policy {policy_name}): {:.3} simulated ms, stage variants {:?}",
@@ -73,7 +84,11 @@ fn main() {
     // Normalise for viewing and save.
     let img = run.image.expect("exhaustive run");
     let (lo, hi) = img.min_max();
-    let vis = if hi > lo { img.map(|v| (v - lo) / (hi - lo)) } else { img };
+    let vis = if hi > lo {
+        img.map(|v| (v - lo) / (hi - lo))
+    } else {
+        img
+    };
     if let Some(dir) = std::path::Path::new(&output).parent() {
         std::fs::create_dir_all(dir).expect("create output dir");
     }

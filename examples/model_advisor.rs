@@ -11,15 +11,24 @@ use isp_image::BorderPattern;
 use isp_sim::DeviceSpec;
 
 fn main() {
-    let app_name = std::env::args().nth(1).unwrap_or_else(|| "laplace".to_string());
-    let app = isp_filters::by_name(&app_name)
-        .unwrap_or_else(|| panic!("unknown app '{app_name}'; try gaussian/laplace/bilateral/sobel/night"));
+    let app_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "laplace".to_string());
+    let app = isp_filters::by_name(&app_name).unwrap_or_else(|| {
+        panic!("unknown app '{app_name}'; try gaussian/laplace/bilateral/sobel/night")
+    });
     println!("Advisor for '{}': {}\n", app.name, app.description);
 
     for device in DeviceSpec::all() {
         println!("--- {} ---", device.name);
         let mut t = Table::new(&[
-            "pattern", "size", "G (model)", "S (measured)", "model says", "measured best", "agree",
+            "pattern",
+            "size",
+            "G (model)",
+            "S (measured)",
+            "model says",
+            "measured best",
+            "agree",
         ]);
         for pattern in BorderPattern::ALL {
             for size in [512usize, 1024, 2048, 4096] {
@@ -35,7 +44,12 @@ fn main() {
                     format!("{:.3}", m.speedup_isp),
                     if model_isp { "isp" } else { "naive" }.into(),
                     if measured_isp { "isp" } else { "naive" }.into(),
-                    if model_isp == measured_isp { "yes" } else { "NO" }.into(),
+                    if model_isp == measured_isp {
+                        "yes"
+                    } else {
+                        "NO"
+                    }
+                    .into(),
                 ]);
             }
         }

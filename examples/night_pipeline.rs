@@ -13,7 +13,10 @@ use isp_sim::{DeviceSpec, Gpu};
 
 fn main() {
     let scene = ImageGenerator::new(2024).night_scene::<f32>(320, 240, 12);
-    println!("input: 320x240 night scene, mean luminance {:.3}", scene.mean());
+    println!(
+        "input: 320x240 night scene, mean luminance {:.3}",
+        scene.mean()
+    );
 
     let pipeline = isp_filters::night::pipeline();
     let border = BorderSpec::mirror(); // medical/multiresolution-style mirroring
@@ -54,7 +57,10 @@ fn main() {
 
     let golden = pipeline.reference(&scene, border);
     let diff = out.max_abs_diff(&golden).unwrap();
-    assert!(diff < 1e-4, "simulated pipeline must match the reference, diff {diff}");
+    assert!(
+        diff < 1e-4,
+        "simulated pipeline must match the reference, diff {diff}"
+    );
     println!("verified against host reference (max |diff| = {diff:e})");
 
     let out_dir = std::path::Path::new("target/examples");

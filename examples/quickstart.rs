@@ -1,15 +1,16 @@
-//! Quickstart: write a filter in the DSL, compile it with automatic border
-//! handling and iteration space partitioning, run all variants on the
-//! simulated GPU, and verify they agree with the host reference.
+//! Quickstart: write a filter in the DSL, compile it through the execution
+//! engine (automatic border handling + iteration space partitioning), run
+//! all variants on the simulated GPU, and verify they agree with the host
+//! reference.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use isp_border::prelude::*;
 use isp_core::Variant;
 use isp_dsl::eval::reference_run;
-use isp_dsl::runner::{plan_for, run_filter, ExecMode};
-use isp_dsl::{Compiler, KernelSpec};
-use isp_sim::{DeviceSpec, Gpu};
+use isp_dsl::runner::ExecMode;
+use isp_dsl::KernelSpec;
+use isp_sim::DeviceSpec;
 
 fn main() {
     // 1. A test image (any `Image<f32>`; PGM loading also works).
@@ -20,10 +21,12 @@ fn main() {
     let spec = KernelSpec::convolution("gauss5", &mask);
     println!("kernel '{}' window {:?}", spec.name, spec.window());
 
-    // 3. Pick a border handling pattern and compile. The compiler produces
-    //    the naive baseline AND the ISP fat kernel (nine specialised
-    //    regions + the Listing 3 switching cascade) in one call.
-    let compiled = Compiler::new().compile(&spec, BorderPattern::Mirror, Variant::IspBlock);
+    // 3. Grab the engine for the simulated GTX680 and compile. One call
+    //    produces the naive baseline AND the ISP fat kernel (nine
+    //    specialised regions + the Listing 3 switching cascade); the engine
+    //    memoises it so later runs at other sizes compile nothing.
+    let engine = Engine::global(&DeviceSpec::gtx680());
+    let compiled = engine.compile(&spec, BorderPattern::Mirror, Variant::IspBlock);
     println!(
         "compiled: naive {} instrs / {} regs, isp {} instrs / {} regs",
         compiled.naive.static_histogram.total(),
@@ -32,22 +35,26 @@ fn main() {
         compiled.isp.as_ref().unwrap().regs.data_regs,
     );
 
-    // 4. Run on the simulated GTX680 and check against the host reference.
-    let gpu = Gpu::new(DeviceSpec::gtx680());
+    // 4. Run on the simulator and check against the host reference.
     let golden = reference_run(&spec, &[&image], BorderSpec::mirror(), &[]);
     for variant in [Variant::Naive, Variant::IspBlock] {
-        let out = run_filter(
-            &gpu,
-            &compiled,
-            variant,
-            &[&image],
-            &[],
-            0.0,
-            (32, 4),
-            ExecMode::Exhaustive,
-        )
-        .expect("launch");
-        let diff = out.image.as_ref().unwrap().max_abs_diff(&golden).expect("same size");
+        let out = engine
+            .run_kernel(
+                &compiled,
+                variant,
+                &[&image],
+                &[],
+                0.0,
+                PAPER_BLOCK,
+                ExecMode::Exhaustive,
+            )
+            .expect("launch");
+        let diff = out
+            .image
+            .as_ref()
+            .unwrap()
+            .max_abs_diff(&golden)
+            .expect("same size");
         println!(
             "{variant:>8}: {:>9} warp-instructions, {:>6} cycles/K, max |diff| vs reference = {diff:e}",
             out.report.counters.warp_instructions,
@@ -57,31 +64,50 @@ fn main() {
     }
 
     // 5. Profile the ISP variant NVProf-style.
-    let isp_run = run_filter(
-        &gpu,
-        &compiled,
-        Variant::IspBlock,
-        &[&image],
-        &[],
-        0.0,
-        (32, 4),
-        ExecMode::Exhaustive,
-    )
-    .expect("launch");
+    let isp_run = engine
+        .run_kernel(
+            &compiled,
+            Variant::IspBlock,
+            &[&image],
+            &[],
+            0.0,
+            PAPER_BLOCK,
+            ExecMode::Exhaustive,
+        )
+        .expect("launch");
     println!(
         "\n{}",
-        isp_sim::profile::format_report(gpu.device(), "gauss5_isp", &isp_run.report)
+        isp_sim::profile::format_report(engine.device(), "gauss5_isp", &isp_run.report)
     );
 
     // 6. Ask the analytic model (Eq. 10) which variant to use at this size.
-    let geom = isp_dsl::runner::geometry_for(&compiled, 256, 256, (32, 4));
-    let plan = plan_for(&gpu, &compiled, &geom);
+    //    The engine caches the decision per (kernel, geometry).
+    let geom = isp_dsl::runner::geometry_for(&compiled, 256, 256, PAPER_BLOCK);
+    let plan = engine.plan(&compiled, &geom);
     println!(
         "model says: run '{}' (predicted gain G = {:.3})",
         plan.variant, plan.predicted_gain
     );
 
-    // 7. Save the output for inspection.
+    // 7. Whole-app measurement in one call: the paper's naive / isp / isp+m
+    //    triple for Gaussian at this size, through the same caches.
+    let sweep = Sweep::paper(
+        isp_filters::by_name("gaussian").unwrap(),
+        BorderPattern::Mirror,
+        256,
+    );
+    let m = engine.measure(&sweep);
+    println!(
+        "gaussian app @256: S(isp) = {:.3}, S(isp+m) = {:.3}",
+        m.speedup_isp, m.speedup_ispm
+    );
+    let stats = engine.cache_stats();
+    println!(
+        "engine caches: {} kernel compiles, {} kernel hits, {} plan evals, {} plan hits",
+        stats.kernel_misses, stats.kernel_hits, stats.plan_misses, stats.plan_hits
+    );
+
+    // 8. Save the output for inspection.
     let out_dir = std::path::Path::new("target/examples");
     std::fs::create_dir_all(out_dir).expect("create output dir");
     let path = out_dir.join("quickstart_gauss5.pgm");

@@ -10,9 +10,11 @@
 //! - [`isp_core`] — iteration space partitioning + the analytic model
 //! - [`isp_dsl`] — the embedded DSL and mini source-to-source compiler
 //! - [`isp_filters`] — the five evaluated applications
+//! - [`isp_exec`] — the cached execution engine (compile→plan→launch)
 
 pub use isp_core;
 pub use isp_dsl;
+pub use isp_exec;
 pub use isp_filters;
 pub use isp_image;
 pub use isp_ir;
@@ -20,6 +22,7 @@ pub use isp_sim;
 
 /// Convenient glob import for examples and tests.
 pub mod prelude {
+    pub use isp_exec::{Engine, Measurement, Outcome, Request, Sweep, PAPER_BLOCK, PAPER_SIZES};
     pub use isp_image::{
         convolve, BorderPattern, BorderSpec, BorderedImage, Image, ImageGenerator, Mask, Roi,
     };

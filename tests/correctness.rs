@@ -12,13 +12,26 @@ use isp_sim::{DeviceSpec, Gpu};
 /// Run one app under one policy and compare against the reference.
 fn check_app(app: &isp_filters::App, pattern: BorderPattern, policy: Policy, size: usize) {
     let gpu = Gpu::new(DeviceSpec::gtx680());
-    let border = BorderSpec { pattern, constant: 0.25 };
+    let border = BorderSpec {
+        pattern,
+        constant: 0.25,
+    };
     let source = ImageGenerator::new(1234).natural::<f32>(size, size);
     let golden = app.pipeline.reference(&source, border);
-    let compiled = app.pipeline.compile(&Compiler::new(), border, Variant::IspBlock);
+    let compiled = app
+        .pipeline
+        .compile(&Compiler::new(), border, Variant::IspBlock);
     let run = app
         .pipeline
-        .run(&gpu, &compiled, &source, border, (32, 4), policy, ExecMode::Exhaustive)
+        .run(
+            &gpu,
+            &compiled,
+            &source,
+            border,
+            (32, 4),
+            policy,
+            ExecMode::Exhaustive,
+        )
         .unwrap_or_else(|e| panic!("{} {pattern} {policy:?}: {e}", app.name));
     let out = run.image.expect("exhaustive run produces pixels");
     let diff = out.max_abs_diff(&golden).unwrap();
@@ -83,7 +96,10 @@ fn warp_grained_variant_matches_reference() {
     let spec = isp_filters::gaussian::spec(3);
     let source = ImageGenerator::new(77).natural::<f32>(384, 64);
     for pattern in BorderPattern::ALL {
-        let border = BorderSpec { pattern, constant: 0.5 };
+        let border = BorderSpec {
+            pattern,
+            constant: 0.5,
+        };
         let golden = isp_dsl::eval::reference_run(&spec, &[&source], border, &[]);
         let ck = Compiler::new().compile(&spec, pattern, Variant::IspWarp);
         let out = isp_dsl::runner::run_filter(
@@ -139,7 +155,14 @@ fn non_square_and_non_divisible_sizes() {
         let gpu = Gpu::new(DeviceSpec::gtx680());
         for variant in [Variant::Naive, Variant::IspBlock] {
             let out = isp_dsl::runner::run_filter(
-                &gpu, &ck, variant, &[&source], &[], 0.0, (32, 4), ExecMode::Exhaustive,
+                &gpu,
+                &ck,
+                variant,
+                &[&source],
+                &[],
+                0.0,
+                (32, 4),
+                ExecMode::Exhaustive,
             );
             match out {
                 Ok(res) => {
@@ -164,7 +187,10 @@ fn texture_variant_matches_reference() {
     let spec = isp_filters::gaussian::spec(3);
     let source = ImageGenerator::new(31).natural::<f32>(96, 64);
     for pattern in BorderPattern::ALL {
-        let border = BorderSpec { pattern, constant: 0.6 };
+        let border = BorderSpec {
+            pattern,
+            constant: 0.6,
+        };
         let golden = isp_dsl::eval::reference_run(&spec, &[&source], border, &[]);
         let ck = Compiler::new().compile(&spec, pattern, Variant::IspBlock);
         let out = isp_dsl::runner::run_filter(
@@ -192,7 +218,11 @@ fn texture_variant_uses_no_border_arithmetic() {
     assert_eq!(tex.static_histogram.get(InstrCategory::Max), 0);
     assert_eq!(tex.static_histogram.get(InstrCategory::Min), 0);
     assert_eq!(tex.static_histogram.get(InstrCategory::Selp), 0);
-    assert_eq!(tex.static_histogram.get(InstrCategory::Ld), 0, "all reads go through tex");
+    assert_eq!(
+        tex.static_histogram.get(InstrCategory::Ld),
+        0,
+        "all reads go through tex"
+    );
     assert!(tex.static_histogram.get(InstrCategory::Tex) > 0);
     // Fewer registers than even the naive software variant.
     assert!(tex.regs.data_regs <= ck.naive.regs.data_regs);
@@ -206,7 +236,10 @@ fn separable_gaussian_runs_on_gpu_with_asymmetric_partitions() {
     let img = ImageGenerator::new(15).natural::<f32>(128, 96);
     let gpu = Gpu::new(DeviceSpec::gtx680());
     for pattern in BorderPattern::ALL {
-        let border = BorderSpec { pattern, constant: 0.3 };
+        let border = BorderSpec {
+            pattern,
+            constant: 0.3,
+        };
         let golden = p.reference(&img, border);
         let compiled = p.compile(&Compiler::new(), border, Variant::IspBlock);
         let run = p
@@ -307,7 +340,10 @@ fn tiled_variant_matches_reference_all_patterns() {
             ),
         ] {
             for pattern in BorderPattern::ALL {
-                let border = BorderSpec { pattern, constant: 0.35 };
+                let border = BorderSpec {
+                    pattern,
+                    constant: 0.35,
+                };
                 let golden = isp_dsl::eval::reference_run(&spec, &[&img], border, &user);
                 let tiled = Compiler::new().compile_tiled(&spec, pattern, (32, 4));
                 let out = isp_dsl::runner::run_compiled(
@@ -337,13 +373,26 @@ fn tiling_slashes_global_loads() {
     let gpu = Gpu::new(DeviceSpec::gtx680());
     let ck = Compiler::new().compile(&spec, BorderPattern::Clamp, Variant::IspBlock);
     let flat = isp_dsl::runner::run_filter(
-        &gpu, &ck, Variant::Naive, &[&img], &[], 0.0, (32, 4), ExecMode::Exhaustive,
+        &gpu,
+        &ck,
+        Variant::Naive,
+        &[&img],
+        &[],
+        0.0,
+        (32, 4),
+        ExecMode::Exhaustive,
     )
     .unwrap();
     let tiled_cv = Compiler::new().compile_tiled(&spec, BorderPattern::Clamp, (32, 4));
     assert_eq!(tiled_cv.kernel.shared_elems, 36 * 8, "(32+4)x(4+4) tile");
     let tiled = isp_dsl::runner::run_compiled(
-        &gpu, &tiled_cv, &[&img], &[], 0.0, (32, 4), ExecMode::Exhaustive,
+        &gpu,
+        &tiled_cv,
+        &[&img],
+        &[],
+        0.0,
+        (32, 4),
+        ExecMode::Exhaustive,
     )
     .unwrap();
     let flat_lds = flat.report.counters.count(InstrCategory::Ld);

@@ -1,0 +1,173 @@
+//! Integration tests for the `isp-exec` engine: parallel exhaustive
+//! simulation must be bit-identical to serial, and the kernel/plan caches
+//! must actually cache (compile-once, observable hit counts).
+
+use isp_core::Variant;
+use isp_dsl::pipeline::Policy;
+use isp_dsl::runner::{run_filter_with, ExecMode, ExecStrategy};
+use isp_exec::{Engine, Request, Sweep, PAPER_BLOCK};
+use isp_filters::by_name;
+use isp_image::{BorderPattern, ImageGenerator};
+use isp_sim::DeviceSpec;
+
+/// The determinism contract of the parallel exhaustive path: fanning block
+/// workers out across threads produces exactly the pixels, counters, and
+/// cycle counts of the serial fold — not approximately, bit for bit.
+#[test]
+fn parallel_exhaustive_is_bit_identical_to_serial() {
+    let engine = Engine::new(DeviceSpec::gtx680());
+    let spec = isp_filters::gaussian::spec(3);
+    let ck = engine.compile(&spec, BorderPattern::Mirror, Variant::IspBlock);
+    let img = ImageGenerator::new(11).natural::<f32>(256, 256);
+
+    for variant in [Variant::Naive, Variant::IspBlock] {
+        let run = |strategy| {
+            run_filter_with(
+                engine.gpu(),
+                &ck,
+                variant,
+                &[&img],
+                &[],
+                0.0,
+                PAPER_BLOCK,
+                ExecMode::Exhaustive,
+                strategy,
+            )
+            .expect("exhaustive launch")
+        };
+        let par = run(ExecStrategy::Parallel);
+        let ser = run(ExecStrategy::Serial);
+
+        let par_img = par.image.expect("pixels");
+        let ser_img = ser.image.expect("pixels");
+        assert_eq!(
+            par_img.max_abs_diff(&ser_img).unwrap(),
+            0.0,
+            "{variant}: pixels must be bit-identical"
+        );
+        assert_eq!(
+            par.report.counters, ser.report.counters,
+            "{variant}: PerfCounters must be identical"
+        );
+        assert_eq!(
+            par.report.timing.cycles, ser.report.timing.cycles,
+            "{variant}: cycle counts must be identical"
+        );
+    }
+}
+
+/// Whole-pipeline determinism through the engine's Request API: a
+/// multi-kernel app run exhaustively agrees between strategies.
+#[test]
+fn engine_exhaustive_requests_are_strategy_independent() {
+    let engine = Engine::new(DeviceSpec::rtx2080());
+    let base = Request::paper(
+        by_name("sobel").unwrap(),
+        BorderPattern::Clamp,
+        128,
+        Policy::Model(Variant::IspBlock),
+    )
+    .exhaustive();
+
+    let par = engine
+        .run(&base.clone().with_strategy(ExecStrategy::Parallel))
+        .unwrap();
+    let ser = engine
+        .run(&base.with_strategy(ExecStrategy::Serial))
+        .unwrap();
+    assert_eq!(
+        par.image
+            .unwrap()
+            .max_abs_diff(&ser.image.unwrap())
+            .unwrap(),
+        0.0
+    );
+    assert_eq!(par.counters, ser.counters);
+    assert_eq!(par.total_cycles, ser.total_cycles);
+    assert_eq!(par.stage_variants, ser.stage_variants);
+}
+
+/// The compile-once contract: across a full paper-style size/pattern sweep,
+/// each (app stage, pattern, granularity) kernel is compiled exactly once,
+/// and every further lookup is an observable hit.
+#[test]
+fn kernel_cache_compiles_each_variant_once_across_a_sweep() {
+    let engine = Engine::new(DeviceSpec::gtx680());
+    let app = by_name("gaussian").unwrap();
+    let stages = app.pipeline.stages.len() as u64;
+    let patterns = BorderPattern::ALL;
+    let sizes = [256usize, 512];
+
+    for pattern in patterns {
+        for size in sizes {
+            engine.measure(&Sweep::paper(app.clone(), pattern, size));
+        }
+    }
+
+    let stats = engine.cache_stats();
+    assert_eq!(
+        stats.kernel_misses,
+        stages * patterns.len() as u64,
+        "exactly one compile per (stage, pattern, granularity)"
+    );
+    // Each measure() point looks the pipeline up 4x (three policies + stage
+    // gains); everything beyond the first lookup per pattern must hit.
+    let lookups = stages * (patterns.len() * sizes.len() * 4) as u64;
+    assert_eq!(stats.kernel_hits, lookups - stats.kernel_misses);
+    // Plans are keyed by geometry too: one miss per (pattern, size), the
+    // rest hits (the model policy + the stage-gain query share the cache).
+    assert_eq!(stats.plan_misses, (patterns.len() * sizes.len()) as u64);
+    assert!(
+        stats.plan_hits >= stats.plan_misses,
+        "plan cache must be reused"
+    );
+
+    // Re-running the whole sweep adds zero compiles.
+    for pattern in patterns {
+        for size in sizes {
+            engine.measure(&Sweep::paper(app.clone(), pattern, size));
+        }
+    }
+    assert_eq!(engine.cache_stats().kernel_misses, stats.kernel_misses);
+    assert_eq!(engine.cache_stats().plan_misses, stats.plan_misses);
+}
+
+/// The engine's measurements must match the legacy uncached path exactly —
+/// caching may never change results.
+#[test]
+fn engine_measurement_matches_uncached_path() {
+    let device = DeviceSpec::gtx680();
+    let engine = Engine::new(device.clone());
+    let app = by_name("laplace").unwrap();
+    let m = engine.measure(&Sweep::paper(app.clone(), BorderPattern::Repeat, 512));
+
+    // Uncached: compile and run by hand, as the harness binaries used to.
+    let gpu = isp_sim::Gpu::new(device);
+    let border = isp_image::BorderSpec::from_pattern(BorderPattern::Repeat);
+    let compiled = app
+        .pipeline
+        .compile(&isp_dsl::Compiler::new(), border, Variant::IspBlock);
+    let source = isp_exec::bench_image(512);
+    let run = |policy| {
+        app.pipeline
+            .run(
+                &gpu,
+                &compiled,
+                &source,
+                border,
+                PAPER_BLOCK,
+                policy,
+                ExecMode::Sampled,
+            )
+            .unwrap()
+    };
+    assert_eq!(m.naive_cycles, run(Policy::Naive).total_cycles);
+    assert_eq!(
+        m.isp_cycles,
+        run(Policy::AlwaysIsp(Variant::IspBlock)).total_cycles
+    );
+    assert_eq!(
+        m.ispm_cycles,
+        run(Policy::Model(Variant::IspBlock)).total_cycles
+    );
+}

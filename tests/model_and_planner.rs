@@ -16,11 +16,25 @@ fn planner_fallback_matches_naive_timing_exactly() {
     let gpu = Gpu::new(DeviceSpec::gtx680());
     let border = BorderSpec::clamp();
     let source = ImageGenerator::new(3).natural::<f32>(512, 512);
-    let compiled = app.pipeline.compile(&Compiler::new(), border, Variant::IspBlock);
-    let plan = plan_for(&gpu, &compiled[0], &geometry_for(&compiled[0], 512, 512, (32, 4)));
+    let compiled = app
+        .pipeline
+        .compile(&Compiler::new(), border, Variant::IspBlock);
+    let plan = plan_for(
+        &gpu,
+        &compiled[0],
+        &geometry_for(&compiled[0], 512, 512, (32, 4)),
+    );
     let naive = app
         .pipeline
-        .run(&gpu, &compiled, &source, border, (32, 4), Policy::Naive, ExecMode::Sampled)
+        .run(
+            &gpu,
+            &compiled,
+            &source,
+            border,
+            (32, 4),
+            Policy::Naive,
+            ExecMode::Sampled,
+        )
         .unwrap();
     let ispm = app
         .pipeline
@@ -94,12 +108,15 @@ fn repeat_pattern_benefits_most() {
     let app = isp_filters::by_name("gaussian").unwrap();
     let device = DeviceSpec::gtx680();
     let speedup = |pattern| {
-        let exp =
-            isp_bench::runner::Experiment::paper(device.clone(), app.clone(), pattern, 2048);
+        let exp = isp_bench::runner::Experiment::paper(device.clone(), app.clone(), pattern, 2048);
         isp_bench::runner::measure_app(&exp).speedup_isp
     };
     let repeat = speedup(BorderPattern::Repeat);
-    for other in [BorderPattern::Clamp, BorderPattern::Mirror, BorderPattern::Constant] {
+    for other in [
+        BorderPattern::Clamp,
+        BorderPattern::Mirror,
+        BorderPattern::Constant,
+    ] {
         assert!(
             repeat > speedup(other),
             "repeat ({repeat}) must beat {other}"
@@ -131,7 +148,9 @@ fn point_ops_never_partition() {
     let gpu = Gpu::new(DeviceSpec::gtx680());
     let border = BorderSpec::clamp();
     let source = ImageGenerator::new(3).natural::<f32>(256, 256);
-    let compiled = app.pipeline.compile(&Compiler::new(), border, Variant::IspBlock);
+    let compiled = app
+        .pipeline
+        .compile(&Compiler::new(), border, Variant::IspBlock);
     let run = app
         .pipeline
         .run(
@@ -144,7 +163,11 @@ fn point_ops_never_partition() {
             ExecMode::Sampled,
         )
         .unwrap();
-    assert_eq!(run.stage_variants[2], Variant::Naive, "magnitude is a point op");
+    assert_eq!(
+        run.stage_variants[2],
+        Variant::Naive,
+        "magnitude is a point op"
+    );
     assert!(run.stage_variants[..2].iter().all(|v| v.is_isp()));
 }
 
@@ -161,7 +184,14 @@ fn closed_form_and_ir_stats_models_agree_directionally() {
     for pattern in BorderPattern::ALL {
         let ck = Compiler::new().compile(&spec, pattern, Variant::IspBlock);
         for size in [512usize, 2048] {
-            let g = Geometry { sx: size, sy: size, m: 3, n: 3, tx: 32, ty: 4 };
+            let g = Geometry {
+                sx: size,
+                sy: size,
+                m: 3,
+                n: 3,
+                tx: 32,
+                ty: 4,
+            };
             let bounds = IndexBounds::new(&g);
             // Closed form: n_check grows with the pattern's per-side cost.
             let n_check = match pattern {
@@ -170,7 +200,10 @@ fn closed_form_and_ir_stats_models_agree_directionally() {
                 BorderPattern::Repeat => 6.0,
                 BorderPattern::Constant => 3.0,
             };
-            let cf = ClosedFormModel { n_check, ..ClosedFormModel::generic(6.0) };
+            let cf = ClosedFormModel {
+                n_check,
+                ..ClosedFormModel::generic(6.0)
+            };
             closed.push(cf.r_reduced(&g));
             stats.push(ck.ir_stats_model().unwrap().r_reduced(&bounds));
         }
@@ -200,8 +233,7 @@ fn u16_images_roundtrip_through_the_simulator() {
     )
     .unwrap();
     let back: isp_image::Image<u16> = out.image.unwrap().map(|v| (v * 65535.0).round() as u16);
-    let golden =
-        isp_dsl::eval::reference_run(&spec, &[&img], BorderSpec::mirror(), &[]);
+    let golden = isp_dsl::eval::reference_run(&spec, &[&img], BorderSpec::mirror(), &[]);
     let golden16: isp_image::Image<u16> = golden.map(|v| (v * 65535.0).round() as u16);
     // Quantised outputs may differ by one code value at rounding boundaries.
     assert!(back.max_abs_diff(&golden16).unwrap() <= 1.0);
