@@ -18,6 +18,7 @@
 //! for the uniform region classes, see `isp-sim`), on deterministic
 //! generated imagery.
 
+pub mod prof;
 pub mod report;
 pub mod runner;
 pub mod stats;

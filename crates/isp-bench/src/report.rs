@@ -1,4 +1,10 @@
-//! Plain-text table rendering for the harness binaries.
+//! Plain-text table rendering and JSON artifact output for the harness
+//! binaries.
+
+use isp_json::Json;
+use std::fs;
+use std::io;
+use std::path::PathBuf;
 
 /// A simple fixed-width table printer: collects rows of strings and renders
 /// them with per-column widths, the way the paper's tables read.
@@ -58,6 +64,17 @@ impl Table {
 /// Format a speedup with the measured-winner marker used in the output.
 pub fn fmt_speedup(s: f64) -> String {
     format!("{s:.3}{}", if s >= 1.0 { "" } else { " (naive wins)" })
+}
+
+/// Write a JSON document to `target/results/{name}.json` (pretty-printed)
+/// and return the path. This is how the profiling harness publishes its
+/// `BENCH_PR2.json` trajectory for CI artifact upload.
+pub fn write_json_doc(name: &str, doc: &Json) -> io::Result<PathBuf> {
+    let dir = PathBuf::from("target/results");
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, doc.render_pretty())?;
+    Ok(path)
 }
 
 #[cfg(test)]

@@ -291,6 +291,12 @@ fn resolve_axis(
             }
         }
         BorderPattern::Mirror => {
+            // Single reflection per side, exactly what Hipacc generates.
+            // Valid for `-size <= x < 2*size`, i.e. stencil radius < image
+            // size — enforced at launch by the runner's precondition check.
+            // The total reference semantics (`isp_image::resolve_1d`) folds
+            // by the period `2*size` instead; the two agree everywhere on
+            // this domain.
             if check_lo {
                 // x < 0 -> -x - 1, which is two's-complement `not x`.
                 let refl = b.un(UnOp::Not, Ty::S32, c);

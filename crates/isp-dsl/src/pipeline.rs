@@ -10,7 +10,7 @@ use crate::eval::reference_run;
 use crate::runner::{geometry_for, plan_for, run_filter_with, ExecMode, ExecStrategy};
 use crate::spec::KernelSpec;
 use isp_core::bounds::Geometry;
-use isp_core::{Plan, Variant};
+use isp_core::{Plan, Region, Variant};
 use isp_image::{BorderSpec, Image};
 use isp_sim::{Gpu, PerfCounters, SimError};
 
@@ -89,6 +89,12 @@ pub struct PipelineRun {
     pub counters: PerfCounters,
     /// The variant each stage ran.
     pub stage_variants: Vec<Variant>,
+    /// Per-region counters merged across stages, in [`Region::ALL`] order.
+    /// A region appears once any stage attributed counters to it; stages
+    /// with no attribution (degenerate partitions) contribute nothing, so
+    /// the entries merge to [`PipelineRun::counters`] bit-identically only
+    /// when every stage reported per-region data.
+    pub per_region: Vec<(Region, PerfCounters)>,
 }
 
 impl Pipeline {
@@ -210,6 +216,7 @@ impl Pipeline {
         let mut host_outputs: Vec<Image<f32>> = Vec::with_capacity(self.stages.len());
         let mut total_cycles = 0u64;
         let mut counters = PerfCounters::new();
+        let mut region_counters: [Option<PerfCounters>; 9] = Default::default();
         let mut stage_variants = Vec::with_capacity(self.stages.len());
         let mut last_image = None;
 
@@ -253,6 +260,11 @@ impl Pipeline {
             )?;
             total_cycles += out.report.timing.cycles;
             counters.merge(&out.report.counters);
+            for (region, rc) in &out.per_region {
+                region_counters[region.index()]
+                    .get_or_insert_with(PerfCounters::new)
+                    .merge(rc);
+            }
             stage_variants.push(variant);
             last_image = out.image.clone();
             // Host-side stage output for downstream stages (exhaustive only).
@@ -263,11 +275,17 @@ impl Pipeline {
                 );
             }
         }
+        let per_region: Vec<(Region, PerfCounters)> = Region::ALL
+            .into_iter()
+            .zip(region_counters)
+            .filter_map(|(r, c)| c.map(|c| (r, c)))
+            .collect();
         Ok(PipelineRun {
             image: last_image,
             total_cycles,
             counters,
             stage_variants,
+            per_region,
         })
     }
 }

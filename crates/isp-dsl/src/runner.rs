@@ -6,13 +6,13 @@ use crate::compile::{CompiledKernel, CompiledVariant, ParamKind};
 use isp_core::bounds::Geometry;
 use isp_core::{
     region_of_block, warp_refinement_applicable, IndexBounds, Plan, Planner, PredictionInputs,
-    Variant, WarpBounds,
+    Region, Variant, WarpBounds,
 };
 use isp_image::Image;
 use isp_sim::launch::{PathTable, SimMode};
 use isp_sim::{
-    occupancy, DeviceBuffer, Gpu, LaunchConfig, LaunchReport, ParamValue, SimError, TexAddressMode,
-    TexDesc,
+    occupancy, DeviceBuffer, Gpu, LaunchConfig, LaunchReport, ParamValue, PerfCounters, SimError,
+    TexAddressMode, TexDesc,
 };
 
 pub use isp_sim::ExecStrategy;
@@ -35,6 +35,12 @@ pub struct FilterOutput {
     pub report: LaunchReport,
     /// The variant that actually ran.
     pub variant: Variant,
+    /// Counters attributed to each of the nine ISP regions (sorted in
+    /// [`Region::ALL`] order). Exact per-block attribution in exhaustive
+    /// mode, population-scaled representative counters in sampled mode;
+    /// empty when the partition is degenerate. The entries merge
+    /// bit-identically to `report.counters`.
+    pub per_region: Vec<(Region, PerfCounters)>,
 }
 
 /// Derive the partition geometry for a compiled kernel on a given image and
@@ -83,8 +89,11 @@ fn build_params(
         .collect()
 }
 
-/// Check the loop-free Mirror/Repeat precondition (`radius < image size`,
-/// the same restriction Hipacc's generated single-wrap code carries).
+/// Check the generated kernels' Mirror/Repeat precondition (`radius <
+/// image size`): the lowering emits a single reflection (Mirror) and two
+/// unrolled wraps (Repeat) per side, which match the *total* reference
+/// resolver only on that domain. The reference (`isp_image::resolve_1d`)
+/// itself has no such restriction.
 fn check_preconditions(ck: &CompiledKernel, geom: &Geometry) -> Result<(), SimError> {
     let (rx, ry) = (geom.rx(), geom.ry());
     if rx >= geom.sx || ry >= geom.sy {
@@ -227,8 +236,21 @@ pub fn run_filter_with(
         footprint_of_class: fp.to_vec(),
     });
 
-    let report = match mode {
-        ExecMode::Exhaustive => gpu.launch_with(
+    // Region attribution needs a valid partition; on degenerate geometries
+    // (possible for naive runs, which don't require one) fall back to the
+    // unclassified exhaustive mode and report no per-region counters.
+    let report = match (mode, bounds.is_valid()) {
+        (ExecMode::Exhaustive, true) => gpu.launch_with(
+            &cv.kernel,
+            cfg,
+            &params,
+            &mut buffers,
+            SimMode::ExhaustiveClassified {
+                classifier: &classifier,
+            },
+            strategy,
+        )?,
+        (ExecMode::Exhaustive, false) => gpu.launch_with(
             &cv.kernel,
             cfg,
             &params,
@@ -236,7 +258,7 @@ pub fn run_filter_with(
             SimMode::Exhaustive,
             strategy,
         )?,
-        ExecMode::Sampled => gpu.launch(
+        (ExecMode::Sampled, _) => gpu.launch(
             &cv.kernel,
             cfg,
             &params,
@@ -247,6 +269,11 @@ pub fn run_filter_with(
             },
         )?,
     };
+    let per_region: Vec<(Region, PerfCounters)> = report
+        .per_class
+        .iter()
+        .map(|(c, counters)| (Region::ALL[*c as usize], counters.clone()))
+        .collect();
 
     let image = match mode {
         ExecMode::Exhaustive => {
@@ -262,6 +289,7 @@ pub fn run_filter_with(
         image,
         report,
         variant,
+        per_region,
     })
 }
 
@@ -326,6 +354,8 @@ pub fn run_compiled(
         image,
         report,
         variant: cv.variant,
+        // Standalone variants carry no region partition.
+        per_region: Vec::new(),
     })
 }
 

@@ -169,6 +169,7 @@ impl Engine {
             total_cycles: run.total_cycles,
             counters: run.counters,
             stage_variants: run.stage_variants,
+            per_region: run.per_region,
         })
     }
 

@@ -4,7 +4,7 @@
 //! what comes back.
 
 use crate::PAPER_BLOCK;
-use isp_core::Variant;
+use isp_core::{Region, Variant};
 use isp_dsl::pipeline::Policy;
 use isp_dsl::runner::{ExecMode, ExecStrategy};
 use isp_filters::App;
@@ -81,6 +81,10 @@ pub struct Outcome {
     pub counters: PerfCounters,
     /// The variant each stage ran.
     pub stage_variants: Vec<Variant>,
+    /// Per-region counters merged across stages ([`Region::ALL`] order),
+    /// as attributed by the launch classifier; empty when no stage produced
+    /// an attribution (degenerate partitions).
+    pub per_region: Vec<(Region, PerfCounters)>,
 }
 
 /// One experiment point of the paper's evaluation: an app under a pattern

@@ -146,10 +146,14 @@ pub enum Resolved {
 /// assert_eq!(resolve_1d(BorderPattern::Constant, 9, 8), Resolved::OutOfBounds);
 /// ```
 ///
-/// Mirror's single-reflection formula requires `-size <= idx < 2*size`,
-/// which holds whenever the stencil radius does not exceed the image size —
-/// the same precondition real Hipacc-generated kernels have. Repeat handles
-/// arbitrarily far out-of-bounds indices via its loop.
+/// All four patterns are **total** over `idx: i64, size >= 1`. Mirror folds
+/// the coordinate into the period `2*size` first (edge pixels included in
+/// the reflection), so stencils wider than the image — e.g. a 13x13 window
+/// on a 4x4 image — resolve correctly instead of reflecting past the
+/// opposite edge. The single-reflection shortcut `-x-1` / `2*size-x-1` that
+/// Hipacc-generated kernels use agrees with this fold exactly on its
+/// validity domain `-size <= idx < 2*size`; the DSL lowering keeps that
+/// shortcut and its runner enforces the domain at launch.
 #[inline]
 pub fn resolve_1d(pattern: BorderPattern, idx: i64, size: usize) -> Resolved {
     debug_assert!(size > 0);
@@ -166,11 +170,14 @@ pub fn resolve_1d(pattern: BorderPattern, idx: i64, size: usize) -> Resolved {
             }
         }
         BorderPattern::Mirror => {
-            let r = if idx < 0 { -idx - 1 } else { 2 * s - idx - 1 };
-            debug_assert!(
-                (0..s).contains(&r),
-                "mirror precondition violated: idx {idx} for size {size}"
-            );
+            // Triangular fold: periodic with period 2*size, descending on
+            // the second half. Total for every i64 — the previous
+            // single-reflection formula indexed past the opposite edge
+            // (straight through `get_unchecked` in release builds) whenever
+            // `idx < -size` or `idx >= 2*size`.
+            let period = 2 * s;
+            let m = idx.rem_euclid(period);
+            let r = if m < s { m } else { period - 1 - m };
             Resolved::Index(r as usize)
         }
         BorderPattern::Repeat => {
@@ -216,9 +223,11 @@ pub fn naive_checks_per_access(pattern: BorderPattern) -> usize {
     match pattern {
         // if (x<0) / if (x>=sx) / if (y<0) / if (y>=sy)
         BorderPattern::Clamp | BorderPattern::Mirror => 4,
-        // Loop conditions are evaluated at least once per side.
-        BorderPattern::Repeat => 4,
-        // In-bounds test on both axes combined.
+        // The generated kernels unroll each wrap loop twice per side (the
+        // paper's Listing 1 `while` both ways on both axes): two guarded
+        // wraps per side per axis = 8 checks.
+        BorderPattern::Repeat => 8,
+        // One in-bounds test per side per axis.
         BorderPattern::Constant => 4,
     }
 }
@@ -265,6 +274,36 @@ mod tests {
         assert_eq!(resolve_1d(BorderPattern::Mirror, 8, 8), Resolved::Index(7));
         assert_eq!(resolve_1d(BorderPattern::Mirror, 9, 8), Resolved::Index(6));
         assert_eq!(resolve_1d(BorderPattern::Mirror, 15, 8), Resolved::Index(0));
+    }
+
+    #[test]
+    fn mirror_is_total_beyond_one_reflection() {
+        // The old single-reflection formula covered only -size <= idx <
+        // 2*size; these all fall outside that window. 16 -> reflects back to
+        // 0 -> ascends again: 16 ≡ 0, 17 ≡ 1 (period 16, size 8).
+        assert_eq!(resolve_1d(BorderPattern::Mirror, 16, 8), Resolved::Index(0));
+        assert_eq!(resolve_1d(BorderPattern::Mirror, 17, 8), Resolved::Index(1));
+        assert_eq!(resolve_1d(BorderPattern::Mirror, -9, 8), Resolved::Index(7));
+        assert_eq!(
+            resolve_1d(BorderPattern::Mirror, -17, 8),
+            Resolved::Index(0)
+        );
+        // The 13x13-window-on-4x4-image case: offset -6 on size 4. Old
+        // formula: -(-6)-1 = 5 >= 4 (out of bounds, UB through unchecked
+        // indexing in release). Fold: -6 mod 8 = 2 -> index 2.
+        assert_eq!(resolve_1d(BorderPattern::Mirror, -6, 4), Resolved::Index(2));
+        // Sequence for size 4 past the right edge: 4,5,6,7 -> 3,2,1,0 then
+        // ascending again: 8 -> 0, 9 -> 1.
+        assert_eq!(resolve_1d(BorderPattern::Mirror, 9, 4), Resolved::Index(1));
+        // Extreme magnitudes must not panic or overflow.
+        assert!(matches!(
+            resolve_1d(BorderPattern::Mirror, i64::MIN / 2, 7),
+            Resolved::Index(r) if r < 7
+        ));
+        assert!(matches!(
+            resolve_1d(BorderPattern::Mirror, i64::MAX / 2, 7),
+            Resolved::Index(r) if r < 7
+        ));
     }
 
     #[test]
@@ -338,21 +377,29 @@ mod tests {
     }
 
     proptest! {
-        /// Every re-indexing pattern must return a valid in-bounds index.
+        /// Every re-indexing pattern must return a valid in-bounds index for
+        /// EVERY `idx: i64, size >= 1` — no carve-outs: totality is the
+        /// release-mode memory-safety guarantee of the reference resolver.
         #[test]
         fn reindexing_always_lands_in_bounds(
-            idx in -64i64..128,
-            size in 1usize..64,
+            idx in -100_000i64..100_000,
+            size in 1usize..256,
             pat_idx in 0usize..3,
         ) {
             let pat = BorderPattern::ALL[pat_idx];
-            // Respect Mirror's single-reflection precondition.
-            prop_assume!(pat != BorderPattern::Mirror
-                || (idx >= -(size as i64) && idx < 2 * size as i64));
             match resolve_1d(pat, idx, size) {
                 Resolved::Index(r) => prop_assert!(r < size),
                 Resolved::OutOfBounds => prop_assert!(false, "reindexing pattern returned OOB"),
             }
+        }
+
+        /// Mirror equals the closed-form triangular wave on all of i64.
+        #[test]
+        fn mirror_matches_triangular_wave(idx in i64::MIN / 4..i64::MAX / 4, size in 1usize..64) {
+            let s = size as i64;
+            let m = idx.rem_euclid(2 * s);
+            let expect = if m < s { m } else { 2 * s - 1 - m } as usize;
+            prop_assert_eq!(resolve_1d(BorderPattern::Mirror, idx, size), Resolved::Index(expect));
         }
 
         /// Repeat is exactly `idx mod size` (Euclidean).

@@ -233,6 +233,54 @@ mod tests {
     }
 
     #[test]
+    fn bilateral_window_larger_than_image_mirror() {
+        // The ISSUE's regression case: a 13x13 bilateral window on an 8x8
+        // image under Mirror drives offsets to +/-6 against both axes. Every
+        // access must resolve in bounds (the old single-reflection formula
+        // read past the opposite edge through `get_unchecked` in release
+        // builds once radius >= size) and outputs must stay in the input's
+        // convex hull, since bilateral weights are a convex combination.
+        let img = ImageGenerator::new(11).uniform_noise::<f32>(8, 8);
+        let (lo, hi) = img.min_max();
+        let out = bilateral_reference(&img, 13, 3.0, 0.2, BorderSpec::mirror());
+        assert_eq!(out.dims(), (8, 8));
+        let (olo, ohi) = out.min_max();
+        assert!(
+            olo >= lo - 1e-5 && ohi <= hi + 1e-5,
+            "[{olo}, {ohi}] escapes [{lo}, {hi}]"
+        );
+    }
+
+    #[test]
+    fn window_radius_exceeding_image_size_mirror() {
+        // Radius 6 > size 4: offsets reach -6 and +9, strictly outside the
+        // single-reflection validity window [-size, 2*size). With the total
+        // fold this must agree with a hand-evaluated dense sum over the
+        // reference resolver.
+        let img = ImageGenerator::new(5).uniform_noise::<f32>(4, 4);
+        let out = bilateral_reference(&img, 13, 3.0, 0.2, BorderSpec::mirror());
+        assert_eq!(out.dims(), (4, 4));
+        let (lo, hi) = img.min_max();
+        let (olo, ohi) = out.min_max();
+        assert!(olo >= lo - 1e-5 && ohi <= hi + 1e-5);
+
+        // Linear case, checked value-for-value.
+        let mask = Mask::box_filter(13).unwrap();
+        let got = convolve(&img, &mask, BorderSpec::mirror());
+        let bordered = BorderedImage::new(&img, BorderSpec::mirror());
+        let expect = Image::<f32>::from_fn(4, 4, |x, y| {
+            let mut acc = 0.0;
+            for dy in -6i64..=6 {
+                for dx in -6i64..=6 {
+                    acc += bordered.get_offset(x, y, dx, dy) / 169.0;
+                }
+            }
+            acc
+        });
+        assert!(got.max_abs_diff(&expect).unwrap() < 1e-4);
+    }
+
+    #[test]
     fn apply_local_op_type_conversion() {
         let img = Image::<u8>::filled(4, 4, 100);
         let out: Image<f32> = apply_local_op(&img, BorderSpec::clamp(), |b, x, y| {

@@ -32,7 +32,7 @@ pub mod pixel;
 pub mod roi;
 
 pub use accessor::BorderedImage;
-pub use border::{resolve_1d, resolve_2d, BorderPattern, BorderSpec};
+pub use border::{naive_checks_per_access, resolve_1d, resolve_2d, BorderPattern, BorderSpec};
 pub use convolve::{apply_local_op, bilateral_reference, convolve, convolve_par};
 pub use error::ImageError;
 pub use generator::ImageGenerator;

@@ -1,0 +1,273 @@
+//! # isp-json
+//!
+//! A minimal JSON document builder, following the `shim-*` precedent: the
+//! build environment has no registry access, so instead of `serde_json`
+//! this crate implements exactly the surface the workspace needs — building
+//! a [`Json`] value tree and rendering it as standards-compliant text
+//! (RFC 8259). There is intentionally no parser: the workspace only *emits*
+//! machine-readable output (`BENCH_*.json`, profiling dumps).
+//!
+//! Integers are kept exact (`u64`/`i64` render without a float round-trip,
+//! so performance counters survive unmangled); floats render via Rust's
+//! shortest-roundtrip formatting with non-finite values mapped to `null`,
+//! as `JSON.stringify` does.
+
+/// A JSON value. Object keys keep insertion order so emitted documents are
+/// deterministic and diffable across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer, rendered exactly.
+    U64(u64),
+    /// Signed integer, rendered exactly.
+    I64(i64),
+    /// Float, shortest-roundtrip; NaN/inf render as `null`.
+    F64(f64),
+    /// String (escaped on render).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object (append with [`Json::set`]).
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Append a key/value pair to an object, builder-style. Panics when
+    /// `self` is not an object.
+    pub fn set(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_string(), value.into())),
+            other => panic!("Json::set on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Look up a key in an object (`None` for missing keys or non-objects).
+    /// Test helper — production code builds documents, it does not read
+    /// them back.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Render as compact single-line JSON.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, None, 0);
+        s
+    }
+
+    /// Render as pretty-printed JSON with two-space indentation and a
+    /// trailing newline (the diff-friendly layout `BENCH_*.json` uses).
+    pub fn render_pretty(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, Some(2), 0);
+        s.push('\n');
+        s
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_close) = match indent {
+            Some(w) => ("\n", " ".repeat(w * (depth + 1)), " ".repeat(w * depth)),
+            None => ("", String::new(), String::new()),
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => out.push_str(&n.to_string()),
+            Json::I64(n) => out.push_str(&n.to_string()),
+            Json::F64(x) => {
+                if x.is_finite() {
+                    // Always mark floats as floats so readers keep the type.
+                    if *x == x.trunc() && x.abs() < 1e15 {
+                        out.push_str(&format!("{x:.1}"));
+                    } else {
+                        out.push_str(&format!("{x}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                        if indent.is_none() {
+                            out.push(' ');
+                        }
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad);
+                    item.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad_close);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                        if indent.is_none() {
+                            out.push(' ');
+                        }
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad_close);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::U64(n)
+    }
+}
+impl From<u32> for Json {
+    fn from(n: u32) -> Json {
+        Json::U64(n as u64)
+    }
+}
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::U64(n as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(n: i64) -> Json {
+        Json::I64(n)
+    }
+}
+impl From<i32> for Json {
+    fn from(n: i32) -> Json {
+        Json::I64(n as i64)
+    }
+}
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::F64(x)
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(items: Vec<T>) -> Json {
+        Json::Arr(items.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::from(true).render(), "true");
+        assert_eq!(Json::from(42u64).render(), "42");
+        assert_eq!(Json::from(-7i64).render(), "-7");
+        assert_eq!(Json::from(1.5f64).render(), "1.5");
+        assert_eq!(Json::from("hi").render(), "\"hi\"");
+    }
+
+    #[test]
+    fn large_counters_stay_exact() {
+        // f64 would mangle this; the U64 arm must not.
+        let n = u64::MAX - 1;
+        assert_eq!(Json::from(n).render(), n.to_string());
+    }
+
+    #[test]
+    fn whole_floats_keep_a_decimal_point() {
+        assert_eq!(Json::from(3.0f64).render(), "3.0");
+        assert_eq!(Json::from(0.25f64).render(), "0.25");
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        assert_eq!(Json::from(f64::NAN).render(), "null");
+        assert_eq!(Json::from(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(Json::from("a\"b\\c\nd").render(), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(Json::from("\u{1}").render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn objects_keep_insertion_order() {
+        let j = Json::obj()
+            .set("z", 1u64)
+            .set("a", 2u64)
+            .set("m", Json::Arr(vec![Json::from(1u64), Json::from("x")]));
+        assert_eq!(j.render(), "{\"z\": 1, \"a\": 2, \"m\": [1, \"x\"]}");
+        assert_eq!(j.get("a"), Some(&Json::U64(2)));
+        assert_eq!(j.get("missing"), None);
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let j = Json::obj().set("k", Json::Arr(vec![Json::from(1u64)]));
+        assert_eq!(j.render_pretty(), "{\n  \"k\": [\n    1\n  ]\n}\n");
+        assert_eq!(Json::obj().render_pretty(), "{}\n");
+    }
+}

@@ -22,6 +22,10 @@ pub struct PerfCounters {
     pub loads: u64,
     /// Global store warp-instructions.
     pub stores: u64,
+    /// Texture fetch warp-instructions. Kept separate from `loads` so the
+    /// texture ablation's transactions-per-access metric can account for
+    /// every memory pathway (tex fetches produce `mem_transactions` too).
+    pub tex_accesses: u64,
     /// Threads that ran to `ret`.
     pub threads_retired: u64,
     /// Blocks executed (or accounted, in sampled mode).
@@ -43,6 +47,7 @@ impl PerfCounters {
         self.mem_transactions += other.mem_transactions;
         self.loads += other.loads;
         self.stores += other.stores;
+        self.tex_accesses += other.tex_accesses;
         self.threads_retired += other.threads_retired;
         self.blocks += other.blocks;
     }
@@ -57,6 +62,7 @@ impl PerfCounters {
             mem_transactions: self.mem_transactions * factor,
             loads: self.loads * factor,
             stores: self.stores * factor,
+            tex_accesses: self.tex_accesses * factor,
             threads_retired: self.threads_retired * factor,
             blocks: self.blocks * factor,
         }

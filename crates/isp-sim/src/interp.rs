@@ -585,7 +585,7 @@ impl<'a, 'b> WarpExec<'a, 'b> {
                 // granules as L1 (border-value fetches cost no transaction).
                 let tx = transactions_for_warp(&addrs);
                 self.out.counters.mem_transactions += tx;
-                self.out.counters.loads += 1;
+                self.out.counters.tex_accesses += 1;
                 self.out.cycles += tx * self.ctx.device.mem_transaction_cycles;
                 for l in 0..WARP {
                     if active(l) {

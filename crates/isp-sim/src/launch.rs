@@ -93,6 +93,16 @@ pub enum SimMode<'a> {
     /// Interpret every block: exact pixels + exact counters. Writes are
     /// applied to the buffers.
     Exhaustive,
+    /// [`SimMode::Exhaustive`] plus per-class counter attribution: every
+    /// block is interpreted and written exactly as in `Exhaustive`, and in
+    /// addition each block's counters are merged into its class's entry of
+    /// [`LaunchReport::per_class`] (classes as labelled by the classifier —
+    /// for ISP kernels, the nine regions). The aggregate counters are the
+    /// bit-identical sum of the per-class sets.
+    ExhaustiveClassified {
+        /// Maps block coordinates to a class id.
+        classifier: &'a (dyn Fn(u32, u32) -> u32 + Sync),
+    },
     /// Interpret one representative block per class (as labelled by the
     /// classifier) and extrapolate counters/timing by class population.
     /// Buffers are NOT written — this mode estimates performance only.
@@ -125,6 +135,12 @@ pub struct LaunchReport {
     /// same work under alternative execution strategies (e.g. the
     /// multi-kernel ablation).
     pub class_costs: Vec<(u32, u64, u64)>,
+    /// Per-class performance counters, sorted by class id. Populated by
+    /// [`SimMode::ExhaustiveClassified`] (exact per-block attribution) and
+    /// [`SimMode::RegionSampled`] (representative counters scaled by class
+    /// population); empty for plain [`SimMode::Exhaustive`]. The entries
+    /// merge exactly — bit-identically — to [`LaunchReport::counters`].
+    pub per_class: Vec<(u32, PerfCounters)>,
 }
 
 /// A simulated GPU: a device spec plus launch machinery.
@@ -179,9 +195,20 @@ impl Gpu {
         let ipdom = isp_ir::cfg::Cfg::new(kernel).ipostdom();
 
         match mode {
-            SimMode::Exhaustive => {
-                self.launch_exhaustive(kernel, cfg, params, buffers, &ipdom, regs, occ, strategy)
-            }
+            SimMode::Exhaustive => self.launch_exhaustive(
+                kernel, cfg, params, buffers, &ipdom, regs, occ, strategy, None,
+            ),
+            SimMode::ExhaustiveClassified { classifier } => self.launch_exhaustive(
+                kernel,
+                cfg,
+                params,
+                buffers,
+                &ipdom,
+                regs,
+                occ,
+                strategy,
+                Some(classifier),
+            ),
             SimMode::RegionSampled { classifier, paths } => self.launch_sampled(
                 kernel, cfg, params, buffers, &ipdom, regs, occ, classifier, paths,
             ),
@@ -237,6 +264,7 @@ impl Gpu {
         regs: u32,
         occ: OccupancyResult,
         strategy: ExecStrategy,
+        classifier: Option<&(dyn Fn(u32, u32) -> u32 + Sync)>,
     ) -> Result<LaunchReport, SimError> {
         let coords = dispatch_order(cfg);
         let shared: &[DeviceBuffer] = buffers;
@@ -252,7 +280,14 @@ impl Gpu {
         };
 
         let footprint = kernel.static_len() as u32;
-        let (counters, costs, writes) = reduce_block_runs(footprint, runs)?;
+        let classes = classifier.map(|f| {
+            coords
+                .iter()
+                .map(|&(bx, by)| f(bx, by))
+                .collect::<Vec<u32>>()
+        });
+        let (counters, per_class, costs, writes) =
+            reduce_block_runs(footprint, runs, classes.as_deref())?;
         for (buf, addr, bits) in writes {
             buffers[buf as usize].store_bits(addr, bits);
         }
@@ -264,6 +299,7 @@ impl Gpu {
             regs_per_thread: regs,
             config: cfg,
             class_costs: Vec::new(),
+            per_class,
         })
     }
 
@@ -315,11 +351,16 @@ impl Gpu {
 
         let mut class_cycles: HashMap<u32, u64> = HashMap::new();
         let mut counters = PerfCounters::new();
+        let mut per_class: Vec<(u32, PerfCounters)> = Vec::new();
         let footprint = kernel.static_len() as u32;
+        // `runs` is sorted by class id (reps was), so per_class comes out
+        // sorted without a second pass.
         for (c, run) in runs {
             let run = run?;
             let n = class_count[&c];
-            counters.merge(&run.counters.scaled(n));
+            let scaled = run.counters.scaled(n);
+            counters.merge(&scaled);
+            per_class.push((c, scaled));
             class_cycles.insert(c, run.cycles);
         }
 
@@ -357,6 +398,7 @@ impl Gpu {
             regs_per_thread: regs,
             config: cfg,
             class_costs,
+            per_class,
         })
     }
 }
@@ -397,18 +439,34 @@ fn exhaustive_block_worker(
 /// The deterministic reducer of an exhaustive launch: fold per-block results
 /// **in dispatch order** into merged counters, the scheduler's cost list,
 /// and a concatenated write journal. Because the fold order is fixed, the
-/// reduction is bitwise independent of how the workers were scheduled.
+/// reduction is bitwise independent of how the workers were scheduled. When
+/// `classes` labels each run (same order), every block's counters are also
+/// merged into its class's entry, so the per-class sets sum bit-identically
+/// to the aggregate.
 #[allow(clippy::type_complexity)]
 fn reduce_block_runs(
     static_footprint: u32,
     runs: Vec<Result<BlockRun, SimError>>,
-) -> Result<(PerfCounters, Vec<BlockCost>, Vec<(u32, usize, u32)>), SimError> {
+    classes: Option<&[u32]>,
+) -> Result<
+    (
+        PerfCounters,
+        Vec<(u32, PerfCounters)>,
+        Vec<BlockCost>,
+        Vec<(u32, usize, u32)>,
+    ),
+    SimError,
+> {
     let mut counters = PerfCounters::new();
+    let mut by_class: HashMap<u32, PerfCounters> = HashMap::new();
     let mut costs = Vec::with_capacity(runs.len());
     let mut writes: Vec<(u32, usize, u32)> = Vec::new();
-    for run in runs {
+    for (i, run) in runs.into_iter().enumerate() {
         let run = run?;
         counters.merge(&run.counters);
+        if let Some(classes) = classes {
+            by_class.entry(classes[i]).or_default().merge(&run.counters);
+        }
         costs.push(BlockCost {
             class: 0,
             cycles: run.cycles,
@@ -416,7 +474,9 @@ fn reduce_block_runs(
         });
         writes.extend(run.writes);
     }
-    Ok((counters, costs, writes))
+    let mut per_class: Vec<(u32, PerfCounters)> = by_class.into_iter().collect();
+    per_class.sort_unstable_by_key(|&(c, _)| c);
+    Ok((counters, per_class, costs, writes))
 }
 
 #[cfg(test)]
@@ -548,6 +608,57 @@ mod tests {
         assert_eq!(ex.timing.cycles, sa.timing.cycles);
         // Sampled mode must not write pixels.
         assert!(b2[1].to_f32().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn classified_counters_merge_bit_identically_to_aggregate() {
+        let k = grid_kernel();
+        let gpu = Gpu::new(DeviceSpec::gtx680());
+        // Ragged geometry so classes genuinely differ (edge blocks mask).
+        let (w, h) = (100usize, 14usize);
+        let cfg = LaunchConfig::for_image(w, h, (32, 4)); // 4x4 grid
+        let params = [ParamValue::I32(w as i32), ParamValue::I32(h as i32)];
+        let input: Vec<f32> = (0..w * h).map(|i| (i % 7) as f32).collect();
+
+        let mut b1 = vec![DeviceBuffer::from_f32(&input), DeviceBuffer::zeroed(w * h)];
+        let ex = gpu
+            .launch(&k, cfg, &params, &mut b1, SimMode::Exhaustive)
+            .unwrap();
+        assert!(
+            ex.per_class.is_empty(),
+            "plain exhaustive reports no classes"
+        );
+
+        // Classify by interior vs right-edge vs bottom-edge vs corner.
+        let edge_x = cfg.grid.0 - 1;
+        let edge_y = cfg.grid.1 - 1;
+        let classifier = move |bx: u32, by: u32| (bx == edge_x) as u32 + 2 * (by == edge_y) as u32;
+        let mut b2 = vec![DeviceBuffer::from_f32(&input), DeviceBuffer::zeroed(w * h)];
+        let cl = gpu
+            .launch(
+                &k,
+                cfg,
+                &params,
+                &mut b2,
+                SimMode::ExhaustiveClassified {
+                    classifier: &classifier,
+                },
+            )
+            .unwrap();
+
+        // Identical pixels and aggregate counters to the plain mode.
+        assert_eq!(b1[1].to_f32(), b2[1].to_f32());
+        assert_eq!(ex.counters, cl.counters);
+
+        // Per-class attribution: sorted, all four classes present, and the
+        // merge reproduces the aggregate bit-for-bit.
+        let ids: Vec<u32> = cl.per_class.iter().map(|&(c, _)| c).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        let mut merged = PerfCounters::new();
+        for (_, c) in &cl.per_class {
+            merged.merge(c);
+        }
+        assert_eq!(merged, cl.counters);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod scheduler;
 pub use counters::PerfCounters;
 pub use device::{DeviceSpec, GpuArch};
 pub use error::SimError;
-pub use launch::{ExecStrategy, Gpu, LaunchConfig, LaunchReport, ParamValue};
+pub use launch::{ExecStrategy, Gpu, LaunchConfig, LaunchReport, ParamValue, SimMode};
 pub use memory::{DeviceBuffer, TexAddressMode, TexDesc};
-pub use occupancy::{occupancy, OccupancyResult};
+pub use occupancy::{occupancy, Limiter, LimiterSet, OccupancyResult};
 pub use scheduler::Timing;

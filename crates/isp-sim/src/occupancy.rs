@@ -17,8 +17,16 @@ pub struct OccupancyResult {
     pub warps_per_sm: u32,
     /// `warps_per_sm / device.max_warps_per_sm` in `[0, 1]`.
     pub occupancy: f64,
-    /// Which resource limited residency.
+    /// Which resource limited residency. When several resources yield the
+    /// same block count, the reported limiter is the first in the fixed
+    /// priority order `Threads > Blocks > Registers > SharedMemory`; the
+    /// full set of binding resources is in [`OccupancyResult::tied`].
     pub limiter: Limiter,
+    /// Every resource whose limit equals the achieved block count (always
+    /// contains [`OccupancyResult::limiter`]). Exact ties — e.g. thread
+    /// slots and block slots both allowing 16 blocks — are visible here
+    /// deterministically, independent of evaluation order.
+    pub tied: LimiterSet,
 }
 
 /// The resource that capped occupancy.
@@ -32,6 +40,63 @@ pub enum Limiter {
     Registers,
     /// Shared memory capacity.
     SharedMemory,
+}
+
+impl Limiter {
+    /// All limiters in the tie-breaking priority order.
+    pub const ALL: [Limiter; 4] = [
+        Limiter::Threads,
+        Limiter::Blocks,
+        Limiter::Registers,
+        Limiter::SharedMemory,
+    ];
+
+    fn bit(self) -> u8 {
+        match self {
+            Limiter::Threads => 1 << 0,
+            Limiter::Blocks => 1 << 1,
+            Limiter::Registers => 1 << 2,
+            Limiter::SharedMemory => 1 << 3,
+        }
+    }
+}
+
+/// A set of [`Limiter`]s (a four-bit mask), used to report all resources
+/// that are simultaneously binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LimiterSet(u8);
+
+impl LimiterSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        LimiterSet(0)
+    }
+
+    /// Add a limiter to the set.
+    pub fn insert(&mut self, l: Limiter) {
+        self.0 |= l.bit();
+    }
+
+    /// Whether the set contains `l`.
+    pub fn contains(&self, l: Limiter) -> bool {
+        self.0 & l.bit() != 0
+    }
+
+    /// Number of limiters in the set (≥ 1 on any occupancy result; > 1
+    /// means an exact tie).
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterate the members in priority order.
+    pub fn iter(&self) -> impl Iterator<Item = Limiter> + '_ {
+        Limiter::ALL.into_iter().filter(|&l| self.contains(l))
+    }
 }
 
 /// Compute theoretical occupancy for a kernel using `regs_per_thread`
@@ -78,15 +143,26 @@ pub fn occupancy_with_shared(
         .checked_div(shared_bytes_per_block)
         .map_or(u32::MAX, |blocks| blocks.max(1));
 
-    let (blocks, limiter) = [
+    // Candidates in the documented tie-breaking priority order
+    // (Threads > Blocks > Registers > SharedMemory). `min_by_key` returns
+    // the *first* minimum, so `limiter` is deterministic by construction;
+    // `tied` additionally records every candidate achieving the minimum.
+    let candidates = [
         (by_threads, Limiter::Threads),
         (by_blocks, Limiter::Blocks),
         (by_regs, Limiter::Registers),
         (by_shared, Limiter::SharedMemory),
-    ]
-    .into_iter()
-    .min_by_key(|&(b, _)| b)
-    .expect("non-empty candidate list");
+    ];
+    let (blocks, limiter) = candidates
+        .into_iter()
+        .min_by_key(|&(b, _)| b)
+        .expect("non-empty candidate list");
+    let mut tied = LimiterSet::empty();
+    for (b, l) in candidates {
+        if b == blocks {
+            tied.insert(l);
+        }
+    }
 
     let warps = (blocks * warps_per_block).min(device.max_warps_per_sm);
     OccupancyResult {
@@ -94,6 +170,7 @@ pub fn occupancy_with_shared(
         warps_per_sm: warps,
         occupancy: warps as f64 / device.max_warps_per_sm as f64,
         limiter,
+        tied,
     }
 }
 
@@ -162,6 +239,48 @@ mod tests {
     }
 
     #[test]
+    fn exact_tie_reports_priority_limiter_and_full_set() {
+        let d = DeviceSpec::gtx680();
+        // 128-thread blocks: thread slots allow 2048/128 = 16 blocks and the
+        // block-slot limit is also 16 — an exact Threads/Blocks tie. With 16
+        // regs/thread the register file allows 65536/2048 = 32 blocks (not
+        // binding).
+        let r = occupancy(&d, 128, 16);
+        assert_eq!(r.blocks_per_sm, 16);
+        assert_eq!(r.limiter, Limiter::Threads, "priority order breaks ties");
+        assert!(r.tied.contains(Limiter::Threads));
+        assert!(r.tied.contains(Limiter::Blocks));
+        assert!(!r.tied.contains(Limiter::Registers));
+        assert!(!r.tied.contains(Limiter::SharedMemory));
+        assert_eq!(r.tied.len(), 2);
+        assert_eq!(
+            r.tied.iter().collect::<Vec<_>>(),
+            vec![Limiter::Threads, Limiter::Blocks]
+        );
+    }
+
+    #[test]
+    fn triple_tie_includes_registers() {
+        let d = DeviceSpec::gtx680();
+        // 32 regs/thread: registers also cap at 65536 / (32*128) = 16 —
+        // threads, blocks, and registers all bind at once.
+        let r = occupancy(&d, 128, 32);
+        assert_eq!(r.blocks_per_sm, 16);
+        assert_eq!(r.limiter, Limiter::Threads);
+        assert_eq!(r.tied.len(), 3);
+        assert!(r.tied.contains(Limiter::Registers));
+    }
+
+    #[test]
+    fn untied_result_has_singleton_set() {
+        let d = DeviceSpec::gtx680();
+        let r = occupancy(&d, 128, 40); // register-limited (see above test)
+        assert_eq!(r.limiter, Limiter::Registers);
+        assert_eq!(r.tied.len(), 1);
+        assert!(r.tied.contains(Limiter::Registers));
+    }
+
+    #[test]
     fn regs_clamped_at_device_cap() {
         let d = DeviceSpec::gtx680();
         // 200 regs/thread is beyond Kepler's 63-reg cap: spilled, not fatal.
@@ -189,6 +308,10 @@ mod tests {
                 prop_assert!(r.occupancy > 0.0 && r.occupancy <= 1.0);
                 prop_assert!(r.blocks_per_sm >= 1);
                 prop_assert!(r.warps_per_sm <= d.max_warps_per_sm);
+                // The reported limiter is always the highest-priority member
+                // of the tied set.
+                prop_assert!(r.tied.contains(r.limiter));
+                prop_assert_eq!(r.tied.iter().next(), Some(r.limiter));
             }
         }
 

@@ -2,9 +2,11 @@
 //! from a [`LaunchReport`] — the simulator's answer to "The execution time
 //! is obtained from the output of NVProf" (paper §VI).
 
+use crate::counters::PerfCounters;
 use crate::device::DeviceSpec;
 use crate::launch::LaunchReport;
 use isp_ir::InstrCategory;
+use isp_json::Json;
 use std::fmt::Write;
 
 /// Derived metrics computed from a launch report.
@@ -29,7 +31,11 @@ pub struct DerivedMetrics {
 /// Compute derived metrics from a report.
 pub fn derive(device: &DeviceSpec, report: &LaunchReport) -> DerivedMetrics {
     let c = &report.counters;
-    let mem_instrs = c.loads + c.stores;
+    // Every memory pathway that produces transactions belongs in the
+    // denominator: texture fetches hit the same 128-byte segments as global
+    // loads, so omitting them would inflate transactions-per-access for the
+    // texture ablation.
+    let mem_instrs = c.loads + c.stores + c.tex_accesses;
     let mut arith_cycles = 0u64;
     let mut mem_cycles = c.mem_transactions * device.mem_transaction_cycles;
     let mut total_issue = 0u64;
@@ -106,7 +112,106 @@ pub fn format_report(device: &DeviceSpec, name: &str, report: &LaunchReport) -> 
         m.memory_fraction * 100.0
     );
     let _ = writeln!(s, "  instruction mix: {}", c.histogram);
+    if !report.per_class.is_empty() {
+        let _ = writeln!(
+            s,
+            "  per-class counters ({} classes):",
+            report.per_class.len()
+        );
+        for (class, cc) in &report.per_class {
+            let _ = writeln!(
+                s,
+                "    class {class}: {} blocks, {} warp-instructions, {} mem tx, divergence {:.1}%",
+                cc.blocks,
+                cc.warp_instructions,
+                cc.mem_transactions,
+                cc.divergence_rate() * 100.0
+            );
+        }
+    }
     s
+}
+
+/// Serialise one counter set as a JSON object. Counter values stay exact
+/// (u64, never round-tripped through f64); the histogram is a nested object
+/// keyed by category name in display order.
+pub fn counters_to_json(c: &PerfCounters) -> Json {
+    let mut hist = Json::obj();
+    for (cat, n) in c.histogram.iter() {
+        hist = hist.set(cat.name(), n);
+    }
+    Json::obj()
+        .set("warp_instructions", c.warp_instructions)
+        .set("divergent_branches", c.divergent_branches)
+        .set("conditional_branches", c.conditional_branches)
+        .set("mem_transactions", c.mem_transactions)
+        .set("loads", c.loads)
+        .set("stores", c.stores)
+        .set("tex_accesses", c.tex_accesses)
+        .set("threads_retired", c.threads_retired)
+        .set("blocks", c.blocks)
+        .set("histogram", hist)
+}
+
+/// Serialise a full launch report — geometry, occupancy, timing, aggregate
+/// counters, derived metrics, and the per-class attribution — as a JSON
+/// object. This is the machine-readable twin of [`format_report`].
+pub fn report_to_json(device: &DeviceSpec, name: &str, report: &LaunchReport) -> Json {
+    let m = derive(device, report);
+    let per_class = report
+        .per_class
+        .iter()
+        .map(|(class, c)| {
+            Json::obj()
+                .set("class", *class)
+                .set("counters", counters_to_json(c))
+        })
+        .collect::<Vec<Json>>();
+    Json::obj()
+        .set("kernel", name)
+        .set("device", device.name)
+        .set(
+            "launch",
+            Json::obj()
+                .set("grid", vec![report.config.grid.0, report.config.grid.1])
+                .set("block", vec![report.config.block.0, report.config.block.1])
+                .set("regs_per_thread", report.regs_per_thread),
+        )
+        .set(
+            "occupancy",
+            Json::obj()
+                .set("value", report.occupancy.occupancy)
+                .set("blocks_per_sm", report.occupancy.blocks_per_sm)
+                .set("warps_per_sm", report.occupancy.warps_per_sm)
+                .set("limiter", format!("{:?}", report.occupancy.limiter))
+                .set(
+                    "tied",
+                    report
+                        .occupancy
+                        .tied
+                        .iter()
+                        .map(|l| Json::from(format!("{l:?}")))
+                        .collect::<Vec<Json>>(),
+                ),
+        )
+        .set(
+            "timing",
+            Json::obj()
+                .set("cycles", report.timing.cycles)
+                .set("millis", report.timing.millis)
+                .set("waves", report.timing.waves),
+        )
+        .set("counters", counters_to_json(&report.counters))
+        .set(
+            "derived",
+            Json::obj()
+                .set("warp_ipc", m.warp_ipc)
+                .set("divergence_rate", m.divergence_rate)
+                .set("transactions_per_access", m.transactions_per_access)
+                .set("arithmetic_fraction", m.arithmetic_fraction)
+                .set("memory_fraction", m.memory_fraction),
+        )
+        .set("per_class", per_class)
 }
 
 #[cfg(test)]
@@ -177,5 +282,73 @@ mod tests {
         assert!(text.contains("occupancy"));
         assert!(text.contains("divergence 100.0%"));
         assert!(text.contains("instruction mix"));
+    }
+
+    /// out[x] = tex2d(in, x, 0) over one 32-thread block: every memory
+    /// access on the read side goes through the texture unit.
+    fn tex_report() -> (DeviceSpec, LaunchReport) {
+        use crate::memory::{TexAddressMode, TexDesc};
+        let mut b = IrBuilder::new("texprof", 2);
+        let x = b.sreg(SReg::TidX);
+        let zero = b.mov(Ty::S32, 0i32);
+        let v = b.tex(0, x, zero);
+        b.st(1, x, v);
+        b.ret();
+        let k = b.finish();
+        let device = DeviceSpec::gtx680();
+        let gpu = Gpu::new(device.clone());
+        let mut buffers = vec![
+            DeviceBuffer::from_f32(&[1.0; 32]).with_texture(TexDesc {
+                width: 32,
+                height: 1,
+                mode: TexAddressMode::Clamp,
+            }),
+            DeviceBuffer::zeroed(32),
+        ];
+        let report = gpu
+            .launch(
+                &k,
+                LaunchConfig {
+                    grid: (1, 1),
+                    block: (32, 1),
+                },
+                &[] as &[ParamValue],
+                &mut buffers,
+                SimMode::Exhaustive,
+            )
+            .unwrap();
+        (device, report)
+    }
+
+    #[test]
+    fn tex_fetches_count_as_memory_accesses() {
+        let (device, report) = tex_report();
+        let c = &report.counters;
+        assert_eq!(c.tex_accesses, 1, "one warp-wide tex fetch");
+        assert_eq!(c.loads, 0, "tex fetches must not masquerade as loads");
+        assert_eq!(c.stores, 1);
+        // 2 warp-level accesses (1 tex + 1 store), each fully coalesced into
+        // one 128-byte transaction: the ratio is exactly 1, not the 2 the
+        // loads+stores denominator would report.
+        let m = derive(&device, &report);
+        assert_eq!(c.mem_transactions, 2);
+        assert!((m.transactions_per_access - 1.0).abs() < 1e-12, "{m:?}");
+    }
+
+    #[test]
+    fn json_export_roundtrips_key_fields() {
+        let (device, report) = sample_report();
+        let j = report_to_json(&device, "prof", &report);
+        let text = j.render_pretty();
+        assert!(text.contains("\"kernel\": \"prof\""));
+        assert!(text.contains("\"device\": \"GTX680\""));
+        assert!(text.contains("\"warp_instructions\""));
+        assert!(text.contains("\"tex_accesses\""));
+        assert!(text.contains("\"per_class\""));
+        // Counter integers must be exact decimal literals.
+        assert!(text.contains(&format!(
+            "\"warp_instructions\": {}",
+            report.counters.warp_instructions
+        )));
     }
 }
