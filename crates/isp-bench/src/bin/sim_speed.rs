@@ -1,0 +1,163 @@
+//! Simulator speed harness: the tree-walking reference interpreter vs the
+//! decoded-microcode fast path, per filter and on the PR 1 engine-sweep
+//! configuration. Writes `target/results/BENCH_PR3.json` for CI artifact
+//! upload.
+//!
+//! Usage: `cargo run -p isp-bench --bin sim_speed --release [-- size sweep_sizes...]`
+//!
+//! The first argument is the per-filter exhaustive image size (default 256);
+//! the remaining arguments are the sweep sizes (default the paper's
+//! 512/1024/2048/4096). CI passes a small configuration to keep the
+//! exhaustive interpreter fast.
+
+use isp_bench::report::{write_json_doc, Table};
+use isp_core::Variant;
+use isp_dsl::pipeline::Policy;
+use isp_dsl::runner::ExecMode;
+use isp_dsl::Compiler;
+use isp_exec::{Engine, Request, PAPER_BLOCK};
+use isp_image::{BorderPattern, BorderSpec};
+use isp_json::Json;
+use isp_sim::{DeviceSpec, ExecEngine, Gpu};
+use std::time::Instant;
+
+/// Median wall-clock time of `runs` invocations of `f`, in milliseconds.
+fn time_ms<R>(runs: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Time one exhaustive pipeline run of `app` under the given engine.
+fn filter_ms(engine: ExecEngine, app: &isp_filters::App, size: usize, runs: usize) -> f64 {
+    let gpu = Gpu::new(DeviceSpec::gtx680()).with_engine(engine);
+    let border = BorderSpec::from_pattern(BorderPattern::Clamp);
+    let compiled = app
+        .pipeline
+        .compile(&Compiler::new(), border, Variant::IspBlock);
+    let img = isp_exec::bench_image(size);
+    time_ms(runs, || {
+        app.pipeline
+            .run(
+                &gpu,
+                &compiled,
+                &img,
+                border,
+                PAPER_BLOCK,
+                Policy::AlwaysIsp(Variant::IspBlock),
+                ExecMode::Exhaustive,
+            )
+            .unwrap()
+    })
+}
+
+/// Median total wall-clock of the full exhaustive sweep — the PR 1
+/// benchmark configuration (gaussian, 4 patterns x `sizes`, three policies
+/// per point) with every launch exhaustively interpreted. Sources are
+/// generated once per size outside the timed region so both engines time
+/// the same pure-simulation work; the median of `runs` sweeps rides out
+/// machine noise.
+fn sweep_ms(exec: ExecEngine, sizes: &[usize], runs: usize) -> f64 {
+    let engine = Engine::with_exec_engine(DeviceSpec::gtx680(), exec);
+    let app = isp_filters::by_name("gaussian").unwrap();
+    let sources: Vec<_> = sizes.iter().map(|&s| isp_exec::bench_image(s)).collect();
+    time_ms(runs, || {
+        for pattern in BorderPattern::ALL {
+            for (&size, source) in sizes.iter().zip(&sources) {
+                for policy in [
+                    Policy::Naive,
+                    Policy::AlwaysIsp(Variant::IspBlock),
+                    Policy::Model(Variant::IspBlock),
+                ] {
+                    engine
+                        .run_on(
+                            &Request::paper(app.clone(), pattern, size, policy).exhaustive(),
+                            source,
+                        )
+                        .unwrap();
+                }
+            }
+        }
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let size: usize = args
+        .first()
+        .map(|s| s.parse().expect("size must be an integer"))
+        .unwrap_or(256);
+    let sweep_sizes: Vec<usize> = if args.len() > 1 {
+        args[1..]
+            .iter()
+            .map(|s| s.parse().expect("size must be an integer"))
+            .collect()
+    } else {
+        vec![512, 1024, 2048, 4096]
+    };
+    let runs = 3;
+
+    // Part 1: per-filter exhaustive interpretation, reference vs decoded.
+    println!("== exhaustive {size}x{size} Clamp isp, per filter (median of {runs}, ms)");
+    let mut table = Table::new(&["filter", "reference", "decoded", "speedup"]);
+    let mut filters: Vec<Json> = Vec::new();
+    for app in isp_filters::apps::all_apps() {
+        let reference = filter_ms(ExecEngine::Reference, &app, size, runs);
+        let decoded = filter_ms(ExecEngine::Decoded, &app, size, runs);
+        let speedup = reference / decoded;
+        table.row(&[
+            app.name.to_string(),
+            format!("{reference:.1}"),
+            format!("{decoded:.1}"),
+            format!("{speedup:.2}x"),
+        ]);
+        filters.push(
+            Json::obj()
+                .set("filter", app.name)
+                .set("reference_ms", reference)
+                .set("decoded_ms", decoded)
+                .set("speedup", speedup),
+        );
+    }
+    print!("{}", table.render());
+
+    // Part 2: the full exhaustive sweep (PR 1 benchmark configuration,
+    // exhaustively interpreted), before/after.
+    println!("== full exhaustive sweep: gaussian 4-pattern x {sweep_sizes:?} x 3 policies (median of {runs} total wall-clocks, ms)");
+    let reference = sweep_ms(ExecEngine::Reference, &sweep_sizes, runs);
+    let decoded = sweep_ms(ExecEngine::Decoded, &sweep_sizes, runs);
+    let sweep_speedup = reference / decoded;
+    println!("  reference tree-walker {reference:9.1}");
+    println!("  decoded microcode     {decoded:9.1}  speedup {sweep_speedup:5.2}x");
+
+    let doc = Json::obj()
+        .set("schema", "isp-sim-speed-v1")
+        .set("device", DeviceSpec::gtx680().name)
+        .set("exhaustive_size", size)
+        .set("runs", runs)
+        .set("filters", filters)
+        .set(
+            "sweep",
+            Json::obj()
+                .set(
+                    "sizes",
+                    sweep_sizes
+                        .iter()
+                        .map(|&s| Json::from(s))
+                        .collect::<Vec<_>>(),
+                )
+                .set("patterns", 4u32)
+                .set("policies", 3u32)
+                .set("reference_ms", reference)
+                .set("decoded_ms", decoded)
+                .set("speedup", sweep_speedup),
+        );
+    let path = write_json_doc("BENCH_PR3", &doc).expect("write BENCH_PR3.json");
+    println!("wrote {}", path.display());
+}

@@ -49,6 +49,11 @@ pub struct CacheStats {
     pub plan_hits: u64,
     /// Eq. (10) evaluations performed (cold lookups).
     pub plan_misses: u64,
+    /// Decode-cache lookups answered with already-decoded microcode
+    /// (mirrors [`isp_sim::Gpu::decode_stats`]).
+    pub decode_hits: u64,
+    /// IR→microcode decodes performed (cold lookups).
+    pub decode_misses: u64,
 }
 
 /// Live hit/miss counters (atomics so [`crate::Engine`] stays `Sync`).
@@ -83,6 +88,10 @@ impl CacheCounters {
             kernel_misses: self.kernel_misses.load(Ordering::Relaxed),
             plan_hits: self.plan_hits.load(Ordering::Relaxed),
             plan_misses: self.plan_misses.load(Ordering::Relaxed),
+            // Decode hits/misses live on the Gpu; Engine::cache_stats fills
+            // them in from there.
+            decode_hits: 0,
+            decode_misses: 0,
         }
     }
 }

@@ -13,7 +13,7 @@ use isp_dsl::runner::{geometry_for, plan_for, run_filter_with, ExecMode, ExecStr
 use isp_dsl::FilterOutput;
 use isp_dsl::{CompiledKernel, Compiler, KernelSpec, Pipeline};
 use isp_image::{BorderPattern, BorderSpec, Image};
-use isp_sim::{DeviceSpec, Gpu, SimError};
+use isp_sim::{DeviceSpec, ExecEngine, Gpu, SimError};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -35,10 +35,19 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Create a standalone engine for a device (empty caches).
+    /// Create a standalone engine for a device (empty caches). Launches run
+    /// on the decoded fast path; see [`Engine::with_exec_engine`] for the
+    /// reference interpreter.
     pub fn new(device: DeviceSpec) -> Self {
+        Self::with_exec_engine(device, ExecEngine::Decoded)
+    }
+
+    /// [`Engine::new`] with an explicit simulator [`ExecEngine`] — the
+    /// before/after speed benchmark builds a `Reference` engine to measure
+    /// the tree-walking interpreter against the decoded default.
+    pub fn with_exec_engine(device: DeviceSpec, exec: ExecEngine) -> Self {
         Engine {
-            gpu: Gpu::new(device.clone()),
+            gpu: Gpu::new(device.clone()).with_engine(exec),
             device,
             compiler: Compiler::new(),
             kernels: Mutex::new(HashMap::new()),
@@ -89,6 +98,21 @@ impl Engine {
         // Compile outside the lock: kernels are large and compilation is
         // the expensive step the cache exists to amortise.
         let compiled = Arc::new(self.compiler.compile(spec, pattern, granularity));
+        // Warm the Gpu's decode cache for every variant now, while the
+        // kernel is cold: a sweep then decodes each kernel exactly once, and
+        // launches never decode on the hot path.
+        if self.gpu.engine() == ExecEngine::Decoded {
+            for variant in [
+                Some(&compiled.naive),
+                compiled.isp.as_ref(),
+                compiled.texture.as_ref(),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                self.gpu.decode(&variant.kernel);
+            }
+        }
         let mut map = self.kernels.lock().expect("kernel cache lock");
         let entry = map.entry(key).or_insert_with(|| Arc::clone(&compiled));
         self.counters.kernel_miss();
@@ -240,9 +264,14 @@ impl Engine {
         }
     }
 
-    /// Snapshot of the cache hit/miss counters.
+    /// Snapshot of the cache hit/miss counters (kernel and plan caches plus
+    /// the Gpu's decode cache).
     pub fn cache_stats(&self) -> CacheStats {
-        self.counters.snapshot()
+        let mut stats = self.counters.snapshot();
+        let decode = self.gpu.decode_stats();
+        stats.decode_hits = decode.hits;
+        stats.decode_misses = decode.misses;
+        stats
     }
 }
 
@@ -303,6 +332,57 @@ mod tests {
         tweaked.num_sms += 1;
         let c = Engine::global(&tweaked);
         assert!(!Arc::ptr_eq(&a, &c), "different spec, different engine");
+    }
+
+    #[test]
+    fn sweeps_decode_each_kernel_exactly_once() {
+        let engine = Engine::new(DeviceSpec::gtx680());
+        let app = by_name("gaussian").unwrap();
+        // Two sweep points, three policies each: lots of launches, but the
+        // decode-miss count must equal the number of distinct variant
+        // kernels compiled, and launches only ever hit the cache.
+        for size in [64, 128] {
+            let sweep = Sweep {
+                size,
+                ..Sweep::paper(app.clone(), BorderPattern::Clamp, 64)
+            };
+            engine.measure(&sweep);
+        }
+        let stats = engine.cache_stats();
+        let variants: u64 = {
+            let map = engine.kernels.lock().unwrap();
+            map.values()
+                .map(|ck| 1 + ck.isp.is_some() as u64 + ck.texture.is_some() as u64)
+                .sum()
+        };
+        assert_eq!(
+            stats.decode_misses, variants,
+            "each compiled variant decodes once"
+        );
+        assert!(
+            stats.decode_hits > 0,
+            "launches reuse the decoded microcode"
+        );
+    }
+
+    #[test]
+    fn reference_exec_engine_matches_decoded() {
+        let decoded = Engine::new(DeviceSpec::gtx680());
+        let reference = Engine::with_exec_engine(DeviceSpec::gtx680(), ExecEngine::Reference);
+        let req = Request::paper(
+            by_name("sobel").unwrap(),
+            BorderPattern::Repeat,
+            64,
+            Policy::AlwaysIsp(isp_core::Variant::IspBlock),
+        )
+        .exhaustive();
+        let a = decoded.run(&req).unwrap();
+        let b = reference.run(&req).unwrap();
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.counters, b.counters);
+        let (ia, ib) = (a.image.unwrap(), b.image.unwrap());
+        assert_eq!(ia.raw(), ib.raw());
+        assert_eq!(reference.cache_stats().decode_misses, 0);
     }
 
     #[test]

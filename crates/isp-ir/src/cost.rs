@@ -72,6 +72,13 @@ impl InstrCategory {
         InstrCategory::Ret,
     ];
 
+    /// Dense index of this category in [`InstrCategory::ALL`] — the array
+    /// slot flat per-category accounting (the decoded interpreter's
+    /// histogram) uses instead of a map lookup.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
     /// Table-row keyword.
     pub fn name(&self) -> &'static str {
         match self {
@@ -289,6 +296,13 @@ mod tests {
     use crate::builder::IrBuilder;
     use crate::instr::{CmpOp, SReg};
     use crate::types::Ty;
+
+    #[test]
+    fn index_matches_all_order() {
+        for (i, cat) in InstrCategory::ALL.iter().enumerate() {
+            assert_eq!(cat.index(), i, "{cat}");
+        }
+    }
 
     #[test]
     fn categorisation_merges_types() {

@@ -77,6 +77,15 @@ pub fn run_block(ctx: &BlockContext<'_>) -> Result<BlockRun, SimError> {
         writes: Vec::new(),
     };
     let mut shared = vec![0u32; ctx.kernel.shared_elems as usize];
+    // `threadIdx` of every linear thread slot, computed once per block
+    // instead of a div/mod pair on every special-register read (warps are
+    // linearised row-major within the block, so a 32xN block has one image
+    // row per warp and a 128x1 block has four warps side by side — the
+    // layout Listing 5 exploits).
+    let tx = ctx.block_dim.0 as u64;
+    let tids: Vec<(u32, u32)> = (0..num_warps as u64 * WARP as u64)
+        .map(|linear| ((linear % tx) as u32, (linear / tx) as u32))
+        .collect();
     // Blocks whose (sole) instruction is a barrier.
     let bar_blocks: Vec<bool> = ctx
         .kernel
@@ -127,6 +136,7 @@ pub fn run_block(ctx: &BlockContext<'_>) -> Result<BlockRun, SimError> {
             let mut exec = WarpExec {
                 ctx,
                 warp_id: w as u32,
+                tids: &tids,
                 regs: &mut state.regs,
                 out: &mut out,
                 budget: &mut state.budget,
@@ -191,6 +201,8 @@ pub fn run_block(ctx: &BlockContext<'_>) -> Result<BlockRun, SimError> {
 struct WarpExec<'a, 'b> {
     ctx: &'a BlockContext<'a>,
     warp_id: u32,
+    /// Per-block `(tidX, tidY)` table, indexed by linear thread id.
+    tids: &'b [(u32, u32)],
     /// Register file: `num_vregs` slots of 32 lanes of raw bits.
     regs: &'b mut Vec<[u32; WARP]>,
     out: &'b mut BlockRun,
@@ -202,13 +214,9 @@ struct WarpExec<'a, 'b> {
 }
 
 impl<'a, 'b> WarpExec<'a, 'b> {
-    /// `threadIdx` of a lane (warps are linearised row-major within the
-    /// block, so a 32xN block has one image row per warp and a 128x1 block
-    /// has four warps side by side — the layout Listing 5 exploits).
+    /// `threadIdx` of a lane, looked up in the per-block table.
     fn tid(&self, lane: usize) -> (u32, u32) {
-        let linear = self.warp_id as u64 * WARP as u64 + lane as u64;
-        let tx = self.ctx.block_dim.0 as u64;
-        ((linear % tx) as u32, (linear / tx) as u32)
+        self.tids[self.warp_id as usize * WARP + lane]
     }
 
     fn sreg_value(&self, sreg: SReg, lane: usize) -> i32 {
@@ -247,9 +255,8 @@ impl<'a, 'b> WarpExec<'a, 'b> {
     }
 
     fn charge(&mut self, cat: InstrCategory) -> Result<(), SimError> {
-        self.out.counters.histogram.add(cat, 1);
-        self.out.counters.warp_instructions += 1;
-        self.out.cycles += self.ctx.device.issue_cost(cat);
+        // Budget first: a `RunawayBlock` must not record the instruction
+        // that was never issued.
         if *self.budget == 0 {
             return Err(SimError::RunawayBlock {
                 block: self.ctx.block_idx,
@@ -257,6 +264,9 @@ impl<'a, 'b> WarpExec<'a, 'b> {
             });
         }
         *self.budget -= 1;
+        self.out.counters.histogram.add(cat, 1);
+        self.out.counters.warp_instructions += 1;
+        self.out.cycles += self.ctx.device.issue_cost(cat);
         Ok(())
     }
 
@@ -684,7 +694,7 @@ impl<'a, 'b> WarpExec<'a, 'b> {
     }
 }
 
-fn eval_bin_i(op: BinOp, x: i32, y: i32) -> i32 {
+pub(crate) fn eval_bin_i(op: BinOp, x: i32, y: i32) -> i32 {
     match op {
         BinOp::Add => x.wrapping_add(y),
         BinOp::Sub => x.wrapping_sub(y),
@@ -715,7 +725,7 @@ fn eval_bin_i(op: BinOp, x: i32, y: i32) -> i32 {
     }
 }
 
-fn eval_bin_f(op: BinOp, x: f32, y: f32) -> f32 {
+pub(crate) fn eval_bin_f(op: BinOp, x: f32, y: f32) -> f32 {
     match op {
         BinOp::Add => x + y,
         BinOp::Sub => x - y,
@@ -728,7 +738,7 @@ fn eval_bin_f(op: BinOp, x: f32, y: f32) -> f32 {
     }
 }
 
-fn eval_cmp_i(cmp: CmpOp, x: i32, y: i32) -> bool {
+pub(crate) fn eval_cmp_i(cmp: CmpOp, x: i32, y: i32) -> bool {
     match cmp {
         CmpOp::Eq => x == y,
         CmpOp::Ne => x != y,
@@ -739,7 +749,7 @@ fn eval_cmp_i(cmp: CmpOp, x: i32, y: i32) -> bool {
     }
 }
 
-fn eval_cmp_f(cmp: CmpOp, x: f32, y: f32) -> bool {
+pub(crate) fn eval_cmp_f(cmp: CmpOp, x: f32, y: f32) -> bool {
     match cmp {
         CmpOp::Eq => x == y,
         CmpOp::Ne => x != y,
@@ -1043,6 +1053,102 @@ mod guard_tests {
             buffers: &buffers,
         })
         .unwrap_err();
+        assert!(matches!(err, SimError::RunawayBlock { .. }), "{err}");
+    }
+
+    /// A counting loop sized to consume exactly the runaway budget. The
+    /// budget check precedes the accounting, so a kernel that needs exactly
+    /// `MAX_WARP_INSTRUCTIONS` charges succeeds with the counters pinned at
+    /// the limit, and one more instruction tips it into `RunawayBlock`
+    /// without recording the instruction that was never issued.
+    #[test]
+    fn counters_are_exact_at_the_runaway_limit() {
+        use isp_ir::kernel::{BasicBlock, Kernel};
+        use isp_ir::{BinOp, Instr, Operand, Terminator, Ty, UnOp, VReg};
+
+        // entry:  r0 = 0                      (mov + br      = 2 charges)
+        // header: r0 += 1; p = r0 < n         (3 charges per iteration,
+        //         loop while p                 executed n times, uniform)
+        // exit:   two filler movs; ret        (3 charges)
+        // Total: 3n + 5.
+        let counting_kernel = |n: i32| -> Kernel {
+            let r0 = VReg::new(0, Ty::S32);
+            let p = VReg::new(1, Ty::Pred);
+            let fill = |i| Instr::Un {
+                op: UnOp::Mov,
+                dst: VReg::new(i, Ty::S32),
+                a: Operand::ImmI(0),
+            };
+            Kernel {
+                name: "count".into(),
+                num_buffers: 0,
+                params: vec![],
+                blocks: vec![
+                    BasicBlock {
+                        label: "entry".into(),
+                        instrs: vec![Instr::Un {
+                            op: UnOp::Mov,
+                            dst: r0,
+                            a: Operand::ImmI(0),
+                        }],
+                        terminator: Terminator::Br { target: BlockId(1) },
+                    },
+                    BasicBlock {
+                        label: "header".into(),
+                        instrs: vec![
+                            Instr::Bin {
+                                op: BinOp::Add,
+                                dst: r0,
+                                a: Operand::Reg(r0),
+                                b: Operand::ImmI(1),
+                            },
+                            Instr::SetP {
+                                cmp: CmpOp::Lt,
+                                dst: p,
+                                a: Operand::Reg(r0),
+                                b: Operand::ImmI(n),
+                            },
+                        ],
+                        terminator: Terminator::CondBr {
+                            pred: p,
+                            if_true: BlockId(1),
+                            if_false: BlockId(2),
+                        },
+                    },
+                    BasicBlock {
+                        label: "exit".into(),
+                        instrs: vec![fill(2), fill(3)],
+                        terminator: Terminator::Ret,
+                    },
+                ],
+                num_vregs: 4,
+                shared_elems: 0,
+            }
+        };
+        let run = |n: i32| {
+            let k = counting_kernel(n);
+            let device = crate::device::DeviceSpec::gtx680();
+            let ipdom = Cfg::new(&k).ipostdom();
+            run_block(&BlockContext {
+                kernel: &k,
+                ipdom: &ipdom,
+                device: &device,
+                grid: (1, 1),
+                block_dim: (32, 1),
+                block_idx: (0, 0),
+                params: &[],
+                buffers: &[],
+            })
+        };
+        // 3n + 5 == MAX_WARP_INSTRUCTIONS.
+        let n_exact = ((MAX_WARP_INSTRUCTIONS - 5) / 3) as i32;
+        assert_eq!(3 * n_exact as u64 + 5, MAX_WARP_INSTRUCTIONS);
+        let r = run(n_exact).expect("exact-budget kernel must complete");
+        assert_eq!(r.counters.warp_instructions, MAX_WARP_INSTRUCTIONS);
+        assert_eq!(r.counters.histogram.total(), MAX_WARP_INSTRUCTIONS);
+        assert_eq!(r.counters.divergent_branches, 0);
+        assert_eq!(r.counters.threads_retired, 32);
+        let err = run(n_exact + 1).unwrap_err();
         assert!(matches!(err, SimError::RunawayBlock { .. }), "{err}");
     }
 

@@ -1,7 +1,18 @@
 //! Kernel launches: grid validation, block enumeration, exhaustive vs
 //! region-sampled execution, and report assembly.
+//!
+//! Two execution engines back every launch (see [`ExecEngine`]): the
+//! tree-walking reference interpreter and the decoded-microcode fast path.
+//! They are observationally identical — same pixels, counters, cycles, and
+//! errors — so the engine choice is purely a speed knob. Each [`Gpu`] caches
+//! decoded kernels by structural fingerprint, so a sweep decodes each kernel
+//! exactly once no matter how many launches it performs.
 
 use crate::counters::PerfCounters;
+use crate::decode::{
+    decode, kernel_fingerprint, run_block_decoded, run_decoded, DecodedBlockCtx, DecodedKernel,
+    DecodedScratch, FlatCounters,
+};
 use crate::device::DeviceSpec;
 use crate::error::SimError;
 use crate::interp::{run_block, BlockContext, BlockRun};
@@ -12,6 +23,12 @@ use isp_ir::kernel::Kernel;
 use isp_ir::regalloc;
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A boxed per-block worker: runs one block by index under whichever
+/// execution engine the launch selected.
+type BlockWorker<'a> = Box<dyn Fn((u32, u32)) -> Result<BlockRun, SimError> + Sync + 'a>;
 
 /// Hardware limit on threads per block (both simulated devices).
 pub const MAX_THREADS_PER_BLOCK: u32 = 1024;
@@ -88,6 +105,32 @@ pub enum ExecStrategy {
     Serial,
 }
 
+/// Which interpreter executes the blocks of a launch.
+///
+/// Both engines are observationally identical — same pixels, counters,
+/// cycles, write order, and error values (the differential tests in
+/// [`crate::decode`] and `tests/decoded_diff.rs` pin this). `Reference`
+/// walks the IR tree directly and serves as the semantic oracle; `Decoded`
+/// lowers the kernel once to flat microcode and executes that with a reused
+/// scratch arena — the fast path, and the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecEngine {
+    /// Execute pre-decoded flat microcode (fast path, default).
+    #[default]
+    Decoded,
+    /// Walk the `isp_ir` tree directly (reference oracle).
+    Reference,
+}
+
+/// Decode-cache hit/miss counts for a [`Gpu`] (shared across clones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DecodeStats {
+    /// Launches that found their kernel already decoded.
+    pub hits: u64,
+    /// Kernels decoded (first sighting of a fingerprint).
+    pub misses: u64,
+}
+
 /// How to execute the launch.
 pub enum SimMode<'a> {
     /// Interpret every block: exact pixels + exact counters. Writes are
@@ -143,16 +186,34 @@ pub struct LaunchReport {
     pub per_class: Vec<(u32, PerfCounters)>,
 }
 
-/// A simulated GPU: a device spec plus launch machinery.
+/// A simulated GPU: a device spec, an execution engine, and launch
+/// machinery. Cloning a `Gpu` shares its decode cache (and stats), so a
+/// pipeline may hand clones to workers without re-decoding kernels.
 #[derive(Debug, Clone)]
 pub struct Gpu {
     device: DeviceSpec,
+    engine: ExecEngine,
+    decode_cache: Arc<Mutex<HashMap<u64, Arc<DecodedKernel>>>>,
+    decode_hits: Arc<AtomicU64>,
+    decode_misses: Arc<AtomicU64>,
 }
 
 impl Gpu {
-    /// Create a GPU from a device spec.
+    /// Create a GPU from a device spec (decoded engine by default).
     pub fn new(device: DeviceSpec) -> Self {
-        Gpu { device }
+        Gpu {
+            device,
+            engine: ExecEngine::default(),
+            decode_cache: Arc::new(Mutex::new(HashMap::new())),
+            decode_hits: Arc::new(AtomicU64::new(0)),
+            decode_misses: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Builder: select the execution engine for subsequent launches.
+    pub fn with_engine(mut self, engine: ExecEngine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// The device being simulated.
@@ -160,7 +221,36 @@ impl Gpu {
         &self.device
     }
 
-    /// Launch `kernel` over `cfg`. See [`SimMode`] for the two modes.
+    /// The engine used by [`Gpu::launch`] / [`Gpu::launch_with`].
+    pub fn engine(&self) -> ExecEngine {
+        self.engine
+    }
+
+    /// Decoded microcode for `kernel`, from the cache when the kernel's
+    /// structural fingerprint has been seen before. A miss decodes outside
+    /// the cache lock (two racing misses decode twice, cache once).
+    pub fn decode(&self, kernel: &Kernel) -> Arc<DecodedKernel> {
+        let fp = kernel_fingerprint(kernel);
+        if let Some(dk) = self.decode_cache.lock().unwrap().get(&fp) {
+            self.decode_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(dk);
+        }
+        let dk = Arc::new(decode(kernel, &self.device));
+        self.decode_misses.fetch_add(1, Ordering::Relaxed);
+        let mut cache = self.decode_cache.lock().unwrap();
+        Arc::clone(cache.entry(fp).or_insert(dk))
+    }
+
+    /// Decode-cache hit/miss counts since this `Gpu` (or the clone family it
+    /// belongs to) was created.
+    pub fn decode_stats(&self) -> DecodeStats {
+        DecodeStats {
+            hits: self.decode_hits.load(Ordering::Relaxed),
+            misses: self.decode_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Launch `kernel` over `cfg`. See [`SimMode`] for the modes.
     /// Exhaustive interpretation fans out in parallel; use
     /// [`Gpu::launch_with`] to force the serial reference strategy.
     pub fn launch(
@@ -184,6 +274,23 @@ impl Gpu {
         mode: SimMode<'_>,
         strategy: ExecStrategy,
     ) -> Result<LaunchReport, SimError> {
+        self.launch_engine(kernel, cfg, params, buffers, mode, strategy, self.engine)
+    }
+
+    /// [`Gpu::launch_with`] with an explicit [`ExecEngine`], overriding the
+    /// GPU's default. This is what differential tests and the before/after
+    /// speed benchmark use to run both engines side by side.
+    #[allow(clippy::too_many_arguments)]
+    pub fn launch_engine(
+        &self,
+        kernel: &Kernel,
+        cfg: LaunchConfig,
+        params: &[ParamValue],
+        buffers: &mut [DeviceBuffer],
+        mode: SimMode<'_>,
+        strategy: ExecStrategy,
+        engine: ExecEngine,
+    ) -> Result<LaunchReport, SimError> {
         self.validate(kernel, cfg, params, buffers)?;
         let regs = regalloc::estimate(kernel).data_regs;
         let occ = occupancy_with_shared(
@@ -196,7 +303,7 @@ impl Gpu {
 
         match mode {
             SimMode::Exhaustive => self.launch_exhaustive(
-                kernel, cfg, params, buffers, &ipdom, regs, occ, strategy, None,
+                kernel, cfg, params, buffers, &ipdom, regs, occ, strategy, None, engine,
             ),
             SimMode::ExhaustiveClassified { classifier } => self.launch_exhaustive(
                 kernel,
@@ -208,9 +315,10 @@ impl Gpu {
                 occ,
                 strategy,
                 Some(classifier),
+                engine,
             ),
             SimMode::RegionSampled { classifier, paths } => self.launch_sampled(
-                kernel, cfg, params, buffers, &ipdom, regs, occ, classifier, paths,
+                kernel, cfg, params, buffers, &ipdom, regs, occ, classifier, paths, engine,
             ),
         }
     }
@@ -265,29 +373,98 @@ impl Gpu {
         occ: OccupancyResult,
         strategy: ExecStrategy,
         classifier: Option<&(dyn Fn(u32, u32) -> u32 + Sync)>,
+        engine: ExecEngine,
     ) -> Result<LaunchReport, SimError> {
-        let coords = dispatch_order(cfg);
-        let shared: &[DeviceBuffer] = buffers;
-        let worker = |&(bx, by): &(u32, u32)| {
-            exhaustive_block_worker(&self.device, kernel, ipdom, cfg, (bx, by), params, shared)
-        };
-        // The worker is pure (reads the pre-launch buffer snapshot, returns a
-        // write journal), so the only ordering requirement is that `runs`
-        // comes back in dispatch order — which both strategies guarantee.
-        let runs: Vec<Result<BlockRun, SimError>> = match strategy {
-            ExecStrategy::Parallel => coords.par_iter().map(worker).collect(),
-            ExecStrategy::Serial => coords.iter().map(worker).collect(),
+        // Workers are driven from the block *index* range and derive their
+        // coordinates on the fly — the grid's coordinate list is never
+        // materialised. Dispatch order is row-major: idx = by * gx + bx.
+        let total = cfg.total_blocks();
+        let gx = cfg.grid.0 as u64;
+        let footprint = kernel.static_len() as u32;
+
+        let (counters, per_class, costs, writes) = match engine {
+            ExecEngine::Reference => {
+                let shared: &[DeviceBuffer] = buffers;
+                let worker = |idx: u64| {
+                    run_block(&BlockContext {
+                        kernel,
+                        ipdom,
+                        device: &self.device,
+                        grid: cfg.grid,
+                        block_dim: cfg.block,
+                        block_idx: ((idx % gx) as u32, (idx / gx) as u32),
+                        params,
+                        buffers: shared,
+                    })
+                };
+                // The worker is pure (reads the pre-launch buffer snapshot,
+                // returns a write journal), so the only ordering requirement
+                // is that `runs` comes back in dispatch order — which both
+                // strategies guarantee.
+                let runs: Vec<Result<BlockRun, SimError>> = match strategy {
+                    ExecStrategy::Parallel => (0..total).into_par_iter().map(worker).collect(),
+                    ExecStrategy::Serial => (0..total).map(worker).collect(),
+                };
+                let classes = classifier.map(|f| {
+                    (0..total)
+                        .map(|idx| f((idx % gx) as u32, (idx / gx) as u32))
+                        .collect::<Vec<u32>>()
+                });
+                reduce_block_runs(footprint, runs, classes.as_deref())?
+            }
+            ExecEngine::Decoded => {
+                let dk = self.decode(kernel);
+                let shared: &[DeviceBuffer] = buffers;
+                // Chunked fold: each worker folds a contiguous run of block
+                // indices through one ChunkAcc, reusing its scratch arena for
+                // every block — zero per-block allocation in steady state.
+                // Chunk accumulators come back in input order, so
+                // concatenating them reproduces dispatch order exactly.
+                let fold_op = |mut acc: ChunkAcc, idx: u64| {
+                    if acc.err.is_some() {
+                        return acc;
+                    }
+                    let block_idx = ((idx % gx) as u32, (idx / gx) as u32);
+                    let ctx = DecodedBlockCtx {
+                        grid: cfg.grid,
+                        block_dim: cfg.block,
+                        block_idx,
+                        params,
+                        buffers: shared,
+                    };
+                    let journal_mark = acc.writes.len();
+                    match run_decoded(&dk, &ctx, &mut acc.scratch, &mut acc.writes) {
+                        Ok((c, cycles)) => {
+                            acc.counters.merge(&c);
+                            if let Some(f) = classifier {
+                                acc.per_class
+                                    .entry(f(block_idx.0, block_idx.1))
+                                    .or_default()
+                                    .merge(&c);
+                            }
+                            acc.cycles.push(cycles);
+                        }
+                        Err(e) => {
+                            // Drop the failed block's partial journal so an
+                            // erroring launch applies no writes at all, like
+                            // the reference path.
+                            acc.writes.truncate(journal_mark);
+                            acc.err = Some(e);
+                        }
+                    }
+                    acc
+                };
+                let accs: Vec<ChunkAcc> = match strategy {
+                    ExecStrategy::Parallel => (0..total)
+                        .into_par_iter()
+                        .fold(ChunkAcc::default, fold_op)
+                        .collect(),
+                    ExecStrategy::Serial => vec![(0..total).fold(ChunkAcc::default(), fold_op)],
+                };
+                reduce_chunk_accs(footprint, accs)?
+            }
         };
 
-        let footprint = kernel.static_len() as u32;
-        let classes = classifier.map(|f| {
-            coords
-                .iter()
-                .map(|&(bx, by)| f(bx, by))
-                .collect::<Vec<u32>>()
-        });
-        let (counters, per_class, costs, writes) =
-            reduce_block_runs(footprint, runs, classes.as_deref())?;
         for (buf, addr, bits) in writes {
             buffers[buf as usize].store_bits(addr, bits);
         }
@@ -315,6 +492,7 @@ impl Gpu {
         occ: OccupancyResult,
         classifier: &(dyn Fn(u32, u32) -> u32 + Sync),
         paths: Option<&PathTable>,
+        engine: ExecEngine,
     ) -> Result<LaunchReport, SimError> {
         // Walk the grid once: count classes and remember a representative.
         let mut class_count: HashMap<u32, u64> = HashMap::new();
@@ -327,26 +505,46 @@ impl Gpu {
             }
         }
 
-        // Interpret each representative once (in parallel).
+        // Interpret each representative once (in parallel), through
+        // whichever engine the launch selected. Representatives are
+        // independent, so each decoded rep gets a fresh scratch arena.
+        let run_rep: BlockWorker<'_> = match engine {
+            ExecEngine::Reference => Box::new(move |block_idx| {
+                run_block(&BlockContext {
+                    kernel,
+                    ipdom,
+                    device: &self.device,
+                    grid: cfg.grid,
+                    block_dim: cfg.block,
+                    block_idx,
+                    params,
+                    buffers,
+                })
+            }),
+            ExecEngine::Decoded => {
+                let dk = self.decode(kernel);
+                Box::new(move |block_idx| {
+                    let mut scratch = DecodedScratch::new();
+                    run_block_decoded(
+                        &dk,
+                        &DecodedBlockCtx {
+                            grid: cfg.grid,
+                            block_dim: cfg.block,
+                            block_idx,
+                            params,
+                            buffers,
+                        },
+                        &mut scratch,
+                    )
+                })
+            }
+        };
+
         let mut reps: Vec<(u32, (u32, u32))> = class_rep.into_iter().collect();
         reps.sort_unstable();
         let runs: Vec<(u32, Result<BlockRun, SimError>)> = reps
             .par_iter()
-            .map(|&(c, (bx, by))| {
-                (
-                    c,
-                    run_block(&BlockContext {
-                        kernel,
-                        ipdom,
-                        device: &self.device,
-                        grid: cfg.grid,
-                        block_dim: cfg.block,
-                        block_idx: (bx, by),
-                        params,
-                        buffers,
-                    }),
-                )
-            })
+            .map(|&(c, coord)| (c, run_rep(coord)))
             .collect();
 
         let mut class_cycles: HashMap<u32, u64> = HashMap::new();
@@ -403,46 +601,73 @@ impl Gpu {
     }
 }
 
-/// Block coordinates in dispatch order (row-major over the grid), the fixed
-/// order every exhaustive reduction runs in.
-fn dispatch_order(cfg: LaunchConfig) -> Vec<(u32, u32)> {
-    (0..cfg.grid.1)
-        .flat_map(|by| (0..cfg.grid.0).map(move |bx| (bx, by)))
-        .collect()
+/// Per-worker accumulator of the decoded exhaustive path: one of these folds
+/// a contiguous chunk of block indices, so its scratch arena is prepared
+/// once and then reused — memset, not malloc — for every block in the chunk.
+#[derive(Default)]
+struct ChunkAcc {
+    scratch: DecodedScratch,
+    counters: FlatCounters,
+    per_class: HashMap<u32, FlatCounters>,
+    cycles: Vec<u64>,
+    writes: Vec<(u32, usize, u32)>,
+    err: Option<SimError>,
 }
 
-/// The pure per-block worker of an exhaustive launch: interpret one block
-/// against the immutable pre-launch buffer snapshot and return its counters,
-/// cycles, and write journal. Safe to run from any thread in any order.
-#[allow(clippy::too_many_arguments)]
-fn exhaustive_block_worker(
-    device: &DeviceSpec,
-    kernel: &Kernel,
-    ipdom: &[Option<isp_ir::kernel::BlockId>],
-    cfg: LaunchConfig,
-    block_idx: (u32, u32),
-    params: &[ParamValue],
-    buffers: &[DeviceBuffer],
-) -> Result<BlockRun, SimError> {
-    run_block(&BlockContext {
-        kernel,
-        ipdom,
-        device,
-        grid: cfg.grid,
-        block_dim: cfg.block,
-        block_idx,
-        params,
-        buffers,
-    })
+/// The deterministic reducer of a decoded exhaustive launch: concatenate the
+/// per-chunk accumulators **in chunk order** (chunks are contiguous
+/// ascending index ranges, so chunk order is dispatch order). The first
+/// error in chunk order is the first error in dispatch order — exactly what
+/// [`reduce_block_runs`] reports — and an erroring launch applies no writes.
+#[allow(clippy::type_complexity)]
+fn reduce_chunk_accs(
+    static_footprint: u32,
+    accs: Vec<ChunkAcc>,
+) -> Result<
+    (
+        PerfCounters,
+        Vec<(u32, PerfCounters)>,
+        Vec<BlockCost>,
+        Vec<(u32, usize, u32)>,
+    ),
+    SimError,
+> {
+    for acc in &accs {
+        if let Some(e) = &acc.err {
+            return Err(e.clone());
+        }
+    }
+    let mut flat = FlatCounters::default();
+    let mut by_class: HashMap<u32, FlatCounters> = HashMap::new();
+    let mut costs = Vec::new();
+    let mut writes: Vec<(u32, usize, u32)> = Vec::new();
+    for acc in accs {
+        flat.merge(&acc.counters);
+        for (c, fc) in acc.per_class {
+            by_class.entry(c).or_default().merge(&fc);
+        }
+        costs.extend(acc.cycles.into_iter().map(|cycles| BlockCost {
+            class: 0,
+            cycles,
+            static_footprint,
+        }));
+        writes.extend(acc.writes);
+    }
+    let mut per_class: Vec<(u32, PerfCounters)> = by_class
+        .into_iter()
+        .map(|(c, fc)| (c, fc.to_perf()))
+        .collect();
+    per_class.sort_unstable_by_key(|&(c, _)| c);
+    Ok((flat.to_perf(), per_class, costs, writes))
 }
 
-/// The deterministic reducer of an exhaustive launch: fold per-block results
-/// **in dispatch order** into merged counters, the scheduler's cost list,
-/// and a concatenated write journal. Because the fold order is fixed, the
-/// reduction is bitwise independent of how the workers were scheduled. When
-/// `classes` labels each run (same order), every block's counters are also
-/// merged into its class's entry, so the per-class sets sum bit-identically
-/// to the aggregate.
+/// The deterministic reducer of a reference exhaustive launch: fold
+/// per-block results **in dispatch order** into merged counters, the
+/// scheduler's cost list, and a concatenated write journal. Because the fold
+/// order is fixed, the reduction is bitwise independent of how the workers
+/// were scheduled. When `classes` labels each run (same order), every
+/// block's counters are also merged into its class's entry, so the per-class
+/// sets sum bit-identically to the aggregate.
 #[allow(clippy::type_complexity)]
 fn reduce_block_runs(
     static_footprint: u32,
@@ -714,5 +939,141 @@ mod tests {
         assert_eq!(cfg.grid, (4, 13));
         assert_eq!(cfg.threads_per_block(), 128);
         assert_eq!(cfg.total_blocks(), 52);
+    }
+
+    /// Run `mode_of()` under both engines and return the two reports plus
+    /// the two output images: (reference, decoded).
+    fn run_both_engines<'m>(
+        cfg: LaunchConfig,
+        input: &[f32],
+        mode_of: impl Fn() -> SimMode<'m>,
+    ) -> ((LaunchReport, Vec<f32>), (LaunchReport, Vec<f32>)) {
+        let k = grid_kernel();
+        let gpu = Gpu::new(DeviceSpec::gtx680());
+        let w = (cfg.grid.0 * cfg.block.0) as i32;
+        let params = [ParamValue::I32(w - 12), ParamValue::I32(13)];
+        let mut out = Vec::new();
+        for engine in [ExecEngine::Reference, ExecEngine::Decoded] {
+            let mut bufs = vec![
+                DeviceBuffer::from_f32(input),
+                DeviceBuffer::zeroed(input.len()),
+            ];
+            let report = gpu
+                .launch_engine(
+                    &k,
+                    cfg,
+                    &params,
+                    &mut bufs,
+                    mode_of(),
+                    ExecStrategy::Parallel,
+                    engine,
+                )
+                .unwrap();
+            out.push((report, bufs[1].to_f32()));
+        }
+        let decoded = out.pop().unwrap();
+        let reference = out.pop().unwrap();
+        (reference, decoded)
+    }
+
+    #[test]
+    fn decoded_engine_matches_reference_in_every_mode() {
+        let cfg = LaunchConfig {
+            grid: (4, 4),
+            block: (32, 4),
+        };
+        let n = (cfg.grid.0 * cfg.block.0 * cfg.grid.1 * cfg.block.1) as usize;
+        let input: Vec<f32> = (0..n).map(|i| (i % 11) as f32 - 3.0).collect();
+        let classifier = |bx: u32, by: u32| (bx % 2) + 2 * (by % 2);
+
+        let ((r, rp), (d, dp)) = run_both_engines(cfg, &input, || SimMode::Exhaustive);
+        assert_eq!(r.counters, d.counters);
+        assert_eq!(r.timing.cycles, d.timing.cycles);
+        assert_eq!(rp, dp, "exhaustive pixels must be bit-identical");
+
+        let ((r, rp), (d, dp)) = run_both_engines(cfg, &input, || SimMode::ExhaustiveClassified {
+            classifier: &classifier,
+        });
+        assert_eq!(r.counters, d.counters);
+        assert_eq!(r.per_class, d.per_class);
+        assert!(!d.per_class.is_empty());
+        assert_eq!(rp, dp);
+
+        let ((r, rp), (d, dp)) = run_both_engines(cfg, &input, || SimMode::RegionSampled {
+            classifier: &classifier,
+            paths: None,
+        });
+        assert_eq!(r.counters, d.counters);
+        assert_eq!(r.per_class, d.per_class);
+        assert_eq!(r.class_costs, d.class_costs);
+        assert_eq!(r.timing.cycles, d.timing.cycles);
+        assert_eq!(rp, dp, "sampled mode writes nothing under either engine");
+    }
+
+    #[test]
+    fn decoded_serial_and_parallel_strategies_are_bit_identical() {
+        let k = grid_kernel();
+        let gpu = Gpu::new(DeviceSpec::rtx2080());
+        let (w, h) = (100usize, 14usize);
+        let cfg = LaunchConfig::for_image(w, h, (32, 4));
+        let params = [ParamValue::I32(w as i32), ParamValue::I32(h as i32)];
+        let input: Vec<f32> = (0..w * h).map(|i| (i % 13) as f32).collect();
+        let mut reports = Vec::new();
+        let mut images = Vec::new();
+        for strategy in [ExecStrategy::Parallel, ExecStrategy::Serial] {
+            let mut bufs = vec![DeviceBuffer::from_f32(&input), DeviceBuffer::zeroed(w * h)];
+            let rep = gpu
+                .launch_with(&k, cfg, &params, &mut bufs, SimMode::Exhaustive, strategy)
+                .unwrap();
+            reports.push(rep);
+            images.push(bufs[1].to_f32());
+        }
+        assert_eq!(reports[0].counters, reports[1].counters);
+        assert_eq!(reports[0].timing.cycles, reports[1].timing.cycles);
+        assert_eq!(images[0], images[1]);
+    }
+
+    #[test]
+    fn decode_cache_decodes_each_kernel_once() {
+        let k = grid_kernel();
+        let gpu = Gpu::new(DeviceSpec::gtx680());
+        assert_eq!(gpu.decode_stats(), DecodeStats { hits: 0, misses: 0 });
+        let (w, h) = (64usize, 8usize);
+        let cfg = LaunchConfig::for_image(w, h, (32, 4));
+        let params = [ParamValue::I32(w as i32), ParamValue::I32(h as i32)];
+        for _ in 0..3 {
+            let mut bufs = vec![DeviceBuffer::zeroed(w * h), DeviceBuffer::zeroed(w * h)];
+            gpu.launch(&k, cfg, &params, &mut bufs, SimMode::Exhaustive)
+                .unwrap();
+        }
+        let stats = gpu.decode_stats();
+        assert_eq!(stats.misses, 1, "one kernel, one decode");
+        assert_eq!(stats.hits, 2);
+        // Clones share the cache.
+        let clone = gpu.clone();
+        let mut bufs = vec![DeviceBuffer::zeroed(w * h), DeviceBuffer::zeroed(w * h)];
+        clone
+            .launch(&k, cfg, &params, &mut bufs, SimMode::Exhaustive)
+            .unwrap();
+        assert_eq!(clone.decode_stats().misses, 1);
+        assert_eq!(clone.decode_stats().hits, 3);
+    }
+
+    #[test]
+    fn reference_engine_is_selectable_as_default() {
+        let k = grid_kernel();
+        let gpu = Gpu::new(DeviceSpec::gtx680()).with_engine(ExecEngine::Reference);
+        assert_eq!(gpu.engine(), ExecEngine::Reference);
+        let (w, h) = (64usize, 8usize);
+        let cfg = LaunchConfig::for_image(w, h, (32, 4));
+        let params = [ParamValue::I32(w as i32), ParamValue::I32(h as i32)];
+        let mut bufs = vec![
+            DeviceBuffer::from_f32(&vec![1.0; w * h]),
+            DeviceBuffer::zeroed(w * h),
+        ];
+        gpu.launch(&k, cfg, &params, &mut bufs, SimMode::Exhaustive)
+            .unwrap();
+        // The reference engine never touches the decode cache.
+        assert_eq!(gpu.decode_stats(), DecodeStats { hits: 0, misses: 0 });
     }
 }

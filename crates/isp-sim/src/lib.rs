@@ -24,6 +24,7 @@
 //!   fraction of the cost (benches, large images).
 
 pub mod counters;
+pub mod decode;
 pub mod device;
 pub mod error;
 pub mod interp;
@@ -34,9 +35,15 @@ pub mod profile;
 pub mod scheduler;
 
 pub use counters::PerfCounters;
+pub use decode::{
+    decode, kernel_fingerprint, run_block_decoded, run_decoded, DecodedBlockCtx, DecodedKernel,
+    DecodedScratch, FlatCounters,
+};
 pub use device::{DeviceSpec, GpuArch};
 pub use error::SimError;
-pub use launch::{ExecStrategy, Gpu, LaunchConfig, LaunchReport, ParamValue, SimMode};
+pub use launch::{
+    DecodeStats, ExecEngine, ExecStrategy, Gpu, LaunchConfig, LaunchReport, ParamValue, SimMode,
+};
 pub use memory::{DeviceBuffer, TexAddressMode, TexDesc};
 pub use occupancy::{occupancy, Limiter, LimiterSet, OccupancyResult};
 pub use scheduler::Timing;

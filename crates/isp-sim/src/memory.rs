@@ -129,6 +129,16 @@ impl DeviceBuffer {
         self.bits[addr]
     }
 
+    /// Read raw bits without a bounds check.
+    ///
+    /// # Safety
+    /// `addr` must be less than [`DeviceBuffer::len`].
+    #[inline]
+    pub unsafe fn load_bits_unchecked(&self, addr: usize) -> u32 {
+        debug_assert!(addr < self.bits.len());
+        *self.bits.get_unchecked(addr)
+    }
+
     /// Write raw bits.
     #[inline]
     pub fn store_bits(&mut self, addr: usize, bits: u32) {
@@ -165,6 +175,38 @@ pub fn transactions_for_warp(addrs: &[Option<i64>]) -> u64 {
     segments.sort_unstable();
     segments.dedup();
     segments.len() as u64
+}
+
+/// Allocation-free [`transactions_for_warp`] for a full warp's address
+/// array: the segment scratch lives on the stack, so the decoded
+/// interpreter's hot loop does no heap work per memory instruction. The
+/// count is identical to the Vec-based reference (same sort + dedup rule).
+pub fn transactions_for_warp_fixed(addrs: &[Option<i64>; 32]) -> u64 {
+    const ELEMS_PER_SEGMENT: i64 = 32;
+    let mut segments = [0i64; 32];
+    let mut n = 0usize;
+    let mut monotonic = true;
+    for a in addrs.iter().flatten() {
+        let s = a.div_euclid(ELEMS_PER_SEGMENT);
+        monotonic &= n == 0 || s >= segments[n - 1];
+        segments[n] = s;
+        n += 1;
+    }
+    let live = &mut segments[..n];
+    // Row-major stencil access is monotonically non-decreasing per warp, so
+    // the common case skips the sort; distinct-counting is order-identical.
+    if !monotonic {
+        live.sort_unstable();
+    }
+    let mut distinct = 0u64;
+    let mut prev = None;
+    for &s in live.iter() {
+        if prev != Some(s) {
+            distinct += 1;
+            prev = Some(s);
+        }
+    }
+    distinct
 }
 
 #[cfg(test)]
@@ -220,6 +262,31 @@ mod tests {
     fn broadcast_access_is_one_transaction() {
         let addrs: Vec<Option<i64>> = (0..32).map(|_| Some(77)).collect();
         assert_eq!(transactions_for_warp(&addrs), 1);
+    }
+
+    #[test]
+    fn fixed_variant_matches_reference_counts() {
+        let cases: Vec<[Option<i64>; 32]> = vec![
+            std::array::from_fn(|i| Some(i as i64)),
+            std::array::from_fn(|i| Some(i as i64 + 16)),
+            std::array::from_fn(|i| Some(i as i64 * 4096)),
+            std::array::from_fn(|_| Some(77)),
+            std::array::from_fn(|i| {
+                if i % 3 == 0 {
+                    Some(-5 * i as i64)
+                } else {
+                    None
+                }
+            }),
+            [None; 32],
+        ];
+        for addrs in &cases {
+            assert_eq!(
+                transactions_for_warp_fixed(addrs),
+                transactions_for_warp(addrs),
+                "{addrs:?}"
+            );
+        }
     }
 
     #[test]

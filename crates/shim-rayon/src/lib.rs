@@ -108,6 +108,26 @@ impl<I: Send> ParIter<I> {
     {
         self.map(f).run();
     }
+
+    /// Fold with one accumulator per contiguous in-order chunk (the `rayon`
+    /// `fold(identity, fold_op)` analogue). Each worker starts from
+    /// `identity()` and folds its chunk's items **in input order**;
+    /// `collect::<Vec<Acc>>()` then yields the per-chunk accumulators in
+    /// chunk order, so a subsequent in-order reduction is bit-identical to a
+    /// serial fold. This is what lets a caller thread mutable per-worker
+    /// state (a scratch arena) through a parallel loop without locking.
+    pub fn fold<Acc, ID, F>(self, identity: ID, fold_op: F) -> ParFold<I, ID, F>
+    where
+        Acc: Send,
+        ID: Fn() -> Acc + Sync,
+        F: Fn(Acc, I) -> Acc + Sync,
+    {
+        ParFold {
+            items: self.items,
+            identity,
+            fold_op,
+        }
+    }
 }
 
 /// The result of [`ParIter::map`]: items plus the mapping function, executed
@@ -168,6 +188,67 @@ where
     }
 }
 
+/// The result of [`ParIter::fold`]: items plus the identity and fold
+/// functions, executed on `collect`.
+pub struct ParFold<I: Send, ID, F> {
+    items: Vec<I>,
+    identity: ID,
+    fold_op: F,
+}
+
+impl<I, Acc, ID, F> ParFold<I, ID, F>
+where
+    I: Send,
+    Acc: Send,
+    ID: Fn() -> Acc + Sync,
+    F: Fn(Acc, I) -> Acc + Sync,
+{
+    fn run(self) -> Vec<Acc> {
+        let ParFold {
+            items,
+            identity,
+            fold_op,
+        } = self;
+        let n = items.len();
+        let workers = threads().min(n);
+        if workers <= 1 {
+            return vec![items.into_iter().fold(identity(), fold_op)];
+        }
+        // Same contiguous chunking as ParMap::run: chunk accumulators come
+        // back in input order.
+        let chunk_len = n.div_ceil(workers);
+        let mut chunks: Vec<Vec<I>> = Vec::with_capacity(workers);
+        let mut items = items;
+        let mut tail = Vec::new();
+        while items.len() > chunk_len {
+            tail.push(items.split_off(items.len() - chunk_len));
+        }
+        chunks.push(items);
+        chunks.extend(tail.into_iter().rev());
+
+        let identity = &identity;
+        let fold_op = &fold_op;
+        let mut results: Vec<Acc> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().fold(identity(), fold_op)))
+                .collect();
+            results = handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel fold worker panicked"))
+                .collect();
+        });
+        results
+    }
+
+    /// Execute the fold and gather the per-chunk accumulators in chunk
+    /// (input) order.
+    pub fn collect<C: From<Vec<Acc>>>(self) -> C {
+        C::from(self.run())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -193,6 +274,46 @@ mod tests {
         assert!(out.is_empty());
         let out: Vec<u8> = (5u8..6).into_par_iter().map(|v| v + 1).collect();
         assert_eq!(out, vec![6]);
+    }
+
+    #[test]
+    fn fold_chunks_concatenate_to_serial_order() {
+        // Each chunk accumulator collects its items in order; flattening the
+        // per-chunk results must reproduce the input exactly.
+        let folded: Vec<Vec<u32>> = (0u32..1000)
+            .into_par_iter()
+            .fold(Vec::new, |mut acc, v| {
+                acc.push(v);
+                acc
+            })
+            .collect();
+        let flat: Vec<u32> = folded.into_iter().flatten().collect();
+        let expect: Vec<u32> = (0..1000).collect();
+        assert_eq!(flat, expect);
+    }
+
+    #[test]
+    fn fold_sums_match_serial() {
+        let parts: Vec<u64> = (1u64..10_001)
+            .into_par_iter()
+            .fold(|| 0u64, |acc, v| acc + v)
+            .collect();
+        assert_eq!(parts.iter().sum::<u64>(), 50_005_000);
+    }
+
+    #[test]
+    fn fold_empty_and_single() {
+        let parts: Vec<u64> = (0u64..0)
+            .into_par_iter()
+            .fold(|| 7u64, |acc, v| acc + v)
+            .collect();
+        // Zero items, zero workers: a single identity accumulator.
+        assert_eq!(parts, vec![7]);
+        let parts: Vec<u64> = (3u64..4)
+            .into_par_iter()
+            .fold(|| 0u64, |acc, v| acc + v)
+            .collect();
+        assert_eq!(parts, vec![3]);
     }
 
     #[test]

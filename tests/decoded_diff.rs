@@ -1,0 +1,302 @@
+//! Differential tests for the decoded-kernel fast path: the decoded engine
+//! must be observationally identical to the tree-walking reference
+//! interpreter — same pixels (bit-for-bit), same counters, same cycles,
+//! same write-journal order, same errors — across every filter, every
+//! border pattern, and randomly generated loop-free kernels.
+
+use isp_core::Variant;
+use isp_dsl::pipeline::{PipelineRun, Policy};
+use isp_dsl::runner::ExecMode;
+use isp_dsl::Compiler;
+use isp_image::{BorderPattern, BorderSpec, ImageGenerator};
+use isp_ir::{BinOp, CmpOp, IrBuilder, Kernel, SReg, Ty, UnOp};
+use isp_sim::interp::{run_block, BlockContext, BlockRun};
+use isp_sim::{
+    decode, run_block_decoded, DecodedBlockCtx, DecodedScratch, DeviceBuffer, DeviceSpec,
+    ExecEngine, ExecStrategy, Gpu, LaunchConfig, ParamValue, SimMode,
+};
+use proptest::prelude::*;
+
+/// Run one app through the pipeline under a given simulator engine.
+fn run_app(
+    engine: ExecEngine,
+    app: &isp_filters::App,
+    pattern: BorderPattern,
+    policy: Policy,
+    mode: ExecMode,
+    size: usize,
+) -> PipelineRun {
+    let gpu = Gpu::new(DeviceSpec::gtx680()).with_engine(engine);
+    let border = BorderSpec {
+        pattern,
+        constant: 0.25,
+    };
+    let source = ImageGenerator::new(99).natural::<f32>(size, size);
+    let compiled = app
+        .pipeline
+        .compile(&Compiler::new(), border, Variant::IspBlock);
+    app.pipeline
+        .run(&gpu, &compiled, &source, border, (32, 4), policy, mode)
+        .unwrap_or_else(|e| panic!("{} {pattern} {policy:?}: {e}", app.name))
+}
+
+/// Assert two pipeline runs are observationally identical.
+fn assert_runs_equal(r: &PipelineRun, d: &PipelineRun, label: &str) {
+    assert_eq!(r.counters, d.counters, "{label}: counters");
+    assert_eq!(r.total_cycles, d.total_cycles, "{label}: cycles");
+    assert_eq!(r.stage_variants, d.stage_variants, "{label}: variants");
+    assert_eq!(r.per_region, d.per_region, "{label}: per-region");
+    match (&r.image, &d.image) {
+        (Some(a), Some(b)) => assert_eq!(a.raw(), b.raw(), "{label}: pixels"),
+        (None, None) => {}
+        _ => panic!("{label}: one engine produced pixels, the other did not"),
+    }
+}
+
+#[test]
+fn every_app_every_pattern_matches_exhaustive() {
+    for app in isp_filters::apps::all_apps() {
+        for pattern in BorderPattern::ALL {
+            for policy in [Policy::Naive, Policy::AlwaysIsp(Variant::IspBlock)] {
+                let r = run_app(
+                    ExecEngine::Reference,
+                    &app,
+                    pattern,
+                    policy,
+                    ExecMode::Exhaustive,
+                    64,
+                );
+                let d = run_app(
+                    ExecEngine::Decoded,
+                    &app,
+                    pattern,
+                    policy,
+                    ExecMode::Exhaustive,
+                    64,
+                );
+                assert_runs_equal(&r, &d, &format!("{} {pattern} {policy:?}", app.name));
+            }
+        }
+    }
+}
+
+#[test]
+fn every_app_every_pattern_matches_sampled() {
+    for app in isp_filters::apps::all_apps() {
+        for pattern in BorderPattern::ALL {
+            let r = run_app(
+                ExecEngine::Reference,
+                &app,
+                pattern,
+                Policy::AlwaysIsp(Variant::IspBlock),
+                ExecMode::Sampled,
+                256,
+            );
+            let d = run_app(
+                ExecEngine::Decoded,
+                &app,
+                pattern,
+                Policy::AlwaysIsp(Variant::IspBlock),
+                ExecMode::Sampled,
+                256,
+            );
+            assert_runs_equal(&r, &d, &format!("{} {pattern} sampled", app.name));
+        }
+    }
+}
+
+/// Build a loop-free two-buffer kernel from a random op tape: guard on the
+/// image bounds (divergence at ragged edges), a chain of float/int ops with
+/// immediates, optionally a divergent store (odd/even lanes store different
+/// values through different blocks), then reconverge and retire.
+fn prop_kernel(ops: &[(u8, i32)], divergent: bool) -> Kernel {
+    let mut b = IrBuilder::new("prop", 2);
+    let pw = b.param("width", Ty::S32);
+    let ph = b.param("height", Ty::S32);
+    let body = b.create_block("body");
+    let exit = b.create_block("exit");
+    let tx = b.sreg(SReg::TidX);
+    let ty = b.sreg(SReg::TidY);
+    let bx = b.sreg(SReg::CtaIdX);
+    let by = b.sreg(SReg::CtaIdY);
+    let ntx = b.sreg(SReg::NTidX);
+    let nty = b.sreg(SReg::NTidY);
+    let gx = b.mad(Ty::S32, bx, ntx, tx);
+    let gy = b.mad(Ty::S32, by, nty, ty);
+    let w = b.ld_param(pw);
+    let h = b.ld_param(ph);
+    let px = b.setp(CmpOp::Lt, gx, w);
+    let py = b.setp(CmpOp::Lt, gy, h);
+    let p = b.bin(BinOp::And, Ty::Pred, px, py);
+    b.cond_br(p, body, exit);
+
+    b.switch_to(body);
+    let addr = b.mad(Ty::S32, gy, w, gx);
+    let mut v = b.ld(Ty::F32, 0, addr);
+    let mut iv = addr;
+    for &(code, raw) in ops {
+        let fi = (raw % 17) as f32 * 0.25 - 2.0;
+        let ii = raw % 13;
+        match code % 12 {
+            0 => v = b.bin(BinOp::Add, Ty::F32, v, fi),
+            1 => v = b.bin(BinOp::Sub, Ty::F32, fi, v),
+            2 => v = b.bin(BinOp::Mul, Ty::F32, v, fi),
+            3 => v = b.bin(BinOp::Min, Ty::F32, v, fi),
+            4 => v = b.bin(BinOp::Max, Ty::F32, v, fi),
+            5 => v = b.un(UnOp::Abs, Ty::F32, v),
+            6 => v = b.un(UnOp::Neg, Ty::F32, v),
+            7 => v = b.un(UnOp::Floor, Ty::F32, v),
+            8 => {
+                iv = b.bin(BinOp::Xor, Ty::S32, iv, ii);
+                let f = b.cvt(Ty::F32, iv);
+                v = b.bin(BinOp::Add, Ty::F32, v, f);
+            }
+            9 => {
+                let c = b.setp(CmpOp::Gt, v, fi);
+                v = b.selp(Ty::F32, v, fi, c);
+            }
+            10 => {
+                // Bounded round-trip: clamp to a small range first so the
+                // f32->s32 conversion is well inside i32.
+                let small = b.bin(BinOp::Min, Ty::F32, v, 64.0f32);
+                let small = b.bin(BinOp::Max, Ty::F32, small, -64.0f32);
+                let t = b.cvt(Ty::S32, small);
+                let f = b.cvt(Ty::F32, t);
+                v = b.bin(BinOp::Add, Ty::F32, v, f);
+            }
+            _ => {
+                iv = b.bin(BinOp::Shl, Ty::S32, iv, ii & 3);
+                iv = b.bin(BinOp::And, Ty::S32, iv, 0x3fff);
+                let f = b.cvt(Ty::F32, iv);
+                v = b.bin(BinOp::Max, Ty::F32, v, f);
+            }
+        }
+    }
+    if divergent {
+        let even_blk = b.create_block("even");
+        let odd_blk = b.create_block("odd");
+        let bit = b.bin(BinOp::And, Ty::S32, gx, 1);
+        let c = b.setp(CmpOp::Eq, bit, 0);
+        b.cond_br(c, even_blk, odd_blk);
+        b.switch_to(even_blk);
+        b.st(1, addr, v);
+        b.br(exit);
+        b.switch_to(odd_blk);
+        let neg = b.un(UnOp::Neg, Ty::F32, v);
+        b.st(1, addr, neg);
+        b.br(exit);
+    } else {
+        b.st(1, addr, v);
+        b.br(exit);
+    }
+    b.switch_to(exit);
+    b.ret();
+    b.finish()
+}
+
+/// Per-block comparison of the two interpreters, including write-journal
+/// order and error equality, plus a launch-level classified comparison.
+fn check_generated_kernel(kernel: &Kernel, w: i32, h: i32) {
+    let cfg = LaunchConfig {
+        grid: (2, 2),
+        block: (32, 4),
+    };
+    let params = [ParamValue::I32(w), ParamValue::I32(h)];
+    let n = 2 * 32 * 2 * 4;
+    let input: Vec<f32> = (0..n).map(|i| (i % 23) as f32 * 0.5 - 5.0).collect();
+    let buffers = vec![DeviceBuffer::from_f32(&input), DeviceBuffer::zeroed(n)];
+
+    for device in DeviceSpec::all() {
+        let ipdom = isp_ir::cfg::Cfg::new(kernel).ipostdom();
+        let dk = decode(kernel, &device);
+        let mut scratch = DecodedScratch::new();
+        for by in 0..cfg.grid.1 {
+            for bx in 0..cfg.grid.0 {
+                let reference: Result<BlockRun, _> = run_block(&BlockContext {
+                    kernel,
+                    ipdom: &ipdom,
+                    device: &device,
+                    grid: cfg.grid,
+                    block_dim: cfg.block,
+                    block_idx: (bx, by),
+                    params: &params,
+                    buffers: &buffers,
+                });
+                let decoded = run_block_decoded(
+                    &dk,
+                    &DecodedBlockCtx {
+                        grid: cfg.grid,
+                        block_dim: cfg.block,
+                        block_idx: (bx, by),
+                        params: &params,
+                        buffers: &buffers,
+                    },
+                    &mut scratch,
+                );
+                match (reference, decoded) {
+                    (Ok(r), Ok(d)) => {
+                        assert_eq!(r.counters, d.counters, "({bx},{by}) counters");
+                        assert_eq!(r.cycles, d.cycles, "({bx},{by}) cycles");
+                        assert_eq!(r.writes, d.writes, "({bx},{by}) write journal");
+                    }
+                    (Err(r), Err(d)) => assert_eq!(r, d, "({bx},{by}) error"),
+                    (r, d) => panic!("({bx},{by}) outcome mismatch: {r:?} vs {d:?}"),
+                }
+            }
+        }
+
+        // Launch level: classified exhaustive must agree on per-class
+        // attribution too.
+        let gpu = Gpu::new(device.clone());
+        let classifier = |bx: u32, by: u32| bx + 2 * by;
+        let mut results = Vec::new();
+        for engine in [ExecEngine::Reference, ExecEngine::Decoded] {
+            let mut bufs = vec![DeviceBuffer::from_f32(&input), DeviceBuffer::zeroed(n)];
+            let report = gpu
+                .launch_engine(
+                    kernel,
+                    cfg,
+                    &params,
+                    &mut bufs,
+                    SimMode::ExhaustiveClassified {
+                        classifier: &classifier,
+                    },
+                    ExecStrategy::Parallel,
+                    engine,
+                )
+                .unwrap();
+            results.push((report, bufs[1].to_f32()));
+        }
+        let (d_report, d_pixels) = results.pop().unwrap();
+        let (r_report, r_pixels) = results.pop().unwrap();
+        assert_eq!(r_report.counters, d_report.counters, "launch counters");
+        assert_eq!(r_report.per_class, d_report.per_class, "launch per-class");
+        assert_eq!(
+            r_report.timing.cycles, d_report.timing.cycles,
+            "launch timing"
+        );
+        let bits_r: Vec<u32> = r_pixels.iter().map(|v| v.to_bits()).collect();
+        let bits_d: Vec<u32> = d_pixels.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits_r, bits_d, "launch pixels (bit compare, NaN-safe)");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generated loop-free kernels execute bit-identically under both
+    /// interpreters — counters, cycles, write-journal order, per-class
+    /// attribution, and pixels.
+    #[test]
+    fn generated_kernels_match_reference(
+        tape in proptest::collection::vec((0u8..12, -1000i32..1000), 10),
+        len in 0usize..10,
+        divergent in 0u8..2,
+        w_off in 0i32..12,
+        h_off in 0i32..4,
+    ) {
+        let kernel = prop_kernel(&tape[..len], divergent == 1);
+        // Ragged edges when the offsets shrink the image below the grid.
+        check_generated_kernel(&kernel, 64 - w_off, 8 - h_off);
+    }
+}

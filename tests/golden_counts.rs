@@ -1,0 +1,62 @@
+//! Golden instruction-count guard: the exact simulated counters for a
+//! small gaussian configuration, pinned. The simulator is deterministic,
+//! so any change to decode, interpretation, or cost charging that shifts
+//! these numbers is a behavioural change and must be deliberate — update
+//! the constants only when the simulator semantics are meant to move.
+
+use isp_core::Variant;
+use isp_dsl::pipeline::Policy;
+use isp_dsl::runner::ExecMode;
+use isp_dsl::Compiler;
+use isp_image::{BorderPattern, BorderSpec, ImageGenerator};
+use isp_sim::{DeviceSpec, ExecEngine, Gpu};
+
+/// One golden record: (policy label, warp_instructions, mem_transactions,
+/// total_cycles).
+const GOLDEN: [(&str, u64, u64, u64); 2] =
+    [("naive", 9216, 1664, 10924), ("isp", 12160, 1664, 11468)];
+
+fn run(engine: ExecEngine, policy: Policy) -> (u64, u64, u64) {
+    let gpu = Gpu::new(DeviceSpec::gtx680()).with_engine(engine);
+    let border = BorderSpec::from_pattern(BorderPattern::Clamp);
+    let source = ImageGenerator::new(7).natural::<f32>(64, 64);
+    let app = isp_filters::by_name("gaussian").unwrap();
+    let compiled = app
+        .pipeline
+        .compile(&Compiler::new(), border, Variant::IspBlock);
+    let run = app
+        .pipeline
+        .run(
+            &gpu,
+            &compiled,
+            &source,
+            border,
+            (32, 4),
+            policy,
+            ExecMode::Exhaustive,
+        )
+        .unwrap();
+    (
+        run.counters.warp_instructions,
+        run.counters.mem_transactions,
+        run.total_cycles,
+    )
+}
+
+#[test]
+fn gaussian_64_clamp_counts_are_golden() {
+    for (label, warp_instructions, mem_transactions, total_cycles) in GOLDEN {
+        let policy = match label {
+            "naive" => Policy::Naive,
+            _ => Policy::AlwaysIsp(Variant::IspBlock),
+        };
+        for engine in [ExecEngine::Reference, ExecEngine::Decoded] {
+            let got = run(engine, policy);
+            assert_eq!(
+                got,
+                (warp_instructions, mem_transactions, total_cycles),
+                "{label} under {engine:?}: (warp_instructions, mem_transactions, total_cycles)"
+            );
+        }
+    }
+}
