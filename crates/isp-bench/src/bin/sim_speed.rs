@@ -1,7 +1,7 @@
 //! Simulator speed harness: the tree-walking reference interpreter vs the
-//! decoded-microcode fast path, per filter and on the PR 1 engine-sweep
-//! configuration. Writes `target/results/BENCH_PR3.json` for CI artifact
-//! upload.
+//! decoded-microcode fast path vs the guarded trace-replay engine, per
+//! filter and on the PR 1 engine-sweep configuration. Writes
+//! `target/results/BENCH_PR4.json` for CI artifact upload.
 //!
 //! Usage: `cargo run -p isp-bench --bin sim_speed --release [-- size sweep_sizes...]`
 //!
@@ -103,18 +103,20 @@ fn main() {
     };
     let runs = 3;
 
-    // Part 1: per-filter exhaustive interpretation, reference vs decoded.
+    // Part 1: per-filter exhaustive interpretation, all three engines.
     println!("== exhaustive {size}x{size} Clamp isp, per filter (median of {runs}, ms)");
-    let mut table = Table::new(&["filter", "reference", "decoded", "speedup"]);
+    let mut table = Table::new(&["filter", "reference", "decoded", "replay", "speedup"]);
     let mut filters: Vec<Json> = Vec::new();
     for app in isp_filters::apps::all_apps() {
         let reference = filter_ms(ExecEngine::Reference, &app, size, runs);
         let decoded = filter_ms(ExecEngine::Decoded, &app, size, runs);
-        let speedup = reference / decoded;
+        let replay = filter_ms(ExecEngine::Replay, &app, size, runs);
+        let speedup = reference / replay;
         table.row(&[
             app.name.to_string(),
             format!("{reference:.1}"),
             format!("{decoded:.1}"),
+            format!("{replay:.1}"),
             format!("{speedup:.2}x"),
         ]);
         filters.push(
@@ -122,6 +124,7 @@ fn main() {
                 .set("filter", app.name)
                 .set("reference_ms", reference)
                 .set("decoded_ms", decoded)
+                .set("replay_ms", replay)
                 .set("speedup", speedup),
         );
     }
@@ -132,12 +135,20 @@ fn main() {
     println!("== full exhaustive sweep: gaussian 4-pattern x {sweep_sizes:?} x 3 policies (median of {runs} total wall-clocks, ms)");
     let reference = sweep_ms(ExecEngine::Reference, &sweep_sizes, runs);
     let decoded = sweep_ms(ExecEngine::Decoded, &sweep_sizes, runs);
-    let sweep_speedup = reference / decoded;
+    let replay = sweep_ms(ExecEngine::Replay, &sweep_sizes, runs);
+    let sweep_speedup = reference / replay;
+    let replay_vs_decoded = decoded / replay;
     println!("  reference tree-walker {reference:9.1}");
-    println!("  decoded microcode     {decoded:9.1}  speedup {sweep_speedup:5.2}x");
+    println!(
+        "  decoded microcode     {decoded:9.1}  speedup {:5.2}x",
+        reference / decoded
+    );
+    println!(
+        "  trace replay          {replay:9.1}  speedup {sweep_speedup:5.2}x  ({replay_vs_decoded:.2}x over decoded)"
+    );
 
     let doc = Json::obj()
-        .set("schema", "isp-sim-speed-v1")
+        .set("schema", "isp-sim-speed-v2")
         .set("device", DeviceSpec::gtx680().name)
         .set("exhaustive_size", size)
         .set("runs", runs)
@@ -156,8 +167,10 @@ fn main() {
                 .set("policies", 3u32)
                 .set("reference_ms", reference)
                 .set("decoded_ms", decoded)
-                .set("speedup", sweep_speedup),
+                .set("replay_ms", replay)
+                .set("speedup", sweep_speedup)
+                .set("replay_over_decoded", replay_vs_decoded),
         );
-    let path = write_json_doc("BENCH_PR3", &doc).expect("write BENCH_PR3.json");
+    let path = write_json_doc("BENCH_PR4", &doc).expect("write BENCH_PR4.json");
     println!("wrote {}", path.display());
 }

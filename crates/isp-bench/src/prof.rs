@@ -17,7 +17,7 @@ use isp_exec::Engine;
 use isp_image::{BorderPattern, Image};
 use isp_json::Json;
 use isp_sim::profile::counters_to_json;
-use isp_sim::{DeviceSpec, PerfCounters, SimError};
+use isp_sim::{DeviceSpec, PerfCounters, SimError, TraceStats};
 
 /// Measured vs predicted figures for one region.
 #[derive(Debug, Clone)]
@@ -34,6 +34,9 @@ pub struct RegionProfile {
     /// `(measured - predicted) / predicted`; 0 = the static model was
     /// exact, positive = the region executed more than predicted.
     pub residual: f64,
+    /// Trace-replay reuse for the region's blocks (all zero when the engine
+    /// is not the replay engine).
+    pub trace: TraceStats,
 }
 
 /// A full per-region profile of one kernel at one geometry.
@@ -108,6 +111,13 @@ pub fn profile_kernel(
         .ok_or_else(|| SimError::BadLaunch(format!("kernel '{}' has no ISP variant", spec.name)))?;
     let warps_per_block = (block.0 * block.1).div_ceil(32) as f64;
 
+    let trace_of = |region: Region| {
+        isp.per_region_trace
+            .iter()
+            .find(|(r, _)| *r == region)
+            .map(|&(_, t)| t)
+            .unwrap_or_default()
+    };
     let regions = isp
         .per_region
         .iter()
@@ -126,6 +136,7 @@ pub fn profile_kernel(
                 counters: counters.clone(),
                 predicted_warp_instructions: predicted,
                 residual,
+                trace: trace_of(*region),
             }
         })
         .collect();
@@ -169,6 +180,9 @@ pub fn format_profile(p: &KernelProfile) -> String {
         "residual",
         "mem-tx",
         "div%",
+        "recorded",
+        "replayed",
+        "deopted",
     ]);
     for r in &p.regions {
         t.row(&[
@@ -179,6 +193,9 @@ pub fn format_profile(p: &KernelProfile) -> String {
             format!("{:+.2}%", r.residual * 100.0),
             r.counters.mem_transactions.to_string(),
             format!("{:.1}", r.counters.divergence_rate() * 100.0),
+            r.trace.recorded.to_string(),
+            r.trace.replayed.to_string(),
+            r.trace.deopted.to_string(),
         ]);
     }
     s.push_str(&t.render());
@@ -212,6 +229,13 @@ pub fn profile_to_json(p: &KernelProfile) -> Json {
                 .set("counters", counters_to_json(&r.counters))
                 .set("predicted_warp_instructions", r.predicted_warp_instructions)
                 .set("residual", r.residual)
+                .set(
+                    "trace",
+                    Json::obj()
+                        .set("recorded", r.trace.recorded)
+                        .set("replayed", r.trace.replayed)
+                        .set("deopted", r.trace.deopted),
+                )
         })
         .collect::<Vec<Json>>();
     Json::obj()
@@ -263,6 +287,15 @@ mod tests {
             merged, p.isp.report.counters,
             "exhaustive per-region counters must merge exactly to the aggregate"
         );
+        // The global engine runs the replay engine: every block of the ISP
+        // run must be accounted for as recorded, replayed, or deopted.
+        let reused: u64 = p
+            .regions
+            .iter()
+            .map(|r| r.trace.recorded + r.trace.replayed + r.trace.deopted)
+            .sum();
+        let blocks: u64 = p.regions.iter().map(|r| r.blocks).sum();
+        assert_eq!(reused, blocks, "trace stats cover the whole grid");
     }
 
     #[test]
@@ -300,8 +333,10 @@ mod tests {
         assert!(text.contains("Body"));
         assert!(text.contains("residual"));
         assert!(text.contains("R_reduced"));
+        assert!(text.contains("replayed"));
         let json = profile_to_json(&p).render_pretty();
         assert!(json.contains("\"per_region\""));
+        assert!(json.contains("\"replayed\""));
         assert!(json.contains("\"n_isp\""));
         assert!(json.contains("\"residual\""));
         assert!(json.contains("\"warp_instructions\""));

@@ -12,7 +12,7 @@ use crate::spec::KernelSpec;
 use isp_core::bounds::Geometry;
 use isp_core::{Plan, Region, Variant};
 use isp_image::{BorderSpec, Image};
-use isp_sim::{Gpu, PerfCounters, SimError};
+use isp_sim::{Gpu, PerfCounters, SimError, TraceStats};
 
 /// Where a stage input comes from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +95,10 @@ pub struct PipelineRun {
     /// the entries merge to [`PipelineRun::counters`] bit-identically only
     /// when every stage reported per-region data.
     pub per_region: Vec<(Region, PerfCounters)>,
+    /// Trace-replay reuse per region, merged across stages in
+    /// [`Region::ALL`] order. Populated only by exhaustive classified runs
+    /// under the replay engine; empty otherwise.
+    pub per_region_trace: Vec<(Region, TraceStats)>,
 }
 
 impl Pipeline {
@@ -217,6 +221,7 @@ impl Pipeline {
         let mut total_cycles = 0u64;
         let mut counters = PerfCounters::new();
         let mut region_counters: [Option<PerfCounters>; 9] = Default::default();
+        let mut region_traces: [Option<TraceStats>; 9] = Default::default();
         let mut stage_variants = Vec::with_capacity(self.stages.len());
         let mut last_image = None;
 
@@ -265,6 +270,11 @@ impl Pipeline {
                     .get_or_insert_with(PerfCounters::new)
                     .merge(rc);
             }
+            for (region, ts) in &out.per_region_trace {
+                region_traces[region.index()]
+                    .get_or_insert_with(TraceStats::default)
+                    .merge(ts);
+            }
             stage_variants.push(variant);
             last_image = out.image.clone();
             // Host-side stage output for downstream stages (exhaustive only).
@@ -280,12 +290,18 @@ impl Pipeline {
             .zip(region_counters)
             .filter_map(|(r, c)| c.map(|c| (r, c)))
             .collect();
+        let per_region_trace: Vec<(Region, TraceStats)> = Region::ALL
+            .into_iter()
+            .zip(region_traces)
+            .filter_map(|(r, t)| t.map(|t| (r, t)))
+            .collect();
         Ok(PipelineRun {
             image: last_image,
             total_cycles,
             counters,
             stage_variants,
             per_region,
+            per_region_trace,
         })
     }
 }

@@ -12,7 +12,7 @@ use isp_image::Image;
 use isp_sim::launch::{PathTable, SimMode};
 use isp_sim::{
     occupancy, DeviceBuffer, Gpu, LaunchConfig, LaunchReport, ParamValue, PerfCounters, SimError,
-    TexAddressMode, TexDesc,
+    TexAddressMode, TexDesc, TraceStats,
 };
 
 pub use isp_sim::ExecStrategy;
@@ -41,6 +41,10 @@ pub struct FilterOutput {
     /// empty when the partition is degenerate. The entries merge
     /// bit-identically to `report.counters`.
     pub per_region: Vec<(Region, PerfCounters)>,
+    /// Trace-replay reuse attributed to each ISP region (sorted in
+    /// [`Region::ALL`] order). Populated only by exhaustive classified runs
+    /// under the replay engine; empty otherwise.
+    pub per_region_trace: Vec<(Region, TraceStats)>,
 }
 
 /// Derive the partition geometry for a compiled kernel on a given image and
@@ -274,6 +278,11 @@ pub fn run_filter_with(
         .iter()
         .map(|(c, counters)| (Region::ALL[*c as usize], counters.clone()))
         .collect();
+    let per_region_trace: Vec<(Region, TraceStats)> = report
+        .per_class_trace
+        .iter()
+        .map(|&(c, stats)| (Region::ALL[c as usize], stats))
+        .collect();
 
     let image = match mode {
         ExecMode::Exhaustive => {
@@ -290,6 +299,7 @@ pub fn run_filter_with(
         report,
         variant,
         per_region,
+        per_region_trace,
     })
 }
 
@@ -356,6 +366,7 @@ pub fn run_compiled(
         variant: cv.variant,
         // Standalone variants carry no region partition.
         per_region: Vec::new(),
+        per_region_trace: Vec::new(),
     })
 }
 

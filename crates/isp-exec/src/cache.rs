@@ -54,6 +54,13 @@ pub struct CacheStats {
     pub decode_hits: u64,
     /// IR→microcode decodes performed (cold lookups).
     pub decode_misses: u64,
+    /// Blocks that recorded a fresh class trace under the replay engine
+    /// (mirrors [`isp_sim::Gpu::trace_stats`]).
+    pub trace_recorded: u64,
+    /// Blocks replayed from a recorded class trace.
+    pub trace_replayed: u64,
+    /// Blocks that failed a replay guard and re-ran on the decoded engine.
+    pub trace_deopts: u64,
 }
 
 /// Live hit/miss counters (atomics so [`crate::Engine`] stays `Sync`).
@@ -88,10 +95,13 @@ impl CacheCounters {
             kernel_misses: self.kernel_misses.load(Ordering::Relaxed),
             plan_hits: self.plan_hits.load(Ordering::Relaxed),
             plan_misses: self.plan_misses.load(Ordering::Relaxed),
-            // Decode hits/misses live on the Gpu; Engine::cache_stats fills
-            // them in from there.
+            // Decode and trace counts live on the Gpu; Engine::cache_stats
+            // fills them in from there.
             decode_hits: 0,
             decode_misses: 0,
+            trace_recorded: 0,
+            trace_replayed: 0,
+            trace_deopts: 0,
         }
     }
 }

@@ -36,15 +36,15 @@ pub struct Engine {
 
 impl Engine {
     /// Create a standalone engine for a device (empty caches). Launches run
-    /// on the decoded fast path; see [`Engine::with_exec_engine`] for the
-    /// reference interpreter.
+    /// on the trace-replay fast path; see [`Engine::with_exec_engine`] for
+    /// the decoded or reference interpreters.
     pub fn new(device: DeviceSpec) -> Self {
-        Self::with_exec_engine(device, ExecEngine::Decoded)
+        Self::with_exec_engine(device, ExecEngine::default())
     }
 
     /// [`Engine::new`] with an explicit simulator [`ExecEngine`] — the
-    /// before/after speed benchmark builds a `Reference` engine to measure
-    /// the tree-walking interpreter against the decoded default.
+    /// before/after speed benchmark builds `Reference` and `Decoded` engines
+    /// to measure against the replay default.
     pub fn with_exec_engine(device: DeviceSpec, exec: ExecEngine) -> Self {
         Engine {
             gpu: Gpu::new(device.clone()).with_engine(exec),
@@ -101,7 +101,7 @@ impl Engine {
         // Warm the Gpu's decode cache for every variant now, while the
         // kernel is cold: a sweep then decodes each kernel exactly once, and
         // launches never decode on the hot path.
-        if self.gpu.engine() == ExecEngine::Decoded {
+        if self.gpu.engine() != ExecEngine::Reference {
             for variant in [
                 Some(&compiled.naive),
                 compiled.isp.as_ref(),
@@ -194,6 +194,7 @@ impl Engine {
             counters: run.counters,
             stage_variants: run.stage_variants,
             per_region: run.per_region,
+            per_region_trace: run.per_region_trace,
         })
     }
 
@@ -265,12 +266,16 @@ impl Engine {
     }
 
     /// Snapshot of the cache hit/miss counters (kernel and plan caches plus
-    /// the Gpu's decode cache).
+    /// the Gpu's decode cache and trace-replay reuse).
     pub fn cache_stats(&self) -> CacheStats {
         let mut stats = self.counters.snapshot();
         let decode = self.gpu.decode_stats();
         stats.decode_hits = decode.hits;
         stats.decode_misses = decode.misses;
+        let trace = self.gpu.trace_stats();
+        stats.trace_recorded = trace.recorded;
+        stats.trace_replayed = trace.replayed;
+        stats.trace_deopts = trace.deopted;
         stats
     }
 }

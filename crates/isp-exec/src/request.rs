@@ -9,7 +9,7 @@ use isp_dsl::pipeline::Policy;
 use isp_dsl::runner::{ExecMode, ExecStrategy};
 use isp_filters::App;
 use isp_image::{BorderPattern, Image};
-use isp_sim::PerfCounters;
+use isp_sim::{PerfCounters, TraceStats};
 
 /// One pipeline execution on the engine's device: which app, under which
 /// border pattern, at which size, with which launch configuration and
@@ -85,6 +85,9 @@ pub struct Outcome {
     /// as attributed by the launch classifier; empty when no stage produced
     /// an attribution (degenerate partitions).
     pub per_region: Vec<(Region, PerfCounters)>,
+    /// Trace-replay reuse per region, merged across stages ([`Region::ALL`]
+    /// order). Populated only by exhaustive runs under the replay engine.
+    pub per_region_trace: Vec<(Region, TraceStats)>,
 }
 
 /// One experiment point of the paper's evaluation: an app under a pattern

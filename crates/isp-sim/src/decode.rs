@@ -25,11 +25,9 @@
 use crate::counters::PerfCounters;
 use crate::device::DeviceSpec;
 use crate::error::SimError;
-use crate::interp::{
-    eval_bin_f, eval_bin_i, eval_cmp_f, eval_cmp_i, BlockRun, MAX_WARP_INSTRUCTIONS, WARP,
-};
+use crate::interp::{BlockRun, MAX_WARP_INSTRUCTIONS, WARP};
 use crate::launch::ParamValue;
-use crate::memory::{transactions_for_warp_fixed, DeviceBuffer};
+use crate::memory::{segment_count_full, transactions_for_warp_fixed, DeviceBuffer};
 use isp_ir::cfg::Cfg;
 use isp_ir::kernel::Kernel;
 use isp_ir::{BinOp, CmpOp, Instr, InstrCategory, Operand, SReg, Terminator, Ty, UnOp};
@@ -51,19 +49,19 @@ const CAT_BAR2: usize = InstrCategory::Bar2.index();
 /// operation itself pre-resolved so the lane loop never matches an
 /// `Operand`.
 #[derive(Debug, Clone, Copy)]
-struct DOp {
+pub(crate) struct DOp {
     /// Issue cost on the decoding device, in cycles.
-    cost: u32,
+    pub(crate) cost: u32,
     /// `InstrCategory::index()` for flat histogram accounting.
-    cat: u8,
-    kind: DOpKind,
+    pub(crate) cat: u8,
+    pub(crate) kind: DOpKind,
 }
 
 /// The decoded operation. All operand fields are register-row *bases*:
 /// `slot * 32`, so lane `l` reads `regs[base + l]`. Immediates are rows in
 /// the scratch arena's immediate pool, filled once per prepare.
 #[derive(Debug, Clone, Copy)]
-enum DOpKind {
+pub(crate) enum DOpKind {
     BinI {
         op: BinOp,
         dst: u32,
@@ -224,21 +222,21 @@ pub struct DecodedKernel {
     pub name: String,
     /// Structural fingerprint of the source kernel (cache key).
     pub fingerprint: u64,
-    ops: Vec<DOp>,
+    pub(crate) ops: Vec<DOp>,
     blocks: Vec<DBlock>,
-    num_vregs: u32,
+    pub(crate) num_vregs: u32,
     /// vregs + immediate pool rows.
-    num_slots: u32,
+    pub(crate) num_slots: u32,
     /// Distinct immediate bit patterns (row `num_vregs + i` broadcasts
     /// `imms[i]`).
-    imms: Vec<u32>,
+    pub(crate) imms: Vec<u32>,
     shared_elems: u32,
     /// Baked device parameters.
-    mem_cycles: u64,
+    pub(crate) mem_cycles: u64,
     cost_bra: u64,
     cost_ret: u64,
     cost_bar2: u64,
-    warp_size: u32,
+    pub(crate) warp_size: u32,
 }
 
 impl DecodedKernel {
@@ -689,10 +687,10 @@ struct DWarp {
 /// heap allocation.
 #[derive(Debug, Default)]
 pub struct DecodedScratch {
-    regs: Vec<u32>,
-    shared: Vec<u32>,
-    tidx: Vec<u32>,
-    tidy: Vec<u32>,
+    pub(crate) regs: Vec<u32>,
+    pub(crate) shared: Vec<u32>,
+    pub(crate) tidx: Vec<u32>,
+    pub(crate) tidy: Vec<u32>,
     warps: Vec<DWarp>,
     prepared: Option<(u64, (u32, u32))>,
 }
@@ -706,7 +704,7 @@ impl DecodedScratch {
     /// Size the arena for `(dk, block_dim)` if it is not already: resize the
     /// register file, fill immediate broadcast rows, compute tid tables and
     /// initial lane masks. No-op when the key matches the previous call.
-    fn prepare(&mut self, dk: &DecodedKernel, block_dim: (u32, u32)) {
+    pub(crate) fn prepare(&mut self, dk: &DecodedKernel, block_dim: (u32, u32)) {
         let key = (dk.fingerprint, block_dim);
         if self.prepared == Some(key) {
             return;
@@ -748,7 +746,7 @@ impl DecodedScratch {
 
     /// Per-block reset: zero the vreg rows (immediate rows survive), zero
     /// shared memory, rewind the warps. Pure memset — no allocation.
-    fn reset(&mut self, dk: &DecodedKernel) {
+    pub(crate) fn reset(&mut self, dk: &DecodedKernel) {
         let stride = dk.num_slots as usize * WARP;
         let vreg_span = dk.num_vregs as usize * WARP;
         for w in 0..self.warps.len() {
@@ -788,6 +786,34 @@ enum DOutcome {
     Barrier(u32, u32),
 }
 
+/// Observer hooks for the decoded executor, used by the trace recorder in
+/// [`crate::trace`]. `ACTIVE` is a const so the no-op impl folds every hook
+/// (and the address materialisation feeding [`Tracer::mem`]) out of the hot
+/// loop — [`run_decoded`] compiles to exactly the untraced code.
+pub(crate) trait Tracer {
+    const ACTIVE: bool;
+    /// A live warp starts (or resumes after a barrier) its phase.
+    fn warp_start(&mut self, _warp: u32) {}
+    /// A non-global-memory instruction executed under `mask`. Fires *after*
+    /// the op's effects, with the warp's register rows — so a recorder can
+    /// read the op's concrete result (and its still-live operand rows) for
+    /// value analysis.
+    fn op(&mut self, _i: u32, _mask: u32, _regs: &[u32]) {}
+    /// A conditional branch resolved: lanes of `mask` whose predicate was
+    /// non-zero are in `m_true`.
+    fn branch(&mut self, _pred: u32, _mask: u32, _m_true: u32) {}
+    /// A global load/store executed: resolved element addresses per active
+    /// lane and the charged transaction count.
+    fn mem(&mut self, _i: u32, _mask: u32, _addrs: &[Option<i64>; WARP], _tx: u64) {}
+}
+
+/// The default no-op tracer: every hook is dead code.
+pub(crate) struct NoTrace;
+
+impl Tracer for NoTrace {
+    const ACTIVE: bool = false;
+}
+
 /// Execute one block of decoded microcode, appending its global stores to
 /// `writes`. Returns the block's counters and issue cycles. Observationally
 /// identical to [`crate::interp::run_block`].
@@ -796,6 +822,20 @@ pub fn run_decoded(
     ctx: &DecodedBlockCtx<'_>,
     scratch: &mut DecodedScratch,
     writes: &mut Vec<(u32, usize, u32)>,
+) -> Result<(FlatCounters, u64), SimError> {
+    run_decoded_traced(dk, ctx, scratch, writes, &mut NoTrace)
+}
+
+/// [`run_decoded`] with tracer hooks. The tracer observes the complete warp
+/// schedule — phase starts, executed ops with masks, branch outcomes,
+/// resolved memory addresses — in exact execution order, which is what the
+/// replay engine needs to reproduce the write journal byte-for-byte.
+pub(crate) fn run_decoded_traced<T: Tracer>(
+    dk: &DecodedKernel,
+    ctx: &DecodedBlockCtx<'_>,
+    scratch: &mut DecodedScratch,
+    writes: &mut Vec<(u32, usize, u32)>,
+    tracer: &mut T,
 ) -> Result<(FlatCounters, u64), SimError> {
     scratch.prepare(dk, ctx.block_dim);
     scratch.reset(dk);
@@ -820,6 +860,9 @@ pub fn run_decoded(
             }
             let (pos, mask) = (warps[w].pos, warps[w].mask);
             let mut budget = warps[w].budget;
+            if T::ACTIVE {
+                tracer.warp_start(w as u32);
+            }
             let outcome = {
                 let mut exec = DExec {
                     dk,
@@ -833,6 +876,7 @@ pub fn run_decoded(
                     cycles: &mut cycles,
                     writes,
                     budget: &mut budget,
+                    tracer,
                 };
                 exec.exec_from(pos, mask, NO_BLOCK)?
             };
@@ -1000,8 +1044,169 @@ macro_rules! warp_map3 {
     }};
 }
 
+/// Execute one non-memory, non-parameter data op on an executor exposing
+/// `row`/`row_mut`/`regs`/`tidx`/`tidy`/`ctx`/`dk`/`warp_id`. Shared between
+/// the decoded interpreter and trace replay so the two engines cannot drift:
+/// a replayed arithmetic op is literally the same code as a decoded one.
+/// Memory, parameter and barrier kinds are handled by each caller.
+macro_rules! exec_pure_op {
+    ($self:ident, $kind:expr, $mask:expr) => {
+        match $kind {
+            DOpKind::BinI { op, dst, a, b } => {
+                let (d, a, b) = (dst as usize, a as usize, b as usize);
+                warp_map2!($self, $mask, d, a, b, |x, y| crate::interp::eval_bin_i(
+                    op, x as i32, y as i32
+                ) as u32);
+            }
+            DOpKind::BinF { op, dst, a, b } => {
+                let (d, a, b) = (dst as usize, a as usize, b as usize);
+                warp_map2!($self, $mask, d, a, b, |x, y| crate::interp::eval_bin_f(
+                    op,
+                    f32::from_bits(x),
+                    f32::from_bits(y)
+                )
+                .to_bits());
+            }
+            DOpKind::BinP { op, dst, a, b } => {
+                let (d, a, b) = (dst as usize, a as usize, b as usize);
+                warp_map2!($self, $mask, d, a, b, |x, y| match op {
+                    isp_ir::BinOp::And => (x & 1) & (y & 1),
+                    isp_ir::BinOp::Or => (x & 1) | (y & 1),
+                    isp_ir::BinOp::Xor => (x & 1) ^ (y & 1),
+                    _ => unreachable!("validated IR"),
+                });
+            }
+            DOpKind::MadI { dst, a, b, c } => {
+                let (d, a, b, c) = (dst as usize, a as usize, b as usize, c as usize);
+                warp_map3!($self, $mask, d, a, b, c, |x, y, z| (x as i32)
+                    .wrapping_mul(y as i32)
+                    .wrapping_add(z as i32)
+                    as u32);
+            }
+            DOpKind::MadF { dst, a, b, c } => {
+                let (d, a, b, c) = (dst as usize, a as usize, b as usize, c as usize);
+                warp_map3!($self, $mask, d, a, b, c, |x, y, z| (f32::from_bits(x)
+                    * f32::from_bits(y)
+                    + f32::from_bits(z))
+                .to_bits());
+            }
+            DOpKind::Mov { dst, a } => {
+                let (d, a) = (dst as usize, a as usize);
+                warp_map1!($self, $mask, d, a, |x| x);
+            }
+            DOpKind::NotP { dst, a } => {
+                let (d, a) = (dst as usize, a as usize);
+                warp_map1!($self, $mask, d, a, |x| (x & 1) ^ 1);
+            }
+            DOpKind::NotB { dst, a } => {
+                let (d, a) = (dst as usize, a as usize);
+                warp_map1!($self, $mask, d, a, |x| !x);
+            }
+            DOpKind::NegI { dst, a } => {
+                let (d, a) = (dst as usize, a as usize);
+                warp_map1!($self, $mask, d, a, |x| (x as i32).wrapping_neg() as u32);
+            }
+            DOpKind::AbsI { dst, a } => {
+                let (d, a) = (dst as usize, a as usize);
+                warp_map1!($self, $mask, d, a, |x| (x as i32).wrapping_abs() as u32);
+            }
+            DOpKind::UnF { op, dst, a } => {
+                let (d, a) = (dst as usize, a as usize);
+                warp_map1!($self, $mask, d, a, |x| {
+                    let x = f32::from_bits(x);
+                    let v = match op {
+                        isp_ir::UnOp::Neg => -x,
+                        isp_ir::UnOp::Abs => x.abs(),
+                        isp_ir::UnOp::Exp => x.exp(),
+                        isp_ir::UnOp::Log => x.ln(),
+                        isp_ir::UnOp::Sqrt => x.sqrt(),
+                        isp_ir::UnOp::Rsqrt => 1.0 / x.sqrt(),
+                        isp_ir::UnOp::Floor => x.floor(),
+                        _ => unreachable!("validated IR"),
+                    };
+                    v.to_bits()
+                });
+            }
+            DOpKind::CvtIF { dst, a } => {
+                let (d, a) = (dst as usize, a as usize);
+                warp_map1!($self, $mask, d, a, |x| (x as i32 as f32).to_bits());
+            }
+            DOpKind::CvtFI { dst, a } => {
+                let (d, a) = (dst as usize, a as usize);
+                warp_map1!($self, $mask, d, a, |x| (f32::from_bits(x).round() as i32)
+                    as u32);
+            }
+            DOpKind::SetPI { cmp, dst, a, b } => {
+                let (d, a, b) = (dst as usize, a as usize, b as usize);
+                warp_map2!($self, $mask, d, a, b, |x, y| crate::interp::eval_cmp_i(
+                    cmp, x as i32, y as i32
+                ) as u32);
+            }
+            DOpKind::SetPF { cmp, dst, a, b } => {
+                let (d, a, b) = (dst as usize, a as usize, b as usize);
+                warp_map2!($self, $mask, d, a, b, |x, y| crate::interp::eval_cmp_f(
+                    cmp,
+                    f32::from_bits(x),
+                    f32::from_bits(y)
+                ) as u32);
+            }
+            DOpKind::SelP { dst, a, b, pred } => {
+                let (d, a, b, p) = (dst as usize, a as usize, b as usize, pred as usize);
+                warp_map3!($self, $mask, d, a, b, p, |x, y, t| if t != 0 {
+                    x
+                } else {
+                    y
+                });
+            }
+            DOpKind::Sreg { dst, sreg } => {
+                let d = dst as usize;
+                let base = $self.warp_id as usize * WARP;
+                match sreg {
+                    isp_ir::SReg::TidX => {
+                        lanes!($mask, l, {
+                            $self.regs[d + l] = $self.tidx[base + l];
+                        });
+                    }
+                    isp_ir::SReg::TidY => {
+                        lanes!($mask, l, {
+                            $self.regs[d + l] = $self.tidy[base + l];
+                        });
+                    }
+                    isp_ir::SReg::LaneId => {
+                        lanes!($mask, l, {
+                            $self.regs[d + l] = l as u32;
+                        });
+                    }
+                    isp_ir::SReg::WarpIdX => {
+                        lanes!($mask, l, {
+                            $self.regs[d + l] = $self.tidx[base + l] / $self.dk.warp_size;
+                        });
+                    }
+                    _ => {
+                        let bits = match sreg {
+                            isp_ir::SReg::CtaIdX => $self.ctx.block_idx.0,
+                            isp_ir::SReg::CtaIdY => $self.ctx.block_idx.1,
+                            isp_ir::SReg::NTidX => $self.ctx.block_dim.0,
+                            isp_ir::SReg::NTidY => $self.ctx.block_dim.1,
+                            isp_ir::SReg::NCtaIdX => $self.ctx.grid.0,
+                            isp_ir::SReg::NCtaIdY => $self.ctx.grid.1,
+                            _ => unreachable!(),
+                        };
+                        lanes!($mask, l, {
+                            $self.regs[d + l] = bits;
+                        });
+                    }
+                }
+            }
+            _ => unreachable!("memory/param/barrier ops are handled by the caller"),
+        }
+    };
+}
+
+pub(crate) use {exec_pure_op, lanes, warp_map1, warp_map2, warp_map3};
+
 /// Mutable execution view of one warp over decoded microcode.
-struct DExec<'a> {
+struct DExec<'a, T: Tracer> {
     dk: &'a DecodedKernel,
     ctx: &'a DecodedBlockCtx<'a>,
     warp_id: u32,
@@ -1014,9 +1219,10 @@ struct DExec<'a> {
     cycles: &'a mut u64,
     writes: &'a mut Vec<(u32, usize, u32)>,
     budget: &'a mut u64,
+    tracer: &'a mut T,
 }
 
-impl<'a> DExec<'a> {
+impl<'a, T: Tracer> DExec<'a, T> {
     #[inline]
     fn charge(&mut self, cat: usize, cost: u64) -> Result<(), SimError> {
         if *self.budget == 0 {
@@ -1081,7 +1287,6 @@ impl<'a> DExec<'a> {
         buf: u32,
         is_store: bool,
     ) -> Result<u64, SimError> {
-        const ELEMS_PER_SEGMENT: i64 = 32;
         let mut addrs = [0i64; WARP];
         for l in 0..WARP {
             addrs[l] = self.regs[ab + l] as i32 as i64;
@@ -1097,22 +1302,7 @@ impl<'a> DExec<'a> {
                 }
             }
         }
-        let mut segs = [0i64; WARP];
-        for l in 0..WARP {
-            segs[l] = addrs[l].div_euclid(ELEMS_PER_SEGMENT);
-        }
-        let mut monotonic = true;
-        for l in 1..WARP {
-            monotonic &= segs[l] >= segs[l - 1];
-        }
-        if !monotonic {
-            segs.sort_unstable();
-        }
-        let mut tx = 1u64;
-        for l in 1..WARP {
-            tx += (segs[l] != segs[l - 1]) as u64;
-        }
-        Ok(tx)
+        Ok(segment_count_full(&addrs))
     }
 
     fn exec_from(
@@ -1167,6 +1357,9 @@ impl<'a> DExec<'a> {
                             m_true |= 1 << l;
                         }
                     }
+                    if T::ACTIVE {
+                        self.tracer.branch(pred, mask, m_true);
+                    }
                     let m_false = mask & !m_true;
                     if m_false == 0 {
                         block = if_true;
@@ -1220,158 +1413,6 @@ impl<'a> DExec<'a> {
         let op = self.dk.ops[i];
         self.charge(op.cat as usize, op.cost as u64)?;
         match op.kind {
-            DOpKind::BinI { op, dst, a, b } => {
-                let (d, a, b) = (dst as usize, a as usize, b as usize);
-                warp_map2!(
-                    self,
-                    mask,
-                    d,
-                    a,
-                    b,
-                    |x, y| eval_bin_i(op, x as i32, y as i32) as u32
-                );
-            }
-            DOpKind::BinF { op, dst, a, b } => {
-                let (d, a, b) = (dst as usize, a as usize, b as usize);
-                warp_map2!(self, mask, d, a, b, |x, y| eval_bin_f(
-                    op,
-                    f32::from_bits(x),
-                    f32::from_bits(y)
-                )
-                .to_bits());
-            }
-            DOpKind::BinP { op, dst, a, b } => {
-                let (d, a, b) = (dst as usize, a as usize, b as usize);
-                warp_map2!(self, mask, d, a, b, |x, y| match op {
-                    BinOp::And => (x & 1) & (y & 1),
-                    BinOp::Or => (x & 1) | (y & 1),
-                    BinOp::Xor => (x & 1) ^ (y & 1),
-                    _ => unreachable!("validated IR"),
-                });
-            }
-            DOpKind::MadI { dst, a, b, c } => {
-                let (d, a, b, c) = (dst as usize, a as usize, b as usize, c as usize);
-                warp_map3!(self, mask, d, a, b, c, |x, y, z| (x as i32)
-                    .wrapping_mul(y as i32)
-                    .wrapping_add(z as i32)
-                    as u32);
-            }
-            DOpKind::MadF { dst, a, b, c } => {
-                let (d, a, b, c) = (dst as usize, a as usize, b as usize, c as usize);
-                warp_map3!(self, mask, d, a, b, c, |x, y, z| (f32::from_bits(x)
-                    * f32::from_bits(y)
-                    + f32::from_bits(z))
-                .to_bits());
-            }
-            DOpKind::Mov { dst, a } => {
-                let (d, a) = (dst as usize, a as usize);
-                warp_map1!(self, mask, d, a, |x| x);
-            }
-            DOpKind::NotP { dst, a } => {
-                let (d, a) = (dst as usize, a as usize);
-                warp_map1!(self, mask, d, a, |x| (x & 1) ^ 1);
-            }
-            DOpKind::NotB { dst, a } => {
-                let (d, a) = (dst as usize, a as usize);
-                warp_map1!(self, mask, d, a, |x| !x);
-            }
-            DOpKind::NegI { dst, a } => {
-                let (d, a) = (dst as usize, a as usize);
-                warp_map1!(self, mask, d, a, |x| (x as i32).wrapping_neg() as u32);
-            }
-            DOpKind::AbsI { dst, a } => {
-                let (d, a) = (dst as usize, a as usize);
-                warp_map1!(self, mask, d, a, |x| (x as i32).wrapping_abs() as u32);
-            }
-            DOpKind::UnF { op, dst, a } => {
-                let (d, a) = (dst as usize, a as usize);
-                warp_map1!(self, mask, d, a, |x| {
-                    let x = f32::from_bits(x);
-                    let v = match op {
-                        UnOp::Neg => -x,
-                        UnOp::Abs => x.abs(),
-                        UnOp::Exp => x.exp(),
-                        UnOp::Log => x.ln(),
-                        UnOp::Sqrt => x.sqrt(),
-                        UnOp::Rsqrt => 1.0 / x.sqrt(),
-                        UnOp::Floor => x.floor(),
-                        _ => unreachable!("validated IR"),
-                    };
-                    v.to_bits()
-                });
-            }
-            DOpKind::CvtIF { dst, a } => {
-                let (d, a) = (dst as usize, a as usize);
-                warp_map1!(self, mask, d, a, |x| (x as i32 as f32).to_bits());
-            }
-            DOpKind::CvtFI { dst, a } => {
-                let (d, a) = (dst as usize, a as usize);
-                warp_map1!(self, mask, d, a, |x| (f32::from_bits(x).round() as i32)
-                    as u32);
-            }
-            DOpKind::SetPI { cmp, dst, a, b } => {
-                let (d, a, b) = (dst as usize, a as usize, b as usize);
-                warp_map2!(
-                    self,
-                    mask,
-                    d,
-                    a,
-                    b,
-                    |x, y| eval_cmp_i(cmp, x as i32, y as i32) as u32
-                );
-            }
-            DOpKind::SetPF { cmp, dst, a, b } => {
-                let (d, a, b) = (dst as usize, a as usize, b as usize);
-                warp_map2!(self, mask, d, a, b, |x, y| eval_cmp_f(
-                    cmp,
-                    f32::from_bits(x),
-                    f32::from_bits(y)
-                ) as u32);
-            }
-            DOpKind::SelP { dst, a, b, pred } => {
-                let (d, a, b, p) = (dst as usize, a as usize, b as usize, pred as usize);
-                warp_map3!(self, mask, d, a, b, p, |x, y, t| if t != 0 { x } else { y });
-            }
-            DOpKind::Sreg { dst, sreg } => {
-                let d = dst as usize;
-                let base = self.warp_id as usize * WARP;
-                match sreg {
-                    SReg::TidX => {
-                        lanes!(mask, l, {
-                            self.regs[d + l] = self.tidx[base + l];
-                        });
-                    }
-                    SReg::TidY => {
-                        lanes!(mask, l, {
-                            self.regs[d + l] = self.tidy[base + l];
-                        });
-                    }
-                    SReg::LaneId => {
-                        lanes!(mask, l, {
-                            self.regs[d + l] = l as u32;
-                        });
-                    }
-                    SReg::WarpIdX => {
-                        lanes!(mask, l, {
-                            self.regs[d + l] = self.tidx[base + l] / self.dk.warp_size;
-                        });
-                    }
-                    _ => {
-                        let bits = match sreg {
-                            SReg::CtaIdX => self.ctx.block_idx.0,
-                            SReg::CtaIdY => self.ctx.block_idx.1,
-                            SReg::NTidX => self.ctx.block_dim.0,
-                            SReg::NTidY => self.ctx.block_dim.1,
-                            SReg::NCtaIdX => self.ctx.grid.0,
-                            SReg::NCtaIdY => self.ctx.grid.1,
-                            _ => unreachable!(),
-                        };
-                        lanes!(mask, l, {
-                            self.regs[d + l] = bits;
-                        });
-                    }
-                }
-            }
             DOpKind::LdParam { dst, index } => {
                 let bits = match self.ctx.params.get(index as usize) {
                     Some(ParamValue::I32(v)) => *v as u32,
@@ -1404,6 +1445,11 @@ impl<'a> DExec<'a> {
                         // address against `len`.
                         out[l] = unsafe { buffer.load_bits_unchecked(addrs[l] as i32 as usize) };
                     }
+                    if T::ACTIVE {
+                        let resolved: [Option<i64>; WARP] =
+                            std::array::from_fn(|l| Some(addrs[l] as i32 as i64));
+                        self.tracer.mem(i as u32, mask, &resolved, tx);
+                    }
                     tx
                 } else {
                     let mut addrs: [Option<i64>; WARP] = [None; WARP];
@@ -1423,7 +1469,11 @@ impl<'a> DExec<'a> {
                             self.regs[d + l] = unsafe { buffer.load_bits_unchecked(a as usize) };
                         }
                     }
-                    transactions_for_warp_fixed(&addrs)
+                    let tx = transactions_for_warp_fixed(&addrs);
+                    if T::ACTIVE {
+                        self.tracer.mem(i as u32, mask, &addrs, tx);
+                    }
+                    tx
                 };
                 self.counters.mem_transactions += tx;
                 self.counters.loads += 1;
@@ -1473,6 +1523,11 @@ impl<'a> DExec<'a> {
                     let vals = self.row(vb);
                     self.writes
                         .extend((0..WARP).map(|l| (buf, addrs[l] as i32 as usize, vals[l])));
+                    if T::ACTIVE {
+                        let resolved: [Option<i64>; WARP] =
+                            std::array::from_fn(|l| Some(addrs[l] as i32 as i64));
+                        self.tracer.mem(i as u32, mask, &resolved, tx);
+                    }
                     tx
                 } else {
                     let mut addrs: [Option<i64>; WARP] = [None; WARP];
@@ -1491,7 +1546,11 @@ impl<'a> DExec<'a> {
                             self.writes.push((buf, a as usize, self.regs[vb + l]));
                         }
                     }
-                    transactions_for_warp_fixed(&addrs)
+                    let tx = transactions_for_warp_fixed(&addrs);
+                    if T::ACTIVE {
+                        self.tracer.mem(i as u32, mask, &addrs, tx);
+                    }
+                    tx
                 };
                 self.counters.mem_transactions += tx;
                 self.counters.stores += 1;
@@ -1528,6 +1587,14 @@ impl<'a> DExec<'a> {
             DOpKind::Bar => {
                 unreachable!("barrier blocks are intercepted before execution")
             }
+            kind => exec_pure_op!(self, kind, mask),
+        }
+        if T::ACTIVE && !matches!(op.kind, DOpKind::Ld { .. } | DOpKind::St { .. }) {
+            // Global loads/stores are traced from inside their arms (the
+            // recorder needs the resolved addresses); everything else is an
+            // opaque re-execute-on-replay event. Post-op so the recorder
+            // sees the result rows.
+            self.tracer.op(i as u32, mask, &*self.regs);
         }
         Ok(())
     }

@@ -19,6 +19,7 @@ use crate::interp::{run_block, BlockContext, BlockRun};
 use crate::memory::DeviceBuffer;
 use crate::occupancy::{occupancy_with_shared, OccupancyResult};
 use crate::scheduler::{schedule, BlockCost, Timing};
+use crate::trace::{record_block, replay_block, Trace};
 use isp_ir::kernel::Kernel;
 use isp_ir::regalloc;
 use rayon::prelude::*;
@@ -107,16 +108,22 @@ pub enum ExecStrategy {
 
 /// Which interpreter executes the blocks of a launch.
 ///
-/// Both engines are observationally identical — same pixels, counters,
+/// All engines are observationally identical — same pixels, counters,
 /// cycles, write order, and error values (the differential tests in
-/// [`crate::decode`] and `tests/decoded_diff.rs` pin this). `Reference`
-/// walks the IR tree directly and serves as the semantic oracle; `Decoded`
-/// lowers the kernel once to flat microcode and executes that with a reused
-/// scratch arena — the fast path, and the default.
+/// [`crate::decode`], `tests/decoded_diff.rs` and `tests/replay_diff.rs`
+/// pin this). `Reference` walks the IR tree directly and serves as the
+/// semantic oracle; `Decoded` lowers the kernel once to flat microcode and
+/// executes that with a reused scratch arena; `Replay` additionally records
+/// one block's warp schedule per block class and replays it for every
+/// sibling block behind exactness guards, deopting to `Decoded` on any
+/// mismatch (see [`crate::trace`]) — the fastest path, and the default.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecEngine {
-    /// Execute pre-decoded flat microcode (fast path, default).
+    /// Decoded microcode plus guarded per-class trace replay (fast path,
+    /// default).
     #[default]
+    Replay,
+    /// Execute pre-decoded flat microcode for every block.
     Decoded,
     /// Walk the `isp_ir` tree directly (reference oracle).
     Reference,
@@ -129,6 +136,31 @@ pub struct DecodeStats {
     pub hits: u64,
     /// Kernels decoded (first sighting of a fingerprint).
     pub misses: u64,
+}
+
+/// Trace-replay reuse counts: how blocks were executed under
+/// [`ExecEngine::Replay`] — recorded (first block of a class, runs on the
+/// decoded engine while capturing its trace), replayed (straight-line trace
+/// execution, all guards green), or deopted (a guard missed; the block
+/// re-ran on the decoded engine). `recorded + replayed + deopted` equals the
+/// number of blocks executed under the replay engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    /// Blocks that recorded a fresh trace for their class.
+    pub recorded: u64,
+    /// Blocks replayed from a recorded trace.
+    pub replayed: u64,
+    /// Blocks that failed a replay guard and re-ran decoded.
+    pub deopted: u64,
+}
+
+impl TraceStats {
+    /// Accumulate another set of counts into this one.
+    pub fn merge(&mut self, other: &TraceStats) {
+        self.recorded += other.recorded;
+        self.replayed += other.replayed;
+        self.deopted += other.deopted;
+    }
 }
 
 /// How to execute the launch.
@@ -184,6 +216,13 @@ pub struct LaunchReport {
     /// population); empty for plain [`SimMode::Exhaustive`]. The entries
     /// merge exactly — bit-identically — to [`LaunchReport::counters`].
     pub per_class: Vec<(u32, PerfCounters)>,
+    /// Per-class trace-replay reuse, sorted by class id. Populated only by
+    /// [`SimMode::ExhaustiveClassified`] launches under
+    /// [`ExecEngine::Replay`]; empty otherwise. Which block of a class
+    /// records (vs replays) is scheduling-dependent under the parallel
+    /// strategy, so only the *totals* per class are meaningful — results are
+    /// bit-identical regardless.
+    pub per_class_trace: Vec<(u32, TraceStats)>,
 }
 
 /// A simulated GPU: a device spec, an execution engine, and launch
@@ -196,10 +235,13 @@ pub struct Gpu {
     decode_cache: Arc<Mutex<HashMap<u64, Arc<DecodedKernel>>>>,
     decode_hits: Arc<AtomicU64>,
     decode_misses: Arc<AtomicU64>,
+    trace_recorded: Arc<AtomicU64>,
+    trace_replayed: Arc<AtomicU64>,
+    trace_deopted: Arc<AtomicU64>,
 }
 
 impl Gpu {
-    /// Create a GPU from a device spec (decoded engine by default).
+    /// Create a GPU from a device spec (replay engine by default).
     pub fn new(device: DeviceSpec) -> Self {
         Gpu {
             device,
@@ -207,6 +249,9 @@ impl Gpu {
             decode_cache: Arc::new(Mutex::new(HashMap::new())),
             decode_hits: Arc::new(AtomicU64::new(0)),
             decode_misses: Arc::new(AtomicU64::new(0)),
+            trace_recorded: Arc::new(AtomicU64::new(0)),
+            trace_replayed: Arc::new(AtomicU64::new(0)),
+            trace_deopted: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -247,6 +292,17 @@ impl Gpu {
         DecodeStats {
             hits: self.decode_hits.load(Ordering::Relaxed),
             misses: self.decode_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Aggregate trace-replay reuse counts across every
+    /// [`ExecEngine::Replay`] launch since this `Gpu` (or its clone family)
+    /// was created.
+    pub fn trace_stats(&self) -> TraceStats {
+        TraceStats {
+            recorded: self.trace_recorded.load(Ordering::Relaxed),
+            replayed: self.trace_replayed.load(Ordering::Relaxed),
+            deopted: self.trace_deopted.load(Ordering::Relaxed),
         }
     }
 
@@ -382,6 +438,7 @@ impl Gpu {
         let gx = cfg.grid.0 as u64;
         let footprint = kernel.static_len() as u32;
 
+        let mut per_class_trace: Vec<(u32, TraceStats)> = Vec::new();
         let (counters, per_class, costs, writes) = match engine {
             ExecEngine::Reference => {
                 let shared: &[DeviceBuffer] = buffers;
@@ -412,9 +469,14 @@ impl Gpu {
                 });
                 reduce_block_runs(footprint, runs, classes.as_deref())?
             }
-            ExecEngine::Decoded => {
+            ExecEngine::Decoded | ExecEngine::Replay => {
                 let dk = self.decode(kernel);
                 let shared: &[DeviceBuffer] = buffers;
+                // The replay engine shares one trace cache per launch, keyed
+                // by block class (class 0 when no classifier labels the
+                // grid): the first block of a class records, siblings replay.
+                let traces: Option<Mutex<HashMap<u32, Arc<Trace>>>> =
+                    (engine == ExecEngine::Replay).then(|| Mutex::new(HashMap::new()));
                 // Chunked fold: each worker folds a contiguous run of block
                 // indices through one ChunkAcc, reusing its scratch arena for
                 // every block — zero per-block allocation in steady state.
@@ -425,6 +487,7 @@ impl Gpu {
                         return acc;
                     }
                     let block_idx = ((idx % gx) as u32, (idx / gx) as u32);
+                    let class = classifier.map_or(0, |f| f(block_idx.0, block_idx.1));
                     let ctx = DecodedBlockCtx {
                         grid: cfg.grid,
                         block_dim: cfg.block,
@@ -433,14 +496,24 @@ impl Gpu {
                         buffers: shared,
                     };
                     let journal_mark = acc.writes.len();
-                    match run_decoded(&dk, &ctx, &mut acc.scratch, &mut acc.writes) {
+                    let run = match &traces {
+                        Some(traces) => run_block_replay(
+                            &dk,
+                            &ctx,
+                            class,
+                            traces,
+                            &mut acc.local_traces,
+                            &mut acc.trace_stats,
+                            &mut acc.scratch,
+                            &mut acc.writes,
+                        ),
+                        None => run_decoded(&dk, &ctx, &mut acc.scratch, &mut acc.writes),
+                    };
+                    match run {
                         Ok((c, cycles)) => {
                             acc.counters.merge(&c);
-                            if let Some(f) = classifier {
-                                acc.per_class
-                                    .entry(f(block_idx.0, block_idx.1))
-                                    .or_default()
-                                    .merge(&c);
+                            if classifier.is_some() {
+                                acc.per_class.entry(class).or_default().merge(&c);
                             }
                             acc.cycles.push(cycles);
                         }
@@ -461,6 +534,28 @@ impl Gpu {
                         .collect(),
                     ExecStrategy::Serial => vec![(0..total).fold(ChunkAcc::default(), fold_op)],
                 };
+                if traces.is_some() {
+                    let mut by_class: HashMap<u32, TraceStats> = HashMap::new();
+                    for acc in &accs {
+                        for (&c, s) in &acc.trace_stats {
+                            by_class.entry(c).or_default().merge(s);
+                        }
+                    }
+                    let mut total = TraceStats::default();
+                    for s in by_class.values() {
+                        total.merge(s);
+                    }
+                    self.trace_recorded
+                        .fetch_add(total.recorded, Ordering::Relaxed);
+                    self.trace_replayed
+                        .fetch_add(total.replayed, Ordering::Relaxed);
+                    self.trace_deopted
+                        .fetch_add(total.deopted, Ordering::Relaxed);
+                    if classifier.is_some() {
+                        per_class_trace = by_class.into_iter().collect();
+                        per_class_trace.sort_unstable_by_key(|&(c, _)| c);
+                    }
+                }
                 reduce_chunk_accs(footprint, accs)?
             }
         };
@@ -477,6 +572,7 @@ impl Gpu {
             config: cfg,
             class_costs: Vec::new(),
             per_class,
+            per_class_trace,
         })
     }
 
@@ -521,7 +617,9 @@ impl Gpu {
                     buffers,
                 })
             }),
-            ExecEngine::Decoded => {
+            // Sampled mode runs one representative per class — there are no
+            // sibling blocks to replay, so `Replay` degenerates to `Decoded`.
+            ExecEngine::Decoded | ExecEngine::Replay => {
                 let dk = self.decode(kernel);
                 Box::new(move |block_idx| {
                     let mut scratch = DecodedScratch::new();
@@ -597,6 +695,7 @@ impl Gpu {
             config: cfg,
             class_costs,
             per_class,
+            per_class_trace: Vec::new(),
         })
     }
 }
@@ -612,6 +711,58 @@ struct ChunkAcc {
     cycles: Vec<u64>,
     writes: Vec<(u32, usize, u32)>,
     err: Option<SimError>,
+    /// Lock-free view of the launch's shared trace cache: once a worker has
+    /// resolved a class's trace it never takes the shared lock again.
+    local_traces: HashMap<u32, Arc<Trace>>,
+    trace_stats: HashMap<u32, TraceStats>,
+}
+
+/// Execute one block under the replay engine: replay its class's trace when
+/// one exists (deopting to the decoded interpreter on a guard miss), or run
+/// decoded while recording a fresh trace when the class is new. The first
+/// recording of a class wins the cache slot; results are bit-identical to
+/// [`run_decoded`] either way, only the stats depend on scheduling.
+#[allow(clippy::too_many_arguments)]
+fn run_block_replay(
+    dk: &DecodedKernel,
+    ctx: &DecodedBlockCtx<'_>,
+    class: u32,
+    shared: &Mutex<HashMap<u32, Arc<Trace>>>,
+    local: &mut HashMap<u32, Arc<Trace>>,
+    stats: &mut HashMap<u32, TraceStats>,
+    scratch: &mut DecodedScratch,
+    writes: &mut Vec<(u32, usize, u32)>,
+) -> Result<(FlatCounters, u64), SimError> {
+    let entry = stats.entry(class).or_default();
+    let trace = match local.get(&class) {
+        Some(t) => Some(Arc::clone(t)),
+        None => {
+            let t = shared.lock().unwrap().get(&class).cloned();
+            if let Some(t) = &t {
+                local.insert(class, Arc::clone(t));
+            }
+            t
+        }
+    };
+    let Some(trace) = trace else {
+        let (counters, cycles, trace) = record_block(dk, ctx, scratch, writes)?;
+        entry.recorded += 1;
+        let trace = Arc::new(trace);
+        let mut cache = shared.lock().unwrap();
+        let cached = cache.entry(class).or_insert(trace);
+        local.insert(class, Arc::clone(cached));
+        return Ok((counters, cycles));
+    };
+    let journal_mark = writes.len();
+    if let Some((counters, cycles)) = replay_block(dk, &trace, ctx, scratch, writes) {
+        entry.replayed += 1;
+        return Ok((counters, cycles));
+    }
+    // Guard miss: discard the partial replay and re-run the block on the
+    // decoded engine (which also reproduces the exact error, if any).
+    writes.truncate(journal_mark);
+    entry.deopted += 1;
+    run_decoded(dk, ctx, scratch, writes)
 }
 
 /// The deterministic reducer of a decoded exhaustive launch: concatenate the
@@ -941,19 +1092,23 @@ mod tests {
         assert_eq!(cfg.total_blocks(), 52);
     }
 
-    /// Run `mode_of()` under both engines and return the two reports plus
-    /// the two output images: (reference, decoded).
-    fn run_both_engines<'m>(
+    /// Run `mode_of()` under all three engines and return each engine's
+    /// report plus output image, in [Reference, Decoded, Replay] order.
+    fn run_all_engines<'m>(
         cfg: LaunchConfig,
         input: &[f32],
         mode_of: impl Fn() -> SimMode<'m>,
-    ) -> ((LaunchReport, Vec<f32>), (LaunchReport, Vec<f32>)) {
+    ) -> Vec<(LaunchReport, Vec<f32>)> {
         let k = grid_kernel();
         let gpu = Gpu::new(DeviceSpec::gtx680());
         let w = (cfg.grid.0 * cfg.block.0) as i32;
         let params = [ParamValue::I32(w - 12), ParamValue::I32(13)];
         let mut out = Vec::new();
-        for engine in [ExecEngine::Reference, ExecEngine::Decoded] {
+        for engine in [
+            ExecEngine::Reference,
+            ExecEngine::Decoded,
+            ExecEngine::Replay,
+        ] {
             let mut bufs = vec![
                 DeviceBuffer::from_f32(input),
                 DeviceBuffer::zeroed(input.len()),
@@ -971,13 +1126,11 @@ mod tests {
                 .unwrap();
             out.push((report, bufs[1].to_f32()));
         }
-        let decoded = out.pop().unwrap();
-        let reference = out.pop().unwrap();
-        (reference, decoded)
+        out
     }
 
     #[test]
-    fn decoded_engine_matches_reference_in_every_mode() {
+    fn fast_engines_match_reference_in_every_mode() {
         let cfg = LaunchConfig {
             grid: (4, 4),
             block: (32, 4),
@@ -986,28 +1139,96 @@ mod tests {
         let input: Vec<f32> = (0..n).map(|i| (i % 11) as f32 - 3.0).collect();
         let classifier = |bx: u32, by: u32| (bx % 2) + 2 * (by % 2);
 
-        let ((r, rp), (d, dp)) = run_both_engines(cfg, &input, || SimMode::Exhaustive);
-        assert_eq!(r.counters, d.counters);
-        assert_eq!(r.timing.cycles, d.timing.cycles);
-        assert_eq!(rp, dp, "exhaustive pixels must be bit-identical");
+        let runs = run_all_engines(cfg, &input, || SimMode::Exhaustive);
+        let (r, rp) = &runs[0];
+        for (e, ep) in &runs[1..] {
+            assert_eq!(r.counters, e.counters);
+            assert_eq!(r.timing.cycles, e.timing.cycles);
+            assert_eq!(rp, ep, "exhaustive pixels must be bit-identical");
+        }
 
-        let ((r, rp), (d, dp)) = run_both_engines(cfg, &input, || SimMode::ExhaustiveClassified {
+        let runs = run_all_engines(cfg, &input, || SimMode::ExhaustiveClassified {
             classifier: &classifier,
         });
-        assert_eq!(r.counters, d.counters);
-        assert_eq!(r.per_class, d.per_class);
-        assert!(!d.per_class.is_empty());
-        assert_eq!(rp, dp);
+        let (r, rp) = &runs[0];
+        for (e, ep) in &runs[1..] {
+            assert_eq!(r.counters, e.counters);
+            assert_eq!(r.per_class, e.per_class);
+            assert!(!e.per_class.is_empty());
+            assert_eq!(rp, ep);
+        }
 
-        let ((r, rp), (d, dp)) = run_both_engines(cfg, &input, || SimMode::RegionSampled {
+        let runs = run_all_engines(cfg, &input, || SimMode::RegionSampled {
             classifier: &classifier,
             paths: None,
         });
-        assert_eq!(r.counters, d.counters);
-        assert_eq!(r.per_class, d.per_class);
-        assert_eq!(r.class_costs, d.class_costs);
-        assert_eq!(r.timing.cycles, d.timing.cycles);
-        assert_eq!(rp, dp, "sampled mode writes nothing under either engine");
+        let (r, rp) = &runs[0];
+        for (e, ep) in &runs[1..] {
+            assert_eq!(r.counters, e.counters);
+            assert_eq!(r.per_class, e.per_class);
+            assert_eq!(r.class_costs, e.class_costs);
+            assert_eq!(r.timing.cycles, e.timing.cycles);
+            assert_eq!(rp, ep, "sampled mode writes nothing under any engine");
+        }
+    }
+
+    #[test]
+    fn replay_engine_reports_trace_reuse() {
+        let k = grid_kernel();
+        let gpu = Gpu::new(DeviceSpec::gtx680());
+        assert_eq!(gpu.engine(), ExecEngine::Replay, "replay is the default");
+        assert_eq!(gpu.trace_stats(), TraceStats::default());
+        // Exact geometry (no ragged edge) with a uniform input: all four
+        // blocks of a class run the identical schedule.
+        let (w, h) = (128usize, 16usize);
+        let cfg = LaunchConfig::for_image(w, h, (32, 4)); // 4x4 grid
+        let params = [ParamValue::I32(w as i32), ParamValue::I32(h as i32)];
+        let classifier = |bx: u32, _by: u32| bx % 2;
+        let mut bufs = vec![
+            DeviceBuffer::from_f32(&vec![1.0; w * h]),
+            DeviceBuffer::zeroed(w * h),
+        ];
+        let report = gpu
+            .launch_with(
+                &k,
+                cfg,
+                &params,
+                &mut bufs,
+                SimMode::ExhaustiveClassified {
+                    classifier: &classifier,
+                },
+                ExecStrategy::Serial,
+            )
+            .unwrap();
+        // Serial strategy: exactly the first block of each class records.
+        let ids: Vec<u32> = report.per_class_trace.iter().map(|&(c, _)| c).collect();
+        assert_eq!(ids, vec![0, 1]);
+        let mut total = TraceStats::default();
+        for (_, s) in &report.per_class_trace {
+            assert_eq!(s.recorded, 1);
+            assert_eq!(s.deopted, 0);
+            total.merge(s);
+        }
+        assert_eq!(
+            total.recorded + total.replayed + total.deopted,
+            cfg.total_blocks()
+        );
+        assert_eq!(gpu.trace_stats(), total, "Gpu aggregates launch stats");
+        // Plain Exhaustive under the same Gpu: reuse counted, no per-class
+        // breakdown (there is no classifier to attribute it to).
+        let mut bufs = vec![
+            DeviceBuffer::from_f32(&vec![1.0; w * h]),
+            DeviceBuffer::zeroed(w * h),
+        ];
+        let plain = gpu
+            .launch(&k, cfg, &params, &mut bufs, SimMode::Exhaustive)
+            .unwrap();
+        assert!(plain.per_class_trace.is_empty());
+        let after = gpu.trace_stats();
+        assert_eq!(
+            after.recorded + after.replayed + after.deopted,
+            2 * cfg.total_blocks()
+        );
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod memory;
 pub mod occupancy;
 pub mod profile;
 pub mod scheduler;
+pub mod trace;
 
 pub use counters::PerfCounters;
 pub use decode::{
@@ -43,6 +44,7 @@ pub use device::{DeviceSpec, GpuArch};
 pub use error::SimError;
 pub use launch::{
     DecodeStats, ExecEngine, ExecStrategy, Gpu, LaunchConfig, LaunchReport, ParamValue, SimMode,
+    TraceStats,
 };
 pub use memory::{DeviceBuffer, TexAddressMode, TexDesc};
 pub use occupancy::{occupancy, Limiter, LimiterSet, OccupancyResult};

@@ -139,6 +139,16 @@ impl DeviceBuffer {
         *self.bits.get_unchecked(addr)
     }
 
+    /// Copy `out.len()` consecutive elements starting at `addr` into `out`.
+    ///
+    /// # Safety
+    /// `addr + out.len()` must not exceed [`DeviceBuffer::len`].
+    #[inline]
+    pub unsafe fn load_span_unchecked(&self, addr: usize, out: &mut [u32]) {
+        debug_assert!(addr + out.len() <= self.bits.len());
+        out.copy_from_slice(self.bits.get_unchecked(addr..addr + out.len()));
+    }
+
     /// Write raw bits.
     #[inline]
     pub fn store_bits(&mut self, addr: usize, bits: u32) {
@@ -209,6 +219,32 @@ pub fn transactions_for_warp_fixed(addrs: &[Option<i64>; 32]) -> u64 {
     distinct
 }
 
+/// Distinct 128-byte segments touched by a full warp of validated element
+/// addresses. This is the counting half of the decoded engine's fused
+/// validate+coalesce path, shared with trace replay so a recomputed
+/// transaction count can never diverge from the recorded one: same
+/// monotonic sort-skip, same distinct-run count as
+/// [`transactions_for_warp_fixed`] over 32 active lanes.
+pub fn segment_count_full(addrs: &[i64; 32]) -> u64 {
+    const ELEMS_PER_SEGMENT: i64 = 32;
+    let mut segs = [0i64; 32];
+    for l in 0..32 {
+        segs[l] = addrs[l].div_euclid(ELEMS_PER_SEGMENT);
+    }
+    let mut monotonic = true;
+    for l in 1..32 {
+        monotonic &= segs[l] >= segs[l - 1];
+    }
+    if !monotonic {
+        segs.sort_unstable();
+    }
+    let mut tx = 1u64;
+    for l in 1..32 {
+        tx += (segs[l] != segs[l - 1]) as u64;
+    }
+    tx
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +298,25 @@ mod tests {
     fn broadcast_access_is_one_transaction() {
         let addrs: Vec<Option<i64>> = (0..32).map(|_| Some(77)).collect();
         assert_eq!(transactions_for_warp(&addrs), 1);
+    }
+
+    #[test]
+    fn full_segment_count_matches_reference() {
+        let cases: Vec<[i64; 32]> = vec![
+            std::array::from_fn(|i| i as i64),
+            std::array::from_fn(|i| i as i64 + 16),
+            std::array::from_fn(|i| i as i64 * 4096),
+            std::array::from_fn(|_| 77),
+            std::array::from_fn(|i| (31 - i) as i64 * 3),
+        ];
+        for addrs in &cases {
+            let opts: [Option<i64>; 32] = std::array::from_fn(|i| Some(addrs[i]));
+            assert_eq!(
+                segment_count_full(addrs),
+                transactions_for_warp(&opts),
+                "{addrs:?}"
+            );
+        }
     }
 
     #[test]

@@ -50,7 +50,11 @@ fn gaussian_64_clamp_counts_are_golden() {
             "naive" => Policy::Naive,
             _ => Policy::AlwaysIsp(Variant::IspBlock),
         };
-        for engine in [ExecEngine::Reference, ExecEngine::Decoded] {
+        for engine in [
+            ExecEngine::Reference,
+            ExecEngine::Decoded,
+            ExecEngine::Replay,
+        ] {
             let got = run(engine, policy);
             assert_eq!(
                 got,

@@ -1,0 +1,446 @@
+//! Differential tests for the guarded trace-replay engine: `Replay` must be
+//! observationally identical to both the decoded engine and the reference
+//! interpreter — same pixels (bit-for-bit), same counters, same cycles,
+//! same write-journal order, same per-class attribution — across every
+//! filter, every border pattern, and randomly generated kernels, including
+//! data-dependent kernels that force replay guards to miss and deopt.
+
+use isp_core::Variant;
+use isp_dsl::pipeline::{PipelineRun, Policy};
+use isp_dsl::runner::ExecMode;
+use isp_dsl::Compiler;
+use isp_exec::Engine;
+use isp_image::{BorderPattern, BorderSpec, ImageGenerator};
+use isp_ir::{BinOp, BlockId, CmpOp, IrBuilder, Kernel, SReg, Ty, UnOp, VReg};
+use isp_sim::{
+    DeviceBuffer, DeviceSpec, ExecEngine, ExecStrategy, Gpu, LaunchConfig, LaunchReport,
+    ParamValue, SimMode,
+};
+use proptest::prelude::*;
+
+const ENGINES: [ExecEngine; 3] = [
+    ExecEngine::Reference,
+    ExecEngine::Decoded,
+    ExecEngine::Replay,
+];
+
+/// Run one app through the pipeline under a given simulator engine.
+fn run_app(
+    engine: ExecEngine,
+    app: &isp_filters::App,
+    pattern: BorderPattern,
+    policy: Policy,
+    mode: ExecMode,
+    size: usize,
+) -> PipelineRun {
+    let gpu = Gpu::new(DeviceSpec::gtx680()).with_engine(engine);
+    let border = BorderSpec {
+        pattern,
+        constant: 0.25,
+    };
+    let source = ImageGenerator::new(99).natural::<f32>(size, size);
+    let compiled = app
+        .pipeline
+        .compile(&Compiler::new(), border, Variant::IspBlock);
+    app.pipeline
+        .run(&gpu, &compiled, &source, border, (32, 4), policy, mode)
+        .unwrap_or_else(|e| panic!("{} {pattern} {policy:?}: {e}", app.name))
+}
+
+/// Assert two pipeline runs are observationally identical.
+fn assert_runs_equal(r: &PipelineRun, d: &PipelineRun, label: &str) {
+    assert_eq!(r.counters, d.counters, "{label}: counters");
+    assert_eq!(r.total_cycles, d.total_cycles, "{label}: cycles");
+    assert_eq!(r.stage_variants, d.stage_variants, "{label}: variants");
+    assert_eq!(r.per_region, d.per_region, "{label}: per-region");
+    match (&r.image, &d.image) {
+        (Some(a), Some(b)) => assert_eq!(a.raw(), b.raw(), "{label}: pixels"),
+        (None, None) => {}
+        _ => panic!("{label}: one engine produced pixels, the other did not"),
+    }
+}
+
+#[test]
+fn every_app_every_pattern_replay_matches_exhaustive() {
+    for app in isp_filters::apps::all_apps() {
+        for pattern in BorderPattern::ALL {
+            for policy in [Policy::Naive, Policy::AlwaysIsp(Variant::IspBlock)] {
+                let label = format!("{} {pattern} {policy:?}", app.name);
+                let p = run_app(
+                    ExecEngine::Replay,
+                    &app,
+                    pattern,
+                    policy,
+                    ExecMode::Exhaustive,
+                    64,
+                );
+                let r = run_app(
+                    ExecEngine::Reference,
+                    &app,
+                    pattern,
+                    policy,
+                    ExecMode::Exhaustive,
+                    64,
+                );
+                assert_runs_equal(&r, &p, &format!("{label} (vs reference)"));
+                let d = run_app(
+                    ExecEngine::Decoded,
+                    &app,
+                    pattern,
+                    policy,
+                    ExecMode::Exhaustive,
+                    64,
+                );
+                assert_runs_equal(&d, &p, &format!("{label} (vs decoded)"));
+            }
+        }
+    }
+}
+
+#[test]
+fn every_app_every_pattern_replay_matches_sampled() {
+    for app in isp_filters::apps::all_apps() {
+        for pattern in BorderPattern::ALL {
+            let p = run_app(
+                ExecEngine::Replay,
+                &app,
+                pattern,
+                Policy::AlwaysIsp(Variant::IspBlock),
+                ExecMode::Sampled,
+                256,
+            );
+            let r = run_app(
+                ExecEngine::Reference,
+                &app,
+                pattern,
+                Policy::AlwaysIsp(Variant::IspBlock),
+                ExecMode::Sampled,
+                256,
+            );
+            assert_runs_equal(&r, &p, &format!("{} {pattern} sampled", app.name));
+        }
+    }
+}
+
+/// Common prologue: global coordinates guarded against the image bounds.
+struct Prologue {
+    b: IrBuilder,
+    exit: BlockId,
+    gx: VReg,
+    gy: VReg,
+    w: VReg,
+}
+
+fn prologue(name: &str) -> Prologue {
+    let mut b = IrBuilder::new(name, 2);
+    let pw = b.param("width", Ty::S32);
+    let ph = b.param("height", Ty::S32);
+    let body = b.create_block("body");
+    let exit = b.create_block("exit");
+    let tx = b.sreg(SReg::TidX);
+    let ty = b.sreg(SReg::TidY);
+    let bx = b.sreg(SReg::CtaIdX);
+    let by = b.sreg(SReg::CtaIdY);
+    let ntx = b.sreg(SReg::NTidX);
+    let nty = b.sreg(SReg::NTidY);
+    let gx = b.mad(Ty::S32, bx, ntx, tx);
+    let gy = b.mad(Ty::S32, by, nty, ty);
+    let w = b.ld_param(pw);
+    let h = b.ld_param(ph);
+    let px = b.setp(CmpOp::Lt, gx, w);
+    let py = b.setp(CmpOp::Lt, gy, h);
+    let p = b.bin(BinOp::And, Ty::Pred, px, py);
+    b.cond_br(p, body, exit);
+    b.switch_to(body);
+    Prologue { b, exit, gx, gy, w }
+}
+
+/// A kernel whose control flow depends on the loaded data: lanes with
+/// positive input take one path, the rest the other. Any block whose
+/// sign pattern differs from the recorded block's must miss the branch
+/// guard and deopt.
+fn data_dependent_kernel() -> Kernel {
+    let Prologue {
+        mut b,
+        exit,
+        gx,
+        gy,
+        w,
+    } = prologue("datadep");
+    let pos = b.create_block("pos");
+    let neg = b.create_block("neg");
+    let addr = b.mad(Ty::S32, gy, w, gx);
+    let v = b.ld(Ty::F32, 0, addr);
+    let c = b.setp(CmpOp::Gt, v, 0.0f32);
+    b.cond_br(c, pos, neg);
+    b.switch_to(pos);
+    let doubled = b.bin(BinOp::Add, Ty::F32, v, v);
+    b.st(1, addr, doubled);
+    b.br(exit);
+    b.switch_to(neg);
+    let negated = b.un(UnOp::Neg, Ty::F32, v);
+    b.st(1, addr, negated);
+    b.br(exit);
+    b.switch_to(exit);
+    b.ret();
+    b.finish()
+}
+
+/// Every block stores into the same small address window, so the final
+/// pixel values depend on the write-journal order across blocks.
+fn conflicting_writes_kernel() -> Kernel {
+    let Prologue {
+        mut b,
+        exit,
+        gx,
+        gy,
+        w,
+    } = prologue("conflict");
+    let addr = b.mad(Ty::S32, gy, w, gx);
+    let v = b.ld(Ty::F32, 0, addr);
+    let slot = b.bin(BinOp::And, Ty::S32, addr, 63);
+    b.st(1, slot, v);
+    b.br(exit);
+    b.switch_to(exit);
+    b.ret();
+    b.finish()
+}
+
+/// Launch `kernel` under every engine and assert bit-identical reports,
+/// per-class attribution, and pixels. Blocks are classified into `classes`
+/// groups so sibling blocks share (and replay) one recorded trace. Returns
+/// the `Gpu` so callers can inspect its trace stats.
+fn assert_engines_agree(
+    kernel: &Kernel,
+    cfg: LaunchConfig,
+    params: &[ParamValue],
+    input: &[f32],
+    strategy: ExecStrategy,
+    classes: u32,
+    label: &str,
+) -> (Gpu, LaunchReport) {
+    let gpu = Gpu::new(DeviceSpec::gtx680());
+    let classifier = move |bx: u32, by: u32| (bx + 2 * by) % classes;
+    let n = input.len();
+    let mut results: Vec<(LaunchReport, Vec<f32>)> = Vec::new();
+    for engine in ENGINES {
+        let mut bufs = vec![DeviceBuffer::from_f32(input), DeviceBuffer::zeroed(n)];
+        let report = gpu
+            .launch_engine(
+                kernel,
+                cfg,
+                params,
+                &mut bufs,
+                SimMode::ExhaustiveClassified {
+                    classifier: &classifier,
+                },
+                strategy,
+                engine,
+            )
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        results.push((report, bufs[1].to_f32()));
+    }
+    let (r_report, r_pixels) = &results[0];
+    for (engine, (report, pixels)) in ENGINES.iter().zip(&results).skip(1) {
+        assert_eq!(r_report.counters, report.counters, "{label} {engine:?}");
+        assert_eq!(
+            r_report.timing.cycles, report.timing.cycles,
+            "{label} {engine:?} cycles"
+        );
+        assert_eq!(
+            r_report.per_class, report.per_class,
+            "{label} {engine:?} per-class"
+        );
+        let bits_r: Vec<u32> = r_pixels.iter().map(|v| v.to_bits()).collect();
+        let bits_e: Vec<u32> = pixels.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits_r, bits_e, "{label} {engine:?} pixels (bit compare)");
+    }
+    let (replay_report, _) = results.pop().unwrap();
+    (gpu, replay_report)
+}
+
+#[test]
+fn data_dependent_branch_deopts_and_stays_exact() {
+    let kernel = data_dependent_kernel();
+    let (w, h) = (64usize, 8usize);
+    let cfg = LaunchConfig::for_image(w, h, (32, 4));
+    assert_eq!(cfg.grid, (2, 2));
+    let params = [ParamValue::I32(w as i32), ParamValue::I32(h as i32)];
+    // Block (0,0) (x 0..32, y 0..4) sees all-positive inputs and records a
+    // trace whose branch outcome is "every lane true". The other blocks mix
+    // signs, so their predicate lanes cannot reproduce the recorded outcome:
+    // the guard must miss and the block must deopt — with bit-exact results.
+    let input: Vec<f32> = (0..w * h)
+        .map(|i| {
+            let (x, y) = (i % w, i / w);
+            if x < 32 && y < 4 {
+                1.0 + (i % 5) as f32
+            } else if (x + y) % 2 == 0 {
+                0.5
+            } else {
+                -1.5 - (i % 3) as f32
+            }
+        })
+        .collect();
+    // One class and the serial strategy: block (0,0) deterministically
+    // records; every different-signed block deopts.
+    let (gpu, report) = assert_engines_agree(
+        &kernel,
+        cfg,
+        &params,
+        &input,
+        ExecStrategy::Serial,
+        1,
+        "datadep",
+    );
+    let stats = gpu.trace_stats();
+    assert!(
+        stats.deopted >= 1,
+        "mixed-sign blocks must deopt: {stats:?}"
+    );
+    assert_eq!(
+        stats.recorded + stats.replayed + stats.deopted,
+        cfg.total_blocks(),
+        "every block is accounted for"
+    );
+    let total: u64 = report
+        .per_class_trace
+        .iter()
+        .map(|(_, s)| s.recorded + s.replayed + s.deopted)
+        .sum();
+    assert_eq!(total, cfg.total_blocks(), "per-class trace covers the grid");
+}
+
+#[test]
+fn deopts_are_counted_in_engine_cache_stats() {
+    let kernel = data_dependent_kernel();
+    let engine = Engine::new(DeviceSpec::gtx680());
+    assert_eq!(engine.cache_stats().trace_deopts, 0);
+    let (w, h) = (64usize, 8usize);
+    let cfg = LaunchConfig::for_image(w, h, (32, 4));
+    let params = [ParamValue::I32(w as i32), ParamValue::I32(h as i32)];
+    let input: Vec<f32> = (0..w * h).map(|i| (i % 7) as f32 - 3.0).collect();
+    let mut bufs = vec![DeviceBuffer::from_f32(&input), DeviceBuffer::zeroed(w * h)];
+    engine
+        .gpu()
+        .launch_with(
+            &kernel,
+            cfg,
+            &params,
+            &mut bufs,
+            SimMode::Exhaustive,
+            ExecStrategy::Serial,
+        )
+        .unwrap();
+    let stats = engine.cache_stats();
+    assert!(stats.trace_recorded >= 1, "{stats:?}");
+    assert!(stats.trace_deopts >= 1, "{stats:?}");
+}
+
+#[test]
+fn conflicting_writes_replay_in_dispatch_order() {
+    let kernel = conflicting_writes_kernel();
+    let (w, h) = (64usize, 16usize);
+    let cfg = LaunchConfig::for_image(w, h, (32, 4));
+    let params = [ParamValue::I32(w as i32), ParamValue::I32(h as i32)];
+    let input: Vec<f32> = (0..w * h).map(|i| i as f32).collect();
+    // All blocks funnel their stores into out[0..64]: identical pixels
+    // across engines proves the replayed write journal preserves dispatch
+    // order, under both scheduling strategies. Two classes over a (2,4)
+    // grid make six of the eight blocks replay a sibling's trace.
+    for strategy in [ExecStrategy::Parallel, ExecStrategy::Serial] {
+        let (gpu, _) = assert_engines_agree(&kernel, cfg, &params, &input, strategy, 2, "conflict");
+        if strategy == ExecStrategy::Serial {
+            let stats = gpu.trace_stats();
+            assert_eq!(stats.recorded, 2, "{stats:?}");
+            assert_eq!(stats.replayed, 6, "{stats:?}");
+            assert_eq!(stats.deopted, 0, "{stats:?}");
+        }
+    }
+}
+
+/// Build a loop-free two-buffer kernel from a random op tape (same shape as
+/// `decoded_diff`'s generator: bounds guard, op chain, optional divergent
+/// odd/even store).
+fn prop_kernel(ops: &[(u8, i32)], divergent: bool) -> Kernel {
+    let Prologue {
+        mut b,
+        exit,
+        gx,
+        gy,
+        w,
+    } = prologue("prop");
+    let addr = b.mad(Ty::S32, gy, w, gx);
+    let mut v = b.ld(Ty::F32, 0, addr);
+    let mut iv = addr;
+    for &(code, raw) in ops {
+        let fi = (raw % 17) as f32 * 0.25 - 2.0;
+        let ii = raw % 13;
+        match code % 8 {
+            0 => v = b.bin(BinOp::Add, Ty::F32, v, fi),
+            1 => v = b.bin(BinOp::Sub, Ty::F32, fi, v),
+            2 => v = b.bin(BinOp::Mul, Ty::F32, v, fi),
+            3 => v = b.bin(BinOp::Min, Ty::F32, v, fi),
+            4 => v = b.un(UnOp::Abs, Ty::F32, v),
+            5 => {
+                let c = b.setp(CmpOp::Gt, v, fi);
+                v = b.selp(Ty::F32, v, fi, c);
+            }
+            6 => {
+                iv = b.bin(BinOp::Xor, Ty::S32, iv, ii);
+                let f = b.cvt(Ty::F32, iv);
+                v = b.bin(BinOp::Add, Ty::F32, v, f);
+            }
+            _ => {
+                iv = b.bin(BinOp::And, Ty::S32, iv, 0x3fff);
+                let f = b.cvt(Ty::F32, iv);
+                v = b.bin(BinOp::Max, Ty::F32, v, f);
+            }
+        }
+    }
+    if divergent {
+        let even_blk = b.create_block("even");
+        let odd_blk = b.create_block("odd");
+        let bit = b.bin(BinOp::And, Ty::S32, gx, 1);
+        let c = b.setp(CmpOp::Eq, bit, 0);
+        b.cond_br(c, even_blk, odd_blk);
+        b.switch_to(even_blk);
+        b.st(1, addr, v);
+        b.br(exit);
+        b.switch_to(odd_blk);
+        let neg = b.un(UnOp::Neg, Ty::F32, v);
+        b.st(1, addr, neg);
+        b.br(exit);
+    } else {
+        b.st(1, addr, v);
+        b.br(exit);
+    }
+    b.switch_to(exit);
+    b.ret();
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Generated loop-free kernels execute bit-identically under all three
+    /// engines at the launch level — counters, cycles, per-class
+    /// attribution, and pixels — with ragged edges exercising both clean
+    /// replays and guard-miss deopts.
+    #[test]
+    fn generated_kernels_replay_bit_identically(
+        tape in proptest::collection::vec((0u8..8, -1000i32..1000), 8),
+        len in 0usize..8,
+        divergent in 0u8..2,
+        w_off in 0i32..12,
+        h_off in 0i32..4,
+    ) {
+        let kernel = prop_kernel(&tape[..len], divergent == 1);
+        let cfg = LaunchConfig { grid: (2, 2), block: (32, 4) };
+        let (w, h) = (64 - w_off, 8 - h_off);
+        let params = [ParamValue::I32(w), ParamValue::I32(h)];
+        let n = 2 * 32 * 2 * 4;
+        let input: Vec<f32> = (0..n).map(|i| (i % 23) as f32 * 0.5 - 5.0).collect();
+        assert_engines_agree(&kernel, cfg, &params, &input, ExecStrategy::Parallel, 2, "prop");
+    }
+}
