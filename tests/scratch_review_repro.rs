@@ -1,0 +1,59 @@
+//! Review scratch: min(ctaid.x, K) compared against ctaid.x, branch on it.
+
+use isp_ir::{BinOp, CmpOp, IrBuilder, SReg, Ty};
+use isp_sim::{
+    DeviceBuffer, DeviceSpec, ExecEngine, ExecStrategy, Gpu, LaunchConfig, ParamValue, SimMode,
+};
+
+fn kernel() -> isp_ir::Kernel {
+    let mut b = IrBuilder::new("clamp_branch", 1);
+    let bx = b.sreg(SReg::CtaIdX);
+    let tid = b.sreg(SReg::TidX);
+    // c = min(bx, 3): claimed affine coeff 1 at record block 0 (a wins).
+    let c = b.bin(BinOp::Min, Ty::S32, bx, 3i32);
+    // p = (c < bx): claimed block-invariant (coeff diff 0) -> empty pin.
+    let p = b.setp(CmpOp::Lt, c, bx);
+    let t = b.create_block("t");
+    let f = b.create_block("f");
+    let done = b.create_block("done");
+    // addr = bx*32 + tid (affine, rebased store address)
+    let addr = b.mad(Ty::S32, bx, 32i32, tid);
+    b.cond_br(p, t, f);
+    b.switch_to(t);
+    b.st(0, addr, 111.0f32);
+    b.br(done);
+    b.switch_to(f);
+    b.st(0, addr, 222.0f32);
+    b.br(done);
+    b.switch_to(done);
+    b.ret();
+    b.finish()
+}
+
+#[test]
+fn review_repro_min_pin_interaction() {
+    let k = kernel();
+    let errs = isp_ir::validate::validate(&k);
+    assert!(errs.is_empty(), "{errs:?}");
+    let cfg = LaunchConfig {
+        grid: (8, 1),
+        block: (32, 1),
+    };
+    let mut outs = Vec::new();
+    for engine in [ExecEngine::Decoded, ExecEngine::Replay] {
+        let gpu = Gpu::new(DeviceSpec::gtx680()).with_engine(engine);
+        let mut bufs = vec![DeviceBuffer::zeroed(8 * 32)];
+        let params: [ParamValue; 0] = [];
+        gpu.launch_with(
+            &k,
+            cfg,
+            &params,
+            &mut bufs,
+            SimMode::Exhaustive,
+            ExecStrategy::Serial,
+        )
+        .unwrap();
+        outs.push(bufs[0].to_f32());
+    }
+    assert_eq!(outs[0], outs[1], "decoded vs replay pixels");
+}
