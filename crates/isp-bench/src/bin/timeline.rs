@@ -1,0 +1,111 @@
+//! Observability harness: run one filter through a probed engine and export
+//! the recorded spans, metrics, and simulated-time launch timelines as a
+//! Chrome trace-event document (Perfetto-loadable).
+//!
+//! Writes `target/results/TRACE_PR5.json` (the trace: open it at
+//! <https://ui.perfetto.dev> or `chrome://tracing`) and
+//! `target/results/BENCH_PR5.json` (the aggregated metrics registry).
+//!
+//! Usage: `cargo run -p isp-bench --bin timeline --release [-- filter pattern size]`
+//!
+//! Defaults to gaussian/clamp at 128 px — small enough for the exhaustive
+//! engines CI runs, large enough that every one of the nine regions is
+//! populated and the replay engine records, replays, and (on ragged
+//! geometries) deopts.
+
+use isp_bench::report::{results_dir, write_json_doc};
+use isp_core::Region;
+use isp_dsl::pipeline::Policy;
+use isp_exec::{Engine, Request};
+use isp_filters::by_name;
+use isp_image::BorderPattern;
+use isp_json::Json;
+use isp_probe::RecordingProbe;
+use isp_sim::{DeoptReason, DeviceSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let filter = args.first().map(String::as_str).unwrap_or("gaussian");
+    let pattern = match args.get(1).map(String::as_str).unwrap_or("clamp") {
+        "clamp" => BorderPattern::Clamp,
+        "mirror" => BorderPattern::Mirror,
+        "repeat" => BorderPattern::Repeat,
+        "constant" => BorderPattern::Constant,
+        other => panic!("unknown pattern '{other}'"),
+    };
+    let size: usize = args
+        .get(2)
+        .map(|s| s.parse().expect("size must be an integer"))
+        .unwrap_or(128);
+
+    let app = by_name(filter).unwrap_or_else(|| panic!("unknown filter '{filter}'"));
+
+    // A fresh engine (not the process-global share) so the trace contains
+    // exactly this run: cold compiles, cold plans, cold trace cache.
+    let (probe, handle) = RecordingProbe::new_handle();
+    let engine = Engine::new(DeviceSpec::gtx680()).with_probe(handle);
+
+    // One naive and one ISP pass, exhaustively: the naive launch gives the
+    // single-class baseline lane, the ISP launch the nine-region picture
+    // with recorded/replayed/deopted block outcomes.
+    for policy in [
+        Policy::Naive,
+        Policy::AlwaysIsp(isp_core::Variant::IspBlock),
+    ] {
+        let req = Request::paper(app.clone(), pattern, size, policy).exhaustive();
+        engine
+            .run(&req)
+            .unwrap_or_else(|e| panic!("{filter} {pattern} {size}: {e}"));
+    }
+
+    // Block classes are region indices; label slices with the region names
+    // so Perfetto colors the timeline by region.
+    let class_name = |c: u32| {
+        Region::ALL
+            .get(c as usize)
+            .map(|r| format!("{r:?}"))
+            .unwrap_or_else(|| format!("class {c}"))
+    };
+    let trace = probe.chrome_trace(&class_name);
+    let dir = results_dir().expect("create target/results");
+    let trace_path = dir.join("TRACE_PR5.json");
+    std::fs::write(&trace_path, trace.render_pretty()).expect("write trace");
+
+    let stats = engine.cache_stats();
+    let mut reasons = Json::obj();
+    for &d in DeoptReason::ALL.iter() {
+        reasons = reasons.set(d.name(), stats.trace_deopt_reasons[d.index()]);
+    }
+    let doc = Json::obj()
+        .set("schema", "isp-probe-v1")
+        .set(
+            "config",
+            Json::obj()
+                .set("filter", filter)
+                .set("pattern", pattern.name())
+                .set("size", size)
+                .set("device", engine.device().name),
+        )
+        .set(
+            "trace_cache",
+            Json::obj()
+                .set("recorded", stats.trace_recorded)
+                .set("replayed", stats.trace_replayed)
+                .set("deopted", stats.trace_deopts)
+                .set("deopt_reasons", reasons.sort_keys()),
+        )
+        .set("metrics", probe.metrics_json());
+    let bench_path = write_json_doc("BENCH_PR5", &doc).expect("write metrics");
+
+    let timelines = probe.timelines();
+    let spans = probe.host_events().len();
+    let slices: usize = timelines.iter().map(|t| t.slices.len()).sum();
+    let deopts: usize = timelines.iter().map(|t| t.deopts.len()).sum();
+    println!(
+        "captured {spans} host events, {} launch timelines ({slices} block slices, {deopts} deopt markers)",
+        timelines.len()
+    );
+    println!("trace:   {}", trace_path.display());
+    println!("metrics: {}", bench_path.display());
+    println!("open the trace at https://ui.perfetto.dev");
+}

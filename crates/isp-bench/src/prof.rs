@@ -17,7 +17,7 @@ use isp_exec::Engine;
 use isp_image::{BorderPattern, Image};
 use isp_json::Json;
 use isp_sim::profile::counters_to_json;
-use isp_sim::{DeviceSpec, PerfCounters, SimError, TraceStats};
+use isp_sim::{DeoptReason, DeviceSpec, PerfCounters, SimError, TraceStats};
 
 /// Measured vs predicted figures for one region.
 #[derive(Debug, Clone)]
@@ -199,6 +199,18 @@ pub fn format_profile(p: &KernelProfile) -> String {
         ]);
     }
     s.push_str(&t.render());
+    let mut reasons = [0u64; DeoptReason::COUNT];
+    for r in &p.regions {
+        for (slot, n) in reasons.iter_mut().zip(r.trace.deopt_reasons) {
+            *slot += n;
+        }
+    }
+    let by_reason = DeoptReason::ALL
+        .iter()
+        .map(|&d| format!("{} {}", d.name(), reasons[d.index()]))
+        .collect::<Vec<String>>()
+        .join(", ");
+    s.push_str(&format!("deopts by reason: {by_reason}\n"));
     let isp_total = p.isp.report.counters.warp_instructions;
     let isp_residual = (isp_total as f64 - p.n_isp_model) / p.n_isp_model;
     s.push_str(&format!(
@@ -229,13 +241,18 @@ pub fn profile_to_json(p: &KernelProfile) -> Json {
                 .set("counters", counters_to_json(&r.counters))
                 .set("predicted_warp_instructions", r.predicted_warp_instructions)
                 .set("residual", r.residual)
-                .set(
-                    "trace",
+                .set("trace", {
+                    let mut reasons = Json::obj();
+                    for &d in DeoptReason::ALL.iter() {
+                        reasons = reasons.set(d.name(), r.trace.deopt_reasons[d.index()]);
+                    }
                     Json::obj()
                         .set("recorded", r.trace.recorded)
                         .set("replayed", r.trace.replayed)
-                        .set("deopted", r.trace.deopted),
-                )
+                        .set("deopted", r.trace.deopted)
+                        // Sorted keys: byte-stable regardless of enum order.
+                        .set("deopt_reasons", reasons.sort_keys())
+                })
         })
         .collect::<Vec<Json>>();
     Json::obj()
@@ -334,9 +351,12 @@ mod tests {
         assert!(text.contains("residual"));
         assert!(text.contains("R_reduced"));
         assert!(text.contains("replayed"));
+        assert!(text.contains("deopts by reason"));
         let json = profile_to_json(&p).render_pretty();
         assert!(json.contains("\"per_region\""));
         assert!(json.contains("\"replayed\""));
+        assert!(json.contains("\"deopt_reasons\""));
+        assert!(json.contains("\"mem-pattern\""));
         assert!(json.contains("\"n_isp\""));
         assert!(json.contains("\"residual\""));
         assert!(json.contains("\"warp_instructions\""));

@@ -61,6 +61,9 @@ pub struct CacheStats {
     pub trace_replayed: u64,
     /// Blocks that failed a replay guard and re-ran on the decoded engine.
     pub trace_deopts: u64,
+    /// Deopts broken down by guard reason, indexed by
+    /// [`isp_sim::DeoptReason::index`] (sums to `trace_deopts`).
+    pub trace_deopt_reasons: [u64; isp_sim::DeoptReason::COUNT],
 }
 
 /// Live hit/miss counters (atomics so [`crate::Engine`] stays `Sync`).
@@ -102,6 +105,7 @@ impl CacheCounters {
             trace_recorded: 0,
             trace_replayed: 0,
             trace_deopts: 0,
+            trace_deopt_reasons: [0; isp_sim::DeoptReason::COUNT],
         }
     }
 }

@@ -13,6 +13,7 @@ use isp_dsl::runner::{geometry_for, plan_for, run_filter_with, ExecMode, ExecStr
 use isp_dsl::FilterOutput;
 use isp_dsl::{CompiledKernel, Compiler, KernelSpec, Pipeline};
 use isp_image::{BorderPattern, BorderSpec, Image};
+use isp_probe::ProbeHandle;
 use isp_sim::{DeviceSpec, ExecEngine, Gpu, SimError};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -32,6 +33,7 @@ pub struct Engine {
     kernels: Mutex<HashMap<KernelKey, Arc<CompiledKernel>>>,
     plans: Mutex<HashMap<PlanKey, Plan>>,
     counters: CacheCounters,
+    probe: ProbeHandle,
 }
 
 impl Engine {
@@ -53,7 +55,19 @@ impl Engine {
             kernels: Mutex::new(HashMap::new()),
             plans: Mutex::new(HashMap::new()),
             counters: CacheCounters::default(),
+            probe: ProbeHandle::none(),
         }
+    }
+
+    /// Attach a probe sink to this engine and its [`Gpu`]. Compile, plan,
+    /// and request spans, cache hit/miss instants, and per-launch simulated
+    /// timelines flow into it; with the default [`ProbeHandle::none`] every
+    /// probe call is a single branch on a cached flag. Intended for freshly
+    /// built engines (the `timeline` binary), not [`Engine::global`] shares.
+    pub fn with_probe(mut self, probe: ProbeHandle) -> Self {
+        self.gpu.set_probe(probe.clone());
+        self.probe = probe;
+        self
     }
 
     /// The process-wide shared engine for a device, so independent callers
@@ -93,8 +107,16 @@ impl Engine {
         let key = (spec_fingerprint(spec), pattern, granularity);
         if let Some(hit) = self.kernels.lock().expect("kernel cache lock").get(&key) {
             self.counters.kernel_hit();
+            self.probe.count("engine.kernel_hits", 1);
+            self.probe.instant(
+                "kernel-cache-hit",
+                "engine",
+                Some(format!("{} {pattern} {granularity:?}", spec.name)),
+            );
             return Arc::clone(hit);
         }
+        self.probe.count("engine.kernel_misses", 1);
+        let started = self.probe.begin();
         // Compile outside the lock: kernels are large and compilation is
         // the expensive step the cache exists to amortise.
         let compiled = Arc::new(self.compiler.compile(spec, pattern, granularity));
@@ -113,6 +135,9 @@ impl Engine {
                 self.gpu.decode(&variant.kernel);
             }
         }
+        self.probe.span("compile", "engine", started, || {
+            Some(format!("{} {pattern} {granularity:?}", spec.name))
+        });
         let mut map = self.kernels.lock().expect("kernel cache lock");
         let entry = map.entry(key).or_insert_with(|| Arc::clone(&compiled));
         self.counters.kernel_miss();
@@ -144,9 +169,18 @@ impl Engine {
         );
         if let Some(hit) = self.plans.lock().expect("plan cache lock").get(&key) {
             self.counters.plan_hit();
+            self.probe.count("engine.plan_hits", 1);
             return *hit;
         }
+        self.probe.count("engine.plan_misses", 1);
+        let started = self.probe.begin();
         let plan = plan_for(&self.gpu, ck, geom);
+        self.probe.span("plan", "engine", started, || {
+            Some(format!(
+                "{} {}x{} -> {:?}",
+                ck.spec.name, geom.sx, geom.sy, plan.variant
+            ))
+        });
         self.plans
             .lock()
             .expect("plan cache lock")
@@ -175,6 +209,7 @@ impl Engine {
             "source must match the request size"
         );
         let border = BorderSpec::from_pattern(req.pattern);
+        let started = self.probe.begin();
         let compiled = self.compile_pipeline(&req.app.pipeline, req.pattern, req.granularity);
         let refs: Vec<&CompiledKernel> = compiled.iter().map(Arc::as_ref).collect();
         let run = req.app.pipeline.run_with(
@@ -188,6 +223,12 @@ impl Engine {
             req.strategy,
             &mut |_, ck, geom| self.plan(ck, geom),
         )?;
+        self.probe.span("request", "engine", started, || {
+            Some(format!(
+                "{} {} {}px {:?}",
+                req.app.name, req.pattern, req.size, req.policy
+            ))
+        });
         Ok(Outcome {
             image: run.image,
             total_cycles: run.total_cycles,
@@ -276,6 +317,7 @@ impl Engine {
         stats.trace_recorded = trace.recorded;
         stats.trace_replayed = trace.replayed;
         stats.trace_deopts = trace.deopted;
+        stats.trace_deopt_reasons = trace.deopt_reasons;
         stats
     }
 }

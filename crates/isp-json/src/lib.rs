@@ -60,6 +60,26 @@ impl Json {
         }
     }
 
+    /// Sort every object's keys recursively (arrays keep element order).
+    /// Insertion order is already deterministic for a fixed code path;
+    /// `sort_keys` makes documents whose objects are built from maps or in
+    /// data-dependent order (per-region/per-class breakdowns) byte-stable
+    /// regardless of how they were assembled.
+    pub fn sort_keys(self) -> Json {
+        match self {
+            Json::Arr(items) => Json::Arr(items.into_iter().map(Json::sort_keys).collect()),
+            Json::Obj(fields) => {
+                let mut fields: Vec<(String, Json)> = fields
+                    .into_iter()
+                    .map(|(k, v)| (k, v.sort_keys()))
+                    .collect();
+                fields.sort_by(|(a, _), (b, _)| a.cmp(b));
+                Json::Obj(fields)
+            }
+            other => other,
+        }
+    }
+
     /// Render as compact single-line JSON.
     pub fn render(&self) -> String {
         let mut s = String::new();
@@ -262,6 +282,20 @@ mod tests {
         assert_eq!(j.render(), "{\"z\": 1, \"a\": 2, \"m\": [1, \"x\"]}");
         assert_eq!(j.get("a"), Some(&Json::U64(2)));
         assert_eq!(j.get("missing"), None);
+    }
+
+    #[test]
+    fn sort_keys_orders_objects_recursively() {
+        let j = Json::obj()
+            .set("z", Json::obj().set("b", 1u64).set("a", 2u64))
+            .set(
+                "a",
+                Json::Arr(vec![Json::obj().set("y", 1u64).set("x", 2u64)]),
+            );
+        assert_eq!(
+            j.sort_keys().render(),
+            "{\"a\": [{\"x\": 2, \"y\": 1}], \"z\": {\"a\": 2, \"b\": 1}}"
+        );
     }
 
     #[test]

@@ -1,0 +1,330 @@
+//! Chrome trace-event export (the JSON object format Perfetto and
+//! `chrome://tracing` load).
+//!
+//! Layout of the emitted document:
+//!
+//! - **pid 1 — `host`**: wall-clock engine spans and instants, one Chrome
+//!   thread per recording OS thread, timestamps in microseconds since the
+//!   probe epoch. Spans are emitted as balanced `"B"`/`"E"` pairs; per
+//!   thread they nest by construction (begin/end discipline), and the
+//!   emitter closes parents with a stack so timestamps are monotonically
+//!   non-decreasing within each lane.
+//! - **pid 2+k — one process per launch timeline**: one Chrome thread per
+//!   SM, one `"B"`/`"E"` slice per block *named by its region class* (which
+//!   is what Perfetto colors by), and `"i"` instants where replay deopts
+//!   retired, carrying the guard reason in `args`. Simulated cycles are
+//!   rendered one-cycle-per-microsecond (the trace format has no unit
+//!   field); `otherData.sim_clock` documents the convention.
+//!
+//! Every event lane — host threads and SM lanes alike — is emitted in
+//! non-decreasing timestamp order with balanced span brackets, which
+//! `tests/probe.rs` verifies on the rendered document.
+
+use crate::timeline::SimTimeline;
+use crate::{HostEvent, HostEventKind};
+use isp_json::Json;
+
+/// Host events live in this Chrome process.
+pub const HOST_PID: u32 = 1;
+
+/// The first launch timeline's Chrome process id; timeline `k` gets
+/// `SIM_PID_BASE + k`.
+pub const SIM_PID_BASE: u32 = 2;
+
+fn meta(name: &str, pid: u32, tid: u32, value: String) -> Json {
+    Json::obj()
+        .set("name", name)
+        .set("ph", "M")
+        .set("pid", pid)
+        .set("tid", tid)
+        .set("ts", 0u64)
+        .set("args", Json::obj().set("name", value))
+}
+
+fn begin(name: &str, cat: &str, pid: u32, tid: u32, ts: u64, args: Json) -> Json {
+    Json::obj()
+        .set("name", name)
+        .set("cat", cat)
+        .set("ph", "B")
+        .set("pid", pid)
+        .set("tid", tid)
+        .set("ts", ts)
+        .set("args", args)
+}
+
+fn end(name: &str, cat: &str, pid: u32, tid: u32, ts: u64) -> Json {
+    Json::obj()
+        .set("name", name)
+        .set("cat", cat)
+        .set("ph", "E")
+        .set("pid", pid)
+        .set("tid", tid)
+        .set("ts", ts)
+}
+
+fn instant(name: &str, cat: &str, pid: u32, tid: u32, ts: u64, args: Json) -> Json {
+    Json::obj()
+        .set("name", name)
+        .set("cat", cat)
+        .set("ph", "i")
+        .set("s", "t")
+        .set("pid", pid)
+        .set("tid", tid)
+        .set("ts", ts)
+        .set("args", args)
+}
+
+/// Emit one host thread's events. `items` must be the thread's events;
+/// they are sorted by `(start, end descending)` so parents precede the
+/// children they enclose, and a stack of open span ends closes each span
+/// at the right moment.
+fn emit_host_thread(out: &mut Vec<Json>, tid: u32, mut items: Vec<&HostEvent>) {
+    items.sort_by(|a, b| {
+        (a.start_us, std::cmp::Reverse(a.start_us + a.dur_us))
+            .cmp(&(b.start_us, std::cmp::Reverse(b.start_us + b.dur_us)))
+    });
+    // Open spans: (end_us, name, cat), outermost first.
+    fn close_until(
+        out: &mut Vec<Json>,
+        open: &mut Vec<(u64, String, &'static str)>,
+        tid: u32,
+        ts: u64,
+    ) {
+        while let Some((end_us, _, _)) = open.last() {
+            if *end_us <= ts {
+                let (end_us, name, cat) = open.pop().unwrap();
+                out.push(end(&name, cat, HOST_PID, tid, end_us));
+            } else {
+                break;
+            }
+        }
+    }
+    let mut open: Vec<(u64, String, &'static str)> = Vec::new();
+    for ev in items {
+        close_until(out, &mut open, tid, ev.start_us);
+        let mut args = Json::obj();
+        if let Some(d) = &ev.detail {
+            args = args.set("detail", d.as_str());
+        }
+        match ev.kind {
+            HostEventKind::Span => {
+                out.push(begin(&ev.name, ev.cat, HOST_PID, tid, ev.start_us, args));
+                open.push((ev.start_us + ev.dur_us, ev.name.clone(), ev.cat));
+            }
+            HostEventKind::Instant => {
+                out.push(instant(&ev.name, ev.cat, HOST_PID, tid, ev.start_us, args));
+            }
+        }
+    }
+    // Close whatever is still open, innermost first (ends are
+    // non-increasing down the stack, so timestamps stay monotonic).
+    while let Some((end_us, name, cat)) = open.pop() {
+        out.push(end(&name, cat, HOST_PID, tid, end_us));
+    }
+}
+
+fn emit_timeline(
+    out: &mut Vec<Json>,
+    pid: u32,
+    tl: &SimTimeline,
+    class_name: &dyn Fn(u32) -> String,
+) {
+    out.push(meta("process_name", pid, 0, format!("sim: {}", tl.name)));
+    let mut sms: Vec<u32> = tl.slices.iter().map(|s| s.sm).collect();
+    sms.sort_unstable();
+    sms.dedup();
+    for &sm in &sms {
+        out.push(meta("thread_name", pid, sm, format!("SM {sm}")));
+    }
+
+    // Per-SM event streams, merged by (timestamp, E < i < B) so a block's
+    // end, its deopt marker, and the next block's begin land in that order
+    // when they share a cycle.
+    let ov = tl.launch_overhead;
+    let mut lane: Vec<(u64, u8, Json)> = Vec::new();
+    for &sm in &sms {
+        lane.clear();
+        for s in tl.slices.iter().filter(|s| s.sm == sm) {
+            let name = class_name(s.class);
+            let args = Json::obj()
+                .set("block", format!("({}, {})", s.block.0, s.block.1))
+                .set("class", s.class)
+                .set("outcome", s.outcome)
+                .set("cycles", s.end - s.start);
+            lane.push((
+                ov + s.start,
+                2,
+                begin(&name, "sim", pid, sm, ov + s.start, args),
+            ));
+            lane.push((ov + s.end, 0, end(&name, "sim", pid, sm, ov + s.end)));
+        }
+        for d in tl.deopts.iter().filter(|d| d.sm == sm) {
+            let args = Json::obj()
+                .set("reason", d.reason)
+                .set("class", class_name(d.class));
+            lane.push((
+                ov + d.at,
+                1,
+                instant(
+                    &format!("deopt: {}", d.reason),
+                    "deopt",
+                    pid,
+                    sm,
+                    ov + d.at,
+                    args,
+                ),
+            ));
+        }
+        lane.sort_by_key(|&(ts, rank, _)| (ts, rank));
+        out.extend(lane.drain(..).map(|(_, _, ev)| ev));
+    }
+}
+
+/// Build the full Chrome trace-event document from recorded host events and
+/// launch timelines. `class_name` maps block-class ids to slice titles.
+pub fn chrome_trace(
+    host: &[HostEvent],
+    timelines: &[SimTimeline],
+    class_name: &dyn Fn(u32) -> String,
+) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+    events.push(meta("process_name", HOST_PID, 0, "host".to_string()));
+
+    let mut tids: Vec<u32> = host.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for &tid in &tids {
+        events.push(meta(
+            "thread_name",
+            HOST_PID,
+            tid,
+            format!("engine thread {tid}"),
+        ));
+        emit_host_thread(
+            &mut events,
+            tid,
+            host.iter().filter(|e| e.tid == tid).collect(),
+        );
+    }
+
+    for (k, tl) in timelines.iter().enumerate() {
+        emit_timeline(&mut events, SIM_PID_BASE + k as u32, tl, class_name);
+    }
+
+    Json::obj()
+        .set("traceEvents", Json::Arr(events))
+        .set("displayTimeUnit", "ms")
+        .set(
+            "otherData",
+            Json::obj()
+                .set("schema", "isp-trace-v1")
+                .set("host_clock", "microseconds since probe construction")
+                .set(
+                    "sim_clock",
+                    "simulated cycles rendered as microseconds (1 cycle = 1 us)",
+                ),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::{BlockSlice, DeoptInstant};
+
+    fn span(name: &str, tid: u32, start_us: u64, dur_us: u64) -> HostEvent {
+        HostEvent {
+            kind: HostEventKind::Span,
+            name: name.to_string(),
+            cat: "test",
+            detail: None,
+            tid,
+            start_us,
+            dur_us,
+        }
+    }
+
+    fn phases(doc: &Json, pid: u64, tid: u64) -> Vec<(String, u64)> {
+        let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+            panic!("no traceEvents");
+        };
+        events
+            .iter()
+            .filter(|e| {
+                e.get("pid") == Some(&Json::U64(pid))
+                    && e.get("tid") == Some(&Json::U64(tid))
+                    && e.get("ph") != Some(&Json::Str("M".to_string()))
+            })
+            .map(|e| {
+                let Some(Json::Str(ph)) = e.get("ph") else {
+                    panic!("no ph");
+                };
+                let Some(Json::U64(ts)) = e.get("ts") else {
+                    panic!("no ts");
+                };
+                (ph.clone(), *ts)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn nested_and_sequential_spans_emit_balanced_monotonic_brackets() {
+        // Recording order is *end* order: the inner span lands in the
+        // buffer before its parent. The emitter must still produce
+        // B(parent) B(inner) E(inner) E(parent) B(next) E(next).
+        let host = vec![
+            span("inner", 0, 10, 5),
+            span("parent", 0, 0, 30),
+            span("next", 0, 40, 5),
+        ];
+        let doc = chrome_trace(&host, &[], &|c| format!("class{c}"));
+        let seq = phases(&doc, HOST_PID as u64, 0);
+        let phs: Vec<&str> = seq.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(phs, ["B", "B", "E", "E", "B", "E"]);
+        let ts: Vec<u64> = seq.iter().map(|&(_, t)| t).collect();
+        assert_eq!(ts, [0, 10, 15, 30, 40, 45]);
+    }
+
+    #[test]
+    fn timeline_lanes_interleave_ends_deopts_and_begins() {
+        let tl = SimTimeline {
+            name: "k".to_string(),
+            num_sms: 1,
+            launch_overhead: 100,
+            cycles: 120,
+            slices: vec![
+                BlockSlice {
+                    sm: 0,
+                    start: 0,
+                    end: 10,
+                    class: 0,
+                    block: (0, 0),
+                    outcome: "deopted",
+                },
+                BlockSlice {
+                    sm: 0,
+                    start: 10,
+                    end: 20,
+                    class: 1,
+                    block: (1, 0),
+                    outcome: "replayed",
+                },
+            ],
+            deopts: vec![DeoptInstant {
+                sm: 0,
+                at: 10,
+                class: 0,
+                reason: "branch",
+            }],
+        };
+        let doc = chrome_trace(&[], &[tl], &|c| format!("class{c}"));
+        let seq = phases(&doc, SIM_PID_BASE as u64, 0);
+        let phs: Vec<&str> = seq.iter().map(|(p, _)| p.as_str()).collect();
+        // Slice end, deopt marker, next slice begin — all at cycle 10
+        // (offset by the 100-cycle launch overhead).
+        assert_eq!(phs, ["B", "E", "i", "B", "E"]);
+        let ts: Vec<u64> = seq.iter().map(|&(_, t)| t).collect();
+        assert_eq!(ts, [100, 110, 110, 110, 120]);
+        // Lane is monotonic.
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

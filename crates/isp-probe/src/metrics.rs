@@ -1,0 +1,242 @@
+//! The metrics registry: named counters and histograms with stable,
+//! sorted key order.
+//!
+//! Keys are dot-separated paths (`engine.kernel_hits`, `span_us.compile`,
+//! `sim.deopt.branch`). Both maps are `BTreeMap`s, so iteration — and
+//! therefore JSON emission — is sorted and deterministic: two runs of the
+//! same workload produce byte-identical summaries modulo the measured
+//! values themselves.
+
+use isp_json::Json;
+use std::collections::BTreeMap;
+
+/// Number of power-of-two magnitude buckets per histogram. Bucket `i`
+/// holds observations `v` with `2^(i-1) <= v < 2^i` (bucket 0 holds
+/// `v < 1`); the last bucket absorbs everything larger.
+pub const HISTOGRAM_BUCKETS: usize = 24;
+
+/// A fixed-footprint histogram: count/sum/min/max plus log2 magnitude
+/// buckets. Good enough to see span-latency and block-cost shapes without
+/// storing observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Log2 magnitude buckets (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for one observation.
+    fn bucket_of(value: f64) -> usize {
+        if value < 1.0 {
+            return 0;
+        }
+        (value.log2() as usize + 1).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Self::bucket_of(value)] += 1;
+    }
+
+    /// Arithmetic mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        // Trailing empty buckets are trimmed so small histograms stay small.
+        let used = self
+            .buckets
+            .iter()
+            .rposition(|&n| n > 0)
+            .map_or(0, |i| i + 1);
+        Json::obj()
+            .set("count", self.count)
+            .set("sum", self.sum)
+            .set("min", if self.count == 0 { 0.0 } else { self.min })
+            .set("max", if self.count == 0 { 0.0 } else { self.max })
+            .set("mean", self.mean())
+            .set("log2_buckets", self.buckets[..used].to_vec())
+    }
+}
+
+/// Counters + histograms, both keyed by sorted string paths.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Add `n` to the counter `key` (creating it at zero).
+    pub fn count(&mut self, key: &str, n: u64) {
+        if let Some(c) = self.counters.get_mut(key) {
+            *c += n;
+        } else {
+            self.counters.insert(key.to_string(), n);
+        }
+    }
+
+    /// Record one observation into the histogram `key`.
+    pub fn observe(&mut self, key: &str, value: f64) {
+        if let Some(h) = self.histograms.get_mut(key) {
+            h.observe(value);
+        } else {
+            let mut h = Histogram::default();
+            h.observe(value);
+            self.histograms.insert(key.to_string(), h);
+        }
+    }
+
+    /// Current value of a counter (0 when never touched).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// The histogram under `key`, if any observation was recorded.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Merge another registry into this one (counters add, histograms
+    /// combine bucket-wise).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, &n) in &other.counters {
+            self.count(k, n);
+        }
+        for (k, h) in &other.histograms {
+            let mine = self.histograms.entry(k.clone()).or_default();
+            mine.count += h.count;
+            mine.sum += h.sum;
+            mine.min = mine.min.min(h.min);
+            mine.max = mine.max.max(h.max);
+            for (a, b) in mine.buckets.iter_mut().zip(h.buckets.iter()) {
+                *a += b;
+            }
+        }
+    }
+
+    /// Emit `{"counters": {...}, "histograms": {...}}` with keys in sorted
+    /// order (BTreeMap iteration order).
+    pub fn to_json(&self) -> Json {
+        let mut counters = Json::obj();
+        for (k, &v) in &self.counters {
+            counters = counters.set(k, v);
+        }
+        let mut histograms = Json::obj();
+        for (k, h) in &self.histograms {
+            histograms = histograms.set(k, h.to_json());
+        }
+        Json::obj()
+            .set("counters", counters)
+            .set("histograms", histograms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut m = Metrics::new();
+        assert_eq!(m.counter("a"), 0);
+        m.count("a", 2);
+        m.count("a", 3);
+        assert_eq!(m.counter("a"), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2_magnitude() {
+        assert_eq!(Histogram::bucket_of(0.0), 0);
+        assert_eq!(Histogram::bucket_of(0.9), 0);
+        assert_eq!(Histogram::bucket_of(1.0), 1);
+        assert_eq!(Histogram::bucket_of(2.0), 2);
+        assert_eq!(Histogram::bucket_of(3.9), 2);
+        assert_eq!(Histogram::bucket_of(4.0), 3);
+        assert_eq!(Histogram::bucket_of(1e30), HISTOGRAM_BUCKETS - 1);
+
+        let mut h = Histogram::default();
+        for v in [0.5, 1.5, 1.5, 1000.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 4);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 1000.0);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 2);
+    }
+
+    #[test]
+    fn json_emission_is_key_sorted_and_stable() {
+        let mut m = Metrics::new();
+        m.count("z.last", 1);
+        m.count("a.first", 1);
+        m.observe("mid.hist", 7.0);
+        let a = m.to_json().render();
+        // Insertion in the opposite order yields the identical document.
+        let mut m2 = Metrics::new();
+        m2.observe("mid.hist", 7.0);
+        m2.count("a.first", 1);
+        m2.count("z.last", 1);
+        assert_eq!(a, m2.to_json().render());
+        let a_pos = a.find("a.first").unwrap();
+        let z_pos = a.find("z.last").unwrap();
+        assert!(a_pos < z_pos, "counter keys sorted");
+    }
+
+    #[test]
+    fn merge_combines_counters_and_histograms() {
+        let mut a = Metrics::new();
+        a.count("c", 1);
+        a.observe("h", 2.0);
+        let mut b = Metrics::new();
+        b.count("c", 2);
+        b.observe("h", 8.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 10.0);
+        assert_eq!(h.min, 2.0);
+        assert_eq!(h.max, 8.0);
+    }
+}

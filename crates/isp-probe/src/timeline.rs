@@ -1,0 +1,73 @@
+//! Simulated-time launch timelines.
+//!
+//! A [`SimTimeline`] is the scheduler's dispatch model made visible: the
+//! greedy earliest-finishing-SM scheduler assigns every block a `(sm,
+//! start, end)` interval in simulated cycles, with per-SM blocks running
+//! back-to-back from cycle 0 (the i-cache switch penalty is folded into
+//! each block's effective cycles). The launch pipeline captures those
+//! decisions — it does **not** sample clocks during execution — so the
+//! timeline is exact and free when disabled.
+//!
+//! Invariants (pinned by `tests/probe.rs`):
+//! - slices on one SM tile `[0, busy_sm]` with no gaps or overlaps;
+//! - `cycles == launch_overhead + max(slice.end)` over all slices
+//!   (or `launch_overhead` alone for an empty grid);
+//! - every [`DeoptInstant`] sits at the end of its block's slice.
+
+/// One block's residency on one SM, in simulated cycles relative to the
+/// end of the fixed launch overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSlice {
+    /// SM the scheduler placed the block on.
+    pub sm: u32,
+    /// Cycle the block started issuing (occupancy-derated, i-cache
+    /// penalty included).
+    pub start: u64,
+    /// Cycle the block retired.
+    pub end: u64,
+    /// Block class id (for ISP kernels: the region index, 0..9).
+    pub class: u32,
+    /// Block coordinates `(bx, by)`.
+    pub block: (u32, u32),
+    /// How the block executed: `"run"` (plain decoded/reference),
+    /// `"recorded"`, `"replayed"`, `"deopted"` (replay engine), or
+    /// `"modeled"` (region-sampled extrapolation).
+    pub outcome: &'static str,
+}
+
+impl BlockSlice {
+    /// Simulated cycles the block occupied its SM.
+    pub fn cycles(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// A replay deopt, pinned to the moment its block retired on its SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeoptInstant {
+    /// SM the deopted block ran on.
+    pub sm: u32,
+    /// Cycle of the deopt marker (the block's slice end).
+    pub at: u64,
+    /// Block class id.
+    pub class: u32,
+    /// Which guard missed (a [`DeoptReason`] name from `isp-sim`).
+    pub reason: &'static str,
+}
+
+/// The full simulated-time picture of one launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimTimeline {
+    /// Kernel name (becomes the Chrome trace process name).
+    pub name: String,
+    /// SMs on the simulated device (lanes, even if some stayed idle).
+    pub num_sms: u32,
+    /// Fixed launch overhead in cycles; slices start after it.
+    pub launch_overhead: u64,
+    /// Total launch cycles (`launch_overhead + max slice end`).
+    pub cycles: u64,
+    /// One slice per executed block, in dispatch order.
+    pub slices: Vec<BlockSlice>,
+    /// Replay deopts, in dispatch order.
+    pub deopts: Vec<DeoptInstant>,
+}

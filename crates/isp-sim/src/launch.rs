@@ -18,10 +18,11 @@ use crate::error::SimError;
 use crate::interp::{run_block, BlockContext, BlockRun};
 use crate::memory::DeviceBuffer;
 use crate::occupancy::{occupancy_with_shared, OccupancyResult};
-use crate::scheduler::{schedule, BlockCost, Timing};
-use crate::trace::{record_block, replay_block, Trace};
+use crate::scheduler::{schedule, schedule_with, BlockCost, Timing};
+use crate::trace::{record_block, replay_block, DeoptReason, Trace};
 use isp_ir::kernel::Kernel;
 use isp_ir::regalloc;
+use isp_probe::{BlockSlice, DeoptInstant, ProbeHandle, SimTimeline};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -152,6 +153,9 @@ pub struct TraceStats {
     pub replayed: u64,
     /// Blocks that failed a replay guard and re-ran decoded.
     pub deopted: u64,
+    /// Deopts broken down by which guard missed, indexed by
+    /// [`DeoptReason::index`]; sums to `deopted`.
+    pub deopt_reasons: [u64; DeoptReason::COUNT],
 }
 
 impl TraceStats {
@@ -160,6 +164,9 @@ impl TraceStats {
         self.recorded += other.recorded;
         self.replayed += other.replayed;
         self.deopted += other.deopted;
+        for (mine, theirs) in self.deopt_reasons.iter_mut().zip(other.deopt_reasons) {
+            *mine += theirs;
+        }
     }
 }
 
@@ -232,26 +239,31 @@ pub struct LaunchReport {
 pub struct Gpu {
     device: DeviceSpec,
     engine: ExecEngine,
+    probe: ProbeHandle,
     decode_cache: Arc<Mutex<HashMap<u64, Arc<DecodedKernel>>>>,
     decode_hits: Arc<AtomicU64>,
     decode_misses: Arc<AtomicU64>,
     trace_recorded: Arc<AtomicU64>,
     trace_replayed: Arc<AtomicU64>,
     trace_deopted: Arc<AtomicU64>,
+    trace_deopt_reasons: Arc<[AtomicU64; DeoptReason::COUNT]>,
 }
 
 impl Gpu {
-    /// Create a GPU from a device spec (replay engine by default).
+    /// Create a GPU from a device spec (replay engine by default, probe
+    /// disabled).
     pub fn new(device: DeviceSpec) -> Self {
         Gpu {
             device,
             engine: ExecEngine::default(),
+            probe: ProbeHandle::none(),
             decode_cache: Arc::new(Mutex::new(HashMap::new())),
             decode_hits: Arc::new(AtomicU64::new(0)),
             decode_misses: Arc::new(AtomicU64::new(0)),
             trace_recorded: Arc::new(AtomicU64::new(0)),
             trace_replayed: Arc::new(AtomicU64::new(0)),
             trace_deopted: Arc::new(AtomicU64::new(0)),
+            trace_deopt_reasons: Arc::new(std::array::from_fn(|_| AtomicU64::new(0))),
         }
     }
 
@@ -259,6 +271,24 @@ impl Gpu {
     pub fn with_engine(mut self, engine: ExecEngine) -> Self {
         self.engine = engine;
         self
+    }
+
+    /// Builder: attach a probe; subsequent launches report spans, cache
+    /// events, and per-SM timelines to it. The default handle is disabled
+    /// and costs nothing.
+    pub fn with_probe(mut self, probe: ProbeHandle) -> Self {
+        self.probe = probe;
+        self
+    }
+
+    /// Replace the probe in place (used by owners that embed a `Gpu`).
+    pub fn set_probe(&mut self, probe: ProbeHandle) {
+        self.probe = probe;
+    }
+
+    /// The probe handle launches report to.
+    pub fn probe(&self) -> &ProbeHandle {
+        &self.probe
     }
 
     /// The device being simulated.
@@ -278,10 +308,23 @@ impl Gpu {
         let fp = kernel_fingerprint(kernel);
         if let Some(dk) = self.decode_cache.lock().unwrap().get(&fp) {
             self.decode_hits.fetch_add(1, Ordering::Relaxed);
+            if self.probe.is_enabled() {
+                self.probe.count("gpu.decode_hits", 1);
+                self.probe
+                    .instant("decode-cache-hit", "gpu", Some(kernel.name.to_string()));
+            }
             return Arc::clone(dk);
         }
+        let t0 = self.probe.begin();
         let dk = Arc::new(decode(kernel, &self.device));
+        self.probe
+            .span("decode", "gpu", t0, || Some(kernel.name.to_string()));
         self.decode_misses.fetch_add(1, Ordering::Relaxed);
+        if self.probe.is_enabled() {
+            self.probe.count("gpu.decode_misses", 1);
+            self.probe
+                .instant("decode-cache-miss", "gpu", Some(kernel.name.to_string()));
+        }
         let mut cache = self.decode_cache.lock().unwrap();
         Arc::clone(cache.entry(fp).or_insert(dk))
     }
@@ -303,6 +346,9 @@ impl Gpu {
             recorded: self.trace_recorded.load(Ordering::Relaxed),
             replayed: self.trace_replayed.load(Ordering::Relaxed),
             deopted: self.trace_deopted.load(Ordering::Relaxed),
+            deopt_reasons: std::array::from_fn(|i| {
+                self.trace_deopt_reasons[i].load(Ordering::Relaxed)
+            }),
         }
     }
 
@@ -338,6 +384,31 @@ impl Gpu {
     /// speed benchmark use to run both engines side by side.
     #[allow(clippy::too_many_arguments)]
     pub fn launch_engine(
+        &self,
+        kernel: &Kernel,
+        cfg: LaunchConfig,
+        params: &[ParamValue],
+        buffers: &mut [DeviceBuffer],
+        mode: SimMode<'_>,
+        strategy: ExecStrategy,
+        engine: ExecEngine,
+    ) -> Result<LaunchReport, SimError> {
+        let t0 = self.probe.begin();
+        let result = self.launch_engine_inner(kernel, cfg, params, buffers, mode, strategy, engine);
+        self.probe.span("launch", "gpu", t0, || {
+            Some(format!(
+                "{} grid {}x{} block {}x{} ({engine:?})",
+                kernel.name, cfg.grid.0, cfg.grid.1, cfg.block.0, cfg.block.1
+            ))
+        });
+        if self.probe.is_enabled() && result.is_err() {
+            self.probe.count("gpu.launch_errors", 1);
+        }
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn launch_engine_inner(
         &self,
         kernel: &Kernel,
         cfg: LaunchConfig,
@@ -437,9 +508,12 @@ impl Gpu {
         let total = cfg.total_blocks();
         let gx = cfg.grid.0 as u64;
         let footprint = kernel.static_len() as u32;
+        // Per-block outcomes feed the probe timeline only; nothing is
+        // collected when the probe is disabled.
+        let want_outcomes = self.probe.is_enabled();
 
         let mut per_class_trace: Vec<(u32, TraceStats)> = Vec::new();
-        let (counters, per_class, costs, writes) = match engine {
+        let (counters, per_class, costs, writes, outcomes) = match engine {
             ExecEngine::Reference => {
                 let shared: &[DeviceBuffer] = buffers;
                 let worker = |idx: u64| {
@@ -506,16 +580,21 @@ impl Gpu {
                             &mut acc.trace_stats,
                             &mut acc.scratch,
                             &mut acc.writes,
+                            &self.probe,
                         ),
-                        None => run_decoded(&dk, &ctx, &mut acc.scratch, &mut acc.writes),
+                        None => run_decoded(&dk, &ctx, &mut acc.scratch, &mut acc.writes)
+                            .map(|(c, cycles)| (c, cycles, OUT_RUN)),
                     };
                     match run {
-                        Ok((c, cycles)) => {
+                        Ok((c, cycles, outcome)) => {
                             acc.counters.merge(&c);
                             if classifier.is_some() {
                                 acc.per_class.entry(class).or_default().merge(&c);
                             }
                             acc.cycles.push(cycles);
+                            if want_outcomes {
+                                acc.outcomes.push(outcome);
+                            }
                         }
                         Err(e) => {
                             // Drop the failed block's partial journal so an
@@ -551,6 +630,9 @@ impl Gpu {
                         .fetch_add(total.replayed, Ordering::Relaxed);
                     self.trace_deopted
                         .fetch_add(total.deopted, Ordering::Relaxed);
+                    for (slot, n) in self.trace_deopt_reasons.iter().zip(total.deopt_reasons) {
+                        slot.fetch_add(n, Ordering::Relaxed);
+                    }
                     if classifier.is_some() {
                         per_class_trace = by_class.into_iter().collect();
                         per_class_trace.sort_unstable_by_key(|&(c, _)| c);
@@ -563,7 +645,11 @@ impl Gpu {
         for (buf, addr, bits) in writes {
             buffers[buf as usize].store_bits(addr, bits);
         }
-        let timing = schedule(&self.device, &occ, costs);
+        let timing = if want_outcomes {
+            self.schedule_probed(kernel, cfg, &occ, costs, &outcomes, classifier, false)
+        } else {
+            schedule(&self.device, &occ, costs)
+        };
         Ok(LaunchReport {
             counters,
             timing,
@@ -574,6 +660,61 @@ impl Gpu {
             per_class,
             per_class_trace,
         })
+    }
+
+    /// [`schedule`] plus timeline capture: record every block's `(sm, start,
+    /// end)` placement, label it with its class and outcome, pin deopt
+    /// instants to their block's retirement, and hand the assembled
+    /// [`SimTimeline`] to the probe. Only called when the probe is enabled.
+    #[allow(clippy::too_many_arguments)]
+    fn schedule_probed(
+        &self,
+        kernel: &Kernel,
+        cfg: LaunchConfig,
+        occ: &OccupancyResult,
+        costs: Vec<BlockCost>,
+        outcomes: &[u8],
+        classifier: Option<&(dyn Fn(u32, u32) -> u32 + Sync)>,
+        modeled: bool,
+    ) -> Timing {
+        let gx = cfg.grid.0 as u64;
+        let mut slices: Vec<BlockSlice> = Vec::with_capacity(costs.len());
+        let mut deopts: Vec<DeoptInstant> = Vec::new();
+        let timing = schedule_with(&self.device, occ, costs, |i, sm, start, end| {
+            let idx = i as u64;
+            let block = ((idx % gx) as u32, (idx / gx) as u32);
+            let class = classifier.map_or(0, |f| f(block.0, block.1));
+            let code = outcomes.get(i).copied().unwrap_or(OUT_RUN);
+            slices.push(BlockSlice {
+                sm,
+                start,
+                end,
+                class,
+                block,
+                outcome: if modeled {
+                    "modeled"
+                } else {
+                    outcome_name(code)
+                },
+            });
+            if code >= OUT_DEOPT {
+                deopts.push(DeoptInstant {
+                    sm,
+                    at: end,
+                    class,
+                    reason: DeoptReason::ALL[(code - OUT_DEOPT) as usize].name(),
+                });
+            }
+        });
+        self.probe.timeline(SimTimeline {
+            name: kernel.name.to_string(),
+            num_sms: self.device.num_sms,
+            launch_overhead: self.device.launch_overhead_cycles,
+            cycles: timing.cycles,
+            slices,
+            deopts,
+        });
+        timing
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -681,7 +822,21 @@ impl Gpu {
                     static_footprint: fp,
                 }
             });
-        let timing = schedule(&self.device, &occ, costs);
+        let timing = if self.probe.is_enabled() {
+            // Sampled blocks never executed individually — every slice is an
+            // extrapolation from its class representative, hence "modeled".
+            self.schedule_probed(
+                kernel,
+                cfg,
+                &occ,
+                costs.collect(),
+                &[],
+                Some(classifier),
+                true,
+            )
+        } else {
+            schedule(&self.device, &occ, costs)
+        };
         let mut class_costs: Vec<(u32, u64, u64)> = class_cycles
             .iter()
             .map(|(&c, &cyc)| (c, class_count[&c], cyc))
@@ -700,6 +855,25 @@ impl Gpu {
     }
 }
 
+/// Per-block outcome codes, collected only when a probe is attached. Codes
+/// `OUT_DEOPT + r` encode a deopt with reason index `r` (see
+/// [`DeoptReason::index`]), so one `u8` carries both the outcome and the
+/// guard that missed.
+const OUT_RUN: u8 = 0;
+const OUT_RECORDED: u8 = 1;
+const OUT_REPLAYED: u8 = 2;
+const OUT_DEOPT: u8 = 3;
+
+/// Timeline label for an outcome code.
+fn outcome_name(code: u8) -> &'static str {
+    match code {
+        OUT_RUN => "run",
+        OUT_RECORDED => "recorded",
+        OUT_REPLAYED => "replayed",
+        _ => "deopted",
+    }
+}
+
 /// Per-worker accumulator of the decoded exhaustive path: one of these folds
 /// a contiguous chunk of block indices, so its scratch arena is prepared
 /// once and then reused — memset, not malloc — for every block in the chunk.
@@ -715,6 +889,9 @@ struct ChunkAcc {
     /// resolved a class's trace it never takes the shared lock again.
     local_traces: HashMap<u32, Arc<Trace>>,
     trace_stats: HashMap<u32, TraceStats>,
+    /// Per-block outcome codes in chunk dispatch order; populated only when
+    /// the launch's probe is enabled (index-aligned with `cycles`).
+    outcomes: Vec<u8>,
 }
 
 /// Execute one block under the replay engine: replay its class's trace when
@@ -732,7 +909,8 @@ fn run_block_replay(
     stats: &mut HashMap<u32, TraceStats>,
     scratch: &mut DecodedScratch,
     writes: &mut Vec<(u32, usize, u32)>,
-) -> Result<(FlatCounters, u64), SimError> {
+    probe: &ProbeHandle,
+) -> Result<(FlatCounters, u64, u8), SimError> {
     let entry = stats.entry(class).or_default();
     let trace = match local.get(&class) {
         Some(t) => Some(Arc::clone(t)),
@@ -745,24 +923,35 @@ fn run_block_replay(
         }
     };
     let Some(trace) = trace else {
+        let started = probe.begin();
         let (counters, cycles, trace) = record_block(dk, ctx, scratch, writes)?;
+        probe.span("trace-record", "sim", started, || {
+            Some(format!("class {class}"))
+        });
         entry.recorded += 1;
         let trace = Arc::new(trace);
         let mut cache = shared.lock().unwrap();
         let cached = cache.entry(class).or_insert(trace);
         local.insert(class, Arc::clone(cached));
-        return Ok((counters, cycles));
+        return Ok((counters, cycles, OUT_RECORDED));
     };
     let journal_mark = writes.len();
-    if let Some((counters, cycles)) = replay_block(dk, &trace, ctx, scratch, writes) {
-        entry.replayed += 1;
-        return Ok((counters, cycles));
+    match replay_block(dk, &trace, ctx, scratch, writes) {
+        Ok((counters, cycles)) => {
+            entry.replayed += 1;
+            Ok((counters, cycles, OUT_REPLAYED))
+        }
+        Err(reason) => {
+            // Guard miss: discard the partial replay and re-run the block on
+            // the decoded engine (which also reproduces the exact error, if
+            // any).
+            writes.truncate(journal_mark);
+            entry.deopted += 1;
+            entry.deopt_reasons[reason.index()] += 1;
+            run_decoded(dk, ctx, scratch, writes)
+                .map(|(c, cycles)| (c, cycles, OUT_DEOPT + reason.index() as u8))
+        }
     }
-    // Guard miss: discard the partial replay and re-run the block on the
-    // decoded engine (which also reproduces the exact error, if any).
-    writes.truncate(journal_mark);
-    entry.deopted += 1;
-    run_decoded(dk, ctx, scratch, writes)
 }
 
 /// The deterministic reducer of a decoded exhaustive launch: concatenate the
@@ -780,6 +969,7 @@ fn reduce_chunk_accs(
         Vec<(u32, PerfCounters)>,
         Vec<BlockCost>,
         Vec<(u32, usize, u32)>,
+        Vec<u8>,
     ),
     SimError,
 > {
@@ -792,6 +982,7 @@ fn reduce_chunk_accs(
     let mut by_class: HashMap<u32, FlatCounters> = HashMap::new();
     let mut costs = Vec::new();
     let mut writes: Vec<(u32, usize, u32)> = Vec::new();
+    let mut outcomes: Vec<u8> = Vec::new();
     for acc in accs {
         flat.merge(&acc.counters);
         for (c, fc) in acc.per_class {
@@ -803,13 +994,14 @@ fn reduce_chunk_accs(
             static_footprint,
         }));
         writes.extend(acc.writes);
+        outcomes.extend(acc.outcomes);
     }
     let mut per_class: Vec<(u32, PerfCounters)> = by_class
         .into_iter()
         .map(|(c, fc)| (c, fc.to_perf()))
         .collect();
     per_class.sort_unstable_by_key(|&(c, _)| c);
-    Ok((flat.to_perf(), per_class, costs, writes))
+    Ok((flat.to_perf(), per_class, costs, writes, outcomes))
 }
 
 /// The deterministic reducer of a reference exhaustive launch: fold
@@ -830,6 +1022,7 @@ fn reduce_block_runs(
         Vec<(u32, PerfCounters)>,
         Vec<BlockCost>,
         Vec<(u32, usize, u32)>,
+        Vec<u8>,
     ),
     SimError,
 > {
@@ -852,7 +1045,9 @@ fn reduce_block_runs(
     }
     let mut per_class: Vec<(u32, PerfCounters)> = by_class.into_iter().collect();
     per_class.sort_unstable_by_key(|&(c, _)| c);
-    Ok((counters, per_class, costs, writes))
+    // Reference blocks have no replay machinery: every block is a plain
+    // run, so the timeline derives outcomes as `OUT_RUN` without a vector.
+    Ok((counters, per_class, costs, writes, Vec::new()))
 }
 
 #[cfg(test)]

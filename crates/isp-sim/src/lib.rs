@@ -49,3 +49,4 @@ pub use launch::{
 pub use memory::{DeviceBuffer, TexAddressMode, TexDesc};
 pub use occupancy::{occupancy, Limiter, LimiterSet, OccupancyResult};
 pub use scheduler::Timing;
+pub use trace::DeoptReason;

@@ -48,6 +48,24 @@ pub fn schedule(
     occ: &OccupancyResult,
     blocks: impl IntoIterator<Item = BlockCost>,
 ) -> Timing {
+    schedule_with(device, occ, blocks, |_, _, _, _| {})
+}
+
+/// [`schedule`] with a per-block placement callback: `on_block(i, sm,
+/// start, end)` reports that dispatch-order block `i` occupies SM `sm`
+/// from cycle `start` to cycle `end` (relative to the end of the fixed
+/// launch overhead; the occupancy derating and i-cache switch penalty are
+/// already folded into the interval).
+///
+/// This is how the probe layer reconstructs per-SM timelines without the
+/// scheduler knowing about probes: [`schedule`] passes a no-op closure,
+/// which monomorphises to exactly the pre-callback code.
+pub fn schedule_with(
+    device: &DeviceSpec,
+    occ: &OccupancyResult,
+    blocks: impl IntoIterator<Item = BlockCost>,
+    mut on_block: impl FnMut(usize, u32, u64, u64),
+) -> Timing {
     // Issue-throughput derating: below the saturation occupancy the SM
     // cannot hide latency and slows proportionally.
     let f = (occ.occupancy / device.saturation_occupancy).clamp(1e-6, 1.0);
@@ -59,7 +77,7 @@ pub fn schedule(
 
     let mut total_blocks = 0u64;
     let mut max_finish = 0u64;
-    for b in blocks {
+    for (i, b) in blocks.into_iter().enumerate() {
         total_blocks += 1;
         let Reverse((busy, sm)) = heap.pop().expect("at least one SM");
         let icache = if last_class[sm as usize] == Some(b.class) {
@@ -71,6 +89,7 @@ pub fn schedule(
         let effective = ((b.cycles + icache) as f64 / f).round() as u64;
         let finish = busy + effective;
         max_finish = max_finish.max(finish);
+        on_block(i, sm, busy, finish);
         heap.push(Reverse((finish, sm)));
     }
 

@@ -111,6 +111,68 @@ struct RangeGuard {
     cby: i64,
 }
 
+/// Which replay guard missed when a block deopted to the decoded engine.
+///
+/// Each variant names a *guard site* in the replay program, so the
+/// breakdown tells you which part of the record-time speculation failed to
+/// transfer to a sibling block. (Journal divergence and runaway budgets
+/// cannot deopt directly: the journal is truncated by the caller after any
+/// of these fire, and a runaway block diverges control flow first, which
+/// surfaces here as `Branch` or `OpFault`.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeoptReason {
+    /// An affine range guard for a speculative `min`/`max`/`selp` failed:
+    /// the recorded winning side stopped winning at this block offset.
+    AffineRange,
+    /// A pinned-branch range guard failed: the recorded branch outcome is
+    /// not proven at this block offset.
+    PinnedBranch,
+    /// An unpinned conditional branch's predicate lanes did not reproduce
+    /// the recorded outcome.
+    Branch,
+    /// A pattern-guarded (data-dependent) access did not reproduce the
+    /// recorded address pattern at the shifted anchor.
+    MemPattern,
+    /// A translated access's proven extrema fell outside its buffer
+    /// (global or shared) — the decoded re-run reproduces the exact error.
+    Bounds,
+    /// A replayed op hit its failure path (missing parameter, buffer, or
+    /// texture binding) — the decoded re-run reproduces the exact error.
+    OpFault,
+}
+
+impl DeoptReason {
+    /// Number of reasons (array dimension for per-reason counters).
+    pub const COUNT: usize = 6;
+
+    /// Every reason, in stable reporting order.
+    pub const ALL: [DeoptReason; DeoptReason::COUNT] = [
+        DeoptReason::AffineRange,
+        DeoptReason::PinnedBranch,
+        DeoptReason::Branch,
+        DeoptReason::MemPattern,
+        DeoptReason::Bounds,
+        DeoptReason::OpFault,
+    ];
+
+    /// Dense index into per-reason counter arrays (matches [`Self::ALL`]).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable kebab-case name (used by `==PROF==`, JSON, and the timeline).
+    pub fn name(self) -> &'static str {
+        match self {
+            DeoptReason::AffineRange => "affine-range",
+            DeoptReason::PinnedBranch => "pinned-branch",
+            DeoptReason::Branch => "branch",
+            DeoptReason::MemPattern => "mem-pattern",
+            DeoptReason::Bounds => "bounds",
+            DeoptReason::OpFault => "op-fault",
+        }
+    }
+}
+
 /// Register-row class under the block-affine value analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Cls {
@@ -308,8 +370,14 @@ enum RIns {
     Op { kind: DOpKind, mask: u32 },
     /// Conditional-branch guard: predicate lanes must reproduce `m_true`.
     Guard { pred: u32, mask: u32, m_true: u32 },
-    /// O(1) affine guard for a dropped speculative `min`/`max`.
-    RangeGuard { m0: i64, cbx: i64, cby: i64 },
+    /// O(1) affine guard for a dropped speculative `min`/`max` or a pinned
+    /// branch; `why` records which provenance for deopt accounting.
+    RangeGuard {
+        m0: i64,
+        cbx: i64,
+        cby: i64,
+        why: DeoptReason,
+    },
     /// Pattern-guarded global load (data-dependent address).
     Ld {
         dst: u32,
@@ -815,9 +883,15 @@ fn build_trace(
             RecEv::Warp(_) => {}
             RecEv::Branch { pred, pin, .. } => {
                 // A pinned branch is proven by its O(1) guards; only an
-                // unpinned one needs the predicate chain re-executed.
+                // unpinned one needs the predicate chain re-executed. The
+                // pin's intervals assume the predicate's operand classes
+                // translate, so the chain stays `alive`: any op whose
+                // affine result is itself conditional (min/max winner,
+                // pinned select) keeps its range guards.
                 if pin.is_none() {
                     live[wb + slot(*pred)] = true;
+                } else {
+                    alive[wb + slot(*pred)] = true;
                 }
             }
             RecEv::Mem {
@@ -946,6 +1020,7 @@ fn build_trace(
                             m0: g.m0,
                             cbx: g.cbx,
                             cby: g.cby,
+                            why: DeoptReason::PinnedBranch,
                         });
                     }
                 }
@@ -958,6 +1033,7 @@ fn build_trace(
                             m0: g.m0,
                             cbx: g.cbx,
                             cby: g.cby,
+                            why: DeoptReason::AffineRange,
                         });
                     }
                 }
@@ -1065,15 +1141,15 @@ pub(crate) fn record_block(
 }
 
 /// Replay a compiled trace for another block of the same class. Returns
-/// `None` on any guard miss (deopt — the caller truncates the write journal
-/// and re-runs the block on the decoded engine) and never errors.
+/// `Err(reason)` on any guard miss (deopt — the caller truncates the write
+/// journal and re-runs the block on the decoded engine) and never errors.
 pub(crate) fn replay_block(
     dk: &DecodedKernel,
     trace: &Trace,
     ctx: &DecodedBlockCtx<'_>,
     scratch: &mut DecodedScratch,
     writes: &mut Vec<(u32, usize, u32)>,
-) -> Option<(FlatCounters, u64)> {
+) -> Result<(FlatCounters, u64), DeoptReason> {
     scratch.prepare(dk, ctx.block_dim);
     if trace.needs_reset {
         scratch.reset(dk);
@@ -1092,7 +1168,7 @@ pub(crate) fn replay_block(
     while i < prog.len() {
         let RIns::Warp(w) = prog[i] else {
             debug_assert!(false, "trace must start each segment with a Warp event");
-            return None;
+            return Err(DeoptReason::OpFault);
         };
         i += 1;
         let mut end = i;
@@ -1122,7 +1198,7 @@ pub(crate) fn replay_block(
     let mut counters = trace.counters.clone();
     counters.mem_transactions = tx_total;
     let cycles = trace.issue_cycles + tx_total * dk.mem_cycles;
-    Some((counters, cycles))
+    Ok((counters, cycles))
 }
 
 /// Replay execution view of one warp (mirrors the decoded `DExec` field
@@ -1156,7 +1232,7 @@ impl<'a> RExec<'a> {
         (&mut self.regs[base..base + WARP]).try_into().unwrap()
     }
 
-    fn exec_ins(&mut self, ins: &RIns) -> Option<()> {
+    fn exec_ins(&mut self, ins: &RIns) -> Result<(), DeoptReason> {
         match *ins {
             RIns::Warp(_) => unreachable!("warp switches are handled by the caller"),
             RIns::Guard { pred, mask, m_true } => {
@@ -1168,15 +1244,15 @@ impl<'a> RExec<'a> {
                     }
                 }
                 if got != m_true {
-                    return None;
+                    return Err(DeoptReason::Branch);
                 }
-                Some(())
+                Ok(())
             }
-            RIns::RangeGuard { m0, cbx, cby } => {
+            RIns::RangeGuard { m0, cbx, cby, why } => {
                 if m0 + cbx * self.dx + cby * self.dy > 0 {
-                    return None;
+                    return Err(why);
                 }
-                Some(())
+                Ok(())
             }
             RIns::Ld {
                 dst,
@@ -1234,7 +1310,7 @@ impl<'a> RExec<'a> {
         mask: u32,
         rec: &MemRec,
         len: usize,
-    ) -> Option<(u64, [u32; WARP])> {
+    ) -> Result<(u64, [u32; WARP]), DeoptReason> {
         let anchor_lane = rec.base_lane as usize;
         let cur_anchor = self.regs[ab + anchor_lane] as i32 as i64;
         let rec_anchor = rec.addrs[anchor_lane] as i64;
@@ -1245,8 +1321,11 @@ impl<'a> RExec<'a> {
             for l in 0..WARP {
                 same &= (cur[l] as i32 as i64) == rec.addrs[l] as i64 + delta;
             }
-            if !same || cur_anchor + rec.min_rel < 0 || cur_anchor + rec.max_rel >= len as i64 {
-                return None;
+            if !same {
+                return Err(DeoptReason::MemPattern);
+            }
+            if cur_anchor + rec.min_rel < 0 || cur_anchor + rec.max_rel >= len as i64 {
+                return Err(DeoptReason::Bounds);
             }
             let tx = if cur_anchor.rem_euclid(32) == rec.align {
                 rec.tx
@@ -1257,7 +1336,7 @@ impl<'a> RExec<'a> {
                 }
                 segment_count_full(&addrs)
             };
-            Some((tx, cur))
+            Ok((tx, cur))
         } else {
             let mut same = true;
             for l in 0..WARP {
@@ -1265,8 +1344,11 @@ impl<'a> RExec<'a> {
                     same &= (cur[l] as i32 as i64) == rec.addrs[l] as i64 + delta;
                 }
             }
-            if !same || cur_anchor + rec.min_rel < 0 || cur_anchor + rec.max_rel >= len as i64 {
-                return None;
+            if !same {
+                return Err(DeoptReason::MemPattern);
+            }
+            if cur_anchor + rec.min_rel < 0 || cur_anchor + rec.max_rel >= len as i64 {
+                return Err(DeoptReason::Bounds);
             }
             let tx = if cur_anchor.rem_euclid(32) == rec.align {
                 rec.tx
@@ -1279,7 +1361,7 @@ impl<'a> RExec<'a> {
                 }
                 transactions_for_warp_fixed(&addrs)
             };
-            Some((tx, cur))
+            Ok((tx, cur))
         }
     }
 
@@ -1289,12 +1371,12 @@ impl<'a> RExec<'a> {
     /// exactly; a bounds failure means the decoded engine would have
     /// errored, so the caller deopts and reproduces the exact error.
     #[inline]
-    fn rebase_mem(&self, mask: u32, rec: &MemRec, len: usize) -> Option<(i64, u64)> {
-        let (cbx, cby) = rec.rebase?;
+    fn rebase_mem(&self, mask: u32, rec: &MemRec, len: usize) -> Result<(i64, u64), DeoptReason> {
+        let (cbx, cby) = rec.rebase.ok_or(DeoptReason::OpFault)?;
         let delta = cbx * self.dx + cby * self.dy;
         let anchor = rec.addrs[rec.base_lane as usize] as i64 + delta;
         if anchor + rec.min_rel < 0 || anchor + rec.max_rel >= len as i64 {
-            return None;
+            return Err(DeoptReason::Bounds);
         }
         let tx = if anchor.rem_euclid(32) == rec.align {
             rec.tx
@@ -1311,11 +1393,22 @@ impl<'a> RExec<'a> {
             });
             transactions_for_warp_fixed(&addrs)
         };
-        Some((delta, tx))
+        Ok((delta, tx))
     }
 
-    fn replay_ld(&mut self, dst: u32, buf: u32, addr: u32, mask: u32, rec: &MemRec) -> Option<()> {
-        let buffer = self.ctx.buffers.get(buf as usize)?;
+    fn replay_ld(
+        &mut self,
+        dst: u32,
+        buf: u32,
+        addr: u32,
+        mask: u32,
+        rec: &MemRec,
+    ) -> Result<(), DeoptReason> {
+        let buffer = self
+            .ctx
+            .buffers
+            .get(buf as usize)
+            .ok_or(DeoptReason::OpFault)?;
         let (d, ab) = (dst as usize, addr as usize);
         let (tx, cur) = self.guard_mem(ab, mask, rec, buffer.len())?;
         if mask == u32::MAX {
@@ -1325,7 +1418,7 @@ impl<'a> RExec<'a> {
                 // extrema bound the whole `cur[0]..cur[0]+WARP` span.
                 unsafe { buffer.load_span_unchecked(cur[0] as i32 as usize, out) };
                 *self.tx += tx;
-                return Some(());
+                return Ok(());
             }
             for l in 0..WARP {
                 // SAFETY: `guard_mem` proved every lane reproduces the
@@ -1340,11 +1433,23 @@ impl<'a> RExec<'a> {
             });
         }
         *self.tx += tx;
-        Some(())
+        Ok(())
     }
 
-    fn replay_st(&mut self, buf: u32, addr: u32, val: u32, mask: u32, rec: &MemRec) -> Option<()> {
-        let len = self.ctx.buffers.get(buf as usize)?.len();
+    fn replay_st(
+        &mut self,
+        buf: u32,
+        addr: u32,
+        val: u32,
+        mask: u32,
+        rec: &MemRec,
+    ) -> Result<(), DeoptReason> {
+        let len = self
+            .ctx
+            .buffers
+            .get(buf as usize)
+            .ok_or(DeoptReason::OpFault)?
+            .len();
         let (ab, vb) = (addr as usize, val as usize);
         let (tx, cur) = self.guard_mem(ab, mask, rec, len)?;
         if mask == u32::MAX {
@@ -1358,11 +1463,21 @@ impl<'a> RExec<'a> {
             });
         }
         *self.tx += tx;
-        Some(())
+        Ok(())
     }
 
-    fn replay_ld_rebased(&mut self, dst: u32, buf: u32, mask: u32, rec: &MemRec) -> Option<()> {
-        let buffer = self.ctx.buffers.get(buf as usize)?;
+    fn replay_ld_rebased(
+        &mut self,
+        dst: u32,
+        buf: u32,
+        mask: u32,
+        rec: &MemRec,
+    ) -> Result<(), DeoptReason> {
+        let buffer = self
+            .ctx
+            .buffers
+            .get(buf as usize)
+            .ok_or(DeoptReason::OpFault)?;
         let (delta, tx) = self.rebase_mem(mask, rec, buffer.len())?;
         let d = dst as usize;
         if mask == u32::MAX {
@@ -1372,7 +1487,7 @@ impl<'a> RExec<'a> {
                 // the whole rebased `addrs[0]..addrs[0]+WARP` span.
                 unsafe { buffer.load_span_unchecked((rec.addrs[0] as i64 + delta) as usize, out) };
                 *self.tx += tx;
-                return Some(());
+                return Ok(());
             }
             for l in 0..WARP {
                 // SAFETY: `rebase_mem` bounds the translated extrema, and
@@ -1388,11 +1503,22 @@ impl<'a> RExec<'a> {
             });
         }
         *self.tx += tx;
-        Some(())
+        Ok(())
     }
 
-    fn replay_st_rebased(&mut self, buf: u32, val: u32, mask: u32, rec: &MemRec) -> Option<()> {
-        let len = self.ctx.buffers.get(buf as usize)?.len();
+    fn replay_st_rebased(
+        &mut self,
+        buf: u32,
+        val: u32,
+        mask: u32,
+        rec: &MemRec,
+    ) -> Result<(), DeoptReason> {
+        let len = self
+            .ctx
+            .buffers
+            .get(buf as usize)
+            .ok_or(DeoptReason::OpFault)?
+            .len();
         let (delta, tx) = self.rebase_mem(mask, rec, len)?;
         let vb = val as usize;
         if mask == u32::MAX {
@@ -1409,7 +1535,7 @@ impl<'a> RExec<'a> {
             });
         }
         *self.tx += tx;
-        Some(())
+        Ok(())
     }
 
     /// Re-execute a surviving non-global-memory op. Arithmetic runs the
@@ -1417,13 +1543,13 @@ impl<'a> RExec<'a> {
     /// fetches and shared memory re-execute with their failure paths mapped
     /// to deopt (the decoded re-run then reproduces the exact reference
     /// error).
-    fn replay_op(&mut self, kind: DOpKind, mask: u32) -> Option<()> {
+    fn replay_op(&mut self, kind: DOpKind, mask: u32) -> Result<(), DeoptReason> {
         match kind {
             DOpKind::LdParam { dst, index } => {
                 let bits = match self.ctx.params.get(index as usize) {
                     Some(ParamValue::I32(v)) => *v as u32,
                     Some(ParamValue::F32(v)) => v.to_bits(),
-                    None => return None,
+                    None => return Err(DeoptReason::OpFault),
                 };
                 let d = dst as usize;
                 lanes!(mask, l, {
@@ -1431,8 +1557,12 @@ impl<'a> RExec<'a> {
                 });
             }
             DOpKind::Tex { dst, buf, x, y } => {
-                let buffer: &DeviceBuffer = self.ctx.buffers.get(buf as usize)?;
-                let desc = *buffer.texture()?;
+                let buffer: &DeviceBuffer = self
+                    .ctx
+                    .buffers
+                    .get(buf as usize)
+                    .ok_or(DeoptReason::OpFault)?;
+                let desc = *buffer.texture().ok_or(DeoptReason::OpFault)?;
                 let (d, xb, yb) = (dst as usize, x as usize, y as usize);
                 let mut addrs: [Option<i64>; WARP] = [None; WARP];
                 let mut values: [u32; WARP] = [0; WARP];
@@ -1463,7 +1593,7 @@ impl<'a> RExec<'a> {
                 lanes!(mask, l, {
                     let a = self.regs[ab + l] as i32 as i64;
                     if a < 0 || a as usize >= len {
-                        return None;
+                        return Err(DeoptReason::Bounds);
                     }
                     self.regs[d + l] = self.shared[a as usize];
                 });
@@ -1474,13 +1604,13 @@ impl<'a> RExec<'a> {
                 lanes!(mask, l, {
                     let a = self.regs[ab + l] as i32 as i64;
                     if a < 0 || a as usize >= len {
-                        return None;
+                        return Err(DeoptReason::Bounds);
                     }
                     self.shared[a as usize] = self.regs[vb + l];
                 });
             }
             kind => exec_pure_op!(self, kind, mask),
         }
-        Some(())
+        Ok(())
     }
 }

@@ -1,0 +1,473 @@
+//! Integration tests for the `isp-probe` observability layer: the exported
+//! Chrome trace is well-formed and structurally sound, simulated-time
+//! timelines tile the launch's cycle count exactly, and attaching a
+//! recording probe perturbs nothing (bit-identical runs).
+
+use isp_core::Variant;
+use isp_dsl::pipeline::Policy;
+use isp_exec::{Engine, Request};
+use isp_filters::by_name;
+use isp_image::BorderPattern;
+use isp_ir::kernel::Kernel;
+use isp_ir::{BinOp, CmpOp, IrBuilder, SReg, Ty, UnOp};
+use isp_json::Json;
+use isp_probe::{ProbeHandle, RecordingProbe};
+use isp_sim::{DeviceBuffer, DeviceSpec, ExecStrategy, Gpu, LaunchConfig, ParamValue, SimMode};
+
+// ---------------------------------------------------------------------------
+// A minimal hand-written JSON validator. `isp-json` is emit-only by design,
+// so well-formedness of the rendered trace is checked by an independent
+// recursive-descent reader rather than by the emitter validating itself.
+
+struct JsonReader<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> JsonReader<'a> {
+    fn new(s: &'a str) -> Self {
+        JsonReader {
+            s: s.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn fail(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.i)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && matches!(self.s[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.i < self.s.len() && self.s[self.i] == c {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.fail(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.s[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(self.fail(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.eat(b'"')?;
+        while let Some(c) = self.peek() {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(()),
+                b'\\' => {
+                    let esc = self.peek().ok_or_else(|| self.fail("truncated escape"))?;
+                    self.i += 1;
+                    match esc {
+                        b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => {}
+                        b'u' => {
+                            for _ in 0..4 {
+                                let h = self.peek().ok_or_else(|| self.fail("short \\u"))?;
+                                if !h.is_ascii_hexdigit() {
+                                    return Err(self.fail("bad \\u digit"));
+                                }
+                                self.i += 1;
+                            }
+                        }
+                        _ => return Err(self.fail("bad escape")),
+                    }
+                }
+                0x00..=0x1f => return Err(self.fail("raw control char in string")),
+                _ => {}
+            }
+        }
+        Err(self.fail("unterminated string"))
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let digits = |r: &mut Self| -> Result<(), String> {
+            let start = r.i;
+            while r.peek().is_some_and(|c| c.is_ascii_digit()) {
+                r.i += 1;
+            }
+            if r.i == start {
+                Err(r.fail("expected digit"))
+            } else {
+                Ok(())
+            }
+        };
+        digits(self)?;
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            digits(self)?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            digits(self)?;
+        }
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek().ok_or_else(|| self.fail("unexpected end"))? {
+            b'n' => self.literal("null"),
+            b't' => self.literal("true"),
+            b'f' => self.literal("false"),
+            b'"' => self.string(),
+            b'[' => {
+                self.i += 1;
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.i += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.value()?;
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b']') => {
+                            self.i += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(self.fail("expected ',' or ']'")),
+                    }
+                }
+            }
+            b'{' => {
+                self.i += 1;
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.i += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.skip_ws();
+                    self.string()?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    self.value()?;
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b'}') => {
+                            self.i += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(self.fail("expected ',' or '}'")),
+                    }
+                }
+            }
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => Err(self.fail("unexpected character")),
+        }
+    }
+
+    fn document(mut self) -> Result<(), String> {
+        self.value()?;
+        self.skip_ws();
+        if self.i == self.s.len() {
+            Ok(())
+        } else {
+            Err(self.fail("trailing garbage"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+fn probed_engine() -> (std::sync::Arc<RecordingProbe>, Engine) {
+    let (probe, handle) = RecordingProbe::new_handle();
+    (probe, Engine::new(DeviceSpec::gtx680()).with_probe(handle))
+}
+
+fn run_both_policies(engine: &Engine, size: usize) {
+    let app = by_name("gaussian").unwrap();
+    for policy in [Policy::Naive, Policy::AlwaysIsp(Variant::IspBlock)] {
+        let req = Request::paper(app.clone(), BorderPattern::Clamp, size, policy).exhaustive();
+        engine.run(&req).unwrap();
+    }
+}
+
+fn field_u64(ev: &Json, key: &str) -> Option<u64> {
+    match ev.get(key) {
+        Some(Json::U64(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+fn field_str<'j>(ev: &'j Json, key: &str) -> Option<&'j str> {
+    match ev.get(key) {
+        Some(Json::Str(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// The kernel from `tests/replay_diff.rs` whose control flow depends on the
+/// loaded data: blocks whose sign pattern differs from the recorded block's
+/// miss the branch guard and deopt — which is what puts deopt instants on
+/// the timeline.
+fn data_dependent_kernel() -> Kernel {
+    let mut b = IrBuilder::new("datadep", 2);
+    let pw = b.param("width", Ty::S32);
+    let ph = b.param("height", Ty::S32);
+    let body = b.create_block("body");
+    let exit = b.create_block("exit");
+    let tx = b.sreg(SReg::TidX);
+    let ty = b.sreg(SReg::TidY);
+    let bx = b.sreg(SReg::CtaIdX);
+    let by = b.sreg(SReg::CtaIdY);
+    let ntx = b.sreg(SReg::NTidX);
+    let nty = b.sreg(SReg::NTidY);
+    let gx = b.mad(Ty::S32, bx, ntx, tx);
+    let gy = b.mad(Ty::S32, by, nty, ty);
+    let w = b.ld_param(pw);
+    let h = b.ld_param(ph);
+    let px = b.setp(CmpOp::Lt, gx, w);
+    let py = b.setp(CmpOp::Lt, gy, h);
+    let p = b.bin(BinOp::And, Ty::Pred, px, py);
+    b.cond_br(p, body, exit);
+    b.switch_to(body);
+    let pos = b.create_block("pos");
+    let neg = b.create_block("neg");
+    let addr = b.mad(Ty::S32, gy, w, gx);
+    let v = b.ld(Ty::F32, 0, addr);
+    let c = b.setp(CmpOp::Gt, v, 0.0f32);
+    b.cond_br(c, pos, neg);
+    b.switch_to(pos);
+    let doubled = b.bin(BinOp::Add, Ty::F32, v, v);
+    b.st(1, addr, doubled);
+    b.br(exit);
+    b.switch_to(neg);
+    let negated = b.un(UnOp::Neg, Ty::F32, v);
+    b.st(1, addr, negated);
+    b.br(exit);
+    b.switch_to(exit);
+    b.ret();
+    b.finish()
+}
+
+/// Mixed-sign input: block (0,0) records an all-positive trace, the rest
+/// mix signs and deopt.
+fn mixed_sign_input(w: usize, h: usize) -> Vec<f32> {
+    (0..w * h)
+        .map(|i| {
+            let (x, y) = (i % w, i / w);
+            if x < 32 && y < 4 {
+                1.0 + (i % 5) as f32
+            } else if (x + y) % 2 == 0 {
+                0.5
+            } else {
+                -1.5 - (i % 3) as f32
+            }
+        })
+        .collect()
+}
+
+fn launch_datadep(gpu: &Gpu) -> (isp_sim::LaunchReport, Vec<u32>) {
+    let kernel = data_dependent_kernel();
+    let (w, h) = (64usize, 8usize);
+    let cfg = LaunchConfig::for_image(w, h, (32, 4));
+    let params = [ParamValue::I32(w as i32), ParamValue::I32(h as i32)];
+    let input = mixed_sign_input(w, h);
+    let mut bufs = vec![DeviceBuffer::from_f32(&input), DeviceBuffer::zeroed(w * h)];
+    let report = gpu
+        .launch_with(
+            &kernel,
+            cfg,
+            &params,
+            &mut bufs,
+            SimMode::Exhaustive,
+            ExecStrategy::Serial,
+        )
+        .unwrap();
+    let bits = bufs[1].to_f32().iter().map(|v| v.to_bits()).collect();
+    (report, bits)
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+
+#[test]
+fn chrome_trace_is_well_formed_balanced_and_monotonic() {
+    let (probe, engine) = probed_engine();
+    run_both_policies(&engine, 64);
+
+    let doc = probe.chrome_trace(&|c| format!("class{c}"));
+    let text = doc.render_pretty();
+    JsonReader::new(&text).document().expect("well-formed JSON");
+    // The compact rendering must be equally valid.
+    JsonReader::new(&doc.render()).document().unwrap();
+
+    let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+        panic!("no traceEvents array");
+    };
+    assert!(!events.is_empty());
+
+    // Group events by (pid, tid) preserving emission order, then check
+    // every lane: balanced B/E brackets with matching names, timestamps
+    // monotonically non-decreasing.
+    let mut lanes: Vec<((u64, u64), Vec<&Json>)> = Vec::new();
+    for ev in events {
+        if field_str(ev, "ph") == Some("M") {
+            continue;
+        }
+        let key = (field_u64(ev, "pid").unwrap(), field_u64(ev, "tid").unwrap());
+        match lanes.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => v.push(ev),
+            None => lanes.push((key, vec![ev])),
+        }
+    }
+    assert!(lanes.len() >= 2, "host lane plus at least one SM lane");
+    let mut saw_span = false;
+    for ((pid, tid), evs) in &lanes {
+        let mut stack: Vec<&str> = Vec::new();
+        let mut last_ts = 0u64;
+        for ev in evs {
+            let ph = field_str(ev, "ph").unwrap();
+            let ts = field_u64(ev, "ts").unwrap();
+            assert!(ts >= last_ts, "lane ({pid},{tid}): ts {ts} after {last_ts}");
+            last_ts = ts;
+            let name = field_str(ev, "name").unwrap();
+            match ph {
+                "B" => {
+                    saw_span = true;
+                    stack.push(name);
+                }
+                "E" => {
+                    let open = stack.pop().unwrap_or_else(|| {
+                        panic!("lane ({pid},{tid}): E '{name}' with no open span")
+                    });
+                    assert_eq!(open, name, "lane ({pid},{tid}): mismatched E");
+                }
+                "i" => {}
+                other => panic!("unexpected phase {other:?}"),
+            }
+        }
+        assert!(stack.is_empty(), "lane ({pid},{tid}): unclosed {stack:?}");
+    }
+    assert!(saw_span, "trace carries at least one duration span");
+
+    // Host spans from the engine made it in.
+    let names: Vec<&str> = events.iter().filter_map(|e| field_str(e, "name")).collect();
+    for expected in ["request", "compile", "launch"] {
+        assert!(names.contains(&expected), "missing host span '{expected}'");
+    }
+}
+
+#[test]
+fn timeline_slices_tile_launch_cycles_and_pin_deopts() {
+    let (probe, handle) = RecordingProbe::new_handle();
+    let gpu = Gpu::new(DeviceSpec::gtx680()).with_probe(handle);
+    let (report, _) = launch_datadep(&gpu);
+    assert!(gpu.trace_stats().deopted >= 1, "setup must deopt");
+
+    let timelines = probe.timelines();
+    assert_eq!(timelines.len(), 1);
+    let tl = &timelines[0];
+    assert_eq!(tl.cycles, report.timing.cycles);
+    assert_eq!(tl.slices.len(), 4, "one slice per block of the 2x2 grid");
+
+    // Per-SM slices tile [0, sm_busy] with no gaps or overlaps, starting
+    // at cycle 0 on every occupied SM.
+    let mut sms: Vec<u32> = tl.slices.iter().map(|s| s.sm).collect();
+    sms.sort_unstable();
+    sms.dedup();
+    let mut max_end = 0u64;
+    for &sm in &sms {
+        let mut slices: Vec<_> = tl.slices.iter().filter(|s| s.sm == sm).collect();
+        slices.sort_by_key(|s| s.start);
+        assert_eq!(slices[0].start, 0, "SM {sm} starts at cycle 0");
+        for w in slices.windows(2) {
+            assert_eq!(
+                w[0].end, w[1].start,
+                "SM {sm}: gap/overlap between consecutive blocks"
+            );
+        }
+        for s in &slices {
+            assert!(s.end > s.start, "zero-width slice on SM {sm}");
+        }
+        max_end = max_end.max(slices.last().unwrap().end);
+    }
+    assert_eq!(
+        tl.launch_overhead + max_end,
+        report.timing.cycles,
+        "slices tile the report's cycle count exactly"
+    );
+
+    // Deopt instants sit at the end of a slice on their SM, with a known
+    // reason name.
+    assert!(!tl.deopts.is_empty(), "deopting launch must emit instants");
+    let reasons: Vec<&str> = isp_sim::DeoptReason::ALL.iter().map(|d| d.name()).collect();
+    for d in &tl.deopts {
+        assert!(reasons.contains(&d.reason), "unknown reason {:?}", d.reason);
+        assert!(
+            tl.slices
+                .iter()
+                .any(|s| s.sm == d.sm && s.end == d.at && s.outcome == "deopted"),
+            "deopt at {} on SM {} has no matching deopted slice",
+            d.at,
+            d.sm
+        );
+    }
+}
+
+#[test]
+fn recording_probe_runs_bit_identical_to_noop() {
+    // Raw Gpu launches: pixels, counters, and cycles must not change when a
+    // recording probe is attached.
+    let silent = Gpu::new(DeviceSpec::gtx680());
+    let (_probe, handle) = RecordingProbe::new_handle();
+    let probed = Gpu::new(DeviceSpec::gtx680()).with_probe(handle);
+    let (r_silent, bits_silent) = launch_datadep(&silent);
+    let (r_probed, bits_probed) = launch_datadep(&probed);
+    assert_eq!(r_silent.counters, r_probed.counters);
+    assert_eq!(r_silent.timing.cycles, r_probed.timing.cycles);
+    assert_eq!(bits_silent, bits_probed, "write journal must be identical");
+
+    // Full engine pipeline: same outcome with and without a probe.
+    let app = by_name("gaussian").unwrap();
+    let req = Request::paper(
+        app,
+        BorderPattern::Mirror,
+        64,
+        Policy::AlwaysIsp(Variant::IspBlock),
+    )
+    .exhaustive();
+    let plain = Engine::new(DeviceSpec::gtx680());
+    let (_probe2, engine) = probed_engine();
+    let a = plain.run(&req).unwrap();
+    let b = engine.run(&req).unwrap();
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(a.image.unwrap().raw(), b.image.unwrap().raw());
+}
+
+#[test]
+fn disabled_handle_records_nothing() {
+    let handle = ProbeHandle::none();
+    assert!(!handle.is_enabled());
+    assert!(handle.begin().is_none());
+    // The detail closure must not run for a disabled probe.
+    handle.span("x", "test", None, || {
+        panic!("detail evaluated while disabled")
+    });
+}
