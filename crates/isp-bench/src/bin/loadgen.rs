@@ -1,0 +1,263 @@
+//! Deterministic load generator for the serving layer: drives the same
+//! seeded workload through the single-shard FIFO baseline and the
+//! batched, model-routed two-device fleet, then through an open-loop
+//! burst that exercises admission control. Every number is derived from
+//! simulated cycles on a virtual clock — no wall-clock dependence — so
+//! the report is bit-stable across runs and machines.
+//!
+//! Writes `target/results/BENCH_PR6.json` (throughput + p50/p95/p99 for
+//! both configurations, per-shard cache stats including cross-launch
+//! trace hits, and the server's queue metrics) and
+//! `target/results/TRACE_PR6.json` (a Perfetto timeline with one process
+//! per shard plus one for the server's queue lanes).
+//!
+//! Usage: `cargo run -p isp-bench --bin loadgen --release [-- requests clients size]`
+
+use isp_bench::report::{results_dir, write_json_doc, Table};
+use isp_core::{Region, Variant};
+use isp_dsl::pipeline::Policy;
+use isp_exec::Request;
+use isp_filters::by_name;
+use isp_image::BorderPattern;
+use isp_json::Json;
+use isp_probe::chrome_trace_groups;
+use isp_serve::{Arrivals, ServeConfig, ServeReport, Server, Workload};
+
+const SEED: u64 = 42;
+const THINK_MS: f64 = 0.02;
+const OPEN_RATE_RPS: f64 = 120_000.0;
+const OPEN_QUEUE_CAP: usize = 8;
+
+fn mix(size: usize) -> Vec<Request> {
+    // Three pipelines x three border patterns, exhaustive mode so batch
+    // mates replay each other's recorded traces from block 0.
+    let policy = Policy::Model(Variant::IspBlock);
+    vec![
+        Request::paper(
+            by_name("gaussian").unwrap(),
+            BorderPattern::Clamp,
+            size,
+            policy,
+        )
+        .exhaustive(),
+        Request::paper(
+            by_name("laplace").unwrap(),
+            BorderPattern::Mirror,
+            size,
+            policy,
+        )
+        .exhaustive(),
+        Request::paper(
+            by_name("sobel").unwrap(),
+            BorderPattern::Repeat,
+            size,
+            policy,
+        )
+        .exhaustive(),
+    ]
+}
+
+fn percentiles(report: &ServeReport) -> (f64, f64, f64) {
+    (
+        report.latency_percentile_ms(50.0),
+        report.latency_percentile_ms(95.0),
+        report.latency_percentile_ms(99.0),
+    )
+}
+
+fn report_json(report: &ServeReport) -> Json {
+    let (p50, p95, p99) = percentiles(report);
+    let shards: Vec<Json> = report
+        .shards
+        .iter()
+        .map(|s| {
+            Json::obj()
+                .set("name", s.name.clone())
+                .set("device", s.device.clone())
+                .set("batches", s.batches)
+                .set("images", s.images)
+                .set("busy_ms", s.busy_ns as f64 / 1.0e6)
+                .set(
+                    "cache",
+                    Json::obj()
+                        .set("kernel_hits", s.cache.kernel_hits)
+                        .set("plan_hits", s.cache.plan_hits)
+                        .set("decode_hits", s.cache.decode_hits)
+                        .set("trace_recorded", s.cache.trace_recorded)
+                        .set("trace_replayed", s.cache.trace_replayed)
+                        .set("trace_cross_launch_hits", s.cache.trace_cross_launch_hits)
+                        .set("trace_deopted", s.cache.trace_deopts),
+                )
+        })
+        .collect();
+    Json::obj()
+        .set("completed", report.completed.len())
+        .set("admitted", report.admitted)
+        .set("rejected", report.rejected)
+        .set("max_queue_depth", report.max_queue_depth)
+        .set("makespan_ms", report.makespan_ns as f64 / 1.0e6)
+        .set("throughput_rps", report.throughput_rps())
+        .set("p50_ms", p50)
+        .set("p95_ms", p95)
+        .set("p99_ms", p99)
+        .set("batches", report.batches)
+        .set("mean_batch_size", report.mean_batch_size())
+        .set("shards", Json::Arr(shards))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let requests: usize = args
+        .first()
+        .map(|s| s.parse().expect("requests must be an integer"))
+        .unwrap_or(48);
+    let clients: usize = args
+        .get(1)
+        .map(|s| s.parse().expect("clients must be an integer"))
+        .unwrap_or(8);
+    let size: usize = args
+        .get(2)
+        .map(|s| s.parse().expect("size must be an integer"))
+        .unwrap_or(128);
+
+    let closed = Workload {
+        seed: SEED,
+        requests,
+        arrivals: Arrivals::Closed {
+            clients,
+            think_ms: THINK_MS,
+        },
+        mix: mix(size),
+    };
+
+    // Baseline: one RTX2080 shard, FIFO, no batching.
+    let mut baseline_server = Server::new(ServeConfig::baseline());
+    let baseline = baseline_server.run(&closed);
+
+    // Fleet: GTX680 + RTX2080, Eq. 1-10 model routing, batching on.
+    let mut fleet_server = Server::new(ServeConfig::fleet());
+    let fleet = fleet_server.run(&closed);
+
+    // Open-loop burst on the warm fleet: arrival rate far above service
+    // capacity with a small queue, so admission control must reject a
+    // deterministic share of the offered load.
+    let open = Workload {
+        seed: SEED + 1,
+        requests,
+        arrivals: Arrivals::Open {
+            rate_rps: OPEN_RATE_RPS,
+            exponential: true,
+        },
+        mix: mix(size),
+    };
+    let mut open_server = Server::new(ServeConfig::fleet().with_queue_cap(OPEN_QUEUE_CAP));
+    let open_report = open_server.run(&open);
+
+    let (b50, b95, b99) = percentiles(&baseline);
+    let (f50, f95, f99) = percentiles(&fleet);
+    let mut table = Table::new(&[
+        "config",
+        "completed",
+        "throughput rps",
+        "p50 ms",
+        "p95 ms",
+        "p99 ms",
+        "mean batch",
+    ]);
+    for (name, report, p) in [
+        ("baseline (1x RTX2080, FIFO)", &baseline, (b50, b95, b99)),
+        ("fleet (GTX680+RTX2080, model)", &fleet, (f50, f95, f99)),
+    ] {
+        table.row(&[
+            name.to_string(),
+            report.completed.len().to_string(),
+            format!("{:.0}", report.throughput_rps()),
+            format!("{:.3}", p.0),
+            format!("{:.3}", p.1),
+            format!("{:.3}", p.2),
+            format!("{:.2}", report.mean_batch_size()),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let speedup = fleet.throughput_rps() / baseline.throughput_rps();
+    println!(
+        "fleet throughput {:.0} rps vs baseline {:.0} rps ({speedup:.2}x) at p99 {:.3} ms vs {:.3} ms",
+        fleet.throughput_rps(),
+        baseline.throughput_rps(),
+        f99,
+        b99,
+    );
+    println!(
+        "open loop @ {OPEN_RATE_RPS:.0} rps, queue cap {OPEN_QUEUE_CAP}: {} admitted, {} rejected, max depth {}",
+        open_report.admitted, open_report.rejected, open_report.max_queue_depth,
+    );
+    // The acceptance bar: batching + model routing must beat the FIFO
+    // baseline on throughput at equal-or-better p99. Deterministic, so
+    // this either always holds or never does.
+    assert!(
+        speedup > 1.0 && f99 <= b99,
+        "fleet must beat baseline: speedup {speedup:.2}, fleet p99 {f99:.3} ms, baseline p99 {b99:.3} ms"
+    );
+
+    let doc = Json::obj()
+        .set("schema", "isp-serve-v1")
+        .set(
+            "config",
+            Json::obj()
+                .set("seed", SEED)
+                .set("requests", requests)
+                .set("clients", clients)
+                .set("think_ms", THINK_MS)
+                .set("size", size)
+                .set(
+                    "mix",
+                    Json::Arr(
+                        mix(size)
+                            .iter()
+                            .map(|r| {
+                                Json::obj()
+                                    .set("app", r.app.name)
+                                    .set("pattern", r.pattern.name())
+                                    .set("size", r.size)
+                            })
+                            .collect(),
+                    ),
+                ),
+        )
+        .set(
+            "closed_loop",
+            Json::obj()
+                .set("baseline", report_json(&baseline))
+                .set("fleet", report_json(&fleet))
+                .set("throughput_speedup", speedup)
+                .set("p99_ratio", f99 / b99),
+        )
+        .set(
+            "open_loop",
+            Json::obj()
+                .set("rate_rps", OPEN_RATE_RPS)
+                .set("queue_cap", OPEN_QUEUE_CAP)
+                .set("report", report_json(&open_report)),
+        )
+        .set("metrics", fleet_server.metrics_json());
+    let bench_path = write_json_doc("BENCH_PR6", &doc).expect("write bench report");
+
+    // Export the fleet's closed-loop run as a Perfetto timeline: one
+    // process for the server's queue lanes, one per shard (host spans +
+    // that shard's launch timelines).
+    let class_name = |c: u32| {
+        Region::ALL
+            .get(c as usize)
+            .map(|r| format!("{r:?}"))
+            .unwrap_or_else(|| format!("class {c}"))
+    };
+    let trace = chrome_trace_groups(&fleet_server.trace_groups(), &class_name);
+    let dir = results_dir().expect("create target/results");
+    let trace_path = dir.join("TRACE_PR6.json");
+    std::fs::write(&trace_path, trace.render_pretty()).expect("write trace");
+
+    println!("report: {}", bench_path.display());
+    println!("trace:  {}", trace_path.display());
+    println!("open the trace at https://ui.perfetto.dev");
+}

@@ -9,6 +9,7 @@ use isp_dsl::CompiledKernel;
 use isp_exec::{Engine, Sweep};
 use isp_filters::App;
 use isp_image::BorderPattern;
+use isp_json::Json;
 use isp_sim::DeviceSpec;
 
 pub use isp_exec::Measurement as AppMeasurement;
@@ -105,45 +106,31 @@ impl ExperimentRecord {
         }
     }
 
-    /// Render as a JSON object. All fields are names, integers, or finite
-    /// floats, so no string escaping is needed beyond quoting.
-    fn to_json(&self, indent: &str) -> String {
-        let gains: Vec<String> = self.stage_gains.iter().map(|g| format!("{g}")).collect();
-        format!(
-            "{indent}{{\n\
-             {indent}  \"device\": \"{}\",\n\
-             {indent}  \"app\": \"{}\",\n\
-             {indent}  \"pattern\": \"{}\",\n\
-             {indent}  \"size\": {},\n\
-             {indent}  \"naive_cycles\": {},\n\
-             {indent}  \"isp_cycles\": {},\n\
-             {indent}  \"ispm_cycles\": {},\n\
-             {indent}  \"speedup_isp\": {},\n\
-             {indent}  \"speedup_ispm\": {},\n\
-             {indent}  \"stage_gains\": [{}]\n\
-             {indent}}}",
-            self.device,
-            self.app,
-            self.pattern,
-            self.size,
-            self.naive_cycles,
-            self.isp_cycles,
-            self.ispm_cycles,
-            self.speedup_isp,
-            self.speedup_ispm,
-            gains.join(", "),
-        )
+    /// Render as a JSON object with sorted keys.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("device", self.device)
+            .set("app", self.app)
+            .set("pattern", self.pattern)
+            .set("size", self.size)
+            .set("naive_cycles", self.naive_cycles)
+            .set("isp_cycles", self.isp_cycles)
+            .set("ispm_cycles", self.ispm_cycles)
+            .set("speedup_isp", self.speedup_isp)
+            .set("speedup_ispm", self.speedup_ispm)
+            .set(
+                "stage_gains",
+                Json::Arr(self.stage_gains.iter().map(|&g| Json::from(g)).collect()),
+            )
+            .sort_keys()
     }
 }
 
-/// Write records as pretty JSON under `target/results/`.
+/// Write records as a pretty JSON array under `target/results/` via the
+/// shared report path ([`crate::report::write_json_doc`]), keys sorted.
 pub fn write_json(name: &str, records: &[ExperimentRecord]) -> std::io::Result<std::path::PathBuf> {
-    let dir = std::path::Path::new("target/results");
-    std::fs::create_dir_all(dir)?;
-    let path = dir.join(format!("{name}.json"));
-    let body: Vec<String> = records.iter().map(|r| r.to_json("  ")).collect();
-    std::fs::write(&path, format!("[\n{}\n]\n", body.join(",\n")))?;
-    Ok(path)
+    let doc = Json::Arr(records.iter().map(ExperimentRecord::to_json).collect());
+    crate::report::write_json_doc(name, &doc)
 }
 
 /// Compile an app's pipeline for one experiment through the engine's
@@ -243,12 +230,20 @@ mod tests {
             512,
         );
         let rec = ExperimentRecord::new(&exp, &measure_app(&exp));
-        let json = rec.to_json("");
+        let json = rec.to_json().render();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"app\": \"Gaussian\""));
         assert!(json.contains("\"size\": 512"));
         // Balanced quotes and braces (cheap structural sanity check).
         assert_eq!(json.matches('"').count() % 2, 0);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Keys come out sorted, byte-stable regardless of assembly order.
+        let keys: Vec<&str> = json
+            .split('"')
+            .skip(1)
+            .step_by(2)
+            .filter(|k| !k.is_empty())
+            .collect();
+        assert_eq!(keys.first(), Some(&"app"));
     }
 }

@@ -59,6 +59,10 @@ pub struct CacheStats {
     pub trace_recorded: u64,
     /// Blocks replayed from a recorded class trace.
     pub trace_replayed: u64,
+    /// Blocks replayed from a trace recorded by an *earlier* launch with the
+    /// identical (kernel, geometry, params) key — the warm-batch path where
+    /// the second image replays from block 0. A subset of `trace_replayed`.
+    pub trace_cross_launch_hits: u64,
     /// Blocks that failed a replay guard and re-ran on the decoded engine.
     pub trace_deopts: u64,
     /// Deopts broken down by guard reason, indexed by
@@ -104,6 +108,7 @@ impl CacheCounters {
             decode_misses: 0,
             trace_recorded: 0,
             trace_replayed: 0,
+            trace_cross_launch_hits: 0,
             trace_deopts: 0,
             trace_deopt_reasons: [0; isp_sim::DeoptReason::COUNT],
         }

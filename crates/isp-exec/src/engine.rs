@@ -5,18 +5,19 @@ use crate::bench_image;
 use crate::cache::{
     fingerprint_device, spec_fingerprint, CacheCounters, CacheStats, KernelKey, PlanKey,
 };
-use crate::request::{Measurement, Outcome, Request, Sweep};
+use crate::request::{Latency, Measurement, Outcome, Prediction, Request, Sweep};
 use isp_core::bounds::Geometry;
 use isp_core::{IndexBounds, Plan, Variant};
 use isp_dsl::pipeline::Policy;
 use isp_dsl::runner::{geometry_for, plan_for, run_filter_with, ExecMode, ExecStrategy};
 use isp_dsl::FilterOutput;
-use isp_dsl::{CompiledKernel, Compiler, KernelSpec, Pipeline};
+use isp_dsl::{tune_block_size, CompiledKernel, Compiler, KernelSpec, Pipeline};
 use isp_image::{BorderPattern, BorderSpec, Image};
 use isp_probe::ProbeHandle;
 use isp_sim::{DeviceSpec, ExecEngine, Gpu, SimError};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 /// The execution engine for one simulated device.
 ///
@@ -210,8 +211,11 @@ impl Engine {
         );
         let border = BorderSpec::from_pattern(req.pattern);
         let started = self.probe.begin();
+        let plan_t0 = Instant::now();
         let compiled = self.compile_pipeline(&req.app.pipeline, req.pattern, req.granularity);
         let refs: Vec<&CompiledKernel> = compiled.iter().map(Arc::as_ref).collect();
+        let plan_wall_ns = plan_t0.elapsed().as_nanos() as u64;
+        let exec_t0 = Instant::now();
         let run = req.app.pipeline.run_with(
             &self.gpu,
             &refs,
@@ -223,6 +227,7 @@ impl Engine {
             req.strategy,
             &mut |_, ck, geom| self.plan(ck, geom),
         )?;
+        let exec_wall_ns = exec_t0.elapsed().as_nanos() as u64;
         self.probe.span("request", "engine", started, || {
             Some(format!(
                 "{} {} {}px {:?}",
@@ -232,11 +237,113 @@ impl Engine {
         Ok(Outcome {
             image: run.image,
             total_cycles: run.total_cycles,
+            latency: Latency {
+                queue_cycles: 0,
+                exec_cycles: run.total_cycles,
+                plan_wall_ns,
+                exec_wall_ns,
+            },
             counters: run.counters,
             stage_variants: run.stage_variants,
             per_region: run.per_region,
             per_region_trace: run.per_region_trace,
         })
+    }
+
+    /// Execute a batch of requests through one shared compile/plan/launch
+    /// path: every distinct (pipeline, pattern, granularity) in the batch is
+    /// compiled and planned once up front, then the images run in order —
+    /// the second image of a compatible pair replays the first image's
+    /// recorded traces from block 0 (see
+    /// [`CacheStats::trace_cross_launch_hits`]). Results are bit-identical
+    /// to running the same requests sequentially via [`Engine::run_on`]:
+    /// per-image pixels, counters, and journals never depend on batch-mates.
+    pub fn run_batch_on(
+        &self,
+        items: &[(&Request, &Image<f32>)],
+    ) -> Result<Vec<Outcome>, SimError> {
+        let started = self.probe.begin();
+        // Warm the shared plan: one compile per distinct kernel key and one
+        // Eq. (10) evaluation per distinct geometry, no matter how many
+        // images share them.
+        for (req, _) in items {
+            let compiled = self.compile_pipeline(&req.app.pipeline, req.pattern, req.granularity);
+            for ck in &compiled {
+                let geom = geometry_for(ck, req.size, req.size, req.block);
+                self.plan(ck, &geom);
+            }
+        }
+        let outcomes = items
+            .iter()
+            .map(|(req, source)| self.run_on(req, source))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.probe.span("batch", "engine", started, || {
+            Some(format!("{} requests", items.len()))
+        });
+        Ok(outcomes)
+    }
+
+    /// [`Engine::run_batch_on`] over the deterministic bench images of each
+    /// request's size.
+    pub fn run_batch(&self, reqs: &[Request]) -> Result<Vec<Outcome>, SimError> {
+        let sources: Vec<Image<f32>> = reqs.iter().map(|r| bench_image(r.size)).collect();
+        let items: Vec<(&Request, &Image<f32>)> = reqs.iter().zip(sources.iter()).collect();
+        self.run_batch_on(&items)
+    }
+
+    /// Evaluate the Eq. 1–10 cost model for a request on this engine's
+    /// device without executing it: per stage, predict the absolute cost of
+    /// the variant the request's policy selects (per-region weighted
+    /// instruction costs x Eq. (8) block populations / occupancy — the same
+    /// ingredients as [`Engine::plan`]), and convert the total into
+    /// estimated device cycles and milliseconds. This is what the serving
+    /// dispatcher compares across shards to route each batch.
+    pub fn predict(&self, req: &Request) -> Prediction {
+        let compiled = self.compile_pipeline(&req.app.pipeline, req.pattern, req.granularity);
+        let mut stage_variants = Vec::with_capacity(compiled.len());
+        let mut cost = 0.0;
+        for ck in &compiled {
+            let points = tune_block_size(&self.gpu, ck, req.size, req.size, &[req.block]);
+            let point = points.first().expect("paper block size is valid");
+            // `point` carries the model's better variant plus the gain, so
+            // both variants' absolute costs are recoverable; pick the one
+            // the request's policy would actually run.
+            let (naive_cost, isp_cost) = if point.variant.is_isp() {
+                (point.predicted_cost * point.gain, point.predicted_cost)
+            } else {
+                (point.predicted_cost, point.predicted_cost / point.gain)
+            };
+            let geom = geometry_for(ck, req.size, req.size, req.block);
+            let variant = match req.policy {
+                Policy::Naive => Variant::Naive,
+                Policy::AlwaysIsp(v) => {
+                    if ck.isp.is_some() {
+                        v
+                    } else {
+                        Variant::Naive
+                    }
+                }
+                Policy::Model(_) => self.plan(ck, &geom).variant,
+            };
+            cost += if variant.is_isp() {
+                isp_cost
+            } else {
+                naive_cost
+            };
+            stage_variants.push(variant);
+        }
+        // Spread the warp-cycle units over the device's SMs (32 lanes each)
+        // and charge one launch overhead per stage: coarse, monotone within
+        // a device, throughput-scaled across devices — all routing needs.
+        let sm_lanes = self.device.num_sms as f64 * 32.0;
+        let est_cycles = (cost / sm_lanes).ceil() as u64
+            + self.device.launch_overhead_cycles * compiled.len() as u64;
+        Prediction {
+            stage_variants,
+            cost,
+            est_cycles,
+            est_ms: self.device.cycles_to_ms(est_cycles),
+        }
     }
 
     /// Run one compiled kernel variant directly — the single-kernel
@@ -316,6 +423,7 @@ impl Engine {
         let trace = self.gpu.trace_stats();
         stats.trace_recorded = trace.recorded;
         stats.trace_replayed = trace.replayed;
+        stats.trace_cross_launch_hits = self.gpu.trace_cross_launch_hits();
         stats.trace_deopts = trace.deopted;
         stats.trace_deopt_reasons = trace.deopt_reasons;
         stats

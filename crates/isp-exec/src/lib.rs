@@ -29,7 +29,7 @@ pub mod request;
 
 pub use cache::CacheStats;
 pub use engine::Engine;
-pub use request::{Measurement, Outcome, Request, Sweep};
+pub use request::{Latency, Measurement, Outcome, Prediction, Request, Sweep};
 
 use isp_image::{Image, ImageGenerator};
 

@@ -70,6 +70,54 @@ impl Request {
     }
 }
 
+/// Per-request latency attribution: where one [`Request`]'s time went,
+/// split into the queue-wait / plan / execute phases the serving layer
+/// reports. Simulated cycles are the deterministic source of truth the
+/// serve metrics and `==PROF==` share; the wall-clock fields measure the
+/// host-side simulator overhead and never feed simulated results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Latency {
+    /// Simulated device cycles the request spent queued before its
+    /// execution began (zero for direct [`crate::Engine::run`] calls; the
+    /// serving layer fills this in at dispatch time).
+    pub queue_cycles: u64,
+    /// Simulated device cycles executing the pipeline's launches — equal to
+    /// [`Outcome::total_cycles`].
+    pub exec_cycles: u64,
+    /// Wall-clock nanoseconds spent compiling and planning (all cache
+    /// layers included, so a warm engine reports near-zero here).
+    pub plan_wall_ns: u64,
+    /// Wall-clock nanoseconds the simulator spent executing the launches.
+    pub exec_wall_ns: u64,
+}
+
+impl Latency {
+    /// Total simulated cycles from enqueue to completion.
+    pub fn total_cycles(&self) -> u64 {
+        self.queue_cycles + self.exec_cycles
+    }
+}
+
+/// A cost-model prediction for one [`Request`] on one engine's device: the
+/// Eq. 1–10 evaluation the serving dispatcher routes on, without running
+/// anything. Costs are in device-weighted warp-cycle units (comparable
+/// across devices after [`crate::Engine::predict`] normalises by SM count
+/// and clock).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Variant the request's policy selects per stage.
+    pub stage_variants: Vec<Variant>,
+    /// Summed predicted cost of the selected variants, in weighted
+    /// warp-cycle units (lower is better; same units across stages).
+    pub cost: f64,
+    /// Estimated device cycles for the whole request, derived from `cost`
+    /// by spreading the warp-cycle units over the device's SMs and adding
+    /// per-stage launch overhead. Coarse — for routing, not reporting.
+    pub est_cycles: u64,
+    /// Estimated milliseconds on the engine's device (from `est_cycles`).
+    pub est_ms: f64,
+}
+
 /// Result of one [`Request`].
 #[derive(Debug, Clone)]
 pub struct Outcome {
@@ -77,6 +125,9 @@ pub struct Outcome {
     pub image: Option<Image<f32>>,
     /// Sum of per-stage launch cycles.
     pub total_cycles: u64,
+    /// Where the request's time went (queue wait / plan / execute), in
+    /// simulated cycles and host wall-clock.
+    pub latency: Latency,
     /// Merged counters across stages.
     pub counters: PerfCounters,
     /// The variant each stage ran.

@@ -78,7 +78,7 @@ fn instant(name: &str, cat: &str, pid: u32, tid: u32, ts: u64, args: Json) -> Js
 /// they are sorted by `(start, end descending)` so parents precede the
 /// children they enclose, and a stack of open span ends closes each span
 /// at the right moment.
-fn emit_host_thread(out: &mut Vec<Json>, tid: u32, mut items: Vec<&HostEvent>) {
+fn emit_host_thread_pid(out: &mut Vec<Json>, pid: u32, tid: u32, mut items: Vec<&HostEvent>) {
     items.sort_by(|a, b| {
         (a.start_us, std::cmp::Reverse(a.start_us + a.dur_us))
             .cmp(&(b.start_us, std::cmp::Reverse(b.start_us + b.dur_us)))
@@ -87,13 +87,14 @@ fn emit_host_thread(out: &mut Vec<Json>, tid: u32, mut items: Vec<&HostEvent>) {
     fn close_until(
         out: &mut Vec<Json>,
         open: &mut Vec<(u64, String, &'static str)>,
+        pid: u32,
         tid: u32,
         ts: u64,
     ) {
         while let Some((end_us, _, _)) = open.last() {
             if *end_us <= ts {
                 let (end_us, name, cat) = open.pop().unwrap();
-                out.push(end(&name, cat, HOST_PID, tid, end_us));
+                out.push(end(&name, cat, pid, tid, end_us));
             } else {
                 break;
             }
@@ -101,25 +102,25 @@ fn emit_host_thread(out: &mut Vec<Json>, tid: u32, mut items: Vec<&HostEvent>) {
     }
     let mut open: Vec<(u64, String, &'static str)> = Vec::new();
     for ev in items {
-        close_until(out, &mut open, tid, ev.start_us);
+        close_until(out, &mut open, pid, tid, ev.start_us);
         let mut args = Json::obj();
         if let Some(d) = &ev.detail {
             args = args.set("detail", d.as_str());
         }
         match ev.kind {
             HostEventKind::Span => {
-                out.push(begin(&ev.name, ev.cat, HOST_PID, tid, ev.start_us, args));
+                out.push(begin(&ev.name, ev.cat, pid, tid, ev.start_us, args));
                 open.push((ev.start_us + ev.dur_us, ev.name.clone(), ev.cat));
             }
             HostEventKind::Instant => {
-                out.push(instant(&ev.name, ev.cat, HOST_PID, tid, ev.start_us, args));
+                out.push(instant(&ev.name, ev.cat, pid, tid, ev.start_us, args));
             }
         }
     }
     // Close whatever is still open, innermost first (ends are
     // non-increasing down the stack, so timestamps stay monotonic).
     while let Some((end_us, name, cat)) = open.pop() {
-        out.push(end(&name, cat, HOST_PID, tid, end_us));
+        out.push(end(&name, cat, pid, tid, end_us));
     }
 }
 
@@ -180,37 +181,28 @@ fn emit_timeline(
     }
 }
 
-/// Build the full Chrome trace-event document from recorded host events and
-/// launch timelines. `class_name` maps block-class ids to slice titles.
-pub fn chrome_trace(
-    host: &[HostEvent],
-    timelines: &[SimTimeline],
-    class_name: &dyn Fn(u32) -> String,
-) -> Json {
-    let mut events: Vec<Json> = Vec::new();
-    events.push(meta("process_name", HOST_PID, 0, "host".to_string()));
-
+fn emit_host_process(out: &mut Vec<Json>, pid: u32, name: &str, host: &[HostEvent]) {
+    out.push(meta("process_name", pid, 0, name.to_string()));
     let mut tids: Vec<u32> = host.iter().map(|e| e.tid).collect();
     tids.sort_unstable();
     tids.dedup();
     for &tid in &tids {
-        events.push(meta(
+        out.push(meta(
             "thread_name",
-            HOST_PID,
+            pid,
             tid,
             format!("engine thread {tid}"),
         ));
-        emit_host_thread(
-            &mut events,
+        emit_host_thread_pid(
+            out,
+            pid,
             tid,
             host.iter().filter(|e| e.tid == tid).collect(),
         );
     }
+}
 
-    for (k, tl) in timelines.iter().enumerate() {
-        emit_timeline(&mut events, SIM_PID_BASE + k as u32, tl, class_name);
-    }
-
+fn trace_doc(events: Vec<Json>) -> Json {
     Json::obj()
         .set("traceEvents", Json::Arr(events))
         .set("displayTimeUnit", "ms")
@@ -224,6 +216,53 @@ pub fn chrome_trace(
                     "simulated cycles rendered as microseconds (1 cycle = 1 us)",
                 ),
         )
+}
+
+/// Build the full Chrome trace-event document from recorded host events and
+/// launch timelines. `class_name` maps block-class ids to slice titles.
+pub fn chrome_trace(
+    host: &[HostEvent],
+    timelines: &[SimTimeline],
+    class_name: &dyn Fn(u32) -> String,
+) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+    emit_host_process(&mut events, HOST_PID, "host", host);
+    for (k, tl) in timelines.iter().enumerate() {
+        emit_timeline(&mut events, SIM_PID_BASE + k as u32, tl, class_name);
+    }
+    trace_doc(events)
+}
+
+/// One named process group of a multi-probe export: a label (the Chrome
+/// process name) plus the host events and launch timelines one probe
+/// recorded. The serving layer uses one group per engine shard, so the
+/// exported trace shows each shard as its own process.
+#[derive(Debug, Clone, Default)]
+pub struct TraceGroup {
+    /// Chrome process name for the group's host lane.
+    pub name: String,
+    /// Wall-clock spans/instants recorded by the group's probe.
+    pub host: Vec<HostEvent>,
+    /// Simulated launch timelines recorded by the group's probe.
+    pub timelines: Vec<SimTimeline>,
+}
+
+/// [`chrome_trace`] over several probes at once: each [`TraceGroup`] gets
+/// its own host process (named `group.name`) followed by one process per
+/// launch timeline it recorded, with globally unique pids assigned in group
+/// order.
+pub fn chrome_trace_groups(groups: &[TraceGroup], class_name: &dyn Fn(u32) -> String) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+    let mut pid = HOST_PID;
+    for group in groups {
+        emit_host_process(&mut events, pid, &group.name, &group.host);
+        pid += 1;
+        for tl in &group.timelines {
+            emit_timeline(&mut events, pid, tl, class_name);
+            pid += 1;
+        }
+    }
+    trace_doc(events)
 }
 
 #[cfg(test)]

@@ -28,6 +28,7 @@ pub mod chrome;
 pub mod metrics;
 pub mod timeline;
 
+pub use chrome::{chrome_trace_groups, TraceGroup};
 pub use metrics::{Histogram, Metrics};
 pub use timeline::{BlockSlice, DeoptInstant, SimTimeline};
 
@@ -301,6 +302,18 @@ impl RecordingProbe {
     /// Render the metrics registry as JSON (keys in stable sorted order).
     pub fn metrics_json(&self) -> Json {
         self.state.lock().unwrap().metrics.to_json()
+    }
+
+    /// Snapshot everything recorded so far as one named group of a
+    /// multi-probe export (see [`chrome_trace_groups`]). Host timestamps
+    /// stay relative to this probe's own epoch.
+    pub fn trace_group(&self, name: impl Into<String>) -> TraceGroup {
+        let state = self.state.lock().unwrap();
+        TraceGroup {
+            name: name.into(),
+            host: state.host.clone(),
+            timelines: state.timelines.clone(),
+        }
     }
 }
 

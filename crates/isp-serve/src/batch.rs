@@ -1,0 +1,149 @@
+//! Batch formation: fold queued requests that would share a compiled plan
+//! into one engine batch. Two requests are **compatible** when they agree
+//! on everything that determines the compile/plan/launch path — kernel
+//! fingerprints (via the app), border pattern, geometry (size and block),
+//! ISP granularity, policy, execution mode, and strategy — so a batch
+//! compiles once, plans once, and the second image onward replays the
+//! first image's recorded traces from block 0.
+
+use crate::queue::{AdmissionQueue, QueuedRequest};
+use isp_dsl::pipeline::Policy;
+use isp_dsl::runner::{ExecMode, ExecStrategy};
+use isp_exec::Request;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// The batching compatibility key of a request: equal keys guarantee the
+/// requests share one compiled plan and one trace-cache lineage. The app's
+/// pipeline identity (stage names plus parameter values) stands in for the
+/// kernel fingerprints: compilation is keyed by `(spec, pattern,
+/// granularity)`, all of which this key covers, so equal keys compile to
+/// byte-identical kernels.
+pub fn compat_key(req: &Request) -> u64 {
+    let mut h = DefaultHasher::new();
+    req.app.name.hash(&mut h);
+    for stage in &req.app.pipeline.stages {
+        stage.spec.name.hash(&mut h);
+        for p in &stage.user_params {
+            p.to_bits().hash(&mut h);
+        }
+    }
+    (req.pattern as u8).hash(&mut h);
+    req.size.hash(&mut h);
+    req.block.hash(&mut h);
+    (req.granularity as u8).hash(&mut h);
+    policy_tag(req.policy).hash(&mut h);
+    matches!(req.mode, ExecMode::Exhaustive).hash(&mut h);
+    matches!(req.strategy, ExecStrategy::Parallel).hash(&mut h);
+    h.finish()
+}
+
+fn policy_tag(policy: Policy) -> (u8, u8) {
+    match policy {
+        Policy::Naive => (0, 0),
+        Policy::AlwaysIsp(v) => (1, v as u8),
+        Policy::Model(v) => (2, v as u8),
+    }
+}
+
+/// Pull the next batch off the queue: the head-of-line request plus up to
+/// `max_batch - 1` compatible requests found among the first `window`
+/// waiting entries. FIFO order is preserved inside the batch and among
+/// the requests left behind. Returns an empty vector when the queue is
+/// empty.
+pub fn form_batch(
+    queue: &mut AdmissionQueue,
+    max_batch: usize,
+    window: usize,
+) -> Vec<QueuedRequest> {
+    let Some(head) = queue.waiting().next() else {
+        return Vec::new();
+    };
+    let key = compat_key(&head.request);
+    let mut positions = vec![0usize];
+    for (pos, cand) in queue.waiting().enumerate().take(window).skip(1) {
+        if positions.len() >= max_batch {
+            break;
+        }
+        if compat_key(&cand.request) == key {
+            positions.push(pos);
+        }
+    }
+    queue.take(&positions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isp_core::Variant;
+    use isp_filters::by_name;
+    use isp_image::BorderPattern;
+
+    fn queued(id: u64, req: Request) -> QueuedRequest {
+        QueuedRequest {
+            id,
+            client: None,
+            request: req,
+            arrival_ns: id,
+        }
+    }
+
+    fn gauss(pattern: BorderPattern, size: usize) -> Request {
+        Request::paper(
+            by_name("gaussian").unwrap(),
+            pattern,
+            size,
+            Policy::Model(Variant::IspBlock),
+        )
+    }
+
+    #[test]
+    fn compat_key_separates_plan_relevant_fields() {
+        let base = gauss(BorderPattern::Clamp, 512);
+        assert_eq!(compat_key(&base), compat_key(&base.clone()));
+        assert_ne!(
+            compat_key(&base),
+            compat_key(&gauss(BorderPattern::Mirror, 512))
+        );
+        assert_ne!(
+            compat_key(&base),
+            compat_key(&gauss(BorderPattern::Clamp, 1024))
+        );
+        assert_ne!(
+            compat_key(&base),
+            compat_key(&gauss(BorderPattern::Clamp, 512).with_block((16, 16)))
+        );
+        let sobel = Request::paper(
+            by_name("sobel").unwrap(),
+            BorderPattern::Clamp,
+            512,
+            Policy::Model(Variant::IspBlock),
+        );
+        assert_ne!(compat_key(&base), compat_key(&sobel));
+    }
+
+    #[test]
+    fn form_batch_groups_head_compatible_requests_in_order() {
+        let mut q = AdmissionQueue::new(16);
+        q.offer(queued(0, gauss(BorderPattern::Clamp, 512)));
+        q.offer(queued(1, gauss(BorderPattern::Mirror, 512)));
+        q.offer(queued(2, gauss(BorderPattern::Clamp, 512)));
+        q.offer(queued(3, gauss(BorderPattern::Clamp, 512)));
+
+        let batch = form_batch(&mut q, 8, 16);
+        assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), [0, 2, 3]);
+        // The incompatible request keeps its place at the head.
+        assert_eq!(q.waiting().map(|r| r.id).collect::<Vec<_>>(), [1]);
+    }
+
+    #[test]
+    fn form_batch_respects_max_batch_and_window() {
+        let mut q = AdmissionQueue::new(16);
+        for i in 0..6 {
+            q.offer(queued(i, gauss(BorderPattern::Clamp, 512)));
+        }
+        assert_eq!(form_batch(&mut q, 2, 16).len(), 2);
+        assert_eq!(form_batch(&mut q, 8, 2).len(), 2);
+        assert_eq!(q.depth(), 2);
+    }
+}

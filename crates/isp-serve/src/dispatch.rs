@@ -1,0 +1,52 @@
+//! Model-driven routing: the dispatcher asks every idle shard's engine to
+//! evaluate the paper's Eq. 1-10 cost model for the batch at hand
+//! ([`isp_exec::Engine::predict`] — per-region weighted instruction costs
+//! x Eq. (8) block populations / occupancy, converted to device
+//! milliseconds) and sends the batch to the shard predicted to finish it
+//! first. The prediction is per (device, variant): a `Model` policy
+//! request may be routed to the Kepler shard as a naive kernel and to the
+//! Turing shard as an ISP kernel, because `predict` resolves the policy
+//! against each device's own model.
+
+use crate::shard::Shard;
+use isp_exec::Request;
+
+/// How the dispatcher picks a shard for each batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Routing {
+    /// Eq. 1-10 cost-model routing: argmin over idle shards of the
+    /// predicted batch milliseconds on that shard's device.
+    Model,
+    /// Always the lowest-index idle shard — the FIFO baseline (with a
+    /// single shard this is classic FIFO serving).
+    Fixed,
+}
+
+/// Choose a shard among `idle` (indices into `shards`) for a batch whose
+/// head request is `head` and which contains `batch_len` images. Returns
+/// the chosen index; ties break toward the lower shard index so routing
+/// is deterministic.
+pub fn route(
+    routing: Routing,
+    shards: &[Shard],
+    idle: &[usize],
+    head: &Request,
+    batch_len: usize,
+) -> usize {
+    debug_assert!(!idle.is_empty());
+    match routing {
+        Routing::Fixed => idle[0],
+        Routing::Model => {
+            let mut best = idle[0];
+            let mut best_ms = f64::INFINITY;
+            for &i in idle {
+                let ms = shards[i].predict(head).est_ms * batch_len as f64;
+                if ms < best_ms {
+                    best_ms = ms;
+                    best = i;
+                }
+            }
+            best
+        }
+    }
+}

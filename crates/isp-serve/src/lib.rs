@@ -1,0 +1,96 @@
+//! # isp-serve
+//!
+//! A deterministic serving layer over sharded [`isp_exec::Engine`]s: the
+//! systems experiment the paper's cost model makes possible. Requests
+//! arrive on a **virtual clock** (u64 nanoseconds), wait in a bounded
+//! admission queue, get folded into **batches** of compatible work (same
+//! kernel fingerprint x geometry x border policy -> one shared
+//! compile/plan, N images through one launch path), and a **model-driven
+//! dispatcher** evaluates the paper's Eq. 1-10 cost model per (device,
+//! variant) to route each batch to the engine shard predicted to finish
+//! it fastest.
+//!
+//! The fleet is heterogeneous by construction — one shard per simulated
+//! device (Kepler GTX680 + Turing RTX2080 by default), each owning its own
+//! [`isp_exec::Engine`] with warm decode/trace caches and a persistent
+//! worker thread capped to its share of the host's threads
+//! (`shim_rayon::with_worker_cap`), so shards execute concurrently in wall
+//! time without oversubscribing each other.
+//!
+//! Determinism is the load-bearing property: service time is the
+//! *simulated* cycle count of each outcome converted through the shard
+//! device's clock, arrivals come from a seeded [`rand::rngs::StdRng`], and
+//! the discrete-event loop harvests every in-flight batch before advancing
+//! the clock — so latency percentiles, rejection counts, and queue depths
+//! are bit-stable across runs and machines, while batches still execute in
+//! parallel across shards in wall time. Batched execution is differential-
+//! tested bit-identical to sequential single-engine runs (pixels,
+//! counters, per-region journals).
+//!
+//! ```text
+//!  arrivals ──> admission queue ──> batcher ──> dispatcher ──> shards
+//!   (seeded)    (bounded, FIFO)     (compat      (Eq. 1-10       (one
+//!                rejects beyond      key -> one    predict per     engine
+//!                the cap)            plan, N       idle shard)     per
+//!                                    images)                       device)
+//! ```
+
+pub mod batch;
+pub mod dispatch;
+pub mod queue;
+pub mod server;
+pub mod shard;
+
+pub use batch::{compat_key, form_batch};
+pub use dispatch::Routing;
+pub use queue::{AdmissionQueue, QueuedRequest};
+pub use server::{
+    Arrivals, RequestRecord, ServeConfig, ServeReport, Server, ShardReport, Workload,
+};
+pub use shard::{Shard, ShardSpec};
+
+/// Nanoseconds of virtual time per simulated millisecond.
+pub const NS_PER_MS: f64 = 1.0e6;
+
+/// Convert simulated milliseconds on a device to virtual nanoseconds.
+pub fn ms_to_ns(ms: f64) -> u64 {
+    (ms * NS_PER_MS).round() as u64
+}
+
+/// Convert virtual nanoseconds to cycles on a device clocked at `ghz`
+/// (1 GHz = one cycle per nanosecond).
+pub fn ns_to_cycles(ns: u64, ghz: f64) -> u64 {
+    (ns as f64 * ghz).round() as u64
+}
+
+/// The `p`-th percentile (0-100) of an unsorted sample by nearest-rank,
+/// the convention serving dashboards use: the smallest value such that at
+/// least `p` percent of the sample is <= it. Returns 0.0 on an empty
+/// sample.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::percentile;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 50.0), 50.0);
+        assert_eq!(percentile(&xs, 95.0), 95.0);
+        assert_eq!(percentile(&xs, 99.0), 99.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        // Order-insensitive.
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 50.0), 2.0);
+    }
+}

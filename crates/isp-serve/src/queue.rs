@@ -1,0 +1,150 @@
+//! Bounded FIFO admission queue. Admission control is the backpressure
+//! mechanism: beyond the configured depth, open-loop arrivals are rejected
+//! deterministically (closed-loop clients retry after their think time),
+//! so queue depth — and therefore queueing latency — is bounded by
+//! construction rather than by luck.
+
+use isp_exec::Request;
+use std::collections::VecDeque;
+
+/// One request waiting in (or flowing through) the server, stamped with
+/// its virtual arrival time.
+#[derive(Debug, Clone)]
+pub struct QueuedRequest {
+    /// Dense request id in admission order.
+    pub id: u64,
+    /// Issuing closed-loop client, if any (`None` for open-loop arrivals).
+    pub client: Option<usize>,
+    /// The work itself.
+    pub request: Request,
+    /// Virtual arrival time in nanoseconds.
+    pub arrival_ns: u64,
+}
+
+/// FIFO queue with a hard depth cap and bookkeeping for the report.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    items: VecDeque<QueuedRequest>,
+    cap: usize,
+    admitted: u64,
+    rejected: u64,
+    max_depth: usize,
+}
+
+impl AdmissionQueue {
+    /// An empty queue admitting at most `cap` waiting requests.
+    pub fn new(cap: usize) -> Self {
+        AdmissionQueue {
+            items: VecDeque::new(),
+            cap,
+            admitted: 0,
+            rejected: 0,
+            max_depth: 0,
+        }
+    }
+
+    /// Try to admit a request: `true` and enqueued if there is room,
+    /// `false` (rejected, counted) if the queue is at its cap.
+    pub fn offer(&mut self, req: QueuedRequest) -> bool {
+        if self.items.len() >= self.cap {
+            self.rejected += 1;
+            return false;
+        }
+        self.items.push_back(req);
+        self.admitted += 1;
+        self.max_depth = self.max_depth.max(self.items.len());
+        true
+    }
+
+    /// Waiting requests, oldest first.
+    pub fn waiting(&self) -> impl Iterator<Item = &QueuedRequest> {
+        self.items.iter()
+    }
+
+    /// Remove and return the requests at the given queue positions
+    /// (ascending, deduplicated by the caller), preserving FIFO order of
+    /// the survivors. Used by the batcher to pull a head-of-line batch.
+    pub fn take(&mut self, positions: &[usize]) -> Vec<QueuedRequest> {
+        debug_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        let mut taken = Vec::with_capacity(positions.len());
+        for &pos in positions.iter().rev() {
+            taken.push(self.items.remove(pos).expect("position in bounds"));
+        }
+        taken.reverse();
+        taken
+    }
+
+    /// Current depth.
+    pub fn depth(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total requests admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Total requests rejected at admission so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// High-water mark of the queue depth.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// The configured depth cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isp_dsl::pipeline::Policy;
+    use isp_exec::Request;
+    use isp_filters::apps;
+    use isp_image::BorderPattern;
+
+    fn req(id: u64) -> QueuedRequest {
+        QueuedRequest {
+            id,
+            client: None,
+            request: Request::paper(
+                apps::by_name("gaussian").unwrap(),
+                BorderPattern::Clamp,
+                64,
+                Policy::Naive,
+            ),
+            arrival_ns: id,
+        }
+    }
+
+    #[test]
+    fn cap_bounds_depth_and_counts_rejects() {
+        let mut q = AdmissionQueue::new(2);
+        assert!(q.offer(req(0)));
+        assert!(q.offer(req(1)));
+        assert!(!q.offer(req(2)));
+        assert_eq!((q.admitted(), q.rejected(), q.depth()), (2, 1, 2));
+        assert_eq!(q.max_depth(), 2);
+    }
+
+    #[test]
+    fn take_preserves_fifo_order() {
+        let mut q = AdmissionQueue::new(8);
+        for i in 0..5 {
+            q.offer(req(i));
+        }
+        let taken = q.take(&[0, 2, 3]);
+        assert_eq!(taken.iter().map(|r| r.id).collect::<Vec<_>>(), [0, 2, 3]);
+        assert_eq!(q.waiting().map(|r| r.id).collect::<Vec<_>>(), [1, 4]);
+    }
+}

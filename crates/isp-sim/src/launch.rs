@@ -32,6 +32,9 @@ use std::sync::{Arc, Mutex};
 /// execution engine the launch selected.
 type BlockWorker<'a> = Box<dyn Fn((u32, u32)) -> Result<BlockRun, SimError> + Sync + 'a>;
 
+/// Cross-launch trace cache map: `(launch key, class) -> (epoch, trace)`.
+type TraceCacheMap = HashMap<(u64, u32), (u64, Arc<Trace>)>;
+
 /// Hardware limit on threads per block (both simulated devices).
 pub const MAX_THREADS_PER_BLOCK: u32 = 1024;
 
@@ -235,6 +238,15 @@ pub struct LaunchReport {
 /// A simulated GPU: a device spec, an execution engine, and launch
 /// machinery. Cloning a `Gpu` shares its decode cache (and stats), so a
 /// pipeline may hand clones to workers without re-decoding kernels.
+///
+/// The replay engine's trace cache is also shared across the clone family
+/// and **persists across launches**: a launch with the same (kernel
+/// fingerprint, grid, block, scalar params) tuple as an earlier one replays
+/// from block 0 instead of re-recording. Scalar params are part of the key
+/// because a recorded trace pins grid-uniform parameter values into its
+/// affine classes and range guards; buffer *contents* are not, because the
+/// replay guards re-validate every access against the live buffers and
+/// deopt on any divergence — reuse is always bit-exact.
 #[derive(Debug, Clone)]
 pub struct Gpu {
     device: DeviceSpec,
@@ -243,9 +255,20 @@ pub struct Gpu {
     decode_cache: Arc<Mutex<HashMap<u64, Arc<DecodedKernel>>>>,
     decode_hits: Arc<AtomicU64>,
     decode_misses: Arc<AtomicU64>,
+    /// Cross-launch trace cache: `(launch key, class) -> (epoch, trace)`.
+    /// The epoch is the sequence number of the launch that recorded the
+    /// trace, so later launches can tell a warm hit from their own fresh
+    /// recording.
+    trace_cache: Arc<Mutex<TraceCacheMap>>,
+    /// Monotonic launch sequence number (one per replay-engine exhaustive
+    /// launch), used to stamp trace-cache entries with their recording
+    /// epoch.
+    launch_seq: Arc<AtomicU64>,
     trace_recorded: Arc<AtomicU64>,
     trace_replayed: Arc<AtomicU64>,
     trace_deopted: Arc<AtomicU64>,
+    /// Blocks replayed from a trace recorded by an *earlier* launch.
+    trace_xlaunch: Arc<AtomicU64>,
     trace_deopt_reasons: Arc<[AtomicU64; DeoptReason::COUNT]>,
 }
 
@@ -260,9 +283,12 @@ impl Gpu {
             decode_cache: Arc::new(Mutex::new(HashMap::new())),
             decode_hits: Arc::new(AtomicU64::new(0)),
             decode_misses: Arc::new(AtomicU64::new(0)),
+            trace_cache: Arc::new(Mutex::new(HashMap::new())),
+            launch_seq: Arc::new(AtomicU64::new(0)),
             trace_recorded: Arc::new(AtomicU64::new(0)),
             trace_replayed: Arc::new(AtomicU64::new(0)),
             trace_deopted: Arc::new(AtomicU64::new(0)),
+            trace_xlaunch: Arc::new(AtomicU64::new(0)),
             trace_deopt_reasons: Arc::new(std::array::from_fn(|_| AtomicU64::new(0))),
         }
     }
@@ -350,6 +376,14 @@ impl Gpu {
                 self.trace_deopt_reasons[i].load(Ordering::Relaxed)
             }),
         }
+    }
+
+    /// Blocks replayed from a trace recorded by an *earlier* launch on this
+    /// `Gpu` (or its clone family) — the cross-launch reuse that lets the
+    /// second image of a batch replay from block 0. A subset of
+    /// [`TraceStats::replayed`].
+    pub fn trace_cross_launch_hits(&self) -> u64 {
+        self.trace_xlaunch.load(Ordering::Relaxed)
     }
 
     /// Launch `kernel` over `cfg`. See [`SimMode`] for the modes.
@@ -546,11 +580,18 @@ impl Gpu {
             ExecEngine::Decoded | ExecEngine::Replay => {
                 let dk = self.decode(kernel);
                 let shared: &[DeviceBuffer] = buffers;
-                // The replay engine shares one trace cache per launch, keyed
-                // by block class (class 0 when no classifier labels the
-                // grid): the first block of a class records, siblings replay.
-                let traces: Option<Mutex<HashMap<u32, Arc<Trace>>>> =
-                    (engine == ExecEngine::Replay).then(|| Mutex::new(HashMap::new()));
+                // The replay engine reads the Gpu's persistent trace cache,
+                // scoped to this launch's (kernel, geometry, params) key and
+                // further keyed by block class (class 0 when no classifier
+                // labels the grid): the first block of a class records —
+                // unless an earlier launch with the identical key already
+                // did, in which case every block of the class replays warm.
+                let traces: Option<SharedTraces<'_>> =
+                    (engine == ExecEngine::Replay).then(|| SharedTraces {
+                        cache: &self.trace_cache,
+                        key: launch_trace_key(kernel_fingerprint(kernel), cfg, params),
+                        epoch: self.launch_seq.fetch_add(1, Ordering::Relaxed),
+                    });
                 // Chunked fold: each worker folds a contiguous run of block
                 // indices through one ChunkAcc, reusing its scratch arena for
                 // every block — zero per-block allocation in steady state.
@@ -578,6 +619,7 @@ impl Gpu {
                             traces,
                             &mut acc.local_traces,
                             &mut acc.trace_stats,
+                            &mut acc.trace_xlaunch,
                             &mut acc.scratch,
                             &mut acc.writes,
                             &self.probe,
@@ -615,10 +657,12 @@ impl Gpu {
                 };
                 if traces.is_some() {
                     let mut by_class: HashMap<u32, TraceStats> = HashMap::new();
+                    let mut xlaunch = 0u64;
                     for acc in &accs {
                         for (&c, s) in &acc.trace_stats {
                             by_class.entry(c).or_default().merge(s);
                         }
+                        xlaunch += acc.trace_xlaunch;
                     }
                     let mut total = TraceStats::default();
                     for s in by_class.values() {
@@ -630,6 +674,7 @@ impl Gpu {
                         .fetch_add(total.replayed, Ordering::Relaxed);
                     self.trace_deopted
                         .fetch_add(total.deopted, Ordering::Relaxed);
+                    self.trace_xlaunch.fetch_add(xlaunch, Ordering::Relaxed);
                     for (slot, n) in self.trace_deopt_reasons.iter().zip(total.deopt_reasons) {
                         slot.fetch_add(n, Ordering::Relaxed);
                     }
@@ -874,6 +919,37 @@ fn outcome_name(code: u8) -> &'static str {
     }
 }
 
+/// The replay engine's view of a [`Gpu`]'s persistent trace cache, scoped
+/// to one launch: `key` identifies the (kernel fingerprint, grid, block,
+/// scalar params) tuple this launch's traces are valid for, and `epoch` is
+/// this launch's sequence number — a cache entry with an older epoch was
+/// recorded by an earlier launch, so replaying it is a cross-launch hit.
+struct SharedTraces<'a> {
+    cache: &'a Mutex<TraceCacheMap>,
+    key: u64,
+    epoch: u64,
+}
+
+/// The cross-launch trace-cache key: a hash of everything a recorded trace
+/// pins — the kernel's structural fingerprint, the launch geometry, and the
+/// scalar parameter values (bitwise, so `-0.0` and `0.0` are distinct and
+/// NaNs hash stably). Buffer lengths and contents are deliberately absent:
+/// replay guards re-validate those per access and deopt on divergence.
+fn launch_trace_key(kernel_fp: u64, cfg: LaunchConfig, params: &[ParamValue]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    kernel_fp.hash(&mut h);
+    cfg.grid.hash(&mut h);
+    cfg.block.hash(&mut h);
+    for p in params {
+        match p {
+            ParamValue::I32(v) => (0u8, *v as u32).hash(&mut h),
+            ParamValue::F32(v) => (1u8, v.to_bits()).hash(&mut h),
+        }
+    }
+    h.finish()
+}
+
 /// Per-worker accumulator of the decoded exhaustive path: one of these folds
 /// a contiguous chunk of block indices, so its scratch arena is prepared
 /// once and then reused — memset, not malloc — for every block in the chunk.
@@ -885,10 +961,14 @@ struct ChunkAcc {
     cycles: Vec<u64>,
     writes: Vec<(u32, usize, u32)>,
     err: Option<SimError>,
-    /// Lock-free view of the launch's shared trace cache: once a worker has
-    /// resolved a class's trace it never takes the shared lock again.
-    local_traces: HashMap<u32, Arc<Trace>>,
+    /// Lock-free view of the launch's slice of the shared trace cache: once
+    /// a worker has resolved a class's trace it never takes the shared lock
+    /// again. The flag records whether the trace came from an earlier
+    /// launch (a cross-launch hit when replayed).
+    local_traces: HashMap<u32, (Arc<Trace>, bool)>,
     trace_stats: HashMap<u32, TraceStats>,
+    /// Blocks replayed from a trace recorded by an earlier launch.
+    trace_xlaunch: u64,
     /// Per-block outcome codes in chunk dispatch order; populated only when
     /// the launch's probe is enabled (index-aligned with `cycles`).
     outcomes: Vec<u8>,
@@ -898,31 +978,40 @@ struct ChunkAcc {
 /// one exists (deopting to the decoded interpreter on a guard miss), or run
 /// decoded while recording a fresh trace when the class is new. The first
 /// recording of a class wins the cache slot; results are bit-identical to
-/// [`run_decoded`] either way, only the stats depend on scheduling.
+/// [`run_decoded`] either way, only the stats depend on scheduling. A trace
+/// left behind by an earlier launch with the same key replays immediately —
+/// no block of this launch records — and each such replay is counted in
+/// `xlaunch`.
 #[allow(clippy::too_many_arguments)]
 fn run_block_replay(
     dk: &DecodedKernel,
     ctx: &DecodedBlockCtx<'_>,
     class: u32,
-    shared: &Mutex<HashMap<u32, Arc<Trace>>>,
-    local: &mut HashMap<u32, Arc<Trace>>,
+    shared: &SharedTraces<'_>,
+    local: &mut HashMap<u32, (Arc<Trace>, bool)>,
     stats: &mut HashMap<u32, TraceStats>,
+    xlaunch: &mut u64,
     scratch: &mut DecodedScratch,
     writes: &mut Vec<(u32, usize, u32)>,
     probe: &ProbeHandle,
 ) -> Result<(FlatCounters, u64, u8), SimError> {
     let entry = stats.entry(class).or_default();
     let trace = match local.get(&class) {
-        Some(t) => Some(Arc::clone(t)),
+        Some((t, prior)) => Some((Arc::clone(t), *prior)),
         None => {
-            let t = shared.lock().unwrap().get(&class).cloned();
-            if let Some(t) = &t {
-                local.insert(class, Arc::clone(t));
+            let t = shared
+                .cache
+                .lock()
+                .unwrap()
+                .get(&(shared.key, class))
+                .map(|(epoch, t)| (Arc::clone(t), *epoch != shared.epoch));
+            if let Some((t, prior)) = &t {
+                local.insert(class, (Arc::clone(t), *prior));
             }
             t
         }
     };
-    let Some(trace) = trace else {
+    let Some((trace, prior)) = trace else {
         let started = probe.begin();
         let (counters, cycles, trace) = record_block(dk, ctx, scratch, writes)?;
         probe.span("trace-record", "sim", started, || {
@@ -930,15 +1019,20 @@ fn run_block_replay(
         });
         entry.recorded += 1;
         let trace = Arc::new(trace);
-        let mut cache = shared.lock().unwrap();
-        let cached = cache.entry(class).or_insert(trace);
-        local.insert(class, Arc::clone(cached));
+        let mut cache = shared.cache.lock().unwrap();
+        let cached = cache
+            .entry((shared.key, class))
+            .or_insert((shared.epoch, trace));
+        local.insert(class, (Arc::clone(&cached.1), cached.0 != shared.epoch));
         return Ok((counters, cycles, OUT_RECORDED));
     };
     let journal_mark = writes.len();
     match replay_block(dk, &trace, ctx, scratch, writes) {
         Ok((counters, cycles)) => {
             entry.replayed += 1;
+            if prior {
+                *xlaunch += 1;
+            }
             Ok((counters, cycles, OUT_REPLAYED))
         }
         Err(reason) => {
@@ -1424,6 +1518,64 @@ mod tests {
             after.recorded + after.replayed + after.deopted,
             2 * cfg.total_blocks()
         );
+    }
+
+    #[test]
+    fn traces_are_reused_across_identical_launches() {
+        let k = grid_kernel();
+        let gpu = Gpu::new(DeviceSpec::gtx680());
+        let (w, h) = (128usize, 16usize);
+        let cfg = LaunchConfig::for_image(w, h, (32, 4)); // 4x4 grid, exact fit
+        let params = [ParamValue::I32(w as i32), ParamValue::I32(h as i32)];
+        let run = |params: &[ParamValue], input: &[f32]| {
+            let mut bufs = vec![DeviceBuffer::from_f32(input), DeviceBuffer::zeroed(w * h)];
+            gpu.launch_with(
+                &k,
+                cfg,
+                params,
+                &mut bufs,
+                SimMode::Exhaustive,
+                ExecStrategy::Serial,
+            )
+            .unwrap();
+            bufs[1].to_f32()
+        };
+        let input: Vec<f32> = (0..w * h).map(|i| (i % 5) as f32).collect();
+        run(&params, &input);
+        let s1 = gpu.trace_stats();
+        assert_eq!(s1.recorded, 1, "cold launch records its one class");
+        assert_eq!(gpu.trace_cross_launch_hits(), 0);
+
+        // Second launch, identical key, different pixel *contents*: replays
+        // from block 0 — nothing records — and every block is a
+        // cross-launch hit. The output must still be bit-identical to the
+        // decoded engine on the same inputs.
+        let input2: Vec<f32> = (0..w * h).map(|i| (i % 9) as f32 + 1.0).collect();
+        let warm = run(&params, &input2);
+        let s2 = gpu.trace_stats();
+        assert_eq!(s2.recorded, 1, "warm launch records nothing");
+        assert_eq!(s2.replayed, 2 * cfg.total_blocks() - 1);
+        assert_eq!(gpu.trace_cross_launch_hits(), cfg.total_blocks());
+        let mut bufs = vec![DeviceBuffer::from_f32(&input2), DeviceBuffer::zeroed(w * h)];
+        gpu.launch_engine(
+            &k,
+            cfg,
+            &params,
+            &mut bufs,
+            SimMode::Exhaustive,
+            ExecStrategy::Serial,
+            ExecEngine::Decoded,
+        )
+        .unwrap();
+        assert_eq!(warm, bufs[1].to_f32(), "warm replay is bit-exact");
+
+        // Different scalar params are a different key: the trace pins
+        // parameter values, so this launch records afresh.
+        let shrunk = [ParamValue::I32(w as i32), ParamValue::I32(h as i32 - 1)];
+        run(&shrunk, &input2);
+        let s3 = gpu.trace_stats();
+        assert_eq!(s3.recorded, 2, "new params record a new trace");
+        assert_eq!(gpu.trace_cross_launch_hits(), cfg.total_blocks());
     }
 
     #[test]

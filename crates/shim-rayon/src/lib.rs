@@ -19,6 +19,7 @@
 //! can be pinned with the `ISP_SIM_THREADS` environment variable (any value
 //! ≥ 1), which benches and CI use for reproducible machine load.
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -29,10 +30,49 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
 }
 
+thread_local! {
+    /// Per-thread ceiling on the worker count, set by [`with_worker_cap`].
+    /// `None` means uncapped (the global default applies).
+    static WORKER_CAP: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Run `f` with this thread's parallel fan-out capped at `cap` workers
+/// (clamped to ≥ 1). Parallel loops started *from the calling thread* while
+/// `f` runs use `min(threads(), cap)` workers; the previous cap is restored
+/// afterwards (panic-safe), and nested scopes tighten — an inner cap can
+/// never widen an outer one. This is how engine shards divide one host
+/// between them: each shard's executor thread caps its slice, so shards
+/// don't oversubscribe each other's launches.
+pub fn with_worker_cap<R>(cap: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            WORKER_CAP.with(|c| c.set(self.0));
+        }
+    }
+    let cap = cap.max(1);
+    let prev = WORKER_CAP.with(|c| {
+        let prev = c.get();
+        c.set(Some(prev.map_or(cap, |p| p.min(cap))));
+        prev
+    });
+    let _restore = Restore(prev);
+    f()
+}
+
 /// Number of worker threads to fan out over: the `ISP_SIM_THREADS`
 /// environment variable when set to a positive integer, otherwise the
-/// host's available parallelism.
+/// host's available parallelism — further limited by the calling thread's
+/// [`with_worker_cap`] scope, if any.
 pub fn threads() -> usize {
+    let base = base_threads();
+    match WORKER_CAP.with(|c| c.get()) {
+        Some(cap) => base.min(cap),
+        None => base,
+    }
+}
+
+fn base_threads() -> usize {
     if let Ok(v) = std::env::var("ISP_SIM_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
             if n >= 1 {
@@ -406,6 +446,36 @@ mod tests {
         let flat: Vec<usize> = folded.into_iter().flatten().collect();
         assert_eq!(flat, expect);
         std::env::remove_var("ISP_SIM_THREADS");
+    }
+
+    #[test]
+    fn worker_cap_scopes_and_restores() {
+        // (`ISP_SIM_THREADS` belongs to a sibling test, so assertions here
+        // avoid comparing `threads()` against a baseline that test may move;
+        // the cap cell itself is race-free — it is thread-local.)
+        let inside = super::with_worker_cap(1, || {
+            // Nested scopes tighten, never widen.
+            assert_eq!(super::with_worker_cap(8, super::threads), 1);
+            super::threads()
+        });
+        assert_eq!(inside, 1);
+        assert_eq!(
+            super::WORKER_CAP.with(|c| c.get()),
+            None,
+            "cap restored after the scope"
+        );
+        // Capped loops still produce input-ordered results.
+        let out: Vec<u32> =
+            super::with_worker_cap(2, || (0u32..500).into_par_iter().map(|i| i + 1).collect());
+        let expect: Vec<u32> = (1..=500).collect();
+        assert_eq!(out, expect);
+        // The cap is per-thread: another thread is unaffected.
+        super::with_worker_cap(1, || {
+            let other = std::thread::spawn(|| super::WORKER_CAP.with(|c| c.get()))
+                .join()
+                .unwrap();
+            assert_eq!(other, None);
+        });
     }
 
     #[test]
