@@ -16,10 +16,11 @@ fn main() {
         "Ablation: CSE configuration vs naive instruction count and R_reduced\n\
          (gaussian 3x3 and bilateral 13x13, Clamp, 2048^2, 32x4 blocks)\n"
     );
-    let configs: [(&str, OptConfig); 3] = [
+    let configs: [(&str, OptConfig); 4] = [
         ("no CSE", OptConfig::no_cse()),
-        ("windowed CSE (default)", OptConfig::full()),
+        ("windowed CSE (legacy full)", OptConfig::full()),
         ("unbounded CSE", OptConfig::unbounded_cse()),
+        ("fixed-point pipeline (default)", OptConfig::pipeline()),
     ];
     for (app, spec) in [
         ("gaussian3", isp_filters::gaussian::spec(3)),

@@ -1,0 +1,240 @@
+//! Ablation: the fixed-point optimizer pipeline vs an unoptimized build —
+//! static before/after instruction counts per pass, executed-instruction
+//! reduction on the naive border variants, and three-engine wall-clock.
+//! Writes `target/results/BENCH_PR7.json` for CI artifact upload.
+//!
+//! Usage: `cargo run -p isp-bench --bin ablation_opt --release [-- size runs]`
+//!
+//! `size` is the exhaustive image edge (default 256; CI passes a small one),
+//! `runs` the per-point wall-clock sample count (default 3, median).
+
+use isp_bench::report::{write_json_doc, Table};
+use isp_core::Variant;
+use isp_dsl::compile::CompiledVariant;
+use isp_dsl::pipeline::{PipelineRun, Policy};
+use isp_dsl::runner::ExecMode;
+use isp_dsl::Compiler;
+use isp_image::{BorderPattern, BorderSpec};
+use isp_ir::opt::OptConfig;
+use isp_json::Json;
+use isp_sim::{DeviceSpec, ExecEngine, Gpu};
+use std::time::Instant;
+
+/// Median wall-clock time of `runs` invocations of `f`, in milliseconds.
+fn time_ms<R>(runs: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// One exhaustive pipeline run under the given engine and optimizer config.
+fn run_once(
+    engine: ExecEngine,
+    app: &isp_filters::App,
+    policy: Policy,
+    opt: OptConfig,
+    size: usize,
+) -> PipelineRun {
+    let gpu = Gpu::new(DeviceSpec::gtx680()).with_engine(engine);
+    let border = BorderSpec::from_pattern(BorderPattern::Clamp);
+    let compiled = app
+        .pipeline
+        .compile(&Compiler::with_opt(opt), border, Variant::IspBlock);
+    let img = isp_exec::bench_image(size);
+    app.pipeline
+        .run(
+            &gpu,
+            &compiled,
+            &img,
+            border,
+            (32, 4),
+            policy,
+            ExecMode::Exhaustive,
+        )
+        .expect("bench run")
+}
+
+/// The static before/after record for one compiled variant, summed over
+/// pipeline stages per pass so multi-stage filters report whole-app counts.
+fn variant_json(stages: &[&CompiledVariant]) -> Json {
+    let sum = |f: fn(&CompiledVariant) -> u64| stages.iter().map(|v| f(v)).sum::<u64>();
+    Json::obj()
+        .set("before_instrs", sum(|v| v.opt_stats.before_instrs))
+        .set("after_instrs", sum(|v| v.opt_stats.after_instrs))
+        .set(
+            "iterations",
+            stages
+                .iter()
+                .map(|v| v.opt_stats.iterations)
+                .max()
+                .unwrap_or(0),
+        )
+        .set(
+            "reached_fixed_point",
+            stages.iter().all(|v| v.opt_stats.reached_fixed_point),
+        )
+        .set("copy_prop_removed", sum(|v| v.opt_stats.copy_prop_removed))
+        .set("fold_removed", sum(|v| v.opt_stats.fold_removed))
+        .set("strength_rewrites", sum(|v| v.opt_stats.strength_rewrites))
+        .set("vn_removed", sum(|v| v.opt_stats.vn_removed))
+        .set("dce_removed", sum(|v| v.opt_stats.dce_removed))
+        .set("cfg_removed", sum(|v| v.opt_stats.cfg_removed))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let size: usize = args
+        .first()
+        .map(|s| s.parse().expect("size must be an integer"))
+        .unwrap_or(256);
+    let runs: usize = args
+        .get(1)
+        .map(|s| s.parse().expect("runs must be an integer"))
+        .unwrap_or(3);
+    let border = BorderSpec::from_pattern(BorderPattern::Clamp);
+
+    println!(
+        "Ablation: fixed-point optimizer pipeline vs OptConfig::none()\n\
+         (all filters, Clamp, {size}^2 exhaustive, 32x4 blocks, median of {runs})\n"
+    );
+
+    let mut filters: Vec<Json> = Vec::new();
+    let mut static_table = Table::new(&[
+        "filter",
+        "naive before",
+        "naive after",
+        "isp before",
+        "isp after",
+        "iters",
+    ]);
+    let mut exec_table = Table::new(&[
+        "filter",
+        "naive exec none",
+        "naive exec pipeline",
+        "reduction",
+    ]);
+    let mut wall_table = Table::new(&[
+        "filter",
+        "reference ms",
+        "decoded ms",
+        "replay ms",
+        "decoded none ms",
+    ]);
+
+    for app in isp_filters::apps::all_apps() {
+        // Static counts: the optimizer's own before/after bookkeeping,
+        // per variant, summed across pipeline stages.
+        let compiled = app.pipeline.compile(
+            &Compiler::with_opt(OptConfig::pipeline()),
+            border,
+            Variant::IspBlock,
+        );
+        let naive_stages: Vec<&CompiledVariant> = compiled.iter().map(|ck| &ck.naive).collect();
+        let isp_stages: Vec<&CompiledVariant> =
+            compiled.iter().filter_map(|ck| ck.isp.as_ref()).collect();
+        let naive_static = variant_json(&naive_stages);
+        let isp_static = variant_json(&isp_stages);
+        assert!(
+            naive_stages.iter().all(|v| v.opt_stats.reached_fixed_point),
+            "{}: optimizer must reach a fixed point",
+            app.name
+        );
+
+        // Executed counts on the naive border variants: pipeline vs none.
+        let exec_none = run_once(
+            ExecEngine::Decoded,
+            &app,
+            Policy::Naive,
+            OptConfig::none(),
+            size,
+        );
+        let exec_pipe = run_once(
+            ExecEngine::Decoded,
+            &app,
+            Policy::Naive,
+            OptConfig::pipeline(),
+            size,
+        );
+        let (before, after) = (
+            exec_none.counters.warp_instructions,
+            exec_pipe.counters.warp_instructions,
+        );
+        let reduction = 1.0 - after as f64 / before as f64;
+
+        // Three-engine wall-clock of the optimized build, plus the decoded
+        // engine on the unoptimized build for scale.
+        let policy = Policy::AlwaysIsp(Variant::IspBlock);
+        let wall = |engine, opt| time_ms(runs, || run_once(engine, &app, policy, opt, size));
+        let reference_ms = wall(ExecEngine::Reference, OptConfig::pipeline());
+        let decoded_ms = wall(ExecEngine::Decoded, OptConfig::pipeline());
+        let replay_ms = wall(ExecEngine::Replay, OptConfig::pipeline());
+        let decoded_none_ms = wall(ExecEngine::Decoded, OptConfig::none());
+
+        let g = |j: &Json, k: &str| j.get(k).unwrap().render();
+        static_table.row(&[
+            app.name.to_string(),
+            g(&naive_static, "before_instrs"),
+            g(&naive_static, "after_instrs"),
+            g(&isp_static, "before_instrs"),
+            g(&isp_static, "after_instrs"),
+            g(&naive_static, "iterations"),
+        ]);
+        exec_table.row(&[
+            app.name.to_string(),
+            before.to_string(),
+            after.to_string(),
+            format!("{:.1}%", 100.0 * reduction),
+        ]);
+        wall_table.row(&[
+            app.name.to_string(),
+            format!("{reference_ms:.1}"),
+            format!("{decoded_ms:.1}"),
+            format!("{replay_ms:.1}"),
+            format!("{decoded_none_ms:.1}"),
+        ]);
+        filters.push(
+            Json::obj()
+                .set("filter", app.name)
+                .set("naive", naive_static)
+                .set("isp", isp_static)
+                .set(
+                    "executed_naive",
+                    Json::obj()
+                        .set("none_warp_instructions", before)
+                        .set("pipeline_warp_instructions", after)
+                        .set("reduction", reduction),
+                )
+                .set(
+                    "wall_ms",
+                    Json::obj()
+                        .set("reference", reference_ms)
+                        .set("decoded", decoded_ms)
+                        .set("replay", replay_ms)
+                        .set("decoded_none", decoded_none_ms),
+                ),
+        );
+    }
+
+    println!("== static instruction counts (optimizer before/after, per variant)");
+    print!("{}", static_table.render());
+    println!("\n== executed warp instructions, naive policy (none vs pipeline)");
+    print!("{}", exec_table.render());
+    println!("\n== wall-clock, AlwaysIsp exhaustive (optimized; last column unoptimized)");
+    print!("{}", wall_table.render());
+
+    let doc = Json::obj()
+        .set("schema", "isp-ablation-opt-v1")
+        .set("device", DeviceSpec::gtx680().name)
+        .set("size", size)
+        .set("runs", runs)
+        .set("pattern", "clamp")
+        .set("filters", filters);
+    let path = write_json_doc("BENCH_PR7", &doc).expect("write BENCH_PR7.json");
+    println!("\nwrote {}", path.display());
+}

@@ -7,7 +7,7 @@ use crate::spec::KernelSpec;
 use isp_core::{IrStatsModel, Region, Variant};
 use isp_image::BorderPattern;
 use isp_ir::kernel::Kernel;
-use isp_ir::opt::{optimize, OptConfig};
+use isp_ir::opt::{optimize_with_stats, OptConfig, OptStats};
 use isp_ir::{regalloc, InstrHistogram, RegisterUsage};
 
 pub use crate::lower::ParamKind;
@@ -31,11 +31,31 @@ pub struct CompiledVariant {
     /// Per-region static footprint in instructions (scheduler i-cache
     /// model), indexed by [`Region::index`]; ISP variants only.
     pub region_footprints: Option<[u32; 9]>,
+    /// Per-pass optimiser statistics for this variant (iterations to fixed
+    /// point, instructions removed per pass).
+    pub opt_stats: OptStats,
 }
 
 impl CompiledVariant {
     fn from_lowered(variant: Variant, lowered: Lowered, opt: OptConfig) -> CompiledVariant {
-        let kernel = optimize(&lowered.kernel, opt);
+        let (kernel, opt_stats) = optimize_with_stats(&lowered.kernel, opt);
+        // CFG simplification renumbers (and may delete) blocks, so the
+        // region paths recorded against the unoptimised kernel are
+        // re-resolved by label: labels are validated unique, and a label
+        // that vanished belonged to an empty forwarding block whose only
+        // contribution (one branch) was threaded away.
+        let region_paths: Option<RegionPaths> = lowered.region_paths.as_ref().map(|paths| {
+            paths
+                .iter()
+                .map(|(r, path)| {
+                    let remapped = path
+                        .iter()
+                        .filter_map(|id| kernel.block_by_label(&lowered.kernel.block(*id).label))
+                        .collect();
+                    (*r, remapped)
+                })
+                .collect()
+        });
         // Pressure-aware list scheduling (the "ptxas" step): without it,
         // tree-ordered lowering grossly overstates register usage for
         // kernels like the bilateral filter.
@@ -43,7 +63,7 @@ impl CompiledVariant {
         isp_ir::validate::assert_valid(&kernel);
         let regs = regalloc::estimate(&kernel);
         let static_histogram = InstrHistogram::of_kernel(&kernel);
-        let (region_histograms, region_footprints) = match &lowered.region_paths {
+        let (region_histograms, region_footprints) = match &region_paths {
             Some(paths) => {
                 let hists: Vec<(Region, InstrHistogram)> = paths
                     .iter()
@@ -65,6 +85,7 @@ impl CompiledVariant {
             static_histogram,
             region_histograms,
             region_footprints,
+            opt_stats,
         }
     }
 
@@ -148,7 +169,7 @@ pub struct Compiler {
 impl Default for Compiler {
     fn default() -> Self {
         Compiler {
-            opt: OptConfig::full(),
+            opt: OptConfig::pipeline(),
         }
     }
 }

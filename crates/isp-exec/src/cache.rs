@@ -68,6 +68,13 @@ pub struct CacheStats {
     /// Deopts broken down by guard reason, indexed by
     /// [`isp_sim::DeoptReason::index`] (sums to `trace_deopts`).
     pub trace_deopt_reasons: [u64; isp_sim::DeoptReason::COUNT],
+    /// Static instructions removed by the IR optimiser across all cold
+    /// compiles (summed over every compiled variant's
+    /// [`isp_dsl::compile::CompiledVariant::opt_stats`]).
+    pub opt_ops_removed: u64,
+    /// Optimiser pipeline iterations to reach a fixed point, summed over
+    /// every compiled variant.
+    pub opt_fixpoint_iterations: u64,
 }
 
 /// Live hit/miss counters (atomics so [`crate::Engine`] stays `Sync`).
@@ -77,6 +84,8 @@ pub(crate) struct CacheCounters {
     kernel_misses: AtomicU64,
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
+    opt_ops_removed: AtomicU64,
+    opt_fixpoint_iterations: AtomicU64,
 }
 
 impl CacheCounters {
@@ -96,6 +105,14 @@ impl CacheCounters {
         self.plan_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one compiled variant's optimiser work.
+    pub(crate) fn opt_record(&self, ops_removed: u64, iterations: u64) {
+        self.opt_ops_removed
+            .fetch_add(ops_removed, Ordering::Relaxed);
+        self.opt_fixpoint_iterations
+            .fetch_add(iterations, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> CacheStats {
         CacheStats {
             kernel_hits: self.kernel_hits.load(Ordering::Relaxed),
@@ -111,6 +128,8 @@ impl CacheCounters {
             trace_cross_launch_hits: 0,
             trace_deopts: 0,
             trace_deopt_reasons: [0; isp_sim::DeoptReason::COUNT],
+            opt_ops_removed: self.opt_ops_removed.load(Ordering::Relaxed),
+            opt_fixpoint_iterations: self.opt_fixpoint_iterations.load(Ordering::Relaxed),
         }
     }
 }

@@ -136,6 +136,23 @@ impl Engine {
                 self.gpu.decode(&variant.kernel);
             }
         }
+        // Attribute the optimiser's work (per-variant fixed-point iterations
+        // and instructions removed) to this cold compile.
+        for variant in [
+            Some(&compiled.naive),
+            compiled.isp.as_ref(),
+            compiled.texture.as_ref(),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            let s = variant.opt_stats;
+            self.counters.opt_record(s.removed_total(), s.iterations);
+            self.probe
+                .count("engine.opt_ops_removed", s.removed_total());
+            self.probe
+                .count("engine.opt_fixpoint_iterations", s.iterations);
+        }
         self.probe.span("compile", "engine", started, || {
             Some(format!("{} {pattern} {granularity:?}", spec.name))
         });
@@ -449,6 +466,27 @@ mod tests {
         // A different pattern is a different key.
         engine.compile_pipeline(&app.pipeline, BorderPattern::Mirror, Variant::IspBlock);
         assert_eq!(engine.cache_stats().kernel_misses, 2 * stages as u64);
+    }
+
+    #[test]
+    fn opt_stats_attributed_to_cold_compiles_only() {
+        let engine = Engine::new(DeviceSpec::gtx680());
+        let app = by_name("gaussian").unwrap();
+        engine.compile_pipeline(&app.pipeline, BorderPattern::Clamp, Variant::IspBlock);
+        let cold = engine.cache_stats();
+        assert!(
+            cold.opt_ops_removed > 0,
+            "pipeline must remove instructions on gaussian: {cold:?}"
+        );
+        assert!(
+            cold.opt_fixpoint_iterations >= 3,
+            "one iteration minimum per variant (naive+isp+texture)"
+        );
+        // Warm hits do no optimiser work.
+        engine.compile_pipeline(&app.pipeline, BorderPattern::Clamp, Variant::IspBlock);
+        let warm = engine.cache_stats();
+        assert_eq!(warm.opt_ops_removed, cold.opt_ops_removed);
+        assert_eq!(warm.opt_fixpoint_iterations, cold.opt_fixpoint_iterations);
     }
 
     #[test]

@@ -70,6 +70,103 @@ impl Cfg {
             .collect()
     }
 
+    /// Reverse post-order over the blocks reachable from the entry.
+    ///
+    /// Every dominator appears before the blocks it dominates, which is what
+    /// lets the optimiser's global value numbering pass fill per-block value
+    /// tables in a single traversal and look them up through the immediate
+    /// dominator chain. Unreachable blocks are omitted.
+    pub fn rpo(&self) -> Vec<BlockId> {
+        let n = self.len();
+        let mut post: Vec<BlockId> = Vec::with_capacity(n);
+        if n == 0 {
+            return post;
+        }
+        let mut visited = vec![false; n];
+        // Iterative DFS: (block, index of next successor to visit).
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+        visited[0] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            if *next < self.succs[b].len() {
+                let s = self.succs[b][*next].0 as usize;
+                *next += 1;
+                if !visited[s] {
+                    visited[s] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(BlockId(b as u32));
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// Immediate dominator of every block: `None` for the entry (which has
+    /// no strict dominator) and for unreachable blocks.
+    ///
+    /// The forward-CFG mirror of [`Cfg::ipostdom`]: iterative bitset
+    /// intersection over predecessors, then the closest strict dominator is
+    /// the one with the largest dominator set (the strict-dominator chain is
+    /// totally ordered by inclusion).
+    pub fn idom(&self) -> Vec<Option<BlockId>> {
+        let n = self.len();
+        let words = n.div_ceil(64);
+        let set = |bits: &mut [u64], i: usize| bits[i / 64] |= 1 << (i % 64);
+        let mut dom: Vec<Vec<u64>> = vec![vec![u64::MAX; words]; n];
+        if n > 0 {
+            dom[0] = vec![0u64; words];
+            set(&mut dom[0], 0);
+        }
+        let order = self.rpo();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &order {
+                let i = b.0 as usize;
+                if i == 0 {
+                    continue;
+                }
+                let mut new = vec![u64::MAX; words];
+                for p in &self.preds[i] {
+                    if !self.reachable[p.0 as usize] {
+                        continue;
+                    }
+                    for (w, pw) in new.iter_mut().zip(&dom[p.0 as usize]) {
+                        *w &= pw;
+                    }
+                }
+                set(&mut new, i);
+                if new != dom[i] {
+                    dom[i] = new;
+                    changed = true;
+                }
+            }
+        }
+        let popcount = |bits: &[u64]| -> u32 { bits.iter().map(|w| w.count_ones()).sum() };
+        (0..n)
+            .map(|i| {
+                if !self.reachable[i] || i == 0 {
+                    return None;
+                }
+                let mut best: Option<(BlockId, u32)> = None;
+                for j in 0..n {
+                    if j == i || !self.reachable[j] {
+                        continue;
+                    }
+                    if dom[i][j / 64] & (1 << (j % 64)) != 0 {
+                        let size = popcount(&dom[j]);
+                        if best.is_none_or(|(_, s)| size > s) {
+                            best = Some((BlockId(j as u32), size));
+                        }
+                    }
+                }
+                best.map(|(b, _)| b)
+            })
+            .collect()
+    }
+
     /// Immediate post-dominator of every reachable block, or `None` when the
     /// only strict post-dominator is the (virtual) exit.
     ///
@@ -264,6 +361,54 @@ mod tests {
         let ipd = Cfg::new(&k).ipostdom();
         assert_eq!(ipd[0], None);
         assert_eq!(Cfg::new(&k).exits().len(), 2);
+    }
+
+    #[test]
+    fn diamond_rpo_and_idom() {
+        let k = diamond();
+        let cfg = Cfg::new(&k);
+        let rpo = cfg.rpo();
+        assert_eq!(rpo[0], BlockId(0), "entry first");
+        // Merge must come after both arms.
+        let pos = |id: BlockId| rpo.iter().position(|&b| b == id).unwrap();
+        assert!(pos(BlockId(3)) > pos(BlockId(1)));
+        assert!(pos(BlockId(3)) > pos(BlockId(2)));
+        let idom = cfg.idom();
+        assert_eq!(idom[0], None, "entry has no strict dominator");
+        assert_eq!(idom[1], Some(BlockId(0)));
+        assert_eq!(idom[2], Some(BlockId(0)));
+        assert_eq!(idom[3], Some(BlockId(0)), "merge dominated by branch only");
+    }
+
+    #[test]
+    fn loop_idom_chain() {
+        let mut b = IrBuilder::new("loop", 0);
+        let l = b.create_block("loop");
+        let d = b.create_block("done");
+        b.br(l);
+        b.switch_to(l);
+        let x = b.sreg(SReg::TidX);
+        let p = b.setp(CmpOp::Lt, x, 10i32);
+        b.cond_br(p, l, d);
+        b.switch_to(d);
+        b.ret();
+        let k = b.finish();
+        let idom = Cfg::new(&k).idom();
+        assert_eq!(idom[1], Some(BlockId(0)), "header dominated by entry");
+        assert_eq!(idom[2], Some(BlockId(1)), "exit dominated by header");
+    }
+
+    #[test]
+    fn unreachable_block_excluded_from_rpo_and_idom() {
+        let mut b = IrBuilder::new("dead", 0);
+        let dead = b.create_block("dead");
+        b.ret();
+        b.switch_to(dead);
+        b.ret();
+        let k = b.finish();
+        let cfg = Cfg::new(&k);
+        assert_eq!(cfg.rpo(), vec![BlockId(0)]);
+        assert_eq!(cfg.idom(), vec![None, None]);
     }
 
     #[test]

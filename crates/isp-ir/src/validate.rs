@@ -37,6 +37,21 @@ pub fn validate(kernel: &Kernel) -> Vec<ValidationError> {
         return errors;
     }
 
+    // Block labels must be unique: region paths and other metadata resolve
+    // blocks by label after optimisation renumbers `BlockId`s.
+    {
+        let mut seen = std::collections::HashSet::new();
+        for b in &kernel.blocks {
+            if !seen.insert(b.label.as_str()) {
+                push(
+                    &mut errors,
+                    &b.label,
+                    "duplicate block label (labels must be unique)".into(),
+                );
+            }
+        }
+    }
+
     // Branch targets in range; collect defs.
     let n = kernel.blocks.len() as u32;
     let mut defined = vec![false; kernel.num_vregs as usize];
@@ -491,6 +506,27 @@ mod tests {
         );
         let errs = validate(&k);
         assert!(errs.iter().any(|e| e.message.contains("unreachable")));
+    }
+
+    #[test]
+    fn detects_duplicate_labels() {
+        let k = raw_kernel(
+            vec![
+                BasicBlock {
+                    label: "entry".into(),
+                    instrs: vec![],
+                    terminator: Terminator::Br { target: BlockId(1) },
+                },
+                BasicBlock {
+                    label: "entry".into(),
+                    instrs: vec![],
+                    terminator: Terminator::Ret,
+                },
+            ],
+            0,
+        );
+        let errs = validate(&k);
+        assert!(errs.iter().any(|e| e.message.contains("duplicate block")));
     }
 
     #[test]

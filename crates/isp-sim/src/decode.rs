@@ -1112,20 +1112,11 @@ macro_rules! exec_pure_op {
             }
             DOpKind::UnF { op, dst, a } => {
                 let (d, a) = (dst as usize, a as usize);
-                warp_map1!($self, $mask, d, a, |x| {
-                    let x = f32::from_bits(x);
-                    let v = match op {
-                        isp_ir::UnOp::Neg => -x,
-                        isp_ir::UnOp::Abs => x.abs(),
-                        isp_ir::UnOp::Exp => x.exp(),
-                        isp_ir::UnOp::Log => x.ln(),
-                        isp_ir::UnOp::Sqrt => x.sqrt(),
-                        isp_ir::UnOp::Rsqrt => 1.0 / x.sqrt(),
-                        isp_ir::UnOp::Floor => x.floor(),
-                        _ => unreachable!("validated IR"),
-                    };
-                    v.to_bits()
-                });
+                warp_map1!($self, $mask, d, a, |x| crate::interp::eval_un_f(
+                    op,
+                    f32::from_bits(x)
+                )
+                .to_bits());
             }
             DOpKind::CvtIF { dst, a } => {
                 let (d, a) = (dst as usize, a as usize);

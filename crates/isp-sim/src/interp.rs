@@ -443,30 +443,11 @@ impl<'a, 'b> WarpExec<'a, 'b> {
                     let bits = match (op, dst.ty) {
                         (UnOp::Mov, _) => self.read(a, l),
                         (UnOp::Not, Ty::Pred) => (self.read(a, l) & 1) ^ 1,
+                        // `not` is bitwise on the raw register for every
+                        // non-predicate type (same bits as `eval_un_i`).
                         (UnOp::Not, _) => !self.read(a, l),
-                        (_, Ty::S32) => {
-                            let x = self.read_i(a, l);
-                            let v = match op {
-                                UnOp::Neg => x.wrapping_neg(),
-                                UnOp::Abs => x.wrapping_abs(),
-                                _ => unreachable!("validated IR"),
-                            };
-                            v as u32
-                        }
-                        (_, Ty::F32) => {
-                            let x = self.read_f(a, l);
-                            let v = match op {
-                                UnOp::Neg => -x,
-                                UnOp::Abs => x.abs(),
-                                UnOp::Exp => x.exp(),
-                                UnOp::Log => x.ln(),
-                                UnOp::Sqrt => x.sqrt(),
-                                UnOp::Rsqrt => 1.0 / x.sqrt(),
-                                UnOp::Floor => x.floor(),
-                                _ => unreachable!("validated IR"),
-                            };
-                            v.to_bits()
-                        }
+                        (_, Ty::S32) => eval_un_i(*op, self.read_i(a, l)) as u32,
+                        (_, Ty::F32) => eval_un_f(*op, self.read_f(a, l)).to_bits(),
                         _ => unreachable!("validated IR"),
                     };
                     self.regs[dst.index as usize][l] = bits;
@@ -694,7 +675,9 @@ impl<'a, 'b> WarpExec<'a, 'b> {
     }
 }
 
-pub(crate) fn eval_bin_i(op: BinOp, x: i32, y: i32) -> i32 {
+/// S32 binary-op semantics — the single source of truth the optimiser's
+/// constant folder must be bit-identical to (`tests/fold_equivalence.rs`).
+pub fn eval_bin_i(op: BinOp, x: i32, y: i32) -> i32 {
     match op {
         BinOp::Add => x.wrapping_add(y),
         BinOp::Sub => x.wrapping_sub(y),
@@ -725,7 +708,9 @@ pub(crate) fn eval_bin_i(op: BinOp, x: i32, y: i32) -> i32 {
     }
 }
 
-pub(crate) fn eval_bin_f(op: BinOp, x: f32, y: f32) -> f32 {
+/// F32 binary-op semantics (Rust scalar float ops; `min`/`max` are
+/// `f32::min`/`f32::max`, which propagate the non-NaN operand).
+pub fn eval_bin_f(op: BinOp, x: f32, y: f32) -> f32 {
     match op {
         BinOp::Add => x + y,
         BinOp::Sub => x - y,
@@ -738,7 +723,8 @@ pub(crate) fn eval_bin_f(op: BinOp, x: f32, y: f32) -> f32 {
     }
 }
 
-pub(crate) fn eval_cmp_i(cmp: CmpOp, x: i32, y: i32) -> bool {
+/// S32 comparison semantics.
+pub fn eval_cmp_i(cmp: CmpOp, x: i32, y: i32) -> bool {
     match cmp {
         CmpOp::Eq => x == y,
         CmpOp::Ne => x != y,
@@ -749,7 +735,9 @@ pub(crate) fn eval_cmp_i(cmp: CmpOp, x: i32, y: i32) -> bool {
     }
 }
 
-pub(crate) fn eval_cmp_f(cmp: CmpOp, x: f32, y: f32) -> bool {
+/// F32 comparison semantics: IEEE unordered comparisons — every comparison
+/// with a NaN operand is false except `Ne`, which is true.
+pub fn eval_cmp_f(cmp: CmpOp, x: f32, y: f32) -> bool {
     match cmp {
         CmpOp::Eq => x == y,
         CmpOp::Ne => x != y,
@@ -757,6 +745,34 @@ pub(crate) fn eval_cmp_f(cmp: CmpOp, x: f32, y: f32) -> bool {
         CmpOp::Le => x <= y,
         CmpOp::Gt => x > y,
         CmpOp::Ge => x >= y,
+    }
+}
+
+/// S32 unary-op semantics, mirroring the `Instr::Un` execution arm exactly
+/// (raw register bits in and out). `Mov` is the identity; `Not` on S32 is
+/// bitwise; `Neg`/`Abs` wrap (`i32::MIN.wrapping_abs() == i32::MIN`).
+pub fn eval_un_i(op: UnOp, x: i32) -> i32 {
+    match op {
+        UnOp::Mov => x,
+        UnOp::Not => !x,
+        UnOp::Neg => x.wrapping_neg(),
+        UnOp::Abs => x.wrapping_abs(),
+        _ => unreachable!("validated IR: transcendental ops are f32-only"),
+    }
+}
+
+/// F32 unary-op semantics, mirroring the `Instr::Un` execution arm exactly.
+pub fn eval_un_f(op: UnOp, x: f32) -> f32 {
+    match op {
+        UnOp::Mov => x,
+        UnOp::Neg => -x,
+        UnOp::Abs => x.abs(),
+        UnOp::Exp => x.exp(),
+        UnOp::Log => x.ln(),
+        UnOp::Sqrt => x.sqrt(),
+        UnOp::Rsqrt => 1.0 / x.sqrt(),
+        UnOp::Floor => x.floor(),
+        UnOp::Not => unreachable!("validated IR: not is integer/predicate-only"),
     }
 }
 

@@ -1,0 +1,340 @@
+//! Fold/interpreter equivalence: every rewrite the optimiser's constant
+//! folder performs must be **bit-identical** to the interpreter's op
+//! semantics (`isp_sim::interp::eval_*`, which the decoded engine reuses).
+//! Differential property tests drive both sides with adversarial bit
+//! patterns — NaN payloads, signalling NaNs, −0.0, infinities, denormals,
+//! `i32::MIN`, shift amounts ≥ 32, division by zero — and the fast-math
+//! tests document exactly which rewrites are excluded from the default set
+//! and why.
+
+use isp_ir::instr::{BinOp, CmpOp, Operand, UnOp};
+use isp_ir::opt::{fold_bin, fold_cmp, fold_un, simplify_bin};
+use isp_ir::Ty;
+use isp_sim::interp::{eval_bin_f, eval_bin_i, eval_cmp_f, eval_cmp_i, eval_un_f, eval_un_i};
+use proptest::prelude::*;
+
+const BIN_OPS: [BinOp; 12] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Rem,
+    BinOp::Min,
+    BinOp::Max,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::Shr,
+];
+
+const F32_BIN_OPS: [BinOp; 7] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Rem,
+    BinOp::Min,
+    BinOp::Max,
+];
+
+const CMP_OPS: [CmpOp; 6] = [
+    CmpOp::Eq,
+    CmpOp::Ne,
+    CmpOp::Lt,
+    CmpOp::Le,
+    CmpOp::Gt,
+    CmpOp::Ge,
+];
+
+/// Adversarial integers: identity/absorbing elements, wrapping boundaries,
+/// and shift amounts straddling the 5-bit mask.
+const I32_SPECIALS: [i32; 16] = [
+    0,
+    1,
+    -1,
+    2,
+    -2,
+    4,
+    8,
+    31,
+    32,
+    33,
+    63,
+    -31,
+    -32,
+    i32::MIN,
+    i32::MIN + 1,
+    i32::MAX,
+];
+
+/// Adversarial float bit patterns: ±0.0, ±1.0, ±inf, quiet and signalling
+/// NaNs (with payloads), a denormal, and boundary magnitudes.
+const F32_SPECIAL_BITS: [u32; 14] = [
+    0x0000_0000, // +0.0
+    0x8000_0000, // -0.0
+    0x3F80_0000, // 1.0
+    0xBF80_0000, // -1.0
+    0x7F80_0000, // +inf
+    0xFF80_0000, // -inf
+    0x7FC0_0000, // canonical quiet NaN
+    0x7FC0_0001, // quiet NaN with payload
+    0xFFC0_0001, // negative quiet NaN with payload
+    0x7F80_0001, // signalling NaN
+    0xFF80_0001, // negative signalling NaN
+    0x0000_0001, // smallest denormal
+    0x7F7F_FFFF, // f32::MAX
+    0x3EAA_AAAB, // ~1/3 (inexact arithmetic)
+];
+
+/// Mix special values with uniform random ones: index below the table picks
+/// a special, otherwise the raw draw is used.
+fn arb_i32() -> impl Strategy<Value = i32> {
+    (0u32..64, i32::MIN..=i32::MAX)
+        .prop_map(|(sel, raw)| I32_SPECIALS.get(sel as usize).copied().unwrap_or(raw))
+}
+
+/// Float operands are drawn as raw bit patterns (the shim's float ranges
+/// can never produce NaN or inf) and transmuted, so every NaN payload and
+/// sign combination is exercised.
+fn arb_f32_bits() -> impl Strategy<Value = u32> {
+    (0u32..42, 0u32..=u32::MAX)
+        .prop_map(|(sel, raw)| F32_SPECIAL_BITS.get(sel as usize).copied().unwrap_or(raw))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `fold_bin` on S32 is total over immediates and bit-identical to
+    /// `eval_bin_i` for every op — wrapping arithmetic, div/rem-by-zero = 0,
+    /// and shift amounts masked to 5 bits exactly as the hardware does.
+    #[test]
+    fn fold_bin_s32_matches_interpreter(x in arb_i32(), y in arb_i32()) {
+        for op in BIN_OPS {
+            let folded = fold_bin(op, Ty::S32, &Operand::ImmI(x), &Operand::ImmI(y));
+            prop_assert_eq!(
+                folded,
+                Some(Operand::ImmI(eval_bin_i(op, x, y))),
+                "{:?} {} {}", op, x, y
+            );
+        }
+    }
+
+    /// `fold_bin` on F32 performs the *same computation* as `eval_bin_f`,
+    /// so the result is bit-identical even for NaN payloads, −0.0 and inf.
+    #[test]
+    fn fold_bin_f32_matches_interpreter(xb in arb_f32_bits(), yb in arb_f32_bits()) {
+        let (x, y) = (f32::from_bits(xb), f32::from_bits(yb));
+        for op in F32_BIN_OPS {
+            let folded = fold_bin(op, Ty::F32, &Operand::ImmF(x), &Operand::ImmF(y));
+            let expect = eval_bin_f(op, x, y);
+            match folded {
+                Some(Operand::ImmF(got)) => prop_assert_eq!(
+                    got.to_bits(),
+                    expect.to_bits(),
+                    "{:?} {:#010x} {:#010x}: folded {:e}, interpreter {:e}",
+                    op, xb, yb, got, expect
+                ),
+                other => prop_assert!(false, "{:?} must fold immediates, got {:?}", op, other),
+            }
+        }
+    }
+
+    /// `fold_un` matches `eval_un_i`/`eval_un_f` bit-for-bit, including
+    /// `i32::MIN.wrapping_abs()` and NaN propagation through sqrt/log.
+    #[test]
+    fn fold_un_matches_interpreter(x in arb_i32(), fb in arb_f32_bits()) {
+        for op in [UnOp::Neg, UnOp::Abs, UnOp::Not] {
+            prop_assert_eq!(
+                fold_un(op, Ty::S32, &Operand::ImmI(x)),
+                Some(Operand::ImmI(eval_un_i(op, x))),
+                "{:?} {}", op, x
+            );
+        }
+        let f = f32::from_bits(fb);
+        for op in [UnOp::Neg, UnOp::Abs, UnOp::Exp, UnOp::Log, UnOp::Sqrt, UnOp::Rsqrt, UnOp::Floor] {
+            match fold_un(op, Ty::F32, &Operand::ImmF(f)) {
+                Some(Operand::ImmF(got)) => prop_assert_eq!(
+                    got.to_bits(),
+                    eval_un_f(op, f).to_bits(),
+                    "{:?} {:#010x}", op, fb
+                ),
+                other => prop_assert!(false, "{:?} must fold, got {:?}", op, other),
+            }
+        }
+    }
+
+    /// `fold_cmp` agrees with the interpreter whenever it folds, and it
+    /// *refuses* to fold unordered (NaN) float comparisons — those keep
+    /// their IEEE semantics (`Ne` true, everything else false) by staying
+    /// in the instruction stream.
+    #[test]
+    fn fold_cmp_matches_interpreter(
+        x in arb_i32(),
+        y in arb_i32(),
+        xb in arb_f32_bits(),
+        yb in arb_f32_bits(),
+    ) {
+        for cmp in CMP_OPS {
+            prop_assert_eq!(
+                fold_cmp(cmp, &Operand::ImmI(x), &Operand::ImmI(y)),
+                Some(eval_cmp_i(cmp, x, y)),
+                "{:?} {} {}", cmp, x, y
+            );
+            let (fx, fy) = (f32::from_bits(xb), f32::from_bits(yb));
+            let folded = fold_cmp(cmp, &Operand::ImmF(fx), &Operand::ImmF(fy));
+            if fx.is_nan() || fy.is_nan() {
+                prop_assert_eq!(folded, None, "{:?}: NaN compares must not fold", cmp);
+            } else {
+                prop_assert_eq!(
+                    folded,
+                    Some(eval_cmp_f(cmp, fx, fy)),
+                    "{:?} {:e} {:e}", cmp, fx, fy
+                );
+            }
+        }
+    }
+
+    /// Every rewrite `simplify_bin` performs **in the default set**
+    /// (`fast_math = false`) is bit-identical to executing the instruction:
+    /// substituting the returned operand gives exactly the interpreter's
+    /// result. Integer identities are exact under wrapping semantics; no
+    /// F32 identity is in the default set at all.
+    #[test]
+    fn simplify_bin_default_set_is_exact(x in arb_i32(), y in arb_i32()) {
+        for op in BIN_OPS {
+            let (a, b) = (Operand::ImmI(x), Operand::ImmI(y));
+            if let Some(r) = simplify_bin(op, Ty::S32, &a, &b, false) {
+                let got = match r {
+                    Operand::ImmI(v) => v,
+                    other => panic!("s32 simplification produced {other:?}"),
+                };
+                prop_assert_eq!(
+                    got,
+                    eval_bin_i(op, x, y),
+                    "{:?} {} {} -> {:?} diverges from interpreter", op, x, y, r
+                );
+            }
+        }
+    }
+
+    /// With `fast_math = false`, `simplify_bin` never rewrites an F32
+    /// operation — x+0.0, x*1.0, x*0.0, min(x,x) all stay in the stream
+    /// because each can be observed bit-wise (−0.0, NaN, sNaN quieting).
+    #[test]
+    fn simplify_bin_f32_disabled_by_default(xb in arb_f32_bits(), yb in arb_f32_bits()) {
+        let (a, b) = (Operand::ImmF(f32::from_bits(xb)), Operand::ImmF(f32::from_bits(yb)));
+        for op in F32_BIN_OPS {
+            prop_assert_eq!(
+                simplify_bin(op, Ty::F32, &a, &b, false),
+                None,
+                "{:?} {:#010x} {:#010x}: F32 identities require fast_math", op, xb, yb
+            );
+        }
+    }
+}
+
+/// The documented fast-math exceptions: each of these rewrites diverges
+/// bit-wise from the interpreter on some input, which is exactly why they
+/// are gated behind `OptConfig::fast_math` instead of shipping by default.
+#[test]
+fn fast_math_set_diverges_where_documented() {
+    let nan = f32::from_bits(0x7FC0_0001);
+
+    // x * 0.0 → 0.0 loses NaN: the interpreter computes NaN * 0.0 = NaN.
+    let r = simplify_bin(
+        BinOp::Mul,
+        Ty::F32,
+        &Operand::ImmF(nan),
+        &Operand::ImmF(0.0),
+        true,
+    );
+    assert_eq!(r, Some(Operand::ImmF(0.0)));
+    assert!(eval_bin_f(BinOp::Mul, nan, 0.0).is_nan());
+
+    // x * 0.0 → 0.0 also loses the sign: -1.0 * 0.0 is -0.0.
+    assert_eq!(
+        eval_bin_f(BinOp::Mul, -1.0, 0.0).to_bits(),
+        (-0.0f32).to_bits()
+    );
+
+    // x + 0.0 → x keeps -0.0 where the interpreter normalises to +0.0.
+    let r = simplify_bin(
+        BinOp::Add,
+        Ty::F32,
+        &Operand::ImmF(0.0),
+        &Operand::ImmF(-0.0),
+        true,
+    );
+    assert_eq!(
+        r,
+        Some(Operand::ImmF(-0.0)),
+        "rewrite forwards the non-zero operand"
+    );
+    assert_eq!(
+        eval_bin_f(BinOp::Add, 0.0, -0.0).to_bits(),
+        0.0f32.to_bits(),
+        "interpreter adds to +0.0"
+    );
+
+    // min(x, x) → x skips the arithmetic that would quiet a signalling NaN.
+    let snan = f32::from_bits(0x7F80_0001);
+    let r = simplify_bin(
+        BinOp::Min,
+        Ty::F32,
+        &Operand::ImmF(snan),
+        &Operand::ImmF(snan),
+        true,
+    );
+    assert!(matches!(r, Some(Operand::ImmF(f)) if f.to_bits() == snan.to_bits()));
+
+    // None of these rewrites fire without the flag.
+    for (op, a, b) in [
+        (BinOp::Mul, nan, 0.0),
+        (BinOp::Add, 0.0, -0.0),
+        (BinOp::Min, snan, snan),
+    ] {
+        assert_eq!(
+            simplify_bin(op, Ty::F32, &Operand::ImmF(a), &Operand::ImmF(b), false),
+            None
+        );
+    }
+}
+
+/// Shift-amount masking pinned explicitly: `x << 32` is `x` (not 0) on the
+/// simulated hardware, and the folder agrees.
+#[test]
+fn shift_masking_is_bit_identical() {
+    for amount in [32, 33, 63, -1, -32, 64] {
+        for x in [1i32, -1, i32::MIN, 0x55AA_55AA] {
+            for op in [BinOp::Shl, BinOp::Shr] {
+                assert_eq!(
+                    fold_bin(op, Ty::S32, &Operand::ImmI(x), &Operand::ImmI(amount)),
+                    Some(Operand::ImmI(eval_bin_i(op, x, amount))),
+                    "{op:?} {x} by {amount}"
+                );
+            }
+        }
+    }
+    // The concrete masking facts the equivalence rests on.
+    assert_eq!(eval_bin_i(BinOp::Shl, 7, 32), 7);
+    assert_eq!(eval_bin_i(BinOp::Shr, -8, 33), -4);
+}
+
+/// Division edge cases pinned explicitly: div/rem by zero are 0 (the
+/// simulator's defined semantics), and `i32::MIN / -1` wraps instead of
+/// trapping.
+#[test]
+fn division_edge_cases_are_bit_identical() {
+    for (x, y) in [(5, 0), (-5, 0), (0, 0), (i32::MIN, -1), (i32::MIN, 1)] {
+        for op in [BinOp::Div, BinOp::Rem] {
+            assert_eq!(
+                fold_bin(op, Ty::S32, &Operand::ImmI(x), &Operand::ImmI(y)),
+                Some(Operand::ImmI(eval_bin_i(op, x, y))),
+                "{op:?} {x} / {y}"
+            );
+        }
+    }
+    assert_eq!(eval_bin_i(BinOp::Div, 5, 0), 0);
+    assert_eq!(eval_bin_i(BinOp::Div, i32::MIN, -1), i32::MIN);
+}

@@ -9,12 +9,13 @@ use isp_dsl::pipeline::Policy;
 use isp_dsl::runner::ExecMode;
 use isp_dsl::Compiler;
 use isp_image::{BorderPattern, BorderSpec, ImageGenerator};
+use isp_ir::opt::{optimize_with_stats, OptConfig};
 use isp_sim::{DeviceSpec, ExecEngine, Gpu};
 
 /// One golden record: (policy label, warp_instructions, mem_transactions,
-/// total_cycles).
+/// total_cycles). Baseline under the `OptConfig::pipeline()` default.
 const GOLDEN: [(&str, u64, u64, u64); 2] =
-    [("naive", 9216, 1664, 10924), ("isp", 12160, 1664, 11468)];
+    [("naive", 9344, 1664, 10941), ("isp", 11412, 1664, 11380)];
 
 fn run(engine: ExecEngine, policy: Policy) -> (u64, u64, u64) {
     let gpu = Gpu::new(DeviceSpec::gtx680()).with_engine(engine);
@@ -62,5 +63,54 @@ fn gaussian_64_clamp_counts_are_golden() {
                 "{label} under {engine:?}: (warp_instructions, mem_transactions, total_cycles)"
             );
         }
+    }
+}
+
+/// Per-pass optimiser breakdown for the same gaussian compile, pinned.
+/// Golden rows: (variant label, iterations, before, after, copy_prop,
+/// fold, strength rewrites, vn, dce, cfg). Any pass-behaviour change moves
+/// these and must be deliberate.
+type OptGoldenRow = (&'static str, u64, u64, u64, u64, u64, u64, u64, u64, u64);
+const GOLDEN_OPT: [OptGoldenRow; 2] = [
+    ("naive", 2, 121, 73, 0, 0, 0, 48, 0, 0),
+    ("isp", 2, 673, 471, 0, 0, 0, 201, 0, 1),
+];
+
+#[test]
+fn gaussian_opt_pass_breakdown_is_golden_and_idempotent() {
+    let border = BorderSpec::from_pattern(BorderPattern::Clamp);
+    let app = isp_filters::by_name("gaussian").unwrap();
+    let compiled = app
+        .pipeline
+        .compile(&Compiler::new(), border, Variant::IspBlock);
+    let ck = &compiled[0];
+    for (label, iters, before, after, cp, fold, sr, vn, dce, cfg) in GOLDEN_OPT {
+        let cv = match label {
+            "naive" => &ck.naive,
+            _ => ck.isp.as_ref().unwrap(),
+        };
+        let s = cv.opt_stats;
+        assert!(s.reached_fixed_point, "{label}: {s:?}");
+        assert_eq!(
+            (
+                s.iterations,
+                s.before_instrs,
+                s.after_instrs,
+                s.copy_prop_removed,
+                s.fold_removed,
+                s.strength_rewrites,
+                s.vn_removed,
+                s.dce_removed,
+                s.cfg_removed,
+            ),
+            (iters, before, after, cp, fold, sr, vn, dce, cfg),
+            "{label} per-pass breakdown: {s:?}"
+        );
+        // Idempotence: the shipped kernel is a fixed point of the pipeline.
+        let (again, s2) = optimize_with_stats(&cv.kernel, OptConfig::pipeline());
+        assert_eq!(again, cv.kernel, "{label}: pipeline output must be stable");
+        assert_eq!(s2.iterations, 1, "{label}: re-run converges immediately");
+        assert!(s2.reached_fixed_point);
+        assert_eq!(s2.removed_total(), 0);
     }
 }

@@ -57,3 +57,109 @@ fn review_repro_min_pin_interaction() {
     }
     assert_eq!(outs[0], outs[1], "decoded vs replay pixels");
 }
+
+/// Forced-pathological optimizer case: a kernel hand-built to tempt every
+/// pass into an unsound rewrite at once — the same float expression in two
+/// *sibling* branches (GVN across non-dominating blocks would merge them),
+/// stores fed by cross-block value chains (DCE must keep every transitive
+/// input of a store), a dead arithmetic chain (DCE must remove it), a
+/// constant predicate feeding a `selp` (const-pred collapse), and a
+/// power-of-two division of a special register (strength reduction with a
+/// non-negativity proof). The optimized kernel must validate, hit the fixed
+/// point, and stay bit-identical to the unoptimized one on both engines.
+#[test]
+fn optimizer_pathological_gvn_dce_case() {
+    use isp_ir::opt::{optimize_with_stats, OptConfig};
+    use isp_ir::BinOp as B;
+
+    let total = 8 * 32usize;
+    let mut b = IrBuilder::new("opt_pathological", 2);
+    let bx = b.sreg(SReg::CtaIdX);
+    let tid = b.sreg(SReg::TidX);
+    let idx = b.mad(Ty::S32, bx, 32i32, tid);
+    let v = b.ld(Ty::F32, 0, idx);
+    let p = b.setp(CmpOp::Lt, tid, 16i32);
+    let t = b.create_block("t");
+    let f = b.create_block("f");
+    let done = b.create_block("done");
+    b.cond_br(p, t, f);
+    b.switch_to(t);
+    // v+v here ...
+    let s1 = b.bin(B::Add, Ty::F32, v, v);
+    b.st(1, idx, s1);
+    b.br(done);
+    b.switch_to(f);
+    // ... and the *same* v+v in the sibling: same value-number key, but
+    // neither block dominates the other, so GVN must not merge them.
+    let s2 = b.bin(B::Add, Ty::F32, v, v);
+    let s3 = b.bin(B::Mul, Ty::F32, s2, 2.0f32);
+    b.st(1, idx, s3);
+    b.br(done);
+    b.switch_to(done);
+    // Dead chain: feeds nothing — DCE must sweep it.
+    let d = b.bin(B::Mul, Ty::S32, idx, 8i32);
+    let _dead = b.bin(B::Add, Ty::S32, d, 1i32);
+    // Constant predicate + selp: collapses to the taken arm.
+    let q = b.setp(CmpOp::Lt, 3i32, 5i32);
+    let w = b.selp(Ty::F32, 1.5f32, 2.5f32, q);
+    // tid / 4: special registers are provably non-negative, so this may
+    // become a shift — and must still agree with round-toward-zero.
+    let half = b.bin(B::Div, Ty::S32, tid, 4i32);
+    let halff = b.cvt(Ty::F32, half);
+    let mix = b.bin(B::Add, Ty::F32, w, halff);
+    let addr2 = b.bin(B::Add, Ty::S32, idx, total as i32);
+    b.st(1, addr2, mix);
+    b.ret();
+    let k = b.finish();
+
+    let errs = isp_ir::validate::validate(&k);
+    assert!(errs.is_empty(), "unoptimized: {errs:?}");
+    let (opt, stats) = optimize_with_stats(&k, OptConfig::pipeline());
+    let errs = isp_ir::validate::validate(&opt);
+    assert!(errs.is_empty(), "optimized: {errs:?}");
+    assert!(stats.reached_fixed_point, "{stats:?}");
+    assert!(
+        stats.dce_removed >= 2,
+        "dead chain must be swept: {stats:?}"
+    );
+    assert!(
+        stats.strength_rewrites >= 1,
+        "tid/4 should strength-reduce: {stats:?}"
+    );
+    assert!(
+        opt.static_len() < k.static_len(),
+        "pipeline should shrink the kernel ({} -> {})",
+        k.static_len(),
+        opt.static_len()
+    );
+
+    let cfg = LaunchConfig {
+        grid: (8, 1),
+        block: (32, 1),
+    };
+    let input: Vec<f32> = (0..total).map(|i| (i as f32) * 0.25 - 17.5).collect();
+    let mut outs = Vec::new();
+    for kernel in [&k, &opt] {
+        for engine in [ExecEngine::Decoded, ExecEngine::Replay] {
+            let gpu = Gpu::new(DeviceSpec::gtx680()).with_engine(engine);
+            let mut bufs = vec![
+                DeviceBuffer::from_f32(&input),
+                DeviceBuffer::zeroed(2 * total),
+            ];
+            let params: [ParamValue; 0] = [];
+            gpu.launch_with(
+                kernel,
+                cfg,
+                &params,
+                &mut bufs,
+                SimMode::Exhaustive,
+                ExecStrategy::Serial,
+            )
+            .unwrap();
+            outs.push(bufs[1].to_f32());
+        }
+    }
+    for (i, out) in outs.iter().enumerate().skip(1) {
+        assert_eq!(&outs[0], out, "run {i} diverged from unoptimized decoded");
+    }
+}
