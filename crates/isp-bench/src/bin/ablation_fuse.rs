@@ -1,0 +1,487 @@
+//! Superinstruction-fusion / SIMD ablation harness: static dispatch counts
+//! before and after decode-time fusion, per-filter decoded and replay
+//! wall-clocks under {fusion off + scalar, fusion on + scalar, fusion on +
+//! SIMD}, the full exhaustive sweep under the same three configurations,
+//! and the opcode-sequence top-10 that justified the superinstruction set.
+//! Bit-identity across every engine x configuration cell is asserted before
+//! anything is timed. Writes `target/results/BENCH_PR8.json` for CI
+//! artifact upload.
+//!
+//! Usage: `cargo run -p isp-bench --bin ablation_fuse --release [--features simd] [-- size sweep_sizes...]`
+//!
+//! The first argument is the per-filter exhaustive image size (default 256);
+//! the remaining arguments are the sweep sizes (default 512/1024). Without
+//! `--features simd` (or on a machine without AVX2) the SIMD column
+//! degrades to the scalar row kernels and `simd_active` reports `false`.
+
+use isp_bench::report::{write_json_doc, Table};
+use isp_core::Variant;
+use isp_dsl::pipeline::Policy;
+use isp_dsl::runner::ExecMode;
+use isp_dsl::Compiler;
+use isp_exec::{Engine, Request, PAPER_BLOCK};
+use isp_image::{BorderPattern, BorderSpec};
+use isp_json::Json;
+use isp_probe::RecordingProbe;
+use isp_sim::{decode_with_fusion, DeviceSpec, ExecEngine, Gpu};
+use std::time::Instant;
+
+/// One ablation cell: fusion toggle plus SIMD toggle (SIMD only ever runs
+/// on top of the fused engine — that is the configuration the PR ships).
+#[derive(Clone, Copy, PartialEq)]
+struct Config {
+    label: &'static str,
+    fusion: bool,
+    simd: bool,
+}
+
+const CONFIGS: [Config; 3] = [
+    Config {
+        label: "fuse-off scalar",
+        fusion: false,
+        simd: false,
+    },
+    Config {
+        label: "fuse-on  scalar",
+        fusion: true,
+        simd: false,
+    },
+    Config {
+        label: "fuse-on  simd",
+        fusion: true,
+        simd: true,
+    },
+];
+
+/// Median wall-clock time of `runs` invocations of `f`, in milliseconds.
+fn time_ms<R>(runs: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Run one exhaustive request on a fresh engine under `cfg` and return the
+/// outcome (pixels + counters + cycles).
+fn run_cell(
+    exec: ExecEngine,
+    cfg: Config,
+    app: &isp_filters::App,
+    pattern: BorderPattern,
+    size: usize,
+) -> isp_exec::Outcome {
+    isp_sim::set_simd_enabled(cfg.simd);
+    let engine = Engine::with_fusion(DeviceSpec::gtx680(), exec, cfg.fusion);
+    let source = isp_exec::bench_image(size);
+    engine
+        .run_on(
+            &Request::paper(
+                app.clone(),
+                pattern,
+                size,
+                Policy::AlwaysIsp(Variant::IspBlock),
+            )
+            .exhaustive(),
+            &source,
+        )
+        .unwrap_or_else(|e| panic!("{} {pattern:?} under {}: {e}", app.name, cfg.label))
+}
+
+/// Assert that decoded and replay match the reference oracle bit-for-bit —
+/// pixels, merged counters, and total cycles — under every ablation
+/// configuration. Returns the number of cells checked.
+fn assert_identity(app: &isp_filters::App, pattern: BorderPattern, size: usize) -> usize {
+    let oracle = run_cell(ExecEngine::Reference, CONFIGS[0], app, pattern, size);
+    let oracle_bits: Vec<u32> = oracle
+        .image
+        .as_ref()
+        .expect("exhaustive run returns pixels")
+        .to_packed_vec()
+        .iter()
+        .map(|p| p.to_bits())
+        .collect();
+    let mut cells = 0;
+    for exec in [
+        ExecEngine::Reference,
+        ExecEngine::Decoded,
+        ExecEngine::Replay,
+    ] {
+        for cfg in CONFIGS {
+            let got = run_cell(exec, cfg, app, pattern, size);
+            let bits: Vec<u32> = got
+                .image
+                .as_ref()
+                .expect("exhaustive run returns pixels")
+                .to_packed_vec()
+                .iter()
+                .map(|p| p.to_bits())
+                .collect();
+            assert_eq!(
+                bits, oracle_bits,
+                "{} {pattern:?}: {exec:?} under '{}' diverged from reference pixels",
+                app.name, cfg.label
+            );
+            assert_eq!(
+                got.counters, oracle.counters,
+                "{} {pattern:?}: {exec:?} under '{}' diverged from reference counters",
+                app.name, cfg.label
+            );
+            assert_eq!(
+                got.total_cycles, oracle.total_cycles,
+                "{} {pattern:?}: {exec:?} under '{}' diverged from reference cycles",
+                app.name, cfg.label
+            );
+            cells += 1;
+        }
+    }
+    cells
+}
+
+/// Time one exhaustive pipeline run of `app` under `(exec, cfg)`.
+fn filter_ms(
+    exec: ExecEngine,
+    cfg: Config,
+    app: &isp_filters::App,
+    size: usize,
+    runs: usize,
+) -> f64 {
+    isp_sim::set_simd_enabled(cfg.simd);
+    let gpu = Gpu::new(DeviceSpec::gtx680())
+        .with_engine(exec)
+        .with_fusion(cfg.fusion);
+    let border = BorderSpec::from_pattern(BorderPattern::Clamp);
+    let compiled = app
+        .pipeline
+        .compile(&Compiler::new(), border, Variant::IspBlock);
+    let img = isp_exec::bench_image(size);
+    time_ms(runs, || {
+        app.pipeline
+            .run(
+                &gpu,
+                &compiled,
+                &img,
+                border,
+                PAPER_BLOCK,
+                Policy::AlwaysIsp(Variant::IspBlock),
+                ExecMode::Exhaustive,
+            )
+            .unwrap()
+    })
+}
+
+/// Median total wall-clock of the full exhaustive sweep (the PR 4 benchmark
+/// configuration: gaussian, 4 patterns x `sizes`, three policies per point)
+/// under `(exec, cfg)`.
+fn sweep_ms(exec: ExecEngine, cfg: Config, sizes: &[usize], runs: usize) -> f64 {
+    isp_sim::set_simd_enabled(cfg.simd);
+    let engine = Engine::with_fusion(DeviceSpec::gtx680(), exec, cfg.fusion);
+    let app = isp_filters::by_name("gaussian").unwrap();
+    let sources: Vec<_> = sizes.iter().map(|&s| isp_exec::bench_image(s)).collect();
+    time_ms(runs, || {
+        for pattern in BorderPattern::ALL {
+            for (&size, source) in sizes.iter().zip(&sources) {
+                for policy in [
+                    Policy::Naive,
+                    Policy::AlwaysIsp(Variant::IspBlock),
+                    Policy::Model(Variant::IspBlock),
+                ] {
+                    engine
+                        .run_on(
+                            &Request::paper(app.clone(), pattern, size, policy).exhaustive(),
+                            source,
+                        )
+                        .unwrap();
+                }
+            }
+        }
+    })
+}
+
+/// Static fusion effect for one filter: ops, dispatch slots after fusion,
+/// groups formed, and dispatches saved — summed over every stage's naive
+/// and ISP variants under the Clamp pattern.
+fn static_counts(app: &isp_filters::App, device: &DeviceSpec) -> (usize, usize, u64, u64) {
+    let compiler = Compiler::new();
+    let (mut ops, mut dispatches, mut groups, mut saved) = (0usize, 0usize, 0u64, 0u64);
+    for stage in &app.pipeline.stages {
+        let ck = compiler.compile(&stage.spec, BorderPattern::Clamp, Variant::IspBlock);
+        for cv in [Some(&ck.naive), ck.isp.as_ref()].into_iter().flatten() {
+            let fused = decode_with_fusion(&cv.kernel, device, true);
+            let unfused = decode_with_fusion(&cv.kernel, device, false);
+            assert_eq!(
+                fused.num_ops(),
+                unfused.num_ops(),
+                "fusion must not add ops"
+            );
+            let stats = fused.fusion_stats();
+            ops += fused.num_ops();
+            dispatches += fused.num_dispatches();
+            groups += stats.groups;
+            saved += stats.dispatches_saved;
+        }
+    }
+    (ops, dispatches, groups, saved)
+}
+
+/// Opcode-sequence histogram: one probed exhaustive gaussian run on the
+/// decoded engine, returning the top-`k` pair and triple counters.
+/// `(sequence label, count)` rows, most frequent first.
+type SeqCounts = Vec<(String, u64)>;
+
+fn opseq_top(size: usize, k: usize) -> (SeqCounts, SeqCounts) {
+    let (probe, handle) = RecordingProbe::new_handle();
+    let engine =
+        Engine::with_fusion(DeviceSpec::gtx680(), ExecEngine::Decoded, true).with_probe(handle);
+    let app = isp_filters::by_name("gaussian").unwrap();
+    let source = isp_exec::bench_image(size);
+    engine
+        .run_on(
+            &Request::paper(
+                app,
+                BorderPattern::Clamp,
+                size,
+                Policy::AlwaysIsp(Variant::IspBlock),
+            )
+            .exhaustive(),
+            &source,
+        )
+        .unwrap();
+    let metrics = probe.metrics();
+    let strip = |prefix: &str, v: Vec<(String, u64)>| {
+        v.into_iter()
+            .map(|(key, n)| (key[prefix.len()..].to_string(), n))
+            .collect::<Vec<_>>()
+    };
+    (
+        strip("sim.opseq2.", metrics.top_counters("sim.opseq2.", k)),
+        strip("sim.opseq3.", metrics.top_counters("sim.opseq3.", k)),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let size: usize = args
+        .first()
+        .map(|s| s.parse().expect("size must be an integer"))
+        .unwrap_or(256);
+    let sweep_sizes: Vec<usize> = if args.len() > 1 {
+        args[1..]
+            .iter()
+            .map(|s| s.parse().expect("size must be an integer"))
+            .collect()
+    } else {
+        vec![512, 1024]
+    };
+    let runs = 3;
+    let device = DeviceSpec::gtx680();
+    isp_sim::set_simd_enabled(true);
+    let simd_active = isp_sim::simd_enabled();
+    println!(
+        "== fusion/SIMD ablation on {} (simd compiled: {}, active: {simd_active})",
+        device.name,
+        cfg!(feature = "simd"),
+    );
+
+    // Part 0: bit-identity across every engine x configuration cell, before
+    // anything is timed. Gaussian covers all four patterns; every other
+    // filter is checked under Clamp.
+    let identity_size = size.min(96);
+    let mut cells = 0;
+    for pattern in BorderPattern::ALL {
+        cells += assert_identity(
+            &isp_filters::by_name("gaussian").unwrap(),
+            pattern,
+            identity_size,
+        );
+    }
+    for app in isp_filters::apps::all_apps() {
+        if app.name != "gaussian" {
+            cells += assert_identity(&app, BorderPattern::Clamp, identity_size);
+        }
+    }
+    println!("== bit-identity: {cells} engine x config cells identical at {identity_size}x{identity_size}");
+
+    // Part 1: static dispatch counts before/after fusion.
+    println!("== static fusion effect per filter (naive + isp variants, all stages)");
+    let mut table = Table::new(&[
+        "filter",
+        "ops",
+        "dispatches",
+        "groups",
+        "saved",
+        "reduction",
+    ]);
+    let mut kernels: Vec<Json> = Vec::new();
+    for app in isp_filters::apps::all_apps() {
+        let (ops, dispatches, groups, saved) = static_counts(&app, &device);
+        let reduction = saved as f64 / ops as f64;
+        table.row(&[
+            app.name.to_string(),
+            ops.to_string(),
+            dispatches.to_string(),
+            groups.to_string(),
+            saved.to_string(),
+            format!("{:.0}%", reduction * 100.0),
+        ]);
+        kernels.push(
+            Json::obj()
+                .set("filter", app.name)
+                .set("ops", ops)
+                .set("dispatches_fused", dispatches)
+                .set("groups", groups)
+                .set("dispatches_saved", saved),
+        );
+    }
+    print!("{}", table.render());
+
+    // Part 2: per-filter decoded / replay wall-clock under each config.
+    println!("== exhaustive {size}x{size} Clamp isp, per filter (median of {runs}, ms)");
+    let mut table = Table::new(&[
+        "filter",
+        "dec off",
+        "dec fuse",
+        "dec simd",
+        "dec speedup",
+        "rep off",
+        "rep fuse",
+        "rep simd",
+        "rep speedup",
+    ]);
+    let mut filters: Vec<Json> = Vec::new();
+    for app in isp_filters::apps::all_apps() {
+        let dec: Vec<f64> = CONFIGS
+            .iter()
+            .map(|&c| filter_ms(ExecEngine::Decoded, c, &app, size, runs))
+            .collect();
+        let rep: Vec<f64> = CONFIGS
+            .iter()
+            .map(|&c| filter_ms(ExecEngine::Replay, c, &app, size, runs))
+            .collect();
+        let dec_speedup = dec[0] / dec[2];
+        let rep_speedup = rep[0] / rep[2];
+        table.row(&[
+            app.name.to_string(),
+            format!("{:.1}", dec[0]),
+            format!("{:.1}", dec[1]),
+            format!("{:.1}", dec[2]),
+            format!("{dec_speedup:.2}x"),
+            format!("{:.1}", rep[0]),
+            format!("{:.1}", rep[1]),
+            format!("{:.1}", rep[2]),
+            format!("{rep_speedup:.2}x"),
+        ]);
+        filters.push(
+            Json::obj()
+                .set("filter", app.name)
+                .set(
+                    "decoded",
+                    Json::obj()
+                        .set("baseline_ms", dec[0])
+                        .set("fused_ms", dec[1])
+                        .set("fused_simd_ms", dec[2])
+                        .set("speedup", dec_speedup),
+                )
+                .set(
+                    "replay",
+                    Json::obj()
+                        .set("baseline_ms", rep[0])
+                        .set("fused_ms", rep[1])
+                        .set("fused_simd_ms", rep[2])
+                        .set("speedup", rep_speedup),
+                ),
+        );
+    }
+    print!("{}", table.render());
+
+    // Part 3: the full exhaustive sweep under each config, decoded and
+    // replay (the acceptance numbers).
+    println!("== full exhaustive sweep: gaussian 4-pattern x {sweep_sizes:?} x 3 policies (median of {runs}, ms)");
+    let dec_sweep: Vec<f64> = CONFIGS
+        .iter()
+        .map(|&c| sweep_ms(ExecEngine::Decoded, c, &sweep_sizes, runs))
+        .collect();
+    let rep_sweep: Vec<f64> = CONFIGS
+        .iter()
+        .map(|&c| sweep_ms(ExecEngine::Replay, c, &sweep_sizes, runs))
+        .collect();
+    let dec_speedup = dec_sweep[0] / dec_sweep[2];
+    let rep_speedup = rep_sweep[0] / rep_sweep[2];
+    for (cfg, (d, r)) in CONFIGS.iter().zip(dec_sweep.iter().zip(&rep_sweep)) {
+        println!("  {:16} decoded {d:9.1}  replay {r:9.1}", cfg.label);
+    }
+    println!("  decoded speedup {dec_speedup:5.2}x   replay speedup {rep_speedup:5.2}x");
+
+    // Part 4: the opcode-sequence histogram that motivated the
+    // superinstruction set.
+    let (pairs, triples) = opseq_top(identity_size, 10);
+    println!(
+        "== top opcode sequences (gaussian Clamp {identity_size}x{identity_size}, decoded engine)"
+    );
+    let mut table = Table::new(&["pair", "count", "triple", "count"]);
+    for i in 0..pairs.len().max(triples.len()) {
+        let (p, pn) = pairs
+            .get(i)
+            .map(|(k, n)| (k.clone(), n.to_string()))
+            .unwrap_or_default();
+        let (t, tn) = triples
+            .get(i)
+            .map(|(k, n)| (k.clone(), n.to_string()))
+            .unwrap_or_default();
+        table.row(&[p, pn, t, tn]);
+    }
+    print!("{}", table.render());
+
+    let seq_json = |v: &[(String, u64)]| {
+        v.iter()
+            .map(|(k, n)| Json::obj().set("seq", k.as_str()).set("count", *n))
+            .collect::<Vec<_>>()
+    };
+    let sweep_json = |ms: &[f64], speedup: f64| {
+        Json::obj()
+            .set("baseline_ms", ms[0])
+            .set("fused_ms", ms[1])
+            .set("fused_simd_ms", ms[2])
+            .set("speedup", speedup)
+    };
+    let doc = Json::obj()
+        .set("schema", "isp-fuse-v1")
+        .set("device", device.name)
+        .set("exhaustive_size", size)
+        .set("runs", runs)
+        .set("simd_compiled", cfg!(feature = "simd"))
+        .set("simd_active", simd_active)
+        .set(
+            "identity",
+            Json::obj().set("cells", cells).set("all_identical", true),
+        )
+        .set("kernels", kernels)
+        .set("filters", filters)
+        .set(
+            "sweep",
+            Json::obj()
+                .set(
+                    "sizes",
+                    sweep_sizes
+                        .iter()
+                        .map(|&s| Json::from(s))
+                        .collect::<Vec<_>>(),
+                )
+                .set("patterns", 4u32)
+                .set("policies", 3u32)
+                .set("decoded", sweep_json(&dec_sweep, dec_speedup))
+                .set("replay", sweep_json(&rep_sweep, rep_speedup)),
+        )
+        .set(
+            "opseq",
+            Json::obj()
+                .set("pairs", seq_json(&pairs))
+                .set("triples", seq_json(&triples)),
+        );
+    let path = write_json_doc("BENCH_PR8", &doc).expect("write BENCH_PR8.json");
+    println!("wrote {}", path.display());
+}

@@ -75,6 +75,11 @@ pub struct CacheStats {
     /// Optimiser pipeline iterations to reach a fixed point, summed over
     /// every compiled variant.
     pub opt_fixpoint_iterations: u64,
+    /// Superinstruction groups formed by the simulator's decode-time fusion
+    /// pass across all cold decodes (mirrors [`isp_sim::Gpu::fusion_stats`]).
+    pub fused_groups: u64,
+    /// Static dispatches eliminated by those groups.
+    pub fused_dispatches_saved: u64,
 }
 
 /// Live hit/miss counters (atomics so [`crate::Engine`] stays `Sync`).
@@ -130,6 +135,10 @@ impl CacheCounters {
             trace_deopt_reasons: [0; isp_sim::DeoptReason::COUNT],
             opt_ops_removed: self.opt_ops_removed.load(Ordering::Relaxed),
             opt_fixpoint_iterations: self.opt_fixpoint_iterations.load(Ordering::Relaxed),
+            // Fusion totals live on the Gpu too; Engine::cache_stats fills
+            // them in.
+            fused_groups: 0,
+            fused_dispatches_saved: 0,
         }
     }
 }

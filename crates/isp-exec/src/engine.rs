@@ -49,8 +49,18 @@ impl Engine {
     /// before/after speed benchmark builds `Reference` and `Decoded` engines
     /// to measure against the replay default.
     pub fn with_exec_engine(device: DeviceSpec, exec: ExecEngine) -> Self {
+        Self::with_fusion(device, exec, true)
+    }
+
+    /// [`Engine::with_exec_engine`] with explicit control of the
+    /// simulator's superinstruction fusion pass — the fusion ablation
+    /// benchmark builds fusion-off engines to measure the fused dispatch
+    /// gain in isolation.
+    pub fn with_fusion(device: DeviceSpec, exec: ExecEngine, fusion: bool) -> Self {
         Engine {
-            gpu: Gpu::new(device.clone()).with_engine(exec),
+            gpu: Gpu::new(device.clone())
+                .with_engine(exec)
+                .with_fusion(fusion),
             device,
             compiler: Compiler::new(),
             kernels: Mutex::new(HashMap::new()),
@@ -443,6 +453,9 @@ impl Engine {
         stats.trace_cross_launch_hits = self.gpu.trace_cross_launch_hits();
         stats.trace_deopts = trace.deopted;
         stats.trace_deopt_reasons = trace.deopt_reasons;
+        let fusion = self.gpu.fusion_stats();
+        stats.fused_groups = fusion.groups;
+        stats.fused_dispatches_saved = fusion.dispatches_saved;
         stats
     }
 }

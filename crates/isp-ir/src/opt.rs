@@ -377,9 +377,24 @@ fn resolve(subst: &HashMap<u32, Operand>, op: Operand) -> Operand {
     cur
 }
 
+/// Canonicalise an arithmetic float result exactly like the simulator's
+/// `canon_f32`: any NaN becomes the canonical quiet NaN `0x7fffffff` (PTX
+/// float-instruction semantics). Folding must produce the same bits the
+/// interpreter would at runtime — `tests/fold_equivalence.rs` asserts the
+/// two stay in lockstep differentially.
+#[inline]
+fn canon_f32(v: f32) -> f32 {
+    if v.is_nan() {
+        f32::from_bits(0x7fff_ffff)
+    } else {
+        v
+    }
+}
+
 /// Fold a binary op over two immediates. Every arm performs the *same
 /// computation* as the interpreter (`isp-sim`'s `eval_bin_i`/`eval_bin_f`),
-/// so the fold is bit-identical for every input, NaN payloads included —
+/// so the fold is bit-identical for every input — NaN results canonicalise
+/// to `0x7fffffff` on both sides, and bit-preserving ops keep payloads —
 /// `tests/fold_equivalence.rs` asserts this differentially.
 pub fn fold_bin(op: BinOp, ty: Ty, a: &Operand, b: &Operand) -> Option<Operand> {
     match (ty, a, b) {
@@ -427,7 +442,7 @@ pub fn fold_bin(op: BinOp, ty: Ty, a: &Operand, b: &Operand) -> Option<Operand> 
                 BinOp::Max => x.max(y),
                 _ => return None,
             };
-            Some(Operand::ImmF(v))
+            Some(Operand::ImmF(canon_f32(v)))
         }
         _ => None,
     }
@@ -592,13 +607,15 @@ pub fn fold_un(op: UnOp, ty: Ty, a: &Operand) -> Option<Operand> {
         (Ty::F32, Operand::ImmF(v)) => {
             let v = *v;
             let r = match op {
+                // Bit-preserving sign ops keep NaN payloads, like hardware.
                 UnOp::Neg => -v,
                 UnOp::Abs => v.abs(),
-                UnOp::Exp => v.exp(),
-                UnOp::Log => v.ln(),
-                UnOp::Sqrt => v.sqrt(),
-                UnOp::Rsqrt => 1.0 / v.sqrt(),
-                UnOp::Floor => v.floor(),
+                // Arithmetic ops canonicalise, like every float instruction.
+                UnOp::Exp => canon_f32(v.exp()),
+                UnOp::Log => canon_f32(v.ln()),
+                UnOp::Sqrt => canon_f32(v.sqrt()),
+                UnOp::Rsqrt => canon_f32(1.0 / v.sqrt()),
+                UnOp::Floor => canon_f32(v.floor()),
                 _ => return None,
             };
             Some(Operand::ImmF(r))

@@ -136,6 +136,22 @@ impl Metrics {
         self.counters.is_empty() && self.histograms.is_empty()
     }
 
+    /// The `k` largest counters under a key prefix, descending by value
+    /// (ties broken by key for determinism). Used for top-N tables over
+    /// families of counters such as the simulator's `sim.opseq2.` /
+    /// `sim.opseq3.` opcode-sequence histograms.
+    pub fn top_counters(&self, prefix: &str, k: usize) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = self
+            .counters
+            .range(prefix.to_string()..)
+            .take_while(|(key, _)| key.starts_with(prefix))
+            .map(|(key, &n)| (key.clone(), n))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out.truncate(k);
+        out
+    }
+
     /// Merge another registry into this one (counters add, histograms
     /// combine bucket-wise).
     pub fn merge(&mut self, other: &Metrics) {

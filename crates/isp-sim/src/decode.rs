@@ -186,6 +186,196 @@ pub(crate) enum DOpKind {
     Bar,
 }
 
+impl DOpKind {
+    /// PTX-style mnemonic for histogram keys and fusion reports. Stable
+    /// strings: the opcode-sequence histograms exported by the probe layer
+    /// key on `"{a}+{b}"` pair strings built from these.
+    pub(crate) fn mnemonic(&self) -> &'static str {
+        match self {
+            DOpKind::BinI { op, .. } => match op {
+                BinOp::Add => "add.s32",
+                BinOp::Sub => "sub.s32",
+                BinOp::Mul => "mul.s32",
+                BinOp::Div => "div.s32",
+                BinOp::Rem => "rem.s32",
+                BinOp::Min => "min.s32",
+                BinOp::Max => "max.s32",
+                BinOp::And => "and.b32",
+                BinOp::Or => "or.b32",
+                BinOp::Xor => "xor.b32",
+                BinOp::Shl => "shl.b32",
+                BinOp::Shr => "shr.s32",
+            },
+            DOpKind::BinF { op, .. } => match op {
+                BinOp::Add => "add.f32",
+                BinOp::Sub => "sub.f32",
+                BinOp::Mul => "mul.f32",
+                BinOp::Div => "div.f32",
+                BinOp::Rem => "rem.f32",
+                BinOp::Min => "min.f32",
+                BinOp::Max => "max.f32",
+                _ => "bin.f32",
+            },
+            DOpKind::BinP { op, .. } => match op {
+                BinOp::And => "and.pred",
+                BinOp::Or => "or.pred",
+                _ => "xor.pred",
+            },
+            DOpKind::MadI { .. } => "mad.s32",
+            DOpKind::MadF { .. } => "mad.f32",
+            DOpKind::Mov { .. } => "mov",
+            DOpKind::NotP { .. } => "not.pred",
+            DOpKind::NotB { .. } => "not.b32",
+            DOpKind::NegI { .. } => "neg.s32",
+            DOpKind::AbsI { .. } => "abs.s32",
+            DOpKind::UnF { op, .. } => match op {
+                UnOp::Neg => "neg.f32",
+                UnOp::Abs => "abs.f32",
+                UnOp::Exp => "ex2.f32",
+                UnOp::Log => "lg2.f32",
+                UnOp::Sqrt => "sqrt.f32",
+                UnOp::Rsqrt => "rsqrt.f32",
+                UnOp::Floor => "floor.f32",
+                _ => "un.f32",
+            },
+            DOpKind::CvtIF { .. } => "cvt.f32.s32",
+            DOpKind::CvtFI { .. } => "cvt.s32.f32",
+            DOpKind::SetPI { cmp, .. } => match cmp {
+                CmpOp::Eq => "setp.eq.s32",
+                CmpOp::Ne => "setp.ne.s32",
+                CmpOp::Lt => "setp.lt.s32",
+                CmpOp::Le => "setp.le.s32",
+                CmpOp::Gt => "setp.gt.s32",
+                CmpOp::Ge => "setp.ge.s32",
+            },
+            DOpKind::SetPF { cmp, .. } => match cmp {
+                CmpOp::Eq => "setp.eq.f32",
+                CmpOp::Ne => "setp.ne.f32",
+                CmpOp::Lt => "setp.lt.f32",
+                CmpOp::Le => "setp.le.f32",
+                CmpOp::Gt => "setp.gt.f32",
+                CmpOp::Ge => "setp.ge.f32",
+            },
+            DOpKind::SelP { .. } => "selp",
+            DOpKind::Sreg { .. } => "mov.sreg",
+            DOpKind::LdParam { .. } => "ld.param",
+            DOpKind::Ld { .. } => "ld.global",
+            DOpKind::Tex { .. } => "tex.2d",
+            DOpKind::St { .. } => "st.global",
+            DOpKind::Lds { .. } => "ld.shared",
+            DOpKind::Sts { .. } => "st.shared",
+            DOpKind::Bar => "bar.sync",
+        }
+    }
+}
+
+/// One fused dispatch unit: up to three adjacent straight-line ops issued
+/// with a single budget/counter update. `cats` holds the constituent
+/// categories (histogram attribution is per-constituent, so fusion is
+/// invisible to counters) and `cost` their pre-combined issue cost.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FOp {
+    /// Index of the first constituent in [`DecodedKernel::ops`].
+    first: u32,
+    /// Number of constituents (1–3).
+    n: u8,
+    /// `InstrCategory::index()` of each constituent (`cats[..n]` valid).
+    cats: [u8; 3],
+    /// Sum of constituent issue costs.
+    cost: u32,
+    kind: FKind,
+}
+
+/// The fused operation body. Specialised variants embed their operand row
+/// bases so the hot loop neither refetches nor re-matches the constituent
+/// [`DOp`]s; the patterns are the top of the opcode-sequence histograms
+/// (see DESIGN.md §7c): stencil address arithmetic (`mad+mad`), the clamp
+/// chain (`mad+mad+min`), address-math-feeding-load, and load+convert.
+/// Everything else fuses generically — same bulk charge, per-op body.
+#[derive(Debug, Clone, Copy)]
+#[allow(clippy::too_many_arguments)]
+enum FKind {
+    /// Unfused single op; dispatches through the normal path.
+    Solo,
+    /// `mad.s32 ; mad.s32 ; min.s32` — the clamp-address superinstruction.
+    Mad2IMin {
+        d1: u32,
+        a1: u32,
+        b1: u32,
+        c1: u32,
+        d2: u32,
+        a2: u32,
+        b2: u32,
+        c2: u32,
+        d3: u32,
+        a3: u32,
+        b3: u32,
+    },
+    /// `mad.s32 ; mad.s32` — 2-D address arithmetic.
+    Mad2I {
+        d1: u32,
+        a1: u32,
+        b1: u32,
+        c1: u32,
+        d2: u32,
+        a2: u32,
+        b2: u32,
+        c2: u32,
+    },
+    /// `mad.f32 ; mad.f32` — stencil accumulation.
+    Mad2F {
+        d1: u32,
+        a1: u32,
+        b1: u32,
+        c1: u32,
+        d2: u32,
+        a2: u32,
+        b2: u32,
+        c2: u32,
+    },
+    /// `mad.s32 ; ld.global` — address math feeding its load. The mad runs
+    /// embedded; the load dispatches its normal body (validation,
+    /// transactions, journal).
+    MadILd { d1: u32, a1: u32, b1: u32, c1: u32 },
+    /// `ld.global ; cvt.f32.s32` — load+convert chain.
+    LdCvt { d2: u32, a2: u32 },
+    /// `mul.f32 ; add.f32` — stencil weight-apply + accumulate.
+    MulAddF {
+        d1: u32,
+        a1: u32,
+        b1: u32,
+        d2: u32,
+        a2: u32,
+        b2: u32,
+    },
+    /// `ld.global ; mul.f32 ; add.f32` — the full tap: load a sample,
+    /// weight it, accumulate. The load dispatches its normal body; the
+    /// arithmetic tail runs fused.
+    LdMulAddF {
+        d2: u32,
+        a2: u32,
+        b2: u32,
+        d3: u32,
+        a3: u32,
+        b3: u32,
+    },
+    /// Generic fused pair (any two adjacent straight-line ops).
+    Pair,
+    /// Generic fused triple.
+    Triple,
+}
+
+/// Decode-time fusion summary for one kernel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusionStats {
+    /// Fused groups formed (dispatch units covering ≥ 2 ops).
+    pub groups: u64,
+    /// Ops absorbed into those groups.
+    pub fused_ops: u64,
+    /// Static dispatches eliminated: `fused_ops - groups`.
+    pub dispatches_saved: u64,
+}
+
 /// Decoded terminator with targets as array offsets and the reconvergence
 /// point (immediate post-dominator) precomputed for `CondBr`.
 #[derive(Debug, Clone, Copy)]
@@ -204,11 +394,16 @@ enum DTerm {
     },
 }
 
-/// A decoded basic block: an index range into the dense instruction array.
+/// A decoded basic block: an index range into the dense instruction array,
+/// plus the fused-dispatch range into [`DecodedKernel::fops`].
 #[derive(Debug, Clone, Copy)]
 struct DBlock {
     start: u32,
     end: u32,
+    /// Fused dispatch range (empty unless the kernel was decoded with
+    /// fusion; barrier blocks stay empty — their body never executes).
+    fstart: u32,
+    fend: u32,
     term: DTerm,
     /// Whether this is a barrier block (first instruction is `bar`).
     is_bar: bool,
@@ -224,6 +419,11 @@ pub struct DecodedKernel {
     pub fingerprint: u64,
     pub(crate) ops: Vec<DOp>,
     blocks: Vec<DBlock>,
+    /// Fused dispatch stream (empty when `fuse` is false). The tracing
+    /// executor and the recorder always walk `ops` unfused.
+    fops: Vec<FOp>,
+    /// Whether the fused stream is active for untraced execution.
+    pub(crate) fuse: bool,
     pub(crate) num_vregs: u32,
     /// vregs + immediate pool rows.
     pub(crate) num_slots: u32,
@@ -231,6 +431,10 @@ pub struct DecodedKernel {
     /// `imms[i]`).
     pub(crate) imms: Vec<u32>,
     shared_elems: u32,
+    /// Vreg indices [`DecodedScratch::reset`] must zero before each block —
+    /// the rows with at least one read (including a terminator predicate)
+    /// not preceded by a same-basic-block write. See [`rows_needing_zero`].
+    zero_rows: Vec<u32>,
     /// Baked device parameters.
     pub(crate) mem_cycles: u64,
     cost_bra: u64,
@@ -248,6 +452,42 @@ impl DecodedKernel {
     /// Number of distinct immediates pooled.
     pub fn num_imms(&self) -> usize {
         self.imms.len()
+    }
+
+    /// Static dispatch units on the untraced hot path: fused groups when
+    /// fusion is on, individual ops otherwise.
+    pub fn num_dispatches(&self) -> usize {
+        if self.fuse {
+            self.fops.len()
+        } else {
+            self.ops.len()
+        }
+    }
+
+    /// Decode-time fusion summary (all-zero when decoded without fusion).
+    pub fn fusion_stats(&self) -> FusionStats {
+        let mut s = FusionStats::default();
+        for f in &self.fops {
+            if f.n >= 2 {
+                s.groups += 1;
+                s.fused_ops += f.n as u64;
+            }
+        }
+        s.dispatches_saved = s.fused_ops - s.groups;
+        s
+    }
+
+    /// `flags[i]` is true iff op `i` starts a basic block — the
+    /// opcode-sequence profiler uses this to avoid counting pairs that
+    /// straddle a block boundary (never fusable).
+    pub(crate) fn block_start_flags(&self) -> Vec<bool> {
+        let mut flags = vec![false; self.ops.len()];
+        for b in &self.blocks {
+            if (b.start as usize) < flags.len() {
+                flags[b.start as usize] = true;
+            }
+        }
+        flags
     }
 }
 
@@ -431,9 +671,17 @@ impl Lowerer {
     }
 }
 
-/// Lower a validated kernel into flat microcode for `device`. Called once
-/// per (kernel, device); the result is shared read-only by every worker.
+/// Lower a validated kernel into flat microcode for `device`, with
+/// superinstruction fusion on (the default for every launch path). Called
+/// once per (kernel, device); the result is shared read-only by every
+/// worker.
 pub fn decode(kernel: &Kernel, device: &DeviceSpec) -> DecodedKernel {
+    decode_with_fusion(kernel, device, true)
+}
+
+/// [`decode`] with explicit control over the fusion pass — ablation
+/// binaries and the observability-neutrality tests compare both decodings.
+pub fn decode_with_fusion(kernel: &Kernel, device: &DeviceSpec, fuse: bool) -> DecodedKernel {
     let ipdom = Cfg::new(kernel).ipostdom();
     let mut low = Lowerer {
         num_vregs: kernel.num_vregs,
@@ -470,25 +718,107 @@ pub fn decode(kernel: &Kernel, device: &DeviceSpec) -> DecodedKernel {
         blocks.push(DBlock {
             start,
             end: ops.len() as u32,
+            fstart: 0,
+            fend: 0,
             term,
             is_bar: bb.instrs.first().is_some_and(|i| matches!(i, Instr::Bar)),
         });
     }
+    let fops = if fuse {
+        fuse_blocks(&ops, &mut blocks)
+    } else {
+        Vec::new()
+    };
+    let zero_rows = rows_needing_zero(&ops, &blocks, kernel.num_vregs);
     DecodedKernel {
         name: kernel.name.clone(),
         fingerprint: kernel_fingerprint(kernel),
         ops,
         blocks,
+        fops,
+        fuse,
         num_vregs: kernel.num_vregs,
         num_slots: kernel.num_vregs + low.imms.len() as u32,
         imms: low.imms,
         shared_elems: kernel.shared_elems,
+        zero_rows,
         mem_cycles: device.mem_transaction_cycles,
         cost_bra: device.issue_cost(InstrCategory::Bra),
         cost_ret: device.issue_cost(InstrCategory::Ret),
         cost_bar2: device.issue_cost(InstrCategory::Bar2),
         warp_size: device.warp_size,
     }
+}
+
+/// Which vreg rows can observe state from before the block started. A row
+/// needs per-block zeroing iff some read of it (data operand, address,
+/// store value, or terminator predicate) is not preceded by a write to the
+/// same row earlier in the *same* basic block. Within one basic block the
+/// active lane mask is constant and every operation is lane-wise, so a
+/// same-block write covers every lane a later read can observe — rows that
+/// fail the test on every read can never see a previous block's values and
+/// [`DecodedScratch::reset`] skips them. Everything else (cross-block live
+/// values, genuine read-before-write) keeps the reference interpreter's
+/// zero-initialised semantics. SSA-heavy kernels define most temporaries
+/// immediately before use, so this typically shrinks the per-block memset
+/// from the whole register file to a handful of rows.
+fn rows_needing_zero(ops: &[DOp], blocks: &[DBlock], num_vregs: u32) -> Vec<u32> {
+    let vreg_rows = num_vregs as usize * WARP;
+    let mut need = vec![false; num_vregs as usize];
+    let mut written = vec![false; num_vregs as usize];
+    for db in blocks {
+        written.fill(false);
+        let read = |row: u32, written: &[bool], need: &mut [bool]| {
+            let r = row as usize;
+            if r < vreg_rows && !written[r / WARP] {
+                need[r / WARP] = true;
+            }
+        };
+        for op in &ops[db.start as usize..db.end as usize] {
+            use DOpKind as K;
+            let (srcs, dst) = match op.kind {
+                K::BinI { dst, a, b, .. }
+                | K::BinF { dst, a, b, .. }
+                | K::BinP { dst, a, b, .. }
+                | K::SetPI { dst, a, b, .. }
+                | K::SetPF { dst, a, b, .. } => ([Some(a), Some(b), None], Some(dst)),
+                K::MadI { dst, a, b, c } | K::MadF { dst, a, b, c } => {
+                    ([Some(a), Some(b), Some(c)], Some(dst))
+                }
+                K::Mov { dst, a }
+                | K::NotP { dst, a }
+                | K::NotB { dst, a }
+                | K::NegI { dst, a }
+                | K::AbsI { dst, a }
+                | K::UnF { dst, a, .. }
+                | K::CvtIF { dst, a }
+                | K::CvtFI { dst, a } => ([Some(a), None, None], Some(dst)),
+                K::SelP { dst, a, b, pred } => ([Some(a), Some(b), Some(pred)], Some(dst)),
+                K::Sreg { dst, .. } | K::LdParam { dst, .. } => ([None, None, None], Some(dst)),
+                K::Ld { dst, addr, .. } | K::Lds { dst, addr } => {
+                    ([Some(addr), None, None], Some(dst))
+                }
+                K::Tex { dst, x, y, .. } => ([Some(x), Some(y), None], Some(dst)),
+                K::St { addr, val, .. } | K::Sts { addr, val } => {
+                    ([Some(addr), Some(val), None], None)
+                }
+                K::Bar => ([None, None, None], None),
+            };
+            for src in srcs.into_iter().flatten() {
+                read(src, &written, &mut need);
+            }
+            if let Some(d) = dst {
+                let d = d as usize;
+                if d < vreg_rows {
+                    written[d / WARP] = true;
+                }
+            }
+        }
+        if let DTerm::CondBr { pred, .. } = db.term {
+            read(pred, &written, &mut need);
+        }
+    }
+    (0..num_vregs).filter(|&r| need[r as usize]).collect()
 }
 
 fn lower_instr(instr: &Instr, low: &mut Lowerer) -> DOpKind {
@@ -608,6 +938,229 @@ fn lower_instr(instr: &Instr, low: &mut Lowerer) -> DOpKind {
             val: low.slot(val),
         },
         Instr::Bar => DOpKind::Bar,
+    }
+}
+
+/// The peephole fusion pass: greedily fold adjacent straight-line ops of
+/// each non-barrier block into [`FOp`] dispatch units, preferring the
+/// specialised superinstruction patterns (histogram-ranked, DESIGN.md §7c)
+/// over generic pairs/triples. Any op may participate — an error raised by
+/// a constituent aborts the launch before counters become observable, and
+/// the one case where intermediate counter state *is* observable (budget
+/// exhaustion mid-group) falls back to sequential dispatch at execution
+/// time. Fills each block's `fstart..fend` and returns the fused stream.
+fn fuse_blocks(ops: &[DOp], blocks: &mut [DBlock]) -> Vec<FOp> {
+    let mut fops: Vec<FOp> = Vec::with_capacity(ops.len());
+    for b in blocks.iter_mut() {
+        b.fstart = fops.len() as u32;
+        if b.is_bar {
+            // Barrier blocks are intercepted before their body runs.
+            b.fend = b.fstart;
+            continue;
+        }
+        let mut i = b.start as usize;
+        let end = b.end as usize;
+        while i < end {
+            let left = end - i;
+            let group = move |n: usize, kind: FKind| {
+                let mut cats = [0u8; 3];
+                let mut cost = 0u32;
+                for j in 0..n {
+                    cats[j] = ops[i + j].cat;
+                    cost += ops[i + j].cost;
+                }
+                FOp {
+                    first: i as u32,
+                    n: n as u8,
+                    cats,
+                    cost,
+                    kind,
+                }
+            };
+            let fop = match_superinstruction(ops, i, left, &group).unwrap_or_else(|| {
+                if left >= 3 {
+                    group(3, FKind::Triple)
+                } else if left == 2 {
+                    group(2, FKind::Pair)
+                } else {
+                    group(1, FKind::Solo)
+                }
+            });
+            i += fop.n as usize;
+            fops.push(fop);
+        }
+        b.fend = fops.len() as u32;
+    }
+    fops
+}
+
+/// Try the specialised superinstruction patterns at op `i`.
+fn match_superinstruction(
+    ops: &[DOp],
+    i: usize,
+    left: usize,
+    group: &dyn Fn(usize, FKind) -> FOp,
+) -> Option<FOp> {
+    use DOpKind as K;
+    if left >= 3 {
+        if let (
+            K::MadI {
+                dst: d1,
+                a: a1,
+                b: b1,
+                c: c1,
+            },
+            K::MadI {
+                dst: d2,
+                a: a2,
+                b: b2,
+                c: c2,
+            },
+            K::BinI {
+                op: BinOp::Min,
+                dst: d3,
+                a: a3,
+                b: b3,
+            },
+        ) = (ops[i].kind, ops[i + 1].kind, ops[i + 2].kind)
+        {
+            return Some(group(
+                3,
+                FKind::Mad2IMin {
+                    d1,
+                    a1,
+                    b1,
+                    c1,
+                    d2,
+                    a2,
+                    b2,
+                    c2,
+                    d3,
+                    a3,
+                    b3,
+                },
+            ));
+        }
+        if let (
+            K::Ld { .. },
+            K::BinF {
+                op: BinOp::Mul,
+                dst: d2,
+                a: a2,
+                b: b2,
+            },
+            K::BinF {
+                op: BinOp::Add,
+                dst: d3,
+                a: a3,
+                b: b3,
+            },
+        ) = (ops[i].kind, ops[i + 1].kind, ops[i + 2].kind)
+        {
+            return Some(group(
+                3,
+                FKind::LdMulAddF {
+                    d2,
+                    a2,
+                    b2,
+                    d3,
+                    a3,
+                    b3,
+                },
+            ));
+        }
+    }
+    if left < 2 {
+        return None;
+    }
+    match (ops[i].kind, ops[i + 1].kind) {
+        (
+            K::MadI {
+                dst: d1,
+                a: a1,
+                b: b1,
+                c: c1,
+            },
+            K::MadI {
+                dst: d2,
+                a: a2,
+                b: b2,
+                c: c2,
+            },
+        ) => Some(group(
+            2,
+            FKind::Mad2I {
+                d1,
+                a1,
+                b1,
+                c1,
+                d2,
+                a2,
+                b2,
+                c2,
+            },
+        )),
+        (
+            K::MadF {
+                dst: d1,
+                a: a1,
+                b: b1,
+                c: c1,
+            },
+            K::MadF {
+                dst: d2,
+                a: a2,
+                b: b2,
+                c: c2,
+            },
+        ) => Some(group(
+            2,
+            FKind::Mad2F {
+                d1,
+                a1,
+                b1,
+                c1,
+                d2,
+                a2,
+                b2,
+                c2,
+            },
+        )),
+        (
+            K::MadI {
+                dst: d1,
+                a: a1,
+                b: b1,
+                c: c1,
+            },
+            K::Ld { .. },
+        ) => Some(group(2, FKind::MadILd { d1, a1, b1, c1 })),
+        (K::Ld { .. }, K::CvtIF { dst: d2, a: a2 }) => Some(group(2, FKind::LdCvt { d2, a2 })),
+        (
+            K::BinF {
+                op: BinOp::Mul,
+                dst: d1,
+                a: a1,
+                b: b1,
+            },
+            K::BinF {
+                op: BinOp::Add,
+                dst: d2,
+                a: a2,
+                b: b2,
+            },
+        ) => Some(group(
+            2,
+            FKind::MulAddF {
+                d1,
+                a1,
+                b1,
+                d2,
+                a2,
+                b2,
+            },
+        )),
+        _ => None,
     }
 }
 
@@ -744,13 +1297,18 @@ impl DecodedScratch {
         self.prepared = Some(key);
     }
 
-    /// Per-block reset: zero the vreg rows (immediate rows survive), zero
-    /// shared memory, rewind the warps. Pure memset — no allocation.
+    /// Per-block reset: zero the vreg rows that can observe pre-block state
+    /// (see [`rows_needing_zero`] — rows always written before read in the
+    /// same basic block are skipped; immediate rows survive), zero shared
+    /// memory, rewind the warps. No allocation.
     pub(crate) fn reset(&mut self, dk: &DecodedKernel) {
         let stride = dk.num_slots as usize * WARP;
-        let vreg_span = dk.num_vregs as usize * WARP;
         for w in 0..self.warps.len() {
-            self.regs[w * stride..w * stride + vreg_span].fill(0);
+            let base = w * stride;
+            for &row in &dk.zero_rows {
+                let b = base + row as usize * WARP;
+                self.regs[b..b + WARP].fill(0);
+            }
         }
         self.shared.fill(0);
         for s in self.warps.iter_mut() {
@@ -839,6 +1397,27 @@ pub(crate) fn run_decoded_traced<T: Tracer>(
 ) -> Result<(FlatCounters, u64), SimError> {
     scratch.prepare(dk, ctx.block_dim);
     scratch.reset(dk);
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if !T::ACTIVE
+        && dk.fuse
+        && crate::rows::simd_enabled()
+        && !scratch.warps.is_empty()
+        && scratch.warps.iter().all(|s| s.init_mask == u32::MAX)
+    {
+        // Optimistic warp-batched fast path: all warps execute the fused
+        // dispatch stream in lockstep, so per-op decode and dispatch are
+        // paid once per block instead of once per warp. Anything the
+        // batch cannot prove equivalent — divergence, partial masks,
+        // barriers, shared memory, texture fetches, out-of-bounds lanes,
+        // budget exhaustion — abandons the attempt with no observable
+        // effect (its counters and journal are private until success) and
+        // the block re-runs from a fresh reset on the sequential path,
+        // which also reproduces any error exactly.
+        if let Some((counters, cycles)) = run_decoded_batched(dk, ctx, scratch, writes) {
+            return Ok((counters, cycles));
+        }
+        scratch.reset(dk);
+    }
     let mut counters = FlatCounters::default();
     let mut cycles = 0u64;
     let stride = dk.num_slots as usize * WARP;
@@ -1054,18 +1633,26 @@ macro_rules! exec_pure_op {
         match $kind {
             DOpKind::BinI { op, dst, a, b } => {
                 let (d, a, b) = (dst as usize, a as usize, b as usize);
-                warp_map2!($self, $mask, d, a, b, |x, y| crate::interp::eval_bin_i(
-                    op, x as i32, y as i32
-                ) as u32);
+                if $mask == u32::MAX {
+                    crate::rows::bin_i(op, $self.regs, d, a, b);
+                } else {
+                    warp_map2!($self, $mask, d, a, b, |x, y| crate::interp::eval_bin_i(
+                        op, x as i32, y as i32
+                    ) as u32);
+                }
             }
             DOpKind::BinF { op, dst, a, b } => {
                 let (d, a, b) = (dst as usize, a as usize, b as usize);
-                warp_map2!($self, $mask, d, a, b, |x, y| crate::interp::eval_bin_f(
-                    op,
-                    f32::from_bits(x),
-                    f32::from_bits(y)
-                )
-                .to_bits());
+                if $mask == u32::MAX {
+                    crate::rows::bin_f(op, $self.regs, d, a, b);
+                } else {
+                    warp_map2!($self, $mask, d, a, b, |x, y| crate::interp::eval_bin_f(
+                        op,
+                        f32::from_bits(x),
+                        f32::from_bits(y)
+                    )
+                    .to_bits());
+                }
             }
             DOpKind::BinP { op, dst, a, b } => {
                 let (d, a, b) = (dst as usize, a as usize, b as usize);
@@ -1078,17 +1665,25 @@ macro_rules! exec_pure_op {
             }
             DOpKind::MadI { dst, a, b, c } => {
                 let (d, a, b, c) = (dst as usize, a as usize, b as usize, c as usize);
-                warp_map3!($self, $mask, d, a, b, c, |x, y, z| (x as i32)
-                    .wrapping_mul(y as i32)
-                    .wrapping_add(z as i32)
-                    as u32);
+                if $mask == u32::MAX {
+                    crate::rows::mad_i($self.regs, d, a, b, c);
+                } else {
+                    warp_map3!($self, $mask, d, a, b, c, |x, y, z| (x as i32)
+                        .wrapping_mul(y as i32)
+                        .wrapping_add(z as i32)
+                        as u32);
+                }
             }
             DOpKind::MadF { dst, a, b, c } => {
                 let (d, a, b, c) = (dst as usize, a as usize, b as usize, c as usize);
-                warp_map3!($self, $mask, d, a, b, c, |x, y, z| (f32::from_bits(x)
-                    * f32::from_bits(y)
-                    + f32::from_bits(z))
-                .to_bits());
+                if $mask == u32::MAX {
+                    crate::rows::mad_f($self.regs, d, a, b, c);
+                } else {
+                    warp_map3!($self, $mask, d, a, b, c, |x, y, z| (f32::from_bits(x)
+                        * f32::from_bits(y)
+                        + f32::from_bits(z))
+                    .to_bits());
+                }
             }
             DOpKind::Mov { dst, a } => {
                 let (d, a) = (dst as usize, a as usize);
@@ -1120,7 +1715,11 @@ macro_rules! exec_pure_op {
             }
             DOpKind::CvtIF { dst, a } => {
                 let (d, a) = (dst as usize, a as usize);
-                warp_map1!($self, $mask, d, a, |x| (x as i32 as f32).to_bits());
+                if $mask == u32::MAX {
+                    crate::rows::cvt_if($self.regs, d, a);
+                } else {
+                    warp_map1!($self, $mask, d, a, |x| (x as i32 as f32).to_bits());
+                }
             }
             DOpKind::CvtFI { dst, a } => {
                 let (d, a) = (dst as usize, a as usize);
@@ -1129,17 +1728,25 @@ macro_rules! exec_pure_op {
             }
             DOpKind::SetPI { cmp, dst, a, b } => {
                 let (d, a, b) = (dst as usize, a as usize, b as usize);
-                warp_map2!($self, $mask, d, a, b, |x, y| crate::interp::eval_cmp_i(
-                    cmp, x as i32, y as i32
-                ) as u32);
+                if $mask == u32::MAX {
+                    crate::rows::set_p_i(cmp, $self.regs, d, a, b);
+                } else {
+                    warp_map2!($self, $mask, d, a, b, |x, y| crate::interp::eval_cmp_i(
+                        cmp, x as i32, y as i32
+                    ) as u32);
+                }
             }
             DOpKind::SetPF { cmp, dst, a, b } => {
                 let (d, a, b) = (dst as usize, a as usize, b as usize);
-                warp_map2!($self, $mask, d, a, b, |x, y| crate::interp::eval_cmp_f(
-                    cmp,
-                    f32::from_bits(x),
-                    f32::from_bits(y)
-                ) as u32);
+                if $mask == u32::MAX {
+                    crate::rows::set_p_f(cmp, $self.regs, d, a, b);
+                } else {
+                    warp_map2!($self, $mask, d, a, b, |x, y| crate::interp::eval_cmp_f(
+                        cmp,
+                        f32::from_bits(x),
+                        f32::from_bits(y)
+                    ) as u32);
+                }
             }
             DOpKind::SelP { dst, a, b, pred } => {
                 let (d, a, b, p) = (dst as usize, a as usize, b as usize, pred as usize);
@@ -1316,8 +1923,18 @@ impl<'a, T: Tracer> DExec<'a, T> {
                 }
                 return Ok(DOutcome::Barrier(block, mask));
             }
-            for i in db.start..db.end {
-                self.exec_op(i as usize, mask)?;
+            if !T::ACTIVE && self.dk.fuse {
+                // Fused dispatch stream. Recording must observe the unfused
+                // op sequence, so any active tracer takes the op-at-a-time
+                // path below.
+                for fi in db.fstart..db.fend {
+                    let f = self.dk.fops[fi as usize];
+                    self.exec_fused(&f, mask)?;
+                }
+            } else {
+                for i in db.start..db.end {
+                    self.exec_op(i as usize, mask)?;
+                }
             }
             match db.term {
                 DTerm::Ret => {
@@ -1400,10 +2017,187 @@ impl<'a, T: Tracer> DExec<'a, T> {
         }
     }
 
+    /// Execute one fused dispatch unit: a single budget/counter update for
+    /// the whole group, then the specialised (or generic) body. Counter
+    /// attribution stays per-constituent (`cats`), so fusion is invisible
+    /// to every observable: histogram, cycles, transactions, journal.
+    fn exec_fused(&mut self, f: &FOp, mask: u32) -> Result<(), SimError> {
+        let first = f.first as usize;
+        let n = f.n as usize;
+        if matches!(f.kind, FKind::Solo) {
+            return self.exec_op(first, mask);
+        }
+        if *self.budget < n as u64 {
+            // The budget runs out mid-group: only here is intermediate
+            // counter state observable (the error aborts the launch at a
+            // specific op). Sequential dispatch reproduces the unfused
+            // engine's exact `RunawayBlock` point and partial effects.
+            for i in first..first + n {
+                self.exec_op(i, mask)?;
+            }
+            return Ok(());
+        }
+        *self.budget -= n as u64;
+        for j in 0..n {
+            self.counters.hist[f.cats[j] as usize] += 1;
+        }
+        self.counters.warp_instructions += n as u64;
+        *self.cycles += f.cost as u64;
+        if mask == u32::MAX {
+            match f.kind {
+                FKind::Mad2IMin {
+                    d1,
+                    a1,
+                    b1,
+                    c1,
+                    d2,
+                    a2,
+                    b2,
+                    c2,
+                    d3,
+                    a3,
+                    b3,
+                } => {
+                    crate::rows::mad2_i_min(
+                        self.regs,
+                        d1 as usize,
+                        a1 as usize,
+                        b1 as usize,
+                        c1 as usize,
+                        d2 as usize,
+                        a2 as usize,
+                        b2 as usize,
+                        c2 as usize,
+                        d3 as usize,
+                        a3 as usize,
+                        b3 as usize,
+                    );
+                    return Ok(());
+                }
+                FKind::Mad2I {
+                    d1,
+                    a1,
+                    b1,
+                    c1,
+                    d2,
+                    a2,
+                    b2,
+                    c2,
+                } => {
+                    crate::rows::mad2_i(
+                        self.regs,
+                        d1 as usize,
+                        a1 as usize,
+                        b1 as usize,
+                        c1 as usize,
+                        d2 as usize,
+                        a2 as usize,
+                        b2 as usize,
+                        c2 as usize,
+                    );
+                    return Ok(());
+                }
+                FKind::Mad2F {
+                    d1,
+                    a1,
+                    b1,
+                    c1,
+                    d2,
+                    a2,
+                    b2,
+                    c2,
+                } => {
+                    crate::rows::mad2_f(
+                        self.regs,
+                        d1 as usize,
+                        a1 as usize,
+                        b1 as usize,
+                        c1 as usize,
+                        d2 as usize,
+                        a2 as usize,
+                        b2 as usize,
+                        c2 as usize,
+                    );
+                    return Ok(());
+                }
+                FKind::MadILd { d1, a1, b1, c1 } => {
+                    crate::rows::mad_i(
+                        self.regs,
+                        d1 as usize,
+                        a1 as usize,
+                        b1 as usize,
+                        c1 as usize,
+                    );
+                    let kind = self.dk.ops[first + 1].kind;
+                    return self.exec_op_body(first + 1, kind, mask);
+                }
+                FKind::LdCvt { d2, a2 } => {
+                    let kind = self.dk.ops[first].kind;
+                    self.exec_op_body(first, kind, mask)?;
+                    crate::rows::cvt_if(self.regs, d2 as usize, a2 as usize);
+                    return Ok(());
+                }
+                FKind::MulAddF {
+                    d1,
+                    a1,
+                    b1,
+                    d2,
+                    a2,
+                    b2,
+                } => {
+                    crate::rows::mul_add_f(
+                        self.regs,
+                        d1 as usize,
+                        a1 as usize,
+                        b1 as usize,
+                        d2 as usize,
+                        a2 as usize,
+                        b2 as usize,
+                    );
+                    return Ok(());
+                }
+                FKind::LdMulAddF {
+                    d2,
+                    a2,
+                    b2,
+                    d3,
+                    a3,
+                    b3,
+                } => {
+                    let kind = self.dk.ops[first].kind;
+                    self.exec_op_body(first, kind, mask)?;
+                    crate::rows::mul_add_f(
+                        self.regs,
+                        d2 as usize,
+                        a2 as usize,
+                        b2 as usize,
+                        d3 as usize,
+                        a3 as usize,
+                        b3 as usize,
+                    );
+                    return Ok(());
+                }
+                FKind::Pair | FKind::Triple => {}
+                FKind::Solo => unreachable!("dispatched above"),
+            }
+        }
+        for i in first..first + n {
+            let kind = self.dk.ops[i].kind;
+            self.exec_op_body(i, kind, mask)?;
+        }
+        Ok(())
+    }
+
     fn exec_op(&mut self, i: usize, mask: u32) -> Result<(), SimError> {
         let op = self.dk.ops[i];
         self.charge(op.cat as usize, op.cost as u64)?;
-        match op.kind {
+        self.exec_op_body(i, op.kind, mask)
+    }
+
+    /// The op body: effects only, no budget/counter charge (the caller —
+    /// [`Self::exec_op`] or a fused group — has already charged).
+    fn exec_op_body(&mut self, i: usize, kind: DOpKind, mask: u32) -> Result<(), SimError> {
+        match kind {
             DOpKind::LdParam { dst, index } => {
                 let bits = match self.ctx.params.get(index as usize) {
                     Some(ParamValue::I32(v)) => *v as u32,
@@ -1426,16 +2220,17 @@ impl<'a, T: Tracer> DExec<'a, T> {
                 let len = buffer.len();
                 let (d, ab) = (dst as usize, addr as usize);
                 let tx = if mask == u32::MAX {
-                    let tx = self.full_warp_tx(ab, len, buf, false)?;
                     // Gather after validation. The address row is copied
                     // first, so a dst row aliasing it is still exact.
                     let addrs = self.row(ab);
+                    let tx = match crate::rows::full_warp_tx_fast(&addrs, len) {
+                        Some(tx) => tx,
+                        None => self.full_warp_tx(ab, len, buf, false)?,
+                    };
                     let out = self.row_mut(d);
-                    for l in 0..WARP {
-                        // SAFETY: `full_warp_tx` validated every lane's
-                        // address against `len`.
-                        out[l] = unsafe { buffer.load_bits_unchecked(addrs[l] as i32 as usize) };
-                    }
+                    // SAFETY: every lane's address was validated against
+                    // `len` just above.
+                    unsafe { crate::rows::gather_row(out, &addrs, buffer.bits()) };
                     if T::ACTIVE {
                         let resolved: [Option<i64>; WARP] =
                             std::array::from_fn(|l| Some(addrs[l] as i32 as i64));
@@ -1509,8 +2304,11 @@ impl<'a, T: Tracer> DExec<'a, T> {
                 let len = self.buffer(buf)?.len();
                 let (ab, vb) = (addr as usize, val as usize);
                 let tx = if mask == u32::MAX {
-                    let tx = self.full_warp_tx(ab, len, buf, true)?;
                     let addrs = self.row(ab);
+                    let tx = match crate::rows::full_warp_tx_fast(&addrs, len) {
+                        Some(tx) => tx,
+                        None => self.full_warp_tx(ab, len, buf, true)?,
+                    };
                     let vals = self.row(vb);
                     self.writes
                         .extend((0..WARP).map(|l| (buf, addrs[l] as i32 as usize, vals[l])));
@@ -1580,7 +2378,7 @@ impl<'a, T: Tracer> DExec<'a, T> {
             }
             kind => exec_pure_op!(self, kind, mask),
         }
-        if T::ACTIVE && !matches!(op.kind, DOpKind::Ld { .. } | DOpKind::St { .. }) {
+        if T::ACTIVE && !matches!(kind, DOpKind::Ld { .. } | DOpKind::St { .. }) {
             // Global loads/stores are traced from inside their arms (the
             // recorder needs the resolved addresses); everything else is an
             // opaque re-execute-on-replay event. Post-op so the recorder
@@ -1589,6 +2387,420 @@ impl<'a, T: Tracer> DExec<'a, T> {
         }
         Ok(())
     }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+/// One warp's register view for [`exec_pure_op!`] inside the batched
+/// executor — the same macro the sequential interpreter expands, so a
+/// batched pure op is literally the same code as a sequential one.
+struct WarpView<'a> {
+    dk: &'a DecodedKernel,
+    ctx: &'a DecodedBlockCtx<'a>,
+    warp_id: u32,
+    regs: &'a mut [u32],
+    tidx: &'a [u32],
+    tidy: &'a [u32],
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+impl WarpView<'_> {
+    #[inline(always)]
+    fn row(&self, base: usize) -> [u32; WARP] {
+        let mut out = [0u32; WARP];
+        out.copy_from_slice(&self.regs[base..base + WARP]);
+        out
+    }
+
+    #[inline(always)]
+    fn row_mut(&mut self, base: usize) -> &mut [u32; WARP] {
+        (&mut self.regs[base..base + WARP]).try_into().unwrap()
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+/// Warp-batched execution of one block's fused dispatch stream: the op
+/// stream is decoded once and each dispatch is applied to every warp in
+/// lockstep. Valid only while all warps provably follow the same full-mask
+/// control path; `None` abandons the attempt (the caller resets the scratch
+/// and re-runs sequentially). All counter, cycle and journal state is
+/// private until the block retires, so an abandoned attempt is invisible.
+struct BExec<'a> {
+    dk: &'a DecodedKernel,
+    ctx: &'a DecodedBlockCtx<'a>,
+    /// All warps' register rows (`nw * stride`).
+    regs: &'a mut [u32],
+    stride: usize,
+    nw: usize,
+    tidx: &'a [u32],
+    tidy: &'a [u32],
+    counters: FlatCounters,
+    cycles: u64,
+    /// Lockstep per-warp budget (every warp issues the same ops, so one
+    /// scalar tracks all of them).
+    budget: u64,
+    /// Per-warp write journals, concatenated in warp order on success —
+    /// exactly the order sequential warp-at-a-time execution produces.
+    wwrites: Vec<WarpJournal>,
+}
+
+/// One warp's buffered write journal: `(buffer, element, bits)` per store.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+type WarpJournal = Vec<(u32, usize, u32)>;
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+impl BExec<'_> {
+    /// Per-op bulk charge: one budget tick per warp, mirrored counter
+    /// attribution (`hist[cat] += nw` equals nw sequential `+= 1`s).
+    #[inline]
+    fn charge(&mut self, cat: usize, cost: u64) -> Option<()> {
+        if self.budget == 0 {
+            return None;
+        }
+        self.budget -= 1;
+        let nw = self.nw as u64;
+        self.counters.hist[cat] += nw;
+        self.counters.warp_instructions += nw;
+        self.cycles += cost * nw;
+        Some(())
+    }
+
+    /// # Safety
+    /// The host must support AVX2 (the caller checked `simd_enabled`).
+    #[target_feature(enable = "avx2")]
+    unsafe fn run(mut self) -> Option<(FlatCounters, u64, Vec<WarpJournal>)> {
+        let mut block = 0u32;
+        let nw = self.nw as u64;
+        loop {
+            let db = self.dk.blocks[block as usize];
+            if db.is_bar {
+                return None;
+            }
+            for fi in db.fstart..db.fend {
+                let f = self.dk.fops[fi as usize];
+                self.exec_fused(&f)?;
+            }
+            match db.term {
+                DTerm::Ret => {
+                    self.charge(CAT_RET, self.dk.cost_ret)?;
+                    self.counters.threads_retired += WARP as u64 * nw;
+                    self.counters.blocks = 1;
+                    return Some((self.counters, self.cycles, self.wwrites));
+                }
+                DTerm::Br { target } => {
+                    self.charge(CAT_BRA, self.dk.cost_bra)?;
+                    block = target;
+                }
+                DTerm::CondBr {
+                    pred,
+                    if_true,
+                    if_false,
+                    ..
+                } => {
+                    self.charge(CAT_BRA, self.dk.cost_bra)?;
+                    self.counters.conditional_branches += nw;
+                    let p = pred as usize;
+                    let mut target: Option<u32> = None;
+                    for w in 0..self.nw {
+                        let m_true =
+                            crate::rows::avx2::pred_row_mask(self.regs, w * self.stride + p);
+                        let t = if m_true == u32::MAX {
+                            if_true
+                        } else if m_true == 0 {
+                            if_false
+                        } else {
+                            // Intra-warp divergence — sequential territory.
+                            return None;
+                        };
+                        if *target.get_or_insert(t) != t {
+                            // Warps disagree: control flow splits.
+                            return None;
+                        }
+                    }
+                    block = target.expect("at least one warp");
+                }
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn exec_fused(&mut self, f: &FOp) -> Option<()> {
+        let first = f.first as usize;
+        let n = f.n as usize;
+        if self.budget < n as u64 {
+            return None;
+        }
+        self.budget -= n as u64;
+        let nw = self.nw as u64;
+        for j in 0..n {
+            self.counters.hist[f.cats[j] as usize] += nw;
+        }
+        self.counters.warp_instructions += n as u64 * nw;
+        self.cycles += f.cost as u64 * nw;
+        let stride = self.stride;
+        match f.kind {
+            FKind::Mad2IMin {
+                d1,
+                a1,
+                b1,
+                c1,
+                d2,
+                a2,
+                b2,
+                c2,
+                d3,
+                a3,
+                b3,
+            } => {
+                for w in 0..self.nw {
+                    crate::rows::avx2::mad2_i_min(
+                        &mut self.regs[w * stride..(w + 1) * stride],
+                        d1 as usize,
+                        a1 as usize,
+                        b1 as usize,
+                        c1 as usize,
+                        d2 as usize,
+                        a2 as usize,
+                        b2 as usize,
+                        c2 as usize,
+                        d3 as usize,
+                        a3 as usize,
+                        b3 as usize,
+                    );
+                }
+            }
+            FKind::Mad2I {
+                d1,
+                a1,
+                b1,
+                c1,
+                d2,
+                a2,
+                b2,
+                c2,
+            } => {
+                for w in 0..self.nw {
+                    crate::rows::avx2::mad2_i(
+                        &mut self.regs[w * stride..(w + 1) * stride],
+                        d1 as usize,
+                        a1 as usize,
+                        b1 as usize,
+                        c1 as usize,
+                        d2 as usize,
+                        a2 as usize,
+                        b2 as usize,
+                        c2 as usize,
+                    );
+                }
+            }
+            FKind::Mad2F {
+                d1,
+                a1,
+                b1,
+                c1,
+                d2,
+                a2,
+                b2,
+                c2,
+            } => {
+                for w in 0..self.nw {
+                    crate::rows::avx2::mad2_f(
+                        &mut self.regs[w * stride..(w + 1) * stride],
+                        d1 as usize,
+                        a1 as usize,
+                        b1 as usize,
+                        c1 as usize,
+                        d2 as usize,
+                        a2 as usize,
+                        b2 as usize,
+                        c2 as usize,
+                    );
+                }
+            }
+            FKind::MulAddF {
+                d1,
+                a1,
+                b1,
+                d2,
+                a2,
+                b2,
+            } => {
+                for w in 0..self.nw {
+                    crate::rows::avx2::mul_add_f(
+                        &mut self.regs[w * stride..(w + 1) * stride],
+                        d1 as usize,
+                        a1 as usize,
+                        b1 as usize,
+                        d2 as usize,
+                        a2 as usize,
+                        b2 as usize,
+                    );
+                }
+            }
+            FKind::MadILd { d1, a1, b1, c1 } => {
+                for w in 0..self.nw {
+                    crate::rows::avx2::mad_i(
+                        &mut self.regs[w * stride..(w + 1) * stride],
+                        d1 as usize,
+                        a1 as usize,
+                        b1 as usize,
+                        c1 as usize,
+                    );
+                }
+                self.exec_op_batched(first + 1)?;
+            }
+            FKind::LdCvt { d2, a2 } => {
+                self.exec_op_batched(first)?;
+                for w in 0..self.nw {
+                    crate::rows::avx2::cvt_if(
+                        &mut self.regs[w * stride..(w + 1) * stride],
+                        d2 as usize,
+                        a2 as usize,
+                    );
+                }
+            }
+            FKind::LdMulAddF {
+                d2,
+                a2,
+                b2,
+                d3,
+                a3,
+                b3,
+            } => {
+                self.exec_op_batched(first)?;
+                for w in 0..self.nw {
+                    crate::rows::avx2::mul_add_f(
+                        &mut self.regs[w * stride..(w + 1) * stride],
+                        d2 as usize,
+                        a2 as usize,
+                        b2 as usize,
+                        d3 as usize,
+                        a3 as usize,
+                        b3 as usize,
+                    );
+                }
+            }
+            FKind::Solo | FKind::Pair | FKind::Triple => {
+                for i in first..first + n {
+                    self.exec_op_batched(i)?;
+                }
+            }
+        }
+        Some(())
+    }
+
+    /// One op across all warps: memory/param kinds decode once here; pure
+    /// data ops go through [`exec_pure_op!`] per warp — the identical code
+    /// path the sequential interpreter takes.
+    #[target_feature(enable = "avx2")]
+    unsafe fn exec_op_batched(&mut self, i: usize) -> Option<()> {
+        let kind = self.dk.ops[i].kind;
+        let stride = self.stride;
+        match kind {
+            DOpKind::LdParam { dst, index } => {
+                let bits = match self.ctx.params.get(index as usize) {
+                    Some(ParamValue::I32(v)) => *v as u32,
+                    Some(ParamValue::F32(v)) => v.to_bits(),
+                    // Missing parameter: sequential raises the error.
+                    None => return None,
+                };
+                let d = dst as usize;
+                for w in 0..self.nw {
+                    let base = w * stride + d;
+                    self.regs[base..base + WARP].fill(bits);
+                }
+            }
+            DOpKind::Ld { dst, buf, addr } => {
+                let buffer = self.ctx.buffers.get(buf as usize)?;
+                let len = buffer.len();
+                let (d, ab) = (dst as usize, addr as usize);
+                for w in 0..self.nw {
+                    let base = w * stride;
+                    let mut addrs = [0u32; WARP];
+                    addrs.copy_from_slice(&self.regs[base + ab..base + ab + WARP]);
+                    // `None` covers out-of-bounds lanes and non-monotonic
+                    // rows — both need the sequential path's attribution.
+                    let tx = crate::rows::avx2::full_warp_tx(&addrs, len)?;
+                    let out: &mut [u32; WARP] = (&mut self.regs[base + d..base + d + WARP])
+                        .try_into()
+                        .unwrap();
+                    // SAFETY: every lane validated against `len` just above.
+                    crate::rows::avx2::gather(out, &addrs, buffer.bits());
+                    self.counters.mem_transactions += tx;
+                    self.counters.loads += 1;
+                    self.cycles += tx * self.dk.mem_cycles;
+                }
+            }
+            DOpKind::St { buf, addr, val } => {
+                let buffer = self.ctx.buffers.get(buf as usize)?;
+                let len = buffer.len();
+                let (ab, vb) = (addr as usize, val as usize);
+                for w in 0..self.nw {
+                    let base = w * stride;
+                    let mut addrs = [0u32; WARP];
+                    addrs.copy_from_slice(&self.regs[base + ab..base + ab + WARP]);
+                    let tx = crate::rows::avx2::full_warp_tx(&addrs, len)?;
+                    let mut vals = [0u32; WARP];
+                    vals.copy_from_slice(&self.regs[base + vb..base + vb + WARP]);
+                    self.wwrites[w]
+                        .extend((0..WARP).map(|l| (buf, addrs[l] as i32 as usize, vals[l])));
+                    self.counters.mem_transactions += tx;
+                    self.counters.stores += 1;
+                    self.cycles += tx * self.dk.mem_cycles;
+                }
+            }
+            DOpKind::Tex { .. } | DOpKind::Lds { .. } | DOpKind::Sts { .. } | DOpKind::Bar => {
+                return None
+            }
+            kind => {
+                for w in 0..self.nw {
+                    let mut view = WarpView {
+                        dk: self.dk,
+                        ctx: self.ctx,
+                        warp_id: w as u32,
+                        regs: &mut self.regs[w * stride..(w + 1) * stride],
+                        tidx: self.tidx,
+                        tidy: self.tidy,
+                    };
+                    exec_pure_op!(view, kind, u32::MAX);
+                }
+            }
+        }
+        Some(())
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+/// Attempt a whole block warp-batched (see [`BExec`]). On success the
+/// per-warp journals are appended to `writes` in warp order and the block's
+/// counters returned; `None` leaves `writes` untouched.
+fn run_decoded_batched(
+    dk: &DecodedKernel,
+    ctx: &DecodedBlockCtx<'_>,
+    scratch: &mut DecodedScratch,
+    writes: &mut Vec<(u32, usize, u32)>,
+) -> Option<(FlatCounters, u64)> {
+    let nw = scratch.warps.len();
+    let stride = dk.num_slots as usize * WARP;
+    let exec = BExec {
+        dk,
+        ctx,
+        regs: &mut scratch.regs[..nw * stride],
+        stride,
+        nw,
+        tidx: &scratch.tidx,
+        tidy: &scratch.tidy,
+        counters: FlatCounters::default(),
+        cycles: 0,
+        budget: MAX_WARP_INSTRUCTIONS,
+        wwrites: vec![Vec::new(); nw],
+    };
+    // SAFETY: the caller gates the batched attempt on `simd_enabled`,
+    // which is true only after AVX2 detection.
+    let (counters, cycles, wwrites) = unsafe { exec.run() }?;
+    for ws in wwrites {
+        writes.extend(ws);
+    }
+    Some((counters, cycles))
 }
 
 #[cfg(test)]

@@ -428,7 +428,7 @@ impl<'a, 'b> WarpExec<'a, 'b> {
                         }
                         Ty::F32 => {
                             let v = self.read_f(a, l) * self.read_f(b, l) + self.read_f(c, l);
-                            v.to_bits()
+                            canon_f32(v).to_bits()
                         }
                         Ty::Pred => unreachable!("validated IR"),
                     };
@@ -711,7 +711,7 @@ pub fn eval_bin_i(op: BinOp, x: i32, y: i32) -> i32 {
 /// F32 binary-op semantics (Rust scalar float ops; `min`/`max` are
 /// `f32::min`/`f32::max`, which propagate the non-NaN operand).
 pub fn eval_bin_f(op: BinOp, x: f32, y: f32) -> f32 {
-    match op {
+    canon_f32(match op {
         BinOp::Add => x + y,
         BinOp::Sub => x - y,
         BinOp::Mul => x * y,
@@ -720,6 +720,25 @@ pub fn eval_bin_f(op: BinOp, x: f32, y: f32) -> f32 {
         BinOp::Min => x.min(y),
         BinOp::Max => x.max(y),
         _ => unreachable!("validated IR: logic/shift are integer-only"),
+    })
+}
+
+/// Canonicalise an arithmetic result: any NaN becomes the canonical quiet
+/// NaN `0x7fffffff`, exactly as PTX specifies for floating-point
+/// instruction results. This is what makes NaN handling *deterministic*
+/// across every execution path — host scalar code, the AVX2 row kernels,
+/// and constant folding all quieten NaNs with platform- and
+/// operand-order-defined payloads, so without a canonical form the same
+/// two-NaN `add.f32` could yield different payload bits depending on which
+/// engine (or which compilation of the same source) executed it.
+/// Bit-preserving operations (`mov`, `neg`, `abs`, loads, stores, `selp`)
+/// keep payloads intact, as on real hardware.
+#[inline(always)]
+pub fn canon_f32(v: f32) -> f32 {
+    if v.is_nan() {
+        f32::from_bits(0x7fff_ffff)
+    } else {
+        v
     }
 }
 
@@ -764,14 +783,16 @@ pub fn eval_un_i(op: UnOp, x: i32) -> i32 {
 /// F32 unary-op semantics, mirroring the `Instr::Un` execution arm exactly.
 pub fn eval_un_f(op: UnOp, x: f32) -> f32 {
     match op {
+        // Bit-preserving (sign-bit manipulation on hardware): payloads kept.
         UnOp::Mov => x,
         UnOp::Neg => -x,
         UnOp::Abs => x.abs(),
-        UnOp::Exp => x.exp(),
-        UnOp::Log => x.ln(),
-        UnOp::Sqrt => x.sqrt(),
-        UnOp::Rsqrt => 1.0 / x.sqrt(),
-        UnOp::Floor => x.floor(),
+        // Arithmetic: results canonicalised like every other float op.
+        UnOp::Exp => canon_f32(x.exp()),
+        UnOp::Log => canon_f32(x.ln()),
+        UnOp::Sqrt => canon_f32(x.sqrt()),
+        UnOp::Rsqrt => canon_f32(1.0 / x.sqrt()),
+        UnOp::Floor => canon_f32(x.floor()),
         UnOp::Not => unreachable!("validated IR: not is integer/predicate-only"),
     }
 }

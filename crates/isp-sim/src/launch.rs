@@ -10,8 +10,8 @@
 
 use crate::counters::PerfCounters;
 use crate::decode::{
-    decode, kernel_fingerprint, run_block_decoded, run_decoded, DecodedBlockCtx, DecodedKernel,
-    DecodedScratch, FlatCounters,
+    decode_with_fusion, kernel_fingerprint, run_block_decoded, run_decoded, run_decoded_traced,
+    DecodedBlockCtx, DecodedKernel, DecodedScratch, FlatCounters, FusionStats, Tracer,
 };
 use crate::device::DeviceSpec;
 use crate::error::SimError;
@@ -247,14 +247,28 @@ pub struct LaunchReport {
 /// affine classes and range guards; buffer *contents* are not, because the
 /// replay guards re-validate every access against the live buffers and
 /// deopt on any divergence — reuse is always bit-exact.
+/// Decoded-kernel cache shared across a `Gpu` clone family, keyed by
+/// (kernel fingerprint, fusion flag).
+type DecodeCache = Arc<Mutex<HashMap<(u64, bool), Arc<DecodedKernel>>>>;
+
 #[derive(Debug, Clone)]
 pub struct Gpu {
     device: DeviceSpec,
     engine: ExecEngine,
     probe: ProbeHandle,
-    decode_cache: Arc<Mutex<HashMap<u64, Arc<DecodedKernel>>>>,
+    /// Whether kernels decode with the superinstruction fusion pass
+    /// (default on; ablation binaries and neutrality tests turn it off).
+    fusion: bool,
+    /// Keyed by (fingerprint, fusion) so a clone family mixing fused and
+    /// unfused launches never serves the wrong decoding.
+    decode_cache: DecodeCache,
     decode_hits: Arc<AtomicU64>,
     decode_misses: Arc<AtomicU64>,
+    /// Decode-time fusion totals over all cold decodes (groups, fused ops,
+    /// dispatches saved).
+    fused_groups: Arc<AtomicU64>,
+    fused_ops: Arc<AtomicU64>,
+    fused_saved: Arc<AtomicU64>,
     /// Cross-launch trace cache: `(launch key, class) -> (epoch, trace)`.
     /// The epoch is the sequence number of the launch that recorded the
     /// trace, so later launches can tell a warm hit from their own fresh
@@ -280,9 +294,13 @@ impl Gpu {
             device,
             engine: ExecEngine::default(),
             probe: ProbeHandle::none(),
+            fusion: true,
             decode_cache: Arc::new(Mutex::new(HashMap::new())),
             decode_hits: Arc::new(AtomicU64::new(0)),
             decode_misses: Arc::new(AtomicU64::new(0)),
+            fused_groups: Arc::new(AtomicU64::new(0)),
+            fused_ops: Arc::new(AtomicU64::new(0)),
+            fused_saved: Arc::new(AtomicU64::new(0)),
             trace_cache: Arc::new(Mutex::new(HashMap::new())),
             launch_seq: Arc::new(AtomicU64::new(0)),
             trace_recorded: Arc::new(AtomicU64::new(0)),
@@ -297,6 +315,20 @@ impl Gpu {
     pub fn with_engine(mut self, engine: ExecEngine) -> Self {
         self.engine = engine;
         self
+    }
+
+    /// Builder: enable or disable the superinstruction fusion pass for
+    /// subsequent decodes (on by default). Fusion is observationally
+    /// neutral — counters, cycles, pixels and journals are identical either
+    /// way — so this is only interesting to ablation and neutrality tests.
+    pub fn with_fusion(mut self, fusion: bool) -> Self {
+        self.fusion = fusion;
+        self
+    }
+
+    /// Whether decodes run the fusion pass.
+    pub fn fusion_enabled(&self) -> bool {
+        self.fusion
     }
 
     /// Builder: attach a probe; subsequent launches report spans, cache
@@ -331,7 +363,7 @@ impl Gpu {
     /// structural fingerprint has been seen before. A miss decodes outside
     /// the cache lock (two racing misses decode twice, cache once).
     pub fn decode(&self, kernel: &Kernel) -> Arc<DecodedKernel> {
-        let fp = kernel_fingerprint(kernel);
+        let fp = (kernel_fingerprint(kernel), self.fusion);
         if let Some(dk) = self.decode_cache.lock().unwrap().get(&fp) {
             self.decode_hits.fetch_add(1, Ordering::Relaxed);
             if self.probe.is_enabled() {
@@ -342,10 +374,15 @@ impl Gpu {
             return Arc::clone(dk);
         }
         let t0 = self.probe.begin();
-        let dk = Arc::new(decode(kernel, &self.device));
+        let dk = Arc::new(decode_with_fusion(kernel, &self.device, self.fusion));
         self.probe
             .span("decode", "gpu", t0, || Some(kernel.name.to_string()));
         self.decode_misses.fetch_add(1, Ordering::Relaxed);
+        let fs = dk.fusion_stats();
+        self.fused_groups.fetch_add(fs.groups, Ordering::Relaxed);
+        self.fused_ops.fetch_add(fs.fused_ops, Ordering::Relaxed);
+        self.fused_saved
+            .fetch_add(fs.dispatches_saved, Ordering::Relaxed);
         if self.probe.is_enabled() {
             self.probe.count("gpu.decode_misses", 1);
             self.probe
@@ -361,6 +398,16 @@ impl Gpu {
         DecodeStats {
             hits: self.decode_hits.load(Ordering::Relaxed),
             misses: self.decode_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Decode-time fusion totals summed over every cold decode performed by
+    /// this `Gpu` (or its clone family).
+    pub fn fusion_stats(&self) -> FusionStats {
+        FusionStats {
+            groups: self.fused_groups.load(Ordering::Relaxed),
+            fused_ops: self.fused_ops.load(Ordering::Relaxed),
+            dispatches_saved: self.fused_saved.load(Ordering::Relaxed),
         }
     }
 
@@ -580,6 +627,11 @@ impl Gpu {
             ExecEngine::Decoded | ExecEngine::Replay => {
                 let dk = self.decode(kernel);
                 let shared: &[DeviceBuffer] = buffers;
+                // Opcode-sequence histograms: probed decoded-engine launches
+                // run traced (op-at-a-time) so the profiler sees the raw
+                // unfused stream.
+                let profile_seq = want_outcomes && engine == ExecEngine::Decoded;
+                let block_start = profile_seq.then(|| dk.block_start_flags());
                 // The replay engine reads the Gpu's persistent trace cache,
                 // scoped to this launch's (kernel, geometry, params) key and
                 // further keyed by block class (class 0 when no classifier
@@ -624,8 +676,26 @@ impl Gpu {
                             &mut acc.writes,
                             &self.probe,
                         ),
-                        None => run_decoded(&dk, &ctx, &mut acc.scratch, &mut acc.writes)
-                            .map(|(c, cycles)| (c, cycles, OUT_RUN)),
+                        None => match &block_start {
+                            Some(flags) => {
+                                let mut prof = SeqProfiler {
+                                    dk: &dk,
+                                    block_start: flags,
+                                    prev: 0,
+                                    prev2: 0,
+                                    seq: &mut acc.opseq,
+                                };
+                                run_decoded_traced(
+                                    &dk,
+                                    &ctx,
+                                    &mut acc.scratch,
+                                    &mut acc.writes,
+                                    &mut prof,
+                                )
+                            }
+                            None => run_decoded(&dk, &ctx, &mut acc.scratch, &mut acc.writes),
+                        }
+                        .map(|(c, cycles)| (c, cycles, OUT_RUN)),
                     };
                     match run {
                         Ok((c, cycles, outcome)) => {
@@ -682,6 +752,13 @@ impl Gpu {
                         per_class_trace = by_class.into_iter().collect();
                         per_class_trace.sort_unstable_by_key(|&(c, _)| c);
                     }
+                }
+                if profile_seq {
+                    let mut seq = OpSeq::default();
+                    for acc in &accs {
+                        seq.merge(&acc.opseq);
+                    }
+                    seq.report(&self.probe);
                 }
                 reduce_chunk_accs(footprint, accs)?
             }
@@ -972,6 +1049,94 @@ struct ChunkAcc {
     /// Per-block outcome codes in chunk dispatch order; populated only when
     /// the launch's probe is enabled (index-aligned with `cycles`).
     outcomes: Vec<u8>,
+    /// Opcode-sequence histograms gathered by [`SeqProfiler`]; populated
+    /// only on probed decoded-engine launches.
+    opseq: OpSeq,
+}
+
+/// Dynamic opcode-pair/-triple histograms over the executed (unfused) op
+/// stream — the evidence base for the superinstruction set (DESIGN.md §7c).
+#[derive(Debug, Default)]
+struct OpSeq {
+    pairs: HashMap<(&'static str, &'static str), u64>,
+    triples: HashMap<(&'static str, &'static str, &'static str), u64>,
+}
+
+impl OpSeq {
+    fn merge(&mut self, o: &OpSeq) {
+        for (&k, &n) in &o.pairs {
+            *self.pairs.entry(k).or_default() += n;
+        }
+        for (&k, &n) in &o.triples {
+            *self.triples.entry(k).or_default() += n;
+        }
+    }
+
+    /// Export to the probe as `sim.opseq2.{a}+{b}` / `sim.opseq3.{a}+{b}+{c}`
+    /// counters; they flow into the probe's metrics JSON unchanged.
+    fn report(&self, probe: &ProbeHandle) {
+        for (&(a, b), &n) in &self.pairs {
+            probe.count(&format!("sim.opseq2.{a}+{b}"), n);
+        }
+        for (&(a, b, c), &n) in &self.triples {
+            probe.count(&format!("sim.opseq3.{a}+{b}+{c}"), n);
+        }
+    }
+}
+
+/// [`Tracer`] that counts adjacent same-block op pairs and triples in the
+/// dynamic (unfused) instruction stream. Tracing forces the executor onto
+/// its op-at-a-time path, so the histogram observes the raw opcode sequence
+/// whatever the kernel's fusion setting — and only probed launches pay for
+/// it.
+struct SeqProfiler<'a> {
+    dk: &'a DecodedKernel,
+    /// Per-op block-start flags: a pair never straddles a block boundary.
+    block_start: &'a [bool],
+    /// Last executed op index + 1 (0 = none); `prev2` is the one before.
+    prev: u32,
+    prev2: u32,
+    seq: &'a mut OpSeq,
+}
+
+impl SeqProfiler<'_> {
+    #[inline]
+    fn note(&mut self, i: u32) {
+        let iu = i as usize;
+        if self.prev == i && i > 0 && !self.block_start[iu] {
+            let a = self.dk.ops[iu - 1].kind.mnemonic();
+            let b = self.dk.ops[iu].kind.mnemonic();
+            *self.seq.pairs.entry((a, b)).or_default() += 1;
+            if self.prev2 == i - 1 && i > 1 && !self.block_start[iu - 1] {
+                let z = self.dk.ops[iu - 2].kind.mnemonic();
+                *self.seq.triples.entry((z, a, b)).or_default() += 1;
+            }
+        }
+        self.prev2 = self.prev;
+        self.prev = i + 1;
+    }
+}
+
+impl Tracer for SeqProfiler<'_> {
+    const ACTIVE: bool = true;
+
+    fn warp_start(&mut self, _warp: u32) {
+        self.prev = 0;
+        self.prev2 = 0;
+    }
+
+    fn op(&mut self, i: u32, _mask: u32, _regs: &[u32]) {
+        self.note(i);
+    }
+
+    fn branch(&mut self, _pred: u32, _mask: u32, _m_true: u32) {
+        self.prev = 0;
+        self.prev2 = 0;
+    }
+
+    fn mem(&mut self, i: u32, _mask: u32, _addrs: &[Option<i64>; crate::interp::WARP], _tx: u64) {
+        self.note(i);
+    }
 }
 
 /// Execute one block under the replay engine: replay its class's trace when

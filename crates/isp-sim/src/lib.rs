@@ -32,21 +32,24 @@ pub mod launch;
 pub mod memory;
 pub mod occupancy;
 pub mod profile;
+pub mod rows;
 pub mod scheduler;
 pub mod trace;
 
 pub use counters::PerfCounters;
 pub use decode::{
-    decode, kernel_fingerprint, run_block_decoded, run_decoded, DecodedBlockCtx, DecodedKernel,
-    DecodedScratch, FlatCounters,
+    decode, decode_with_fusion, kernel_fingerprint, run_block_decoded, run_decoded,
+    DecodedBlockCtx, DecodedKernel, DecodedScratch, FlatCounters, FusionStats,
 };
 pub use device::{DeviceSpec, GpuArch};
 pub use error::SimError;
+pub use interp::WARP;
 pub use launch::{
     DecodeStats, ExecEngine, ExecStrategy, Gpu, LaunchConfig, LaunchReport, ParamValue, SimMode,
     TraceStats,
 };
 pub use memory::{DeviceBuffer, TexAddressMode, TexDesc};
 pub use occupancy::{occupancy, Limiter, LimiterSet, OccupancyResult};
+pub use rows::{set_simd_enabled, simd_enabled};
 pub use scheduler::Timing;
 pub use trace::DeoptReason;

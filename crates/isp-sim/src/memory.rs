@@ -123,6 +123,13 @@ impl DeviceBuffer {
         self.bits.is_empty()
     }
 
+    /// The raw element storage, for full-warp gathers (the caller has
+    /// bounds-checked every address).
+    #[inline]
+    pub fn bits(&self) -> &[u32] {
+        &self.bits
+    }
+
     /// Read raw bits (caller has bounds-checked).
     #[inline]
     pub fn load_bits(&self, addr: usize) -> u32 {

@@ -368,6 +368,16 @@ enum RIns {
     Warp(u32),
     /// Re-execute a surviving non-global-memory op under the recorded mask.
     Op { kind: DOpKind, mask: u32 },
+    /// Fused pair of surviving ops under one recorded mask — one dispatch,
+    /// same effects in the same order (see `fuse_prog`).
+    Op2 { a: DOpKind, b: DOpKind, mask: u32 },
+    /// Fused triple.
+    Op3 {
+        a: DOpKind,
+        b: DOpKind,
+        c: DOpKind,
+        mask: u32,
+    },
     /// Conditional-branch guard: predicate lanes must reproduce `m_true`.
     Guard { pred: u32, mask: u32, m_true: u32 },
     /// O(1) affine guard for a dropped speculative `min`/`max` or a pinned
@@ -1083,6 +1093,10 @@ fn build_trace(
         }
     }
 
+    if dk.fuse {
+        prog = fuse_prog(prog);
+    }
+
     Trace {
         prog,
         mems,
@@ -1091,6 +1105,35 @@ fn build_trace(
         b0,
         needs_reset: !covered,
     }
+}
+
+/// Peephole over the compiled replay program: merge runs of adjacent
+/// re-executed ops with identical masks into `Op2`/`Op3` dispatch units.
+/// Effects execute in the original order, and replay counters come from the
+/// recording, so this changes dispatch count only — nothing observable.
+fn fuse_prog(prog: Vec<RIns>) -> Vec<RIns> {
+    let mut out: Vec<RIns> = Vec::with_capacity(prog.len());
+    for ins in prog {
+        let RIns::Op { kind, mask } = ins else {
+            out.push(ins);
+            continue;
+        };
+        match out.last().cloned() {
+            Some(RIns::Op { kind: a, mask: m }) if m == mask => {
+                *out.last_mut().unwrap() = RIns::Op2 { a, b: kind, mask };
+            }
+            Some(RIns::Op2 { a, b, mask: m }) if m == mask => {
+                *out.last_mut().unwrap() = RIns::Op3 {
+                    a,
+                    b,
+                    c: kind,
+                    mask,
+                };
+            }
+            _ => out.push(RIns::Op { kind, mask }),
+        }
+    }
+    out
 }
 
 /// Run one block on the decoded interpreter while recording its trace.
@@ -1293,6 +1336,15 @@ impl<'a> RExec<'a> {
                 self.replay_st_rebased(buf, val, mask, &tr.mems[rec as usize])
             }
             RIns::Op { kind, mask } => self.replay_op(kind, mask),
+            RIns::Op2 { a, b, mask } => {
+                self.replay_op(a, mask)?;
+                self.replay_op(b, mask)
+            }
+            RIns::Op3 { a, b, c, mask } => {
+                self.replay_op(a, mask)?;
+                self.replay_op(b, mask)?;
+                self.replay_op(c, mask)
+            }
         }
     }
 
@@ -1381,11 +1433,7 @@ impl<'a> RExec<'a> {
         let tx = if anchor.rem_euclid(32) == rec.align {
             rec.tx
         } else if mask == u32::MAX {
-            let mut addrs = [0i64; WARP];
-            for l in 0..WARP {
-                addrs[l] = rec.addrs[l] as i64 + delta;
-            }
-            segment_count_full(&addrs)
+            segment_count_full(&crate::rows::add_delta(&rec.addrs, delta))
         } else {
             let mut addrs: [Option<i64>; WARP] = [None; WARP];
             lanes!(mask, l, {
@@ -1489,11 +1537,11 @@ impl<'a> RExec<'a> {
                 *self.tx += tx;
                 return Ok(());
             }
+            let addrs = crate::rows::add_delta(&rec.addrs, delta);
             for l in 0..WARP {
                 // SAFETY: `rebase_mem` bounds the translated extrema, and
                 // the affine class proof puts every lane between them.
-                out[l] =
-                    unsafe { buffer.load_bits_unchecked((rec.addrs[l] as i64 + delta) as usize) };
+                out[l] = unsafe { buffer.load_bits_unchecked(addrs[l] as usize) };
             }
         } else {
             lanes!(mask, l, {
@@ -1523,8 +1571,9 @@ impl<'a> RExec<'a> {
         let vb = val as usize;
         if mask == u32::MAX {
             let vals = self.row(vb);
+            let addrs = crate::rows::add_delta(&rec.addrs, delta);
             self.writes
-                .extend((0..WARP).map(|l| (buf, (rec.addrs[l] as i64 + delta) as usize, vals[l])));
+                .extend((0..WARP).map(|l| (buf, addrs[l] as usize, vals[l])));
         } else {
             lanes!(mask, l, {
                 self.writes.push((

@@ -10,7 +10,7 @@ use isp_dsl::runner::ExecMode;
 use isp_dsl::Compiler;
 use isp_image::{BorderPattern, BorderSpec, ImageGenerator};
 use isp_ir::opt::{optimize_with_stats, OptConfig};
-use isp_sim::{DeviceSpec, ExecEngine, Gpu};
+use isp_sim::{decode, decode_with_fusion, DeviceSpec, ExecEngine, Gpu};
 
 /// One golden record: (policy label, warp_instructions, mem_transactions,
 /// total_cycles). Baseline under the `OptConfig::pipeline()` default.
@@ -75,6 +75,68 @@ const GOLDEN_OPT: [OptGoldenRow; 2] = [
     ("naive", 2, 121, 73, 0, 0, 0, 48, 0, 0),
     ("isp", 2, 673, 471, 0, 0, 0, 201, 0, 1),
 ];
+
+/// Static fusion goldens for the same gaussian compile: (variant label,
+/// decoded ops, fused dispatch units, groups, ops absorbed, dispatches
+/// saved). Pins the superinstruction matcher's coverage — a peephole
+/// change that fuses more or fewer sequences moves these and must be
+/// deliberate. Runtime observables are pinned separately above (and must
+/// NOT move with fusion at all).
+const GOLDEN_FUSE: [(&str, usize, usize, u64, u64, u64); 2] = [
+    ("naive", 70, 28, 28, 70, 42),
+    ("isp", 452, 184, 182, 450, 268),
+];
+
+#[test]
+fn gaussian_fused_dispatch_counts_are_golden() {
+    let device = DeviceSpec::gtx680();
+    let border = BorderSpec::from_pattern(BorderPattern::Clamp);
+    let app = isp_filters::by_name("gaussian").unwrap();
+    let compiled = app
+        .pipeline
+        .compile(&Compiler::new(), border, Variant::IspBlock);
+    let ck = &compiled[0];
+    for (label, ops, dispatches, groups, fused_ops, saved) in GOLDEN_FUSE {
+        let cv = match label {
+            "naive" => &ck.naive,
+            _ => ck.isp.as_ref().unwrap(),
+        };
+        let plain = decode_with_fusion(&cv.kernel, &device, false);
+        // `decode` itself defaults to fusion on — the engines' hot path.
+        let fused = decode(&cv.kernel, &device);
+        // Fusion never alters the decoded instruction stream itself — only
+        // the dispatch grouping over it.
+        assert_eq!(plain.num_ops(), fused.num_ops(), "{label}: op stream");
+        assert_eq!(
+            plain.num_dispatches(),
+            plain.num_ops(),
+            "{label}: unfused 1:1"
+        );
+        assert_eq!(
+            plain.fusion_stats(),
+            Default::default(),
+            "{label}: unfused stats"
+        );
+        let s = fused.fusion_stats();
+        assert_eq!(
+            (
+                fused.num_ops(),
+                fused.num_dispatches(),
+                s.groups,
+                s.fused_ops,
+                s.dispatches_saved
+            ),
+            (ops, dispatches, groups, fused_ops, saved),
+            "{label}: (ops, dispatches, groups, fused_ops, saved)"
+        );
+        // Bookkeeping identity: every op is dispatched exactly once.
+        assert_eq!(
+            fused.num_dispatches() as u64 + s.dispatches_saved,
+            fused.num_ops() as u64,
+            "{label}: dispatch conservation"
+        );
+    }
+}
 
 #[test]
 fn gaussian_opt_pass_breakdown_is_golden_and_idempotent() {
